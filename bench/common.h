@@ -1,0 +1,158 @@
+// Shared experiment plumbing for the paper-reproduction benches.
+//
+// Each bench binary regenerates one table or figure from the paper's §4; the
+// helpers here assemble the two systems under test on the paper's hardware
+// (Table 1):
+//   - LSVD: client host (P3700 cache SSD, 10 GbE) -> RGW-style erasure-coded
+//     object store on a Ceph pool.
+//   - bcache+RBD: same host, bcache write-back cache -> triple-replicated
+//     RBD on the same pool.
+#ifndef BENCH_COMMON_H_
+#define BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/baseline/bcache_device.h"
+#include "src/baseline/rbd_disk.h"
+#include "src/lsvd/lsvd_disk.h"
+#include "src/objstore/sim_object_store.h"
+#include "src/util/table.h"
+#include "src/workload/driver.h"
+#include "src/workload/fio_gen.h"
+
+namespace lsvd {
+namespace bench {
+
+// Paper defaults (§4.1).
+inline constexpr uint64_t kVolumeSize = 80 * kGiB;
+inline constexpr uint64_t kLargeCache = 100 * kGiB;  // "larger than volume"
+inline constexpr uint64_t kSmallCache = 5 * static_cast<uint64_t>(1e9);
+
+inline LsvdConfig DefaultLsvdConfig(uint64_t volume_size,
+                                    uint64_t cache_size) {
+  LsvdConfig config;
+  config.volume_name = "vol";
+  config.volume_size = volume_size;
+  // ~20% write cache / 80% read cache split (§3.1).
+  config.write_cache_size =
+      std::max<uint64_t>(64 * kMiB, cache_size / 5) / kBlockSize * kBlockSize;
+  config.read_cache_size =
+      (cache_size - config.write_cache_size) / kBlockSize * kBlockSize;
+  config.batch_bytes = 8 * kMiB;
+  return config;
+}
+
+// One client machine + one backend cluster world.
+struct World {
+  Simulator sim;
+  ClientHostConfig host_config;
+  std::unique_ptr<ClientHost> host;
+  std::unique_ptr<BackendCluster> cluster;
+  std::unique_ptr<NetLink> backend_link;
+
+  explicit World(ClusterConfig cluster_config,
+                 uint64_t ssd_capacity = 800 * kGiB) {
+    host_config.ssd_capacity = ssd_capacity;
+    host = std::make_unique<ClientHost>(&sim, host_config);
+    cluster = std::make_unique<BackendCluster>(&sim, cluster_config);
+    backend_link = std::make_unique<NetLink>(&sim, NetParams{});
+  }
+};
+
+struct LsvdSystem {
+  std::unique_ptr<SimObjectStore> store;
+  std::unique_ptr<LsvdDisk> disk;
+
+  static LsvdSystem Create(World* world, LsvdConfig config) {
+    LsvdSystem sys;
+    sys.store = std::make_unique<SimObjectStore>(
+        &world->sim, world->cluster.get(), world->backend_link.get(),
+        SimObjectStoreConfig{});
+    sys.disk = std::make_unique<LsvdDisk>(world->host.get(), sys.store.get(),
+                                          std::move(config));
+    std::optional<Status> s;
+    sys.disk->Create([&](Status st) { s = st; });
+    world->sim.Run();
+    if (!s.has_value() || !s->ok()) {
+      std::fprintf(stderr, "LSVD create failed\n");
+      std::abort();
+    }
+    return sys;
+  }
+};
+
+struct BcacheRbdSystem {
+  std::unique_ptr<RbdDisk> rbd;
+  std::unique_ptr<BcacheDevice> bcache;
+
+  static BcacheRbdSystem Create(World* world, uint64_t volume_size,
+                                uint64_t cache_size) {
+    BcacheRbdSystem sys;
+    sys.rbd = std::make_unique<RbdDisk>(&world->sim, world->cluster.get(),
+                                        world->backend_link.get(), volume_size,
+                                        RbdConfig{});
+    auto region = world->host->AllocRegion(cache_size / kBlockSize *
+                                           kBlockSize);
+    if (!region.ok()) {
+      std::fprintf(stderr, "bcache region allocation failed\n");
+      std::abort();
+    }
+    sys.bcache = std::make_unique<BcacheDevice>(
+        world->host.get(), sys.rbd.get(), *region,
+        cache_size / kBlockSize * kBlockSize, BcacheConfig{});
+    return sys;
+  }
+};
+
+// Fills the volume with data (§4.1 preconditioning), then lets writeback
+// settle so experiments start from a steady state.
+inline void Precondition(World* world, VirtualDisk* disk) {
+  Driver driver(&world->sim, disk, MakePreconditionGen(disk->size(), 4 * kMiB),
+                /*queue_depth=*/16);
+  bool done = false;
+  driver.Run([&] { done = true; });
+  world->sim.Run();
+  if (!done) {
+    std::fprintf(stderr, "precondition stalled\n");
+    std::abort();
+  }
+}
+
+// Runs a fio-style workload for `seconds` of virtual time and returns stats.
+inline DriverStats RunFio(World* world, VirtualDisk* disk, FioConfig fio,
+                          int queue_depth, double seconds) {
+  Driver driver(&world->sim, disk, MakeFioGen(fio), queue_depth,
+                world->sim.now() + FromSeconds(seconds));
+  bool done = false;
+  driver.Run([&] { done = true; });
+  world->sim.Run();
+  return driver.stats();
+}
+
+// Parses "--flag=value" style arguments; returns fallback when absent.
+inline double ArgDouble(int argc, char** argv, const std::string& flag,
+                        double fallback) {
+  const std::string prefix = "--" + flag + "=";
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::stod(arg.substr(prefix.size()));
+    }
+  }
+  return fallback;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s\n", paper.c_str());
+  std::printf("setup: Table 1 — client 800G NVMe cache + 10GbE;"
+              " backends: config#1 32-SSD pool / config#2 62-HDD pool\n\n");
+}
+
+}  // namespace bench
+}  // namespace lsvd
+
+#endif  // BENCH_COMMON_H_

@@ -1,0 +1,12 @@
+// Figure 10: sequential writes, small (5 GB) cache. Shares the harness with
+// Figure 9 (fig09_smallcache_randwrite.cc) via --sequential.
+#define main fig09_main
+#include "bench/fig09_smallcache_randwrite.cc"
+#undef main
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char flag[] = "--sequential=1";
+  args.push_back(flag);
+  return fig09_main(static_cast<int>(args.size()), args.data());
+}

@@ -1,0 +1,183 @@
+// Table 4: crash tests — a recursive file copy interrupted by a "VM reset",
+// followed by loss of the client cache (§4.4).
+//
+// A file-copy workload runs on a journaled filesystem (minifs, the ext4
+// stand-in) over each virtual disk. At a random point the client machine is
+// reset and the SSD cache discarded, as in the paper's test. The recovered
+// *backend* image is then mounted and fsck'd:
+//   - LSVD recovers a consistent prefix: mounts cleanly in every trial.
+//   - bcache wrote back in LBA order, not write order, so the RBD image can
+//     hold later writes without earlier ones: mounts may fail or fsck may
+//     find damage / lose files (the paper lost all files in one of three
+//     trials).
+#include "bench/common.h"
+#include "src/minifs/minifs.h"
+
+using namespace lsvd;
+using namespace lsvd::bench;
+
+namespace {
+
+struct TrialResult {
+  bool mounted = false;
+  bool fsck_clean = false;
+  uint64_t files_found = 0;
+  uint64_t files_intact = 0;
+  std::string note;
+};
+
+constexpr int kFiles = 600;
+constexpr uint64_t kFileBytes = 16 * kKiB;
+
+// Drives the copy workload: create files, fsync every 20, crash at
+// `crash_after_files`.
+template <typename CrashFn>
+TrialResult RunTrial(World* world, VirtualDisk* disk,
+                     std::function<VirtualDisk*()> recovered_disk,
+                     int crash_after_files, CrashFn crash) {
+  TrialResult result;
+  // Format + mount.
+  MiniFsGeometry geo;
+  geo.max_files = 8192;
+  std::optional<Status> fmt;
+  MiniFs::Format(&world->sim, disk, geo, [&](Status s) { fmt = s; });
+  world->sim.Run();
+  if (!fmt || !fmt->ok()) {
+    result.note = "format failed";
+    return result;
+  }
+  std::shared_ptr<MiniFs> fs;
+  MiniFs::Mount(&world->sim, disk, [&](Result<std::shared_ptr<MiniFs>> r) {
+    if (r.ok()) {
+      fs = *r;
+    }
+  });
+  world->sim.Run();
+  if (!fs) {
+    result.note = "initial mount failed";
+    return result;
+  }
+
+  // Copy files; stop at the crash point (mid-stream, unsynced tail).
+  Rng rng(static_cast<uint64_t>(crash_after_files) * 7919);
+  for (int i = 0; i < crash_after_files && i < kFiles; i++) {
+    std::optional<Status> cs;
+    fs->CreateFile("file" + std::to_string(i),
+                   Buffer::Zeros(kFileBytes / 2 + rng.Uniform(kFileBytes)),
+                   [&](Status s) { cs = s; });
+    while (!cs.has_value() && world->sim.Step()) {
+    }
+    if (!cs || !cs->ok()) {
+      result.note = "create failed";
+      return result;
+    }
+    if (i % 20 == 19) {
+      std::optional<Status> ss;
+      fs->Fsync([&](Status s) { ss = s; });
+      while (!ss.has_value() && world->sim.Step()) {
+      }
+    }
+  }
+
+  // Crash: kill the filesystem and the client; discard the cache.
+  fs->Kill();
+  crash();
+  world->sim.Run();
+
+  // Mount + fsck the recovered image.
+  VirtualDisk* after = recovered_disk();
+  std::optional<MiniFs::FsckReport> report;
+  MiniFs::Fsck(&world->sim, after,
+               [&](MiniFs::FsckReport r) { report = std::move(r); });
+  world->sim.Run();
+  if (!report) {
+    result.note = "fsck never completed";
+    return result;
+  }
+  result.mounted = report->mountable;
+  result.fsck_clean = report->clean();
+  result.files_found = report->files_found;
+  result.files_intact = report->files_intact;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int trials = static_cast<int>(ArgDouble(argc, argv, "trials", 3));
+  PrintHeader("tbl04_crash",
+              "Table 4 — crash tests: interrupted file copy, cache lost");
+  std::printf("%d files of ~16 KiB, fsync every 20, crash mid-copy, cache "
+              "discarded (paper: 74K files, VM reset, cache deleted)\n\n",
+              trials >= 0 ? kFiles : kFiles);
+
+  Table table({"system", "trial", "mounted?", "fsck clean?", "files intact",
+               "files found"});
+
+  for (int trial = 0; trial < trials; trial++) {
+    const int crash_point = 150 + trial * 170;
+
+    // --- LSVD ---
+    {
+      World world(ClusterConfig::SsdPool());
+      LsvdConfig config = DefaultLsvdConfig(2 * kGiB, kSmallCache);
+      config.batch_bytes = kMiB;  // keep batches flowing for small volumes
+      LsvdSystem sys = LsvdSystem::Create(&world, config);
+      std::unique_ptr<ClientHost> host2;
+      std::unique_ptr<LsvdDisk> recovered;
+      auto result = RunTrial(
+          &world, sys.disk.get(),
+          [&]() -> VirtualDisk* {
+            host2 = std::make_unique<ClientHost>(&world.sim,
+                                                 ClientHostConfig{});
+            recovered = std::make_unique<LsvdDisk>(host2.get(),
+                                                   sys.store.get(), config);
+            std::optional<Status> s;
+            recovered->OpenCacheLost([&](Status st) { s = st; });
+            world.sim.Run();
+            return recovered.get();
+          },
+          crash_point, [&]() {
+            sys.disk->Kill();
+            sys.store->ClientCrash();
+            world.host->ssd()->DiscardAll();
+          });
+      table.AddRow({"lsvd", std::to_string(trial + 1),
+                    result.mounted ? "yes" : "NO",
+                    result.fsck_clean ? "yes" : "NO",
+                    std::to_string(result.files_intact),
+                    std::to_string(result.files_found)});
+    }
+
+    // --- bcache + RBD ---
+    {
+      World world(ClusterConfig::SsdPool());
+      BcacheRbdSystem sys = BcacheRbdSystem::Create(&world, 2 * kGiB,
+                                                    kSmallCache);
+      auto result = RunTrial(
+          &world, sys.bcache.get(),
+          [&]() -> VirtualDisk* {
+            // The cache is gone; the surviving image is the RBD backend.
+            return sys.rbd.get();
+          },
+          crash_point, [&]() {
+            // bcache paused writeback under load; after the copy stops it
+            // gets a brief idle window (roughly one writeback round) before
+            // the reset — so the backing image holds an *LBA-ordered*
+            // subset of the dirty data, not a temporal prefix.
+            world.sim.RunUntil(world.sim.now() + 250 * kMillisecond);
+            sys.bcache->Kill();
+            world.host->ssd()->DiscardAll();
+          });
+      table.AddRow({"bcache+rbd", std::to_string(trial + 1),
+                    result.mounted ? "yes" : "NO",
+                    result.fsck_clean ? "yes" : "NO",
+                    std::to_string(result.files_intact),
+                    std::to_string(result.files_found)});
+    }
+  }
+  table.Print();
+  std::printf("\npaper: LSVD mounted cleanly 3/3; bcache was unmountable in "
+              "one trial and lost all copied files after fsck\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// A filesystem on a virtual disk, and why write ordering matters
+// (paper §4.4, Table 4).
+//
+// Formats minifs (the repo's journaled mini filesystem) on an LSVD volume,
+// copies a file tree with periodic fsync, then simulates the worst-case
+// failure — client machine gone, cache SSD lost — and runs fsck against the
+// image recovered from the object store alone.
+//
+//   $ ./filesystem_on_lsvd
+#include <cstdio>
+
+#include "src/lsvd/lsvd_disk.h"
+#include "src/minifs/minifs.h"
+#include "src/objstore/sim_object_store.h"
+#include "src/util/rng.h"
+
+using namespace lsvd;
+
+int main() {
+  Simulator sim;
+  ClientHost host(&sim, ClientHostConfig{});
+  BackendCluster cluster(&sim, ClusterConfig::SsdPool());
+  NetLink link(&sim, NetParams{});
+  SimObjectStore store(&sim, &cluster, &link, SimObjectStoreConfig{});
+
+  LsvdConfig config;
+  config.volume_name = "fsvol";
+  config.volume_size = 2 * kGiB;
+  config.write_cache_size = 64 * kMiB;
+  config.read_cache_size = 128 * kMiB;
+  config.batch_bytes = kMiB;
+  LsvdDisk disk(&host, &store, config);
+  disk.Create([](Status) {});
+  sim.Run();
+
+  MiniFsGeometry geo;
+  geo.max_files = 4096;
+  MiniFs::Format(&sim, &disk, geo, [](Status s) {
+    std::printf("mkfs.minifs on LSVD volume: %s\n", s.ToString().c_str());
+  });
+  sim.Run();
+
+  std::shared_ptr<MiniFs> fs;
+  MiniFs::Mount(&sim, &disk, [&](Result<std::shared_ptr<MiniFs>> r) {
+    if (r.ok()) {
+      fs = *r;
+    }
+  });
+  sim.Run();
+  if (!fs) {
+    std::printf("mount failed\n");
+    return 1;
+  }
+
+  // Copy a tree of files, fsync every 25 (like cp + periodic sync).
+  Rng rng(11);
+  constexpr int kFiles = 400;
+  int created = 0;
+  for (int i = 0; i < kFiles; i++) {
+    bool ok = false;
+    fs->CreateFile("tree/file" + std::to_string(i),
+                   Buffer::Zeros(8 * kKiB + rng.Uniform(3) * 4 * kKiB),
+                   [&](Status s) { ok = s.ok(); });
+    sim.Run();
+    if (ok) {
+      created++;
+    }
+    if (i % 25 == 24) {
+      fs->Fsync([](Status) {});
+      sim.Run();
+    }
+  }
+  std::printf("copied %d files (fsync every 25), then... \n", created);
+
+  // The worst case: machine dies AND the cache SSD is lost.
+  fs->Kill();
+  disk.Kill();
+  store.ClientCrash();
+  host.ssd()->DiscardAll();
+  sim.Run();
+  std::printf("CRASH: client machine gone, cache SSD lost\n");
+
+  // Recover purely from the object store and fsck.
+  ClientHost host2(&sim, ClientHostConfig{});
+  LsvdDisk recovered(&host2, &store, config);
+  recovered.OpenCacheLost([](Status s) {
+    std::printf("recovered volume from object store: %s\n",
+                s.ToString().c_str());
+  });
+  sim.Run();
+
+  MiniFs::Fsck(&sim, &recovered, [](MiniFs::FsckReport report) {
+    std::printf("fsck: mountable=%s structurally_clean=%s files=%llu "
+                "intact=%llu corrupt=%llu\n",
+                report.mountable ? "yes" : "NO",
+                report.structurally_clean ? "yes" : "NO",
+                static_cast<unsigned long long>(report.files_found),
+                static_cast<unsigned long long>(report.files_intact),
+                static_cast<unsigned long long>(report.files_corrupt));
+    std::printf("=> %s\n",
+                report.clean()
+                    ? "the recovered image is a consistent prefix: every "
+                      "file present is intact (paper Table 4: LSVD mounts "
+                      "3/3; bcache lost everything in one trial)"
+                    : "INCONSISTENT image");
+  });
+  sim.Run();
+  return 0;
+}

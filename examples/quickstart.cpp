@@ -1,0 +1,100 @@
+// Quickstart: create an LSVD virtual disk over an S3-like object store,
+// write, flush, read, and inspect what happened underneath.
+//
+//   $ ./quickstart
+//
+// Everything runs inside the discrete-event simulator: the "SSD" and the
+// "object store" are the same data-bearing models the test suite and the
+// paper-reproduction benches use, so the I/O you see here is the real LSVD
+// write path — journal records on the cache device, batched immutable
+// objects on the backend.
+#include <cstdio>
+
+#include "src/lsvd/lsvd_disk.h"
+#include "src/objstore/sim_object_store.h"
+#include "src/util/table.h"
+
+using namespace lsvd;
+
+int main() {
+  // 1. A world: one client machine (NVMe cache SSD + 10 GbE) and a Ceph-like
+  //    backend pool behind an S3 gateway with a 4,2 erasure code.
+  Simulator sim;
+  ClientHost host(&sim, ClientHostConfig{});
+  BackendCluster cluster(&sim, ClusterConfig::SsdPool());
+  NetLink link(&sim, NetParams{});
+  SimObjectStore store(&sim, &cluster, &link, SimObjectStoreConfig{});
+
+  // 2. An 8 GiB virtual disk with a 1 GiB SSD cache.
+  LsvdConfig config;
+  config.volume_name = "quickstart";
+  config.volume_size = 8 * kGiB;
+  config.write_cache_size = 256 * kMiB;
+  config.read_cache_size = 768 * kMiB;
+  LsvdDisk disk(&host, &store, config);
+
+  disk.Create([](Status s) {
+    std::printf("create: %s\n", s.ToString().c_str());
+  });
+  sim.Run();
+
+  // 3. Write a few extents, then issue a commit barrier.
+  std::vector<uint8_t> payload(64 * kKiB);
+  for (size_t i = 0; i < payload.size(); i++) {
+    payload[i] = static_cast<uint8_t>(i * 31);
+  }
+  for (int i = 0; i < 16; i++) {
+    disk.Write(static_cast<uint64_t>(i) * kMiB, Buffer::FromBytes(payload),
+               [i](Status s) {
+                 if (!s.ok()) {
+                   std::printf("write %d failed: %s\n", i,
+                               s.ToString().c_str());
+                 }
+               });
+  }
+  disk.Flush([](Status s) {
+    std::printf("commit barrier: %s (a single cache-device flush — no "
+                "metadata writes)\n",
+                s.ToString().c_str());
+  });
+  sim.Run();
+
+  // 4. Read one extent back and verify.
+  disk.Read(3 * kMiB, 64 * kKiB, [&](Result<Buffer> r) {
+    if (!r.ok()) {
+      std::printf("read failed: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    const bool match = *r == Buffer::FromBytes(payload);
+    std::printf("read back 64 KiB at 3 MiB: %s\n",
+                match ? "contents verified" : "MISMATCH");
+  });
+  sim.Run();
+
+  // 5. Drain writeback so the backend image matches the cache (what a VM
+  //    migration would wait for), then look under the hood.
+  disk.Drain([](Status s) {
+    std::printf("drain (cache and backend synchronized): %s\n",
+                s.ToString().c_str());
+  });
+  sim.Run();
+
+  const auto& wc = disk.write_cache().stats();
+  const auto& be = disk.backend().stats();
+  std::printf("\nunder the hood after %.1f ms of simulated time:\n",
+              ToSeconds(sim.now()) * 1e3);
+  std::printf("  journal records written: %llu (%s)\n",
+              static_cast<unsigned long long>(wc.records),
+              Table::FmtBytes(wc.record_bytes).c_str());
+  std::printf("  backend objects created: %llu (%s payload)\n",
+              static_cast<unsigned long long>(be.objects_put),
+              Table::FmtBytes(be.payload_bytes).c_str());
+  for (const auto& name : store.List("quickstart.")) {
+    auto size = store.Head(name);
+    std::printf("    %s (%s)\n", name.c_str(),
+                Table::FmtBytes(size.ok() ? *size : 0).c_str());
+  }
+  std::printf("  object map extents: %zu (in-memory, ~24 B each)\n",
+              disk.backend().object_map().extent_count());
+  return 0;
+}

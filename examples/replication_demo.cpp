@@ -1,0 +1,100 @@
+// Asynchronous geo-replication demo (paper §4.8): because the backend log is
+// a stream of immutable named objects, replicating a volume is just lazily
+// copying objects to a second store — and the replica mounts with the
+// standard recovery rules even if objects arrived out of order.
+//
+//   $ ./replication_demo
+#include <cstdio>
+
+#include "src/lsvd/lsvd_disk.h"
+#include "src/lsvd/replicator.h"
+#include "src/objstore/sim_object_store.h"
+#include "src/util/table.h"
+#include "src/util/rng.h"
+
+using namespace lsvd;
+
+int main() {
+  Simulator sim;
+  ClientHost host(&sim, ClientHostConfig{});
+
+  // Primary datacenter: SSD pool. Secondary: HDD pool (cheaper, remote).
+  BackendCluster primary_cluster(&sim, ClusterConfig::SsdPool());
+  NetLink primary_link(&sim, NetParams{});
+  SimObjectStore primary(&sim, &primary_cluster, &primary_link,
+                         SimObjectStoreConfig{});
+  BackendCluster replica_cluster(&sim, ClusterConfig::HddPool());
+  NetLink replica_link(&sim, NetParams{});
+  SimObjectStore replica(&sim, &replica_cluster, &replica_link,
+                         SimObjectStoreConfig{});
+
+  LsvdConfig config;
+  config.volume_name = "geo";
+  config.volume_size = kGiB;
+  config.write_cache_size = 64 * kMiB;
+  config.read_cache_size = 64 * kMiB;
+  config.batch_bytes = kMiB;
+  LsvdDisk disk(&host, &primary, config);
+  disk.Create([](Status) {});
+  sim.Run();
+
+  // Replicate objects older than 10 seconds, polling every 2 seconds.
+  ReplicatorConfig rc;
+  rc.volume_name = "geo";
+  rc.min_age = 10 * kSecond;
+  rc.poll_interval = 2 * kSecond;
+  Replicator replicator(&sim, &primary, &replica, rc);
+  replicator.Start();
+
+  // A workload that keeps overwriting a hot region (so GC deletes some
+  // objects before they ever replicate) while also laying down cold data.
+  Rng rng(3);
+  for (int burst = 0; burst < 12; burst++) {
+    for (int i = 0; i < 40; i++) {
+      const uint64_t slot =
+          rng.Bernoulli(0.6) ? rng.Uniform(16) : 16 + rng.Uniform(2000);
+      disk.Write(slot * 64 * kKiB,
+                 Buffer::FromBytes(std::vector<uint8_t>(
+                     64 * kKiB, static_cast<uint8_t>(burst + 1))),
+                 [](Status) {});
+    }
+    sim.RunUntil(sim.now() + 5 * kSecond);
+    std::printf("t=%3.0fs  primary objects: %3zu   replica objects: %3zu   "
+                "copied %s\n",
+                ToSeconds(sim.now()), primary.List("geo.d.").size(),
+                replica.List("geo.d.").size(),
+                Table::FmtBytes(replicator.stats().bytes_copied).c_str());
+  }
+  bool drained = false;
+  disk.Drain([&](Status) { drained = true; });
+  sim.RunUntil(sim.now() + 30 * kSecond);
+  replicator.PollOnce([] {});
+  sim.RunUntil(sim.now() + kSecond);
+  replicator.Stop();
+  disk.Kill();
+  sim.Run();
+
+  std::printf("\nobjects copied: %llu, skipped because GC deleted them "
+              "first: %llu\n",
+              static_cast<unsigned long long>(
+                  replicator.stats().objects_copied),
+              static_cast<unsigned long long>(
+                  replicator.stats().objects_skipped_deleted));
+
+  // Mount the replica in the secondary datacenter.
+  ClientHost dr_host(&sim, ClientHostConfig{});
+  LsvdDisk dr(&dr_host, &replica, config);
+  dr.OpenCacheLost([](Status s) {
+    std::printf("disaster-recovery mount of the replica: %s\n",
+                s.ToString().c_str());
+  });
+  sim.Run();
+  std::printf("replica recovered through object seq %llu\n",
+              static_cast<unsigned long long>(dr.backend().applied_seq()));
+  dr.Read(0, 64 * kKiB, [](Result<Buffer> r) {
+    std::printf("read from replica: %s\n",
+                r.ok() ? "OK (consistent prefix of the primary)" : "FAILED");
+  });
+  sim.Run();
+  return 0;
+}

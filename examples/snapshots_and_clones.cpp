@@ -1,0 +1,137 @@
+// Snapshots and clones (paper §3.6): pin a log position, mount it read-only,
+// clone writable volumes that share the base image's object-stream prefix,
+// and watch the garbage collector defer deletes while a snapshot pins them.
+//
+//   $ ./snapshots_and_clones
+#include <cstdio>
+
+#include "src/lsvd/lsvd_disk.h"
+#include "src/objstore/sim_object_store.h"
+
+using namespace lsvd;
+
+namespace {
+
+Buffer Tag(const char* text, uint64_t len) {
+  std::vector<uint8_t> bytes(len, 0);
+  for (size_t i = 0; text[i] != '\0' && i < bytes.size(); i++) {
+    bytes[i] = static_cast<uint8_t>(text[i]);
+  }
+  return Buffer::FromBytes(bytes);
+}
+
+std::string FirstBytes(const Buffer& data) {
+  auto bytes = data.Slice(0, 16).ToBytes();
+  std::string s;
+  for (uint8_t b : bytes) {
+    if (b == 0) {
+      break;
+    }
+    s.push_back(static_cast<char>(b));
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  Simulator sim;
+  ClientHost host(&sim, ClientHostConfig{});
+  BackendCluster cluster(&sim, ClusterConfig::SsdPool());
+  NetLink link(&sim, NetParams{});
+  SimObjectStore store(&sim, &cluster, &link, SimObjectStoreConfig{});
+
+  LsvdConfig config;
+  config.volume_name = "base";
+  config.volume_size = kGiB;
+  config.write_cache_size = 64 * kMiB;
+  config.read_cache_size = 64 * kMiB;
+  config.batch_bytes = kMiB;
+
+  // 1. A base volume with "golden image" content.
+  LsvdDisk base(&host, &store, config);
+  base.Create([](Status s) { std::printf("create base: %s\n",
+                                         s.ToString().c_str()); });
+  sim.Run();
+  base.Write(0, Tag("golden-image-v1", 64 * kKiB), [](Status) {});
+  sim.Run();
+
+  // 2. Snapshot it (drains writeback, pins object seq N).
+  uint64_t snap_seq = 0;
+  base.Snapshot([&](Result<uint64_t> r) {
+    snap_seq = r.ok() ? *r : 0;
+    std::printf("snapshot at object seq %llu\n",
+                static_cast<unsigned long long>(snap_seq));
+  });
+  sim.Run();
+
+  // 3. The base keeps evolving past the snapshot.
+  base.Write(0, Tag("golden-image-v2", 64 * kKiB), [](Status) {});
+  sim.Run();
+  bool drained = false;
+  base.Drain([&](Status) { drained = true; });
+  sim.Run();
+
+  // 4. Mount the snapshot read-only: recovery backtracks to a checkpoint at
+  //    or before the pinned seq and replays no further.
+  LsvdConfig view_config = config;
+  view_config.open_limit_seq = snap_seq;
+  LsvdDisk view(&host, &store, view_config);
+  view.OpenCacheLost([](Status s) {
+    std::printf("mount snapshot view: %s\n", s.ToString().c_str());
+  });
+  sim.Run();
+  view.Read(0, 64 * kKiB, [](Result<Buffer> r) {
+    std::printf("snapshot view reads: \"%s\" (live volume is at v2)\n",
+                r.ok() ? FirstBytes(*r).c_str() : "?");
+  });
+  base.Read(0, 64 * kKiB, [](Result<Buffer> r) {
+    std::printf("live base reads:     \"%s\"\n",
+                r.ok() ? FirstBytes(*r).c_str() : "?");
+  });
+  sim.Run();
+
+  // 5. Two writable clones share the base prefix (Figure 5): their object
+  //    streams are "clone1.d.*" / "clone2.d.*" on top of "base.d.*".
+  LsvdConfig c1 = base.MakeCloneConfig("clone1", snap_seq);
+  LsvdConfig c2 = base.MakeCloneConfig("clone2", snap_seq);
+  LsvdDisk clone1(&host, &store, c1);
+  LsvdDisk clone2(&host, &store, c2);
+  clone1.Create([](Status s) { std::printf("create clone1: %s\n",
+                                           s.ToString().c_str()); });
+  clone2.Create([](Status s) { std::printf("create clone2: %s\n",
+                                           s.ToString().c_str()); });
+  sim.Run();
+
+  clone1.Write(0, Tag("clone1-changes", 64 * kKiB), [](Status) {});
+  sim.Run();
+  bool d1 = false;
+  clone1.Drain([&](Status) { d1 = true; });
+  sim.Run();
+
+  clone1.Read(0, 64 * kKiB, [](Result<Buffer> r) {
+    std::printf("clone1 reads its own write: \"%s\"\n",
+                r.ok() ? FirstBytes(*r).c_str() : "?");
+  });
+  clone2.Read(0, 64 * kKiB, [](Result<Buffer> r) {
+    std::printf("clone2 still reads the base: \"%s\"\n",
+                r.ok() ? FirstBytes(*r).c_str() : "?");
+  });
+  sim.Run();
+
+  // 6. Show the object streams, then delete the snapshot and watch deferred
+  //    deletes release.
+  std::printf("\nobject streams in the store:\n");
+  for (const char* prefix : {"base.d.", "clone1.d.", "clone2.d."}) {
+    std::printf("  %-10s %zu objects\n", prefix, store.List(prefix).size());
+  }
+  std::printf("deferred deletes pinned by the snapshot: %zu\n",
+              base.backend().deferred_deletes().size());
+  base.DeleteSnapshot(snap_seq, [](Status s) {
+    std::printf("delete snapshot: %s\n", s.ToString().c_str());
+  });
+  sim.Run();
+  std::printf("deferred deletes after snapshot removal: %zu\n",
+              base.backend().deferred_deletes().size());
+  return 0;
+}

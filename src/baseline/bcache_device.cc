@@ -1,0 +1,508 @@
+#include "src/baseline/bcache_device.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace lsvd {
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  return x;
+}
+
+bool Aligned(uint64_t v) { return v % kBlockSize == 0; }
+
+}  // namespace
+
+BcacheDevice::BcacheDevice(ClientHost* host, VirtualDisk* backing,
+                           uint64_t cache_base, uint64_t cache_size,
+                           BcacheConfig config)
+    : host_(host),
+      ssd_(host->ssd()),
+      backing_(backing),
+      config_(config),
+      btree_cpu_(host->sim(), 1),
+      alloc_(0, 1) {  // re-seated below once the layout is computed
+  // Layout: journal + metadata region up front, data space after it.
+  const uint64_t meta_size =
+      std::max<uint64_t>(8 * kMiB, cache_size / 64) / kBlockSize * kBlockSize;
+  journal_base_ = cache_base;
+  journal_size_ = meta_size / 2;
+  meta_base_ = cache_base + journal_size_;
+  meta_size_ = meta_size - journal_size_;
+  journal_head_ = journal_base_;
+  alloc_ = RunAllocator(cache_base + meta_size, cache_size - meta_size);
+}
+
+void BcacheDevice::FreeDisplaced(
+    const std::vector<ExtentMap<SsdTarget>::Extent>& ext) {
+  for (const auto& e : ext) {
+    alloc_.Free(e.target.plba, e.len);
+  }
+}
+
+std::optional<uint64_t> BcacheDevice::AllocateEvicting(uint64_t len) {
+  // Allocation needs a *contiguous* run; keep evicting clean lines (FIFO)
+  // until one materializes — RunAllocator::Free merges neighbors, so once
+  // everything clean is evicted the free space is maximally coalesced.
+  while (true) {
+    auto run = alloc_.Allocate(len);
+    if (run.has_value()) {
+      return run;
+    }
+    if (clean_fifo_.empty()) {
+      return std::nullopt;
+    }
+    CleanEntry entry = clean_fifo_.front();
+    clean_fifo_.pop_front();
+    // Free only the portions still mapped to this entry's slot (overwritten
+    // ranges were freed when they were displaced).
+    for (const auto& seg : clean_.Lookup(entry.vlba, entry.len)) {
+      if (!seg.target.has_value()) {
+        continue;
+      }
+      const uint64_t expected = entry.plba + (seg.start - entry.vlba);
+      if (seg.target->plba == expected) {
+        FreeDisplaced(clean_.Remove(seg.start, seg.len));
+      }
+    }
+  }
+}
+
+void BcacheDevice::Write(uint64_t offset, Buffer data,
+                         std::function<void(Status)> done) {
+  if (!Aligned(offset) || !Aligned(data.size()) || data.empty()) {
+    done(Status::InvalidArgument("unaligned or empty bcache write"));
+    return;
+  }
+  if (offset + data.size() > backing_->size()) {
+    done(Status::OutOfRange("write beyond volume size"));
+    return;
+  }
+  stats_.writes++;
+  stats_.write_bytes += data.size();
+  writes_since_tick_++;
+
+  if (!stalled_.empty()) {
+    stalled_.push_back(StalledWrite{offset, std::move(data), std::move(done)});
+    stats_.stalled_writes++;
+    ForceWriteback();
+    return;
+  }
+  DoWrite(offset, std::move(data), std::move(done));
+}
+
+void BcacheDevice::DoWrite(uint64_t offset, Buffer data,
+                           std::function<void(Status)> done) {
+  const uint64_t len = data.size();
+  const bool over_dirty =
+      static_cast<double>(dirty_.mapped_bytes()) >
+      config_.dirty_stall_fraction * static_cast<double>(alloc_.total_bytes());
+  std::optional<uint64_t> plba;
+  if (!over_dirty) {
+    plba = AllocateEvicting(len);
+  }
+  if (!plba.has_value()) {
+    if (len > alloc_.total_bytes() / 2) {
+      // Can never fit (even a fully drained cache could stay fragmented).
+      done(Status::ResourceExhausted("write larger than bcache data space"));
+      return;
+    }
+    // Cache full: stall until writeback (or in-flight inserts becoming
+    // dirty and then written back) frees space.
+    stalled_.push_front(StalledWrite{offset, std::move(data), std::move(done)});
+    stats_.stalled_writes++;
+    ForceWriteback();
+    return;
+  }
+
+  auto alive = alive_;
+  const uint64_t target = *plba;
+  btree_cpu_.Submit(config_.btree_cost,
+                    [this, alive, offset, target, data = std::move(data),
+                     done = std::move(done)]() mutable {
+    if (!*alive) {
+      return;
+    }
+    const uint64_t len = data.size();
+    // Older copies of this range die now; their space is reusable.
+    FreeDisplaced(dirty_.Update(offset, len, SsdTarget{target}));
+    FreeDisplaced(clean_.Remove(offset, len));
+    updates_since_barrier_++;
+    ArmWriteback();
+    ssd_->Write(target, std::move(data),
+                [this, alive, done = std::move(done)](Status s) mutable {
+      if (!*alive) {
+        return;
+      }
+      if (!s.ok()) {
+        done(s);
+        return;
+      }
+      // Acknowledged once the b-tree update is journaled (group commit).
+      JoinJournal([done = std::move(done)]() { done(Status::Ok()); });
+    });
+  });
+}
+
+void BcacheDevice::JoinJournal(std::function<void()> committed) {
+  journal_waiters_.push_back(std::move(committed));
+  PumpJournal();
+}
+
+void BcacheDevice::PumpJournal() {
+  if (journal_in_flight_ || journal_waiters_.empty()) {
+    return;
+  }
+  journal_in_flight_ = true;
+  auto group =
+      std::make_shared<std::vector<std::function<void()>>>(
+          std::move(journal_waiters_));
+  journal_waiters_.clear();
+  if (journal_head_ + kBlockSize > journal_base_ + journal_size_) {
+    journal_head_ = journal_base_;
+  }
+  const uint64_t at = journal_head_;
+  journal_head_ += kBlockSize;
+  auto alive = alive_;
+  ssd_->Write(at, Buffer::Zeros(kBlockSize), [this, alive, group](Status) {
+    if (!*alive) {
+      return;
+    }
+    stats_.journal_writes++;
+    journal_in_flight_ = false;
+    for (auto& cb : *group) {
+      cb();
+    }
+    PumpJournal();
+  });
+}
+
+void BcacheDevice::Flush(std::function<void(Status)> done) {
+  stats_.flushes++;
+  // Unlike LSVD's log, bcache must write its dirty B-tree nodes out before
+  // the barrier completes (§4.2.2). Node writes are ordered (children before
+  // parents), so they serialize; the journal commit then needs a pre-flush
+  // (nodes durable before the commit record) and a post-flush.
+  const uint64_t nodes = std::min(
+      config_.max_barrier_nodes,
+      updates_since_barrier_ / config_.updates_per_btree_node + 1);
+  updates_since_barrier_ = 0;
+  stats_.barrier_node_writes += nodes;
+
+  auto alive = alive_;
+  auto commit = [this, alive, done = std::move(done)]() mutable {
+    ssd_->Flush([this, alive, done = std::move(done)](Status) mutable {
+      if (!*alive) {
+        return;
+      }
+      JoinJournal([this, alive, done = std::move(done)]() mutable {
+        ssd_->Flush([alive, done = std::move(done)](Status s) {
+          if (*alive) {
+            done(s);
+          }
+        });
+      });
+    });
+  };
+
+  auto write_node = std::make_shared<std::function<void(uint64_t)>>();
+  *write_node = [this, alive, nodes, write_node,
+                 commit = std::move(commit)](uint64_t n) mutable {
+    if (n >= nodes) {
+      commit();
+      return;
+    }
+    // B-tree nodes live at scattered metadata offsets.
+    const uint64_t at =
+        meta_base_ + Mix(meta_counter_++) % (meta_size_ / kBlockSize) *
+                         kBlockSize;
+    ssd_->Write(at, Buffer::Zeros(kBlockSize),
+                [alive, write_node, n](Status) {
+                  if (*alive) {
+                    (*write_node)(n + 1);
+                  }
+                });
+  };
+  (*write_node)(0);
+}
+
+void BcacheDevice::Read(uint64_t offset, uint64_t len,
+                        std::function<void(Result<Buffer>)> done) {
+  if (!Aligned(offset) || !Aligned(len) || len == 0) {
+    done(Status::InvalidArgument("unaligned or empty bcache read"));
+    return;
+  }
+  if (offset + len > backing_->size()) {
+    done(Status::OutOfRange("read beyond volume size"));
+    return;
+  }
+  stats_.reads++;
+
+  struct Fragment {
+    uint64_t vlba;
+    uint64_t len;
+    std::optional<uint64_t> plba;  // nullopt = backing miss
+  };
+  auto plan = std::make_shared<std::vector<Fragment>>();
+  bool all_hits = true;
+  for (const auto& dseg : dirty_.Lookup(offset, len)) {
+    if (dseg.target.has_value()) {
+      plan->push_back(Fragment{dseg.start, dseg.len, dseg.target->plba});
+      continue;
+    }
+    for (const auto& cseg : clean_.Lookup(dseg.start, dseg.len)) {
+      if (cseg.target.has_value()) {
+        plan->push_back(Fragment{cseg.start, cseg.len, cseg.target->plba});
+      } else {
+        plan->push_back(Fragment{cseg.start, cseg.len, std::nullopt});
+        all_hits = false;
+      }
+    }
+  }
+  if (all_hits) {
+    stats_.read_hits++;
+  }
+
+  auto parts = std::make_shared<std::vector<Buffer>>(plan->size());
+  auto remaining = std::make_shared<size_t>(plan->size());
+  auto failed = std::make_shared<bool>(false);
+  auto finish = [parts, remaining, failed, done](size_t i, Result<Buffer> r) {
+    if (r.ok()) {
+      (*parts)[i] = std::move(r).value();
+    } else if (!*failed) {
+      *failed = true;
+      done(r.status());
+    }
+    if (--*remaining == 0 && !*failed) {
+      Buffer out;
+      for (auto& p : *parts) {
+        out.Append(p);
+      }
+      done(out);
+    }
+  };
+
+  auto alive = alive_;
+  btree_cpu_.Submit(config_.read_cost, [this, alive, plan, finish]() {
+    if (!*alive) {
+      return;
+    }
+    for (size_t i = 0; i < plan->size(); i++) {
+      const Fragment& frag = (*plan)[i];
+      if (frag.plba.has_value()) {
+        ssd_->Read(*frag.plba, frag.len, [i, finish](Result<Buffer> r) {
+          finish(i, std::move(r));
+        });
+      } else {
+        backing_->Read(frag.vlba, frag.len,
+                       [this, alive, i, frag, finish](Result<Buffer> r) {
+          if (!*alive) {
+            return;
+          }
+          if (r.ok()) {
+            // Fill the cache (clean) in the background.
+            auto slot = AllocateEvicting(frag.len);
+            if (slot.has_value()) {
+              FreeDisplaced(clean_.Remove(frag.vlba, frag.len));
+              clean_.Update(frag.vlba, frag.len, SsdTarget{*slot});
+              clean_fifo_.push_back(CleanEntry{frag.vlba, frag.len, *slot});
+              ssd_->Write(*slot, *r, [](Status) {});
+            }
+          }
+          finish(i, std::move(r));
+        });
+      }
+    }
+  });
+}
+
+void BcacheDevice::ArmWriteback() {
+  if (writeback_armed_ || dirty_.mapped_bytes() == 0) {
+    return;
+  }
+  writeback_armed_ = true;
+  auto alive = alive_;
+  host_->sim()->After(config_.writeback_interval, [this, alive]() {
+    if (!*alive) {
+      return;
+    }
+    writeback_armed_ = false;
+    if (dirty_.mapped_bytes() == 0) {
+      return;
+    }
+    const bool idle = writes_since_tick_ == 0;
+    writes_since_tick_ = 0;
+    if (idle && !writeback_running_) {
+      WritebackRound(config_.writeback_batch_bytes, false,
+                     [this, alive]() {
+        if (*alive) {
+          ArmWriteback();
+        }
+      });
+    } else {
+      // Load present: bcache pauses writeback (Figure 11); check again later.
+      ArmWriteback();
+    }
+  });
+}
+
+void BcacheDevice::ForceWriteback() {
+  if (writeback_running_ || force_retry_pending_) {
+    return;
+  }
+  auto alive = alive_;
+  if (dirty_.mapped_bytes() == 0) {
+    // Nothing dirty yet (writes still in flight toward the cache): let the
+    // simulation advance before retrying the stalled queue.
+    force_retry_pending_ = true;
+    host_->sim()->After(kMillisecond, [this, alive]() {
+      if (!*alive) {
+        return;
+      }
+      force_retry_pending_ = false;
+      RetryStalled();
+      if (!stalled_.empty()) {
+        ForceWriteback();
+      }
+    });
+    return;
+  }
+  WritebackRound(config_.writeback_batch_bytes, true, [this, alive]() {
+    if (!*alive) {
+      return;
+    }
+    RetryStalled();
+    if (!stalled_.empty()) {
+      ForceWriteback();
+    }
+  });
+}
+
+void BcacheDevice::WritebackRound(uint64_t max_bytes, bool forced,
+                                  std::function<void()> done) {
+  (void)forced;
+  if (writeback_running_ || dirty_.mapped_bytes() == 0) {
+    host_->sim()->After(0, std::move(done));
+    return;
+  }
+  writeback_running_ = true;
+
+  // Select dirty extents in LBA order starting at the scan cursor — this is
+  // the ordering that breaks crash consistency (Table 4).
+  struct Piece {
+    uint64_t vlba;
+    uint64_t len;
+    uint64_t plba;
+  };
+  std::vector<Piece> pieces;
+  uint64_t selected = 0;
+  const auto extents = dirty_.Extents();
+  size_t start = 0;
+  while (start < extents.size() && extents[start].start < wb_cursor_) {
+    start++;
+  }
+  for (size_t n = 0; n < extents.size() && selected < max_bytes; n++) {
+    const auto& e = extents[(start + n) % extents.size()];
+    uint64_t off = 0;
+    while (off < e.len && selected < max_bytes) {
+      const uint64_t piece = std::min(config_.writeback_chunk, e.len - off);
+      pieces.push_back(Piece{e.start + off, piece, e.target.plba + off});
+      selected += piece;
+      off += piece;
+    }
+    wb_cursor_ = e.start + e.len;
+  }
+  if (pieces.empty()) {
+    writeback_running_ = false;
+    host_->sim()->After(0, std::move(done));
+    return;
+  }
+
+  auto remaining = std::make_shared<size_t>(pieces.size());
+  auto alive = alive_;
+  auto piece_done = [this, alive, remaining, done = std::move(done)]() {
+    if (--*remaining > 0 || !*alive) {
+      return;
+    }
+    writeback_running_ = false;
+    RetryStalled();
+    done();
+  };
+
+  for (const auto& p : pieces) {
+    ssd_->Read(p.plba, p.len,
+               [this, alive, p, piece_done](Result<Buffer> r) {
+      if (!*alive) {
+        return;
+      }
+      if (!r.ok()) {
+        piece_done();
+        return;
+      }
+      stats_.writeback_ops++;
+      stats_.writeback_bytes += p.len;
+      backing_->Write(p.vlba, std::move(r).value(),
+                      [this, alive, p, piece_done](Status s) {
+        if (!*alive) {
+          return;
+        }
+        if (s.ok()) {
+          // Move still-current ranges from dirty to clean.
+          for (const auto& seg : dirty_.Lookup(p.vlba, p.len)) {
+            if (!seg.target.has_value()) {
+              continue;
+            }
+            const uint64_t expected = p.plba + (seg.start - p.vlba);
+            if (seg.target->plba == expected) {
+              dirty_.Remove(seg.start, seg.len);
+              clean_.Update(seg.start, seg.len, SsdTarget{expected});
+              clean_fifo_.push_back(
+                  CleanEntry{seg.start, seg.len, expected});
+            }
+          }
+        }
+        piece_done();
+      });
+    });
+  }
+}
+
+void BcacheDevice::RetryStalled() {
+  while (!stalled_.empty()) {
+    const bool over_dirty =
+        static_cast<double>(dirty_.mapped_bytes()) >
+        config_.dirty_stall_fraction *
+            static_cast<double>(alloc_.total_bytes());
+    if (over_dirty) {
+      return;  // still no room; the forced-writeback loop continues
+    }
+    const size_t before = stalled_.size();
+    StalledWrite w = std::move(stalled_.front());
+    stalled_.pop_front();
+    DoWrite(w.offset, std::move(w.data), std::move(w.done));
+    if (stalled_.size() >= before) {
+      return;  // the write re-stalled: no progress possible right now
+    }
+  }
+}
+
+void BcacheDevice::WritebackAll(std::function<void()> done) {
+  if (dirty_.mapped_bytes() == 0) {
+    host_->sim()->After(0, std::move(done));
+    return;
+  }
+  auto alive = alive_;
+  WritebackRound(UINT64_MAX, true, [this, alive, done = std::move(done)]() mutable {
+    if (!*alive) {
+      return;
+    }
+    WritebackAll(std::move(done));
+  });
+}
+
+}  // namespace lsvd

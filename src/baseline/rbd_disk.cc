@@ -1,0 +1,200 @@
+#include "src/baseline/rbd_disk.h"
+
+#include <cassert>
+
+#include "src/blockdev/block_device.h"
+
+namespace lsvd {
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Chunk data areas start above the per-disk WAL region.
+constexpr uint64_t kDataRegionBase = 8 * kGiB;
+
+bool Aligned(uint64_t v) { return v % kBlockSize == 0; }
+
+}  // namespace
+
+RbdDisk::RbdDisk(Simulator* sim, BackendCluster* cluster, NetLink* link,
+                 uint64_t volume_size, RbdConfig config, uint64_t volume_id)
+    : sim_(sim),
+      cluster_(cluster),
+      link_(link),
+      volume_size_(volume_size),
+      config_(config),
+      volume_id_(volume_id) {}
+
+uint64_t RbdDisk::ChunkHash(uint64_t chunk) const {
+  return Mix(chunk * 0x9E3779B97F4A7C15ULL + volume_id_);
+}
+
+uint64_t RbdDisk::ChunkBase(uint64_t chunk, int replica) const {
+  // Deterministic home: repeated writes to the same chunk land in the same
+  // disk region (the write "streams" observed in the paper's §4.5 analysis).
+  const uint64_t span = cluster_->disk_capacity() - kDataRegionBase -
+                        config_.chunk_size;
+  const uint64_t h = Mix(ChunkHash(chunk) ^ static_cast<uint64_t>(replica));
+  return kDataRegionBase + (h % span) / kBlockSize * kBlockSize;
+}
+
+// One chunk-contained piece of a client write: journal + data at each of the
+// three replicas, acknowledged when the three WAL appends are durable.
+void RbdDisk::WriteOnePiece(uint64_t offset, uint64_t len,
+                            std::function<void()> acked) {
+  const uint64_t chunk = ChunkIndex(offset);
+  const uint64_t within = offset % config_.chunk_size;
+  auto wal_remaining = std::make_shared<int>(config_.replicas);
+  auto alive = alive_;
+  for (int r = 0; r < config_.replicas; r++) {
+    const int disk = cluster_->PickDisk(ChunkHash(chunk), r);
+    // WAL append: data + commit metadata, sequential on the OSD journal.
+    cluster_->WalAppend(
+        disk, static_cast<uint32_t>(len + config_.wal_overhead),
+        [alive, wal_remaining, acked]() {
+          if (--*wal_remaining == 0 && *alive) {
+            acked();
+          }
+        });
+    // In-place data write into the chunk's home region (applied after the
+    // journal; not part of the acknowledgement path).
+    cluster_->Write(disk, ChunkBase(chunk, r) + within,
+                    static_cast<uint32_t>(len), []() {});
+  }
+}
+
+void RbdDisk::Write(uint64_t offset, Buffer data,
+                    std::function<void(Status)> done) {
+  if (!Aligned(offset) || !Aligned(data.size()) || data.empty()) {
+    done(Status::InvalidArgument("unaligned or empty RBD write"));
+    return;
+  }
+  if (offset + data.size() > volume_size_) {
+    done(Status::OutOfRange("write beyond volume size"));
+    return;
+  }
+  stats_.writes++;
+  stats_.write_bytes += data.size();
+
+  // Store contents immediately (the acknowledgement below gates the caller,
+  // and RBD has no client-side volatile state to lose).
+  for (uint64_t b = 0; b < data.size() / kBlockSize; b++) {
+    Buffer slice = data.Slice(b * kBlockSize, kBlockSize);
+    const uint64_t block = offset / kBlockSize + b;
+    if (slice.IsAllZeros()) {
+      blocks_[block] = nullptr;
+    } else {
+      blocks_[block] =
+          std::make_shared<const std::vector<uint8_t>>(slice.ToBytes());
+    }
+  }
+
+  // Split on chunk boundaries; each piece is replicated independently.
+  std::vector<std::pair<uint64_t, uint64_t>> pieces;
+  uint64_t pos = offset;
+  uint64_t left = data.size();
+  while (left > 0) {
+    const uint64_t chunk_end =
+        (ChunkIndex(pos) + 1) * config_.chunk_size;
+    const uint64_t n = std::min(left, chunk_end - pos);
+    pieces.push_back({pos, n});
+    pos += n;
+    left -= n;
+  }
+
+  auto alive = alive_;
+  const uint64_t bytes = data.size();
+  // Client -> primary transfer, then fan out to replicas.
+  link_->SendToBackend(bytes, [this, alive, pieces,
+                               done = std::move(done)]() mutable {
+    if (!*alive) {
+      return;
+    }
+    sim_->After(link_->half_rtt(), [this, alive, pieces,
+                                    done = std::move(done)]() mutable {
+      auto remaining = std::make_shared<size_t>(pieces.size());
+      auto finish = [this, alive, remaining, done = std::move(done)]() {
+        if (--*remaining == 0 && *alive) {
+          sim_->After(link_->half_rtt(), [alive, done]() {
+            if (*alive) {
+              done(Status::Ok());
+            }
+          });
+        }
+      };
+      for (const auto& [off, len] : pieces) {
+        WriteOnePiece(off, len, finish);
+      }
+    });
+  });
+}
+
+void RbdDisk::Read(uint64_t offset, uint64_t len,
+                   std::function<void(Result<Buffer>)> done) {
+  if (!Aligned(offset) || !Aligned(len) || len == 0) {
+    done(Status::InvalidArgument("unaligned or empty RBD read"));
+    return;
+  }
+  if (offset + len > volume_size_) {
+    done(Status::OutOfRange("read beyond volume size"));
+    return;
+  }
+  stats_.reads++;
+  stats_.read_bytes += len;
+
+  Buffer out;
+  for (uint64_t b = 0; b < len / kBlockSize; b++) {
+    auto it = blocks_.find(offset / kBlockSize + b);
+    if (it == blocks_.end() || it->second == nullptr) {
+      out.AppendZeros(kBlockSize);
+    } else {
+      out.AppendBytes(
+          std::span<const uint8_t>(it->second->data(), it->second->size()));
+    }
+  }
+
+  // Timing: request to primary, disk read, transfer back.
+  const uint64_t chunk = ChunkIndex(offset);
+  const uint64_t within = offset % config_.chunk_size;
+  const int disk = cluster_->PickDisk(ChunkHash(chunk), 0);
+  auto alive = alive_;
+  sim_->After(link_->half_rtt(), [this, alive, disk, chunk, within, len,
+                                  out = std::move(out),
+                                  done = std::move(done)]() mutable {
+    cluster_->Read(disk, ChunkBase(chunk, 0) + within,
+                   static_cast<uint32_t>(len),
+                   [this, alive, len, out = std::move(out),
+                    done = std::move(done)]() mutable {
+      link_->ReceiveFromBackend(len, [this, alive, out = std::move(out),
+                                      done = std::move(done)]() mutable {
+        if (!*alive) {
+          return;
+        }
+        sim_->After(link_->half_rtt(),
+                    [alive, out = std::move(out), done = std::move(done)]() {
+          if (*alive) {
+            done(out);
+          }
+        });
+      });
+    });
+  });
+}
+
+void RbdDisk::Flush(std::function<void(Status)> done) {
+  // Acknowledged writes are already journaled at three replicas.
+  sim_->After(0, [alive = alive_, done = std::move(done)]() {
+    if (*alive) {
+      done(Status::Ok());
+    }
+  });
+}
+
+}  // namespace lsvd

@@ -1,0 +1,187 @@
+#include "src/blockdev/sim_ssd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace lsvd {
+namespace {
+
+bool Aligned(uint64_t v) { return v % kBlockSize == 0; }
+
+}  // namespace
+
+SimSsd::SimSsd(Simulator* sim, uint64_t capacity, SsdParams params)
+    : sim_(sim),
+      capacity_(capacity),
+      params_(params),
+      read_queue_(sim, params.channels),
+      write_queue_(sim, params.channels) {
+  assert(Aligned(capacity));
+}
+
+bool SimSsd::MatchStream(std::deque<uint64_t>* streams, uint64_t offset,
+                         uint64_t end) {
+  auto it = std::find(streams->begin(), streams->end(), offset);
+  const bool sequential = it != streams->end();
+  if (sequential) {
+    streams->erase(it);
+  }
+  streams->push_back(end);
+  while (streams->size() > params_.stream_slots) {
+    streams->pop_front();
+  }
+  return sequential;
+}
+
+// Submits the request as one or more channel occupations (striping large
+// requests across channels) and fires `done` when the slowest completes plus
+// the fixed device latency.
+void SimSsd::SubmitOp(bool is_write, uint64_t offset, uint64_t len,
+                      std::function<void()> done) {
+  const uint64_t end = offset + len;
+  bool sequential;
+  Nanos op_cost;
+  double bw;
+  Nanos latency;
+  if (is_write) {
+    sequential = MatchStream(&write_streams_, offset, end);
+    op_cost = sequential ? params_.sequential_write_op
+                         : params_.random_write_op;
+    bw = params_.channel_write_bw_bps;
+    latency = params_.write_latency;
+    if (sequential) {
+      stats_.sequential_writes++;
+    }
+  } else {
+    sequential = MatchStream(&read_streams_, offset, end);
+    op_cost = sequential ? params_.sequential_read_op : params_.random_read_op;
+    bw = params_.channel_read_bw_bps;
+    latency = params_.read_latency;
+  }
+
+  uint64_t unit = sequential ? params_.sequential_stripe_unit
+                             : params_.stripe_unit;
+  if (unit == 0) {
+    unit = len;
+  }
+  const uint64_t subops = std::max<uint64_t>(1, (len + unit - 1) / unit);
+  auto remaining = std::make_shared<uint64_t>(subops);
+  auto finish = [this, remaining, latency, done = std::move(done)]() {
+    if (--*remaining == 0) {
+      sim_->After(latency, done);
+    }
+  };
+  ServerQueue& queue = is_write ? write_queue_ : read_queue_;
+  uint64_t left = len;
+  for (uint64_t s = 0; s < subops; s++) {
+    const uint64_t piece = std::min(unit, left);
+    left -= piece;
+    const auto transfer =
+        static_cast<Nanos>(static_cast<double>(piece) / bw * 1e9);
+    // The command-level cost is charged once (on the first stripe).
+    const Nanos service = s == 0 ? std::max(op_cost, transfer) : transfer;
+    queue.Submit(service, finish);
+  }
+}
+
+void SimSsd::StoreBlocks(BlockMap* map, uint64_t offset, const Buffer& data) {
+  const uint64_t blocks = data.size() / kBlockSize;
+  for (uint64_t i = 0; i < blocks; i++) {
+    const uint64_t block = offset / kBlockSize + i;
+    Buffer slice = data.Slice(i * kBlockSize, kBlockSize);
+    if (slice.IsAllZeros()) {
+      (*map)[block] = nullptr;
+    } else {
+      (*map)[block] = std::make_shared<const std::vector<uint8_t>>(
+          slice.ToBytes());
+    }
+  }
+}
+
+Buffer SimSsd::LoadBlocks(uint64_t offset, uint64_t len) const {
+  Buffer out;
+  const uint64_t blocks = len / kBlockSize;
+  for (uint64_t i = 0; i < blocks; i++) {
+    const uint64_t block = offset / kBlockSize + i;
+    const BlockData* data = nullptr;
+    if (auto it = volatile_.find(block); it != volatile_.end()) {
+      data = &it->second;
+    } else if (auto jt = durable_.find(block); jt != durable_.end()) {
+      data = &jt->second;
+    }
+    if (data == nullptr || *data == nullptr) {
+      out.AppendZeros(kBlockSize);
+    } else {
+      out.AppendBytes({(*data)->data(), (*data)->size()});
+    }
+  }
+  return out;
+}
+
+void SimSsd::Write(uint64_t offset, Buffer data, WriteCallback done) {
+  if (!Aligned(offset) || !Aligned(data.size()) || data.empty()) {
+    done(Status::InvalidArgument("unaligned or empty SSD write"));
+    return;
+  }
+  if (offset + data.size() > capacity_) {
+    done(Status::OutOfRange("SSD write beyond capacity"));
+    return;
+  }
+  stats_.write_ops++;
+  stats_.write_bytes += data.size();
+  // Contents land in the volatile cache as soon as the op is accepted;
+  // completion is acknowledged after the service time.
+  StoreBlocks(&volatile_, offset, data);
+  SubmitOp(true, offset, data.size(),
+           [done = std::move(done)]() { done(Status::Ok()); });
+}
+
+void SimSsd::Read(uint64_t offset, uint64_t len, ReadCallback done) {
+  if (!Aligned(offset) || !Aligned(len) || len == 0) {
+    done(Status::InvalidArgument("unaligned or empty SSD read"));
+    return;
+  }
+  if (offset + len > capacity_) {
+    done(Status::OutOfRange("SSD read beyond capacity"));
+    return;
+  }
+  stats_.read_ops++;
+  stats_.read_bytes += len;
+  Buffer data = LoadBlocks(offset, len);
+  SubmitOp(false, offset, len,
+           [done = std::move(done), data = std::move(data)]() {
+    done(data);
+  });
+}
+
+void SimSsd::Flush(WriteCallback done) {
+  stats_.flushes++;
+  // Everything currently in the volatile cache becomes durable when the
+  // flush completes; writes submitted after this point are not covered.
+  auto flushed = std::make_shared<BlockMap>(std::move(volatile_));
+  volatile_.clear();
+  const uint64_t epoch = epoch_;
+  write_queue_.Submit(params_.flush,
+                      [this, epoch, flushed, done = std::move(done)]() {
+    if (epoch == epoch_) {
+      for (auto& [block, data] : *flushed) {
+        durable_[block] = std::move(data);
+      }
+    }
+    done(Status::Ok());
+  });
+}
+
+void SimSsd::PowerFail() {
+  volatile_.clear();
+  epoch_++;
+}
+
+void SimSsd::DiscardAll() {
+  volatile_.clear();
+  durable_.clear();
+  epoch_++;
+}
+
+}  // namespace lsvd

@@ -1,0 +1,32 @@
+// Common interface for virtual disks: LSVD, the RBD baseline, and
+// bcache-over-RBD all present this to workloads and benches.
+#ifndef SRC_BLOCKDEV_VIRTUAL_DISK_H_
+#define SRC_BLOCKDEV_VIRTUAL_DISK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/util/buffer.h"
+#include "src/util/status.h"
+
+namespace lsvd {
+
+class VirtualDisk {
+ public:
+  virtual ~VirtualDisk() = default;
+
+  virtual uint64_t size() const = 0;
+
+  // Offsets and lengths must be multiples of kBlockSize (4 KiB).
+  virtual void Write(uint64_t offset, Buffer data,
+                     std::function<void(Status)> done) = 0;
+  virtual void Read(uint64_t offset, uint64_t len,
+                    std::function<void(Result<Buffer>)> done) = 0;
+  // Commit barrier: all previously acknowledged writes are durable when
+  // `done` fires.
+  virtual void Flush(std::function<void(Status)> done) = 0;
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_BLOCKDEV_VIRTUAL_DISK_H_

@@ -1,0 +1,827 @@
+#include "src/lsvd/backend_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace lsvd {
+namespace {
+
+// Cap on extents per object so the encoded header stays within the 256 KiB
+// window recovery and the garbage collector read.
+constexpr size_t kMaxObjectExtents = 6000;
+// Window used when fetching an object's header.
+constexpr uint64_t kHeaderReadWindow = 256 * kKiB;
+
+}  // namespace
+
+BackendStore::BackendStore(ClientHost* host, ObjectStore* store,
+                           WriteCache* cache, const LsvdConfig& config)
+    : host_(host), store_(store), cache_(cache), config_(config) {
+  next_seq_ = config_.base_last_seq + 1;
+  applied_seq_ = config_.base_last_seq;
+  last_checkpoint_seq_ = config_.base_last_seq;
+}
+
+std::string BackendStore::NameForSeq(uint64_t seq) const {
+  if (!config_.base_image.empty() && seq <= config_.base_last_seq) {
+    return DataObjectName(config_.base_image, seq);
+  }
+  return DataObjectName(config_.volume_name, seq);
+}
+
+uint64_t BackendStore::OpenBatchSeq() {
+  if (!batch_.has_value()) {
+    batch_ = OpenBatch{};
+    batch_->seq = next_seq_++;
+    batch_->opened_at = host_->sim()->now();
+  }
+  return batch_->seq;
+}
+
+uint64_t BackendStore::AddWrite(uint64_t vlba, Buffer data) {
+  const uint64_t seq = OpenBatchSeq();
+  stats_.client_bytes += data.size();
+  batch_->raw_bytes += data.size();
+  batch_->entries.push_back(BatchEntry{vlba, std::move(data), std::nullopt});
+  if (batch_->raw_bytes >= config_.batch_bytes ||
+      batch_->entries.size() >= kMaxObjectExtents) {
+    Seal();
+  }
+  return seq;
+}
+
+void BackendStore::Seal() {
+  if (batch_.has_value() && !batch_->entries.empty()) {
+    OpenBatch b = std::move(*batch_);
+    batch_.reset();
+    SealBatch(std::move(b), /*from_gc=*/false, {});
+  }
+  SealGcBatch();
+}
+
+// The GC batch receives its sequence number only here, at seal time: an open
+// GC batch must never reserve a sequence number, or every later-sealed
+// object would wait for it in the in-order map apply. Late sequencing is
+// safe because GC extents apply conditionally.
+void BackendStore::SealGcBatch() {
+  if (!gc_batch_.has_value() || gc_batch_->entries.empty() || gc_running_) {
+    return;
+  }
+  OpenBatch b = std::move(*gc_batch_);
+  gc_batch_.reset();
+  b.seq = next_seq_++;
+  std::vector<uint64_t> cleaned = std::move(gc_batch_cleaned_);
+  gc_batch_cleaned_.clear();
+  SealBatch(std::move(b), /*from_gc=*/true, std::move(cleaned));
+}
+
+void BackendStore::SealIfAged(Nanos max_age) {
+  const Nanos now = host_->sim()->now();
+  if (batch_.has_value() && !batch_->entries.empty() &&
+      now - batch_->opened_at >= max_age) {
+    OpenBatch b = std::move(*batch_);
+    batch_.reset();
+    SealBatch(std::move(b), /*from_gc=*/false, {});
+  }
+  if (gc_batch_.has_value() && !gc_batch_->entries.empty() &&
+      now - gc_batch_->opened_at >= max_age) {
+    SealGcBatch();
+  }
+}
+
+void BackendStore::SealBatch(OpenBatch batch, bool from_gc,
+                             std::vector<uint64_t> cleaned_seqs) {
+  SealedObject sealed;
+  sealed.seq = batch.seq;
+  sealed.from_gc = from_gc;
+  sealed.cleaned_seqs = std::move(cleaned_seqs);
+  sealed.header.seq = batch.seq;
+
+  Buffer payload;
+  if (config_.coalesce_within_batch) {
+    // Within-batch overwrite merging (§3.1): replay entries in arrival order
+    // into a scratch extent map keyed by entry index; only surviving ranges
+    // make it into the object. Cross-batch coalescing would break the
+    // ordering guarantee, so it never happens.
+    ExtentMap<ObjTarget> scratch;
+    for (size_t i = 0; i < batch.entries.size(); i++) {
+      const auto& e = batch.entries[i];
+      const auto displaced =
+          scratch.Update(e.vlba, e.data.size(), ObjTarget{i, 0});
+      for (const auto& d : displaced) {
+        stats_.coalesced_bytes += d.len;
+      }
+    }
+    for (const auto& ext : scratch.Extents()) {
+      const BatchEntry& src = batch.entries[ext.target.seq];
+      ObjectExtent oe;
+      oe.vlba = ext.start;
+      oe.len = ext.len;
+      if (src.expected.has_value()) {
+        const ObjTarget adj = src.expected->Advanced(ext.start - src.vlba);
+        oe.expected_seq = adj.seq;
+        oe.expected_offset = adj.offset;
+      }
+      sealed.header.extents.push_back(oe);
+      // ext.target.offset is the offset within the source entry where this
+      // surviving range begins.
+      payload.Append(src.data.Slice(ext.target.offset, ext.len));
+    }
+  } else {
+    for (const auto& e : batch.entries) {
+      ObjectExtent oe;
+      oe.vlba = e.vlba;
+      oe.len = e.data.size();
+      if (e.expected.has_value()) {
+        oe.expected_seq = e.expected->seq;
+        oe.expected_offset = e.expected->offset;
+      }
+      sealed.header.extents.push_back(oe);
+      payload.Append(e.data);
+    }
+  }
+
+  sealed.payload_bytes = payload.size();
+  sealed.header.data_offset = DataObjectHeaderSize(sealed.header.extents.size());
+  sealed.object = EncodeDataObject(sealed.header, payload);
+  put_queue_.push_back(std::move(sealed));
+  PumpPuts();
+}
+
+void BackendStore::PumpPuts() {
+  while (outstanding_puts_ < config_.put_window && !put_queue_.empty()) {
+    SealedObject sealed = std::move(put_queue_.front());
+    put_queue_.pop_front();
+    outstanding_puts_++;
+    const uint64_t seq = sealed.seq;
+    const uint64_t payload = sealed.payload_bytes;
+    Buffer object = sealed.object;
+    in_flight_[seq] = std::move(sealed);
+
+    auto alive = alive_;
+    auto do_put = [this, alive, seq, object = std::move(object)]() mutable {
+      if (!*alive) {
+        return;
+      }
+      host_->user_cpu()->Submit(config_.costs.batch_golang,
+                                [this, alive, seq,
+                                 object = std::move(object)]() mutable {
+        if (!*alive) {
+          return;
+        }
+        stats_.objects_put++;
+        stats_.object_bytes += object.size();
+        store_->Put(NameForSeq(seq), std::move(object),
+                    [this, alive, seq](Status s) {
+          if (!*alive) {
+            return;
+          }
+          assert(s.ok() && "backend PUT failed");
+          (void)s;
+          OnPutComplete(seq);
+        });
+      });
+    };
+
+    auto after_barrier = [this, alive, payload,
+                          do_put = std::move(do_put)]() mutable {
+      if (!*alive) {
+        return;
+      }
+      if (config_.pass_through_ssd && cache_ != nullptr) {
+        // Prototype overhead (§4.7): userspace re-reads the outgoing data
+        // from the cache SSD before uploading.
+        cache_->ChargeReadback(payload, std::move(do_put));
+      } else {
+        host_->sim()->After(0, std::move(do_put));
+      }
+    };
+    if (cache_ != nullptr) {
+      // Order the object write after cache durability: if this PUT commits,
+      // every journal record feeding it survives a power failure, so the
+      // backend can never get ahead of the recovered cache log (keeps the
+      // §3.3 rewind-and-replay invariant).
+      cache_->Barrier([after_barrier = std::move(after_barrier)](Status) mutable {
+        after_barrier();
+      });
+    } else {
+      after_barrier();
+    }
+  }
+}
+
+void BackendStore::OnPutComplete(uint64_t seq) {
+  auto it = in_flight_.find(seq);
+  assert(it != in_flight_.end());
+  stats_.payload_bytes += it->second.payload_bytes;
+  completed_.insert({seq, std::move(it->second)});
+  in_flight_.erase(it);
+  outstanding_puts_--;
+  ApplyReady();
+  PumpPuts();
+}
+
+void BackendStore::ApplyReady() {
+  bool advanced = false;
+  while (true) {
+    auto it = completed_.find(applied_seq_ + 1);
+    if (it == completed_.end()) {
+      break;
+    }
+    SealedObject sealed = std::move(it->second);
+    completed_.erase(it);
+    ApplyObjectExtents(sealed.seq, sealed.header, sealed.payload_bytes);
+    applied_seq_ = sealed.seq;
+    objects_since_checkpoint_++;
+    advanced = true;
+    for (const uint64_t victim : sealed.cleaned_seqs) {
+      ProcessDelete(victim);
+    }
+  }
+  if (advanced) {
+    if (on_synced) {
+      on_synced(applied_seq_);
+    }
+    MaybeCheckpoint();
+    MaybeGc();
+  }
+}
+
+void BackendStore::ApplyObjectExtents(uint64_t seq,
+                                      const DataObjectHeader& header,
+                                      uint64_t payload_bytes) {
+  uint64_t offset = header.data_offset;
+  uint64_t live = 0;
+  for (const auto& ext : header.extents) {
+    const ObjTarget target{seq, offset};
+    if (!ext.conditional()) {
+      AccountDisplaced(object_map_.Update(ext.vlba, ext.len, target));
+      live += ext.len;
+    } else {
+      // GC data: apply only where the map still points at the source.
+      const ObjTarget expected{ext.expected_seq, ext.expected_offset};
+      for (const auto& seg : object_map_.Lookup(ext.vlba, ext.len)) {
+        if (!seg.target.has_value()) {
+          continue;
+        }
+        const ObjTarget want = expected.Advanced(seg.start - ext.vlba);
+        if (*seg.target == want) {
+          AccountDisplaced(object_map_.Update(
+              seg.start, seg.len, target.Advanced(seg.start - ext.vlba)));
+          live += seg.len;
+        }
+      }
+    }
+    offset += ext.len;
+  }
+  object_info_[seq] = ObjectInfo{payload_bytes, live};
+}
+
+void BackendStore::AccountDisplaced(
+    const std::vector<ExtentMap<ObjTarget>::Extent>& displaced) {
+  for (const auto& d : displaced) {
+    auto it = object_info_.find(d.target.seq);
+    if (it != object_info_.end()) {
+      it->second.live_bytes -= std::min(it->second.live_bytes, d.len);
+    }
+  }
+}
+
+uint64_t BackendStore::live_bytes() const {
+  uint64_t sum = 0;
+  for (const auto& [seq, info] : object_info_) {
+    sum += info.live_bytes;
+  }
+  return sum;
+}
+
+uint64_t BackendStore::total_bytes() const {
+  uint64_t sum = 0;
+  for (const auto& [seq, info] : object_info_) {
+    sum += info.total_bytes;
+  }
+  return sum;
+}
+
+double BackendStore::Utilization() const {
+  const uint64_t total = total_bytes();
+  if (total == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(live_bytes()) / static_cast<double>(total);
+}
+
+std::optional<uint64_t> BackendStore::PickGcVictim() const {
+  // Greedy cleaning (§3.5): the least-utilized object, restricted to objects
+  // older than the last checkpoint (so recovery never sees holes above it)
+  // and never from the clone base image.
+  std::optional<uint64_t> best;
+  double best_ratio = 1.0;
+  for (const auto& [seq, info] : object_info_) {
+    if (seq <= config_.base_last_seq || seq >= last_checkpoint_seq_ ||
+        info.total_bytes == 0 || gc_pending_victims_.contains(seq)) {
+      continue;
+    }
+    const double ratio = static_cast<double>(info.live_bytes) /
+                         static_cast<double>(info.total_bytes);
+    if (ratio < best_ratio) {
+      best_ratio = ratio;
+      best = seq;
+    }
+  }
+  return best;
+}
+
+void BackendStore::MaybeGc() {
+  if (!config_.gc_enabled || gc_running_) {
+    return;
+  }
+  if (Utilization() >= config_.gc_low_watermark) {
+    return;
+  }
+  auto victim = PickGcVictim();
+  if (!victim.has_value()) {
+    return;
+  }
+  gc_running_ = true;
+  CleanOneObject(*victim);
+}
+
+void BackendStore::CleanOneObject(uint64_t victim) {
+  gc_pending_victims_.insert(victim);
+  const std::string name = NameForSeq(victim);
+  auto size = store_->Head(name);
+  if (!size.ok()) {
+    // Already gone (shouldn't happen); drop bookkeeping and move on.
+    object_info_.erase(victim);
+    FinishGcRound();
+    return;
+  }
+  auto alive = alive_;
+  const uint64_t window = std::min(*size, kHeaderReadWindow);
+  store_->GetRange(name, 0, window,
+                   [this, alive, victim, name](Result<Buffer> r) {
+    if (!*alive) {
+      return;
+    }
+    DataObjectHeader header;
+    if (!r.ok() || !DecodeDataObjectHeader(*r, &header).ok()) {
+      object_info_.erase(victim);
+      FinishGcRound();
+      return;
+    }
+
+    // Identify still-live ranges: creation extents whose map entry still
+    // points into this object.
+    struct LivePiece {
+      uint64_t vlba;
+      uint64_t len;
+      ObjTarget src;
+    };
+    auto pieces = std::make_shared<std::vector<LivePiece>>();
+    uint64_t offset = header.data_offset;
+    for (const auto& ext : header.extents) {
+      const ObjTarget created{victim, offset};
+      for (const auto& seg : object_map_.Lookup(ext.vlba, ext.len)) {
+        if (!seg.target.has_value() || seg.target->seq != victim) {
+          continue;
+        }
+        const ObjTarget want = created.Advanced(seg.start - ext.vlba);
+        if (*seg.target == want) {
+          pieces->push_back(LivePiece{seg.start, seg.len, want});
+        }
+      }
+      offset += ext.len;
+    }
+
+    if (pieces->empty()) {
+      // Nothing live: the object can be deleted (or deferred) right away.
+      stats_.gc_objects_cleaned++;
+      ProcessDelete(victim);
+      FinishGcRound();
+      return;
+    }
+
+    // Defragmentation (§4.6): plug small fully-mapped holes between
+    // adjacent live pieces by copying the holes' current data (wherever it
+    // lives) into the same new object, so the copied run becomes one
+    // contiguous map extent.
+    std::sort(pieces->begin(), pieces->end(),
+              [](const LivePiece& a, const LivePiece& b) {
+                return a.vlba < b.vlba;
+              });
+    if (config_.gc_defrag_hole_max > 0 && pieces->size() > 1) {
+      std::vector<LivePiece> plugged;
+      plugged.push_back((*pieces)[0]);
+      for (size_t i = 1; i < pieces->size(); i++) {
+        const uint64_t prev_end =
+            plugged.back().vlba + plugged.back().len;
+        const LivePiece& next = (*pieces)[i];
+        const uint64_t gap = next.vlba > prev_end ? next.vlba - prev_end : 0;
+        if (gap > 0 && gap <= config_.gc_defrag_hole_max) {
+          bool fully_mapped = true;
+          for (const auto& seg : object_map_.Lookup(prev_end, gap)) {
+            if (!seg.target.has_value()) {
+              fully_mapped = false;
+              break;
+            }
+          }
+          if (fully_mapped) {
+            for (const auto& seg : object_map_.Lookup(prev_end, gap)) {
+              plugged.push_back(LivePiece{seg.start, seg.len, *seg.target});
+            }
+          }
+        }
+        plugged.push_back(next);
+      }
+      *pieces = std::move(plugged);
+    }
+
+    // Fetch each live piece — from the local write cache when it fully
+    // covers the range (§3.5 optimization), otherwise a backend range read —
+    // and append it to the GC batch.
+    auto remaining = std::make_shared<size_t>(pieces->size());
+    auto finish_piece = [this, alive, victim, remaining](
+                            const LivePiece& piece, Result<Buffer> data) {
+      if (!*alive) {
+        return;
+      }
+      if (data.ok()) {
+        if (!gc_batch_.has_value()) {
+          gc_batch_ = OpenBatch{};
+          // seq assigned at seal time (see SealGcBatch).
+          gc_batch_->opened_at = host_->sim()->now();
+        }
+        gc_batch_->raw_bytes += piece.len;
+        gc_batch_->entries.push_back(
+            BatchEntry{piece.vlba, std::move(data).value(), piece.src});
+        stats_.gc_bytes_copied += piece.len;
+      }
+      if (--*remaining == 0) {
+        stats_.gc_objects_cleaned++;
+        gc_batch_cleaned_.push_back(victim);
+        if (gc_batch_.has_value() &&
+            gc_batch_->raw_bytes >= config_.batch_bytes) {
+          OpenBatch b = std::move(*gc_batch_);
+          gc_batch_.reset();
+          b.seq = next_seq_++;
+          std::vector<uint64_t> cleaned = std::move(gc_batch_cleaned_);
+          gc_batch_cleaned_.clear();
+          SealBatch(std::move(b), /*from_gc=*/true, std::move(cleaned));
+        }
+        FinishGcRound();
+      }
+    };
+
+    for (const auto& piece : *pieces) {
+      bool cache_covers = cache_ != nullptr;
+      if (cache_covers) {
+        for (const auto& seg : cache_->map().Lookup(piece.vlba, piece.len)) {
+          if (!seg.target.has_value()) {
+            cache_covers = false;
+            break;
+          }
+        }
+      }
+      if (cache_covers) {
+        // Assemble from (possibly several) cache extents.
+        stats_.gc_cache_hits++;
+        auto segs = cache_->map().Lookup(piece.vlba, piece.len);
+        auto parts = std::make_shared<std::vector<Buffer>>(segs.size());
+        auto left = std::make_shared<size_t>(segs.size());
+        for (size_t i = 0; i < segs.size(); i++) {
+          cache_->ReadData(segs[i].target->plba, segs[i].len,
+                           [alive, parts, left, i, piece,
+                            finish_piece](Result<Buffer> r) {
+            if (!*alive) {
+              return;
+            }
+            if (r.ok()) {
+              (*parts)[i] = std::move(r).value();
+            }
+            if (--*left == 0) {
+              Buffer whole;
+              for (auto& p : *parts) {
+                whole.Append(p);
+              }
+              finish_piece(piece, whole.size() == piece.len
+                                      ? Result<Buffer>(std::move(whole))
+                                      : Result<Buffer>(Status::Unavailable(
+                                            "cache read failed")));
+            }
+          });
+        }
+      } else {
+        // Plugged pieces may live in other objects; fetch from wherever the
+        // map says the data is.
+        store_->GetRange(NameForSeq(piece.src.seq), piece.src.offset,
+                         piece.len,
+                         [piece, finish_piece](Result<Buffer> r) {
+          finish_piece(piece, std::move(r));
+        });
+      }
+    }
+  });
+}
+
+void BackendStore::FinishGcRound() {
+  if (config_.gc_enabled && Utilization() < config_.gc_high_watermark) {
+    auto victim = PickGcVictim();
+    if (victim.has_value()) {
+      CleanOneObject(*victim);
+      return;
+    }
+  }
+  // Round over. The open GC batch is left to fill up (sealed by size in
+  // CleanOneObject, by age in SealIfAged, or by Seal) — sealing per round
+  // would produce swarms of tiny objects that immediately become GC victims
+  // themselves. It holds no sequence number while open, so it cannot stall
+  // the in-order apply of later objects. Pure deletions (victims with no
+  // live data) were already processed.
+  gc_running_ = false;
+}
+
+void BackendStore::ProcessDelete(uint64_t seq) {
+  gc_pending_victims_.erase(seq);
+  // Snapshot deferral rule (§3.6): with Ngc = newest allocated object, the
+  // pair (N0, Ngc) is deferred iff some snapshot s satisfies N0 <= s < Ngc.
+  const uint64_t gc_head = next_seq_ - 1;
+  bool deferred = false;
+  for (const uint64_t s : snapshots_) {
+    if (s >= seq && s < gc_head) {
+      deferred = true;
+      break;
+    }
+  }
+  auto it = object_info_.find(seq);
+  if (it != object_info_.end()) {
+    object_info_.erase(it);
+  }
+  if (deferred) {
+    deferred_deletes_.push_back(DeferredDelete{seq, gc_head});
+    stats_.deferred_deletes++;
+    return;
+  }
+  stats_.objects_deleted++;
+  auto alive = alive_;
+  store_->Delete(NameForSeq(seq), [alive](Status) {});
+}
+
+void BackendStore::ReexamineDeferred() {
+  std::vector<DeferredDelete> still_deferred;
+  for (const auto& d : deferred_deletes_) {
+    bool pinned = false;
+    for (const uint64_t s : snapshots_) {
+      if (s >= d.seq && s < d.gc_head) {
+        pinned = true;
+        break;
+      }
+    }
+    if (pinned) {
+      still_deferred.push_back(d);
+    } else {
+      stats_.objects_deleted++;
+      auto alive = alive_;
+      store_->Delete(NameForSeq(d.seq), [alive](Status) {});
+    }
+  }
+  deferred_deletes_ = std::move(still_deferred);
+}
+
+void BackendStore::CreateSnapshot(
+    std::function<void(Result<uint64_t>)> done) {
+  const uint64_t seq = applied_seq_;
+  snapshots_.insert(seq);
+  auto alive = alive_;
+  WriteCheckpoint([alive, seq, done = std::move(done)](Status s) {
+    if (!*alive) {
+      return;
+    }
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    done(seq);
+  });
+}
+
+void BackendStore::DeleteSnapshot(uint64_t seq,
+                                  std::function<void(Status)> done) {
+  if (snapshots_.erase(seq) == 0) {
+    done(Status::NotFound("no such snapshot"));
+    return;
+  }
+  ReexamineDeferred();
+  WriteCheckpoint(std::move(done));
+}
+
+void BackendStore::MaybeCheckpoint() {
+  if (objects_since_checkpoint_ >= config_.checkpoint_interval_objects &&
+      !checkpoint_in_flight_) {
+    WriteCheckpoint([](Status) {});
+  }
+}
+
+void BackendStore::WriteCheckpoint(std::function<void(Status)> done) {
+  if (checkpoint_in_flight_) {
+    done(Status::Ok());
+    return;
+  }
+  checkpoint_in_flight_ = true;
+  CheckpointState state;
+  state.through_seq = applied_seq_;
+  state.next_seq = next_seq_;
+  state.object_map = object_map_.Extents();
+  state.object_info = object_info_;
+  state.deferred_deletes = deferred_deletes_;
+  state.snapshots.assign(snapshots_.begin(), snapshots_.end());
+
+  const uint64_t ckpt_id = ++checkpoint_counter_;
+  const std::string name =
+      CheckpointObjectName(config_.volume_name, ckpt_id);
+  const uint64_t through = state.through_seq;
+  auto alive = alive_;
+  store_->Put(name, EncodeCheckpoint(state),
+              [this, alive, through, done = std::move(done)](Status s) {
+    if (!*alive) {
+      return;
+    }
+    checkpoint_in_flight_ = false;
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    last_checkpoint_seq_ = std::max(last_checkpoint_seq_, through);
+    objects_since_checkpoint_ = 0;
+    stats_.checkpoints++;
+    // Keep only the two newest checkpoints.
+    auto names = store_->List(CheckpointPrefix(config_.volume_name));
+    while (names.size() > 2) {
+      store_->Delete(names.front(), [](Status) {});
+      names.erase(names.begin());
+    }
+    done(Status::Ok());
+  });
+}
+
+bool BackendStore::idle() const {
+  const bool batch_open =
+      (batch_.has_value() && !batch_->entries.empty()) ||
+      (gc_batch_.has_value() && !gc_batch_->entries.empty());
+  return !batch_open && put_queue_.empty() && in_flight_.empty() &&
+         completed_.empty() && !gc_running_;
+}
+
+void BackendStore::Recover(std::function<void(Status)> done) {
+  // Start from nothing; a loaded checkpoint overrides these. In particular a
+  // fresh clone has no checkpoint yet and must replay the base image's
+  // object stream from sequence 1.
+  object_map_.Clear();
+  object_info_.clear();
+  deferred_deletes_.clear();
+  snapshots_.clear();
+  applied_seq_ = 0;
+  next_seq_ = 1;
+  last_checkpoint_seq_ = 0;
+
+  // 1. Find the newest valid checkpoint.
+  auto ckpts = store_->List(CheckpointPrefix(config_.volume_name));
+  auto alive = alive_;
+  auto try_ckpt = std::make_shared<std::function<void(size_t)>>();
+  auto after_ckpt = std::make_shared<std::function<void()>>();
+
+  *try_ckpt = [this, alive, ckpts, try_ckpt, after_ckpt,
+               done](size_t back_index) {
+    if (!*alive) {
+      return;
+    }
+    if (back_index >= ckpts.size()) {
+      (*after_ckpt)();
+      return;
+    }
+    const std::string name = ckpts[ckpts.size() - 1 - back_index];
+    store_->Get(name, [this, alive, name, back_index, try_ckpt,
+                       after_ckpt](Result<Buffer> r) {
+      if (!*alive) {
+        return;
+      }
+      CheckpointState state;
+      if (!r.ok() || !DecodeCheckpoint(*r, &state).ok()) {
+        (*try_ckpt)(back_index + 1);
+        return;
+      }
+      // Snapshot mounting (§3.6): only checkpoints at or before the snapshot
+      // point are usable; otherwise backtrack to an older one.
+      if (config_.open_limit_seq != 0 &&
+          state.through_seq > config_.open_limit_seq) {
+        (*try_ckpt)(back_index + 1);
+        return;
+      }
+      object_map_.Clear();
+      for (const auto& e : state.object_map) {
+        object_map_.Update(e.start, e.len, e.target);
+      }
+      object_info_ = state.object_info;
+      deferred_deletes_ = state.deferred_deletes;
+      snapshots_.clear();
+      snapshots_.insert(state.snapshots.begin(), state.snapshots.end());
+      applied_seq_ = state.through_seq;
+      next_seq_ = state.next_seq;
+      last_checkpoint_seq_ = state.through_seq;
+      if (auto id = ParseCheckpointSeq(config_.volume_name, name)) {
+        checkpoint_counter_ = std::max(checkpoint_counter_, *id);
+      }
+      (*after_ckpt)();
+    });
+  };
+
+  *after_ckpt = [this, alive, done]() {
+    if (!*alive) {
+      return;
+    }
+    // 2. Collect available data-object seqs (own stream + clone base).
+    auto seqs = std::make_shared<std::set<uint64_t>>();
+    for (const auto& name : store_->List(DataObjectPrefix(config_.volume_name))) {
+      if (auto s = ParseDataObjectSeq(config_.volume_name, name)) {
+        seqs->insert(*s);
+      }
+    }
+    if (!config_.base_image.empty()) {
+      for (const auto& name :
+           store_->List(DataObjectPrefix(config_.base_image))) {
+        if (auto s = ParseDataObjectSeq(config_.base_image, name)) {
+          if (*s <= config_.base_last_seq) {
+            seqs->insert(*s);
+          }
+        }
+      }
+    }
+
+    // 3. Replay the consecutive run after the checkpoint, in order.
+    auto replay = std::make_shared<std::function<void()>>();
+    *replay = [this, alive, seqs, replay, done]() {
+      if (!*alive) {
+        return;
+      }
+      const uint64_t want = applied_seq_ + 1;
+      const bool past_limit =
+          config_.open_limit_seq != 0 && want > config_.open_limit_seq;
+      if (past_limit || !seqs->contains(want)) {
+        // 4. End of the consecutive prefix: delete stranded own objects and
+        // fix up counters. Snapshot mounts are read-only views and must not
+        // delete anything belonging to the live volume.
+        if (config_.open_limit_seq == 0) {
+          for (const uint64_t s : *seqs) {
+            if (s > applied_seq_ && s > config_.base_last_seq) {
+              store_->Delete(NameForSeq(s), [](Status) {});
+            }
+          }
+        }
+        next_seq_ = std::max(applied_seq_, config_.base_last_seq) + 1;
+        done(Status::Ok());
+        return;
+      }
+      const std::string name = NameForSeq(want);
+      auto size = store_->Head(name);
+      if (!size.ok()) {
+        done(size.status());
+        return;
+      }
+      const uint64_t window = std::min(*size, kHeaderReadWindow);
+      const uint64_t object_size = *size;
+      store_->GetRange(name, 0, window,
+                       [this, alive, want, object_size, replay,
+                        done](Result<Buffer> r) {
+        if (!*alive) {
+          return;
+        }
+        DataObjectHeader header;
+        if (!r.ok() || !DecodeDataObjectHeader(*r, &header).ok()) {
+          done(Status::Corruption("unreadable data object during replay"));
+          return;
+        }
+        ApplyObjectExtents(want, header, object_size - header.data_offset);
+        applied_seq_ = want;
+        (*replay)();
+      });
+    };
+    (*replay)();
+  };
+
+  (*try_ckpt)(0);
+}
+
+void BackendStore::Fetch(ObjTarget target, uint64_t len,
+                         std::function<void(Result<Buffer>)> done) {
+  auto alive = alive_;
+  store_->GetRange(NameForSeq(target.seq), target.offset, len,
+                   [alive, done = std::move(done)](Result<Buffer> r) {
+    if (!*alive) {
+      return;
+    }
+    done(std::move(r));
+  });
+}
+
+}  // namespace lsvd

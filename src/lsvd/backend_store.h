@@ -1,0 +1,187 @@
+// Log-structured block store (paper §3.1 Figure 3, §3.5, §3.6).
+//
+// Collects client writes into batches; each sealed batch becomes an
+// immutable, sequence-numbered data object. The in-memory object map routes
+// reads; a per-object info table (total/live payload bytes) drives Greedy
+// garbage collection with 70/75 % thresholds. Map checkpoints go to numbered
+// checkpoint objects; recovery loads the newest checkpoint, replays the
+// consecutive run of data objects past it, and deletes stranded objects
+// beyond the first gap (the prefix rule, §3.3).
+//
+// Clones (§3.6) share a base image's object stream prefix: sequence numbers
+// <= base_last_seq resolve to the base volume's names and are never cleaned
+// or deleted. Snapshots pin a log position; deletions of objects older than
+// a snapshot are deferred as (N0, Ngc) pairs until the snapshot is dropped.
+#ifndef SRC_LSVD_BACKEND_STORE_H_
+#define SRC_LSVD_BACKEND_STORE_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/lsvd/client_host.h"
+#include "src/lsvd/config.h"
+#include "src/lsvd/extent_map.h"
+#include "src/lsvd/object_format.h"
+#include "src/lsvd/write_cache.h"
+#include "src/objstore/object_store.h"
+
+namespace lsvd {
+
+struct BackendStoreStats {
+  uint64_t client_bytes = 0;      // payload bytes handed to AddWrite
+  uint64_t coalesced_bytes = 0;   // dropped by within-batch overwrite merging
+  uint64_t objects_put = 0;
+  uint64_t object_bytes = 0;      // headers + payload PUT to the store
+  uint64_t payload_bytes = 0;     // payload only
+  uint64_t gc_objects_cleaned = 0;
+  uint64_t gc_bytes_copied = 0;
+  uint64_t gc_cache_hits = 0;     // GC reads served from the local cache
+  uint64_t objects_deleted = 0;
+  uint64_t checkpoints = 0;
+  uint64_t deferred_deletes = 0;
+};
+
+class BackendStore {
+ public:
+  BackendStore(ClientHost* host, ObjectStore* store, WriteCache* cache,
+               const LsvdConfig& config);
+
+  // Fires whenever the highest contiguously-applied object seq advances;
+  // the owner uses it to release write-cache records.
+  std::function<void(uint64_t)> on_synced;
+
+  // Adds one client write to the open batch; returns the batch's object
+  // sequence number (recorded in the journal for crash replay). Seals the
+  // batch if it reached the configured size.
+  uint64_t AddWrite(uint64_t vlba, Buffer data);
+
+  // Seals the open batch if it has exceeded the configured age (called from
+  // the owner's periodic tick) or unconditionally (drain paths).
+  void SealIfAged(Nanos max_age);
+  void Seal();
+  void SealGcBatch();
+
+  const ExtentMap<ObjTarget>& object_map() const { return object_map_; }
+
+  // Fetches `len` bytes at `target` (an object-map lookup result).
+  void Fetch(ObjTarget target, uint64_t len,
+             std::function<void(Result<Buffer>)> done);
+
+  // --- garbage collection (§3.5) ---
+  double Utilization() const;
+  bool gc_running() const { return gc_running_; }
+  uint64_t live_bytes() const;
+  uint64_t total_bytes() const;
+
+  // --- snapshots (§3.6) ---
+  // Pins the current applied log position; durability comes from the
+  // checkpoint written immediately after. Returns the snapshot's object seq.
+  void CreateSnapshot(std::function<void(Result<uint64_t>)> done);
+  void DeleteSnapshot(uint64_t seq, std::function<void(Status)> done);
+  const std::set<uint64_t>& snapshots() const { return snapshots_; }
+  const std::vector<DeferredDelete>& deferred_deletes() const {
+    return deferred_deletes_;
+  }
+
+  // --- checkpoint / recovery ---
+  void WriteCheckpoint(std::function<void(Status)> done);
+  // Rebuilds all state from the object store; safe on a brand-new volume
+  // (results in an empty image).
+  void Recover(std::function<void(Status)> done);
+
+  uint64_t applied_seq() const { return applied_seq_; }
+  uint64_t next_seq() const { return next_seq_; }
+  uint64_t last_checkpoint_seq() const { return last_checkpoint_seq_; }
+  // True when no batch is open and no PUT is outstanding.
+  bool idle() const;
+  const BackendStoreStats& stats() const { return stats_; }
+  size_t object_count() const { return object_info_.size(); }
+
+  void Kill() { *alive_ = false; }
+
+  // Object name for a sequence number, honoring the clone base prefix.
+  std::string NameForSeq(uint64_t seq) const;
+
+ private:
+  struct BatchEntry {
+    uint64_t vlba;
+    Buffer data;
+    // Set for GC-copied data; see ObjectExtent::conditional().
+    std::optional<ObjTarget> expected;
+  };
+  struct OpenBatch {
+    uint64_t seq = 0;
+    Nanos opened_at = 0;
+    uint64_t raw_bytes = 0;
+    std::vector<BatchEntry> entries;
+  };
+  struct SealedObject {
+    uint64_t seq = 0;
+    DataObjectHeader header;
+    Buffer object;          // encoded header + payload
+    uint64_t payload_bytes = 0;
+    bool from_gc = false;
+    std::vector<uint64_t> cleaned_seqs;  // old objects to delete once applied
+  };
+
+  uint64_t OpenBatchSeq();
+  void SealBatch(OpenBatch batch, bool from_gc,
+                 std::vector<uint64_t> cleaned_seqs);
+  void PumpPuts();
+  void OnPutComplete(uint64_t seq);
+  void ApplyReady();
+  void ApplyObjectExtents(uint64_t seq, const DataObjectHeader& header,
+                          uint64_t payload_bytes);
+  void AccountDisplaced(
+      const std::vector<ExtentMap<ObjTarget>::Extent>& displaced);
+  void MaybeCheckpoint();
+  void MaybeGc();
+  void CleanOneObject(uint64_t victim);
+  void FinishGcRound();
+  void ProcessDelete(uint64_t seq);
+  void ReexamineDeferred();
+  std::optional<uint64_t> PickGcVictim() const;
+
+  ClientHost* host_;
+  ObjectStore* store_;
+  WriteCache* cache_;
+  LsvdConfig config_;
+
+  ExtentMap<ObjTarget> object_map_;
+  std::map<uint64_t, ObjectInfo> object_info_;  // applied data objects
+  std::optional<OpenBatch> batch_;              // client-write batch
+  std::optional<OpenBatch> gc_batch_;           // GC-copy batch
+  std::vector<uint64_t> gc_batch_cleaned_;      // victims of the open GC batch
+
+  std::deque<SealedObject> put_queue_;
+  std::map<uint64_t, SealedObject> in_flight_;  // seq -> awaiting ack
+  std::map<uint64_t, SealedObject> completed_;  // acked, awaiting in-order apply
+  int outstanding_puts_ = 0;
+
+  uint64_t next_seq_ = 1;
+  uint64_t applied_seq_ = 0;
+  uint64_t last_checkpoint_seq_ = 0;
+  uint64_t objects_since_checkpoint_ = 0;
+  uint64_t checkpoint_counter_ = 0;  // monotonic checkpoint-object id
+  bool checkpoint_in_flight_ = false;
+
+  bool gc_running_ = false;
+  // Victims whose live data sits in the open (unsealed) GC batch: excluded
+  // from re-selection; removed when their deletion is processed.
+  std::set<uint64_t> gc_pending_victims_;
+  std::set<uint64_t> snapshots_;
+  std::vector<DeferredDelete> deferred_deletes_;
+
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  BackendStoreStats stats_;
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_LSVD_BACKEND_STORE_H_

@@ -1,0 +1,73 @@
+// Client machine model: the host every LSVD volume (or baseline cache) on a
+// node shares.
+//
+// Owns the cache SSD, the network link to the backend, and two CPU service
+// queues modeling the prototype's split (§3.7): the kernel device-mapper
+// worker and the userspace daemon. Multiple virtual disks on one host share
+// all of these — which is what makes the single client machine the
+// bottleneck in the paper's Figure 12 load test.
+#ifndef SRC_LSVD_CLIENT_HOST_H_
+#define SRC_LSVD_CLIENT_HOST_H_
+
+#include <memory>
+
+#include "src/blockdev/sim_ssd.h"
+#include "src/sim/net_link.h"
+#include "src/sim/server_queue.h"
+#include "src/sim/simulator.h"
+#include "src/util/status.h"
+
+namespace lsvd {
+
+struct ClientHostConfig {
+  uint64_t ssd_capacity = 800 * kGiB;  // Intel DC P3700 (Table 1)
+  SsdParams ssd = SsdParams::P3700();
+  NetParams net;
+  // Worker parallelism for the kernel- and user-level halves.
+  int kernel_workers = 2;
+  int user_workers = 2;
+};
+
+class ClientHost {
+ public:
+  ClientHost(Simulator* sim, ClientHostConfig config)
+      : sim_(sim),
+        config_(config),
+        ssd_(sim, config.ssd_capacity, config.ssd),
+        link_(sim, config.net),
+        kernel_cpu_(sim, config.kernel_workers),
+        user_cpu_(sim, config.user_workers) {}
+
+  Simulator* sim() { return sim_; }
+  SimSsd* ssd() { return &ssd_; }
+  NetLink* link() { return &link_; }
+  ServerQueue* kernel_cpu() { return &kernel_cpu_; }
+  ServerQueue* user_cpu() { return &user_cpu_; }
+
+  // Carves a block-aligned SSD region out for a cache. Regions are never
+  // returned (hosts live for a whole experiment).
+  Result<uint64_t> AllocRegion(uint64_t size) {
+    if (size % kBlockSize != 0) {
+      return Status::InvalidArgument("region size must be block aligned");
+    }
+    if (next_region_ + size > ssd_.capacity()) {
+      return Status::ResourceExhausted("SSD regions exhausted");
+    }
+    const uint64_t base = next_region_;
+    next_region_ += size;
+    return base;
+  }
+
+ private:
+  Simulator* sim_;
+  ClientHostConfig config_;
+  SimSsd ssd_;
+  NetLink link_;
+  ServerQueue kernel_cpu_;
+  ServerQueue user_cpu_;
+  uint64_t next_region_ = 0;
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_LSVD_CLIENT_HOST_H_

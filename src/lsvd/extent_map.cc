@@ -1,0 +1,10 @@
+#include "src/lsvd/extent_map.h"
+
+namespace lsvd {
+
+// Explicit instantiations for the targets LSVD uses, to surface template
+// errors at library build time.
+template class ExtentMap<SsdTarget>;
+template class ExtentMap<ObjTarget>;
+
+}  // namespace lsvd

@@ -1,0 +1,224 @@
+// Extent map: ordered map of byte ranges [start, start+len) -> target.
+//
+// LSVD keeps all translation state in extent maps held purely in memory
+// (paper §3.1, §6.1): the write-cache map (vLBA -> SSD pLBA), the read-cache
+// map, and the object map (vLBA -> object seq/offset). Targets must describe
+// how they advance when an extent is split, so a mapping for 64 KiB can be
+// cut anywhere and both halves still point at the right bytes.
+//
+// Adjacent extents whose targets are contiguous are merged on insert; the
+// resulting extent count is the memory-usage measure reported in Table 5.
+#ifndef SRC_LSVD_EXTENT_MAP_H_
+#define SRC_LSVD_EXTENT_MAP_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace lsvd {
+
+// Target of a cache-map extent: a byte offset on the local SSD.
+struct SsdTarget {
+  uint64_t plba = 0;
+
+  SsdTarget Advanced(uint64_t delta) const { return SsdTarget{plba + delta}; }
+  friend bool operator==(const SsdTarget&, const SsdTarget&) = default;
+};
+
+// Target of an object-map extent: position within a numbered backend object.
+struct ObjTarget {
+  uint64_t seq = 0;      // object sequence number
+  uint64_t offset = 0;   // byte offset of the data within the object
+
+  ObjTarget Advanced(uint64_t delta) const {
+    return ObjTarget{seq, offset + delta};
+  }
+  friend bool operator==(const ObjTarget&, const ObjTarget&) = default;
+};
+
+template <typename T>
+class ExtentMap {
+ public:
+  struct Extent {
+    uint64_t start = 0;
+    uint64_t len = 0;
+    T target{};
+
+    friend bool operator==(const Extent&, const Extent&) = default;
+  };
+
+  // A lookup segment: when `target` is empty the range is unmapped.
+  struct Segment {
+    uint64_t start = 0;
+    uint64_t len = 0;
+    std::optional<T> target;
+  };
+
+  // Maps [start, start+len) to `target`, replacing any overlapped mappings.
+  // Returns the (portions of) previous extents that were displaced — the
+  // garbage collector uses these to decrement per-object live counts.
+  std::vector<Extent> Update(uint64_t start, uint64_t len, T target) {
+    std::vector<Extent> displaced = Remove(start, len);
+    InsertAndMerge(start, len, target);
+    return displaced;
+  }
+
+  // Removes mappings in [start, start+len); returns what was removed.
+  std::vector<Extent> Remove(uint64_t start, uint64_t len) {
+    std::vector<Extent> removed;
+    if (len == 0) {
+      return removed;
+    }
+    const uint64_t end = start + len;
+
+    auto it = map_.lower_bound(start);
+    // Step back to an extent that may straddle `start`.
+    if (it != map_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second.len > start) {
+        it = prev;
+      }
+    }
+    while (it != map_.end() && it->first < end) {
+      const uint64_t e_start = it->first;
+      const uint64_t e_len = it->second.len;
+      const uint64_t e_end = e_start + e_len;
+      const T e_target = it->second.target;
+
+      const uint64_t cut_start = std::max(e_start, start);
+      const uint64_t cut_end = std::min(e_end, end);
+      assert(cut_start < cut_end);
+
+      removed.push_back(Extent{cut_start, cut_end - cut_start,
+                               e_target.Advanced(cut_start - e_start)});
+      it = map_.erase(it);
+      mapped_ -= e_len;
+
+      if (e_start < cut_start) {  // left remainder survives
+        InsertRaw(e_start, cut_start - e_start, e_target);
+      }
+      if (cut_end < e_end) {  // right remainder survives
+        InsertRaw(cut_end, e_end - cut_end,
+                  e_target.Advanced(cut_end - e_start));
+        break;  // nothing past e_end can overlap [start, end)
+      }
+    }
+    return removed;
+  }
+
+  // Splits [start, start+len) into maximal segments that are each either
+  // fully mapped by one extent or fully unmapped.
+  std::vector<Segment> Lookup(uint64_t start, uint64_t len) const {
+    std::vector<Segment> out;
+    if (len == 0) {
+      return out;
+    }
+    const uint64_t end = start + len;
+    uint64_t pos = start;
+
+    auto it = map_.lower_bound(start);
+    if (it != map_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second.len > start) {
+        it = prev;
+      }
+    }
+    while (pos < end) {
+      if (it == map_.end() || it->first >= end) {
+        out.push_back(Segment{pos, end - pos, std::nullopt});
+        break;
+      }
+      const uint64_t e_start = it->first;
+      const uint64_t e_end = e_start + it->second.len;
+      if (e_start > pos) {
+        out.push_back(Segment{pos, e_start - pos, std::nullopt});
+        pos = e_start;
+      }
+      const uint64_t seg_end = std::min(e_end, end);
+      out.push_back(Segment{pos, seg_end - pos,
+                            it->second.target.Advanced(pos - e_start)});
+      pos = seg_end;
+      ++it;
+    }
+    return out;
+  }
+
+  // Target covering the single byte at `addr`, if mapped.
+  std::optional<T> LookupOne(uint64_t addr) const {
+    auto it = map_.upper_bound(addr);
+    if (it == map_.begin()) {
+      return std::nullopt;
+    }
+    --it;
+    if (it->first + it->second.len <= addr) {
+      return std::nullopt;
+    }
+    return it->second.target.Advanced(addr - it->first);
+  }
+
+  void Clear() {
+    map_.clear();
+    mapped_ = 0;
+  }
+
+  size_t extent_count() const { return map_.size(); }
+  uint64_t mapped_bytes() const { return mapped_; }
+  bool empty() const { return map_.empty(); }
+
+  // In-order snapshot of all extents (checkpointing, tests).
+  std::vector<Extent> Extents() const {
+    std::vector<Extent> out;
+    out.reserve(map_.size());
+    for (const auto& [start, node] : map_) {
+      out.push_back(Extent{start, node.len, node.target});
+    }
+    return out;
+  }
+
+ private:
+  struct Node {
+    uint64_t len;
+    T target;
+  };
+
+  void InsertRaw(uint64_t start, uint64_t len, T target) {
+    assert(len > 0);
+    map_[start] = Node{len, target};
+    mapped_ += len;
+  }
+
+  void InsertAndMerge(uint64_t start, uint64_t len, T target) {
+    // Merge with predecessor if byte- and target-contiguous.
+    auto it = map_.lower_bound(start);
+    if (it != map_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second.len == start &&
+          prev->second.target.Advanced(prev->second.len) == target) {
+        start = prev->first;
+        len += prev->second.len;
+        target = prev->second.target;
+        mapped_ -= prev->second.len;
+        map_.erase(prev);
+      }
+    }
+    // Merge with successor.
+    it = map_.lower_bound(start);
+    if (it != map_.end() && it->first == start + len &&
+        target.Advanced(len) == it->second.target) {
+      len += it->second.len;
+      mapped_ -= it->second.len;
+      map_.erase(it);
+    }
+    InsertRaw(start, len, target);
+  }
+
+  std::map<uint64_t, Node> map_;
+  uint64_t mapped_ = 0;
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_LSVD_EXTENT_MAP_H_

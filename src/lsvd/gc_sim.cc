@@ -1,0 +1,212 @@
+#include "src/lsvd/gc_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace lsvd {
+
+void GcSimulator::Write(uint64_t vlba, uint64_t len) {
+  assert(len > 0);
+  result_.client_bytes += len;
+  batch_raw_ += len;
+  if (config_.merge) {
+    const auto displaced = batch_.Update(vlba, len, ObjTarget{next_seq_, 0});
+    for (const auto& d : displaced) {
+      result_.merged_bytes += d.len;
+    }
+  } else {
+    batch_list_.push_back({vlba, len});
+  }
+  if (batch_raw_ >= config_.batch_bytes) {
+    SealBatch();
+  }
+}
+
+void GcSimulator::Displace(
+    const std::vector<ExtentMap<ObjTarget>::Extent>& displaced,
+    uint64_t self_seq) {
+  for (const auto& d : displaced) {
+    auto it = info_.find(d.target.seq);
+    if (it != info_.end()) {
+      const uint64_t dec = std::min(it->second.live_bytes, d.len);
+      it->second.live_bytes -= dec;
+      live_sum_ -= dec;
+    } else if (d.target.seq == self_seq) {
+      // Overwrite within the object being applied (no-merge mode): the
+      // earlier extent's bytes die immediately.
+      live_sum_ -= std::min(live_sum_, d.len);
+      self_dead_ += d.len;
+    }
+  }
+}
+
+void GcSimulator::SealBatch() {
+  if (batch_raw_ == 0) {
+    return;
+  }
+  const uint64_t seq = next_seq_++;
+
+  // Extents to write, in apply order, with contiguous object offsets
+  // assigned in that order (so vlba-contiguous runs merge in the map).
+  std::vector<std::pair<uint64_t, uint64_t>> extents;
+  uint64_t object_total = 0;
+  if (config_.merge) {
+    for (const auto& e : batch_.Extents()) {
+      extents.push_back({e.start, e.len});
+      object_total += e.len;
+    }
+    batch_.Clear();
+  } else {
+    extents = std::move(batch_list_);
+    batch_list_.clear();
+    for (const auto& [vlba, len] : extents) {
+      object_total += len;
+    }
+  }
+  batch_raw_ = 0;
+
+  result_.backend_bytes += object_total;
+  result_.objects_created++;
+  total_sum_ += object_total;
+  live_sum_ += object_total;
+  self_dead_ = 0;
+
+  uint64_t offset = 0;
+  std::vector<std::pair<uint64_t, uint64_t>>& created = creation_[seq];
+  for (const auto& [vlba, len] : extents) {
+    Displace(map_.Update(vlba, len, ObjTarget{seq, offset}), seq);
+    created.push_back({vlba, len});
+    offset += len;
+  }
+  info_[seq] = ObjectInfo{object_total, object_total - self_dead_};
+  MaybeGc();
+}
+
+double GcSimulator::Utilization() const {
+  if (total_sum_ == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(live_sum_) / static_cast<double>(total_sum_);
+}
+
+void GcSimulator::MaybeGc() {
+  while (Utilization() < config_.gc_low_watermark) {
+    // Greedy: least-utilized object.
+    uint64_t victim = 0;
+    double best = 1.0;
+    for (const auto& [seq, inf] : info_) {
+      if (inf.total_bytes == 0) {
+        continue;
+      }
+      const double r = static_cast<double>(inf.live_bytes) /
+                       static_cast<double>(inf.total_bytes);
+      if (r < best) {
+        best = r;
+        victim = seq;
+      }
+    }
+    if (victim == 0 || best >= config_.gc_high_watermark) {
+      break;
+    }
+    CleanOne(victim);
+    if (Utilization() >= config_.gc_high_watermark) {
+      break;
+    }
+  }
+}
+
+void GcSimulator::CleanOne(uint64_t victim) {
+  // Live pieces: creation extents whose map entry still points at victim.
+  struct Piece {
+    uint64_t vlba;
+    uint64_t len;
+    bool plug;  // defrag filler copied from another object
+  };
+  std::vector<Piece> pieces;
+  auto cit = creation_.find(victim);
+  if (cit != creation_.end()) {
+    uint64_t offset = 0;
+    for (const auto& [vlba, len] : cit->second) {
+      for (const auto& seg : map_.Lookup(vlba, len)) {
+        // The offset check distinguishes duplicate creation extents (no-merge
+        // mode can write the same vLBA twice into one object): only the copy
+        // the map actually references is live.
+        if (seg.target.has_value() && seg.target->seq == victim &&
+            seg.target->offset == offset + (seg.start - vlba)) {
+          pieces.push_back({seg.start, seg.len, false});
+        }
+      }
+      offset += len;
+    }
+  }
+  std::sort(pieces.begin(), pieces.end(),
+            [](const Piece& a, const Piece& b) { return a.vlba < b.vlba; });
+
+  if (config_.defrag && !pieces.empty()) {
+    // Plug mapped holes of <= defrag_hole_max between consecutive pieces so
+    // the copied run becomes one contiguous map extent.
+    std::vector<Piece> plugged;
+    plugged.push_back(pieces[0]);
+    for (size_t i = 1; i < pieces.size(); i++) {
+      const uint64_t prev_end = plugged.back().vlba + plugged.back().len;
+      const uint64_t gap =
+          pieces[i].vlba > prev_end ? pieces[i].vlba - prev_end : 0;
+      if (gap > 0 && gap <= config_.defrag_hole_max) {
+        // Only plug if the whole gap is currently mapped (reads exist).
+        bool mapped = true;
+        for (const auto& seg : map_.Lookup(prev_end, gap)) {
+          if (!seg.target.has_value()) {
+            mapped = false;
+            break;
+          }
+        }
+        if (mapped) {
+          plugged.push_back({prev_end, gap, true});
+        }
+      }
+      plugged.push_back(pieces[i]);
+    }
+    pieces = std::move(plugged);
+  }
+
+  uint64_t copied = 0;
+  for (const auto& p : pieces) {
+    copied += p.len;
+  }
+
+  if (copied > 0) {
+    const uint64_t seq = next_seq_++;
+    result_.backend_bytes += copied;
+    result_.gc_copied_bytes += copied;
+    result_.objects_created++;
+    total_sum_ += copied;
+    live_sum_ += copied;
+    uint64_t offset = 0;
+    std::vector<std::pair<uint64_t, uint64_t>>& created = creation_[seq];
+    for (const auto& p : pieces) {
+      Displace(map_.Update(p.vlba, p.len, ObjTarget{seq, offset}), seq);
+      created.push_back({p.vlba, p.len});
+      offset += p.len;
+    }
+    info_[seq] = ObjectInfo{copied, copied};
+  }
+
+  // Victim is gone.
+  auto it = info_.find(victim);
+  if (it != info_.end()) {
+    total_sum_ -= it->second.total_bytes;
+    live_sum_ -= std::min(live_sum_, it->second.live_bytes);
+    info_.erase(it);
+  }
+  creation_.erase(victim);
+  result_.objects_deleted++;
+}
+
+GcSimResult GcSimulator::Finish() {
+  SealBatch();
+  result_.extent_count = map_.extent_count();
+  return result_;
+}
+
+}  // namespace lsvd

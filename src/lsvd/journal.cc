@@ -1,0 +1,119 @@
+#include "src/lsvd/journal.h"
+
+#include <cassert>
+
+#include "src/util/codec.h"
+#include "src/util/crc32c.h"
+
+namespace lsvd {
+namespace {
+
+constexpr uint32_t kJournalMagic = 0x4C53564A;  // "LSVJ"
+
+}  // namespace
+
+uint64_t JournalRecordSize(const JournalRecord& record) {
+  uint64_t data = 0;
+  for (const auto& e : record.extents) {
+    data += e.len;
+  }
+  return kBlockSize + data;
+}
+
+Buffer EncodeJournalRecord(const JournalRecord& record) {
+  assert(record.extents.size() <= kMaxJournalExtents);
+  uint64_t data_len = 0;
+  for (const auto& e : record.extents) {
+    assert(e.len % kBlockSize == 0);
+    data_len += e.len;
+  }
+  assert(record.data.size() == data_len);
+
+  Encoder enc;
+  enc.PutU32(kJournalMagic);
+  enc.PutU64(record.seq);
+  enc.PutU64(record.batch_seq);
+  enc.PutU32(static_cast<uint32_t>(record.extents.size()));
+  enc.PutU64(data_len);
+  enc.PutU32(record.data.Crc());
+  const size_t crc_pos = enc.size();
+  enc.PutU32(0);  // header CRC backpatched below
+  for (const auto& e : record.extents) {
+    enc.PutU64(e.vlba);
+    enc.PutU64(e.len);
+  }
+  enc.PadTo(kBlockSize);
+  assert(enc.size() == kBlockSize);
+
+  std::vector<uint8_t> header = enc.Take();
+  // CRC covers the whole header block with the CRC field zeroed.
+  const uint32_t crc = Crc32c(header.data(), header.size());
+  for (int i = 0; i < 4; i++) {
+    header[crc_pos + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(crc >> (8 * i));
+  }
+
+  Buffer out;
+  out.AppendBytes(header);
+  out.Append(record.data);
+  return out;
+}
+
+Status DecodeJournalHeader(const Buffer& header_block, JournalRecord* record,
+                           uint64_t* data_len) {
+  if (header_block.size() != kBlockSize) {
+    return Status::InvalidArgument("journal header must be one block");
+  }
+  std::vector<uint8_t> header = header_block.ToBytes();
+  Decoder dec(header);
+  if (dec.GetU32() != kJournalMagic) {
+    return Status::Corruption("bad journal magic");
+  }
+  record->seq = dec.GetU64();
+  record->batch_seq = dec.GetU64();
+  const uint32_t extent_count = dec.GetU32();
+  *data_len = dec.GetU64();
+  const uint32_t data_crc = dec.GetU32();
+  const size_t crc_pos = dec.position();
+  const uint32_t header_crc = dec.GetU32();
+  if (extent_count > kMaxJournalExtents) {
+    return Status::Corruption("journal extent count out of range");
+  }
+
+  // Verify header CRC with the field zeroed.
+  for (int i = 0; i < 4; i++) {
+    header[crc_pos + static_cast<size_t>(i)] = 0;
+  }
+  if (Crc32c(header.data(), header.size()) != header_crc) {
+    return Status::Corruption("journal header CRC mismatch");
+  }
+
+  record->extents.clear();
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < extent_count; i++) {
+    JournalExtent e;
+    e.vlba = dec.GetU64();
+    e.len = dec.GetU64();
+    if (!dec.ok() || e.len == 0 || e.len % kBlockSize != 0) {
+      return Status::Corruption("journal extent malformed");
+    }
+    sum += e.len;
+    record->extents.push_back(e);
+  }
+  if (sum != *data_len) {
+    return Status::Corruption("journal extent lengths disagree with payload");
+  }
+  // Stash the payload CRC for VerifyJournalData via the data field: encode it
+  // in an empty buffer's CRC is impossible, so keep it in record->data_crc.
+  record->data_crc = data_crc;
+  return Status::Ok();
+}
+
+Status VerifyJournalData(const JournalRecord& record, const Buffer& data) {
+  if (data.Crc() != record.data_crc) {
+    return Status::Corruption("journal payload CRC mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace lsvd

@@ -1,0 +1,59 @@
+// On-SSD write-cache journal record codec (paper Figure 2).
+//
+// A record is a 4 KiB header block followed by the data blocks it describes:
+//
+//   header: magic | seq | batch_seq | extent count | data CRC | header CRC
+//           | extents[(vLBA, len), ...]
+//
+// The sequence number and CRCs ensure that only complete records are used in
+// recovery: replay expects exactly the next sequence number and stops at the
+// first mismatch or corrupt header (§3.3). `batch_seq` records which backend
+// object the contained writes were assigned to, enabling the post-crash
+// "rewind and replay to backend" step.
+#ifndef SRC_LSVD_JOURNAL_H_
+#define SRC_LSVD_JOURNAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/blockdev/block_device.h"
+#include "src/util/buffer.h"
+#include "src/util/status.h"
+
+namespace lsvd {
+
+struct JournalExtent {
+  uint64_t vlba = 0;  // byte address in the virtual disk
+  uint64_t len = 0;   // bytes (multiple of kBlockSize)
+};
+
+struct JournalRecord {
+  uint64_t seq = 0;        // journal-local sequence number
+  uint64_t batch_seq = 0;  // backend object this data was batched into
+  std::vector<JournalExtent> extents;
+  Buffer data;             // concatenated extent payloads
+  uint32_t data_crc = 0;   // payload CRC (filled by DecodeJournalHeader)
+};
+
+// Maximum extents that fit in the 4 KiB header.
+inline constexpr size_t kMaxJournalExtents = 250;
+
+// Serializes header (padded to kBlockSize) + data. data.size() must equal the
+// extent length sum and be block-aligned.
+Buffer EncodeJournalRecord(const JournalRecord& record);
+
+// Bytes of header + payload a record with these extents occupies in the log.
+uint64_t JournalRecordSize(const JournalRecord& record);
+
+// Parses and validates the header block. On success fills `record` (without
+// data) and sets `data_len` to the payload size following the header.
+// Returns Corruption for bad magic/CRC, which recovery treats as log end.
+Status DecodeJournalHeader(const Buffer& header_block, JournalRecord* record,
+                           uint64_t* data_len);
+
+// Validates the payload CRC recorded in the header against `data`.
+Status VerifyJournalData(const JournalRecord& record, const Buffer& data);
+
+}  // namespace lsvd
+
+#endif  // SRC_LSVD_JOURNAL_H_

@@ -1,0 +1,495 @@
+#include "src/lsvd/lsvd_disk.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace lsvd {
+namespace {
+
+// Write-cache map checkpoint cadence, in journal records.
+constexpr uint64_t kCacheCheckpointRecords = 4096;
+
+bool Aligned(uint64_t v) { return v % kBlockSize == 0; }
+
+}  // namespace
+
+LsvdDisk::LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config)
+    : host_(host), store_(store), config_(std::move(config)) {
+  auto wc_region = host_->AllocRegion(config_.write_cache_size);
+  auto rc_region = host_->AllocRegion(config_.read_cache_size);
+  assert(wc_region.ok() && rc_region.ok() && "SSD too small for caches");
+  wc_base_ = *wc_region;
+  rc_base_ = *rc_region;
+  InitComponents();
+}
+
+LsvdDisk::LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config,
+                   DiskRegions regions)
+    : host_(host), store_(store), config_(std::move(config)) {
+  wc_base_ = regions.write_cache_base;
+  rc_base_ = regions.read_cache_base;
+  InitComponents();
+}
+
+void LsvdDisk::InitComponents() {
+  write_cache_ = std::make_unique<WriteCache>(
+      host_, wc_base_, config_.write_cache_size, config_.costs);
+  read_cache_ = std::make_unique<ReadCache>(
+      host_, rc_base_, config_.read_cache_size, config_.read_cache_line);
+  backend_ = std::make_unique<BackendStore>(host_, store_, write_cache_.get(),
+                                            config_);
+  backend_->on_synced = [this](uint64_t seq) {
+    write_cache_->ReleaseThrough(seq);
+  };
+}
+
+LsvdDisk::~LsvdDisk() { Kill(); }
+
+void LsvdDisk::Kill() {
+  *alive_ = false;
+  write_cache_->Kill();
+  read_cache_->Kill();
+  backend_->Kill();
+}
+
+void LsvdDisk::Create(std::function<void(Status)> done) {
+  auto alive = alive_;
+  write_cache_->Format([this, alive, done = std::move(done)](Status s) {
+    if (!*alive) {
+      return;
+    }
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    // For clones this replays the base image's object stream into the map;
+    // for a fresh volume it is a no-op. Either way an initial checkpoint is
+    // written so later recoveries have an anchor.
+    backend_->Recover([this, alive, done = std::move(done)](Status s2) {
+      if (!*alive) {
+        return;
+      }
+      if (!s2.ok()) {
+        done(s2);
+        return;
+      }
+      backend_->WriteCheckpoint(std::move(done));
+    });
+  });
+}
+
+void LsvdDisk::OpenAfterCrash(std::function<void(Status)> done) {
+  auto alive = alive_;
+  write_cache_->Recover([this, alive, done = std::move(done)](Status s) {
+    if (!*alive) {
+      return;
+    }
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    backend_->Recover([this, alive, done = std::move(done)](Status s2) {
+      if (!*alive) {
+        return;
+      }
+      if (!s2.ok()) {
+        done(s2);
+        return;
+      }
+      ReplayCacheTail(std::move(done));
+    });
+  });
+}
+
+void LsvdDisk::OpenClean(std::function<void(Status)> done) {
+  auto alive = alive_;
+  OpenAfterCrash([this, alive, done = std::move(done)](Status s) {
+    if (!*alive) {
+      return;
+    }
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    // Restoring the read-cache map is best-effort: a corrupt or missing map
+    // just means a cold read cache.
+    read_cache_->LoadMap([done = std::move(done)](Status) {
+      done(Status::Ok());
+    });
+  });
+}
+
+void LsvdDisk::OpenCacheLost(std::function<void(Status)> done) {
+  auto alive = alive_;
+  write_cache_->Format([this, alive, done = std::move(done)](Status s) {
+    if (!*alive) {
+      return;
+    }
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    backend_->Recover(std::move(done));
+  });
+}
+
+// Rewind-and-replay (§3.3): every journal record whose backend batch did not
+// commit is re-sent to the backend, in log order, under fresh sequence
+// numbers. Committed-and-cached writes that get resent are harmless
+// duplicates — replay preserves order, so the final image is identical.
+void LsvdDisk::ReplayCacheTail(std::function<void(Status)> done) {
+  auto records = std::make_shared<std::vector<WriteCache::RecordMeta>>(
+      write_cache_->RecordsAfterBatch(backend_->applied_seq()));
+  auto index = std::make_shared<size_t>(0);
+  auto alive = alive_;
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, alive, records, index, step, done]() {
+    if (!*alive) {
+      return;
+    }
+    if (*index >= records->size()) {
+      backend_->Seal();
+      done(Status::Ok());
+      return;
+    }
+    const WriteCache::RecordMeta& rec = (*records)[*index];
+    write_cache_->ReadRecordPayload(rec,
+                                    [this, alive, records, index, step,
+                                     done](Result<Buffer> r) {
+      if (!*alive) {
+        return;
+      }
+      if (!r.ok()) {
+        done(r.status());
+        return;
+      }
+      const WriteCache::RecordMeta& cur = (*records)[*index];
+      uint64_t off = 0;
+      for (const auto& e : cur.extents) {
+        backend_->AddWrite(e.vlba, r->Slice(off, e.len));
+        off += e.len;
+      }
+      (*index)++;
+      (*step)();
+    });
+  };
+  (*step)();
+}
+
+void LsvdDisk::ArmBatchTimer() {
+  if (batch_timer_armed_) {
+    return;
+  }
+  batch_timer_armed_ = true;
+  auto alive = alive_;
+  host_->sim()->After(config_.batch_max_age, [this, alive]() {
+    if (!*alive) {
+      return;
+    }
+    batch_timer_armed_ = false;
+    backend_->SealIfAged(config_.batch_max_age);
+    // Re-arm if a batch is still (or newly) open.
+    if (!backend_->idle()) {
+      ArmBatchTimer();
+    }
+  });
+}
+
+void LsvdDisk::MaybeCheckpointCache() {
+  if (cache_ckpt_in_flight_ ||
+      write_cache_->stats().records - records_at_last_ckpt_ <
+          kCacheCheckpointRecords) {
+    return;
+  }
+  cache_ckpt_in_flight_ = true;
+  records_at_last_ckpt_ = write_cache_->stats().records;
+  auto alive = alive_;
+  write_cache_->WriteCheckpoint(backend_->applied_seq(),
+                                [this, alive](Status) {
+    if (!*alive) {
+      return;
+    }
+    cache_ckpt_in_flight_ = false;
+  });
+}
+
+void LsvdDisk::Write(uint64_t offset, Buffer data,
+                     std::function<void(Status)> done) {
+  if (!Aligned(offset) || !Aligned(data.size()) || data.empty()) {
+    done(Status::InvalidArgument("unaligned or empty write"));
+    return;
+  }
+  if (offset + data.size() > config_.volume_size) {
+    done(Status::OutOfRange("write beyond volume size"));
+    return;
+  }
+  stats_.writes++;
+  stats_.write_bytes += data.size();
+
+  // Stale read-cache lines for this range must never be served again.
+  read_cache_->Invalidate(offset, data.size());
+
+  // A copy of the write goes to the block store's open batch (§3.2 step c);
+  // the batch seq is journaled for crash replay.
+  const uint64_t batch_seq = backend_->AddWrite(offset, data);
+  ArmBatchTimer();
+  MaybeCheckpointCache();
+
+  auto alive = alive_;
+  host_->kernel_cpu()->Submit(
+      config_.costs.write_submit + config_.costs.write_map_update,
+      [this, alive, offset, data = std::move(data), batch_seq,
+       done = std::move(done)]() mutable {
+    if (!*alive) {
+      return;
+    }
+    write_cache_->Append(offset, std::move(data), batch_seq, std::move(done));
+  });
+}
+
+void LsvdDisk::Read(uint64_t offset, uint64_t len,
+                    std::function<void(Result<Buffer>)> done) {
+  if (!Aligned(offset) || !Aligned(len) || len == 0) {
+    done(Status::InvalidArgument("unaligned or empty read"));
+    return;
+  }
+  if (offset + len > config_.volume_size) {
+    done(Status::OutOfRange("read beyond volume size"));
+    return;
+  }
+  stats_.reads++;
+  stats_.read_bytes += len;
+
+  // Build the routing plan: write cache > read cache > backend > zeros.
+  struct Fragment {
+    FragmentKind kind;
+    uint64_t vlba;
+    uint64_t len;
+    uint64_t plba = 0;   // caches
+    ObjTarget target{};  // backend
+  };
+  auto plan = std::make_shared<std::vector<Fragment>>();
+  for (const auto& wseg : write_cache_->map().Lookup(offset, len)) {
+    if (wseg.target.has_value()) {
+      plan->push_back(Fragment{FragmentKind::kWriteCache, wseg.start,
+                               wseg.len, wseg.target->plba, {}});
+      continue;
+    }
+    for (const auto& rseg : read_cache_->map().Lookup(wseg.start, wseg.len)) {
+      if (rseg.target.has_value()) {
+        plan->push_back(Fragment{FragmentKind::kReadCache, rseg.start,
+                                 rseg.len, rseg.target->plba, {}});
+        continue;
+      }
+      for (const auto& oseg :
+           backend_->object_map().Lookup(rseg.start, rseg.len)) {
+        if (oseg.target.has_value()) {
+          plan->push_back(Fragment{FragmentKind::kBackend, oseg.start,
+                                   oseg.len, 0, *oseg.target});
+        } else {
+          plan->push_back(Fragment{FragmentKind::kZero, oseg.start, oseg.len,
+                                   0, {}});
+        }
+      }
+    }
+  }
+
+  auto parts = std::make_shared<std::vector<Buffer>>(plan->size());
+  auto remaining = std::make_shared<size_t>(plan->size());
+  auto failed = std::make_shared<bool>(false);
+  auto alive = alive_;
+  auto finish_part = [parts, remaining, failed, done](size_t i,
+                                                      Result<Buffer> r) {
+    if (r.ok()) {
+      (*parts)[i] = std::move(r).value();
+    } else if (!*failed) {
+      *failed = true;
+      done(r.status());
+    }
+    if (--*remaining == 0 && !*failed) {
+      Buffer out;
+      for (auto& p : *parts) {
+        out.Append(p);
+      }
+      done(out);
+    }
+  };
+
+  // Charge the kernel-side lookup once per client read.
+  host_->kernel_cpu()->Submit(
+      config_.costs.read_map_lookup + config_.costs.read_hit,
+      [this, alive, plan, finish_part]() {
+    if (!*alive) {
+      return;
+    }
+    for (size_t i = 0; i < plan->size(); i++) {
+      const Fragment& frag = (*plan)[i];
+      switch (frag.kind) {
+        case FragmentKind::kWriteCache:
+          stats_.write_cache_hits++;
+          write_cache_->ReadData(frag.plba, frag.len,
+                                 [i, finish_part](Result<Buffer> r) {
+            finish_part(i, std::move(r));
+          });
+          break;
+        case FragmentKind::kReadCache:
+          stats_.read_cache_hits++;
+          read_cache_->ReadData(frag.plba, frag.len,
+                                [i, finish_part](Result<Buffer> r) {
+            finish_part(i, std::move(r));
+          });
+          break;
+        case FragmentKind::kZero:
+          stats_.zero_reads++;
+          finish_part(i, Buffer::Zeros(frag.len));
+          break;
+        case FragmentKind::kBackend: {
+          stats_.backend_reads++;
+          // Temporal-locality prefetch (§3.2): extend the fetch to the
+          // remainder of the extent, up to the prefetch window — data
+          // written together is fetched together.
+          uint64_t fetch_len = frag.len;
+          if (fetch_len < config_.prefetch_bytes) {
+            const auto around = backend_->object_map().Lookup(
+                frag.vlba, config_.prefetch_bytes);
+            if (!around.empty() && around[0].target.has_value() &&
+                *around[0].target == frag.target) {
+              fetch_len = std::min(around[0].len, config_.prefetch_bytes);
+            }
+          }
+          fetch_len = std::max(fetch_len, frag.len);
+          const uint64_t frag_len = frag.len;
+          const uint64_t frag_vlba = frag.vlba;
+          // Miss path overheads (Table 6): kernel/user transitions + daemon.
+          host_->kernel_cpu()->Submit(config_.costs.read_miss_kernel,
+                                      [this, alive, i, frag, fetch_len,
+                                       frag_len, frag_vlba, finish_part]() {
+            if (!*alive) {
+              return;
+            }
+            host_->user_cpu()->Submit(config_.costs.read_miss_golang,
+                                      [this, alive, i, frag, fetch_len,
+                                       frag_len, frag_vlba, finish_part]() {
+              if (!*alive) {
+                return;
+              }
+              backend_->Fetch(frag.target, fetch_len,
+                              [this, alive, i, fetch_len, frag_len, frag_vlba,
+                               finish_part](Result<Buffer> r) {
+                if (!*alive) {
+                  return;
+                }
+                if (!r.ok()) {
+                  finish_part(i, std::move(r));
+                  return;
+                }
+                // Cache the whole fetched window (the requested fragment
+                // plus prefetch), then return the requested part.
+                read_cache_->Insert(frag_vlba, *r);
+                (void)fetch_len;
+                finish_part(i, r->Slice(0, frag_len));
+              });
+            });
+          });
+          break;
+        }
+      }
+    }
+  });
+}
+
+void LsvdDisk::Flush(std::function<void(Status)> done) {
+  stats_.flushes++;
+  write_cache_->Barrier(std::move(done));
+}
+
+void LsvdDisk::Drain(std::function<void(Status)> done) {
+  backend_->Seal();
+  PollDrain(std::move(done));
+}
+
+void LsvdDisk::PollDrain(std::function<void(Status)> done) {
+  if (backend_->idle()) {
+    done(Status::Ok());
+    return;
+  }
+  auto alive = alive_;
+  host_->sim()->After(kMillisecond, [this, alive, done = std::move(done)]() mutable {
+    if (!*alive) {
+      return;
+    }
+    backend_->Seal();
+    PollDrain(std::move(done));
+  });
+}
+
+void LsvdDisk::CleanShutdown(std::function<void(Status)> done) {
+  auto alive = alive_;
+  Drain([this, alive, done = std::move(done)](Status s) mutable {
+    if (!*alive) {
+      return;
+    }
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    write_cache_->WriteCheckpoint(backend_->applied_seq(),
+                                  [this, alive,
+                                   done = std::move(done)](Status s2) mutable {
+      if (!*alive) {
+        return;
+      }
+      if (!s2.ok()) {
+        done(s2);
+        return;
+      }
+      read_cache_->PersistMap([this, alive,
+                               done = std::move(done)](Status) mutable {
+        if (!*alive) {
+          return;
+        }
+        backend_->WriteCheckpoint(std::move(done));
+      });
+    });
+  });
+}
+
+void LsvdDisk::Snapshot(std::function<void(Result<uint64_t>)> done) {
+  auto alive = alive_;
+  // Snapshots pin an object-stream position; drain first so the snapshot
+  // covers everything written so far.
+  Drain([this, alive, done = std::move(done)](Status s) mutable {
+    if (!*alive) {
+      return;
+    }
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    backend_->CreateSnapshot(std::move(done));
+  });
+}
+
+void LsvdDisk::DeleteSnapshot(uint64_t seq,
+                              std::function<void(Status)> done) {
+  backend_->DeleteSnapshot(seq, std::move(done));
+}
+
+LsvdConfig LsvdDisk::MakeCloneConfig(const std::string& clone_name,
+                                     uint64_t base_seq) const {
+  LsvdConfig clone = config_;
+  clone.volume_name = clone_name;
+  // The clone's base is this volume's object stream up to base_seq; if this
+  // volume is itself a clone, sequences at or below our own base still
+  // resolve to the original base image name chain only one level deep, so
+  // cloning a clone requires base_seq > our base_last_seq.
+  assert(base_seq > config_.base_last_seq &&
+         "cannot clone from within another volume's base image");
+  clone.base_image = config_.volume_name;
+  clone.base_last_seq = base_seq;
+  return clone;
+}
+
+}  // namespace lsvd

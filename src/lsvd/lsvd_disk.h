@@ -1,0 +1,142 @@
+// LsvdDisk: the log-structured virtual disk (paper Figure 1).
+//
+// Public block-device API over the three LSVD components:
+//   - WriteCache  : log-structured write-back cache on the local SSD
+//   - ReadCache   : block-granular read cache on the same SSD
+//   - BackendStore: batched, immutable, sequence-numbered objects on an
+//                   S3-compatible store, with GC, snapshots and clones
+//
+// Reads consult the write cache, then the read cache, then the backend
+// (with temporal-locality prefetch); unmapped ranges read as zeros. A write
+// is acknowledged when its journal record is on the SSD; a Flush is a single
+// device commit barrier. Write-cache space is released only once the backend
+// object containing the data has committed, so a crash can always rewind the
+// cache log and replay the tail to the backend (§3.3):
+//
+//   Create()         : fresh volume (also materializes a clone's base map)
+//   OpenAfterCrash() : cache survived — recovers every committed write
+//   OpenCacheLost()  : cache gone — recovers a consistent prefix
+//   CleanShutdown()  : drains writeback and persists all maps
+#ifndef SRC_LSVD_LSVD_DISK_H_
+#define SRC_LSVD_LSVD_DISK_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/blockdev/virtual_disk.h"
+#include "src/lsvd/backend_store.h"
+#include "src/lsvd/client_host.h"
+#include "src/lsvd/config.h"
+#include "src/lsvd/read_cache.h"
+#include "src/lsvd/write_cache.h"
+#include "src/objstore/object_store.h"
+
+namespace lsvd {
+
+struct LsvdDiskStats {
+  uint64_t writes = 0;
+  uint64_t write_bytes = 0;
+  uint64_t reads = 0;
+  uint64_t read_bytes = 0;
+  uint64_t flushes = 0;
+  // Read routing, counted per contiguous fragment.
+  uint64_t write_cache_hits = 0;
+  uint64_t read_cache_hits = 0;
+  uint64_t backend_reads = 0;
+  uint64_t zero_reads = 0;
+};
+
+// SSD regions backing a disk's caches; capture via regions() before a crash
+// to re-open the same on-SSD state afterwards.
+struct DiskRegions {
+  uint64_t write_cache_base = 0;
+  uint64_t read_cache_base = 0;
+};
+
+class LsvdDisk : public VirtualDisk {
+ public:
+  // Allocates fresh SSD regions from the host.
+  LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config);
+  // Attaches to existing regions (re-open after a crash).
+  LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config,
+           DiskRegions regions);
+  ~LsvdDisk() override;
+
+  LsvdDisk(const LsvdDisk&) = delete;
+  LsvdDisk& operator=(const LsvdDisk&) = delete;
+
+  uint64_t size() const override { return config_.volume_size; }
+
+  // --- lifecycle (call exactly one, then wait for its callback) ---
+  void Create(std::function<void(Status)> done);
+  void OpenAfterCrash(std::function<void(Status)> done);
+  void OpenCacheLost(std::function<void(Status)> done);
+  // Re-open after CleanShutdown: like OpenAfterCrash but also restores the
+  // persisted read-cache map.
+  void OpenClean(std::function<void(Status)> done);
+
+  // --- block device operations (offsets/lengths multiples of 4 KiB) ---
+  void Write(uint64_t offset, Buffer data,
+             std::function<void(Status)> done) override;
+  void Read(uint64_t offset, uint64_t len,
+            std::function<void(Result<Buffer>)> done) override;
+  void Flush(std::function<void(Status)> done) override;
+
+  // --- management ---
+  // Seals open batches and waits until the backend image matches the cache
+  // (the precondition for VM migration, §4.3/§4.4).
+  void Drain(std::function<void(Status)> done);
+  // Drain + persist write-cache and read-cache maps + backend checkpoint.
+  void CleanShutdown(std::function<void(Status)> done);
+
+  void Snapshot(std::function<void(Result<uint64_t>)> done);
+  void DeleteSnapshot(uint64_t seq, std::function<void(Status)> done);
+  // Configuration for a new volume cloned from this volume's snapshot (or
+  // current drained state) at object `seq`.
+  LsvdConfig MakeCloneConfig(const std::string& clone_name,
+                             uint64_t base_seq) const;
+
+  // Simulates the client process dying: all pending callbacks are dropped.
+  // The SSD/object-store contents survive per their own crash semantics.
+  void Kill();
+
+  // --- introspection ---
+  DiskRegions regions() const { return DiskRegions{wc_base_, rc_base_}; }
+  uint64_t volume_size() const { return config_.volume_size; }
+  const LsvdConfig& config() const { return config_; }
+  const LsvdDiskStats& stats() const { return stats_; }
+  WriteCache& write_cache() { return *write_cache_; }
+  ReadCache& read_cache() { return *read_cache_; }
+  BackendStore& backend() { return *backend_; }
+
+ private:
+  enum class FragmentKind { kWriteCache, kReadCache, kBackend, kZero };
+
+  void InitComponents();
+  void ArmBatchTimer();
+  void MaybeCheckpointCache();
+  void ReplayCacheTail(std::function<void(Status)> done);
+  void PollDrain(std::function<void(Status)> done);
+
+  ClientHost* host_;
+  ObjectStore* store_;
+  LsvdConfig config_;
+
+  uint64_t wc_base_ = 0;
+  uint64_t rc_base_ = 0;
+  std::unique_ptr<WriteCache> write_cache_;
+  std::unique_ptr<ReadCache> read_cache_;
+  std::unique_ptr<BackendStore> backend_;
+
+  bool batch_timer_armed_ = false;
+  uint64_t records_at_last_ckpt_ = 0;
+  bool cache_ckpt_in_flight_ = false;
+
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  LsvdDiskStats stats_;
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_LSVD_LSVD_DISK_H_

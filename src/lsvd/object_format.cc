@@ -1,0 +1,266 @@
+#include "src/lsvd/object_format.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "src/util/codec.h"
+#include "src/util/crc32c.h"
+#include "src/util/units.h"
+
+namespace lsvd {
+namespace {
+
+constexpr uint32_t kDataMagic = 0x4C53564F;   // "LSVO"
+constexpr uint32_t kCkptMagic = 0x4C53564B;   // "LSVK"
+constexpr uint32_t kFormatVersion = 1;
+constexpr uint64_t kHeaderAlign = 4 * kKiB;
+
+std::string FormatSeq(uint64_t seq) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%012llu",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::optional<uint64_t> ParseSeqSuffix(const std::string& prefix,
+                                       const std::string& name) {
+  if (name.size() != prefix.size() + 12 ||
+      name.compare(0, prefix.size(), prefix) != 0) {
+    return std::nullopt;
+  }
+  uint64_t seq = 0;
+  for (size_t i = prefix.size(); i < name.size(); i++) {
+    const char c = name[i];
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+}  // namespace
+
+std::string DataObjectPrefix(const std::string& volume) {
+  return volume + ".d.";
+}
+
+std::string CheckpointPrefix(const std::string& volume) {
+  return volume + ".c.";
+}
+
+std::string DataObjectName(const std::string& volume, uint64_t seq) {
+  return DataObjectPrefix(volume) + FormatSeq(seq);
+}
+
+std::string CheckpointObjectName(const std::string& volume, uint64_t seq) {
+  return CheckpointPrefix(volume) + FormatSeq(seq);
+}
+
+std::optional<uint64_t> ParseDataObjectSeq(const std::string& volume,
+                                           const std::string& name) {
+  return ParseSeqSuffix(DataObjectPrefix(volume), name);
+}
+
+std::optional<uint64_t> ParseCheckpointSeq(const std::string& volume,
+                                           const std::string& name) {
+  return ParseSeqSuffix(CheckpointPrefix(volume), name);
+}
+
+uint64_t DataObjectHeaderSize(size_t extent_count) {
+  // Fixed fields: magic, version, seq, data_offset, extent count, crc.
+  const uint64_t raw = 4 + 4 + 8 + 8 + 4 + 4 + 32 * extent_count;
+  return (raw + kHeaderAlign - 1) / kHeaderAlign * kHeaderAlign;
+}
+
+Buffer EncodeDataObject(const DataObjectHeader& header, const Buffer& data) {
+  Encoder enc;
+  enc.PutU32(kDataMagic);
+  enc.PutU32(kFormatVersion);
+  enc.PutU64(header.seq);
+  const uint64_t data_offset = DataObjectHeaderSize(header.extents.size());
+  enc.PutU64(data_offset);
+  enc.PutU32(static_cast<uint32_t>(header.extents.size()));
+  const size_t crc_pos = enc.size();
+  enc.PutU32(0);
+  uint64_t sum = 0;
+  for (const auto& e : header.extents) {
+    enc.PutU64(e.vlba);
+    enc.PutU64(e.len);
+    enc.PutU64(e.expected_seq);
+    enc.PutU64(e.expected_offset);
+    sum += e.len;
+  }
+  assert(sum == data.size());
+  enc.PadTo(kHeaderAlign);
+  assert(enc.size() == data_offset);
+
+  std::vector<uint8_t> bytes = enc.Take();
+  const uint32_t crc = Crc32c(bytes.data(), bytes.size());
+  for (int i = 0; i < 4; i++) {
+    bytes[crc_pos + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(crc >> (8 * i));
+  }
+  Buffer out;
+  out.AppendBytes(bytes);
+  out.Append(data);
+  return out;
+}
+
+Status DecodeDataObjectHeader(const Buffer& object_prefix,
+                              DataObjectHeader* header) {
+  if (object_prefix.size() < kHeaderAlign) {
+    return Status::Corruption("object too small for header");
+  }
+  // Parse the fixed fields from the first block, then extend if the extent
+  // list spills past it.
+  std::vector<uint8_t> bytes =
+      object_prefix.Slice(0, std::min(object_prefix.size(),
+                                      uint64_t{256} * kKiB))
+          .ToBytes();
+  Decoder dec(bytes);
+  if (dec.GetU32() != kDataMagic) {
+    return Status::Corruption("bad data object magic");
+  }
+  if (dec.GetU32() != kFormatVersion) {
+    return Status::Corruption("unsupported object version");
+  }
+  header->seq = dec.GetU64();
+  header->data_offset = dec.GetU64();
+  const uint32_t extent_count = dec.GetU32();
+  const size_t crc_pos = dec.position();
+  const uint32_t header_crc = dec.GetU32();
+  if (header->data_offset != DataObjectHeaderSize(extent_count)) {
+    return Status::Corruption("data offset inconsistent with extent count");
+  }
+  if (bytes.size() < header->data_offset) {
+    return Status::Corruption("header truncated");
+  }
+
+  header->extents.clear();
+  for (uint32_t i = 0; i < extent_count; i++) {
+    ObjectExtent e;
+    e.vlba = dec.GetU64();
+    e.len = dec.GetU64();
+    e.expected_seq = dec.GetU64();
+    e.expected_offset = dec.GetU64();
+    if (!dec.ok() || e.len == 0) {
+      return Status::Corruption("object extent malformed");
+    }
+    header->extents.push_back(e);
+  }
+
+  // CRC over the padded header with the CRC field zeroed.
+  std::vector<uint8_t> check(bytes.begin(),
+                             bytes.begin() +
+                                 static_cast<ptrdiff_t>(header->data_offset));
+  for (int i = 0; i < 4; i++) {
+    check[crc_pos + static_cast<size_t>(i)] = 0;
+  }
+  if (Crc32c(check.data(), check.size()) != header_crc) {
+    return Status::Corruption("object header CRC mismatch");
+  }
+  return Status::Ok();
+}
+
+Buffer EncodeCheckpoint(const CheckpointState& state) {
+  Encoder enc;
+  enc.PutU32(kCkptMagic);
+  enc.PutU32(kFormatVersion);
+  enc.PutU64(state.through_seq);
+  enc.PutU64(state.next_seq);
+  enc.PutU32(static_cast<uint32_t>(state.object_map.size()));
+  enc.PutU32(static_cast<uint32_t>(state.object_info.size()));
+  enc.PutU32(static_cast<uint32_t>(state.deferred_deletes.size()));
+  enc.PutU32(static_cast<uint32_t>(state.snapshots.size()));
+  const size_t crc_pos = enc.size();
+  enc.PutU32(0);
+  for (const auto& e : state.object_map) {
+    enc.PutU64(e.start);
+    enc.PutU64(e.len);
+    enc.PutU64(e.target.seq);
+    enc.PutU64(e.target.offset);
+  }
+  for (const auto& [seq, info] : state.object_info) {
+    enc.PutU64(seq);
+    enc.PutU64(info.total_bytes);
+    enc.PutU64(info.live_bytes);
+  }
+  for (const auto& d : state.deferred_deletes) {
+    enc.PutU64(d.seq);
+    enc.PutU64(d.gc_head);
+  }
+  for (const uint64_t s : state.snapshots) {
+    enc.PutU64(s);
+  }
+
+  std::vector<uint8_t> bytes = enc.Take();
+  const uint32_t crc = Crc32c(bytes.data(), bytes.size());
+  for (int i = 0; i < 4; i++) {
+    bytes[crc_pos + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(crc >> (8 * i));
+  }
+  return Buffer::FromBytes(bytes);
+}
+
+Status DecodeCheckpoint(const Buffer& object, CheckpointState* state) {
+  std::vector<uint8_t> bytes = object.ToBytes();
+  Decoder dec(bytes);
+  if (dec.GetU32() != kCkptMagic) {
+    return Status::Corruption("bad checkpoint magic");
+  }
+  if (dec.GetU32() != kFormatVersion) {
+    return Status::Corruption("unsupported checkpoint version");
+  }
+  state->through_seq = dec.GetU64();
+  state->next_seq = dec.GetU64();
+  const uint32_t map_count = dec.GetU32();
+  const uint32_t info_count = dec.GetU32();
+  const uint32_t defer_count = dec.GetU32();
+  const uint32_t snap_count = dec.GetU32();
+  const size_t crc_pos = dec.position();
+  const uint32_t crc = dec.GetU32();
+
+  std::vector<uint8_t> check = bytes;
+  for (int i = 0; i < 4; i++) {
+    check[crc_pos + static_cast<size_t>(i)] = 0;
+  }
+  if (Crc32c(check.data(), check.size()) != crc) {
+    return Status::Corruption("checkpoint CRC mismatch");
+  }
+
+  state->object_map.clear();
+  state->object_info.clear();
+  state->deferred_deletes.clear();
+  state->snapshots.clear();
+  for (uint32_t i = 0; i < map_count; i++) {
+    ExtentMap<ObjTarget>::Extent e;
+    e.start = dec.GetU64();
+    e.len = dec.GetU64();
+    e.target.seq = dec.GetU64();
+    e.target.offset = dec.GetU64();
+    state->object_map.push_back(e);
+  }
+  for (uint32_t i = 0; i < info_count; i++) {
+    const uint64_t seq = dec.GetU64();
+    ObjectInfo info;
+    info.total_bytes = dec.GetU64();
+    info.live_bytes = dec.GetU64();
+    state->object_info[seq] = info;
+  }
+  for (uint32_t i = 0; i < defer_count; i++) {
+    DeferredDelete d;
+    d.seq = dec.GetU64();
+    d.gc_head = dec.GetU64();
+    state->deferred_deletes.push_back(d);
+  }
+  for (uint32_t i = 0; i < snap_count; i++) {
+    state->snapshots.push_back(dec.GetU64());
+  }
+  if (!dec.ok()) {
+    return Status::Corruption("checkpoint truncated");
+  }
+  return Status::Ok();
+}
+
+}  // namespace lsvd

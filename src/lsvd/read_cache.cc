@@ -1,0 +1,188 @@
+#include "src/lsvd/read_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/codec.h"
+#include "src/util/crc32c.h"
+
+namespace lsvd {
+namespace {
+
+constexpr uint32_t kRcMapMagic = 0x4C535652;  // "LSVR"
+
+}  // namespace
+
+ReadCache::ReadCache(ClientHost* host, uint64_t base, uint64_t size,
+                     uint64_t line_size)
+    : host_(host),
+      ssd_(host->ssd()),
+      base_(base),
+      size_(size),
+      line_size_(line_size) {
+  assert(line_size_ % kBlockSize == 0);
+  map_area_ = std::max<uint64_t>(kMiB, size_ / 64);
+  map_area_ = (map_area_ + kBlockSize - 1) / kBlockSize * kBlockSize;
+  lines_base_ = base_ + map_area_;
+  num_lines_ = (base_ + size_ - lines_base_) / line_size_;
+  assert(num_lines_ >= 4 && "read cache region too small");
+  slots_.assign(num_lines_, Slot{});
+}
+
+void ReadCache::ReadData(uint64_t plba, uint64_t len,
+                         std::function<void(Result<Buffer>)> done) {
+  auto alive = alive_;
+  ssd_->Read(plba, len, [alive, done = std::move(done)](Result<Buffer> r) {
+    if (!*alive) {
+      return;
+    }
+    done(std::move(r));
+  });
+}
+
+void ReadCache::EvictSlot(uint64_t slot) {
+  Slot& s = slots_[slot];
+  if (s.len == 0) {
+    return;
+  }
+  // Remove only map segments that still point into this slot.
+  const uint64_t slot_base = SlotOffset(slot);
+  for (const auto& seg : map_.Lookup(s.vlba, s.len)) {
+    if (!seg.target.has_value()) {
+      continue;
+    }
+    const uint64_t expected = slot_base + (seg.start - s.vlba);
+    if (seg.target->plba == expected) {
+      map_.Remove(seg.start, seg.len);
+    }
+  }
+  s = Slot{};
+  stats_.evictions++;
+}
+
+void ReadCache::Insert(uint64_t vlba, const Buffer& data) {
+  assert(vlba % kBlockSize == 0 && data.size() % kBlockSize == 0);
+  uint64_t off = 0;
+  while (off < data.size()) {
+    const uint64_t n = std::min(line_size_, data.size() - off);
+    const uint64_t slot = next_slot_;
+    next_slot_ = (next_slot_ + 1) % num_lines_;
+    EvictSlot(slot);
+
+    const uint64_t piece_vlba = vlba + off;
+    Buffer piece = data.Slice(off, n);
+    slots_[slot] = Slot{piece_vlba, n};
+    map_.Update(piece_vlba, n, SsdTarget{SlotOffset(slot)});
+    stats_.insertions++;
+    stats_.inserted_bytes += n;
+
+    auto alive = alive_;
+    ssd_->Write(SlotOffset(slot), std::move(piece), [alive](Status) {
+      // Background fill; a failed write only means a future re-fetch.
+    });
+    off += n;
+  }
+}
+
+void ReadCache::Invalidate(uint64_t vlba, uint64_t len) {
+  const auto removed = map_.Remove(vlba, len);
+  stats_.invalidations += removed.size();
+}
+
+void ReadCache::PersistMap(std::function<void(Status)> done) {
+  Encoder enc;
+  enc.PutU32(kRcMapMagic);
+  enc.PutU64(next_slot_);
+  const auto extents = map_.Extents();
+  enc.PutU32(static_cast<uint32_t>(extents.size()));
+  enc.PutU32(static_cast<uint32_t>(slots_.size()));
+  const size_t crc_pos = enc.size();
+  enc.PutU32(0);
+  for (const auto& e : extents) {
+    enc.PutU64(e.start);
+    enc.PutU64(e.len);
+    enc.PutU64(e.target.plba);
+  }
+  for (const auto& s : slots_) {
+    enc.PutU64(s.vlba);
+    enc.PutU64(s.len);
+  }
+  enc.PadTo(kBlockSize);
+  std::vector<uint8_t> bytes = enc.Take();
+  if (bytes.size() > map_area_) {
+    done(Status::ResourceExhausted("read-cache map exceeds persist area"));
+    return;
+  }
+  const uint32_t crc = Crc32c(bytes.data(), bytes.size());
+  for (int i = 0; i < 4; i++) {
+    bytes[crc_pos + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(crc >> (8 * i));
+  }
+  auto alive = alive_;
+  ssd_->Write(base_, Buffer::FromBytes(bytes),
+              [alive, done = std::move(done)](Status s) {
+    if (!*alive) {
+      return;
+    }
+    done(s);
+  });
+}
+
+void ReadCache::LoadMap(std::function<void(Status)> done) {
+  auto alive = alive_;
+  ssd_->Read(base_, map_area_,
+             [this, alive, done = std::move(done)](Result<Buffer> r) {
+    if (!*alive) {
+      return;
+    }
+    if (!r.ok()) {
+      done(r.status());
+      return;
+    }
+    std::vector<uint8_t> bytes = r->ToBytes();
+    Decoder dec(bytes);
+    if (dec.GetU32() != kRcMapMagic) {
+      done(Status::Corruption("no read-cache map"));
+      return;
+    }
+    const uint64_t next_slot = dec.GetU64();
+    const uint32_t ext_count = dec.GetU32();
+    const uint32_t slot_count = dec.GetU32();
+    const size_t crc_pos = dec.position();
+    const uint32_t crc = dec.GetU32();
+    // CRC covers the padded blob; recompute over the same length.
+    const size_t blob_len =
+        (crc_pos + 4 + static_cast<size_t>(ext_count) * 24 +
+         static_cast<size_t>(slot_count) * 16 + kBlockSize - 1) /
+        kBlockSize * kBlockSize;
+    if (blob_len > bytes.size() || slot_count != slots_.size()) {
+      done(Status::Corruption("read-cache map malformed"));
+      return;
+    }
+    std::vector<uint8_t> check(bytes.begin(),
+                               bytes.begin() + static_cast<ptrdiff_t>(blob_len));
+    for (int i = 0; i < 4; i++) {
+      check[crc_pos + static_cast<size_t>(i)] = 0;
+    }
+    if (Crc32c(check.data(), check.size()) != crc) {
+      done(Status::Corruption("read-cache map CRC mismatch"));
+      return;
+    }
+    map_.Clear();
+    next_slot_ = next_slot;
+    for (uint32_t i = 0; i < ext_count; i++) {
+      const uint64_t start = dec.GetU64();
+      const uint64_t len = dec.GetU64();
+      const uint64_t plba = dec.GetU64();
+      map_.Update(start, len, SsdTarget{plba});
+    }
+    for (uint32_t i = 0; i < slot_count; i++) {
+      slots_[i].vlba = dec.GetU64();
+      slots_[i].len = dec.GetU64();
+    }
+    done(dec.ok() ? Status::Ok()
+                  : Status::Corruption("read-cache map truncated"));
+  });
+}
+
+}  // namespace lsvd

@@ -1,0 +1,91 @@
+// Block-granular read cache (paper §3.1).
+//
+// Most of the SSD is devoted to this cache. It stores fixed-size lines
+// (default 64 KiB) allocated FIFO, holding data fetched from the backend.
+// Its map is memory-efficient (line granularity) and its loss is harmless —
+// the map is only persisted opportunistically to avoid cold-start refetches.
+//
+// Write-after-read hazards are handled by LSVD's read path ordering (write
+// cache is consulted first) plus explicit invalidation on every client write,
+// so a line never shadows newer data after the write cache evicts.
+#ifndef SRC_LSVD_READ_CACHE_H_
+#define SRC_LSVD_READ_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/lsvd/client_host.h"
+#include "src/lsvd/extent_map.h"
+
+namespace lsvd {
+
+struct ReadCacheStats {
+  uint64_t insertions = 0;
+  uint64_t inserted_bytes = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+};
+
+class ReadCache {
+ public:
+  ReadCache(ClientHost* host, uint64_t base, uint64_t size,
+            uint64_t line_size);
+
+  const ExtentMap<SsdTarget>& map() const { return map_; }
+
+  // Reads cached data by device offset (target of a map lookup).
+  void ReadData(uint64_t plba, uint64_t len,
+                std::function<void(Result<Buffer>)> done);
+
+  // Caches backend data covering [vlba, vlba + data.size()). Fire-and-forget:
+  // the map is updated immediately; the SSD writes complete in the
+  // background (a lost line is re-fetchable).
+  void Insert(uint64_t vlba, const Buffer& data);
+
+  // Drops any cached lines overlapping [vlba, vlba+len); called on every
+  // client write to prevent stale reads.
+  void Invalidate(uint64_t vlba, uint64_t len);
+
+  // Opportunistically persists / restores the line map (§3.2: "the read
+  // cache map is periodically persisted to SSD").
+  void PersistMap(std::function<void(Status)> done);
+  void LoadMap(std::function<void(Status)> done);
+
+  void Kill() { *alive_ = false; }
+
+  uint64_t line_size() const { return line_size_; }
+  uint64_t num_lines() const { return num_lines_; }
+  const ReadCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    uint64_t vlba = 0;
+    uint64_t len = 0;  // 0 = empty
+  };
+
+  uint64_t SlotOffset(uint64_t slot) const {
+    return lines_base_ + slot * line_size_;
+  }
+  void EvictSlot(uint64_t slot);
+
+  ClientHost* host_;
+  SimSsd* ssd_;
+  uint64_t base_;
+  uint64_t size_;
+  uint64_t line_size_;
+  uint64_t map_area_;    // bytes reserved for map persistence
+  uint64_t lines_base_;
+  uint64_t num_lines_;
+  uint64_t next_slot_ = 0;  // FIFO allocation cursor
+
+  ExtentMap<SsdTarget> map_;
+  std::vector<Slot> slots_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  ReadCacheStats stats_;
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_LSVD_READ_CACHE_H_

@@ -1,0 +1,101 @@
+#include "src/lsvd/replicator.h"
+
+#include <utility>
+
+namespace lsvd {
+
+Replicator::Replicator(Simulator* sim, ObjectStore* primary,
+                       ObjectStore* replica, ReplicatorConfig config)
+    : sim_(sim), primary_(primary), replica_(replica),
+      config_(std::move(config)) {}
+
+void Replicator::Start() {
+  *alive_ = false;  // cancel a previous schedule, if any
+  alive_ = std::make_shared<bool>(true);
+  ScheduleNext();
+}
+
+void Replicator::ScheduleNext() {
+  auto alive = alive_;
+  sim_->After(config_.poll_interval, [this, alive]() {
+    if (!*alive) {
+      return;
+    }
+    PollOnce([this, alive]() {
+      if (!*alive) {
+        return;
+      }
+      ScheduleNext();
+    });
+  });
+}
+
+void Replicator::PollOnce(std::function<void()> done) {
+  const Nanos now = sim_->now();
+  // Track first-seen times; select objects that aged past the threshold.
+  std::vector<std::string> to_copy;
+  std::set<std::string> listed;
+  for (const auto& name : primary_->List(config_.volume_name + ".")) {
+    listed.insert(name);
+    auto [it, inserted] = first_seen_.insert({name, now});
+    if (copied_.contains(name)) {
+      continue;
+    }
+    if (now - it->second >= config_.min_age) {
+      to_copy.push_back(name);
+    }
+  }
+  // Objects that disappeared before aging in were garbage collected (or were
+  // checkpoints replaced by newer ones) and are never copied.
+  for (auto it = first_seen_.begin(); it != first_seen_.end();) {
+    if (!listed.contains(it->first)) {
+      if (!copied_.contains(it->first)) {
+        stats_.objects_skipped_deleted++;
+      }
+      it = first_seen_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (to_copy.empty()) {
+    sim_->After(0, std::move(done));
+    return;
+  }
+
+  auto remaining = std::make_shared<size_t>(to_copy.size());
+  auto alive = alive_;
+  auto one_done = [alive, remaining, done = std::move(done)]() {
+    if (--*remaining == 0 && *alive) {
+      done();
+    }
+  };
+  for (const auto& name : to_copy) {
+    copied_.insert(name);
+    primary_->Get(name, [this, alive, name, one_done](Result<Buffer> r) {
+      if (!*alive) {
+        return;
+      }
+      if (!r.ok()) {
+        // Garbage collection deleted the object before we aged it in.
+        stats_.objects_skipped_deleted++;
+        copied_.erase(name);
+        one_done();
+        return;
+      }
+      const uint64_t size = r->size();
+      replica_->Put(name, std::move(r).value(),
+                    [this, alive, size, one_done](Status s) {
+        if (!*alive) {
+          return;
+        }
+        if (s.ok()) {
+          stats_.objects_copied++;
+          stats_.bytes_copied += size;
+        }
+        one_done();
+      });
+    });
+  }
+}
+
+}  // namespace lsvd

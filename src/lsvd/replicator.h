@@ -1,0 +1,69 @@
+// Asynchronous volume replication (paper §4.8).
+//
+// Because the backend log is a stream of immutable named objects, a volume
+// replicates by lazily copying objects from the primary store to a replica
+// store. Objects are copied once they are older than `min_age` (first seen
+// at least that long ago); objects garbage-collected before they age in are
+// simply never copied — the paper's experiment shows ~18 GB of 103 GB
+// avoided this way. The replica may receive objects out of order; mounting
+// it uses the standard recovery prefix rule, which the paper found
+// sufficient to produce a consistent disk.
+#ifndef SRC_LSVD_REPLICATOR_H_
+#define SRC_LSVD_REPLICATOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/objstore/object_store.h"
+#include "src/sim/simulator.h"
+#include "src/util/units.h"
+
+namespace lsvd {
+
+struct ReplicatorConfig {
+  std::string volume_name = "vol";
+  Nanos min_age = 60 * kSecond;        // copy objects older than this
+  Nanos poll_interval = 5 * kSecond;
+};
+
+struct ReplicatorStats {
+  uint64_t objects_copied = 0;
+  uint64_t bytes_copied = 0;
+  uint64_t objects_skipped_deleted = 0;  // GC won the race
+};
+
+class Replicator {
+ public:
+  Replicator(Simulator* sim, ObjectStore* primary, ObjectStore* replica,
+             ReplicatorConfig config);
+  ~Replicator() { Stop(); }
+
+  // Starts periodic polling; call Stop() to let the simulator drain.
+  void Start();
+  void Stop() { *alive_ = false; }
+
+  // One scan-and-copy round; `done` fires when every copy it started
+  // finished. Usable directly for deterministic tests.
+  void PollOnce(std::function<void()> done);
+
+  const ReplicatorStats& stats() const { return stats_; }
+
+ private:
+  void ScheduleNext();
+
+  Simulator* sim_;
+  ObjectStore* primary_;
+  ObjectStore* replica_;
+  ReplicatorConfig config_;
+  std::map<std::string, Nanos> first_seen_;
+  std::set<std::string> copied_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  ReplicatorStats stats_;
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_LSVD_REPLICATOR_H_

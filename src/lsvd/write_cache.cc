@@ -1,0 +1,646 @@
+#include "src/lsvd/write_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/util/codec.h"
+#include "src/util/crc32c.h"
+
+namespace lsvd {
+namespace {
+
+constexpr uint32_t kSuperMagic = 0x4C535653;    // "LSVS"
+constexpr uint32_t kWcCkptMagic = 0x4C535643;   // "LSVC"
+constexpr uint32_t kVersion = 1;
+// Bound on the data carried by one journal record, to keep record latency
+// bounded and recovery reads reasonable.
+constexpr uint64_t kMaxRecordData = 4 * kMiB;
+
+uint64_t RoundUpBlock(uint64_t v) {
+  return (v + kBlockSize - 1) / kBlockSize * kBlockSize;
+}
+
+}  // namespace
+
+WriteCache::WriteCache(ClientHost* host, uint64_t base, uint64_t size,
+                       const StageCosts& costs)
+    : host_(host),
+      ssd_(host->ssd()),
+      costs_(costs),
+      record_cpu_(host->sim(), 2),
+      base_(base),
+      size_(size) {
+  assert(size_ >= 16 * kMiB && "write cache region too small");
+  slot_size_ = RoundUpBlock(std::max<uint64_t>(kMiB, size_ / 32));
+  log_base_ = base_ + kBlockSize + 2 * slot_size_;
+  log_size_ = base_ + size_ - log_base_;
+  head_ = log_base_;
+  readback_head_ = log_base_;
+}
+
+void WriteCache::Format(std::function<void(Status)> done) {
+  Encoder enc;
+  enc.PutU32(kSuperMagic);
+  enc.PutU32(kVersion);
+  enc.PutU64(base_);
+  enc.PutU64(size_);
+  enc.PutU64(slot_size_);
+  enc.PutU64(log_base_);
+  const size_t crc_pos = enc.size();
+  enc.PutU32(0);
+  enc.PadTo(kBlockSize);
+  std::vector<uint8_t> sb = enc.Take();
+  const uint32_t crc = Crc32c(sb.data(), sb.size());
+  for (int i = 0; i < 4; i++) {
+    sb[crc_pos + static_cast<size_t>(i)] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+
+  auto alive = alive_;
+  ssd_->Write(base_, Buffer::FromBytes(sb),
+              [this, alive, done = std::move(done)](Status s) {
+    if (!*alive) {
+      return;
+    }
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    // Initial empty checkpoint in slot 0.
+    WriteCheckpoint(0, std::move(done));
+  });
+}
+
+void WriteCache::Append(uint64_t vlba, Buffer data, uint64_t batch_seq,
+                        std::function<void(Status)> done) {
+  assert(vlba % kBlockSize == 0 && data.size() % kBlockSize == 0);
+  if (data.size() + kBlockSize > log_size_ / 2) {
+    done(Status::InvalidArgument("write larger than half the cache log"));
+    return;
+  }
+  stats_.appends++;
+  stats_.appended_bytes += data.size();
+  pending_.push_back(Pending{vlba, std::move(data), batch_seq,
+                             std::move(done)});
+  MaybeStartRecord();
+}
+
+void WriteCache::MaybeStartRecord() {
+  // Pipeline up to a small window of concurrent record writes. While other
+  // records are already in flight, a lone small write waits briefly for
+  // company ("plugging"): the per-record wakeup cost then amortizes over
+  // more writes without adding idle latency.
+  constexpr size_t kRecordWindow = 12;
+  constexpr uint64_t kPlugBytes = 16 * kKiB;
+  while (in_flight_.size() < kRecordWindow && !pending_.empty()) {
+    if (!in_flight_.empty() && pending_.size() < 2 &&
+        pending_.front().data.size() < kPlugBytes) {
+      return;  // wait for the next append or for the pipeline to drain
+    }
+    if (!StartOneRecord()) {
+      return;
+    }
+  }
+}
+
+bool WriteCache::StartOneRecord() {
+  // Pack pending writes into one record, bounded by the extent table, the
+  // record data cap, and available log space.
+  JournalRecord record;
+  record.seq = next_seq_;
+  std::vector<Pending> writes;
+  uint64_t data_len = 0;
+  uint64_t max_batch = 0;
+  while (!pending_.empty() && record.extents.size() < kMaxJournalExtents &&
+         data_len < kMaxRecordData) {
+    Pending& p = pending_.front();
+    const uint64_t record_size = kBlockSize + data_len + p.data.size();
+    // Space feasibility including a potential wrap gap; evict releasable
+    // records (FIFO) on demand.
+    const uint64_t contiguous = base_ + size_ - head_;
+    const uint64_t gap = record_size > contiguous ? contiguous : 0;
+    const uint64_t need = gap + record_size + kBlockSize;
+    if (used_ + need > log_size_) {
+      EvictForSpace(need);
+    }
+    if (used_ + need > log_size_) {
+      if (writes.empty()) {
+        stats_.stalled_appends++;
+        return false;  // no room for even one write; resume on ReleaseThrough
+      }
+      break;
+    }
+    record.extents.push_back(JournalExtent{p.vlba, p.data.size()});
+    record.data.Append(p.data);
+    data_len += p.data.size();
+    max_batch = std::max(max_batch, p.batch_seq);
+    writes.push_back(std::move(p));
+    pending_.pop_front();
+  }
+  if (writes.empty()) {
+    return false;
+  }
+  record.batch_seq = max_batch;
+
+  const uint64_t record_size = kBlockSize + data_len;
+  const uint64_t contiguous = base_ + size_ - head_;
+  const uint64_t gap = record_size > contiguous ? contiguous : 0;
+  const uint64_t target = gap > 0 ? log_base_ : head_;
+
+  RecordMeta meta;
+  meta.seq = record.seq;
+  meta.offset = target;
+  meta.total_len = record_size;
+  meta.footprint = gap + record_size;
+  meta.max_batch_seq = max_batch;
+  meta.extents = record.extents;
+
+  const uint64_t seq = record.seq;
+  next_seq_++;
+  head_ = target + record_size;
+  used_ += meta.footprint;
+  stats_.records++;
+  stats_.record_bytes += record_size;
+  records_.push_back(meta);  // in sequence order; applied later
+  in_flight_[seq] = InFlightRecord{std::move(writes), false, Status::Ok()};
+
+  Buffer encoded = EncodeJournalRecord(record);
+  auto alive = alive_;
+  // The record write is preceded by the journal worker wakeup (Table 6).
+  record_cpu_.Submit(costs_.record_context_switch,
+                     [this, alive, seq, target,
+                      encoded = std::move(encoded)]() mutable {
+    if (!*alive) {
+      return;
+    }
+    ssd_->Write(target, std::move(encoded), [this, alive, seq](Status s) {
+      if (!*alive) {
+        return;
+      }
+      auto it = in_flight_.find(seq);
+      assert(it != in_flight_.end());
+      it->second.write_done = true;
+      it->second.status = s;
+      ApplyCompletedRecords();
+      MaybeStartRecord();
+    });
+  });
+  return true;
+}
+
+void WriteCache::ApplyCompletedRecords() {
+  // Map updates and acknowledgements in sequence order (§3.2), so that when
+  // two pipelined records touch the same vLBA, the later record's mapping
+  // survives.
+  while (!in_flight_.empty()) {
+    auto it = in_flight_.find(next_apply_seq_);
+    if (it == in_flight_.end() || !it->second.write_done) {
+      return;
+    }
+    // Find this record's metadata; it is among the most recently appended.
+    const RecordMeta* meta = nullptr;
+    for (auto rit = records_.rbegin(); rit != records_.rend(); ++rit) {
+      if (rit->seq == next_apply_seq_) {
+        meta = &*rit;
+        break;
+      }
+      if (rit->seq < next_apply_seq_) {
+        break;
+      }
+    }
+    if (it->second.status.ok() && meta != nullptr) {
+      uint64_t data_plba = meta->offset + kBlockSize;
+      for (const auto& e : meta->extents) {
+        map_.Update(e.vlba, e.len, SsdTarget{data_plba});
+        data_plba += e.len;
+      }
+    }
+    for (auto& w : it->second.writes) {
+      w.done(it->second.status);
+    }
+    in_flight_.erase(it);
+    next_apply_seq_++;
+  }
+  // Stalled appends may proceed now: applied records are no longer pinned
+  // in flight, so lazy eviction can reclaim them if they are releasable.
+  MaybeStartRecord();
+}
+
+void WriteCache::Barrier(std::function<void(Status)> done) {
+  auto alive = alive_;
+  ssd_->Flush([alive, done = std::move(done)](Status s) {
+    if (!*alive) {
+      return;
+    }
+    done(s);
+  });
+}
+
+void WriteCache::ReadData(uint64_t plba, uint64_t len,
+                          std::function<void(Result<Buffer>)> done) {
+  auto alive = alive_;
+  ssd_->Read(plba, len, [alive, done = std::move(done)](Result<Buffer> r) {
+    if (!*alive) {
+      return;
+    }
+    done(std::move(r));
+  });
+}
+
+void WriteCache::ReleaseThrough(uint64_t synced_batch_seq) {
+  if (synced_batch_seq > release_watermark_) {
+    release_watermark_ = synced_batch_seq;
+    // Newly releasable space may unblock stalled appends.
+    MaybeStartRecord();
+  }
+}
+
+void WriteCache::EvictReleasable() { EvictForSpace(log_size_); }
+
+void WriteCache::EvictForSpace(uint64_t needed) {
+  while (free_bytes() < needed && !records_.empty() &&
+         records_.front().max_batch_seq <= release_watermark_ &&
+         !in_flight_.contains(records_.front().seq)) {
+    const RecordMeta& rec = records_.front();
+    // Remove map entries that still point into this record's data area;
+    // ranges overwritten by newer records are left alone.
+    const uint64_t data_base = rec.offset + kBlockSize;
+    uint64_t extent_plba = data_base;
+    for (const auto& e : rec.extents) {
+      for (const auto& seg : map_.Lookup(e.vlba, e.len)) {
+        if (!seg.target.has_value()) {
+          continue;
+        }
+        const uint64_t expected = extent_plba + (seg.start - e.vlba);
+        if (seg.target->plba == expected) {
+          map_.Remove(seg.start, seg.len);
+        }
+      }
+      extent_plba += e.len;
+    }
+    used_ -= rec.footprint;
+    stats_.evicted_records++;
+    records_.pop_front();
+  }
+}
+
+void WriteCache::ChargeReadback(uint64_t bytes, std::function<void()> done) {
+  if (bytes == 0) {
+    host_->sim()->After(0, std::move(done));
+    return;
+  }
+  auto remaining = std::make_shared<int>(0);
+  auto issued = std::make_shared<bool>(false);
+  auto alive = alive_;
+  auto one = [alive, remaining, issued, done]() {
+    (*remaining)--;
+    if (*issued && *remaining == 0 && *alive) {
+      done();
+    }
+  };
+  constexpr uint64_t kChunk = 256 * kKiB;
+  uint64_t left = bytes;
+  while (left > 0) {
+    const uint64_t n = RoundUpBlock(std::min(left, kChunk));
+    if (readback_head_ + n > base_ + size_) {
+      readback_head_ = log_base_;
+    }
+    (*remaining)++;
+    ssd_->Read(readback_head_, n, [one](Result<Buffer>) { one(); });
+    readback_head_ += n;
+    left -= std::min(left, kChunk);
+  }
+  *issued = true;
+}
+
+Buffer WriteCache::EncodeCheckpointBlob(uint64_t backend_synced_seq) const {
+  Encoder enc;
+  enc.PutU32(kWcCkptMagic);
+  enc.PutU32(kVersion);
+  const size_t len_pos = enc.size();
+  enc.PutU64(0);  // blob length, backpatched after padding
+  enc.PutU64(ckpt_gen_ + 1);
+  enc.PutU64(next_seq_);
+  enc.PutU64(head_);
+  enc.PutU64(used_);
+  enc.PutU64(backend_synced_seq);
+  enc.PutU32(static_cast<uint32_t>(records_.size()));
+  const auto extents = map_.Extents();
+  enc.PutU32(static_cast<uint32_t>(extents.size()));
+  const size_t crc_pos = enc.size();
+  enc.PutU32(0);
+  for (const auto& rec : records_) {
+    enc.PutU64(rec.seq);
+    enc.PutU64(rec.offset);
+    enc.PutU64(rec.total_len);
+    enc.PutU64(rec.footprint);
+    enc.PutU64(rec.max_batch_seq);
+    enc.PutU32(static_cast<uint32_t>(rec.extents.size()));
+    for (const auto& e : rec.extents) {
+      enc.PutU64(e.vlba);
+      enc.PutU64(e.len);
+    }
+  }
+  for (const auto& e : extents) {
+    enc.PutU64(e.start);
+    enc.PutU64(e.len);
+    enc.PutU64(e.target.plba);
+  }
+  enc.PadTo(kBlockSize);
+  enc.PatchU32(len_pos, static_cast<uint32_t>(enc.size()));
+  enc.PatchU32(len_pos + 4, static_cast<uint32_t>(enc.size() >> 32));
+  std::vector<uint8_t> bytes = enc.Take();
+  const uint32_t crc = Crc32c(bytes.data(), bytes.size());
+  for (int i = 0; i < 4; i++) {
+    bytes[crc_pos + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(crc >> (8 * i));
+  }
+  return Buffer::FromBytes(bytes);
+}
+
+Status WriteCache::LoadCheckpointBlob(const Buffer& blob,
+                                      uint64_t* ckpt_gen) {
+  std::vector<uint8_t> bytes = blob.ToBytes();
+  Decoder dec(bytes);
+  if (dec.GetU32() != kWcCkptMagic) {
+    return Status::Corruption("bad write-cache checkpoint magic");
+  }
+  if (dec.GetU32() != kVersion) {
+    return Status::Corruption("bad write-cache checkpoint version");
+  }
+  const uint64_t blob_len = dec.GetU64();
+  if (blob_len < 32 || blob_len > bytes.size()) {
+    return Status::Corruption("write-cache checkpoint length out of range");
+  }
+  bytes.resize(blob_len);  // CRC covers exactly the encoded blob
+  *ckpt_gen = dec.GetU64();
+  const uint64_t next_seq = dec.GetU64();
+  const uint64_t head = dec.GetU64();
+  const uint64_t used = dec.GetU64();
+  const uint64_t synced = dec.GetU64();
+  const uint32_t rec_count = dec.GetU32();
+  const uint32_t ext_count = dec.GetU32();
+  const size_t crc_pos = dec.position();
+  const uint32_t crc = dec.GetU32();
+  std::vector<uint8_t> check = bytes;
+  for (int i = 0; i < 4; i++) {
+    check[crc_pos + static_cast<size_t>(i)] = 0;
+  }
+  if (Crc32c(check.data(), check.size()) != crc) {
+    return Status::Corruption("write-cache checkpoint CRC mismatch");
+  }
+
+  next_seq_ = next_seq;
+  next_apply_seq_ = next_seq;
+  head_ = head;
+  used_ = used;
+  recovered_synced_ = synced;
+  records_.clear();
+  map_.Clear();
+  for (uint32_t i = 0; i < rec_count; i++) {
+    RecordMeta rec;
+    rec.seq = dec.GetU64();
+    rec.offset = dec.GetU64();
+    rec.total_len = dec.GetU64();
+    rec.footprint = dec.GetU64();
+    rec.max_batch_seq = dec.GetU64();
+    const uint32_t n = dec.GetU32();
+    for (uint32_t j = 0; j < n; j++) {
+      JournalExtent e;
+      e.vlba = dec.GetU64();
+      e.len = dec.GetU64();
+      rec.extents.push_back(e);
+    }
+    records_.push_back(std::move(rec));
+  }
+  for (uint32_t i = 0; i < ext_count; i++) {
+    const uint64_t start = dec.GetU64();
+    const uint64_t len = dec.GetU64();
+    const uint64_t plba = dec.GetU64();
+    map_.Update(start, len, SsdTarget{plba});
+  }
+  if (!dec.ok()) {
+    return Status::Corruption("write-cache checkpoint truncated");
+  }
+  return Status::Ok();
+}
+
+void WriteCache::WriteCheckpoint(uint64_t backend_synced_seq,
+                                 std::function<void(Status)> done) {
+  Buffer blob = EncodeCheckpointBlob(backend_synced_seq);
+  if (blob.size() > slot_size_) {
+    done(Status::ResourceExhausted("write-cache map exceeds checkpoint slot"));
+    return;
+  }
+  const uint64_t slot_offset =
+      base_ + kBlockSize + ((ckpt_gen_ + 1) % 2) * slot_size_;
+  auto alive = alive_;
+  ssd_->Write(slot_offset, std::move(blob),
+              [this, alive, done = std::move(done)](Status s) mutable {
+    if (!*alive) {
+      return;
+    }
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    ssd_->Flush([this, alive, done = std::move(done)](Status s2) {
+      if (!*alive) {
+        return;
+      }
+      if (s2.ok()) {
+        ckpt_gen_++;
+        stats_.checkpoints++;
+      }
+      done(s2);
+    });
+  });
+}
+
+void WriteCache::Recover(std::function<void(Status)> done) {
+  auto alive = alive_;
+  ssd_->Read(base_, kBlockSize,
+             [this, alive, done = std::move(done)](Result<Buffer> r) mutable {
+    if (!*alive) {
+      return;
+    }
+    if (!r.ok()) {
+      done(r.status());
+      return;
+    }
+    std::vector<uint8_t> sb = r->ToBytes();
+    Decoder dec(sb);
+    if (dec.GetU32() != kSuperMagic || dec.GetU32() != kVersion) {
+      done(Status::Corruption("bad write-cache superblock"));
+      return;
+    }
+    if (dec.GetU64() != base_ || dec.GetU64() != size_ ||
+        dec.GetU64() != slot_size_ || dec.GetU64() != log_base_) {
+      done(Status::Corruption("write-cache geometry mismatch"));
+      return;
+    }
+    const size_t crc_pos = dec.position();
+    const uint32_t crc = dec.GetU32();
+    std::vector<uint8_t> check = sb;
+    for (int i = 0; i < 4; i++) {
+      check[crc_pos + static_cast<size_t>(i)] = 0;
+    }
+    if (Crc32c(check.data(), check.size()) != crc) {
+      done(Status::Corruption("write-cache superblock CRC mismatch"));
+      return;
+    }
+
+    // Read both checkpoint slots; keep the newest valid one.
+    ssd_->Read(base_ + kBlockSize, 2 * slot_size_,
+               [this, alive, done = std::move(done)](Result<Buffer> slots) {
+      if (!*alive) {
+        return;
+      }
+      if (!slots.ok()) {
+        done(slots.status());
+        return;
+      }
+      uint64_t best_gen = 0;
+      int best_slot = -1;
+      for (int s = 0; s < 2; s++) {
+        uint64_t gen = 0;
+        WriteCache probe(host_, base_, size_, costs_);
+        Buffer blob = slots->Slice(static_cast<uint64_t>(s) * slot_size_,
+                                   slot_size_);
+        if (probe.LoadCheckpointBlob(blob, &gen).ok() && gen > best_gen) {
+          best_gen = gen;
+          best_slot = s;
+        }
+      }
+      if (best_slot < 0) {
+        done(Status::Corruption("no valid write-cache checkpoint"));
+        return;
+      }
+      uint64_t gen = 0;
+      Buffer blob = slots->Slice(static_cast<uint64_t>(best_slot) * slot_size_,
+                                 slot_size_);
+      const Status s = LoadCheckpointBlob(blob, &gen);
+      if (!s.ok()) {
+        done(s);
+        return;
+      }
+      ckpt_gen_ = gen;
+      auto st = std::make_shared<ReplayState>();
+      st->pos = head_;
+      st->expected_seq = next_seq_;
+      st->done = std::move(done);
+      ReplayStep(st);
+    });
+  });
+}
+
+// Replay rules (§3.3): records must appear at the expected position with the
+// expected sequence number; any mismatch first probes the wrap position
+// (log_base_) once — the writer wraps when a record does not fit contiguously
+// — and otherwise ends the log. Stale data from a previous lap fails the
+// sequence check because sequence numbers are strictly increasing.
+void WriteCache::ReplayMiss(const std::shared_ptr<ReplayState>& st) {
+  if (!st->wrapped && st->pos != log_base_) {
+    st->wrapped = true;
+    st->fail_pos = st->pos;
+    st->pos = log_base_;
+    ReplayStep(st);
+    return;
+  }
+  // End of log. If we got here via a failed wrap probe, the writer never
+  // wrapped and the true head is the pre-wrap position.
+  head_ = st->wrapped ? st->fail_pos : st->pos;
+  next_seq_ = st->expected_seq;
+  next_apply_seq_ = st->expected_seq;
+  st->done(Status::Ok());
+}
+
+void WriteCache::ReplayStep(std::shared_ptr<ReplayState> st) {
+  const uint64_t region_end = base_ + size_;
+  if (st->pos + 2 * kBlockSize > region_end) {
+    ReplayMiss(st);
+    return;
+  }
+  auto alive = alive_;
+  ssd_->Read(st->pos, kBlockSize,
+             [this, alive, st](Result<Buffer> r) {
+    if (!*alive) {
+      return;
+    }
+    if (!r.ok()) {
+      st->done(r.status());
+      return;
+    }
+    JournalRecord rec;
+    uint64_t data_len = 0;
+    if (!DecodeJournalHeader(*r, &rec, &data_len).ok() ||
+        rec.seq != st->expected_seq ||
+        st->pos + kBlockSize + data_len > base_ + size_ || data_len == 0) {
+      ReplayMiss(st);
+      return;
+    }
+    // Header valid; verify the payload before accepting the record.
+    ssd_->Read(st->pos + kBlockSize, data_len,
+               [this, alive, st, rec = std::move(rec),
+                data_len](Result<Buffer> dr) mutable {
+      if (!*alive) {
+        return;
+      }
+      if (!dr.ok() || !VerifyJournalData(rec, *dr).ok()) {
+        ReplayMiss(st);
+        return;
+      }
+      ReplayAccept(st, std::move(rec), data_len);
+    });
+  });
+}
+
+void WriteCache::ReplayAccept(const std::shared_ptr<ReplayState>& st,
+                              JournalRecord rec, uint64_t data_len) {
+  RecordMeta meta;
+  meta.seq = rec.seq;
+  meta.offset = st->pos;
+  meta.total_len = kBlockSize + data_len;
+  // A record found at the wrap position means the writer wrapped here; the
+  // skipped tail of the region counts against the record's footprint.
+  const uint64_t gap =
+      st->wrapped ? (base_ + size_) - st->fail_pos : st->pending_gap;
+  meta.footprint = gap + meta.total_len;
+  meta.max_batch_seq = rec.batch_seq;
+  meta.extents = rec.extents;
+
+  uint64_t data_plba = st->pos + kBlockSize;
+  for (const auto& e : rec.extents) {
+    map_.Update(e.vlba, e.len, SsdTarget{data_plba});
+    data_plba += e.len;
+  }
+  used_ += meta.footprint;
+  const uint64_t next_pos = st->pos + meta.total_len;
+  records_.push_back(std::move(meta));
+
+  st->pos = next_pos;
+  st->expected_seq++;
+  st->wrapped = false;
+  st->fail_pos = 0;
+  st->pending_gap = 0;
+  ReplayStep(st);
+}
+
+std::vector<WriteCache::RecordMeta> WriteCache::RecordsAfterBatch(
+    uint64_t synced_seq) const {
+  std::vector<RecordMeta> out;
+  for (const auto& rec : records_) {
+    if (rec.max_batch_seq > synced_seq) {
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+void WriteCache::ReadRecordPayload(const RecordMeta& rec,
+                                   std::function<void(Result<Buffer>)> done) {
+  ReadData(rec.offset + kBlockSize, rec.total_len - kBlockSize,
+           std::move(done));
+}
+
+}  // namespace lsvd

@@ -1,0 +1,198 @@
+// Log-structured write-back cache (paper §3.1, Figure 2).
+//
+// Incoming writes are appended to a circular on-SSD log as journal records
+// (4 KiB header + data); the in-memory extent map (vLBA -> device offset) is
+// updated when the SSD acknowledges the record. Because the log is written
+// sequentially, small random client writes become large sequential device
+// writes, and a commit barrier is a single device flush — no metadata
+// write-out (the mechanism behind the paper's §4.2.2 varmail result).
+//
+// Region layout:
+//   [base, base+4K)            superblock
+//   [.., +2 checkpoint slots)  alternating map checkpoints
+//   [log_base, base+size)      circular record log
+//
+// Eviction is FIFO and gated on backend progress: a record may only be
+// released once every backend batch it contributed to has committed
+// (ReleaseThrough). When the log fills, appends stall — this is the
+// writeback-bound regime of the paper's Figures 9-11.
+#ifndef SRC_LSVD_WRITE_CACHE_H_
+#define SRC_LSVD_WRITE_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/lsvd/client_host.h"
+#include "src/lsvd/config.h"
+#include "src/lsvd/extent_map.h"
+#include "src/lsvd/journal.h"
+
+namespace lsvd {
+
+struct WriteCacheStats {
+  uint64_t appends = 0;
+  uint64_t appended_bytes = 0;
+  uint64_t records = 0;
+  uint64_t record_bytes = 0;  // headers + data
+  uint64_t stalled_appends = 0;
+  uint64_t checkpoints = 0;
+  uint64_t evicted_records = 0;
+};
+
+class WriteCache {
+ public:
+  // Metadata for a live (not yet evicted) record, kept in memory and in map
+  // checkpoints; used for eviction and post-crash replay to the backend.
+  struct RecordMeta {
+    uint64_t seq = 0;
+    uint64_t offset = 0;     // device offset of the header block
+    uint64_t total_len = 0;  // header + data bytes
+    uint64_t footprint = 0;  // total_len + any wrap gap preceding it
+    uint64_t max_batch_seq = 0;
+    std::vector<JournalExtent> extents;
+  };
+
+  WriteCache(ClientHost* host, uint64_t base, uint64_t size,
+             const StageCosts& costs);
+
+  // Initializes an empty cache (superblock + blank checkpoint) on SSD.
+  void Format(std::function<void(Status)> done);
+
+  // Appends one client write. `batch_seq` is the backend batch the write was
+  // assigned to. `done` fires when the containing record is on the SSD —
+  // this is the client's write acknowledgement point.
+  void Append(uint64_t vlba, Buffer data, uint64_t batch_seq,
+              std::function<void(Status)> done);
+
+  // Commit barrier: flush the SSD (§3.2).
+  void Barrier(std::function<void(Status)> done);
+
+  // Cache-map lookup structures for the read path.
+  const ExtentMap<SsdTarget>& map() const { return map_; }
+  // Reads cached data by device offset (target of a map lookup).
+  void ReadData(uint64_t plba, uint64_t len,
+                std::function<void(Result<Buffer>)> done);
+
+  // Marks records whose writes are all contained in backend objects with
+  // seq <= `synced_batch_seq` as *releasable*. Eviction itself is lazy and
+  // FIFO: releasable records are only dropped when the log needs space for
+  // new appends, so cached data stays readable as long as possible (§3.1 —
+  // the log's natural FIFO eviction).
+  void ReleaseThrough(uint64_t synced_batch_seq);
+
+  // True when every record's data is contained in committed backend objects
+  // (the cache and backend are synchronized; safe to migrate).
+  bool fully_synced() const {
+    return records_.empty() ||
+           records_.back().max_batch_seq <= release_watermark_;
+  }
+
+  // Evicts every releasable record immediately (e.g. handing the cache
+  // device to another volume after migration). Normal operation relies on
+  // the lazy FIFO eviction instead.
+  void EvictReleasable();
+
+  // Charges the prototype's kernel/user SSD pass-through read (§4.7): the
+  // userspace daemon reads `bytes` of outgoing batch data back from the log.
+  void ChargeReadback(uint64_t bytes, std::function<void()> done);
+
+  // Writes a map checkpoint (alternating slots) and flushes.
+  void WriteCheckpoint(uint64_t backend_synced_seq,
+                       std::function<void(Status)> done);
+
+  // Rebuilds state from SSD: superblock, newest valid checkpoint, then log
+  // replay up to the first invalid/out-of-sequence record.
+  void Recover(std::function<void(Status)> done);
+
+  // Records whose data may be missing from the backend (max_batch_seq >
+  // synced_seq), in log order; used for the rewind-and-replay step (§3.3).
+  std::vector<RecordMeta> RecordsAfterBatch(uint64_t synced_seq) const;
+  // Reads a record's payload directly from its log position (valid even if
+  // the map has since been overwritten) and returns per-extent buffers.
+  void ReadRecordPayload(const RecordMeta& rec,
+                         std::function<void(Result<Buffer>)> done);
+
+  // Invalidates all pending callbacks (crash simulation); the object must
+  // still be kept alive until the simulator drains.
+  void Kill() { *alive_ = false; }
+
+  uint64_t free_bytes() const { return log_size_ - used_; }
+  uint64_t log_size() const { return log_size_; }
+  uint64_t used_bytes() const { return used_; }
+  uint64_t backend_synced_hint() const { return recovered_synced_; }
+  const WriteCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    uint64_t vlba;
+    Buffer data;
+    uint64_t batch_seq;
+    std::function<void(Status)> done;
+  };
+
+  void MaybeStartRecord();
+  bool StartOneRecord();
+  void ApplyCompletedRecords();
+  // Evicts releasable records (FIFO) until at least `needed` bytes are free
+  // or nothing more can be evicted.
+  void EvictForSpace(uint64_t needed);
+  Buffer EncodeCheckpointBlob(uint64_t backend_synced_seq) const;
+  Status LoadCheckpointBlob(const Buffer& blob, uint64_t* ckpt_gen);
+
+  // Log-replay state machine (see Recover).
+  struct ReplayState {
+    uint64_t pos = 0;          // next header position to try
+    uint64_t expected_seq = 0; // sequence number the next record must carry
+    bool wrapped = false;      // currently probing the wrap position
+    uint64_t fail_pos = 0;     // pre-wrap position (head if wrap probe fails)
+    uint64_t pending_gap = 0;  // wrap gap to charge to the next record
+    std::function<void(Status)> done;
+  };
+  void ReplayStep(std::shared_ptr<ReplayState> st);
+  void ReplayMiss(const std::shared_ptr<ReplayState>& st);
+  void ReplayAccept(const std::shared_ptr<ReplayState>& st,
+                    JournalRecord rec, uint64_t data_len);
+
+  ClientHost* host_;
+  SimSsd* ssd_;
+  StageCosts costs_;
+  // Dedicated journal-writer worker (the device-mapper kernel thread): the
+  // per-record wakeup does not queue behind per-write submission work.
+  ServerQueue record_cpu_;
+
+  uint64_t base_;
+  uint64_t size_;
+  uint64_t slot_size_;
+  uint64_t log_base_;
+  uint64_t log_size_;
+
+  ExtentMap<SsdTarget> map_;
+  std::deque<RecordMeta> records_;
+  std::deque<Pending> pending_;
+  // Multiple journal records may be in flight on the SSD concurrently
+  // (pipelining); map updates and acknowledgements are applied strictly in
+  // sequence order so later records always win.
+  struct InFlightRecord {
+    std::vector<Pending> writes;
+    bool write_done = false;
+    Status status;
+  };
+  std::map<uint64_t, InFlightRecord> in_flight_;
+  uint64_t next_apply_seq_ = 1;
+  uint64_t release_watermark_ = 0;  // highest backend-synced batch seen
+  uint64_t head_;           // absolute append offset
+  uint64_t used_ = 0;       // log bytes occupied (incl. wrap gaps)
+  uint64_t next_seq_ = 1;
+  uint64_t ckpt_gen_ = 0;   // checkpoint generation (picks newest slot)
+  uint64_t recovered_synced_ = 0;
+  uint64_t readback_head_ = 0;  // cursor for pass-through readback charging
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  WriteCacheStats stats_;
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_LSVD_WRITE_CACHE_H_

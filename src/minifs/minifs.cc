@@ -1,0 +1,1137 @@
+#include "src/minifs/minifs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/blockdev/block_device.h"
+#include "src/util/codec.h"
+#include "src/util/crc32c.h"
+
+namespace lsvd {
+namespace {
+
+constexpr uint32_t kSuperMagic = 0x4D465331;   // "MFS1"
+constexpr uint32_t kDescMagic = 0x4D464A44;    // journal descriptor
+constexpr uint32_t kCommitMagic = 0x4D464A43;  // journal commit
+constexpr uint32_t kVersion = 1;
+
+constexpr uint64_t kInodeSize = 128;
+constexpr uint64_t kInodesPerBlock = kBlockSize / kInodeSize;  // 32
+constexpr uint64_t kDirentSize = 32;
+constexpr uint64_t kDirentsPerBlock = kBlockSize / kDirentSize;  // 128
+constexpr size_t kMaxName = 25;
+constexpr uint64_t kDirectPtrs = 12;
+constexpr uint64_t kPtrsPerIndirect = kBlockSize / 8;  // 512
+constexpr uint64_t kMaxFileBlocks = kDirectPtrs + 2 * kPtrsPerIndirect;
+// Metadata block copies per journal transaction (the descriptor's target
+// list must fit one block: 20-byte header + 8 bytes per target).
+constexpr uint64_t kMaxTxnBlocks = 448;
+
+struct SuperBlock {
+  uint64_t total_blocks = 0;
+  uint64_t journal_start = 0;
+  uint64_t journal_blocks = 0;
+  uint64_t inode_start = 0;
+  uint64_t inode_blocks = 0;
+  uint64_t bitmap_start = 0;
+  uint64_t bitmap_blocks = 0;
+  uint64_t data_start = 0;
+};
+
+Buffer EncodeSuper(const SuperBlock& sb) {
+  Encoder enc;
+  enc.PutU32(kSuperMagic);
+  enc.PutU32(kVersion);
+  enc.PutU64(sb.total_blocks);
+  enc.PutU64(sb.journal_start);
+  enc.PutU64(sb.journal_blocks);
+  enc.PutU64(sb.inode_start);
+  enc.PutU64(sb.inode_blocks);
+  enc.PutU64(sb.bitmap_start);
+  enc.PutU64(sb.bitmap_blocks);
+  enc.PutU64(sb.data_start);
+  const size_t crc_pos = enc.size();
+  enc.PutU32(0);
+  enc.PadTo(kBlockSize);
+  auto bytes = enc.Take();
+  const uint32_t crc = Crc32c(bytes.data(), bytes.size());
+  for (int i = 0; i < 4; i++) {
+    bytes[crc_pos + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(crc >> (8 * i));
+  }
+  return Buffer::FromBytes(bytes);
+}
+
+Status DecodeSuper(const Buffer& block, SuperBlock* sb) {
+  auto bytes = block.ToBytes();
+  Decoder dec(bytes);
+  if (dec.GetU32() != kSuperMagic || dec.GetU32() != kVersion) {
+    return Status::Corruption("bad minifs superblock");
+  }
+  sb->total_blocks = dec.GetU64();
+  sb->journal_start = dec.GetU64();
+  sb->journal_blocks = dec.GetU64();
+  sb->inode_start = dec.GetU64();
+  sb->inode_blocks = dec.GetU64();
+  sb->bitmap_start = dec.GetU64();
+  sb->bitmap_blocks = dec.GetU64();
+  sb->data_start = dec.GetU64();
+  const size_t crc_pos = dec.position();
+  const uint32_t crc = dec.GetU32();
+  auto check = bytes;
+  for (int i = 0; i < 4; i++) {
+    check[crc_pos + static_cast<size_t>(i)] = 0;
+  }
+  if (Crc32c(check.data(), check.size()) != crc) {
+    return Status::Corruption("minifs superblock CRC mismatch");
+  }
+  if (sb->data_start == 0 || sb->data_start >= sb->total_blocks) {
+    return Status::Corruption("minifs superblock geometry invalid");
+  }
+  return Status::Ok();
+}
+
+// Groups a sorted list of (block, Buffer) into contiguous device writes.
+void WriteBlocksBatched(
+    VirtualDisk* disk, const std::vector<std::pair<uint64_t, Buffer>>& blocks,
+    std::function<void(Status)> done) {
+  if (blocks.empty()) {
+    done(Status::Ok());
+    return;
+  }
+  struct Run {
+    uint64_t start_block;
+    Buffer data;
+  };
+  std::vector<Run> runs;
+  for (const auto& [block, data] : blocks) {
+    if (!runs.empty() &&
+        runs.back().start_block + runs.back().data.size() / kBlockSize ==
+            block) {
+      runs.back().data.Append(data);
+    } else {
+      runs.push_back(Run{block, data});
+    }
+  }
+  auto remaining = std::make_shared<size_t>(runs.size());
+  auto failed = std::make_shared<bool>(false);
+  for (auto& run : runs) {
+    disk->Write(run.start_block * kBlockSize, std::move(run.data),
+                [remaining, failed, done](Status s) {
+      if (!s.ok() && !*failed) {
+        *failed = true;
+        done(s);
+      }
+      if (--*remaining == 0 && !*failed) {
+        done(Status::Ok());
+      }
+    });
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Format
+
+void MiniFs::Format(Simulator* sim, VirtualDisk* disk, MiniFsGeometry geo,
+                    std::function<void(Status)> done) {
+  (void)sim;
+  SuperBlock sb;
+  sb.total_blocks = disk->size() / kBlockSize;
+  sb.journal_start = 1;
+  sb.journal_blocks = std::max<uint64_t>(64, geo.journal_bytes / kBlockSize);
+  sb.inode_start = sb.journal_start + sb.journal_blocks;
+  sb.inode_blocks = (geo.max_files + kInodesPerBlock - 1) / kInodesPerBlock;
+  sb.bitmap_start = sb.inode_start + sb.inode_blocks;
+  if (sb.bitmap_start + 16 >= sb.total_blocks) {
+    done(Status::InvalidArgument("disk too small for minifs"));
+    return;
+  }
+  const uint64_t remaining = sb.total_blocks - sb.bitmap_start;
+  // One bitmap byte per data block: a bitmap block covers 4096 data blocks.
+  sb.bitmap_blocks =
+      std::max<uint64_t>(1, (remaining + kBlockSize) / (kBlockSize + 1));
+  sb.data_start = sb.bitmap_start + sb.bitmap_blocks;
+  if (sb.data_start + 16 >= sb.total_blocks) {
+    done(Status::InvalidArgument("disk too small for minifs"));
+    return;
+  }
+
+  Buffer image = EncodeSuper(sb);
+  image.AppendZeros(sb.journal_blocks * kBlockSize);
+  {
+    // Inode block 0 carries the root directory inode (type 2, empty).
+    Encoder enc;
+    enc.PutU32(2);  // type: directory
+    enc.PutU64(0);  // size
+    enc.PutU32(0);  // content crc
+    for (uint64_t i = 0; i < kDirectPtrs + 2; i++) {
+      enc.PutU64(0);
+    }
+    enc.PadTo(kBlockSize);
+    image.AppendBytes(enc.bytes());
+  }
+  image.AppendZeros((sb.inode_blocks - 1) * kBlockSize);
+  image.AppendZeros(sb.bitmap_blocks * kBlockSize);
+
+  disk->Write(0, std::move(image), [disk, done = std::move(done)](Status s) {
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    disk->Flush(std::move(done));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Allocation & serialization
+
+MiniFs::MiniFs(Simulator* sim, VirtualDisk* disk) : sim_(sim), disk_(disk) {}
+
+MiniFs::~MiniFs() { Kill(); }
+
+Result<uint64_t> MiniFs::AllocBlock() {
+  for (uint64_t i = 0; i < bitmap_.size(); i++) {
+    if (bitmap_[i] == 0 && !reuse_blocked_.contains(i)) {
+      bitmap_[i] = 1;
+      MarkBitmapDirty(i);
+      return geo_.data_start + i;
+    }
+  }
+  return Status::ResourceExhausted("minifs data space full");
+}
+
+void MiniFs::FreeBlock(uint64_t block) {
+  assert(block >= geo_.data_start);
+  const uint64_t i = block - geo_.data_start;
+  assert(i < bitmap_.size() && bitmap_[i] == 1);
+  bitmap_[i] = 0;
+  MarkBitmapDirty(i);
+  // Block reuse until the free is journaled (ordered-mode safety).
+  reuse_blocked_.insert(i);
+  pending_unblock_.push_back(i);
+}
+
+Result<uint32_t> MiniFs::AllocInode() {
+  for (uint32_t i = 1; i < inodes_.size(); i++) {  // 0 is the root dir
+    if (inodes_[i].type == 0) {
+      inodes_[i].type = 1;
+      MarkInodeDirty(i);
+      return i;
+    }
+  }
+  return Status::ResourceExhausted("minifs inode table full");
+}
+
+void MiniFs::MarkInodeDirty(uint32_t ino) {
+  dirty_meta_.insert(geo_.inode_start + ino / kInodesPerBlock);
+}
+
+void MiniFs::MarkBitmapDirty(uint64_t data_block_index) {
+  dirty_meta_.insert(geo_.bitmap_start + data_block_index / kBlockSize);
+}
+
+Result<uint64_t> MiniFs::AppendBlockTo(uint32_t ino) {
+  auto& list = blocklists_[ino];
+  if (list.size() >= kMaxFileBlocks) {
+    return Status::ResourceExhausted("minifs file too large");
+  }
+  auto block = AllocBlock();
+  if (!block.ok()) {
+    return block;
+  }
+  const uint64_t index = list.size();
+  list.push_back(*block);
+  if (index < kDirectPtrs) {
+    MarkInodeDirty(ino);
+  } else {
+    const int which = static_cast<int>((index - kDirectPtrs) /
+                                       kPtrsPerIndirect);
+    auto& node = inodes_[ino];
+    if (node.indirect[which] == 0) {
+      auto ind = AllocBlock();
+      if (!ind.ok()) {
+        return ind;
+      }
+      node.indirect[which] = *ind;
+      indirect_owner_[*ind] = {ino, which};
+      MarkInodeDirty(ino);
+    }
+    dirty_meta_.insert(node.indirect[which]);
+  }
+  return block;
+}
+
+void MiniFs::ReleaseInodeBlocks(uint32_t ino) {
+  for (const uint64_t b : blocklists_[ino]) {
+    FreeBlock(b);
+  }
+  blocklists_[ino].clear();
+  auto& node = inodes_[ino];
+  for (int w = 0; w < 2; w++) {
+    if (node.indirect[w] != 0) {
+      dirty_meta_.erase(node.indirect[w]);
+      indirect_owner_.erase(node.indirect[w]);
+      FreeBlock(node.indirect[w]);
+      node.indirect[w] = 0;
+    }
+  }
+  MarkInodeDirty(ino);
+}
+
+Buffer MiniFs::SerializeInodeBlock(uint64_t index) const {
+  Encoder enc;
+  for (uint64_t i = 0; i < kInodesPerBlock; i++) {
+    const uint64_t ino = index * kInodesPerBlock + i;
+    const Inode node = ino < inodes_.size() ? inodes_[ino] : Inode{};
+    enc.PutU32(node.type);
+    enc.PutU64(node.size);
+    enc.PutU32(node.content_crc);
+    for (uint64_t d = 0; d < kDirectPtrs; d++) {
+      const auto& list =
+          ino < blocklists_.size() ? blocklists_[ino] : std::vector<uint64_t>{};
+      enc.PutU64(d < list.size() ? list[d] : 0);
+    }
+    enc.PutU64(node.indirect[0]);
+    enc.PutU64(node.indirect[1]);
+  }
+  assert(enc.size() == kBlockSize);
+  return Buffer::FromBytes(enc.bytes());
+}
+
+Buffer MiniFs::SerializeBitmapBlock(uint64_t index) const {
+  std::vector<uint8_t> bytes(kBlockSize, 0);
+  const uint64_t base = index * kBlockSize;
+  for (uint64_t i = 0; i < kBlockSize && base + i < bitmap_.size(); i++) {
+    bytes[i] = bitmap_[base + i];
+  }
+  return Buffer::FromBytes(bytes);
+}
+
+Buffer MiniFs::SerializeDirBlock(uint64_t index) const {
+  Encoder enc;
+  for (uint64_t s = 0; s < kDirentsPerBlock; s++) {
+    const uint64_t slot = index * kDirentsPerBlock + s;
+    const size_t start = enc.size();
+    if (slot < dir_slots_.size() && dir_slots_[slot].second != 0) {
+      const auto& [name, ino] = dir_slots_[slot];
+      enc.PutU32(ino);
+      enc.PutU8(1);
+      enc.PutU8(static_cast<uint8_t>(name.size()));
+      enc.PutBytes({reinterpret_cast<const uint8_t*>(name.data()),
+                    name.size()});
+    }
+    while (enc.size() - start < kDirentSize) {
+      enc.PutU8(0);
+    }
+  }
+  assert(enc.size() == kBlockSize);
+  return Buffer::FromBytes(enc.bytes());
+}
+
+Buffer MiniFs::SerializeIndirectBlock(uint32_t ino, int which) const {
+  Encoder enc;
+  const auto& list = blocklists_[ino];
+  const uint64_t base = kDirectPtrs +
+                        static_cast<uint64_t>(which) * kPtrsPerIndirect;
+  for (uint64_t i = 0; i < kPtrsPerIndirect; i++) {
+    enc.PutU64(base + i < list.size() ? list[base + i] : 0);
+  }
+  assert(enc.size() == kBlockSize);
+  return Buffer::FromBytes(enc.bytes());
+}
+
+Buffer MiniFs::SerializeMetaBlock(uint64_t block) const {
+  if (block >= geo_.inode_start && block < geo_.inode_start + geo_.inode_blocks) {
+    return SerializeInodeBlock(block - geo_.inode_start);
+  }
+  if (block >= geo_.bitmap_start &&
+      block < geo_.bitmap_start + geo_.bitmap_blocks) {
+    return SerializeBitmapBlock(block - geo_.bitmap_start);
+  }
+  if (auto it = indirect_owner_.find(block); it != indirect_owner_.end()) {
+    return SerializeIndirectBlock(it->second.first, it->second.second);
+  }
+  // Otherwise it must be a root-directory data block.
+  const auto& dir = blocklists_[0];
+  for (uint64_t i = 0; i < dir.size(); i++) {
+    if (dir[i] == block) {
+      return SerializeDirBlock(i);
+    }
+  }
+  assert(false && "dirty metadata block of unknown kind");
+  return Buffer::Zeros(kBlockSize);
+}
+
+// ---------------------------------------------------------------------------
+// Directory
+
+Status MiniFs::DirInsert(const std::string& name, uint32_t ino) {
+  if (name.empty() || name.size() > kMaxName) {
+    return Status::InvalidArgument("minifs name invalid");
+  }
+  if (dir_.contains(name)) {
+    return Status::InvalidArgument("minifs file exists");
+  }
+  uint64_t slot = dir_slots_.size();
+  for (uint64_t i = 0; i < dir_slots_.size(); i++) {
+    if (dir_slots_[i].second == 0) {
+      slot = i;
+      break;
+    }
+  }
+  const uint64_t need_blocks = slot / kDirentsPerBlock + 1;
+  while (blocklists_[0].size() < need_blocks) {
+    auto block = AppendBlockTo(0);
+    if (!block.ok()) {
+      return block.status();
+    }
+  }
+  if (slot == dir_slots_.size()) {
+    dir_slots_.push_back({name, ino});
+  } else {
+    dir_slots_[slot] = {name, ino};
+  }
+  dir_[name] = ino;
+  dirty_meta_.insert(blocklists_[0][slot / kDirentsPerBlock]);
+  inodes_[0].size = dir_slots_.size() * kDirentSize;
+  MarkInodeDirty(0);
+  return Status::Ok();
+}
+
+void MiniFs::DirErase(const std::string& name) {
+  auto it = dir_.find(name);
+  if (it == dir_.end()) {
+    return;
+  }
+  for (uint64_t i = 0; i < dir_slots_.size(); i++) {
+    if (dir_slots_[i].second == it->second && dir_slots_[i].first == name) {
+      dir_slots_[i] = {"", 0};
+      dirty_meta_.insert(blocklists_[0][i / kDirentsPerBlock]);
+      break;
+    }
+  }
+  dir_.erase(it);
+}
+
+std::vector<std::string> MiniFs::ListFiles() const {
+  std::vector<std::string> names;
+  names.reserve(dir_.size());
+  for (const auto& [name, ino] : dir_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// File operations
+
+void MiniFs::CreateFile(const std::string& name, Buffer content,
+                        std::function<void(Status)> done) {
+  auto ino = AllocInode();
+  if (!ino.ok()) {
+    done(ino.status());
+    return;
+  }
+  if (static_cast<size_t>(std::max<uint64_t>(blocklists_.size(), *ino + 1)) >
+      blocklists_.size()) {
+    blocklists_.resize(*ino + 1);
+  }
+
+  const uint64_t size = content.size();
+  Buffer padded = content;
+  if (size % kBlockSize != 0) {
+    padded.AppendZeros(kBlockSize - size % kBlockSize);
+  }
+  const uint64_t nblocks = padded.size() / kBlockSize;
+
+  std::vector<std::pair<uint64_t, Buffer>> writes;
+  for (uint64_t b = 0; b < nblocks; b++) {
+    auto block = AppendBlockTo(*ino);
+    if (!block.ok()) {
+      ReleaseInodeBlocks(*ino);
+      inodes_[*ino] = Inode{};
+      done(block.status());
+      return;
+    }
+    writes.push_back({*block, padded.Slice(b * kBlockSize, kBlockSize)});
+  }
+  std::sort(writes.begin(), writes.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  Inode& node = inodes_[*ino];
+  node.type = 1;
+  node.size = size;
+  node.content_crc = content.Crc();
+  MarkInodeDirty(*ino);
+  const Status dir_status = DirInsert(name, *ino);
+  if (!dir_status.ok()) {
+    ReleaseInodeBlocks(*ino);
+    inodes_[*ino] = Inode{};
+    done(dir_status);
+    return;
+  }
+
+  // Ordered mode: data goes to disk now; metadata waits for the journal.
+  auto alive = alive_;
+  WriteBlocksBatched(disk_, writes,
+                     [alive, done = std::move(done)](Status s) {
+    if (*alive) {
+      done(s);
+    }
+  });
+}
+
+void MiniFs::DeleteFile(const std::string& name,
+                        std::function<void(Status)> done) {
+  auto it = dir_.find(name);
+  if (it == dir_.end()) {
+    done(Status::NotFound(name));
+    return;
+  }
+  const uint32_t ino = it->second;
+  DirErase(name);
+  ReleaseInodeBlocks(ino);
+  inodes_[ino] = Inode{};
+  MarkInodeDirty(ino);
+  auto alive = alive_;
+  sim_->After(0, [alive, done = std::move(done)]() {
+    if (*alive) {
+      done(Status::Ok());
+    }
+  });
+}
+
+void MiniFs::ReadFile(const std::string& name,
+                      std::function<void(Result<Buffer>)> done) {
+  auto it = dir_.find(name);
+  if (it == dir_.end()) {
+    done(Status::NotFound(name));
+    return;
+  }
+  const uint32_t ino = it->second;
+  const Inode& node = inodes_[ino];
+  const auto& list = blocklists_[ino];
+  if (list.empty()) {
+    done(Buffer());
+    return;
+  }
+
+  auto parts = std::make_shared<std::vector<Buffer>>(list.size());
+  auto remaining = std::make_shared<size_t>(list.size());
+  auto failed = std::make_shared<bool>(false);
+  auto alive = alive_;
+  const uint64_t size = node.size;
+  for (size_t i = 0; i < list.size(); i++) {
+    disk_->Read(list[i] * kBlockSize, kBlockSize,
+                [alive, parts, remaining, failed, i, size,
+                 done](Result<Buffer> r) {
+      if (!*alive) {
+        return;
+      }
+      if (r.ok()) {
+        (*parts)[i] = std::move(r).value();
+      } else if (!*failed) {
+        *failed = true;
+        done(r.status());
+      }
+      if (--*remaining == 0 && !*failed) {
+        Buffer whole;
+        for (auto& p : *parts) {
+          whole.Append(p);
+        }
+        done(whole.Slice(0, size));
+      }
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Journal commit
+
+void MiniFs::Fsync(std::function<void(Status)> done) {
+  assert(!commit_in_flight_ && "minifs operations must be serialized");
+  Commit(std::move(done));
+}
+
+void MiniFs::Commit(std::function<void(Status)> done) {
+  if (dirty_meta_.empty()) {
+    auto alive = alive_;
+    disk_->Flush([alive, done = std::move(done)](Status s) {
+      if (*alive) {
+        done(s);
+      }
+    });
+    return;
+  }
+  commit_in_flight_ = true;
+
+  // Snapshot the dirty set and serialize the metadata now. Blocks freed up
+  // to this point become reusable once this commit is durable.
+  auto unblock = std::make_shared<std::vector<uint64_t>>(
+      std::move(pending_unblock_));
+  pending_unblock_.clear();
+  std::vector<uint64_t> targets(dirty_meta_.begin(), dirty_meta_.end());
+  dirty_meta_.clear();
+  auto checkpoint =
+      std::make_shared<std::vector<std::pair<uint64_t, Buffer>>>();
+  for (const uint64_t b : targets) {
+    checkpoint->push_back({b, SerializeMetaBlock(b)});
+  }
+
+  // Build the journal image: one or more transactions.
+  Buffer image;
+  uint64_t blocks_needed = 0;
+  size_t index = 0;
+  while (index < targets.size()) {
+    const uint64_t count =
+        std::min<uint64_t>(kMaxTxnBlocks, targets.size() - index);
+    const uint64_t txid = next_txid_++;
+    Encoder desc;
+    desc.PutU32(kDescMagic);
+    desc.PutU64(txid);
+    desc.PutU32(static_cast<uint32_t>(count));
+    const size_t crc_pos = desc.size();
+    desc.PutU32(0);
+    for (uint64_t i = 0; i < count; i++) {
+      desc.PutU64(targets[index + i]);
+    }
+    desc.PadTo(kBlockSize);
+    auto desc_bytes = desc.Take();
+    const uint32_t desc_crc = Crc32c(desc_bytes.data(), desc_bytes.size());
+    for (int i = 0; i < 4; i++) {
+      desc_bytes[crc_pos + static_cast<size_t>(i)] =
+          static_cast<uint8_t>(desc_crc >> (8 * i));
+    }
+    image.AppendBytes(desc_bytes);
+
+    Buffer copies;
+    for (uint64_t i = 0; i < count; i++) {
+      copies.Append((*checkpoint)[index + i].second);
+    }
+    const uint32_t data_crc = copies.Crc();
+    image.Append(copies);
+
+    Encoder commit;
+    commit.PutU32(kCommitMagic);
+    commit.PutU64(txid);
+    commit.PutU32(static_cast<uint32_t>(count));
+    commit.PutU32(data_crc);
+    commit.PadTo(kBlockSize);
+    image.AppendBytes(commit.bytes());
+
+    blocks_needed += 2 + count;
+    index += count;
+  }
+
+  assert(blocks_needed <= geo_.journal_blocks && "journal too small");
+  if (journal_head_ + blocks_needed > geo_.journal_blocks) {
+    journal_head_ = 0;  // wrap; prior transactions are checkpointed
+  }
+  const uint64_t at = (geo_.journal_start + journal_head_) * kBlockSize;
+  journal_head_ += blocks_needed;
+
+  auto alive = alive_;
+  disk_->Write(at, std::move(image),
+               [this, alive, checkpoint, unblock,
+                done = std::move(done)](Status s) mutable {
+    if (!*alive) {
+      return;
+    }
+    if (!s.ok()) {
+      commit_in_flight_ = false;
+      done(s);
+      return;
+    }
+    // The barrier makes the transaction durable; then checkpoint in place.
+    disk_->Flush([this, alive, checkpoint, unblock,
+                  done = std::move(done)](Status s2) mutable {
+      if (!*alive) {
+        return;
+      }
+      if (!s2.ok()) {
+        commit_in_flight_ = false;
+        done(s2);
+        return;
+      }
+      // The frees are durable: the blocks may be reused.
+      for (const uint64_t i : *unblock) {
+        reuse_blocked_.erase(i);
+      }
+      WriteBlocksBatched(disk_, *checkpoint,
+                         [this, alive, done = std::move(done)](Status s3) {
+        if (!*alive) {
+          return;
+        }
+        commit_in_flight_ = false;
+        done(s3);
+      });
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Mount / Fsck
+
+struct MiniFsInternal {
+  using LoadDone = std::function<void(Result<std::shared_ptr<MiniFs>>,
+                                      MiniFs::FsckReport)>;
+
+  // Parses one journal transaction at block `pos` of the journal buffer.
+  static bool ParseTxn(const std::vector<uint8_t>& journal, uint64_t pos,
+                       uint64_t journal_blocks, uint64_t* txid,
+                       std::map<uint64_t, Buffer>* updates, uint64_t* next) {
+    if (pos + 2 > journal_blocks) {
+      return false;
+    }
+    const uint8_t* desc = journal.data() + pos * kBlockSize;
+    Decoder dec({desc, kBlockSize});
+    if (dec.GetU32() != kDescMagic) {
+      return false;
+    }
+    *txid = dec.GetU64();
+    const uint32_t count = dec.GetU32();
+    const size_t crc_pos = dec.position();
+    const uint32_t desc_crc = dec.GetU32();
+    if (count == 0 || count > kMaxTxnBlocks ||
+        pos + 2 + count > journal_blocks) {
+      return false;
+    }
+    std::vector<uint8_t> check(desc, desc + kBlockSize);
+    for (int i = 0; i < 4; i++) {
+      check[crc_pos + static_cast<size_t>(i)] = 0;
+    }
+    if (Crc32c(check.data(), check.size()) != desc_crc) {
+      return false;
+    }
+    std::vector<uint64_t> targets;
+    for (uint32_t i = 0; i < count; i++) {
+      targets.push_back(dec.GetU64());
+    }
+    if (!dec.ok()) {
+      return false;
+    }
+    const uint8_t* commit = journal.data() + (pos + 1 + count) * kBlockSize;
+    Decoder cdec({commit, kBlockSize});
+    if (cdec.GetU32() != kCommitMagic || cdec.GetU64() != *txid ||
+        cdec.GetU32() != count) {
+      return false;
+    }
+    const uint32_t data_crc = cdec.GetU32();
+    const uint8_t* copies = journal.data() + (pos + 1) * kBlockSize;
+    if (Crc32c(copies, count * kBlockSize) != data_crc) {
+      return false;
+    }
+    for (uint32_t i = 0; i < count; i++) {
+      (*updates)[targets[i]] =
+          Buffer::FromBytes({copies + i * kBlockSize, kBlockSize});
+    }
+    *next = pos + 2 + count;
+    return true;
+  }
+
+  // Scans the whole journal region; committed transactions are merged in
+  // ascending-txid order (later transactions win per block).
+  static std::map<uint64_t, Buffer> ReplayJournal(
+      const std::vector<uint8_t>& journal, uint64_t journal_blocks,
+      uint64_t* max_txid) {
+    std::map<uint64_t, std::map<uint64_t, Buffer>> txns;
+    uint64_t pos = 0;
+    while (pos < journal_blocks) {
+      uint64_t txid = 0;
+      uint64_t next = 0;
+      std::map<uint64_t, Buffer> updates;
+      if (ParseTxn(journal, pos, journal_blocks, &txid, &updates, &next)) {
+        *max_txid = std::max(*max_txid, txid);
+        txns[txid] = std::move(updates);
+        pos = next;
+      } else {
+        pos++;
+      }
+    }
+    std::map<uint64_t, Buffer> merged;
+    for (auto& [txid, updates] : txns) {
+      for (auto& [block, content] : updates) {
+        merged[block] = std::move(content);
+      }
+    }
+    return merged;
+  }
+
+  // Fetches a set of blocks, consulting journal overrides before the disk.
+  static void FetchBlocks(
+      VirtualDisk* disk, const std::map<uint64_t, Buffer>& overrides,
+      std::vector<uint64_t> blocks,
+      std::function<void(Result<std::map<uint64_t, Buffer>>)> done) {
+    auto out = std::make_shared<std::map<uint64_t, Buffer>>();
+    std::vector<uint64_t> need;
+    for (const uint64_t b : blocks) {
+      if (auto it = overrides.find(b); it != overrides.end()) {
+        (*out)[b] = it->second;
+      } else {
+        need.push_back(b);
+      }
+    }
+    if (need.empty()) {
+      done(std::move(*out));
+      return;
+    }
+    auto remaining = std::make_shared<size_t>(need.size());
+    auto failed = std::make_shared<bool>(false);
+    for (const uint64_t b : need) {
+      disk->Read(b * kBlockSize, kBlockSize,
+                 [out, remaining, failed, b, done](Result<Buffer> r) {
+        if (!r.ok() && !*failed) {
+          *failed = true;
+          done(r.status());
+        }
+        if (r.ok()) {
+          (*out)[b] = std::move(r).value();
+        }
+        if (--*remaining == 0 && !*failed) {
+          done(std::move(*out));
+        }
+      });
+    }
+  }
+
+  static void Load(Simulator* sim, VirtualDisk* disk, bool full_check,
+                   LoadDone done);
+  static void FinishLoad(Simulator* sim, VirtualDisk* disk, bool full_check,
+                         SuperBlock sb,
+                         std::shared_ptr<std::map<uint64_t, Buffer>> overrides,
+                         uint64_t max_txid, Buffer inode_region,
+                         Buffer bitmap_region,
+                         std::shared_ptr<MiniFs::FsckReport> report,
+                         LoadDone done);
+  static void VerifyFiles(std::shared_ptr<MiniFs> fs,
+                          std::shared_ptr<MiniFs::FsckReport> report,
+                          std::shared_ptr<std::vector<std::string>> names,
+                          size_t index, std::function<void()> done);
+};
+
+void MiniFsInternal::Load(Simulator* sim, VirtualDisk* disk, bool full_check,
+                          LoadDone done) {
+  auto report = std::make_shared<MiniFs::FsckReport>();
+  auto fail = [done, report](Status s) {
+    report->mountable = false;
+    report->structurally_clean = false;
+    report->errors.push_back(s.ToString());
+    done(s, *report);
+  };
+
+  disk->Read(0, kBlockSize, [=](Result<Buffer> r) {
+    if (!r.ok()) {
+      fail(r.status());
+      return;
+    }
+    SuperBlock sb;
+    if (Status s = DecodeSuper(*r, &sb); !s.ok()) {
+      fail(s);
+      return;
+    }
+    if (sb.total_blocks * kBlockSize > disk->size()) {
+      fail(Status::Corruption("minifs superblock larger than device"));
+      return;
+    }
+    disk->Read(sb.journal_start * kBlockSize, sb.journal_blocks * kBlockSize,
+               [=](Result<Buffer> jr) {
+      if (!jr.ok()) {
+        fail(jr.status());
+        return;
+      }
+      const std::vector<uint8_t> journal = jr->ToBytes();
+      uint64_t max_txid = 0;
+      auto overrides = std::make_shared<std::map<uint64_t, Buffer>>(
+          ReplayJournal(journal, sb.journal_blocks, &max_txid));
+      disk->Read(sb.inode_start * kBlockSize, sb.inode_blocks * kBlockSize,
+                 [=](Result<Buffer> ir) {
+        if (!ir.ok()) {
+          fail(ir.status());
+          return;
+        }
+        Buffer inode_region = std::move(ir).value();
+        disk->Read(sb.bitmap_start * kBlockSize,
+                   sb.bitmap_blocks * kBlockSize,
+                   [=, inode_region = std::move(inode_region)](
+                       Result<Buffer> br) mutable {
+          if (!br.ok()) {
+            fail(br.status());
+            return;
+          }
+          FinishLoad(sim, disk, full_check, sb, overrides, max_txid,
+                     std::move(inode_region), std::move(br).value(), report,
+                     done);
+        });
+      });
+    });
+  });
+}
+
+void MiniFsInternal::FinishLoad(
+    Simulator* sim, VirtualDisk* disk, bool full_check, SuperBlock sb,
+    std::shared_ptr<std::map<uint64_t, Buffer>> overrides, uint64_t max_txid,
+    Buffer inode_region, Buffer bitmap_region,
+    std::shared_ptr<MiniFs::FsckReport> report, LoadDone done) {
+  auto fs = std::shared_ptr<MiniFs>(new MiniFs(sim, disk));
+  fs->geo_.total_blocks = sb.total_blocks;
+  fs->geo_.journal_start = sb.journal_start;
+  fs->geo_.journal_blocks = sb.journal_blocks;
+  fs->geo_.inode_start = sb.inode_start;
+  fs->geo_.inode_blocks = sb.inode_blocks;
+  fs->geo_.bitmap_start = sb.bitmap_start;
+  fs->geo_.bitmap_blocks = sb.bitmap_blocks;
+  fs->geo_.data_start = sb.data_start;
+  fs->next_txid_ = max_txid + 1;
+  fs->journal_head_ = 0;
+
+  // Region accessor honoring journal overrides.
+  auto region_block = [&](uint64_t block, uint64_t region_start,
+                          const Buffer& region) {
+    if (auto it = overrides->find(block); it != overrides->end()) {
+      return it->second;
+    }
+    return region.Slice((block - region_start) * kBlockSize, kBlockSize);
+  };
+
+  // Bitmap.
+  const uint64_t data_blocks = sb.total_blocks - sb.data_start;
+  fs->bitmap_.assign(data_blocks, 0);
+  for (uint64_t b = 0; b < sb.bitmap_blocks; b++) {
+    auto bytes =
+        region_block(sb.bitmap_start + b, sb.bitmap_start, bitmap_region)
+            .ToBytes();
+    for (uint64_t i = 0; i < kBlockSize; i++) {
+      const uint64_t idx = b * kBlockSize + i;
+      if (idx < data_blocks) {
+        fs->bitmap_[idx] = bytes[i] != 0 ? 1 : 0;
+      }
+    }
+  }
+
+  // Inodes (pointer fields parsed; block lists resolved after indirect
+  // blocks are fetched).
+  const uint64_t inode_count = sb.inode_blocks * kInodesPerBlock;
+  fs->inodes_.assign(inode_count, MiniFs::Inode{});
+  fs->blocklists_.assign(inode_count, {});
+  struct RawInode {
+    std::vector<uint64_t> direct;
+  };
+  std::vector<RawInode> raw(inode_count);
+  std::vector<uint64_t> indirect_fetch;
+  auto block_in_range = [&](uint64_t b) {
+    return b >= sb.data_start && b < sb.total_blocks;
+  };
+
+  bool root_ok = true;
+  for (uint64_t b = 0; b < sb.inode_blocks; b++) {
+    auto bytes =
+        region_block(sb.inode_start + b, sb.inode_start, inode_region)
+            .ToBytes();
+    Decoder dec(bytes);
+    for (uint64_t i = 0; i < kInodesPerBlock; i++) {
+      const uint64_t ino = b * kInodesPerBlock + i;
+      MiniFs::Inode& node = fs->inodes_[ino];
+      node.type = dec.GetU32();
+      node.size = dec.GetU64();
+      node.content_crc = dec.GetU32();
+      for (uint64_t d = 0; d < kDirectPtrs; d++) {
+        raw[ino].direct.push_back(dec.GetU64());
+      }
+      node.indirect[0] = dec.GetU64();
+      node.indirect[1] = dec.GetU64();
+      if (node.type > 2 || (ino == 0 && node.type != 2)) {
+        root_ok = ino != 0 && root_ok;
+        if (ino == 0) {
+          report->errors.push_back("root inode invalid");
+        } else {
+          report->structurally_clean = false;
+          report->errors.push_back("inode type invalid");
+          node = MiniFs::Inode{};
+        }
+      }
+      for (int w = 0; w < 2 && node.type != 0; w++) {
+        if (node.indirect[w] != 0) {
+          if (!block_in_range(node.indirect[w])) {
+            report->structurally_clean = false;
+            report->errors.push_back("indirect pointer out of range");
+            node.indirect[w] = 0;
+          } else {
+            indirect_fetch.push_back(node.indirect[w]);
+            fs->indirect_owner_[node.indirect[w]] = {
+                static_cast<uint32_t>(ino), w};
+          }
+        }
+      }
+    }
+  }
+  if (!root_ok) {
+    report->mountable = false;
+    done(Status::Corruption("minifs root inode unusable"), *report);
+    return;
+  }
+
+  FetchBlocks(disk, *overrides, indirect_fetch,
+              [=, raw = std::move(raw)](
+                  Result<std::map<uint64_t, Buffer>> fetched) mutable {
+    if (!fetched.ok()) {
+      report->mountable = false;
+      done(fetched.status(), *report);
+      return;
+    }
+    // Resolve per-inode block lists.
+    for (uint64_t ino = 0; ino < fs->inodes_.size(); ino++) {
+      MiniFs::Inode& node = fs->inodes_[ino];
+      if (node.type == 0) {
+        continue;
+      }
+      const uint64_t want_blocks =
+          node.type == 2
+              ? (node.size / kDirentSize + kDirentsPerBlock - 1) /
+                    kDirentsPerBlock
+              : (node.size + kBlockSize - 1) / kBlockSize;
+      std::vector<uint64_t> pointers = raw[ino].direct;
+      for (int w = 0; w < 2; w++) {
+        if (node.indirect[w] == 0) {
+          continue;
+        }
+        auto bytes = fetched->at(node.indirect[w]).ToBytes();
+        Decoder dec(bytes);
+        for (uint64_t i = 0; i < kPtrsPerIndirect; i++) {
+          pointers.push_back(dec.GetU64());
+        }
+      }
+      bool ok = want_blocks <= pointers.size();
+      for (uint64_t i = 0; ok && i < want_blocks; i++) {
+        if (!block_in_range(pointers[i])) {
+          ok = false;
+        }
+      }
+      if (!ok) {
+        if (ino == 0) {
+          report->mountable = false;
+          report->errors.push_back("root directory blocks invalid");
+          done(Status::Corruption("minifs root directory unusable"), *report);
+          return;
+        }
+        report->structurally_clean = false;
+        report->files_corrupt++;
+        report->errors.push_back("file block pointers invalid");
+        fs->inodes_[ino] = MiniFs::Inode{};
+        continue;
+      }
+      fs->blocklists_[ino].assign(pointers.begin(),
+                                  pointers.begin() +
+                                      static_cast<ptrdiff_t>(want_blocks));
+    }
+
+    // Fetch and parse the root directory.
+    FetchBlocks(disk, *overrides, fs->blocklists_[0],
+                [=](Result<std::map<uint64_t, Buffer>> dir_blocks) {
+      if (!dir_blocks.ok()) {
+        report->mountable = false;
+        done(dir_blocks.status(), *report);
+        return;
+      }
+      const uint64_t slots = fs->inodes_[0].size / kDirentSize;
+      fs->dir_slots_.assign(slots, {"", 0});
+      for (uint64_t s = 0; s < slots; s++) {
+        const uint64_t block = fs->blocklists_[0][s / kDirentsPerBlock];
+        auto bytes = dir_blocks->at(block).ToBytes();
+        const uint8_t* ent = bytes.data() + (s % kDirentsPerBlock) * kDirentSize;
+        Decoder dec({ent, kDirentSize});
+        const uint32_t ino = dec.GetU32();
+        const uint8_t used = dec.GetU8();
+        const uint8_t len = dec.GetU8();
+        if (used == 0 || ino == 0) {
+          continue;
+        }
+        std::string name(reinterpret_cast<const char*>(ent + 6),
+                         std::min<size_t>(len, kMaxName));
+        bool entry_ok = len <= kMaxName && ino < fs->inodes_.size() &&
+                        fs->inodes_[ino].type == 1 && !fs->dir_.contains(name);
+        if (!entry_ok) {
+          report->structurally_clean = false;
+          report->files_corrupt++;
+          report->errors.push_back("directory entry invalid: " + name);
+          continue;
+        }
+        fs->dir_slots_[s] = {name, ino};
+        fs->dir_[name] = ino;
+      }
+      report->mountable = true;
+      report->files_found = fs->dir_.size();
+
+      // Recovery checkpoint: write replayed metadata in place + barrier.
+      std::vector<std::pair<uint64_t, Buffer>> checkpoint(
+          overrides->begin(), overrides->end());
+      WriteBlocksBatched(disk, checkpoint, [=](Status s) {
+        if (!s.ok()) {
+          report->mountable = false;
+          done(s, *report);
+          return;
+        }
+        fs->disk_->Flush([=](Status s2) {
+          if (!s2.ok()) {
+            report->mountable = false;
+            done(s2, *report);
+            return;
+          }
+          if (!full_check) {
+            done(fs, *report);
+            return;
+          }
+          auto names = std::make_shared<std::vector<std::string>>(
+              fs->ListFiles());
+          VerifyFiles(fs, report, names, 0, [=]() { done(fs, *report); });
+        });
+      });
+    });
+  });
+}
+
+void MiniFsInternal::VerifyFiles(
+    std::shared_ptr<MiniFs> fs, std::shared_ptr<MiniFs::FsckReport> report,
+    std::shared_ptr<std::vector<std::string>> names, size_t index,
+    std::function<void()> done) {
+  if (index >= names->size()) {
+    done();
+    return;
+  }
+  const std::string& name = (*names)[index];
+  fs->ReadFile(name, [=](Result<Buffer> r) {
+    const uint32_t ino = fs->dir_.at(name);
+    if (!r.ok() || r->Crc() != fs->inodes_[ino].content_crc) {
+      report->files_corrupt++;
+      report->errors.push_back("file content damaged: " + name);
+    } else {
+      report->files_intact++;
+    }
+    VerifyFiles(fs, report, names, index + 1, std::move(done));
+  });
+}
+
+void MiniFs::Mount(Simulator* sim, VirtualDisk* disk,
+                   std::function<void(Result<std::shared_ptr<MiniFs>>)> done) {
+  MiniFsInternal::Load(sim, disk, /*full_check=*/false,
+                       [done = std::move(done)](
+                           Result<std::shared_ptr<MiniFs>> fs,
+                           FsckReport) { done(std::move(fs)); });
+}
+
+void MiniFs::Fsck(Simulator* sim, VirtualDisk* disk,
+                  std::function<void(FsckReport)> done) {
+  MiniFsInternal::Load(sim, disk, /*full_check=*/true,
+                       [done = std::move(done)](
+                           Result<std::shared_ptr<MiniFs>> fs,
+                           FsckReport report) {
+                         if (fs.ok()) {
+                           (*fs)->Kill();
+                         }
+                         done(std::move(report));
+                       });
+}
+
+}  // namespace lsvd

@@ -1,0 +1,164 @@
+// minifs: a small journaled filesystem over a VirtualDisk.
+//
+// Stand-in for the ext4 filesystem used in the paper's crash tests
+// (Table 4): the experiment only needs "does the recovered image mount?" and
+// "does fsck find damage / lose files?", which requires a filesystem whose
+// consistency depends on write ordering the same way ext4's does.
+//
+// Design (all 4 KiB blocks):
+//   block 0          superblock (geometry, CRC)
+//   journal region   physical metadata journal: transactions of
+//                    [descriptor | metadata block copies... | commit],
+//                    each CRC-protected with a monotonic transaction id
+//   inode table      128-byte inodes (type, size, content CRC, 12 direct
+//                    block pointers, 2 indirect pointers)
+//   block bitmap     data-area allocation bitmap
+//   data region      directory blocks and file data
+//
+// Ordered-mode journaling: file data is written in place first; metadata
+// (inodes, bitmap, directory blocks) is only modified in memory and made
+// durable by Fsync(), which appends a journal transaction, issues a disk
+// commit barrier, and then checkpoints the metadata in place. Mount replays
+// committed transactions in id order. Fsck additionally verifies structural
+// invariants and per-file content CRCs, counting intact vs lost files.
+//
+// Concurrency: one filesystem operation at a time (callers serialize), which
+// matches how the crash-test workload drives it.
+#ifndef SRC_MINIFS_MINIFS_H_
+#define SRC_MINIFS_MINIFS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/blockdev/virtual_disk.h"
+#include "src/sim/simulator.h"
+
+namespace lsvd {
+
+struct MiniFsGeometry {
+  uint32_t max_files = 100000;
+  uint64_t journal_bytes = 4 * kMiB;
+};
+
+class MiniFs {
+ public:
+  // Writes a fresh filesystem onto the disk.
+  static void Format(Simulator* sim, VirtualDisk* disk, MiniFsGeometry geo,
+                     std::function<void(Status)> done);
+
+  // Loads the filesystem: superblock, journal replay, metadata. Fails with
+  // kCorruption if the image is not mountable.
+  static void Mount(Simulator* sim, VirtualDisk* disk,
+                    std::function<void(Result<std::shared_ptr<MiniFs>>)> done);
+
+  struct FsckReport {
+    bool mountable = false;
+    bool structurally_clean = true;  // bitmaps/inodes/directory consistent
+    uint64_t files_found = 0;
+    uint64_t files_intact = 0;   // content CRC matches
+    uint64_t files_corrupt = 0;  // structure or content damaged
+    std::vector<std::string> errors;
+
+    bool clean() const {
+      return mountable && structurally_clean && files_corrupt == 0;
+    }
+  };
+  // Full check: mount + structural invariants + per-file content CRCs.
+  static void Fsck(Simulator* sim, VirtualDisk* disk,
+                   std::function<void(FsckReport)> done);
+
+  // --- file operations (one at a time) ---
+  // Creates a file with the given content (data blocks written in place,
+  // metadata buffered until the next Fsync).
+  void CreateFile(const std::string& name, Buffer content,
+                  std::function<void(Status)> done);
+  void DeleteFile(const std::string& name, std::function<void(Status)> done);
+  void ReadFile(const std::string& name,
+                std::function<void(Result<Buffer>)> done);
+  // Journal commit + disk barrier; acknowledged files survive a crash.
+  void Fsync(std::function<void(Status)> done);
+
+  std::vector<std::string> ListFiles() const;
+  uint64_t file_count() const { return dir_.size(); }
+
+  ~MiniFs();
+  void Kill() { *alive_ = false; }
+
+ private:
+  friend struct MiniFsInternal;
+  MiniFs(Simulator* sim, VirtualDisk* disk);
+
+  struct Inode {
+    uint32_t type = 0;  // 0 free, 1 file, 2 directory
+    uint64_t size = 0;
+    uint32_t content_crc = 0;
+    // On-disk pointer fields; in memory the full block list lives in
+    // blocklists_ and these are derived at serialization time.
+    uint64_t indirect[2] = {};
+  };
+
+  struct Geometry {
+    uint64_t total_blocks = 0;
+    uint64_t journal_start = 0;
+    uint64_t journal_blocks = 0;
+    uint64_t inode_start = 0;
+    uint64_t inode_blocks = 0;
+    uint64_t bitmap_start = 0;
+    uint64_t bitmap_blocks = 0;
+    uint64_t data_start = 0;
+  };
+
+  // Block-level helpers.
+  Result<uint64_t> AllocBlock();
+  void FreeBlock(uint64_t block);
+  Result<uint32_t> AllocInode();
+  void MarkInodeDirty(uint32_t ino);
+  void MarkBitmapDirty(uint64_t data_block_index);
+  // Grows inode `ino`'s block list by one block (allocating indirect blocks
+  // as needed) and marks the involved metadata dirty.
+  Result<uint64_t> AppendBlockTo(uint32_t ino);
+  void ReleaseInodeBlocks(uint32_t ino);
+
+  Buffer SerializeInodeBlock(uint64_t index) const;
+  Buffer SerializeBitmapBlock(uint64_t index) const;
+  Buffer SerializeDirBlock(uint64_t index) const;
+  Buffer SerializeIndirectBlock(uint32_t ino, int which) const;
+  Buffer SerializeMetaBlock(uint64_t block) const;
+  void Commit(std::function<void(Status)> done);
+
+  // Directory (root only; flat namespace like the paper's copied tree).
+  Status DirInsert(const std::string& name, uint32_t ino);
+  void DirErase(const std::string& name);
+
+  Simulator* sim_;
+  VirtualDisk* disk_;
+  Geometry geo_;
+
+  std::vector<Inode> inodes_;
+  std::vector<std::vector<uint64_t>> blocklists_;  // per-inode data blocks
+  std::vector<uint8_t> bitmap_;  // one byte per data block (simple, fast)
+  // Ordered-mode rule: a freed block must not be reused until the freeing
+  // transaction commits, or an in-place write could corrupt a file that a
+  // crash (or unmounted tail) would roll back into existence.
+  std::set<uint64_t> reuse_blocked_;     // data-block indices
+  std::vector<uint64_t> pending_unblock_;  // unblocked when the commit lands
+  std::map<std::string, uint32_t> dir_;  // name -> inode
+  std::vector<std::pair<std::string, uint32_t>> dir_slots_;  // slot layout
+  std::map<uint64_t, std::pair<uint32_t, int>> indirect_owner_;
+
+  std::set<uint64_t> dirty_meta_;  // absolute block numbers needing commit
+  uint64_t next_txid_ = 1;
+  uint64_t journal_head_ = 0;  // block offset within the journal region
+  bool commit_in_flight_ = false;
+
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_MINIFS_MINIFS_H_

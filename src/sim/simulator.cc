@@ -1,0 +1,43 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace lsvd {
+
+void Simulator::At(Nanos t, Fn fn) {
+  assert(t >= now_ && "cannot schedule events in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // priority_queue::top returns const&; the event is copied out so the handler
+  // may schedule further events (mutating the queue) safely.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ev.fn();
+  return true;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+uint64_t Simulator::RunUntil(Nanos t) {
+  uint64_t processed = 0;
+  while (!queue_.empty() && queue_.top().t <= t) {
+    Step();
+    processed++;
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+  return processed;
+}
+
+}  // namespace lsvd

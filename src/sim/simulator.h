@@ -1,0 +1,70 @@
+// Discrete-event simulation engine.
+//
+// Everything time-dependent in this repository (SSD service times, backend
+// disk seeks, network transfers, CPU overheads) runs on this engine's virtual
+// clock, so benchmark results are deterministic and hardware-independent: a
+// "throughput" number is bytes moved per *virtual* second.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace lsvd {
+
+class Simulator {
+ public:
+  using Fn = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Nanos now() const { return now_; }
+
+  // Schedules `fn` at absolute virtual time `t` (>= now).
+  void At(Nanos t, Fn fn);
+
+  // Schedules `fn` `dt` nanoseconds from now.
+  void After(Nanos dt, Fn fn) { At(now_ + dt, std::move(fn)); }
+
+  // Runs one event; returns false if the queue is empty.
+  bool Step();
+
+  // Runs events until the queue is empty.
+  void Run();
+
+  // Runs events with timestamps <= `t`, then sets the clock to `t`.
+  // Returns the number of events processed.
+  uint64_t RunUntil(Nanos t);
+
+  bool empty() const { return queue_.empty(); }
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Nanos t;
+    uint64_t seq;  // FIFO tie-break for equal timestamps
+    Fn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) {
+        return a.t > b.t;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  Nanos now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_SIM_SIMULATOR_H_

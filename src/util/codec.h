@@ -1,0 +1,119 @@
+// Little-endian wire codec helpers for on-disk / on-object metadata.
+#ifndef SRC_UTIL_CODEC_H_
+#define SRC_UTIL_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lsvd {
+
+class Encoder {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(v); }
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; i++) {
+      out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; i++) {
+      out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void PutBytes(std::span<const uint8_t> bytes) {
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  }
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutBytes({reinterpret_cast<const uint8_t*>(s.data()), s.size()});
+  }
+  // Zero-pads to a multiple of `align`.
+  void PadTo(size_t align) {
+    while (out_.size() % align != 0) {
+      out_.push_back(0);
+    }
+  }
+  // Overwrites 4 bytes at `pos` (for CRC backpatching).
+  void PatchU32(size_t pos, uint32_t v) {
+    for (int i = 0; i < 4; i++) {
+      out_[pos + static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
+    }
+  }
+
+  size_t size() const { return out_.size(); }
+  const std::vector<uint8_t>& bytes() const { return out_; }
+  std::vector<uint8_t> Take() { return std::move(out_); }
+
+ private:
+  std::vector<uint8_t> out_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(std::span<const uint8_t> in) : in_(in) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return in_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+  uint8_t GetU8() {
+    if (!Need(1)) {
+      return 0;
+    }
+    return in_[pos_++];
+  }
+  uint32_t GetU32() {
+    if (!Need(4)) {
+      return 0;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; i++) {
+      v |= static_cast<uint32_t>(in_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  uint64_t GetU64() {
+    if (!Need(8)) {
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; i++) {
+      v |= static_cast<uint64_t>(in_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::string GetString() {
+    const uint32_t n = GetU32();
+    if (!Need(n)) {
+      return "";
+    }
+    std::string s(reinterpret_cast<const char*>(in_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  void Skip(size_t n) {
+    if (Need(n)) {
+      pos_ += n;
+    }
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (pos_ + n > in_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const uint8_t> in_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_UTIL_CODEC_H_

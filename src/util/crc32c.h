@@ -1,0 +1,22 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41), slicing-by-8 software
+// implementation. Used to protect journal record headers+data in the
+// write-back cache and backend object headers, as in the paper (§3.1).
+#ifndef SRC_UTIL_CRC32C_H_
+#define SRC_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lsvd {
+
+// Extends `crc` with `data[0, n)`. Pass 0 as the initial value.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+// One-shot CRC of a buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace lsvd
+
+#endif  // SRC_UTIL_CRC32C_H_

@@ -1,0 +1,76 @@
+#include "src/util/histogram.h"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace lsvd {
+namespace {
+
+int BucketFor(uint64_t value) {
+  if (value < 2) {
+    return 0;
+  }
+  return 64 - std::countl_zero(value) - 1;
+}
+
+}  // namespace
+
+void Histogram::Add(uint64_t value, uint64_t weight) {
+  const int b = BucketFor(value);
+  if (b >= static_cast<int>(buckets_.size())) {
+    buckets_.resize(b + 1);
+  }
+  buckets_[b].count += 1;
+  buckets_[b].weight += weight;
+  total_count_ += 1;
+  total_weight_ += weight;
+  value_sum_ += static_cast<double>(value);
+}
+
+uint64_t Histogram::BucketWeight(int bucket) const {
+  if (bucket < 0 || bucket >= static_cast<int>(buckets_.size())) {
+    return 0;
+  }
+  return buckets_[bucket].weight;
+}
+
+double Histogram::Percentile(double fraction) const {
+  if (total_count_ == 0) {
+    return 0.0;
+  }
+  const double target = fraction * static_cast<double>(total_count_);
+  double seen = 0;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    const double c = static_cast<double>(buckets_[b].count);
+    if (seen + c >= target) {
+      const double lower = (b == 0) ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
+      const double upper = std::ldexp(1.0, static_cast<int>(b) + 1);
+      const double within = c > 0 ? (target - seen) / c : 0.0;
+      return lower + within * (upper - lower);
+    }
+    seen += c;
+  }
+  return std::ldexp(1.0, static_cast<int>(buckets_.size()));
+}
+
+double Histogram::MeanValue() const {
+  if (total_count_ == 0) {
+    return 0.0;
+  }
+  return value_sum_ / static_cast<double>(total_count_);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream out;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    if (buckets_[b].weight == 0) {
+      continue;
+    }
+    const uint64_t lower = (b == 0) ? 0 : (uint64_t{1} << b);
+    out << lower << " " << buckets_[b].weight << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lsvd

@@ -1,0 +1,48 @@
+// Power-of-two bucketed histogram, used for backend write-size distributions
+// (paper Figure 14) and latency percentiles.
+#ifndef SRC_UTIL_HISTOGRAM_H_
+#define SRC_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsvd {
+
+class Histogram {
+ public:
+  // Records one sample of the given value, weighted by `weight`
+  // (e.g. weight = bytes for a bytes-by-I/O-size histogram).
+  void Add(uint64_t value, uint64_t weight = 1);
+
+  uint64_t total_count() const { return total_count_; }
+  uint64_t total_weight() const { return total_weight_; }
+
+  // Weight accumulated in the bucket [2^i, 2^(i+1)); bucket 0 is [0, 2).
+  uint64_t BucketWeight(int bucket) const;
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+
+  // Value below which `fraction` (0..1) of the recorded *count* falls,
+  // interpolated within the winning bucket.
+  double Percentile(double fraction) const;
+
+  double MeanValue() const;
+
+  // One line per non-empty bucket: "lower_bound weight".
+  std::string ToString() const;
+
+ private:
+  struct Bucket {
+    uint64_t count = 0;
+    uint64_t weight = 0;
+  };
+  std::vector<Bucket> buckets_;
+  uint64_t total_count_ = 0;
+  uint64_t total_weight_ = 0;
+  // Sum of raw values for MeanValue().
+  double value_sum_ = 0;
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_UTIL_HISTOGRAM_H_

@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation for workloads and simulation.
+//
+// xoshiro256** core plus the distributions workload generators need
+// (uniform integers, Zipf-like hot/cold selection, exponential sizes).
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace lsvd {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding so nearby seeds give unrelated streams.
+    uint64_t z = seed;
+    for (auto& word : s_) {
+      z += 0x9E3779B97F4A7C15ULL;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+      word = x ^ (x >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  // Uniform integer in [lo, hi).
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    assert(lo < hi);
+    return lo + Uniform(hi - lo);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Hot/cold skewed choice: with probability `hot_frac_of_accesses` returns a
+  // slot in the first `hot_frac_of_space` of [0, n); otherwise a uniform slot.
+  // A cheap stand-in for the Zipf-like locality of real block traces.
+  uint64_t Skewed(uint64_t n, double hot_frac_of_space,
+                  double hot_frac_of_accesses) {
+    assert(n > 0);
+    const auto hot = static_cast<uint64_t>(
+        static_cast<double>(n) * hot_frac_of_space);
+    if (hot > 0 && Bernoulli(hot_frac_of_accesses)) {
+      return Uniform(hot);
+    }
+    return Uniform(n);
+  }
+
+  // Exponentially distributed double with the given mean.
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0.0) {
+      u = 1e-12;
+    }
+    return -mean * std::log(u);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_UTIL_RNG_H_

@@ -1,0 +1,81 @@
+// First-fit extent (run) allocator over a byte range.
+//
+// Used by the bcache baseline to manage its cache-device space: allocations
+// are contiguous when space is unfragmented and scatter as the free map
+// fragments — mirroring how a real allocator degrades.
+#ifndef SRC_UTIL_RUN_ALLOCATOR_H_
+#define SRC_UTIL_RUN_ALLOCATOR_H_
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace lsvd {
+
+class RunAllocator {
+ public:
+  RunAllocator(uint64_t base, uint64_t size) : total_(size) {
+    free_[base] = size;
+    free_bytes_ = size;
+  }
+
+  uint64_t free_bytes() const { return free_bytes_; }
+  uint64_t total_bytes() const { return total_; }
+
+  // Allocates a contiguous run of exactly `len` bytes (first fit); nullopt
+  // if no single free run is large enough.
+  std::optional<uint64_t> Allocate(uint64_t len) {
+    assert(len > 0);
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+      if (it->second < len) {
+        continue;
+      }
+      const uint64_t offset = it->first;
+      const uint64_t run_len = it->second;
+      free_.erase(it);
+      if (run_len > len) {
+        free_[offset + len] = run_len - len;
+      }
+      free_bytes_ -= len;
+      return offset;
+    }
+    return std::nullopt;
+  }
+
+  // Returns a run to the free map, merging with neighbors.
+  void Free(uint64_t offset, uint64_t len) {
+    assert(len > 0);
+    const uint64_t freed = len;  // merged neighbors are already counted
+    auto next = free_.lower_bound(offset);
+    // Merge with predecessor.
+    if (next != free_.begin()) {
+      auto prev = std::prev(next);
+      assert(prev->first + prev->second <= offset && "double free");
+      if (prev->first + prev->second == offset) {
+        offset = prev->first;
+        len += prev->second;
+        free_.erase(prev);
+      }
+    }
+    // Merge with successor.
+    if (next != free_.end()) {
+      assert(offset + len <= next->first && "double free");
+      if (offset + len == next->first) {
+        len += next->second;
+        next = free_.erase(next);
+      }
+    }
+    free_[offset] = len;
+    free_bytes_ += freed;
+  }
+
+ private:
+  std::map<uint64_t, uint64_t> free_;  // offset -> run length
+  uint64_t free_bytes_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_UTIL_RUN_ALLOCATOR_H_

@@ -1,0 +1,85 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace lsvd {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); c++) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); c++) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); c++) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); c++) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string Table::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::FmtBytes(uint64_t bytes) {
+  const char* suffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int s = 0;
+  while (v >= 1024.0 && s < 4) {
+    v /= 1024.0;
+    s++;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffix[s]);
+  return buf;
+}
+
+std::string Table::FmtCount(uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  int pos = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (pos > 0 && pos % 3 == 0) {
+      out.push_back(',');
+    }
+    out.push_back(*it);
+    pos++;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace lsvd

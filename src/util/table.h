@@ -1,0 +1,34 @@
+// Fixed-width text table printer used by the benchmark harnesses to emit the
+// rows/series that correspond to each table and figure in the paper.
+#ifndef SRC_UTIL_TABLE_H_
+#define SRC_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsvd {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& AddRow(std::vector<std::string> cells);
+
+  // Renders with aligned columns and a header separator.
+  std::string ToString() const;
+  void Print() const;
+
+  // Formatting helpers for cells.
+  static std::string Fmt(double v, int precision = 2);
+  static std::string FmtBytes(uint64_t bytes);      // e.g. "1.5 MiB"
+  static std::string FmtCount(uint64_t n);          // thousands separators
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_UTIL_TABLE_H_

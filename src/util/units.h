@@ -1,0 +1,39 @@
+// Size and time unit helpers shared across the project.
+//
+// All simulated time in this project is expressed in nanoseconds held in a
+// signed 64-bit integer (`Nanos`); all device and disk addresses are byte
+// offsets held in unsigned 64-bit integers.
+#ifndef SRC_UTIL_UNITS_H_
+#define SRC_UTIL_UNITS_H_
+
+#include <cstdint>
+
+namespace lsvd {
+
+using Nanos = int64_t;
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+inline constexpr Nanos kMicrosecond = 1000;
+inline constexpr Nanos kMillisecond = 1000 * kMicrosecond;
+inline constexpr Nanos kSecond = 1000 * kMillisecond;
+
+// Converts simulated nanoseconds to (floating) seconds.
+constexpr double ToSeconds(Nanos t) { return static_cast<double>(t) / 1e9; }
+
+// Converts (floating) seconds to simulated nanoseconds.
+constexpr Nanos FromSeconds(double s) { return static_cast<Nanos>(s * 1e9); }
+
+// Bytes-per-second throughput over an interval; returns 0 for empty intervals.
+constexpr double BytesPerSecond(uint64_t bytes, Nanos interval) {
+  if (interval <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) / ToSeconds(interval);
+}
+
+}  // namespace lsvd
+
+#endif  // SRC_UTIL_UNITS_H_

@@ -1,0 +1,137 @@
+#include "src/workload/driver.h"
+
+#include <cassert>
+#include <utility>
+
+namespace lsvd {
+
+Driver::Driver(Simulator* sim, VirtualDisk* disk, WorkloadGen gen,
+               int queue_depth, Nanos deadline)
+    : sim_(sim),
+      disk_(disk),
+      gen_(std::move(gen)),
+      queue_depth_(queue_depth),
+      deadline_(deadline) {
+  assert(queue_depth_ > 0);
+}
+
+void Driver::EnableTimeline(Nanos bucket) {
+  assert(bucket > 0);
+  bucket_ = bucket;
+}
+
+void Driver::Run(std::function<void()> done) {
+  done_ = std::move(done);
+  stats_.started_at = sim_->now();
+  stats_.finished_at = sim_->now();
+  for (int i = 0; i < queue_depth_; i++) {
+    Issue();
+  }
+  if (outstanding_ == 0) {
+    // Empty workload.
+    sim_->After(0, done_);
+  }
+}
+
+void Driver::Account(const WorkloadOp& op) {
+  stats_.ops++;
+  stats_.finished_at = sim_->now();
+  switch (op.kind) {
+    case WorkloadOp::Kind::kWrite:
+      stats_.writes++;
+      stats_.bytes_written += op.len;
+      if (bucket_ > 0) {
+        const auto b = static_cast<size_t>((sim_->now() - stats_.started_at) /
+                                           bucket_);
+        if (b >= write_buckets_.size()) {
+          write_buckets_.resize(b + 1, 0);
+        }
+        write_buckets_[b] += op.len;
+      }
+      break;
+    case WorkloadOp::Kind::kRead:
+      stats_.reads++;
+      stats_.bytes_read += op.len;
+      break;
+    case WorkloadOp::Kind::kFlush:
+      stats_.flushes++;
+      break;
+  }
+}
+
+void Driver::Issue() {
+  // A pending commit barrier gates everything: writes must pause while a
+  // barrier is outstanding (§2.2), so the barrier is issued alone once all
+  // other ops drain, and nothing is issued while it runs.
+  if (barrier_pending_) {
+    if (outstanding_ > 0) {
+      return;
+    }
+    barrier_pending_ = false;
+    outstanding_++;
+    const WorkloadOp op{WorkloadOp::Kind::kFlush, 0, 0};
+    disk_->Flush([this, op](Status s) {
+      assert(s.ok());
+      (void)s;
+      outstanding_--;
+      Account(op);
+      // The barrier blocked the whole queue; refill it.
+      for (int i = 0; i < queue_depth_; i++) {
+        Issue();
+      }
+    });
+    return;
+  }
+
+  if (exhausted_ || (deadline_ > 0 && sim_->now() >= deadline_)) {
+    exhausted_ = true;
+    if (outstanding_ == 0 && done_) {
+      auto done = std::move(done_);
+      done_ = nullptr;
+      done();
+    }
+    return;
+  }
+  WorkloadOp op;
+  if (!gen_(&op)) {
+    exhausted_ = true;
+    if (outstanding_ == 0 && done_) {
+      auto done = std::move(done_);
+      done_ = nullptr;
+      done();
+    }
+    return;
+  }
+  if (op.kind == WorkloadOp::Kind::kFlush) {
+    barrier_pending_ = true;
+    Issue();  // drains, then issues the barrier
+    return;
+  }
+  outstanding_++;
+  auto complete = [this, op]() {
+    outstanding_--;
+    Account(op);
+    Issue();
+  };
+  switch (op.kind) {
+    case WorkloadOp::Kind::kWrite:
+      disk_->Write(op.offset, Buffer::Zeros(op.len),
+                   [complete](Status s) {
+                     assert(s.ok());
+                     (void)s;
+                     complete();
+                   });
+      break;
+    case WorkloadOp::Kind::kRead:
+      disk_->Read(op.offset, op.len, [complete](Result<Buffer> r) {
+        assert(r.ok());
+        (void)r;
+        complete();
+      });
+      break;
+    case WorkloadOp::Kind::kFlush:
+      break;  // handled above
+  }
+}
+
+}  // namespace lsvd

@@ -1,0 +1,92 @@
+// Closed-loop workload driver: keeps a fixed number of operations
+// outstanding against a VirtualDisk (fio-style queue depth) and accounts
+// completed work, including a time-bucketed throughput series for the
+// paper's timeline figures (11, 15, 16).
+#ifndef SRC_WORKLOAD_DRIVER_H_
+#define SRC_WORKLOAD_DRIVER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/blockdev/virtual_disk.h"
+#include "src/sim/simulator.h"
+#include "src/util/units.h"
+
+namespace lsvd {
+
+// One operation produced by a workload model.
+struct WorkloadOp {
+  enum class Kind { kWrite, kRead, kFlush };
+  Kind kind = Kind::kWrite;
+  uint64_t offset = 0;
+  uint64_t len = 0;
+};
+
+// A workload model is a generator of operations; returning false ends the
+// workload (e.g. after a byte budget is exhausted).
+using WorkloadGen = std::function<bool(WorkloadOp*)>;
+
+struct DriverStats {
+  uint64_t ops = 0;
+  uint64_t writes = 0;
+  uint64_t reads = 0;
+  uint64_t flushes = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+  Nanos started_at = 0;
+  Nanos finished_at = 0;
+
+  double Iops() const {
+    const Nanos d = finished_at - started_at;
+    return d > 0 ? static_cast<double>(ops) / ToSeconds(d) : 0.0;
+  }
+  double WriteThroughputBps() const {
+    const Nanos d = finished_at - started_at;
+    return d > 0 ? static_cast<double>(bytes_written) / ToSeconds(d) : 0.0;
+  }
+  double ReadThroughputBps() const {
+    const Nanos d = finished_at - started_at;
+    return d > 0 ? static_cast<double>(bytes_read) / ToSeconds(d) : 0.0;
+  }
+};
+
+class Driver {
+ public:
+  // `queue_depth` ops are kept outstanding; the run ends when the generator
+  // is exhausted or `deadline` (virtual time) passes, whichever is first.
+  // Pass deadline = 0 for no time limit.
+  Driver(Simulator* sim, VirtualDisk* disk, WorkloadGen gen, int queue_depth,
+         Nanos deadline = 0);
+
+  // Starts issuing; `done` fires when the last outstanding op completes.
+  void Run(std::function<void()> done);
+
+  const DriverStats& stats() const { return stats_; }
+
+  // Bytes completed per bucket since Run() started (timeline figures).
+  void EnableTimeline(Nanos bucket);
+  const std::vector<uint64_t>& write_timeline() const { return write_buckets_; }
+  Nanos timeline_bucket() const { return bucket_; }
+
+ private:
+  void Issue();
+  void Account(const WorkloadOp& op);
+
+  Simulator* sim_;
+  VirtualDisk* disk_;
+  WorkloadGen gen_;
+  int queue_depth_;
+  Nanos deadline_;
+  int outstanding_ = 0;
+  bool exhausted_ = false;
+  bool barrier_pending_ = false;
+  std::function<void()> done_;
+  Nanos bucket_ = 0;
+  std::vector<uint64_t> write_buckets_;
+  DriverStats stats_;
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_WORKLOAD_DRIVER_H_

@@ -1,0 +1,133 @@
+#include "src/workload/filebench.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "src/blockdev/block_device.h"
+
+namespace lsvd {
+
+FilebenchProfile FilebenchProfile::Fileserver() {
+  FilebenchProfile p;
+  p.name = "fileserver";
+  p.mean_write_size = 94 * kKiB;
+  p.writes_per_sync = 12865;
+  p.read_fraction = 0.35;
+  p.working_set = 24 * kGiB;  // 200K files x 128 KiB (Table 2)
+  p.hot_fraction = 0.3;
+  p.hot_access = 0.6;
+  p.file_count = 200000;
+  p.mean_file_size = 128 * kKiB;
+  p.io_size = 16 * kKiB;  // mean append size
+  p.threads = 50;
+  return p;
+}
+
+FilebenchProfile FilebenchProfile::Oltp() {
+  FilebenchProfile p;
+  p.name = "oltp";
+  p.mean_write_size = 4.7 * kKiB;
+  p.writes_per_sync = 42.7;
+  p.read_fraction = 0.7;      // database reads dominate
+  p.working_set = 24 * kGiB;  // 250 files x 100 MiB (Table 2)
+  p.hot_fraction = 0.1;
+  p.hot_access = 0.85;        // hot log / index pages rewritten constantly
+  p.hot_cyclic = true;        // the database log wraps
+  p.file_count = 250;
+  p.mean_file_size = 100 * kMiB;
+  p.io_size = 2000;
+  p.threads = 50;
+  return p;
+}
+
+FilebenchProfile FilebenchProfile::Varmail() {
+  FilebenchProfile p;
+  p.name = "varmail";
+  p.mean_write_size = 27 * kKiB;
+  p.writes_per_sync = 7.6;
+  p.read_fraction = 0.4;
+  p.working_set = 27 * kGiB;  // 900K files x 32 KiB (Table 2)
+  p.hot_fraction = 0.05;
+  p.hot_access = 0.9;  // create/delete of small files re-writes hot metadata
+  p.hot_cyclic = true;  // freed blocks are reused roughly in order
+  p.file_count = 900000;
+  p.mean_file_size = 32 * kKiB;
+  p.io_size = 16 * kKiB;
+  p.threads = 16;
+  return p;
+}
+
+WorkloadGen MakeFilebenchGen(const FilebenchProfile& profile,
+                             uint64_t volume_size, uint64_t seed) {
+  struct State {
+    Rng rng;
+    double writes_since_sync = 0;
+    uint64_t hot_cursor = 0;
+    // Recently written extents: file servers and mail servers read what was
+    // just written (delivery then fetch), so most reads land here — which is
+    // also what keeps them cache hits on a write-back design.
+    std::deque<std::pair<uint64_t, uint64_t>> recent_writes;
+    explicit State(uint64_t s) : rng(s) {}
+  };
+  auto st = std::make_shared<State>(seed);
+  const uint64_t span_blocks =
+      std::min(profile.working_set, volume_size) / kBlockSize;
+
+  return [profile, st, span_blocks](WorkloadOp* op) {
+    // Commit barrier when enough writes accumulated (randomized around the
+    // Table 3 mean distance).
+    if (st->writes_since_sync >= profile.writes_per_sync) {
+      st->writes_since_sync -= profile.writes_per_sync;
+      op->kind = WorkloadOp::Kind::kFlush;
+      op->offset = 0;
+      op->len = 0;
+      return true;
+    }
+    uint64_t block;
+    const auto hot_blocks = static_cast<uint64_t>(
+        static_cast<double>(span_blocks) * profile.hot_fraction);
+    if (profile.hot_cyclic && hot_blocks > 0 &&
+        st->rng.Bernoulli(profile.hot_access)) {
+      block = st->hot_cursor % hot_blocks;
+    } else {
+      block = st->rng.Skewed(span_blocks, profile.hot_fraction,
+                             profile.hot_access);
+    }
+    // Size: exponential around the mean, block-aligned, at least one block.
+    const double raw = st->rng.Exponential(profile.mean_write_size);
+    uint64_t len = std::max<uint64_t>(
+        kBlockSize,
+        static_cast<uint64_t>(raw) / kBlockSize * kBlockSize);
+    len = std::min<uint64_t>(len, kMiB);
+    const uint64_t offset =
+        std::min(block, span_blocks - len / kBlockSize) * kBlockSize;
+
+    if (st->rng.Bernoulli(profile.read_fraction)) {
+      op->kind = WorkloadOp::Kind::kRead;
+      // Read-after-write locality: 80% of reads target a recent write.
+      if (!st->recent_writes.empty() && st->rng.Bernoulli(0.8)) {
+        const auto& [w_off, w_len] =
+            st->recent_writes[st->rng.Uniform(st->recent_writes.size())];
+        op->offset = w_off;
+        op->len = w_len;
+        return true;
+      }
+    } else {
+      op->kind = WorkloadOp::Kind::kWrite;
+      st->writes_since_sync += 1;
+      if (profile.hot_cyclic) {
+        st->hot_cursor += len / kBlockSize;
+      }
+      st->recent_writes.push_back({offset, len});
+      if (st->recent_writes.size() > 128) {
+        st->recent_writes.pop_front();
+      }
+    }
+    op->offset = offset;
+    op->len = len;
+    return true;
+  };
+}
+
+}  // namespace lsvd

@@ -1,0 +1,62 @@
+#include "src/workload/fio_gen.h"
+
+#include <algorithm>
+
+namespace lsvd {
+
+WorkloadGen MakeFioGen(FioConfig config) {
+  auto rng = std::make_shared<Rng>(config.seed);
+  auto ops = std::make_shared<uint64_t>(0);
+  auto bytes = std::make_shared<uint64_t>(0);
+  auto cursor = std::make_shared<uint64_t>(0);
+  const uint64_t blocks = config.volume_size / config.block_size;
+
+  return [config, rng, ops, bytes, cursor, blocks](WorkloadOp* op) {
+    if (config.max_ops > 0 && *ops >= config.max_ops) {
+      return false;
+    }
+    if (config.max_bytes > 0 && *bytes >= config.max_bytes) {
+      return false;
+    }
+    (*ops)++;
+    (*bytes) += config.block_size;
+    op->len = config.block_size;
+    switch (config.pattern) {
+      case FioConfig::Pattern::kRandWrite:
+        op->kind = WorkloadOp::Kind::kWrite;
+        op->offset = rng->Uniform(blocks) * config.block_size;
+        break;
+      case FioConfig::Pattern::kRandRead:
+        op->kind = WorkloadOp::Kind::kRead;
+        op->offset = rng->Uniform(blocks) * config.block_size;
+        break;
+      case FioConfig::Pattern::kSeqWrite:
+        op->kind = WorkloadOp::Kind::kWrite;
+        op->offset = (*cursor % blocks) * config.block_size;
+        (*cursor)++;
+        break;
+      case FioConfig::Pattern::kSeqRead:
+        op->kind = WorkloadOp::Kind::kRead;
+        op->offset = (*cursor % blocks) * config.block_size;
+        (*cursor)++;
+        break;
+    }
+    return true;
+  };
+}
+
+WorkloadGen MakePreconditionGen(uint64_t volume_size, uint64_t io_size) {
+  auto cursor = std::make_shared<uint64_t>(0);
+  return [volume_size, io_size, cursor](WorkloadOp* op) {
+    if (*cursor >= volume_size) {
+      return false;
+    }
+    op->kind = WorkloadOp::Kind::kWrite;
+    op->offset = *cursor;
+    op->len = std::min(io_size, volume_size - *cursor);
+    *cursor += op->len;
+    return true;
+  };
+}
+
+}  // namespace lsvd

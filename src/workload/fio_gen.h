@@ -1,0 +1,36 @@
+// fio-style micro-benchmark generators (paper §4.2.1): random or sequential
+// reads/writes of a fixed block size, bounded by ops, bytes, or the driver's
+// deadline.
+#ifndef SRC_WORKLOAD_FIO_GEN_H_
+#define SRC_WORKLOAD_FIO_GEN_H_
+
+#include <memory>
+
+#include "src/util/rng.h"
+#include "src/util/units.h"
+#include "src/workload/driver.h"
+
+namespace lsvd {
+
+struct FioConfig {
+  enum class Pattern { kRandWrite, kRandRead, kSeqWrite, kSeqRead };
+  Pattern pattern = Pattern::kRandWrite;
+  uint64_t block_size = 4 * kKiB;
+  uint64_t volume_size = 80 * kGiB;
+  // Stop conditions; 0 = unlimited (use the driver's deadline).
+  uint64_t max_ops = 0;
+  uint64_t max_bytes = 0;
+  uint64_t seed = 1;
+};
+
+// Returns a generator closure for Driver.
+WorkloadGen MakeFioGen(FioConfig config);
+
+// Sequentially writes the whole volume once (the paper preconditions every
+// volume with data before an experiment, §4.1). Uses large writes.
+WorkloadGen MakePreconditionGen(uint64_t volume_size,
+                                uint64_t io_size = kMiB);
+
+}  // namespace lsvd
+
+#endif  // SRC_WORKLOAD_FIO_GEN_H_

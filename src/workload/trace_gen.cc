@@ -1,0 +1,214 @@
+#include "src/workload/trace_gen.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "src/blockdev/block_device.h"
+
+namespace lsvd {
+namespace {
+
+constexpr uint64_t kGB = 1000ULL * 1000 * 1000;
+
+uint64_t BlockAlign(uint64_t v) {
+  return std::max<uint64_t>(kBlockSize, v / kBlockSize * kBlockSize);
+}
+
+}  // namespace
+
+std::vector<TraceProfile> TraceProfile::Table5() {
+  std::vector<TraceProfile> traces;
+  // Values are tuned so the GC simulator lands near the paper's Table 5
+  // rows; see bench/tbl05_gc_traces.cc for the side-by-side comparison.
+  {
+    TraceProfile t;  // w10: large, mostly write-once, mildly fragmented
+    t.name = "w10";
+    t.total_write_bytes = 484 * kGB;
+    t.footprint = 420 * kGB;
+    t.mean_write = 128 * kKiB;
+    t.immediate_overwrite = 0.01;
+    t.sequential = 0.25;
+    t.hot_fraction = 0.3;
+    t.hot_access = 0.4;
+    traces.push_back(t);
+  }
+  {
+    TraceProfile t;  // w04: huge volume, warm working set, some coalescing
+    t.name = "w04";
+    t.total_write_bytes = 1786 * kGB;
+    t.footprint = 560 * kGB;
+    t.mean_write = 256 * kKiB;
+    t.immediate_overwrite = 0.21;
+    t.sequential = 0.5;
+    t.hot_fraction = 0.15;
+    t.hot_access = 0.7;
+    traces.push_back(t);
+  }
+  {
+    TraceProfile t;  // w66: small, intense rewriting, very coalescable
+    t.name = "w66";
+    t.total_write_bytes = 49 * kGB;
+    t.footprint = 3 * kGB;
+    t.mean_write = 192 * kKiB;
+    t.immediate_overwrite = 0.45;
+    t.sequential = 0.6;
+    t.hot_fraction = 0.1;
+    t.hot_access = 0.8;
+    traces.push_back(t);
+  }
+  {
+    TraceProfile t;  // w01: small interleaved writes -> fragmented map
+    t.name = "w01";
+    t.total_write_bytes = 272 * kGB;
+    t.footprint = 130 * kGB;
+    t.mean_write = 16 * kKiB;
+    t.immediate_overwrite = 0.11;
+    t.sequential = 0.3;
+    t.hot_fraction = 0.3;
+    t.hot_access = 0.6;
+    t.fragmenting = true;
+    traces.push_back(t);
+  }
+  {
+    TraceProfile t;  // w07: dispersed overwrites of a small footprint
+    t.name = "w07";
+    t.total_write_bytes = 85 * kGB;
+    t.footprint = 9 * kGB;
+    t.mean_write = 12 * kKiB;
+    t.immediate_overwrite = 0.02;
+    t.sequential = 0.2;
+    t.hot_fraction = 0.4;
+    t.hot_access = 0.5;
+    traces.push_back(t);
+  }
+  {
+    TraceProfile t;  // w31: append-mostly streams, negligible rewriting
+    t.name = "w31";
+    t.total_write_bytes = 321 * kGB;
+    t.footprint = 310 * kGB;
+    t.mean_write = 512 * kKiB;
+    t.immediate_overwrite = 0.02;
+    t.sequential = 0.9;
+    t.hot_fraction = 0.5;
+    t.hot_access = 0.5;
+    traces.push_back(t);
+  }
+  {
+    TraceProfile t;  // w59: small hot set, moderate coalescing
+    t.name = "w59";
+    t.total_write_bytes = 60 * kGB;
+    t.footprint = 7 * kGB;
+    t.mean_write = 32 * kKiB;
+    t.immediate_overwrite = 0.07;
+    t.sequential = 0.4;
+    t.hot_fraction = 0.2;
+    t.hot_access = 0.7;
+    traces.push_back(t);
+  }
+  {
+    TraceProfile t;  // w41: log-like rapid rewrite; coalescing removes most
+    t.name = "w41";
+    t.total_write_bytes = 127 * kGB;
+    t.footprint = 3 * kGB;
+    t.mean_write = 8 * kKiB;
+    t.immediate_overwrite = 0.55;
+    t.sequential = 0.3;
+    t.hot_fraction = 0.1;
+    t.hot_access = 0.9;
+    t.fragmenting = true;
+    traces.push_back(t);
+  }
+  {
+    TraceProfile t;  // w05: interleaved sequential streams, no overwrites
+    t.name = "w05";
+    t.total_write_bytes = 389 * kGB;
+    t.footprint = 380 * kGB;
+    t.mean_write = 48 * kKiB;
+    t.immediate_overwrite = 0.0;
+    t.sequential = 0.95;
+    t.hot_fraction = 0.5;
+    t.hot_access = 0.5;
+    traces.push_back(t);
+  }
+  return traces;
+}
+
+TraceStream MakeTraceStream(const TraceProfile& profile, uint64_t scale,
+                            uint64_t seed) {
+  struct State {
+    Rng rng;
+    uint64_t written = 0;
+    // Interleaved sequential stream cursors (round robin).
+    std::vector<uint64_t> streams;
+    size_t next_stream = 0;
+    std::deque<std::pair<uint64_t, uint64_t>> recent;  // for overwrites
+    explicit State(uint64_t s) : rng(s) {}
+  };
+  auto st = std::make_shared<State>(seed);
+  const uint64_t budget = profile.total_write_bytes / std::max<uint64_t>(1, scale);
+  const uint64_t footprint =
+      BlockAlign(profile.footprint / std::max<uint64_t>(1, scale));
+  const uint64_t blocks = footprint / kBlockSize;
+  // Several concurrent sequential streams, as real VMs exhibit.
+  constexpr size_t kStreams = 6;
+  for (size_t i = 0; i < kStreams; i++) {
+    st->streams.push_back(seed * 7919 % std::max<uint64_t>(1, blocks) +
+                          i * (blocks / kStreams));
+  }
+
+  return [profile, st, budget, blocks](uint64_t* vlba, uint64_t* len) {
+    if (st->written >= budget || blocks == 0) {
+      return false;
+    }
+
+    // 1. Immediate overwrite of a recent write (coalescable in a batch).
+    if (!st->recent.empty() &&
+        st->rng.Bernoulli(profile.immediate_overwrite)) {
+      const auto& [v, l] =
+          st->recent[st->rng.Uniform(st->recent.size())];
+      *vlba = v;
+      *len = l;
+      st->written += *len;
+      return true;
+    }
+
+    uint64_t size = BlockAlign(
+        static_cast<uint64_t>(st->rng.Exponential(
+            static_cast<double>(profile.mean_write))));
+    size = std::min<uint64_t>(size, 4 * kMiB);
+    uint64_t block;
+    if (st->rng.Bernoulli(profile.sequential)) {
+      // Continue one of the interleaved streams.
+      auto& cursor = st->streams[st->next_stream];
+      st->next_stream = (st->next_stream + 1) % st->streams.size();
+      block = cursor;
+      if (profile.fragmenting) {
+        // Leave a small hole behind each piece (defrag's target pattern).
+        cursor += size / kBlockSize + 1 + st->rng.Uniform(2);
+      } else {
+        cursor += size / kBlockSize;
+      }
+      if (cursor >= blocks) {
+        cursor = st->rng.Uniform(blocks);
+      }
+    } else {
+      block = st->rng.Skewed(blocks, profile.hot_fraction,
+                             profile.hot_access);
+    }
+    if (block + size / kBlockSize > blocks) {
+      block = blocks - size / kBlockSize;
+    }
+    *vlba = block * kBlockSize;
+    *len = size;
+    st->written += size;
+
+    st->recent.push_back({*vlba, *len});
+    if (st->recent.size() > 8) {
+      st->recent.pop_front();
+    }
+    return true;
+  };
+}
+
+}  // namespace lsvd

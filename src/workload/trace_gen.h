@@ -1,0 +1,51 @@
+// Synthetic stand-ins for the CloudPhysics trace corpus (paper §4.6,
+// Table 5).
+//
+// The real corpus (week-long block traces of 106 production VMs) is
+// proprietary; each profile here is tuned to exercise the same batching/GC
+// regime as the paper's correspondingly-named trace: total volume written,
+// footprint, write-size mix, spatial locality, and the rate of short-interval
+// overwrites (which is what within-batch coalescing can eliminate).
+// DESIGN.md documents this substitution.
+#ifndef SRC_WORKLOAD_TRACE_GEN_H_
+#define SRC_WORKLOAD_TRACE_GEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace lsvd {
+
+struct TraceProfile {
+  std::string name;
+  uint64_t total_write_bytes = 0;  // trace volume (paper's "writes GB")
+  uint64_t footprint = 0;          // virtual-disk bytes ever touched
+  uint64_t mean_write = 64 * kKiB;
+  // Fraction of writes that immediately overwrite one of the last few
+  // writes (eliminable by within-batch coalescing).
+  double immediate_overwrite = 0.0;
+  // Fraction of writes that continue sequentially from the previous write.
+  double sequential = 0.5;
+  // Skewed reuse of a hot region (drives long-term overwrites -> GC).
+  double hot_fraction = 0.2;
+  double hot_access = 0.5;
+  // Fragmenting behaviour: writes chopped into small interleaved pieces.
+  bool fragmenting = false;
+
+  // The nine representative traces of Table 5.
+  static std::vector<TraceProfile> Table5();
+};
+
+// Streams (vlba, len) pairs; returns false when the byte budget is spent.
+// `scale` divides the trace volume (and footprint) for quicker runs.
+using TraceStream = std::function<bool(uint64_t* vlba, uint64_t* len)>;
+TraceStream MakeTraceStream(const TraceProfile& profile, uint64_t scale,
+                            uint64_t seed = 1);
+
+}  // namespace lsvd
+
+#endif  // SRC_WORKLOAD_TRACE_GEN_H_

@@ -1,0 +1,433 @@
+// Unit tests for the log-structured block store: batching, within-batch
+// coalescing, in-order map application, garbage collection, snapshots with
+// deferred deletes, checkpointing and prefix recovery.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "src/lsvd/backend_store.h"
+#include "tests/lsvd_test_util.h"
+
+namespace lsvd {
+namespace {
+
+class BackendStoreTest : public ::testing::Test {
+ protected:
+  BackendStoreTest() : world_(), config_(MakeConfig()) {
+    store_ = std::make_unique<BackendStore>(&world_.host, &world_.store,
+                                            nullptr, config_);
+  }
+
+  static LsvdConfig MakeConfig() {
+    LsvdConfig c = TestWorld::SmallVolumeConfig();
+    c.batch_bytes = 64 * kKiB;
+    c.checkpoint_interval_objects = 4;
+    c.gc_enabled = false;  // enabled per-test
+    return c;
+  }
+
+  // Writes one batch worth of data and waits for it to apply.
+  void WriteAndApply(uint64_t vlba, uint64_t len, uint64_t seed) {
+    store_->AddWrite(vlba, TestPattern(len, seed));
+    store_->Seal();
+    world_.sim.Run();
+  }
+
+  void Run() { world_.sim.Run(); }
+
+  TestWorld world_;
+  LsvdConfig config_;
+  std::unique_ptr<BackendStore> store_;
+};
+
+TEST_F(BackendStoreTest, BatchSealsAtSizeAndAppliesToMap) {
+  // 64 KiB batch limit: 16 x 4 KiB appends seal exactly one batch.
+  uint64_t seq0 = 0;
+  for (int i = 0; i < 16; i++) {
+    const uint64_t s =
+        store_->AddWrite(static_cast<uint64_t>(i) * 4096,
+                         TestPattern(4096, 100 + i));
+    if (i == 0) {
+      seq0 = s;
+    }
+    EXPECT_EQ(s, seq0);  // all in the same batch
+  }
+  Run();
+  EXPECT_EQ(store_->applied_seq(), seq0);
+  EXPECT_EQ(store_->stats().objects_put, 1u);
+  EXPECT_EQ(store_->object_map().mapped_bytes(), 16u * 4096);
+  auto t = store_->object_map().LookupOne(4096);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->seq, seq0);
+}
+
+TEST_F(BackendStoreTest, FetchReturnsWrittenData) {
+  Buffer data = TestPattern(8192, 7);
+  store_->AddWrite(kMiB, data);
+  store_->Seal();
+  Run();
+  auto t = store_->object_map().LookupOne(kMiB);
+  ASSERT_TRUE(t.has_value());
+  std::optional<Result<Buffer>> r;
+  store_->Fetch(*t, 8192, [&](Result<Buffer> rr) { r = std::move(rr); });
+  Run();
+  ASSERT_TRUE(r->ok());
+  EXPECT_EQ(r->value(), data);
+}
+
+TEST_F(BackendStoreTest, WithinBatchCoalescingDropsOverwrittenBytes) {
+  // Two writes to the same LBA in one batch: only the second survives.
+  store_->AddWrite(0, TestPattern(8192, 1));
+  Buffer latest = TestPattern(8192, 2);
+  store_->AddWrite(0, latest);
+  store_->Seal();
+  Run();
+  EXPECT_EQ(store_->stats().coalesced_bytes, 8192u);
+  EXPECT_EQ(store_->stats().payload_bytes, 8192u);
+  auto t = store_->object_map().LookupOne(0);
+  ASSERT_TRUE(t.has_value());
+  std::optional<Result<Buffer>> r;
+  store_->Fetch(*t, 8192, [&](Result<Buffer> rr) { r = std::move(rr); });
+  Run();
+  ASSERT_TRUE(r->ok());
+  EXPECT_EQ(r->value(), latest);
+}
+
+TEST_F(BackendStoreTest, CoalescingDisabledKeepsAllBytes) {
+  config_.coalesce_within_batch = false;
+  store_ = std::make_unique<BackendStore>(&world_.host, &world_.store, nullptr,
+                                          config_);
+  store_->AddWrite(0, TestPattern(8192, 1));
+  Buffer latest = TestPattern(8192, 2);
+  store_->AddWrite(0, latest);
+  store_->Seal();
+  Run();
+  EXPECT_EQ(store_->stats().coalesced_bytes, 0u);
+  EXPECT_EQ(store_->stats().payload_bytes, 16384u);
+  // Later extent wins in apply order.
+  auto t = store_->object_map().LookupOne(0);
+  ASSERT_TRUE(t.has_value());
+  std::optional<Result<Buffer>> r;
+  store_->Fetch(*t, 8192, [&](Result<Buffer> rr) { r = std::move(rr); });
+  Run();
+  ASSERT_TRUE(r->ok());
+  EXPECT_EQ(r->value(), latest);
+}
+
+TEST_F(BackendStoreTest, CrossBatchOverwriteDecrementsLiveBytes) {
+  WriteAndApply(0, 16 * 4096, 1);
+  const uint64_t total_before = store_->total_bytes();
+  EXPECT_EQ(store_->live_bytes(), total_before);
+  // Overwrite half of it in a second batch.
+  WriteAndApply(0, 8 * 4096, 2);
+  EXPECT_EQ(store_->live_bytes(), total_before);  // half old + new half...
+  // Utilization dropped below 1 because the first object lost half its live
+  // bytes while totals grew.
+  EXPECT_LT(store_->Utilization(), 1.0);
+}
+
+TEST_F(BackendStoreTest, ObjectsAreNamedBySequence) {
+  WriteAndApply(0, 4096, 1);
+  WriteAndApply(4096, 4096, 2);
+  auto names = world_.store.List(DataObjectPrefix("vol"));
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], DataObjectName("vol", 1));
+  EXPECT_EQ(names[1], DataObjectName("vol", 2));
+}
+
+TEST_F(BackendStoreTest, SealIfAgedSealsStaleBatch) {
+  store_->AddWrite(0, TestPattern(4096, 1));
+  world_.sim.RunUntil(world_.sim.now() + kSecond);
+  EXPECT_EQ(store_->stats().objects_put, 0u);
+  store_->SealIfAged(500 * kMillisecond);
+  Run();
+  EXPECT_EQ(store_->stats().objects_put, 1u);
+}
+
+TEST_F(BackendStoreTest, CheckpointsWrittenPeriodically) {
+  for (int i = 0; i < 10; i++) {
+    WriteAndApply(static_cast<uint64_t>(i) * kMiB, 4096, 10 + i);
+  }
+  EXPECT_GE(store_->stats().checkpoints, 2u);
+  EXPECT_GT(store_->last_checkpoint_seq(), 0u);
+  // Only the two newest checkpoint objects are kept.
+  EXPECT_LE(world_.store.List(CheckpointPrefix("vol")).size(), 2u);
+}
+
+TEST_F(BackendStoreTest, RecoverRebuildsFromCheckpointAndReplay) {
+  for (int i = 0; i < 10; i++) {
+    WriteAndApply(static_cast<uint64_t>(i) * kMiB, 8192, 20 + i);
+  }
+  const uint64_t applied = store_->applied_seq();
+  const auto extents = store_->object_map().Extents();
+
+  auto fresh = std::make_unique<BackendStore>(&world_.host, &world_.store,
+                                              nullptr, config_);
+  std::optional<Status> s;
+  fresh->Recover([&](Status st) { s = st; });
+  Run();
+  ASSERT_TRUE(s->ok());
+  EXPECT_EQ(fresh->applied_seq(), applied);
+  EXPECT_EQ(fresh->next_seq(), applied + 1);
+  EXPECT_EQ(fresh->object_map().Extents(), extents);
+  EXPECT_EQ(fresh->object_count(), store_->object_count());
+}
+
+TEST_F(BackendStoreTest, RecoverDeletesStrandedObjects) {
+  for (int i = 0; i < 4; i++) {
+    WriteAndApply(static_cast<uint64_t>(i) * kMiB, 4096, 30 + i);
+  }
+  // Fabricate stranded objects: seq 6 and 7 exist, 5 is missing.
+  DataObjectHeader h6;
+  h6.seq = 6;
+  h6.extents = {{0, 4096, 0, 0}};
+  world_.store.Put(DataObjectName("vol", 6),
+                   EncodeDataObject(h6, TestPattern(4096, 99)), [](Status) {});
+  DataObjectHeader h7;
+  h7.seq = 7;
+  h7.extents = {{4096, 4096, 0, 0}};
+  world_.store.Put(DataObjectName("vol", 7),
+                   EncodeDataObject(h7, TestPattern(4096, 98)), [](Status) {});
+  Run();
+
+  auto fresh = std::make_unique<BackendStore>(&world_.host, &world_.store,
+                                              nullptr, config_);
+  std::optional<Status> s;
+  fresh->Recover([&](Status st) { s = st; });
+  Run();
+  ASSERT_TRUE(s->ok());
+  EXPECT_EQ(fresh->applied_seq(), 4u);
+  // Stranded objects were deleted during recovery (§3.3).
+  EXPECT_EQ(world_.store.Head(DataObjectName("vol", 6)).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(world_.store.Head(DataObjectName("vol", 7)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(BackendStoreTest, RecoverFallsBackToOlderCheckpoint) {
+  for (int i = 0; i < 10; i++) {
+    WriteAndApply(static_cast<uint64_t>(i) * kMiB, 8192, 60 + i);
+  }
+  std::optional<Status> cs;
+  store_->WriteCheckpoint([&](Status s) { cs = s; });
+  Run();
+  ASSERT_TRUE(cs->ok());
+  const auto extents = store_->object_map().Extents();
+
+  // Plant a corrupt checkpoint with a higher id than any real one: recovery
+  // must reject it (CRC) and fall back to the older valid checkpoint.
+  world_.store.Put(CheckpointObjectName("vol", 999999),
+                   TestPattern(512, 123), [](Status) {});
+  Run();
+
+  auto fresh = std::make_unique<BackendStore>(&world_.host, &world_.store,
+                                              nullptr, config_);
+  std::optional<Status> s;
+  fresh->Recover([&](Status st) { s = st; });
+  Run();
+  ASSERT_TRUE(s->ok());
+  EXPECT_EQ(fresh->object_map().Extents(), extents);
+  EXPECT_EQ(fresh->applied_seq(), store_->applied_seq());
+}
+
+TEST_F(BackendStoreTest, RecoverOnEmptyStoreYieldsEmptyVolume) {
+  auto fresh = std::make_unique<BackendStore>(&world_.host, &world_.store,
+                                              nullptr, config_);
+  std::optional<Status> s;
+  fresh->Recover([&](Status st) { s = st; });
+  Run();
+  ASSERT_TRUE(s->ok());
+  EXPECT_EQ(fresh->applied_seq(), 0u);
+  EXPECT_EQ(fresh->next_seq(), 1u);
+  EXPECT_TRUE(fresh->object_map().empty());
+}
+
+class BackendGcTest : public BackendStoreTest {
+ protected:
+  BackendGcTest() {
+    config_.gc_enabled = true;
+    config_.checkpoint_interval_objects = 2;
+    store_ = std::make_unique<BackendStore>(&world_.host, &world_.store,
+                                            nullptr, config_);
+  }
+};
+
+TEST_F(BackendGcTest, GcReclaimsOverwrittenObjects) {
+  // Repeatedly overwrite the same 256 KiB working set; utilization collapses
+  // and GC must kick in, keeping it at/above the high watermark.
+  for (int round = 0; round < 30; round++) {
+    for (int i = 0; i < 4; i++) {
+      store_->AddWrite(static_cast<uint64_t>(i) * 64 * kKiB,
+                       TestPattern(64 * kKiB, 100 + round));
+    }
+    Run();
+  }
+  store_->Seal();
+  Run();
+  EXPECT_GT(store_->stats().gc_objects_cleaned, 0u);
+  EXPECT_GT(store_->stats().objects_deleted, 0u);
+  EXPECT_GE(store_->Utilization(), config_.gc_low_watermark - 0.05);
+  // Deleted objects are actually gone from the store.
+  const auto names = world_.store.List(DataObjectPrefix("vol"));
+  EXPECT_LT(names.size(), 30u * 4);
+}
+
+TEST_F(BackendGcTest, GcPreservesData) {
+  // Known final image: distinct pattern per 64 KiB slot, heavily rewritten.
+  constexpr int kSlots = 4;
+  std::vector<uint64_t> final_seed(kSlots, 0);
+  Rng rng(77);
+  for (int round = 0; round < 40; round++) {
+    const int slot = static_cast<int>(rng.Uniform(kSlots));
+    const uint64_t seed = 1000 + static_cast<uint64_t>(round);
+    final_seed[static_cast<size_t>(slot)] = seed;
+    store_->AddWrite(static_cast<uint64_t>(slot) * 64 * kKiB,
+                     TestPattern(64 * kKiB, seed));
+    Run();
+  }
+  store_->Seal();
+  Run();
+  ASSERT_GT(store_->stats().gc_objects_cleaned, 0u);
+
+  for (int slot = 0; slot < kSlots; slot++) {
+    if (final_seed[static_cast<size_t>(slot)] == 0) {
+      continue;
+    }
+    const uint64_t vlba = static_cast<uint64_t>(slot) * 64 * kKiB;
+    auto segs = store_->object_map().Lookup(vlba, 64 * kKiB);
+    Buffer assembled;
+    for (const auto& seg : segs) {
+      ASSERT_TRUE(seg.target.has_value()) << "hole at slot " << slot;
+      std::optional<Result<Buffer>> r;
+      store_->Fetch(*seg.target, seg.len,
+                    [&](Result<Buffer> rr) { r = std::move(rr); });
+      Run();
+      ASSERT_TRUE(r->ok());
+      assembled.Append(r->value());
+    }
+    EXPECT_EQ(assembled, TestPattern(64 * kKiB,
+                                     final_seed[static_cast<size_t>(slot)]))
+        << "slot " << slot;
+  }
+}
+
+TEST_F(BackendGcTest, RecoveryAfterGcIsConsistent) {
+  Rng rng(88);
+  std::vector<uint64_t> final_seed(4, 0);
+  for (int round = 0; round < 40; round++) {
+    const int slot = static_cast<int>(rng.Uniform(4));
+    const uint64_t seed = 2000 + static_cast<uint64_t>(round);
+    final_seed[static_cast<size_t>(slot)] = seed;
+    store_->AddWrite(static_cast<uint64_t>(slot) * 64 * kKiB,
+                     TestPattern(64 * kKiB, seed));
+    Run();
+  }
+  store_->Seal();
+  Run();
+  ASSERT_GT(store_->stats().gc_objects_cleaned, 0u);
+
+  auto fresh = std::make_unique<BackendStore>(&world_.host, &world_.store,
+                                              nullptr, config_);
+  std::optional<Status> s;
+  fresh->Recover([&](Status st) { s = st; });
+  Run();
+  ASSERT_TRUE(s->ok());
+  EXPECT_EQ(fresh->object_map().Extents(), store_->object_map().Extents());
+}
+
+TEST_F(BackendGcTest, SnapshotDefersDeletes) {
+  for (int i = 0; i < 8; i++) {
+    WriteAndApply(0, 64 * kKiB, 300 + i);  // same range: all but last dead
+  }
+  std::optional<Result<uint64_t>> snap;
+  store_->CreateSnapshot([&](Result<uint64_t> r) { snap = std::move(r); });
+  Run();
+  ASSERT_TRUE(snap->ok());
+  const uint64_t snap_seq = snap->value();
+  const size_t objects_at_snap =
+      world_.store.List(DataObjectPrefix("vol")).size();
+
+  // More overwrites trigger GC of pre-snapshot objects -> deferred deletes.
+  for (int i = 0; i < 12; i++) {
+    WriteAndApply(0, 64 * kKiB, 400 + i);
+  }
+  EXPECT_GT(store_->stats().deferred_deletes, 0u);
+  // Objects referenced by the snapshot are still present.
+  EXPECT_GE(world_.store.List(DataObjectPrefix("vol")).size(),
+            objects_at_snap - 0);
+
+  // Deleting the snapshot releases the deferred deletes.
+  const uint64_t deleted_before = store_->stats().objects_deleted;
+  std::optional<Status> ds;
+  store_->DeleteSnapshot(snap_seq, [&](Status st) { ds = st; });
+  Run();
+  ASSERT_TRUE(ds->ok());
+  EXPECT_GT(store_->stats().objects_deleted, deleted_before);
+  EXPECT_TRUE(store_->deferred_deletes().empty());
+}
+
+TEST_F(BackendGcTest, DefragPlugsHolesAndShrinksMap) {
+  // Interleaved 4 KiB writes (even blocks, then odd blocks much later)
+  // fragment the map; with hole plugging enabled, GC copies contiguous runs
+  // and the map shrinks. Same workload, defrag on vs off.
+  auto run = [&](uint64_t hole_max) -> size_t {
+    LsvdConfig config = MakeConfig();
+    config.volume_name = "defrag" + std::to_string(hole_max);
+    config.gc_enabled = true;
+    config.checkpoint_interval_objects = 2;
+    config.gc_defrag_hole_max = hole_max;
+    auto store = std::make_unique<BackendStore>(&world_.host, &world_.store,
+                                                nullptr, config);
+    // Phase 1: a contiguous 2 MiB region (few fully-live objects).
+    for (uint64_t b = 0; b < 512; b += 16) {
+      store->AddWrite(b * 4096, TestPattern(16 * 4096, 7000 + b));
+      world_.sim.Run();
+    }
+    // Phase 2: overwrite 3 of every 4 blocks, leaving the phase-1 objects
+    // 25% live with 4 KiB live pieces separated by 12 KiB holes.
+    for (uint64_t b = 0; b < 512; b++) {
+      if (b % 4 != 0) {
+        store->AddWrite(b * 4096, TestPattern(4096, 8000 + b));
+        world_.sim.Run();
+      }
+    }
+    store->Seal();
+    world_.sim.Run();
+    EXPECT_GT(store->stats().gc_objects_cleaned, 0u);
+    // All 512 blocks of the fragmented region must still read correctly.
+    for (uint64_t b = 0; b < 512; b += 97) {
+      auto t = store->object_map().LookupOne(b * 4096);
+      if (!t.has_value()) {
+        ADD_FAILURE() << "block " << b << " unmapped";
+        return 0;
+      }
+      std::optional<Result<Buffer>> r;
+      store->Fetch(*t, 4096, [&](Result<Buffer> rr) { r = std::move(rr); });
+      world_.sim.Run();
+      if (!r.has_value() || !r->ok()) {
+        ADD_FAILURE() << "block " << b << " unreadable";
+        return 0;
+      }
+      const Buffer expect = b % 4 == 0
+                                ? TestPattern(16 * 4096, 7000 + b / 16 * 16)
+                                      .Slice(b % 16 * 4096, 4096)
+                                : TestPattern(4096, 8000 + b);
+      EXPECT_EQ(r->value(), expect) << "block " << b;
+    }
+    return store->object_map().extent_count();
+  };
+
+  const size_t plain = run(0);
+  const size_t defragged = run(16 * kKiB);
+  EXPECT_LT(defragged, plain);
+}
+
+TEST_F(BackendGcTest, DeleteUnknownSnapshotFails) {
+  std::optional<Status> s;
+  store_->DeleteSnapshot(999, [&](Status st) { s = st; });
+  Run();
+  EXPECT_EQ(s->code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace lsvd

@@ -1,0 +1,209 @@
+// Unit tests for the simulated client SSD: data integrity, durability rules,
+// crash injection, and the sequential-vs-random service model.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <optional>
+
+#include "src/blockdev/sim_ssd.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace lsvd {
+namespace {
+
+Buffer Pattern(uint64_t len, uint8_t seed) {
+  std::vector<uint8_t> bytes(len);
+  for (uint64_t i = 0; i < len; i++) {
+    bytes[i] = static_cast<uint8_t>(seed + i * 7);
+  }
+  return Buffer::FromBytes(bytes);
+}
+
+// Synchronous wrappers that drive the simulator to completion.
+Status WriteSync(Simulator* sim, SimSsd* ssd, uint64_t off, Buffer data) {
+  std::optional<Status> result;
+  ssd->Write(off, std::move(data), [&](Status s) { result = s; });
+  sim->Run();
+  return *result;
+}
+
+Result<Buffer> ReadSync(Simulator* sim, SimSsd* ssd, uint64_t off,
+                        uint64_t len) {
+  std::optional<Result<Buffer>> result;
+  ssd->Read(off, len, [&](Result<Buffer> r) { result = std::move(r); });
+  sim->Run();
+  return std::move(*result);
+}
+
+Status FlushSync(Simulator* sim, SimSsd* ssd) {
+  std::optional<Status> result;
+  ssd->Flush([&](Status s) { result = s; });
+  sim->Run();
+  return *result;
+}
+
+TEST(SimSsd, WriteThenReadRoundTrips) {
+  Simulator sim;
+  SimSsd ssd(&sim, kMiB, SsdParams::Instant());
+  Buffer data = Pattern(8192, 3);
+  ASSERT_TRUE(WriteSync(&sim, &ssd, 4096, data).ok());
+  auto r = ReadSync(&sim, &ssd, 4096, 8192);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, data);
+}
+
+TEST(SimSsd, UnwrittenReadsAsZeros) {
+  Simulator sim;
+  SimSsd ssd(&sim, kMiB, SsdParams::Instant());
+  auto r = ReadSync(&sim, &ssd, 0, 4096);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->IsAllZeros());
+}
+
+TEST(SimSsd, RejectsUnalignedAndOutOfRange) {
+  Simulator sim;
+  SimSsd ssd(&sim, kMiB, SsdParams::Instant());
+  EXPECT_EQ(WriteSync(&sim, &ssd, 100, Buffer::Zeros(4096)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(WriteSync(&sim, &ssd, 0, Buffer::Zeros(100)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(WriteSync(&sim, &ssd, kMiB, Buffer::Zeros(4096)).code(),
+            StatusCode::kOutOfRange);
+  auto r = ReadSync(&sim, &ssd, kMiB - 4096, 8192);
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SimSsd, PowerFailLosesUnflushedWrites) {
+  Simulator sim;
+  SimSsd ssd(&sim, kMiB, SsdParams::Instant());
+  Buffer flushed = Pattern(4096, 1);
+  Buffer unflushed = Pattern(4096, 2);
+  ASSERT_TRUE(WriteSync(&sim, &ssd, 0, flushed).ok());
+  ASSERT_TRUE(FlushSync(&sim, &ssd).ok());
+  ASSERT_TRUE(WriteSync(&sim, &ssd, 4096, unflushed).ok());
+
+  ssd.PowerFail();
+
+  auto r0 = ReadSync(&sim, &ssd, 0, 4096);
+  ASSERT_TRUE(r0.ok());
+  EXPECT_EQ(*r0, flushed);  // survived: was flushed
+  auto r1 = ReadSync(&sim, &ssd, 4096, 4096);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->IsAllZeros());  // lost: never flushed
+}
+
+TEST(SimSsd, PowerFailDuringFlushDoesNotPromote) {
+  Simulator sim;
+  SimSsd ssd(&sim, kMiB, SsdParams::P3700());
+  bool wrote = false;
+  ssd.Write(0, Pattern(4096, 9), [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    wrote = true;
+  });
+  sim.Run();
+  ASSERT_TRUE(wrote);
+  // Start a flush but fail power before it completes.
+  ssd.Flush([](Status) {});
+  ssd.PowerFail();
+  sim.Run();
+  auto r = ReadSync(&sim, &ssd, 0, 4096);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->IsAllZeros());
+}
+
+TEST(SimSsd, DiscardAllLosesEverything) {
+  Simulator sim;
+  SimSsd ssd(&sim, kMiB, SsdParams::Instant());
+  ASSERT_TRUE(WriteSync(&sim, &ssd, 0, Pattern(4096, 5)).ok());
+  ASSERT_TRUE(FlushSync(&sim, &ssd).ok());
+  ssd.DiscardAll();
+  auto r = ReadSync(&sim, &ssd, 0, 4096);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->IsAllZeros());
+}
+
+TEST(SimSsd, SequentialWritesFasterThanRandom) {
+  Simulator sim;
+  SsdParams params = SsdParams::P3700();
+  SimSsd ssd(&sim, kGiB, params);
+  Rng rng(11);
+
+  // 1000 sequential 4K writes.
+  Nanos t0 = sim.now();
+  int remaining = 1000;
+  for (int i = 0; i < 1000; i++) {
+    ssd.Write(static_cast<uint64_t>(i) * 4096, Buffer::Zeros(4096),
+              [&](Status s) {
+                ASSERT_TRUE(s.ok());
+                remaining--;
+              });
+  }
+  sim.Run();
+  ASSERT_EQ(remaining, 0);
+  const Nanos seq_time = sim.now() - t0;
+
+  // 1000 random 4K writes.
+  t0 = sim.now();
+  remaining = 1000;
+  for (int i = 0; i < 1000; i++) {
+    const uint64_t block = rng.Uniform(kGiB / 4096);
+    ssd.Write(block * 4096, Buffer::Zeros(4096), [&](Status s) {
+      ASSERT_TRUE(s.ok());
+      remaining--;
+    });
+  }
+  sim.Run();
+  ASSERT_EQ(remaining, 0);
+  const Nanos rand_time = sim.now() - t0;
+
+  EXPECT_LT(seq_time * 3, rand_time);
+  EXPECT_GT(ssd.stats().sequential_writes, 900u);
+}
+
+TEST(SimSsd, RandomWriteIopsNearRated) {
+  Simulator sim;
+  SimSsd ssd(&sim, kGiB, SsdParams::P3700());
+  Rng rng(13);
+  constexpr int kOps = 20000;
+  int done = 0;
+  // Closed loop at queue depth 32.
+  std::function<void()> issue = [&]() {
+    if (done + 32 > kOps) {
+      return;
+    }
+    const uint64_t block = rng.Uniform(kGiB / 4096);
+    ssd.Write(block * 4096, Buffer::Zeros(4096), [&](Status s) {
+      ASSERT_TRUE(s.ok());
+      done++;
+      issue();
+    });
+  };
+  for (int i = 0; i < 32; i++) {
+    issue();
+  }
+  sim.Run();
+  const double iops = done / ToSeconds(sim.now());
+  EXPECT_NEAR(iops, 90000.0, 15000.0);  // rated 90K random-write IOPS
+}
+
+TEST(SimSsd, FlushMakesPrecedingWritesDurable) {
+  Simulator sim;
+  SimSsd ssd(&sim, kMiB, SsdParams::P3700());
+  Buffer data = Pattern(4096, 77);
+  bool flushed = false;
+  ssd.Write(0, data, [](Status) {});
+  ssd.Flush([&](Status s) {
+    ASSERT_TRUE(s.ok());
+    flushed = true;
+  });
+  sim.Run();
+  ASSERT_TRUE(flushed);
+  ssd.PowerFail();
+  auto r = ReadSync(&sim, &ssd, 0, 4096);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, data);
+}
+
+}  // namespace
+}  // namespace lsvd

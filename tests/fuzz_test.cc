@@ -1,0 +1,256 @@
+// Randomized robustness tests: every on-disk/on-object codec must either
+// decode correctly or return an error — never crash, never accept corrupt
+// input — under random mutations; plus reference-model property tests for
+// the run allocator and Buffer.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/lsvd/journal.h"
+#include "src/lsvd/object_format.h"
+#include "src/util/buffer.h"
+#include "src/util/crc32c.h"
+#include "src/util/rng.h"
+#include "src/util/run_allocator.h"
+#include "tests/lsvd_test_util.h"
+
+namespace lsvd {
+namespace {
+
+class CodecFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecFuzz, JournalHeaderNeverAcceptsCorruption) {
+  Rng rng(GetParam());
+  JournalRecord rec;
+  rec.seq = rng.Next() % 100000;
+  rec.batch_seq = rng.Next() % 1000;
+  const int n = 1 + static_cast<int>(rng.Uniform(10));
+  for (int i = 0; i < n; i++) {
+    rec.extents.push_back(
+        {rng.Uniform(1 << 20) * kBlockSize, (1 + rng.Uniform(4)) * kBlockSize});
+  }
+  uint64_t data_len = 0;
+  for (const auto& e : rec.extents) {
+    data_len += e.len;
+  }
+  rec.data = TestPattern(data_len, GetParam());
+  auto header = EncodeJournalRecord(rec).Slice(0, kBlockSize).ToBytes();
+
+  // Unmutated: decodes and matches.
+  JournalRecord out;
+  uint64_t out_len = 0;
+  ASSERT_TRUE(
+      DecodeJournalHeader(Buffer::FromBytes(header), &out, &out_len).ok());
+  ASSERT_EQ(out.seq, rec.seq);
+  ASSERT_EQ(out_len, data_len);
+
+  // 200 random single-byte mutations: every one must be rejected (the CRC
+  // covers the whole header block).
+  for (int trial = 0; trial < 200; trial++) {
+    auto mutated = header;
+    const size_t pos = rng.Uniform(mutated.size());
+    const auto bit = static_cast<uint8_t>(1u << rng.Uniform(8));
+    mutated[pos] ^= bit;
+    JournalRecord m;
+    uint64_t ml = 0;
+    const Status s = DecodeJournalHeader(Buffer::FromBytes(mutated), &m, &ml);
+    EXPECT_FALSE(s.ok()) << "mutation at byte " << pos << " accepted";
+  }
+}
+
+TEST_P(CodecFuzz, ObjectHeaderNeverAcceptsCorruption) {
+  Rng rng(GetParam() + 100);
+  DataObjectHeader header;
+  header.seq = rng.Next() % 100000;
+  const int n = 1 + static_cast<int>(rng.Uniform(50));
+  Buffer data;
+  for (int i = 0; i < n; i++) {
+    const uint64_t len = (1 + rng.Uniform(4)) * kBlockSize;
+    header.extents.push_back({rng.Uniform(1 << 20) * kBlockSize, len,
+                              rng.Bernoulli(0.3) ? rng.Next() % 100 : 0,
+                              rng.Next() % 4096});
+    data.AppendZeros(len);
+  }
+  Buffer object = EncodeDataObject(header, data);
+  auto prefix = object.Slice(0, DataObjectHeaderSize(header.extents.size()))
+                    .ToBytes();
+
+  DataObjectHeader out;
+  ASSERT_TRUE(DecodeDataObjectHeader(Buffer::FromBytes(prefix), &out).ok());
+  ASSERT_EQ(out.extents.size(), header.extents.size());
+
+  for (int trial = 0; trial < 200; trial++) {
+    auto mutated = prefix;
+    const size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] ^= static_cast<uint8_t>(1u << rng.Uniform(8));
+    DataObjectHeader m;
+    EXPECT_FALSE(DecodeDataObjectHeader(Buffer::FromBytes(mutated), &m).ok())
+        << "mutation at byte " << pos << " accepted";
+  }
+}
+
+TEST_P(CodecFuzz, CheckpointNeverAcceptsCorruption) {
+  Rng rng(GetParam() + 200);
+  CheckpointState state;
+  state.through_seq = rng.Next() % 10000;
+  state.next_seq = state.through_seq + 1;
+  const int n = static_cast<int>(rng.Uniform(40));
+  for (int i = 0; i < n; i++) {
+    state.object_map.push_back({rng.Uniform(1 << 20) * kBlockSize,
+                                (1 + rng.Uniform(8)) * kBlockSize,
+                                ObjTarget{rng.Next() % 1000, rng.Uniform(1 << 22)}});
+    state.object_info[rng.Next() % 1000] =
+        ObjectInfo{rng.Uniform(1 << 24), rng.Uniform(1 << 20)};
+  }
+  if (rng.Bernoulli(0.5)) {
+    state.snapshots.push_back(rng.Next() % 500);
+    state.deferred_deletes.push_back({rng.Next() % 100, rng.Next() % 1000});
+  }
+  auto bytes = EncodeCheckpoint(state).ToBytes();
+
+  CheckpointState out;
+  ASSERT_TRUE(DecodeCheckpoint(Buffer::FromBytes(bytes), &out).ok());
+  ASSERT_EQ(out.through_seq, state.through_seq);
+
+  for (int trial = 0; trial < 200; trial++) {
+    auto mutated = bytes;
+    const size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] ^= static_cast<uint8_t>(1u << rng.Uniform(8));
+    CheckpointState m;
+    EXPECT_FALSE(DecodeCheckpoint(Buffer::FromBytes(mutated), &m).ok());
+  }
+}
+
+TEST_P(CodecFuzz, RandomGarbageIsRejectedNotCrashed) {
+  Rng rng(GetParam() + 300);
+  for (int trial = 0; trial < 50; trial++) {
+    std::vector<uint8_t> garbage(kBlockSize);
+    for (auto& b : garbage) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    JournalRecord jr;
+    uint64_t len = 0;
+    EXPECT_FALSE(
+        DecodeJournalHeader(Buffer::FromBytes(garbage), &jr, &len).ok());
+    DataObjectHeader oh;
+    EXPECT_FALSE(DecodeDataObjectHeader(Buffer::FromBytes(garbage), &oh).ok());
+    CheckpointState cs;
+    EXPECT_FALSE(DecodeCheckpoint(Buffer::FromBytes(garbage), &cs).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+// --- RunAllocator property test against a byte-level reference ---
+
+class AllocatorProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AllocatorProperty, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  constexpr uint64_t kBase = 1 << 20;
+  constexpr uint64_t kSize = 1 << 16;
+  RunAllocator alloc(kBase, kSize);
+  std::vector<bool> ref(kSize, false);  // true = allocated
+  std::vector<std::pair<uint64_t, uint64_t>> live;  // (offset, len)
+
+  for (int step = 0; step < 2000; step++) {
+    if (live.empty() || rng.Bernoulli(0.55)) {
+      const uint64_t len = (1 + rng.Uniform(16)) * 256;
+      auto got = alloc.Allocate(len);
+      // Reference: does a first-fit run of `len` exist?
+      uint64_t run = 0;
+      bool exists = false;
+      for (uint64_t i = 0; i < kSize && !exists; i++) {
+        run = ref[i] ? 0 : run + 1;
+        if (run >= len) {
+          exists = true;
+        }
+      }
+      ASSERT_EQ(got.has_value(), exists) << "step " << step;
+      if (got.has_value()) {
+        ASSERT_GE(*got, kBase);
+        ASSERT_LE(*got + len, kBase + kSize);
+        for (uint64_t i = 0; i < len; i++) {
+          ASSERT_FALSE(ref[*got - kBase + i]) << "double allocation";
+          ref[*got - kBase + i] = true;
+        }
+        live.push_back({*got, len});
+      }
+    } else {
+      const size_t idx = rng.Uniform(live.size());
+      auto [off, len] = live[idx];
+      live.erase(live.begin() + static_cast<ptrdiff_t>(idx));
+      alloc.Free(off, len);
+      for (uint64_t i = 0; i < len; i++) {
+        ref[off - kBase + i] = false;
+      }
+    }
+    // Free-byte accounting must agree.
+    uint64_t free_ref = 0;
+    for (const bool b : ref) {
+      free_ref += b ? 0 : 1;
+    }
+    ASSERT_EQ(alloc.free_bytes(), free_ref) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorProperty,
+                         ::testing::Values(11, 22, 33));
+
+// --- Buffer property test against a byte-vector reference ---
+
+class BufferProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BufferProperty, RopeOperationsMatchFlatReference) {
+  Rng rng(GetParam());
+  Buffer buf;
+  std::vector<uint8_t> ref;
+
+  for (int step = 0; step < 300; step++) {
+    const int op = static_cast<int>(rng.Uniform(3));
+    if (op == 0) {
+      // Append random bytes.
+      std::vector<uint8_t> bytes(1 + rng.Uniform(300));
+      for (auto& b : bytes) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      buf.AppendBytes(bytes);
+      ref.insert(ref.end(), bytes.begin(), bytes.end());
+    } else if (op == 1) {
+      const uint64_t n = 1 + rng.Uniform(500);
+      buf.AppendZeros(n);
+      ref.insert(ref.end(), n, 0);
+    } else if (!ref.empty() && ref.size() < (1u << 20)) {
+      // Re-append a slice of the existing buffer (exercises chunk sharing);
+      // capped so the buffer cannot grow geometrically.
+      const uint64_t off = rng.Uniform(ref.size());
+      const uint64_t len =
+          1 + rng.Uniform(std::min<uint64_t>(ref.size() - off, 4096));
+      Buffer slice = buf.Slice(off, len);
+      buf.Append(slice);
+      ref.insert(ref.end(), ref.begin() + static_cast<ptrdiff_t>(off),
+                 ref.begin() + static_cast<ptrdiff_t>(off + len));
+    }
+    ASSERT_EQ(buf.size(), ref.size());
+
+    // Random window probes.
+    if (!ref.empty()) {
+      for (int probe = 0; probe < 3; probe++) {
+        const uint64_t off = rng.Uniform(ref.size());
+        const uint64_t len = 1 + rng.Uniform(ref.size() - off);
+        std::vector<uint8_t> window(len);
+        buf.CopyTo(off, window);
+        ASSERT_EQ(0, std::memcmp(window.data(), ref.data() + off, len))
+            << "step " << step;
+      }
+    }
+  }
+  EXPECT_EQ(buf.ToBytes(), ref);
+  EXPECT_EQ(buf.Crc(), Crc32c(ref.data(), ref.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferProperty,
+                         ::testing::Values(7, 77, 777));
+
+}  // namespace
+}  // namespace lsvd

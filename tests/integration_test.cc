@@ -1,0 +1,304 @@
+// Cross-module integration tests: multiple volumes sharing one host, GC
+// interacting with crashes / snapshots / replication, write-cache
+// backpressure end to end, and baseline writeback synchronization.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "src/baseline/bcache_device.h"
+#include "src/baseline/rbd_disk.h"
+#include "src/lsvd/lsvd_disk.h"
+#include "src/lsvd/replicator.h"
+#include "src/objstore/sim_object_store.h"
+#include "tests/lsvd_test_util.h"
+
+namespace lsvd {
+namespace {
+
+TEST(Integration, TwoVolumesOnOneHostAreIsolated) {
+  TestWorld world;
+  LsvdConfig ca = TestWorld::SmallVolumeConfig();
+  ca.volume_name = "alpha";
+  LsvdConfig cb = TestWorld::SmallVolumeConfig();
+  cb.volume_name = "beta";
+  LsvdDisk a(&world.host, &world.store, ca);
+  LsvdDisk b(&world.host, &world.store, cb);
+  ASSERT_TRUE(OpenSync(&world.sim, &a, &LsvdDisk::Create).ok());
+  ASSERT_TRUE(OpenSync(&world.sim, &b, &LsvdDisk::Create).ok());
+
+  // Interleaved writes to the same vLBAs with different contents.
+  for (int i = 0; i < 20; i++) {
+    const uint64_t off = static_cast<uint64_t>(i) * 64 * kKiB;
+    ASSERT_TRUE(WriteSync(&world.sim, &a, off, TestPattern(64 * kKiB,
+                                                           1000 + i))
+                    .ok());
+    ASSERT_TRUE(WriteSync(&world.sim, &b, off, TestPattern(64 * kKiB,
+                                                           2000 + i))
+                    .ok());
+  }
+  ASSERT_TRUE(DrainSync(&world.sim, &a).ok());
+  ASSERT_TRUE(DrainSync(&world.sim, &b).ok());
+
+  for (int i = 0; i < 20; i++) {
+    const uint64_t off = static_cast<uint64_t>(i) * 64 * kKiB;
+    auto ra = ReadSync(&world.sim, &a, off, 64 * kKiB);
+    auto rb = ReadSync(&world.sim, &b, off, 64 * kKiB);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_EQ(*ra, TestPattern(64 * kKiB, 1000 + i));
+    EXPECT_EQ(*rb, TestPattern(64 * kKiB, 2000 + i));
+  }
+  // Object streams are disjoint by name.
+  EXPECT_FALSE(world.store.List("alpha.d.").empty());
+  EXPECT_FALSE(world.store.List("beta.d.").empty());
+}
+
+TEST(Integration, GcThenCacheLossRecoversConsistently) {
+  TestWorld world;
+  LsvdConfig config = TestWorld::SmallVolumeConfig();
+  config.checkpoint_interval_objects = 4;
+  LsvdDisk disk(&world.host, &world.store, config);
+  ASSERT_TRUE(OpenSync(&world.sim, &disk, &LsvdDisk::Create).ok());
+
+  // Heavy overwriting of a small region to force GC.
+  Rng rng(31);
+  std::map<uint64_t, uint64_t> content;
+  for (int i = 0; i < 120; i++) {
+    const uint64_t slot = rng.Uniform(8);
+    const uint64_t seed = 3000 + static_cast<uint64_t>(i);
+    ASSERT_TRUE(WriteSync(&world.sim, &disk, slot * 256 * kKiB,
+                          TestPattern(256 * kKiB, seed))
+                    .ok());
+    content[slot] = seed;
+  }
+  ASSERT_TRUE(DrainSync(&world.sim, &disk).ok());
+  ASSERT_GT(disk.backend().stats().gc_objects_cleaned, 0u);
+  ASSERT_GT(disk.backend().stats().objects_deleted, 0u);
+
+  // Total cache loss; recover from the object store alone.
+  disk.Kill();
+  world.host.ssd()->DiscardAll();
+  world.sim.Run();
+  ClientHost host2(&world.sim, TestWorld::InstantHostConfig());
+  LsvdDisk recovered(&host2, &world.store, config);
+  ASSERT_TRUE(OpenSync(&world.sim, &recovered, &LsvdDisk::OpenCacheLost).ok());
+
+  for (const auto& [slot, seed] : content) {
+    auto r = ReadSync(&world.sim, &recovered, slot * 256 * kKiB, 256 * kKiB);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, TestPattern(256 * kKiB, seed)) << "slot " << slot;
+  }
+}
+
+TEST(Integration, SnapshotSurvivesGcChurnAndMounts) {
+  TestWorld world;
+  LsvdConfig config = TestWorld::SmallVolumeConfig();
+  config.checkpoint_interval_objects = 4;
+  LsvdDisk disk(&world.host, &world.store, config);
+  ASSERT_TRUE(OpenSync(&world.sim, &disk, &LsvdDisk::Create).ok());
+
+  // Known state at snapshot time.
+  for (int slot = 0; slot < 4; slot++) {
+    ASSERT_TRUE(WriteSync(&world.sim, &disk,
+                          static_cast<uint64_t>(slot) * 256 * kKiB,
+                          TestPattern(256 * kKiB, 4000 + slot))
+                    .ok());
+  }
+  std::optional<Result<uint64_t>> snap;
+  disk.Snapshot([&](Result<uint64_t> r) { snap = std::move(r); });
+  world.sim.Run();
+  ASSERT_TRUE(snap->ok());
+
+  // Churn hard so GC wants to delete snapshot-era objects.
+  Rng rng(37);
+  for (int i = 0; i < 150; i++) {
+    ASSERT_TRUE(WriteSync(&world.sim, &disk, rng.Uniform(8) * 256 * kKiB,
+                          TestPattern(256 * kKiB, 5000 + i))
+                    .ok());
+  }
+  ASSERT_TRUE(DrainSync(&world.sim, &disk).ok());
+  ASSERT_GT(disk.backend().stats().gc_objects_cleaned, 0u);
+  EXPECT_GT(disk.backend().stats().deferred_deletes, 0u);
+
+  // The snapshot still mounts with the exact pre-churn contents.
+  LsvdConfig view_config = config;
+  view_config.open_limit_seq = snap->value();
+  LsvdDisk view(&world.host, &world.store, view_config);
+  ASSERT_TRUE(OpenSync(&world.sim, &view, &LsvdDisk::OpenCacheLost).ok());
+  for (int slot = 0; slot < 4; slot++) {
+    auto r = ReadSync(&world.sim, &view,
+                      static_cast<uint64_t>(slot) * 256 * kKiB, 256 * kKiB);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, TestPattern(256 * kKiB, 4000 + slot)) << "slot " << slot;
+  }
+}
+
+TEST(Integration, WriteCacheBackpressureEndToEnd) {
+  // A tiny write cache against a slow backend: writes must stall and resume
+  // rather than fail, and all data must be correct afterwards.
+  Simulator sim;
+  ClientHostConfig hc;
+  hc.ssd_capacity = 8 * kGiB;
+  hc.ssd = SsdParams::P3700();
+  ClientHost host(&sim, hc);
+  BackendCluster cluster(&sim, ClusterConfig::HddPool());
+  NetLink link(&sim, NetParams{});
+  SimObjectStore store(&sim, &cluster, &link, SimObjectStoreConfig{});
+
+  LsvdConfig config = TestWorld::SmallVolumeConfig();
+  config.volume_size = 256 * kMiB;
+  config.write_cache_size = 24 * kMiB;  // tiny: forces stalls
+  config.batch_bytes = 2 * kMiB;
+  config.costs = StageCosts{};
+  config.pass_through_ssd = true;
+  LsvdDisk disk(&host, &store, config);
+  ASSERT_TRUE(OpenSync(&sim, &disk, &LsvdDisk::Create).ok());
+
+  int acked = 0;
+  constexpr int kWrites = 200;
+  for (int i = 0; i < kWrites; i++) {
+    disk.Write((static_cast<uint64_t>(i) % 200) * kMiB,
+               Buffer::Zeros(512 * kKiB), [&](Status s) {
+                 ASSERT_TRUE(s.ok());
+                 acked++;
+               });
+  }
+  sim.Run();
+  EXPECT_EQ(acked, kWrites);
+  EXPECT_GT(disk.write_cache().stats().stalled_appends, 0u);
+  ASSERT_TRUE(DrainSync(&sim, &disk).ok());
+  EXPECT_TRUE(disk.write_cache().fully_synced());
+}
+
+TEST(Integration, ReplicationRacesGcAndReplicaStillMounts) {
+  TestWorld world;
+  MemObjectStore replica(&world.sim);
+  LsvdConfig config = TestWorld::SmallVolumeConfig();
+  config.checkpoint_interval_objects = 4;
+  LsvdDisk disk(&world.host, &world.store, config);
+  ASSERT_TRUE(OpenSync(&world.sim, &disk, &LsvdDisk::Create).ok());
+
+  ReplicatorConfig rc;
+  rc.volume_name = config.volume_name;
+  rc.min_age = 0;  // copy eagerly: maximizes the race with GC deletion
+  Replicator rep(&world.sim, &world.store, &replica, rc);
+
+  Rng rng(41);
+  std::map<uint64_t, uint64_t> content;
+  for (int round = 0; round < 25; round++) {
+    for (int i = 0; i < 6; i++) {
+      const uint64_t slot = rng.Uniform(8);
+      const uint64_t seed = 6000 + static_cast<uint64_t>(round * 10 + i);
+      ASSERT_TRUE(WriteSync(&world.sim, &disk, slot * 256 * kKiB,
+                            TestPattern(256 * kKiB, seed))
+                      .ok());
+      content[slot] = seed;
+    }
+    rep.PollOnce([] {});
+    world.sim.Run();
+  }
+  ASSERT_TRUE(DrainSync(&world.sim, &disk).ok());
+  std::optional<Status> ck;
+  disk.backend().WriteCheckpoint([&](Status s) { ck = s; });
+  world.sim.Run();
+  ASSERT_TRUE(ck->ok());
+  rep.PollOnce([] {});
+  world.sim.Run();
+
+  // The replica mounts to a consistent (possibly older) image.
+  ClientHost host2(&world.sim, TestWorld::InstantHostConfig());
+  LsvdDisk mounted(&host2, &replica, config);
+  ASSERT_TRUE(OpenSync(&world.sim, &mounted, &LsvdDisk::OpenCacheLost).ok());
+  EXPECT_GT(mounted.backend().applied_seq(), 0u);
+  // Every mapped byte reads without error (no dangling object references).
+  for (uint64_t slot = 0; slot < 8; slot++) {
+    auto r = ReadSync(&world.sim, &mounted, slot * 256 * kKiB, 256 * kKiB);
+    ASSERT_TRUE(r.ok()) << "slot " << slot << ": "
+                        << r.status().ToString();
+  }
+}
+
+TEST(Integration, BcacheWritebackAllSyncsImageForMigration) {
+  // §4.4's migration scenario on the baseline: after WritebackAll, the RBD
+  // image must equal the cache view exactly.
+  Simulator sim;
+  ClientHostConfig hc;
+  hc.ssd_capacity = 4 * kGiB;
+  hc.ssd = SsdParams::Instant();
+  ClientHost host(&sim, hc);
+  BackendCluster cluster(&sim, ClusterConfig::SsdPool());
+  NetLink link(&sim, NetParams{});
+  RbdDisk rbd(&sim, &cluster, &link, kGiB, RbdConfig{});
+  const uint64_t cache_size = 128 * kMiB;
+  BcacheDevice bcache(&host, &rbd, *host.AllocRegion(cache_size), cache_size,
+                      BcacheConfig{});
+
+  Rng rng(43);
+  std::map<uint64_t, uint64_t> content;
+  for (int i = 0; i < 60; i++) {
+    const uint64_t slot = rng.Uniform(32);
+    const uint64_t seed = 7000 + static_cast<uint64_t>(i);
+    std::optional<Status> s;
+    bcache.Write(slot * 64 * kKiB, TestPattern(64 * kKiB, seed),
+                 [&](Status st) { s = st; });
+    sim.Run();
+    ASSERT_TRUE(s->ok());
+    content[slot] = seed;
+  }
+  bool done = false;
+  bcache.WritebackAll([&] { done = true; });
+  sim.Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(bcache.dirty_bytes(), 0u);
+  for (const auto& [slot, seed] : content) {
+    std::optional<Result<Buffer>> r;
+    rbd.Read(slot * 64 * kKiB, 64 * kKiB,
+             [&](Result<Buffer> rr) { r = std::move(rr); });
+    sim.Run();
+    ASSERT_TRUE(r->ok());
+    EXPECT_EQ(r->value(), TestPattern(64 * kKiB, seed)) << "slot " << slot;
+  }
+}
+
+TEST(Integration, RepeatedCrashRecoverCycles) {
+  // §3.3: "In the case of further failure, the steps may be repeated
+  // without risk of inconsistency." Crash and recover several times.
+  TestWorld world;
+  LsvdConfig config = TestWorld::SmallVolumeConfig();
+  auto disk = std::make_unique<LsvdDisk>(&world.host, &world.store, config);
+  ASSERT_TRUE(OpenSync(&world.sim, disk.get(), &LsvdDisk::Create).ok());
+
+  std::map<uint64_t, uint64_t> content;
+  uint64_t seed = 8000;
+  for (int cycle = 0; cycle < 4; cycle++) {
+    for (int i = 0; i < 15; i++) {
+      const uint64_t slot = (seed * 7 + static_cast<uint64_t>(i)) % 32;
+      ASSERT_TRUE(WriteSync(&world.sim, disk.get(), slot * 64 * kKiB,
+                            TestPattern(64 * kKiB, seed))
+                      .ok());
+      content[slot] = seed;
+      seed++;
+    }
+    ASSERT_TRUE(FlushSync(&world.sim, disk.get()).ok());
+
+    const DiskRegions regions = disk->regions();
+    disk->Kill();
+    world.host.ssd()->PowerFail();
+    world.sim.Run();
+    disk = std::make_unique<LsvdDisk>(&world.host, &world.store, config,
+                                      regions);
+    ASSERT_TRUE(
+        OpenSync(&world.sim, disk.get(), &LsvdDisk::OpenAfterCrash).ok())
+        << "cycle " << cycle;
+
+    for (const auto& [slot, s] : content) {
+      auto r = ReadSync(&world.sim, disk.get(), slot * 64 * kKiB, 64 * kKiB);
+      ASSERT_TRUE(r.ok());
+      ASSERT_EQ(*r, TestPattern(64 * kKiB, s))
+          << "cycle " << cycle << " slot " << slot;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lsvd

@@ -1,0 +1,167 @@
+// Unit tests for the journal record and backend object codecs.
+#include <gtest/gtest.h>
+
+#include "src/lsvd/journal.h"
+#include "src/lsvd/object_format.h"
+#include "tests/lsvd_test_util.h"
+
+namespace lsvd {
+namespace {
+
+TEST(JournalCodec, RoundTrip) {
+  JournalRecord rec;
+  rec.seq = 42;
+  rec.batch_seq = 7;
+  rec.extents = {{0, 4096}, {8 * kMiB, 8192}};
+  rec.data = TestPattern(12288, 1);
+
+  Buffer encoded = EncodeJournalRecord(rec);
+  EXPECT_EQ(encoded.size(), kBlockSize + 12288);
+  EXPECT_EQ(JournalRecordSize(rec), encoded.size());
+
+  JournalRecord out;
+  uint64_t data_len = 0;
+  ASSERT_TRUE(
+      DecodeJournalHeader(encoded.Slice(0, kBlockSize), &out, &data_len).ok());
+  EXPECT_EQ(out.seq, 42u);
+  EXPECT_EQ(out.batch_seq, 7u);
+  EXPECT_EQ(data_len, 12288u);
+  ASSERT_EQ(out.extents.size(), 2u);
+  EXPECT_EQ(out.extents[0].vlba, 0u);
+  EXPECT_EQ(out.extents[1].vlba, 8 * kMiB);
+  EXPECT_EQ(out.extents[1].len, 8192u);
+  EXPECT_TRUE(
+      VerifyJournalData(out, encoded.Slice(kBlockSize, data_len)).ok());
+}
+
+TEST(JournalCodec, DetectsHeaderCorruption) {
+  JournalRecord rec;
+  rec.seq = 1;
+  rec.extents = {{4096, 4096}};
+  rec.data = TestPattern(4096, 2);
+  auto bytes = EncodeJournalRecord(rec).ToBytes();
+  bytes[100] ^= 0xFF;  // flip a bit inside the header
+
+  JournalRecord out;
+  uint64_t data_len = 0;
+  Buffer header = Buffer::FromBytes(
+      std::span<const uint8_t>(bytes.data(), kBlockSize));
+  EXPECT_EQ(DecodeJournalHeader(header, &out, &data_len).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(JournalCodec, DetectsDataCorruption) {
+  JournalRecord rec;
+  rec.seq = 1;
+  rec.extents = {{4096, 4096}};
+  rec.data = TestPattern(4096, 3);
+  Buffer encoded = EncodeJournalRecord(rec);
+
+  JournalRecord out;
+  uint64_t data_len = 0;
+  ASSERT_TRUE(
+      DecodeJournalHeader(encoded.Slice(0, kBlockSize), &out, &data_len).ok());
+  Buffer wrong_data = TestPattern(4096, 4);
+  EXPECT_EQ(VerifyJournalData(out, wrong_data).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(JournalCodec, GarbageIsRejected) {
+  JournalRecord out;
+  uint64_t data_len = 0;
+  EXPECT_FALSE(
+      DecodeJournalHeader(Buffer::Zeros(kBlockSize), &out, &data_len).ok());
+  EXPECT_FALSE(
+      DecodeJournalHeader(TestPattern(kBlockSize, 5), &out, &data_len).ok());
+}
+
+TEST(ObjectNaming, FormatAndParse) {
+  EXPECT_EQ(DataObjectName("vol", 17), "vol.d.000000000017");
+  EXPECT_EQ(CheckpointObjectName("vol", 3), "vol.c.000000000003");
+  EXPECT_EQ(ParseDataObjectSeq("vol", "vol.d.000000000017"), 17u);
+  EXPECT_EQ(ParseCheckpointSeq("vol", "vol.c.000000000003"), 3u);
+  EXPECT_EQ(ParseDataObjectSeq("vol", "other.d.000000000017"), std::nullopt);
+  EXPECT_EQ(ParseDataObjectSeq("vol", "vol.c.000000000017"), std::nullopt);
+  EXPECT_EQ(ParseDataObjectSeq("vol", "vol.d.0000000017"), std::nullopt);
+  // Lexicographic order matches numeric order (zero padding).
+  EXPECT_LT(DataObjectName("vol", 99), DataObjectName("vol", 100));
+}
+
+TEST(ObjectCodec, DataObjectRoundTrip) {
+  DataObjectHeader header;
+  header.seq = 9;
+  header.extents = {{0, 8192, 0, 0}, {kMiB, 4096, 0, 0}};
+  Buffer data = TestPattern(12288, 6);
+  Buffer object = EncodeDataObject(header, data);
+
+  DataObjectHeader out;
+  ASSERT_TRUE(DecodeDataObjectHeader(object, &out).ok());
+  EXPECT_EQ(out.seq, 9u);
+  EXPECT_EQ(out.data_offset, DataObjectHeaderSize(2));
+  ASSERT_EQ(out.extents.size(), 2u);
+  EXPECT_EQ(out.extents[1].vlba, kMiB);
+  EXPECT_FALSE(out.extents[0].conditional());
+  // Payload follows the header verbatim.
+  EXPECT_EQ(object.Slice(out.data_offset, 12288), data);
+}
+
+TEST(ObjectCodec, ConditionalExtentsSurviveRoundTrip) {
+  DataObjectHeader header;
+  header.seq = 30;
+  header.extents = {{4096, 4096, 12, 8192}};
+  Buffer object = EncodeDataObject(header, TestPattern(4096, 7));
+  DataObjectHeader out;
+  ASSERT_TRUE(DecodeDataObjectHeader(object, &out).ok());
+  ASSERT_EQ(out.extents.size(), 1u);
+  EXPECT_TRUE(out.extents[0].conditional());
+  EXPECT_EQ(out.extents[0].expected_seq, 12u);
+  EXPECT_EQ(out.extents[0].expected_offset, 8192u);
+}
+
+TEST(ObjectCodec, HeaderCorruptionDetected) {
+  DataObjectHeader header;
+  header.seq = 1;
+  header.extents = {{0, 4096, 0, 0}};
+  auto bytes = EncodeDataObject(header, TestPattern(4096, 8)).ToBytes();
+  bytes[40] ^= 1;
+  DataObjectHeader out;
+  EXPECT_EQ(DecodeDataObjectHeader(Buffer::FromBytes(bytes), &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ObjectCodec, CheckpointRoundTrip) {
+  CheckpointState state;
+  state.through_seq = 55;
+  state.next_seq = 60;
+  state.object_map = {{0, 4096, ObjTarget{3, 4096}},
+                      {kMiB, 8192, ObjTarget{55, 12288}}};
+  state.object_info[3] = ObjectInfo{100000, 50000};
+  state.object_info[55] = ObjectInfo{200000, 200000};
+  state.deferred_deletes = {{10, 50}};
+  state.snapshots = {20, 40};
+
+  Buffer encoded = EncodeCheckpoint(state);
+  CheckpointState out;
+  ASSERT_TRUE(DecodeCheckpoint(encoded, &out).ok());
+  EXPECT_EQ(out.through_seq, 55u);
+  EXPECT_EQ(out.next_seq, 60u);
+  ASSERT_EQ(out.object_map.size(), 2u);
+  EXPECT_EQ(out.object_map[1].target.seq, 55u);
+  EXPECT_EQ(out.object_info.at(3).live_bytes, 50000u);
+  ASSERT_EQ(out.deferred_deletes.size(), 1u);
+  EXPECT_EQ(out.deferred_deletes[0].gc_head, 50u);
+  EXPECT_EQ(out.snapshots, (std::vector<uint64_t>{20, 40}));
+}
+
+TEST(ObjectCodec, CheckpointCorruptionDetected) {
+  CheckpointState state;
+  state.through_seq = 1;
+  auto bytes = EncodeCheckpoint(state).ToBytes();
+  bytes[8] ^= 0x80;
+  CheckpointState out;
+  EXPECT_EQ(DecodeCheckpoint(Buffer::FromBytes(bytes), &out).code(),
+            StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace lsvd

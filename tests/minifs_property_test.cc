@@ -1,0 +1,132 @@
+// Property test: minifs under a long random sequence of create / delete /
+// fsync / remount operations must always match a reference model, and fsck
+// must always be clean — including after simulated crashes, where the
+// surviving files must be a subset consistent with the journal.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "src/minifs/minifs.h"
+#include "tests/lsvd_test_util.h"
+
+namespace lsvd {
+namespace {
+
+class MiniFsProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  MiniFsProperty() {
+    config_ = TestWorld::SmallVolumeConfig();
+    config_.volume_size = 256 * kMiB;
+    disk_ = std::make_unique<LsvdDisk>(&world_.host, &world_.store, config_);
+    EXPECT_TRUE(OpenSync(&world_.sim, disk_.get(), &LsvdDisk::Create).ok());
+    MiniFsGeometry geo;
+    geo.max_files = 2048;
+    std::optional<Status> s;
+    MiniFs::Format(&world_.sim, disk_.get(), geo, [&](Status st) { s = st; });
+    world_.sim.Run();
+    EXPECT_TRUE(s.has_value() && s->ok());
+    fs_ = MountNow();
+  }
+
+  std::shared_ptr<MiniFs> MountNow() {
+    std::optional<Result<std::shared_ptr<MiniFs>>> r;
+    MiniFs::Mount(&world_.sim, disk_.get(),
+                  [&](Result<std::shared_ptr<MiniFs>> rr) {
+                    r = std::move(rr);
+                  });
+    world_.sim.Run();
+    EXPECT_TRUE(r.has_value() && r->ok());
+    return r->ok() ? std::move(*r).value() : nullptr;
+  }
+
+  TestWorld world_;
+  LsvdConfig config_;
+  std::unique_ptr<LsvdDisk> disk_;
+  std::shared_ptr<MiniFs> fs_;
+};
+
+TEST_P(MiniFsProperty, RandomOpsMatchReferenceModel) {
+  Rng rng(GetParam());
+  std::map<std::string, uint64_t> model;   // durable (fsynced) name -> seed
+  std::map<std::string, uint64_t> staged;  // current in-memory view
+  uint64_t next_id = 0;
+
+  for (int step = 0; step < 150; step++) {
+    const int op = static_cast<int>(rng.Uniform(10));
+    if (op < 5) {  // create
+      const std::string name = "f" + std::to_string(next_id++);
+      const uint64_t seed = 10000 + rng.Next() % 100000;
+      const uint64_t size = 1 + rng.Uniform(40 * kKiB);
+      std::optional<Status> s;
+      fs_->CreateFile(name, TestPattern(size, seed),
+                      [&](Status st) { s = st; });
+      world_.sim.Run();
+      ASSERT_TRUE(s->ok());
+      staged[name] = seed;
+    } else if (op < 7 && !staged.empty()) {  // delete
+      auto it = staged.begin();
+      std::advance(it, static_cast<long>(rng.Uniform(staged.size())));
+      std::optional<Status> s;
+      fs_->DeleteFile(it->first, [&](Status st) { s = st; });
+      world_.sim.Run();
+      ASSERT_TRUE(s->ok());
+      staged.erase(it);
+    } else if (op < 8 && !staged.empty()) {  // read + verify content
+      auto it = staged.begin();
+      std::advance(it, static_cast<long>(rng.Uniform(staged.size())));
+      std::optional<Result<Buffer>> r;
+      fs_->ReadFile(it->first, [&](Result<Buffer> rr) { r = std::move(rr); });
+      world_.sim.Run();
+      ASSERT_TRUE(r->ok());
+      ASSERT_EQ(r->value().Crc(), TestPattern(r->value().size(),
+                                              it->second)
+                                      .Crc());
+    } else if (op < 9) {  // fsync: staged becomes durable
+      std::optional<Status> s;
+      fs_->Fsync([&](Status st) { s = st; });
+      world_.sim.Run();
+      ASSERT_TRUE(s->ok());
+      model = staged;
+    } else {  // clean remount: unsynced changes are lost
+      fs_->Kill();
+      fs_ = MountNow();
+      ASSERT_NE(fs_, nullptr);
+      // The recovered view must equal the last fsynced model.
+      auto names = fs_->ListFiles();
+      ASSERT_EQ(names.size(), model.size()) << "step " << step;
+      for (const auto& [name, seed] : model) {
+        std::optional<Result<Buffer>> r;
+        fs_->ReadFile(name, [&](Result<Buffer> rr) { r = std::move(rr); });
+        world_.sim.Run();
+        ASSERT_TRUE(r.has_value() && r->ok())
+            << "step " << step << " file " << name;
+      }
+      staged = model;
+    }
+  }
+
+  // Final: fsync, then a full fsck must be clean with exactly the durable
+  // files intact.
+  std::optional<Status> s;
+  fs_->Fsync([&](Status st) { s = st; });
+  world_.sim.Run();
+  ASSERT_TRUE(s->ok());
+  model = staged;
+  fs_->Kill();
+  std::optional<MiniFs::FsckReport> report;
+  MiniFs::Fsck(&world_.sim, disk_.get(),
+               [&](MiniFs::FsckReport r) { report = std::move(r); });
+  world_.sim.Run();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->clean())
+      << (report->errors.empty() ? "" : report->errors.front());
+  EXPECT_EQ(report->files_found, model.size());
+  EXPECT_EQ(report->files_intact, model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MiniFsProperty,
+                         ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace lsvd

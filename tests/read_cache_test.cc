@@ -1,0 +1,162 @@
+// Unit tests for the block-granular FIFO read cache.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "src/lsvd/read_cache.h"
+#include "tests/lsvd_test_util.h"
+
+namespace lsvd {
+namespace {
+
+class ReadCacheTest : public ::testing::Test {
+ protected:
+  ReadCacheTest() : host_(&sim_, HostConfig()) {
+    base_ = *host_.AllocRegion(kRegionSize);
+    rc_ = std::make_unique<ReadCache>(&host_, base_, kRegionSize, kLine);
+  }
+
+  static ClientHostConfig HostConfig() {
+    ClientHostConfig hc;
+    hc.ssd_capacity = kGiB;
+    hc.ssd = SsdParams::Instant();
+    return hc;
+  }
+
+  Result<Buffer> ReadVlba(uint64_t vlba, uint64_t len) {
+    auto t = rc_->map().LookupOne(vlba);
+    if (!t.has_value()) {
+      return Status::NotFound("not cached");
+    }
+    std::optional<Result<Buffer>> r;
+    rc_->ReadData(t->plba, len, [&](Result<Buffer> rr) { r = std::move(rr); });
+    sim_.Run();
+    return std::move(*r);
+  }
+
+  static constexpr uint64_t kRegionSize = 8 * kMiB;
+  static constexpr uint64_t kLine = 64 * kKiB;
+
+  Simulator sim_;
+  ClientHost host_;
+  uint64_t base_ = 0;
+  std::unique_ptr<ReadCache> rc_;
+};
+
+TEST_F(ReadCacheTest, InsertThenHit) {
+  Buffer data = TestPattern(kLine, 1);
+  rc_->Insert(kMiB, data);
+  sim_.Run();
+  EXPECT_TRUE(rc_->map().LookupOne(kMiB).has_value());
+  auto r = ReadVlba(kMiB, kLine);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, data);
+}
+
+TEST_F(ReadCacheTest, MultiLineInsertSplitsAcrossSlots) {
+  Buffer data = TestPattern(3 * kLine, 2);
+  rc_->Insert(0, data);
+  sim_.Run();
+  EXPECT_EQ(rc_->stats().insertions, 3u);
+  EXPECT_EQ(rc_->map().mapped_bytes(), 3 * kLine);
+  // Middle of the range readable.
+  auto t = rc_->map().LookupOne(kLine + 4096);
+  ASSERT_TRUE(t.has_value());
+}
+
+TEST_F(ReadCacheTest, PartialTailLine) {
+  rc_->Insert(0, TestPattern(kLine + 8192, 3));
+  sim_.Run();
+  EXPECT_EQ(rc_->map().mapped_bytes(), kLine + 8192);
+}
+
+TEST_F(ReadCacheTest, FifoEvictionRecyclesOldestSlot) {
+  const uint64_t lines = rc_->num_lines();
+  for (uint64_t i = 0; i < lines; i++) {
+    rc_->Insert(i * kLine, TestPattern(kLine, 10 + i));
+  }
+  sim_.Run();
+  EXPECT_TRUE(rc_->map().LookupOne(0).has_value());
+  // One more insert evicts the first line.
+  rc_->Insert(lines * kLine, TestPattern(kLine, 99));
+  sim_.Run();
+  EXPECT_FALSE(rc_->map().LookupOne(0).has_value());
+  EXPECT_TRUE(rc_->map().LookupOne(lines * kLine).has_value());
+  EXPECT_GE(rc_->stats().evictions, 1u);
+}
+
+TEST_F(ReadCacheTest, EvictionDoesNotDropRelocatedData) {
+  const uint64_t lines = rc_->num_lines();
+  // Fill slot 0 with vlba 0, then re-insert vlba 0 (lands in slot 1).
+  rc_->Insert(0, TestPattern(kLine, 1));
+  rc_->Insert(0, TestPattern(kLine, 2));
+  sim_.Run();
+  // Laps later, slot 0 gets recycled; the slot-1 mapping for vlba 0 must
+  // survive since the map no longer points at slot 0.
+  for (uint64_t i = 2; i <= lines; i++) {
+    rc_->Insert(i * kLine, TestPattern(kLine, 50 + i));
+  }
+  sim_.Run();
+  // Slot 0 and slot 1... slot 1 holds vlba 0 until it is itself recycled.
+  // After exactly `lines` total inserts, slot 1 was recycled too, so run one
+  // fewer round: re-check with a fresh cache for determinism.
+  auto rc2 = std::make_unique<ReadCache>(&host_, *host_.AllocRegion(kRegionSize),
+                                         kRegionSize, kLine);
+  rc2->Insert(0, TestPattern(kLine, 1));      // slot 0
+  rc2->Insert(0, TestPattern(kLine, 2));      // slot 1 (map points here)
+  rc2->Insert(kMiB, TestPattern(kLine, 3));   // slot 2
+  sim_.Run();
+  const uint64_t lines2 = rc2->num_lines();
+  for (uint64_t i = 0; i < lines2 - 3; i++) {
+    rc2->Insert((10 + i) * kMiB, TestPattern(kLine, 60));  // fill the rest
+  }
+  sim_.Run();
+  // Next insert recycles slot 0 — vlba 0 must stay mapped (to slot 1).
+  rc2->Insert(100 * kMiB, TestPattern(kLine, 61));
+  sim_.Run();
+  EXPECT_TRUE(rc2->map().LookupOne(0).has_value());
+}
+
+TEST_F(ReadCacheTest, InvalidateRemovesMapping) {
+  rc_->Insert(0, TestPattern(2 * kLine, 4));
+  sim_.Run();
+  rc_->Invalidate(kLine, 4096);
+  EXPECT_TRUE(rc_->map().LookupOne(0).has_value());
+  EXPECT_FALSE(rc_->map().LookupOne(kLine).has_value());
+  EXPECT_TRUE(rc_->map().LookupOne(kLine + 4096).has_value());
+}
+
+TEST_F(ReadCacheTest, PersistAndLoadMap) {
+  rc_->Insert(0, TestPattern(kLine, 5));
+  rc_->Insert(4 * kMiB, TestPattern(kLine, 6));
+  sim_.Run();
+  std::optional<Status> s;
+  rc_->PersistMap([&](Status st) { s = st; });
+  sim_.Run();
+  ASSERT_TRUE(s->ok());
+
+  rc_->Kill();
+  auto fresh = std::make_unique<ReadCache>(&host_, base_, kRegionSize, kLine);
+  std::optional<Status> ls;
+  fresh->LoadMap([&](Status st) { ls = st; });
+  sim_.Run();
+  ASSERT_TRUE(ls->ok());
+  EXPECT_TRUE(fresh->map().LookupOne(0).has_value());
+  EXPECT_TRUE(fresh->map().LookupOne(4 * kMiB).has_value());
+  EXPECT_EQ(fresh->map().mapped_bytes(), 2 * kLine);
+}
+
+TEST_F(ReadCacheTest, LoadMapOnBlankDeviceFailsGracefully) {
+  auto fresh_base = *host_.AllocRegion(kRegionSize);
+  auto fresh = std::make_unique<ReadCache>(&host_, fresh_base, kRegionSize,
+                                           kLine);
+  std::optional<Status> s;
+  fresh->LoadMap([&](Status st) { s = st; });
+  sim_.Run();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_FALSE(s->ok());
+  EXPECT_TRUE(fresh->map().empty());
+}
+
+}  // namespace
+}  // namespace lsvd

@@ -1,0 +1,246 @@
+// Unit tests for src/util: CRC32C, Buffer, Histogram, Rng, Table, Status.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/util/buffer.h"
+#include "src/util/crc32c.h"
+#include "src/util/histogram.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/table.h"
+#include "src/util/units.h"
+
+namespace lsvd {
+namespace {
+
+// --- CRC32C ---
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 test vector: 32 bytes of zeros.
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  // 32 bytes of 0xFF.
+  std::vector<uint8_t> ffs(32, 0xFF);
+  EXPECT_EQ(Crc32c(ffs.data(), ffs.size()), 0x62A8AB43u);
+  // Ascending 0..31.
+  std::vector<uint8_t> asc(32);
+  for (int i = 0; i < 32; i++) {
+    asc[static_cast<size_t>(i)] = static_cast<uint8_t>(i);
+  }
+  EXPECT_EQ(Crc32c(asc.data(), asc.size()), 0x46DD794Eu);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  std::string data = "log-structured virtual disk";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  uint32_t crc = 0;
+  for (size_t i = 0; i < data.size(); i += 5) {
+    const size_t n = std::min<size_t>(5, data.size() - i);
+    crc = Crc32cExtend(crc, data.data() + i, n);
+  }
+  EXPECT_EQ(crc, whole);
+}
+
+TEST(Crc32c, EmptyIsZero) { EXPECT_EQ(Crc32c(nullptr, 0), 0u); }
+
+TEST(Crc32c, DetectsSingleBitFlip) {
+  std::vector<uint8_t> data(100, 0xAB);
+  const uint32_t clean = Crc32c(data.data(), data.size());
+  data[50] ^= 1;
+  EXPECT_NE(Crc32c(data.data(), data.size()), clean);
+}
+
+// --- Buffer ---
+
+TEST(Buffer, ZeroRunsAreCheap) {
+  Buffer b = Buffer::Zeros(10 * kGiB);
+  EXPECT_EQ(b.size(), 10 * kGiB);
+  EXPECT_TRUE(b.IsAllZeros());
+  std::vector<uint8_t> probe(16, 0xFF);
+  b.CopyTo(5 * kGiB, probe);
+  for (uint8_t v : probe) {
+    EXPECT_EQ(v, 0);
+  }
+}
+
+TEST(Buffer, AppendAndCopy) {
+  Buffer b;
+  b.AppendBytes(std::vector<uint8_t>{1, 2, 3});
+  b.AppendZeros(4);
+  b.AppendBytes(std::vector<uint8_t>{9});
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_EQ(b.ToBytes(), (std::vector<uint8_t>{1, 2, 3, 0, 0, 0, 0, 9}));
+}
+
+TEST(Buffer, SliceSharesAndIsCorrect) {
+  Buffer b;
+  std::vector<uint8_t> data(100);
+  for (size_t i = 0; i < 100; i++) {
+    data[i] = static_cast<uint8_t>(i);
+  }
+  b.AppendBytes(data);
+  b.AppendZeros(50);
+  b.AppendBytes(data);
+
+  Buffer s = b.Slice(90, 70);  // last 10 real, 50 zeros, first 10 real
+  auto bytes = s.ToBytes();
+  ASSERT_EQ(bytes.size(), 70u);
+  EXPECT_EQ(bytes[0], 90);
+  EXPECT_EQ(bytes[9], 99);
+  EXPECT_EQ(bytes[10], 0);
+  EXPECT_EQ(bytes[59], 0);
+  EXPECT_EQ(bytes[60], 0);  // data[0]
+  EXPECT_EQ(bytes[69], 9);  // data[9]
+}
+
+TEST(Buffer, AllZeroBytesStoredAsZeroRun) {
+  Buffer b;
+  std::vector<uint8_t> zeros(4096, 0);
+  b.AppendBytes(zeros);
+  EXPECT_TRUE(b.IsAllZeros());
+}
+
+TEST(Buffer, CrcMatchesMaterialized) {
+  Buffer b;
+  b.AppendBytes(std::vector<uint8_t>{5, 6, 7});
+  b.AppendZeros(1000);
+  b.AppendBytes(std::vector<uint8_t>{8});
+  auto bytes = b.ToBytes();
+  EXPECT_EQ(b.Crc(), Crc32c(bytes.data(), bytes.size()));
+}
+
+TEST(Buffer, Equality) {
+  Buffer a = Buffer::FromString("hello");
+  Buffer b;
+  b.AppendBytes(std::vector<uint8_t>{'h', 'e'});
+  b.AppendBytes(std::vector<uint8_t>{'l', 'l', 'o'});
+  EXPECT_EQ(a, b);
+  Buffer c = Buffer::FromString("hellx");
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(Buffer::Zeros(100), Buffer::Zeros(100));
+  EXPECT_FALSE(Buffer::Zeros(100) == Buffer::Zeros(101));
+}
+
+// --- Histogram ---
+
+TEST(Histogram, BucketsAndPercentiles) {
+  Histogram h;
+  for (int i = 0; i < 100; i++) {
+    h.Add(16, 16);  // 100 x 16
+  }
+  h.Add(1024, 1024);
+  EXPECT_EQ(h.total_count(), 101u);
+  EXPECT_EQ(h.total_weight(), 100u * 16 + 1024);
+  EXPECT_EQ(h.BucketWeight(4), 100u * 16);   // [16, 32)
+  EXPECT_EQ(h.BucketWeight(10), 1024u);      // [1024, 2048)
+  EXPECT_LT(h.Percentile(0.5), 32.0);
+  EXPECT_GE(h.Percentile(0.5), 16.0);
+  EXPECT_NEAR(h.MeanValue(), (100.0 * 16 + 1024) / 101, 1e-9);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_EQ(h.MeanValue(), 0.0);
+  EXPECT_EQ(h.BucketWeight(3), 0u);
+}
+
+// --- Rng ---
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  Rng c(43);
+  bool diverged = false;
+  for (int i = 0; i < 100; i++) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) {
+      diverged = true;
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(1);
+  for (int i = 0; i < 1000; i++) {
+    const uint64_t v = r.UniformRange(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(Rng, SkewedFavorsHotRegion) {
+  Rng r(7);
+  int hot = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; i++) {
+    if (r.Skewed(1000, 0.1, 0.9) < 100) {
+      hot++;
+    }
+  }
+  // ~90% + 10% * 10% ≈ 91% of accesses land in the hot 10%.
+  EXPECT_GT(hot, kTrials * 80 / 100);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(3);
+  double sum = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; i++) {
+    sum += r.Exponential(5.0);
+  }
+  EXPECT_NEAR(sum / kTrials, 5.0, 0.3);
+}
+
+// --- Status / Result ---
+
+TEST(Status, Basics) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status s = Status::NotFound("obj.17");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: obj.17");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err(Status::Corruption("bad crc"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kCorruption);
+}
+
+// --- Table ---
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "iops"});
+  t.AddRow({"lsvd", "50000"});
+  t.AddRow({"rbd", "12000"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("50000"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::FmtBytes(1536 * kKiB), "1.50 MiB");
+  EXPECT_EQ(Table::FmtCount(1234567), "1,234,567");
+}
+
+// --- Units ---
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(ToSeconds(kSecond), 1.0);
+  EXPECT_EQ(FromSeconds(2.5), 2 * kSecond + 500 * kMillisecond);
+  EXPECT_EQ(BytesPerSecond(kMiB, kSecond), static_cast<double>(kMiB));
+  EXPECT_EQ(BytesPerSecond(kMiB, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace lsvd

@@ -1,0 +1,245 @@
+// Unit tests for workload generators and the closed-loop driver.
+#include <gtest/gtest.h>
+
+#include "src/workload/driver.h"
+#include "src/workload/filebench.h"
+#include "src/workload/fio_gen.h"
+#include "src/workload/trace_gen.h"
+#include "tests/lsvd_test_util.h"
+
+namespace lsvd {
+namespace {
+
+TEST(FioGen, RandWriteStaysAlignedAndBounded) {
+  FioConfig config;
+  config.pattern = FioConfig::Pattern::kRandWrite;
+  config.block_size = 16 * kKiB;
+  config.volume_size = kGiB;
+  config.max_ops = 500;
+  auto gen = MakeFioGen(config);
+  WorkloadOp op;
+  int count = 0;
+  while (gen(&op)) {
+    EXPECT_EQ(op.kind, WorkloadOp::Kind::kWrite);
+    EXPECT_EQ(op.len, 16 * kKiB);
+    EXPECT_EQ(op.offset % (16 * kKiB), 0u);
+    EXPECT_LE(op.offset + op.len, kGiB);
+    count++;
+  }
+  EXPECT_EQ(count, 500);
+}
+
+TEST(FioGen, SequentialAdvancesAndWraps) {
+  FioConfig config;
+  config.pattern = FioConfig::Pattern::kSeqWrite;
+  config.block_size = 64 * kKiB;
+  config.volume_size = 256 * kKiB;  // 4 blocks: wraps quickly
+  config.max_ops = 6;
+  auto gen = MakeFioGen(config);
+  WorkloadOp op;
+  std::vector<uint64_t> offsets;
+  while (gen(&op)) {
+    offsets.push_back(op.offset);
+  }
+  EXPECT_EQ(offsets, (std::vector<uint64_t>{0, 65536, 131072, 196608, 0,
+                                            65536}));
+}
+
+TEST(FioGen, ByteBudgetStops) {
+  FioConfig config;
+  config.pattern = FioConfig::Pattern::kRandRead;
+  config.block_size = 4 * kKiB;
+  config.volume_size = kMiB;
+  config.max_bytes = 40 * kKiB;
+  auto gen = MakeFioGen(config);
+  WorkloadOp op;
+  uint64_t bytes = 0;
+  while (gen(&op)) {
+    bytes += op.len;
+  }
+  EXPECT_EQ(bytes, 40 * kKiB);
+}
+
+TEST(PreconditionGen, CoversWholeVolumeOnce) {
+  auto gen = MakePreconditionGen(10 * kMiB, kMiB);
+  WorkloadOp op;
+  uint64_t covered = 0;
+  uint64_t expected_offset = 0;
+  while (gen(&op)) {
+    EXPECT_EQ(op.offset, expected_offset);
+    expected_offset += op.len;
+    covered += op.len;
+  }
+  EXPECT_EQ(covered, 10 * kMiB);
+}
+
+TEST(Filebench, ProfilesMatchTable3Statistics) {
+  for (const auto& profile :
+       {FilebenchProfile::Fileserver(), FilebenchProfile::Oltp(),
+        FilebenchProfile::Varmail()}) {
+    auto gen = MakeFilebenchGen(profile, 32 * kGiB, 7);
+    WorkloadOp op;
+    uint64_t writes = 0;
+    uint64_t write_bytes = 0;
+    uint64_t flushes = 0;
+    for (int i = 0; i < 200000; i++) {
+      ASSERT_TRUE(gen(&op));
+      if (op.kind == WorkloadOp::Kind::kWrite) {
+        writes++;
+        write_bytes += op.len;
+        EXPECT_EQ(op.offset % kBlockSize, 0u);
+        EXPECT_EQ(op.len % kBlockSize, 0u);
+      } else if (op.kind == WorkloadOp::Kind::kFlush) {
+        flushes++;
+      }
+    }
+    ASSERT_GT(writes, 0u) << profile.name;
+    const double mean_write =
+        static_cast<double>(write_bytes) / static_cast<double>(writes);
+    // The mean is coarse (block-aligned exponential), allow 40% error.
+    EXPECT_NEAR(mean_write, profile.mean_write_size,
+                profile.mean_write_size * 0.4)
+        << profile.name;
+    if (profile.writes_per_sync < 1000) {
+      ASSERT_GT(flushes, 0u) << profile.name;
+      const double per_sync =
+          static_cast<double>(writes) / static_cast<double>(flushes);
+      EXPECT_NEAR(per_sync, profile.writes_per_sync,
+                  profile.writes_per_sync * 0.3)
+          << profile.name;
+    }
+  }
+}
+
+TEST(Filebench, VarmailIsSyncHeavy) {
+  auto gen = MakeFilebenchGen(FilebenchProfile::Varmail(), kGiB, 3);
+  WorkloadOp op;
+  uint64_t flushes = 0;
+  for (int i = 0; i < 10000; i++) {
+    ASSERT_TRUE(gen(&op));
+    if (op.kind == WorkloadOp::Kind::kFlush) {
+      flushes++;
+    }
+  }
+  EXPECT_GT(flushes, 500u);  // roughly one flush per ~12 ops
+}
+
+TEST(TraceGen, RespectsBudgetAndFootprint) {
+  for (const auto& profile : TraceProfile::Table5()) {
+    auto stream = MakeTraceStream(profile, /*scale=*/64, 5);
+    uint64_t vlba = 0;
+    uint64_t len = 0;
+    uint64_t total = 0;
+    uint64_t max_end = 0;
+    while (stream(&vlba, &len)) {
+      total += len;
+      max_end = std::max(max_end, vlba + len);
+      ASSERT_EQ(vlba % kBlockSize, 0u) << profile.name;
+      ASSERT_EQ(len % kBlockSize, 0u) << profile.name;
+    }
+    EXPECT_GE(total, profile.total_write_bytes / 64) << profile.name;
+    EXPECT_LE(max_end, profile.footprint / 64 + 8 * kMiB) << profile.name;
+  }
+}
+
+TEST(TraceGen, OverwriteProfileIsCoalescable) {
+  // w41 has immediate_overwrite = 0.71: many repeats of recent writes.
+  TraceProfile w41;
+  for (const auto& t : TraceProfile::Table5()) {
+    if (t.name == "w41") {
+      w41 = t;
+    }
+  }
+  auto stream = MakeTraceStream(w41, 512, 9);
+  uint64_t vlba = 0;
+  uint64_t len = 0;
+  std::map<uint64_t, int> seen;
+  uint64_t repeats = 0;
+  uint64_t ops = 0;
+  while (stream(&vlba, &len)) {
+    ops++;
+    if (seen[vlba]++ > 0) {
+      repeats++;
+    }
+  }
+  ASSERT_GT(ops, 100u);
+  EXPECT_GT(static_cast<double>(repeats) / static_cast<double>(ops), 0.4);
+}
+
+TEST(Driver, RunsWorkloadToCompletion) {
+  TestWorld world;
+  LsvdConfig config = TestWorld::SmallVolumeConfig();
+  LsvdDisk disk(&world.host, &world.store, config);
+  ASSERT_TRUE(OpenSync(&world.sim, &disk, &LsvdDisk::Create).ok());
+
+  FioConfig fio;
+  fio.pattern = FioConfig::Pattern::kRandWrite;
+  fio.block_size = 16 * kKiB;
+  fio.volume_size = disk.size();
+  fio.max_ops = 200;
+  Driver driver(&world.sim, &disk, MakeFioGen(fio), /*queue_depth=*/8);
+  bool done = false;
+  driver.Run([&] { done = true; });
+  world.sim.Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(driver.stats().ops, 200u);
+  EXPECT_EQ(driver.stats().bytes_written, 200u * 16 * kKiB);
+  EXPECT_EQ(disk.stats().writes, 200u);
+}
+
+TEST(Driver, DeadlineStopsLongWorkload) {
+  Simulator sim;
+  ClientHostConfig hc;
+  hc.ssd_capacity = 8 * kGiB;
+  hc.ssd = SsdParams::P3700();  // realistic latency so time passes
+  ClientHost host(&sim, hc);
+  MemObjectStore store(&sim);
+  LsvdConfig config = TestWorld::SmallVolumeConfig();
+  LsvdDisk disk(&host, &store, config);
+  ASSERT_TRUE(OpenSync(&sim, &disk, &LsvdDisk::Create).ok());
+
+  FioConfig fio;
+  fio.pattern = FioConfig::Pattern::kRandWrite;
+  fio.block_size = 4 * kKiB;
+  fio.volume_size = disk.size();
+  Driver driver(&sim, &disk, MakeFioGen(fio), 4,
+                /*deadline=*/sim.now() + 50 * kMillisecond);
+  bool done = false;
+  driver.Run([&] { done = true; });
+  sim.Run();
+  ASSERT_TRUE(done);
+  EXPECT_GT(driver.stats().ops, 0u);
+  EXPECT_LE(driver.stats().finished_at, sim.now());
+}
+
+TEST(Driver, TimelineBucketsAccumulateBytes) {
+  Simulator sim;
+  ClientHostConfig hc;
+  hc.ssd_capacity = 8 * kGiB;
+  hc.ssd = SsdParams::P3700();
+  ClientHost host(&sim, hc);
+  MemObjectStore store(&sim);
+  LsvdConfig config = TestWorld::SmallVolumeConfig();
+  LsvdDisk disk(&host, &store, config);
+  ASSERT_TRUE(OpenSync(&sim, &disk, &LsvdDisk::Create).ok());
+
+  FioConfig fio;
+  fio.pattern = FioConfig::Pattern::kSeqWrite;
+  fio.block_size = 64 * kKiB;
+  fio.volume_size = disk.size();
+  fio.max_ops = 100;
+  Driver driver(&sim, &disk, MakeFioGen(fio), 4);
+  driver.EnableTimeline(10 * kMillisecond);
+  bool done = false;
+  driver.Run([&] { done = true; });
+  sim.Run();
+  ASSERT_TRUE(done);
+  uint64_t total = 0;
+  for (const uint64_t b : driver.write_timeline()) {
+    total += b;
+  }
+  EXPECT_EQ(total, 100u * 64 * kKiB);
+}
+
+}  // namespace
+}  // namespace lsvd

@@ -1,0 +1,312 @@
+// Unit tests for the log-structured write-back cache: append/map/read,
+// batching of concurrent writes, wrap-around, eviction gating, checkpointing
+// and log replay after crashes.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "src/lsvd/write_cache.h"
+#include "tests/lsvd_test_util.h"
+
+namespace lsvd {
+namespace {
+
+class WriteCacheTest : public ::testing::Test {
+ protected:
+  WriteCacheTest()
+      : host_(&sim_, HostConfig()),
+        base_(*host_.AllocRegion(kRegionSize)),
+        wc_(std::make_unique<WriteCache>(&host_, base_, kRegionSize,
+                                         ZeroCosts())) {
+    std::optional<Status> s;
+    wc_->Format([&](Status st) { s = st; });
+    sim_.Run();
+    EXPECT_TRUE(s.has_value() && s->ok());
+  }
+
+  static ClientHostConfig HostConfig() {
+    ClientHostConfig hc;
+    hc.ssd_capacity = 2 * kGiB;
+    hc.ssd = SsdParams::Instant();
+    return hc;
+  }
+  static StageCosts ZeroCosts() { return StageCosts{0, 0, 0, 0, 0, 0, 0, 0, 0}; }
+
+  Status Append(uint64_t vlba, Buffer data, uint64_t batch = 1) {
+    std::optional<Status> s;
+    wc_->Append(vlba, std::move(data), batch, [&](Status st) { s = st; });
+    sim_.Run();
+    return s.value_or(Status::Unavailable("append stalled"));
+  }
+
+  Result<Buffer> ReadVlba(uint64_t vlba, uint64_t len) {
+    auto t = wc_->map().LookupOne(vlba);
+    if (!t.has_value()) {
+      return Status::NotFound("vlba not in cache map");
+    }
+    std::optional<Result<Buffer>> r;
+    wc_->ReadData(t->plba, len, [&](Result<Buffer> rr) { r = std::move(rr); });
+    sim_.Run();
+    return std::move(*r);
+  }
+
+  // Rebuilds a WriteCache over the same region, as after a restart.
+  std::unique_ptr<WriteCache> Reopen() {
+    wc_->Kill();
+    auto fresh = std::make_unique<WriteCache>(&host_, base_, kRegionSize,
+                                              ZeroCosts());
+    std::optional<Status> s;
+    fresh->Recover([&](Status st) { s = st; });
+    sim_.Run();
+    EXPECT_TRUE(s.has_value()) << "recovery did not complete";
+    EXPECT_TRUE(s->ok()) << s->ToString();
+    return fresh;
+  }
+
+  static constexpr uint64_t kRegionSize = 64 * kMiB;
+
+  Simulator sim_;
+  ClientHost host_;
+  uint64_t base_;
+  std::unique_ptr<WriteCache> wc_;
+};
+
+TEST_F(WriteCacheTest, AppendUpdatesMapAndDataReadable) {
+  Buffer data = TestPattern(8192, 1);
+  ASSERT_TRUE(Append(kMiB, data).ok());
+  EXPECT_EQ(wc_->stats().records, 1u);
+  EXPECT_EQ(wc_->map().mapped_bytes(), 8192u);
+  auto r = ReadVlba(kMiB, 8192);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, data);
+}
+
+TEST_F(WriteCacheTest, ConcurrentAppendsBatchIntoFewerRecords) {
+  // Under realistic device timing the pipeline window fills and subsequent
+  // appends coalesce into shared records.
+  ClientHostConfig hc;
+  hc.ssd_capacity = 2 * kGiB;
+  hc.ssd = SsdParams::P3700();
+  ClientHost host(&sim_, hc);
+  const uint64_t base = *host.AllocRegion(kRegionSize);
+  WriteCache wc(&host, base, kRegionSize, ZeroCosts());
+  std::optional<Status> fmt;
+  wc.Format([&](Status s) { fmt = s; });
+  sim_.Run();
+  ASSERT_TRUE(fmt->ok());
+
+  int done = 0;
+  constexpr int kWrites = 64;
+  for (int i = 0; i < kWrites; i++) {
+    wc.Append(static_cast<uint64_t>(i) * 4096, TestPattern(4096, 10 + i), 1,
+              [&](Status s) {
+                ASSERT_TRUE(s.ok());
+                done++;
+              });
+  }
+  sim_.Run();
+  EXPECT_EQ(done, kWrites);
+  EXPECT_LT(wc.stats().records, static_cast<uint64_t>(kWrites));
+  EXPECT_EQ(wc.map().mapped_bytes(), static_cast<uint64_t>(kWrites) * 4096);
+}
+
+TEST_F(WriteCacheTest, OverwriteShadowsOldData) {
+  ASSERT_TRUE(Append(0, TestPattern(4096, 1)).ok());
+  Buffer newer = TestPattern(4096, 2);
+  ASSERT_TRUE(Append(0, newer).ok());
+  auto r = ReadVlba(0, 4096);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, newer);
+}
+
+TEST_F(WriteCacheTest, BarrierMakesRecordsDurable) {
+  Buffer data = TestPattern(4096, 3);
+  ASSERT_TRUE(Append(0, data).ok());
+  std::optional<Status> s;
+  wc_->Barrier([&](Status st) { s = st; });
+  sim_.Run();
+  ASSERT_TRUE(s->ok());
+  host_.ssd()->PowerFail();
+  auto fresh = Reopen();
+  EXPECT_EQ(fresh->map().mapped_bytes(), 4096u);
+}
+
+TEST_F(WriteCacheTest, PowerFailLosesUnflushedTail) {
+  ASSERT_TRUE(Append(0, TestPattern(4096, 1)).ok());
+  std::optional<Status> s;
+  wc_->Barrier([&](Status st) { s = st; });
+  sim_.Run();
+  ASSERT_TRUE(s->ok());
+  ASSERT_TRUE(Append(4096, TestPattern(4096, 2)).ok());  // never flushed
+
+  host_.ssd()->PowerFail();
+  auto fresh = Reopen();
+  // Only the flushed record survives; replay stops at the lost one.
+  EXPECT_EQ(fresh->map().mapped_bytes(), 4096u);
+  EXPECT_TRUE(fresh->map().LookupOne(0).has_value());
+  EXPECT_FALSE(fresh->map().LookupOne(4096).has_value());
+}
+
+TEST_F(WriteCacheTest, RecoveryReplaysLogAfterCheckpoint) {
+  ASSERT_TRUE(Append(0, TestPattern(4096, 1), 1).ok());
+  std::optional<Status> cs;
+  wc_->WriteCheckpoint(0, [&](Status s) { cs = s; });
+  sim_.Run();
+  ASSERT_TRUE(cs->ok());
+  // More appends after the checkpoint.
+  ASSERT_TRUE(Append(4096, TestPattern(4096, 2), 2).ok());
+  ASSERT_TRUE(Append(8192, TestPattern(4096, 3), 3).ok());
+  std::optional<Status> fs;
+  wc_->Barrier([&](Status s) { fs = s; });
+  sim_.Run();
+  ASSERT_TRUE(fs->ok());
+
+  host_.ssd()->PowerFail();
+  auto fresh = Reopen();
+  EXPECT_EQ(fresh->map().mapped_bytes(), 3u * 4096);
+  EXPECT_TRUE(fresh->map().LookupOne(8192).has_value());
+  // Replay also restores record metadata for backend rewind.
+  auto tail = fresh->RecordsAfterBatch(1);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].max_batch_seq, 2u);
+}
+
+TEST_F(WriteCacheTest, ReleaseIsLazyEvictionIsOnDemand) {
+  ASSERT_TRUE(Append(0, TestPattern(4096, 1), /*batch=*/1).ok());
+  ASSERT_TRUE(Append(4096, TestPattern(4096, 2), /*batch=*/2).ok());
+  const uint64_t used_before = wc_->used_bytes();
+  ASSERT_GT(used_before, 0u);
+
+  // Marking batch 1 synced keeps the data cached and readable (§3.1: FIFO
+  // eviction happens only under space pressure).
+  wc_->ReleaseThrough(1);
+  EXPECT_EQ(wc_->used_bytes(), used_before);
+  EXPECT_TRUE(wc_->map().LookupOne(0).has_value());
+  EXPECT_FALSE(wc_->fully_synced());
+  wc_->ReleaseThrough(2);
+  EXPECT_TRUE(wc_->fully_synced());
+
+  // Explicit eviction drops mappings and frees space.
+  wc_->EvictReleasable();
+  EXPECT_LT(wc_->used_bytes(), used_before);
+  EXPECT_FALSE(wc_->map().LookupOne(0).has_value());
+  EXPECT_FALSE(wc_->map().LookupOne(4096).has_value());
+  EXPECT_EQ(wc_->stats().evicted_records, 2u);
+}
+
+TEST_F(WriteCacheTest, EvictionKeepsNewerOverwrites) {
+  // Record 1 (batch 1) writes LBA 0; record 2 (batch 2) overwrites it.
+  ASSERT_TRUE(Append(0, TestPattern(4096, 1), 1).ok());
+  Buffer newer = TestPattern(4096, 2);
+  ASSERT_TRUE(Append(0, newer, 2).ok());
+  // Evicting record 1 must not remove the newer mapping.
+  wc_->ReleaseThrough(1);
+  wc_->EvictReleasable();
+  EXPECT_EQ(wc_->stats().evicted_records, 1u);
+  auto r = ReadVlba(0, 4096);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, newer);
+}
+
+TEST_F(WriteCacheTest, AppendsStallWhenFullAndResumeAfterRelease) {
+  // Fill the log with large appends that are never released.
+  const uint64_t chunk = 2 * kMiB;
+  uint64_t written = 0;
+  int acked = 0;
+  int submitted = 0;
+  while (wc_->free_bytes() > 4 * chunk) {
+    wc_->Append(written, Buffer::Zeros(chunk), 1, [&](Status s) {
+      ASSERT_TRUE(s.ok());
+      acked++;
+    });
+    submitted++;
+    written += chunk;
+    sim_.Run();
+  }
+  // The next append cannot fit and must stall.
+  bool stalled_acked = false;
+  wc_->Append(written, Buffer::Zeros(4 * chunk), 2,
+              [&](Status s) {
+                ASSERT_TRUE(s.ok());
+                stalled_acked = true;
+              });
+  sim_.Run();
+  EXPECT_FALSE(stalled_acked);
+  EXPECT_GT(wc_->stats().stalled_appends, 0u);
+
+  // Releasing batch 1 frees everything and the stalled write completes.
+  wc_->ReleaseThrough(1);
+  sim_.Run();
+  EXPECT_TRUE(stalled_acked);
+}
+
+TEST_F(WriteCacheTest, LogWrapsAroundAndRecovers) {
+  // Write, release, and rewrite enough to lap the log a few times.
+  const uint64_t chunk = kMiB;
+  const uint64_t laps = 3 * (kRegionSize / chunk);
+  for (uint64_t i = 0; i < laps; i++) {
+    ASSERT_TRUE(Append((i % 16) * chunk, Buffer::Zeros(chunk), i + 1).ok());
+    wc_->ReleaseThrough(i);  // keep only the most recent record
+  }
+  ASSERT_TRUE(Append(kMiB, TestPattern(4096, 9), laps + 1).ok());
+  std::optional<Status> fs;
+  wc_->Barrier([&](Status s) { fs = s; });
+  sim_.Run();
+  ASSERT_TRUE(fs->ok());
+
+  // Checkpoint so recovery has a recent anchor, then crash and replay.
+  std::optional<Status> cs;
+  wc_->WriteCheckpoint(laps, [&](Status s) { cs = s; });
+  sim_.Run();
+  ASSERT_TRUE(cs->ok());
+  host_.ssd()->PowerFail();
+  auto fresh = Reopen();
+  EXPECT_TRUE(fresh->map().LookupOne(kMiB).has_value());
+}
+
+TEST_F(WriteCacheTest, RecoverWithoutFormatFails) {
+  host_.ssd()->DiscardAll();
+  wc_->Kill();
+  auto fresh = std::make_unique<WriteCache>(&host_, base_, kRegionSize,
+                                            ZeroCosts());
+  std::optional<Status> s;
+  fresh->Recover([&](Status st) { s = st; });
+  sim_.Run();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->code(), StatusCode::kCorruption);
+}
+
+TEST_F(WriteCacheTest, ReadRecordPayloadReturnsOriginalBytes) {
+  Buffer first = TestPattern(4096, 1);
+  ASSERT_TRUE(Append(0, first, 5).ok());
+  // Overwrite LBA 0 in a later record; the original record's payload must
+  // still be readable from its own log position.
+  ASSERT_TRUE(Append(0, TestPattern(4096, 2), 6).ok());
+  auto records = wc_->RecordsAfterBatch(4);
+  ASSERT_GE(records.size(), 2u);
+  std::optional<Result<Buffer>> r;
+  wc_->ReadRecordPayload(records[0],
+                         [&](Result<Buffer> rr) { r = std::move(rr); });
+  sim_.Run();
+  ASSERT_TRUE(r->ok());
+  EXPECT_EQ(r->value(), first);
+}
+
+TEST_F(WriteCacheTest, CheckpointSurvivesAlternatingSlots) {
+  for (int round = 0; round < 5; round++) {
+    ASSERT_TRUE(Append(static_cast<uint64_t>(round) * 4096,
+                       TestPattern(4096, 20 + round), round + 1)
+                    .ok());
+    std::optional<Status> cs;
+    wc_->WriteCheckpoint(round, [&](Status s) { cs = s; });
+    sim_.Run();
+    ASSERT_TRUE(cs->ok());
+  }
+  host_.ssd()->PowerFail();
+  auto fresh = Reopen();
+  EXPECT_EQ(fresh->map().mapped_bytes(), 5u * 4096);
+  EXPECT_EQ(fresh->backend_synced_hint(), 4u);
+}
+
+}  // namespace
+}  // namespace lsvd
