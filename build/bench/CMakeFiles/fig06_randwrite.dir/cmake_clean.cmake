@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_randwrite.dir/fig06_randwrite.cc.o"
+  "CMakeFiles/fig06_randwrite.dir/fig06_randwrite.cc.o.d"
+  "fig06_randwrite"
+  "fig06_randwrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_randwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

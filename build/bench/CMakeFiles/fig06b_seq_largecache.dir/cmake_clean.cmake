@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06b_seq_largecache.dir/fig06b_seq_largecache.cc.o"
+  "CMakeFiles/fig06b_seq_largecache.dir/fig06b_seq_largecache.cc.o.d"
+  "fig06b_seq_largecache"
+  "fig06b_seq_largecache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06b_seq_largecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

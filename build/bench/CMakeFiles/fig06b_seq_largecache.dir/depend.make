@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06b_seq_largecache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_randread.dir/fig07_randread.cc.o"
+  "CMakeFiles/fig07_randread.dir/fig07_randread.cc.o.d"
+  "fig07_randread"
+  "fig07_randread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_randread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

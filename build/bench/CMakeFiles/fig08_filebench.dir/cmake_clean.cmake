@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_filebench.dir/fig08_filebench.cc.o"
+  "CMakeFiles/fig08_filebench.dir/fig08_filebench.cc.o.d"
+  "fig08_filebench"
+  "fig08_filebench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_filebench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

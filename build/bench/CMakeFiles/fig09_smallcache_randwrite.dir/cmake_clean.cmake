@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_smallcache_randwrite.dir/fig09_smallcache_randwrite.cc.o"
+  "CMakeFiles/fig09_smallcache_randwrite.dir/fig09_smallcache_randwrite.cc.o.d"
+  "fig09_smallcache_randwrite"
+  "fig09_smallcache_randwrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_smallcache_randwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_smallcache_seqwrite.dir/fig10_smallcache_seqwrite.cc.o"
+  "CMakeFiles/fig10_smallcache_seqwrite.dir/fig10_smallcache_seqwrite.cc.o.d"
+  "fig10_smallcache_seqwrite"
+  "fig10_smallcache_seqwrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_smallcache_seqwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_writeback.dir/fig11_writeback.cc.o"
+  "CMakeFiles/fig11_writeback.dir/fig11_writeback.cc.o.d"
+  "fig11_writeback"
+  "fig11_writeback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_writeback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

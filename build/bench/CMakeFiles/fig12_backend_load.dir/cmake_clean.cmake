@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_backend_load.dir/fig12_backend_load.cc.o"
+  "CMakeFiles/fig12_backend_load.dir/fig12_backend_load.cc.o.d"
+  "fig12_backend_load"
+  "fig12_backend_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_backend_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_amplification.dir/fig13_amplification.cc.o"
+  "CMakeFiles/fig13_amplification.dir/fig13_amplification.cc.o.d"
+  "fig13_amplification"
+  "fig13_amplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

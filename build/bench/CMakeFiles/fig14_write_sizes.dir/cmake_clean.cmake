@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_write_sizes.dir/fig14_write_sizes.cc.o"
+  "CMakeFiles/fig14_write_sizes.dir/fig14_write_sizes.cc.o.d"
+  "fig14_write_sizes"
+  "fig14_write_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_write_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

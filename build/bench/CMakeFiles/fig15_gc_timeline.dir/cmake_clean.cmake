@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_gc_timeline.dir/fig15_gc_timeline.cc.o"
+  "CMakeFiles/fig15_gc_timeline.dir/fig15_gc_timeline.cc.o.d"
+  "fig15_gc_timeline"
+  "fig15_gc_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_gc_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

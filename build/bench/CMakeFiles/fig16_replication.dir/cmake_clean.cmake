@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_replication.dir/fig16_replication.cc.o"
+  "CMakeFiles/fig16_replication.dir/fig16_replication.cc.o.d"
+  "fig16_replication"
+  "fig16_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec49_aws_cost.dir/sec49_aws_cost.cc.o"
+  "CMakeFiles/sec49_aws_cost.dir/sec49_aws_cost.cc.o.d"
+  "sec49_aws_cost"
+  "sec49_aws_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec49_aws_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl03_filebench_stats.dir/tbl03_filebench_stats.cc.o"
+  "CMakeFiles/tbl03_filebench_stats.dir/tbl03_filebench_stats.cc.o.d"
+  "tbl03_filebench_stats"
+  "tbl03_filebench_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl03_filebench_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

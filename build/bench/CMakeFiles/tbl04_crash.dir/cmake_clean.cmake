@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl04_crash.dir/tbl04_crash.cc.o"
+  "CMakeFiles/tbl04_crash.dir/tbl04_crash.cc.o.d"
+  "tbl04_crash"
+  "tbl04_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl04_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tbl04_crash.
+# This may be replaced when dependencies are built.

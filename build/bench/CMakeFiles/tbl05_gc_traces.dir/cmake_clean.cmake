@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl05_gc_traces.dir/tbl05_gc_traces.cc.o"
+  "CMakeFiles/tbl05_gc_traces.dir/tbl05_gc_traces.cc.o.d"
+  "tbl05_gc_traces"
+  "tbl05_gc_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl05_gc_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl06_latency_breakdown.dir/tbl06_latency_breakdown.cc.o"
+  "CMakeFiles/tbl06_latency_breakdown.dir/tbl06_latency_breakdown.cc.o.d"
+  "tbl06_latency_breakdown"
+  "tbl06_latency_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl06_latency_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filesystem_on_lsvd.dir/filesystem_on_lsvd.cpp.o"
+  "CMakeFiles/filesystem_on_lsvd.dir/filesystem_on_lsvd.cpp.o.d"
+  "filesystem_on_lsvd"
+  "filesystem_on_lsvd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filesystem_on_lsvd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for filesystem_on_lsvd.
+# This may be replaced when dependencies are built.

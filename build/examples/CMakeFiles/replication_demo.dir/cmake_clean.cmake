@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_demo.dir/replication_demo.cpp.o"
+  "CMakeFiles/replication_demo.dir/replication_demo.cpp.o.d"
+  "replication_demo"
+  "replication_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshots_and_clones.dir/snapshots_and_clones.cpp.o"
+  "CMakeFiles/snapshots_and_clones.dir/snapshots_and_clones.cpp.o.d"
+  "snapshots_and_clones"
+  "snapshots_and_clones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshots_and_clones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for snapshots_and_clones.
+# This may be replaced when dependencies are built.

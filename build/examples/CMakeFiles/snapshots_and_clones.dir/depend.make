@@ -1,0 +1,2 @@
+# Empty dependencies file for snapshots_and_clones.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/bcache_device.cc" "src/baseline/CMakeFiles/lsvd_baseline.dir/bcache_device.cc.o" "gcc" "src/baseline/CMakeFiles/lsvd_baseline.dir/bcache_device.cc.o.d"
+  "/root/repo/src/baseline/rbd_disk.cc" "src/baseline/CMakeFiles/lsvd_baseline.dir/rbd_disk.cc.o" "gcc" "src/baseline/CMakeFiles/lsvd_baseline.dir/rbd_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lsvd/CMakeFiles/lsvd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/lsvd_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/objstore/CMakeFiles/lsvd_objstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsvd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsvd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

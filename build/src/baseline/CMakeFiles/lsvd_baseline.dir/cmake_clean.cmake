@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsvd_baseline.dir/bcache_device.cc.o"
+  "CMakeFiles/lsvd_baseline.dir/bcache_device.cc.o.d"
+  "CMakeFiles/lsvd_baseline.dir/rbd_disk.cc.o"
+  "CMakeFiles/lsvd_baseline.dir/rbd_disk.cc.o.d"
+  "liblsvd_baseline.a"
+  "liblsvd_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsvd_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

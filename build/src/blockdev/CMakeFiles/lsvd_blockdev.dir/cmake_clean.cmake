@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsvd_blockdev.dir/sim_ssd.cc.o"
+  "CMakeFiles/lsvd_blockdev.dir/sim_ssd.cc.o.d"
+  "liblsvd_blockdev.a"
+  "liblsvd_blockdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsvd_blockdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lsvd_blockdev.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsvd/backend_store.cc" "src/lsvd/CMakeFiles/lsvd_core.dir/backend_store.cc.o" "gcc" "src/lsvd/CMakeFiles/lsvd_core.dir/backend_store.cc.o.d"
+  "/root/repo/src/lsvd/extent_map.cc" "src/lsvd/CMakeFiles/lsvd_core.dir/extent_map.cc.o" "gcc" "src/lsvd/CMakeFiles/lsvd_core.dir/extent_map.cc.o.d"
+  "/root/repo/src/lsvd/gc_sim.cc" "src/lsvd/CMakeFiles/lsvd_core.dir/gc_sim.cc.o" "gcc" "src/lsvd/CMakeFiles/lsvd_core.dir/gc_sim.cc.o.d"
+  "/root/repo/src/lsvd/journal.cc" "src/lsvd/CMakeFiles/lsvd_core.dir/journal.cc.o" "gcc" "src/lsvd/CMakeFiles/lsvd_core.dir/journal.cc.o.d"
+  "/root/repo/src/lsvd/lsvd_disk.cc" "src/lsvd/CMakeFiles/lsvd_core.dir/lsvd_disk.cc.o" "gcc" "src/lsvd/CMakeFiles/lsvd_core.dir/lsvd_disk.cc.o.d"
+  "/root/repo/src/lsvd/object_format.cc" "src/lsvd/CMakeFiles/lsvd_core.dir/object_format.cc.o" "gcc" "src/lsvd/CMakeFiles/lsvd_core.dir/object_format.cc.o.d"
+  "/root/repo/src/lsvd/read_cache.cc" "src/lsvd/CMakeFiles/lsvd_core.dir/read_cache.cc.o" "gcc" "src/lsvd/CMakeFiles/lsvd_core.dir/read_cache.cc.o.d"
+  "/root/repo/src/lsvd/replicator.cc" "src/lsvd/CMakeFiles/lsvd_core.dir/replicator.cc.o" "gcc" "src/lsvd/CMakeFiles/lsvd_core.dir/replicator.cc.o.d"
+  "/root/repo/src/lsvd/write_cache.cc" "src/lsvd/CMakeFiles/lsvd_core.dir/write_cache.cc.o" "gcc" "src/lsvd/CMakeFiles/lsvd_core.dir/write_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blockdev/CMakeFiles/lsvd_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/objstore/CMakeFiles/lsvd_objstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsvd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsvd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

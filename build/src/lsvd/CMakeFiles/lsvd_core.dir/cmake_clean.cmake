@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsvd_core.dir/backend_store.cc.o"
+  "CMakeFiles/lsvd_core.dir/backend_store.cc.o.d"
+  "CMakeFiles/lsvd_core.dir/extent_map.cc.o"
+  "CMakeFiles/lsvd_core.dir/extent_map.cc.o.d"
+  "CMakeFiles/lsvd_core.dir/gc_sim.cc.o"
+  "CMakeFiles/lsvd_core.dir/gc_sim.cc.o.d"
+  "CMakeFiles/lsvd_core.dir/journal.cc.o"
+  "CMakeFiles/lsvd_core.dir/journal.cc.o.d"
+  "CMakeFiles/lsvd_core.dir/lsvd_disk.cc.o"
+  "CMakeFiles/lsvd_core.dir/lsvd_disk.cc.o.d"
+  "CMakeFiles/lsvd_core.dir/object_format.cc.o"
+  "CMakeFiles/lsvd_core.dir/object_format.cc.o.d"
+  "CMakeFiles/lsvd_core.dir/read_cache.cc.o"
+  "CMakeFiles/lsvd_core.dir/read_cache.cc.o.d"
+  "CMakeFiles/lsvd_core.dir/replicator.cc.o"
+  "CMakeFiles/lsvd_core.dir/replicator.cc.o.d"
+  "CMakeFiles/lsvd_core.dir/write_cache.cc.o"
+  "CMakeFiles/lsvd_core.dir/write_cache.cc.o.d"
+  "liblsvd_core.a"
+  "liblsvd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsvd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsvd_minifs.dir/minifs.cc.o"
+  "CMakeFiles/lsvd_minifs.dir/minifs.cc.o.d"
+  "liblsvd_minifs.a"
+  "liblsvd_minifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsvd_minifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objstore/mem_object_store.cc" "src/objstore/CMakeFiles/lsvd_objstore.dir/mem_object_store.cc.o" "gcc" "src/objstore/CMakeFiles/lsvd_objstore.dir/mem_object_store.cc.o.d"
+  "/root/repo/src/objstore/sim_object_store.cc" "src/objstore/CMakeFiles/lsvd_objstore.dir/sim_object_store.cc.o" "gcc" "src/objstore/CMakeFiles/lsvd_objstore.dir/sim_object_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lsvd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsvd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

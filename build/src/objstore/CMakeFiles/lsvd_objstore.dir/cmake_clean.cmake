@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsvd_objstore.dir/mem_object_store.cc.o"
+  "CMakeFiles/lsvd_objstore.dir/mem_object_store.cc.o.d"
+  "CMakeFiles/lsvd_objstore.dir/sim_object_store.cc.o"
+  "CMakeFiles/lsvd_objstore.dir/sim_object_store.cc.o.d"
+  "liblsvd_objstore.a"
+  "liblsvd_objstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsvd_objstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

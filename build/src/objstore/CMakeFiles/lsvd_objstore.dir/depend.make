@@ -1,0 +1,2 @@
+# Empty dependencies file for lsvd_objstore.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cc" "src/sim/CMakeFiles/lsvd_sim.dir/cluster.cc.o" "gcc" "src/sim/CMakeFiles/lsvd_sim.dir/cluster.cc.o.d"
+  "/root/repo/src/sim/disk_model.cc" "src/sim/CMakeFiles/lsvd_sim.dir/disk_model.cc.o" "gcc" "src/sim/CMakeFiles/lsvd_sim.dir/disk_model.cc.o.d"
+  "/root/repo/src/sim/server_queue.cc" "src/sim/CMakeFiles/lsvd_sim.dir/server_queue.cc.o" "gcc" "src/sim/CMakeFiles/lsvd_sim.dir/server_queue.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/lsvd_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/lsvd_sim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lsvd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsvd_sim.dir/cluster.cc.o"
+  "CMakeFiles/lsvd_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/lsvd_sim.dir/disk_model.cc.o"
+  "CMakeFiles/lsvd_sim.dir/disk_model.cc.o.d"
+  "CMakeFiles/lsvd_sim.dir/server_queue.cc.o"
+  "CMakeFiles/lsvd_sim.dir/server_queue.cc.o.d"
+  "CMakeFiles/lsvd_sim.dir/simulator.cc.o"
+  "CMakeFiles/lsvd_sim.dir/simulator.cc.o.d"
+  "liblsvd_sim.a"
+  "liblsvd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsvd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblsvd_sim.a"
+)

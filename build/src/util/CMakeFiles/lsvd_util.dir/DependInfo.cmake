@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/buffer.cc" "src/util/CMakeFiles/lsvd_util.dir/buffer.cc.o" "gcc" "src/util/CMakeFiles/lsvd_util.dir/buffer.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/util/CMakeFiles/lsvd_util.dir/crc32c.cc.o" "gcc" "src/util/CMakeFiles/lsvd_util.dir/crc32c.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/util/CMakeFiles/lsvd_util.dir/histogram.cc.o" "gcc" "src/util/CMakeFiles/lsvd_util.dir/histogram.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/util/CMakeFiles/lsvd_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/lsvd_util.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

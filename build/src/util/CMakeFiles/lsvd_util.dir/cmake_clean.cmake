@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsvd_util.dir/buffer.cc.o"
+  "CMakeFiles/lsvd_util.dir/buffer.cc.o.d"
+  "CMakeFiles/lsvd_util.dir/crc32c.cc.o"
+  "CMakeFiles/lsvd_util.dir/crc32c.cc.o.d"
+  "CMakeFiles/lsvd_util.dir/histogram.cc.o"
+  "CMakeFiles/lsvd_util.dir/histogram.cc.o.d"
+  "CMakeFiles/lsvd_util.dir/table.cc.o"
+  "CMakeFiles/lsvd_util.dir/table.cc.o.d"
+  "liblsvd_util.a"
+  "liblsvd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsvd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsvd_workload.dir/driver.cc.o"
+  "CMakeFiles/lsvd_workload.dir/driver.cc.o.d"
+  "CMakeFiles/lsvd_workload.dir/filebench.cc.o"
+  "CMakeFiles/lsvd_workload.dir/filebench.cc.o.d"
+  "CMakeFiles/lsvd_workload.dir/fio_gen.cc.o"
+  "CMakeFiles/lsvd_workload.dir/fio_gen.cc.o.d"
+  "CMakeFiles/lsvd_workload.dir/trace_gen.cc.o"
+  "CMakeFiles/lsvd_workload.dir/trace_gen.cc.o.d"
+  "liblsvd_workload.a"
+  "liblsvd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsvd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_store_test.dir/backend_store_test.cc.o"
+  "CMakeFiles/backend_store_test.dir/backend_store_test.cc.o.d"
+  "backend_store_test"
+  "backend_store_test.pdb"
+  "backend_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extent_map_test.dir/extent_map_test.cc.o"
+  "CMakeFiles/extent_map_test.dir/extent_map_test.cc.o.d"
+  "extent_map_test"
+  "extent_map_test.pdb"
+  "extent_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extent_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for extent_map_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsvd_disk_test.dir/lsvd_disk_test.cc.o"
+  "CMakeFiles/lsvd_disk_test.dir/lsvd_disk_test.cc.o.d"
+  "lsvd_disk_test"
+  "lsvd_disk_test.pdb"
+  "lsvd_disk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsvd_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

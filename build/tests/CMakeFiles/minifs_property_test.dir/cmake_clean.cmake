@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minifs_property_test.dir/minifs_property_test.cc.o"
+  "CMakeFiles/minifs_property_test.dir/minifs_property_test.cc.o.d"
+  "minifs_property_test"
+  "minifs_property_test.pdb"
+  "minifs_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minifs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objstore_test.dir/objstore_test.cc.o"
+  "CMakeFiles/objstore_test.dir/objstore_test.cc.o.d"
+  "objstore_test"
+  "objstore_test.pdb"
+  "objstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_cache_test.dir/read_cache_test.cc.o"
+  "CMakeFiles/read_cache_test.dir/read_cache_test.cc.o.d"
+  "read_cache_test"
+  "read_cache_test.pdb"
+  "read_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

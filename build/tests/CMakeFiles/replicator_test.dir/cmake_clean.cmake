@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicator_test.dir/replicator_test.cc.o"
+  "CMakeFiles/replicator_test.dir/replicator_test.cc.o.d"
+  "replicator_test"
+  "replicator_test.pdb"
+  "replicator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

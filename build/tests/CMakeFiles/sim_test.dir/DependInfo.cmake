@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/sim_test.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lsvd/CMakeFiles/lsvd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lsvd_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lsvd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/minifs/CMakeFiles/lsvd_minifs.dir/DependInfo.cmake"
+  "/root/repo/build/src/objstore/CMakeFiles/lsvd_objstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/lsvd_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsvd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsvd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

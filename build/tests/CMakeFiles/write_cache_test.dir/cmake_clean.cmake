@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_cache_test.dir/write_cache_test.cc.o"
+  "CMakeFiles/write_cache_test.dir/write_cache_test.cc.o.d"
+  "write_cache_test"
+  "write_cache_test.pdb"
+  "write_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/blockdev_test[1]_include.cmake")
+include("/root/repo/build/tests/objstore_test[1]_include.cmake")
+include("/root/repo/build/tests/extent_map_test[1]_include.cmake")
+include("/root/repo/build/tests/journal_test[1]_include.cmake")
+include("/root/repo/build/tests/write_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/read_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/backend_store_test[1]_include.cmake")
+include("/root/repo/build/tests/lsvd_disk_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/replicator_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/minifs_test[1]_include.cmake")
+include("/root/repo/build/tests/minifs_property_test[1]_include.cmake")
