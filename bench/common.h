@@ -19,6 +19,7 @@
 #include "src/baseline/rbd_disk.h"
 #include "src/lsvd/lsvd_disk.h"
 #include "src/objstore/sim_object_store.h"
+#include "src/util/metrics.h"
 #include "src/util/table.h"
 #include "src/workload/driver.h"
 #include "src/workload/fio_gen.h"
@@ -45,8 +46,13 @@ inline LsvdConfig DefaultLsvdConfig(uint64_t volume_size,
   return config;
 }
 
-// One client machine + one backend cluster world.
+// One client machine + one backend cluster world. Every component built via
+// the system helpers below registers its metrics into `metrics`, so a bench
+// can snapshot/dump the whole world uniformly (see MaybeDumpMetrics).
+// `metrics` is declared first so it outlives the components whose callback
+// gauges it holds.
 struct World {
+  MetricsRegistry metrics;
   Simulator sim;
   ClientHostConfig host_config;
   std::unique_ptr<ClientHost> host;
@@ -57,7 +63,8 @@ struct World {
                  uint64_t ssd_capacity = 800 * kGiB) {
     host_config.ssd_capacity = ssd_capacity;
     host = std::make_unique<ClientHost>(&sim, host_config);
-    cluster = std::make_unique<BackendCluster>(&sim, cluster_config);
+    cluster =
+        std::make_unique<BackendCluster>(&sim, cluster_config, &metrics);
     backend_link = std::make_unique<NetLink>(&sim, NetParams{});
   }
 };
@@ -70,9 +77,9 @@ struct LsvdSystem {
     LsvdSystem sys;
     sys.store = std::make_unique<SimObjectStore>(
         &world->sim, world->cluster.get(), world->backend_link.get(),
-        SimObjectStoreConfig{});
+        SimObjectStoreConfig{}, &world->metrics);
     sys.disk = std::make_unique<LsvdDisk>(world->host.get(), sys.store.get(),
-                                          std::move(config));
+                                          std::move(config), &world->metrics);
     std::optional<Status> s;
     sys.disk->Create([&](Status st) { s = st; });
     world->sim.Run();
@@ -93,7 +100,8 @@ struct BcacheRbdSystem {
     BcacheRbdSystem sys;
     sys.rbd = std::make_unique<RbdDisk>(&world->sim, world->cluster.get(),
                                         world->backend_link.get(), volume_size,
-                                        RbdConfig{});
+                                        RbdConfig{}, /*volume_id=*/0,
+                                        &world->metrics);
     auto region = world->host->AllocRegion(cache_size / kBlockSize *
                                            kBlockSize);
     if (!region.ok()) {
@@ -102,7 +110,8 @@ struct BcacheRbdSystem {
     }
     sys.bcache = std::make_unique<BcacheDevice>(
         world->host.get(), sys.rbd.get(), *region,
-        cache_size / kBlockSize * kBlockSize, BcacheConfig{});
+        cache_size / kBlockSize * kBlockSize, BcacheConfig{},
+        &world->metrics);
     return sys;
   }
 };
@@ -122,10 +131,11 @@ inline void Precondition(World* world, VirtualDisk* disk) {
 }
 
 // Runs a fio-style workload for `seconds` of virtual time and returns stats.
+// Per-op client latencies land in the world registry ("driver.*_us").
 inline DriverStats RunFio(World* world, VirtualDisk* disk, FioConfig fio,
                           int queue_depth, double seconds) {
   Driver driver(&world->sim, disk, MakeFioGen(fio), queue_depth,
-                world->sim.now() + FromSeconds(seconds));
+                world->sim.now() + FromSeconds(seconds), &world->metrics);
   bool done = false;
   driver.Run([&] { done = true; });
   world->sim.Run();
@@ -143,6 +153,26 @@ inline double ArgDouble(int argc, char** argv, const std::string& flag,
     }
   }
   return fallback;
+}
+
+// True when a bare "--flag" (no value) is present.
+inline bool ArgFlag(int argc, char** argv, const std::string& flag) {
+  const std::string want = "--" + flag;
+  for (int i = 1; i < argc; i++) {
+    if (want == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Uniform metrics dump: when "--json" was passed, prints the whole world
+// registry as one JSON object on a single line (machine-parseable; see
+// docs/METRICS.md). Call at the end of main, after the last workload.
+inline void MaybeDumpMetrics(const World& world, int argc, char** argv) {
+  if (ArgFlag(argc, argv, "json")) {
+    std::printf("%s\n", world.metrics.ToJson().c_str());
+  }
 }
 
 inline void PrintHeader(const std::string& title, const std::string& paper) {

@@ -22,6 +22,9 @@ int main(int argc, char** argv) {
   Table table({"bs", "qd", "lsvd MB/s", "lsvd IOPS", "bcache+rbd MB/s",
                "bcache+rbd IOPS", "lsvd/bcache"});
 
+  // With --json: full registry dump of the last LSVD cell (worlds are
+  // per-cell, so this is the 64K/QD32 configuration).
+  std::string metrics_json;
   for (const uint64_t bs : {4 * kKiB, 16 * kKiB, 64 * kKiB}) {
     for (const int qd : {4, 16, 32}) {
       double mbps[2];
@@ -50,6 +53,9 @@ int main(int argc, char** argv) {
         const DriverStats stats = RunFio(&world, disk, fio, qd, seconds);
         mbps[system] = stats.WriteThroughputBps() / 1e6;
         iops[system] = stats.Iops();
+        if (system == 0) {
+          metrics_json = world.metrics.ToJson();
+        }
       }
       table.AddRow({std::to_string(bs / kKiB) + "K", std::to_string(qd),
                     Table::Fmt(mbps[0], 1), Table::Fmt(iops[0], 0),
@@ -59,5 +65,8 @@ int main(int argc, char** argv) {
   }
   table.Print();
   std::printf("\npaper: LSVD ahead 20-30%% at 4K/16K, behind at 64K QD32\n");
+  if (ArgFlag(argc, argv, "json")) {
+    std::printf("%s\n", metrics_json.c_str());
+  }
   return 0;
 }

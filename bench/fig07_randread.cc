@@ -40,6 +40,8 @@ int main(int argc, char** argv) {
   const auto volume = static_cast<uint64_t>(vol_gib * static_cast<double>(kGiB));
   Table table({"bs", "qd", "lsvd MB/s", "bcache+rbd MB/s", "lsvd/bcache"});
 
+  // With --json: full registry dump of the last LSVD cell.
+  std::string metrics_json;
   for (const uint64_t bs : {4 * kKiB, 16 * kKiB, 64 * kKiB}) {
     for (const int qd : {4, 16, 32}) {
       double mbps[2];
@@ -65,6 +67,9 @@ int main(int argc, char** argv) {
         fio.volume_size = volume;
         const DriverStats stats = RunFio(&world, disk, fio, qd, seconds);
         mbps[system] = stats.ReadThroughputBps() / 1e6;
+        if (system == 0) {
+          metrics_json = world.metrics.ToJson();
+        }
       }
       table.AddRow({std::to_string(bs / kKiB) + "K", std::to_string(qd),
                     Table::Fmt(mbps[0], 1), Table::Fmt(mbps[1], 1),
@@ -73,5 +78,8 @@ int main(int argc, char** argv) {
   }
   table.Print();
   std::printf("\npaper: roughly equal at QD4, LSVD up to 30%% behind at QD32\n");
+  if (ArgFlag(argc, argv, "json")) {
+    std::printf("%s\n", metrics_json.c_str());
+  }
   return 0;
 }

@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
   const auto volume = static_cast<uint64_t>(vol_gib * static_cast<double>(kGiB));
   Table table({"bs", "qd", "lsvd MB/s", "bcache+rbd MB/s", "lsvd/bcache"});
 
+  // With --json: full registry dump of the last LSVD cell.
+  std::string metrics_json;
   for (const uint64_t bs : {4 * kKiB, 16 * kKiB, 64 * kKiB}) {
     for (const int qd : {4, 16, 32}) {
       double mbps[2];
@@ -55,6 +57,9 @@ int main(int argc, char** argv) {
         fio.volume_size = volume;
         const DriverStats stats = RunFio(&world, disk, fio, qd, seconds);
         mbps[system] = stats.WriteThroughputBps() / 1e6;
+        if (system == 0) {
+          metrics_json = world.metrics.ToJson();
+        }
       }
       table.AddRow({std::to_string(bs / kKiB) + "K", std::to_string(qd),
                     Table::Fmt(mbps[0], 1), Table::Fmt(mbps[1], 1),
@@ -64,5 +69,8 @@ int main(int argc, char** argv) {
   table.Print();
   std::printf("\npaper: LSVD ~600 MB/s sustained, 2-8x over bcache+RBD; RBD "
               "gains little from bcache here\n");
+  if (ArgFlag(argc, argv, "json")) {
+    std::printf("%s\n", metrics_json.c_str());
+  }
   return 0;
 }

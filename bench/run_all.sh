@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Smoke-runs every bench binary with tiny parameters and validates that the
+# --json metrics dump (where supported) parses. Wired into ctest as
+# `bench_smoke`; also usable standalone:
+#
+#   bench/run_all.sh [path/to/build/bench]
+#
+# Tiny parameters keep the whole sweep under about a minute — this checks
+# that every figure/table binary still runs end to end and that the metrics
+# JSON stays machine-readable; it does NOT produce paper-quality numbers.
+set -u
+
+BENCH_DIR="${1:-$(dirname "$0")/../build/bench}"
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "bench dir not found: $BENCH_DIR" >&2
+  exit 1
+fi
+
+PYTHON="$(command -v python3 || true)"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+failures=0
+
+# validate_json FILE NAME: the last line must be a JSON object containing the
+# write-ack latency histogram produced by the tracing layer.
+validate_json() {
+  local out="$1" name="$2"
+  local line
+  line="$(grep '^{.*}$' "$out" | tail -1)"
+  if [ -z "$line" ]; then
+    echo "  FAIL: $name produced no JSON line" >&2
+    return 1
+  fi
+  if [ -n "$PYTHON" ]; then
+    if ! printf '%s\n' "$line" | "$PYTHON" -c '
+import json, sys
+d = json.load(sys.stdin)
+ack = [k for k in d if k.endswith("write.ack_us")]
+assert ack, "no write-ack histogram in dump"
+for k in ack:
+    assert "p50" in d[k] and "p99" in d[k], k + " missing percentiles"
+'; then
+      echo "  FAIL: $name JSON did not validate" >&2
+      return 1
+    fi
+  fi
+  return 0
+}
+
+# run NAME [ARGS...]: run one bench, report pass/fail, validate JSON when
+# --json was among the arguments.
+run() {
+  local name="$1"
+  shift
+  local bin="$BENCH_DIR/$name"
+  if [ ! -x "$bin" ]; then
+    echo "FAIL $name (binary missing)"
+    failures=$((failures + 1))
+    return
+  fi
+  local out="$TMP/$name.out"
+  local want_json=0
+  for arg in "$@"; do
+    [ "$arg" = "--json" ] && want_json=1
+  done
+  if ! "$bin" "$@" >"$out" 2>&1; then
+    echo "FAIL $name (exit $?)"
+    sed 's/^/    /' "$out" | tail -5
+    failures=$((failures + 1))
+    return
+  fi
+  if [ "$want_json" = 1 ] && ! validate_json "$out" "$name"; then
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok   $name $*"
+}
+
+run fig06_randwrite --seconds=0.05 --volume-gib=0.25 --json
+run fig06b_seq_largecache --seconds=0.05 --volume-gib=0.25
+run fig07_randread --seconds=0.05 --volume-gib=0.25 --json
+run fig08_filebench --seconds=0.2 --volume-gib=0.5
+run fig09_smallcache_randwrite --seconds=0.2 --volume-gib=0.5 --json
+run fig10_smallcache_seqwrite --seconds=0.2 --volume-gib=0.5 --json
+run fig11_writeback --burst-gib=0.05 --volume-gib=0.5
+run fig12_backend_load --seconds=0.1 --volume-gib=0.25 --max-disks=2
+run fig13_amplification --seconds=0.1 --volume-gib=0.25
+run fig14_write_sizes --seconds=0.1 --volume-gib=0.25
+run fig15_gc_timeline --seconds=1 --volume-gib=0.25
+run fig16_replication --seconds=2 --volume-gib=0.25
+run tbl03_filebench_stats --ops=2000
+run tbl04_crash --trials=1
+run tbl05_gc_traces --scale=256
+run tbl06_latency_breakdown --json
+run sec49_aws_cost --seconds=0.5
+run ablation_design_choices --seconds=0.1 --volume-gib=0.5
+
+if [ "$failures" -gt 0 ]; then
+  echo "$failures bench(es) failed" >&2
+  exit 1
+fi
+echo "all benches passed"

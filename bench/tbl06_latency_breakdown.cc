@@ -32,8 +32,6 @@ Nanos MeasureIsolated(World* world, LsvdDisk* disk, bool write,
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
   PrintHeader("tbl06_latency_breakdown",
               "Table 6 — single read / write stage breakdown");
 
@@ -98,5 +96,6 @@ int main(int argc, char** argv) {
   m.Print();
   std::printf("\npaper: the S3 GET dominates the read-miss path; context "
               "switching dominates CPU overhead\n");
+  MaybeDumpMetrics(world, argc, argv);
   return 0;
 }

@@ -20,7 +20,8 @@ bool Aligned(uint64_t v) { return v % kBlockSize == 0; }
 
 BcacheDevice::BcacheDevice(ClientHost* host, VirtualDisk* backing,
                            uint64_t cache_base, uint64_t cache_size,
-                           BcacheConfig config)
+                           BcacheConfig config, MetricsRegistry* metrics,
+                           const std::string& prefix)
     : host_(host),
       ssd_(host->ssd()),
       backing_(backing),
@@ -36,6 +37,42 @@ BcacheDevice::BcacheDevice(ClientHost* host, VirtualDisk* backing,
   meta_size_ = meta_size - journal_size_;
   journal_head_ = journal_base_;
   alloc_ = RunAllocator(cache_base + meta_size, cache_size - meta_size);
+
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  c_writes_ = metrics_->GetCounter(prefix + ".writes");
+  c_write_bytes_ = metrics_->GetCounter(prefix + ".write_bytes");
+  c_reads_ = metrics_->GetCounter(prefix + ".reads");
+  c_read_hits_ = metrics_->GetCounter(prefix + ".read_hits");
+  c_journal_writes_ = metrics_->GetCounter(prefix + ".journal_writes");
+  c_barrier_node_writes_ =
+      metrics_->GetCounter(prefix + ".barrier_node_writes");
+  c_flushes_ = metrics_->GetCounter(prefix + ".flushes");
+  c_writeback_ops_ = metrics_->GetCounter(prefix + ".writeback_ops");
+  c_writeback_bytes_ = metrics_->GetCounter(prefix + ".writeback_bytes");
+  c_stalled_writes_ = metrics_->GetCounter(prefix + ".stalled_writes");
+  h_write_ack_us_ = metrics_->GetHistogram(prefix + ".write.ack_us");
+  metrics_->RegisterCallback(prefix + ".dirty_bytes", [this] {
+    return static_cast<double>(dirty_.mapped_bytes());
+  });
+}
+
+BcacheStats BcacheDevice::stats() const {
+  BcacheStats s;
+  s.writes = c_writes_->value();
+  s.write_bytes = c_write_bytes_->value();
+  s.reads = c_reads_->value();
+  s.read_hits = c_read_hits_->value();
+  s.journal_writes = c_journal_writes_->value();
+  s.barrier_node_writes = c_barrier_node_writes_->value();
+  s.flushes = c_flushes_->value();
+  s.writeback_ops = c_writeback_ops_->value();
+  s.writeback_bytes = c_writeback_bytes_->value();
+  s.stalled_writes = c_stalled_writes_->value();
+  return s;
 }
 
 void BcacheDevice::FreeDisplaced(
@@ -83,17 +120,29 @@ void BcacheDevice::Write(uint64_t offset, Buffer data,
     done(Status::OutOfRange("write beyond volume size"));
     return;
   }
-  stats_.writes++;
-  stats_.write_bytes += data.size();
+  c_writes_->Inc();
+  c_write_bytes_->Inc(data.size());
   writes_since_tick_++;
 
+  // Ack latency covers everything up to the journal group commit, including
+  // any time spent in the stalled queue.
+  const Nanos submitted = host_->sim()->now();
+  auto alive = alive_;
+  auto acked = [this, alive, submitted,
+                done = std::move(done)](Status s) mutable {
+    if (*alive) {
+      RecordLatencyUs(h_write_ack_us_, host_->sim()->now() - submitted);
+    }
+    done(s);
+  };
+
   if (!stalled_.empty()) {
-    stalled_.push_back(StalledWrite{offset, std::move(data), std::move(done)});
-    stats_.stalled_writes++;
+    stalled_.push_back(StalledWrite{offset, std::move(data), std::move(acked)});
+    c_stalled_writes_->Inc();
     ForceWriteback();
     return;
   }
-  DoWrite(offset, std::move(data), std::move(done));
+  DoWrite(offset, std::move(data), std::move(acked));
 }
 
 void BcacheDevice::DoWrite(uint64_t offset, Buffer data,
@@ -115,7 +164,7 @@ void BcacheDevice::DoWrite(uint64_t offset, Buffer data,
     // Cache full: stall until writeback (or in-flight inserts becoming
     // dirty and then written back) frees space.
     stalled_.push_front(StalledWrite{offset, std::move(data), std::move(done)});
-    stats_.stalled_writes++;
+    c_stalled_writes_->Inc();
     ForceWriteback();
     return;
   }
@@ -173,7 +222,7 @@ void BcacheDevice::PumpJournal() {
     if (!*alive) {
       return;
     }
-    stats_.journal_writes++;
+    c_journal_writes_->Inc();
     journal_in_flight_ = false;
     for (auto& cb : *group) {
       cb();
@@ -183,7 +232,7 @@ void BcacheDevice::PumpJournal() {
 }
 
 void BcacheDevice::Flush(std::function<void(Status)> done) {
-  stats_.flushes++;
+  c_flushes_->Inc();
   // Unlike LSVD's log, bcache must write its dirty B-tree nodes out before
   // the barrier completes (§4.2.2). Node writes are ordered (children before
   // parents), so they serialize; the journal commit then needs a pre-flush
@@ -192,7 +241,7 @@ void BcacheDevice::Flush(std::function<void(Status)> done) {
       config_.max_barrier_nodes,
       updates_since_barrier_ / config_.updates_per_btree_node + 1);
   updates_since_barrier_ = 0;
-  stats_.barrier_node_writes += nodes;
+  c_barrier_node_writes_->Inc(nodes);
 
   auto alive = alive_;
   auto commit = [this, alive, done = std::move(done)]() mutable {
@@ -241,7 +290,7 @@ void BcacheDevice::Read(uint64_t offset, uint64_t len,
     done(Status::OutOfRange("read beyond volume size"));
     return;
   }
-  stats_.reads++;
+  c_reads_->Inc();
 
   struct Fragment {
     uint64_t vlba;
@@ -265,7 +314,7 @@ void BcacheDevice::Read(uint64_t offset, uint64_t len,
     }
   }
   if (all_hits) {
-    stats_.read_hits++;
+    c_read_hits_->Inc();
   }
 
   auto parts = std::make_shared<std::vector<Buffer>>(plan->size());
@@ -444,8 +493,8 @@ void BcacheDevice::WritebackRound(uint64_t max_bytes, bool forced,
         piece_done();
         return;
       }
-      stats_.writeback_ops++;
-      stats_.writeback_bytes += p.len;
+      c_writeback_ops_->Inc();
+      c_writeback_bytes_->Inc(p.len);
       backing_->Write(p.vlba, std::move(r).value(),
                       [this, alive, p, piece_done](Status s) {
         if (!*alive) {

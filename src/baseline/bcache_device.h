@@ -22,6 +22,7 @@
 #include "src/blockdev/virtual_disk.h"
 #include "src/lsvd/client_host.h"
 #include "src/lsvd/extent_map.h"
+#include "src/util/metrics.h"
 #include "src/util/run_allocator.h"
 
 namespace lsvd {
@@ -58,7 +59,9 @@ struct BcacheStats {
 class BcacheDevice : public VirtualDisk {
  public:
   BcacheDevice(ClientHost* host, VirtualDisk* backing, uint64_t cache_base,
-               uint64_t cache_size, BcacheConfig config);
+               uint64_t cache_size, BcacheConfig config,
+               MetricsRegistry* metrics = nullptr,
+               const std::string& prefix = "bcache");
 
   uint64_t size() const override { return backing_->size(); }
   void Write(uint64_t offset, Buffer data,
@@ -72,7 +75,7 @@ class BcacheDevice : public VirtualDisk {
   void WritebackAll(std::function<void()> done);
 
   uint64_t dirty_bytes() const { return dirty_.mapped_bytes(); }
-  const BcacheStats& stats() const { return stats_; }
+  BcacheStats stats() const;
 
   void Kill() { *alive_ = false; }
 
@@ -135,7 +138,21 @@ class BcacheDevice : public VirtualDisk {
   std::deque<StalledWrite> stalled_;
 
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
-  BcacheStats stats_;
+
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+  Counter* c_writes_;
+  Counter* c_write_bytes_;
+  Counter* c_reads_;
+  Counter* c_read_hits_;
+  Counter* c_journal_writes_;
+  Counter* c_barrier_node_writes_;
+  Counter* c_flushes_;
+  Counter* c_writeback_ops_;
+  Counter* c_writeback_bytes_;
+  Counter* c_stalled_writes_;
+  // Write ack latency, comparable to lsvd.write.ack_us.
+  Histogram* h_write_ack_us_;
 };
 
 }  // namespace lsvd

@@ -24,13 +24,35 @@ bool Aligned(uint64_t v) { return v % kBlockSize == 0; }
 }  // namespace
 
 RbdDisk::RbdDisk(Simulator* sim, BackendCluster* cluster, NetLink* link,
-                 uint64_t volume_size, RbdConfig config, uint64_t volume_id)
+                 uint64_t volume_size, RbdConfig config, uint64_t volume_id,
+                 MetricsRegistry* metrics, const std::string& prefix)
     : sim_(sim),
       cluster_(cluster),
       link_(link),
       volume_size_(volume_size),
       config_(config),
-      volume_id_(volume_id) {}
+      volume_id_(volume_id) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  c_writes_ = metrics_->GetCounter(prefix + ".writes");
+  c_write_bytes_ = metrics_->GetCounter(prefix + ".write_bytes");
+  c_reads_ = metrics_->GetCounter(prefix + ".reads");
+  c_read_bytes_ = metrics_->GetCounter(prefix + ".read_bytes");
+  h_write_ack_us_ = metrics_->GetHistogram(prefix + ".write.ack_us");
+  h_read_e2e_us_ = metrics_->GetHistogram(prefix + ".read.e2e_us");
+}
+
+RbdStats RbdDisk::stats() const {
+  RbdStats s;
+  s.writes = c_writes_->value();
+  s.write_bytes = c_write_bytes_->value();
+  s.reads = c_reads_->value();
+  s.read_bytes = c_read_bytes_->value();
+  return s;
+}
 
 uint64_t RbdDisk::ChunkHash(uint64_t chunk) const {
   return Mix(chunk * 0x9E3779B97F4A7C15ULL + volume_id_);
@@ -80,8 +102,9 @@ void RbdDisk::Write(uint64_t offset, Buffer data,
     done(Status::OutOfRange("write beyond volume size"));
     return;
   }
-  stats_.writes++;
-  stats_.write_bytes += data.size();
+  c_writes_->Inc();
+  c_write_bytes_->Inc(data.size());
+  const Nanos submitted = sim_->now();
 
   // Store contents immediately (the acknowledgement below gates the caller,
   // and RBD has no client-side volatile state to lose).
@@ -111,9 +134,16 @@ void RbdDisk::Write(uint64_t offset, Buffer data,
 
   auto alive = alive_;
   const uint64_t bytes = data.size();
+  std::function<void(Status)> acked =
+      [this, alive, submitted, done = std::move(done)](Status s) {
+        if (*alive) {
+          RecordLatencyUs(h_write_ack_us_, sim_->now() - submitted);
+        }
+        done(s);
+      };
   // Client -> primary transfer, then fan out to replicas.
   link_->SendToBackend(bytes, [this, alive, pieces,
-                               done = std::move(done)]() mutable {
+                               done = std::move(acked)]() mutable {
     if (!*alive) {
       return;
     }
@@ -146,8 +176,9 @@ void RbdDisk::Read(uint64_t offset, uint64_t len,
     done(Status::OutOfRange("read beyond volume size"));
     return;
   }
-  stats_.reads++;
-  stats_.read_bytes += len;
+  c_reads_->Inc();
+  c_read_bytes_->Inc(len);
+  const Nanos started = sim_->now();
 
   Buffer out;
   for (uint64_t b = 0; b < len / kBlockSize; b++) {
@@ -166,20 +197,23 @@ void RbdDisk::Read(uint64_t offset, uint64_t len,
   const int disk = cluster_->PickDisk(ChunkHash(chunk), 0);
   auto alive = alive_;
   sim_->After(link_->half_rtt(), [this, alive, disk, chunk, within, len,
-                                  out = std::move(out),
+                                  started, out = std::move(out),
                                   done = std::move(done)]() mutable {
     cluster_->Read(disk, ChunkBase(chunk, 0) + within,
                    static_cast<uint32_t>(len),
-                   [this, alive, len, out = std::move(out),
+                   [this, alive, len, started, out = std::move(out),
                     done = std::move(done)]() mutable {
-      link_->ReceiveFromBackend(len, [this, alive, out = std::move(out),
+      link_->ReceiveFromBackend(len, [this, alive, started,
+                                      out = std::move(out),
                                       done = std::move(done)]() mutable {
         if (!*alive) {
           return;
         }
         sim_->After(link_->half_rtt(),
-                    [alive, out = std::move(out), done = std::move(done)]() {
+                    [this, alive, started, out = std::move(out),
+                     done = std::move(done)]() {
           if (*alive) {
+            RecordLatencyUs(h_read_e2e_us_, sim_->now() - started);
             done(out);
           }
         });

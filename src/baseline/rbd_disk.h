@@ -19,6 +19,7 @@
 #include "src/sim/cluster.h"
 #include "src/sim/net_link.h"
 #include "src/sim/simulator.h"
+#include "src/util/metrics.h"
 #include "src/util/rng.h"
 
 namespace lsvd {
@@ -41,7 +42,9 @@ struct RbdStats {
 class RbdDisk : public VirtualDisk {
  public:
   RbdDisk(Simulator* sim, BackendCluster* cluster, NetLink* link,
-          uint64_t volume_size, RbdConfig config, uint64_t volume_id = 0);
+          uint64_t volume_size, RbdConfig config, uint64_t volume_id = 0,
+          MetricsRegistry* metrics = nullptr,
+          const std::string& prefix = "rbd");
 
   uint64_t size() const override { return volume_size_; }
   void Write(uint64_t offset, Buffer data,
@@ -53,7 +56,7 @@ class RbdDisk : public VirtualDisk {
   // Drops contents (used to model an image that was never written).
   void Kill() { *alive_ = false; }
 
-  const RbdStats& stats() const { return stats_; }
+  RbdStats stats() const;
 
  private:
   uint64_t ChunkIndex(uint64_t offset) const { return offset / config_.chunk_size; }
@@ -74,7 +77,16 @@ class RbdDisk : public VirtualDisk {
   std::unordered_map<uint64_t, std::shared_ptr<const std::vector<uint8_t>>>
       blocks_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
-  RbdStats stats_;
+
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+  Counter* c_writes_;
+  Counter* c_write_bytes_;
+  Counter* c_reads_;
+  Counter* c_read_bytes_;
+  // Ack latencies comparable to lsvd.write.ack_us / lsvd.read.e2e_us.
+  Histogram* h_write_ack_us_;
+  Histogram* h_read_e2e_us_;
 };
 
 }  // namespace lsvd

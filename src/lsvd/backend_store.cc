@@ -16,11 +16,59 @@ constexpr uint64_t kHeaderReadWindow = 256 * kKiB;
 }  // namespace
 
 BackendStore::BackendStore(ClientHost* host, ObjectStore* store,
-                           WriteCache* cache, const LsvdConfig& config)
+                           WriteCache* cache, const LsvdConfig& config,
+                           MetricsRegistry* metrics, const std::string& prefix)
     : host_(host), store_(store), cache_(cache), config_(config) {
   next_seq_ = config_.base_last_seq + 1;
   applied_seq_ = config_.base_last_seq;
   last_checkpoint_seq_ = config_.base_last_seq;
+
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  c_client_bytes_ = metrics_->GetCounter(prefix + ".client_bytes");
+  c_coalesced_bytes_ = metrics_->GetCounter(prefix + ".coalesced_bytes");
+  c_objects_put_ = metrics_->GetCounter(prefix + ".objects_put");
+  c_object_bytes_ = metrics_->GetCounter(prefix + ".object_bytes");
+  c_payload_bytes_ = metrics_->GetCounter(prefix + ".payload_bytes");
+  c_gc_objects_cleaned_ = metrics_->GetCounter(prefix + ".gc.objects_cleaned");
+  c_gc_bytes_moved_ = metrics_->GetCounter(prefix + ".gc.bytes_moved");
+  c_gc_cache_hits_ = metrics_->GetCounter(prefix + ".gc.cache_hits");
+  c_objects_deleted_ = metrics_->GetCounter(prefix + ".objects_deleted");
+  c_checkpoints_ = metrics_->GetCounter(prefix + ".checkpoints");
+  c_deferred_deletes_ = metrics_->GetCounter(prefix + ".deferred_deletes");
+  h_open_to_seal_us_ = metrics_->GetHistogram(prefix + ".batch.open_to_seal_us");
+  h_seal_to_commit_us_ =
+      metrics_->GetHistogram(prefix + ".batch.seal_to_commit_us");
+  metrics_->RegisterCallback(prefix + ".utilization",
+                             [this] { return Utilization(); });
+  metrics_->RegisterCallback(prefix + ".live_bytes", [this] {
+    return static_cast<double>(live_bytes());
+  });
+  metrics_->RegisterCallback(prefix + ".total_bytes", [this] {
+    return static_cast<double>(total_bytes());
+  });
+  metrics_->RegisterCallback(prefix + ".object_count", [this] {
+    return static_cast<double>(object_count());
+  });
+}
+
+BackendStoreStats BackendStore::stats() const {
+  BackendStoreStats s;
+  s.client_bytes = c_client_bytes_->value();
+  s.coalesced_bytes = c_coalesced_bytes_->value();
+  s.objects_put = c_objects_put_->value();
+  s.object_bytes = c_object_bytes_->value();
+  s.payload_bytes = c_payload_bytes_->value();
+  s.gc_objects_cleaned = c_gc_objects_cleaned_->value();
+  s.gc_bytes_copied = c_gc_bytes_moved_->value();
+  s.gc_cache_hits = c_gc_cache_hits_->value();
+  s.objects_deleted = c_objects_deleted_->value();
+  s.checkpoints = c_checkpoints_->value();
+  s.deferred_deletes = c_deferred_deletes_->value();
+  return s;
 }
 
 std::string BackendStore::NameForSeq(uint64_t seq) const {
@@ -41,7 +89,7 @@ uint64_t BackendStore::OpenBatchSeq() {
 
 uint64_t BackendStore::AddWrite(uint64_t vlba, Buffer data) {
   const uint64_t seq = OpenBatchSeq();
-  stats_.client_bytes += data.size();
+  c_client_bytes_->Inc(data.size());
   batch_->raw_bytes += data.size();
   batch_->entries.push_back(BatchEntry{vlba, std::move(data), std::nullopt});
   if (batch_->raw_bytes >= config_.batch_bytes ||
@@ -97,6 +145,10 @@ void BackendStore::SealBatch(OpenBatch batch, bool from_gc,
   sealed.from_gc = from_gc;
   sealed.cleaned_seqs = std::move(cleaned_seqs);
   sealed.header.seq = batch.seq;
+  sealed.sealed_at = host_->sim()->now();
+  if (batch.opened_at >= 0) {
+    RecordLatencyUs(h_open_to_seal_us_, sealed.sealed_at - batch.opened_at);
+  }
 
   Buffer payload;
   if (config_.coalesce_within_batch) {
@@ -110,7 +162,7 @@ void BackendStore::SealBatch(OpenBatch batch, bool from_gc,
       const auto displaced =
           scratch.Update(e.vlba, e.data.size(), ObjTarget{i, 0});
       for (const auto& d : displaced) {
-        stats_.coalesced_bytes += d.len;
+        c_coalesced_bytes_->Inc(d.len);
       }
     }
     for (const auto& ext : scratch.Extents()) {
@@ -170,8 +222,8 @@ void BackendStore::PumpPuts() {
         if (!*alive) {
           return;
         }
-        stats_.objects_put++;
-        stats_.object_bytes += object.size();
+        c_objects_put_->Inc();
+        c_object_bytes_->Inc(object.size());
         store_->Put(NameForSeq(seq), std::move(object),
                     [this, alive, seq](Status s) {
           if (!*alive) {
@@ -214,7 +266,7 @@ void BackendStore::PumpPuts() {
 void BackendStore::OnPutComplete(uint64_t seq) {
   auto it = in_flight_.find(seq);
   assert(it != in_flight_.end());
-  stats_.payload_bytes += it->second.payload_bytes;
+  c_payload_bytes_->Inc(it->second.payload_bytes);
   completed_.insert({seq, std::move(it->second)});
   in_flight_.erase(it);
   outstanding_puts_--;
@@ -232,6 +284,10 @@ void BackendStore::ApplyReady() {
     SealedObject sealed = std::move(it->second);
     completed_.erase(it);
     ApplyObjectExtents(sealed.seq, sealed.header, sealed.payload_bytes);
+    if (sealed.sealed_at >= 0) {
+      RecordLatencyUs(h_seal_to_commit_us_,
+                      host_->sim()->now() - sealed.sealed_at);
+    }
     applied_seq_ = sealed.seq;
     objects_since_checkpoint_++;
     advanced = true;
@@ -397,7 +453,7 @@ void BackendStore::CleanOneObject(uint64_t victim) {
 
     if (pieces->empty()) {
       // Nothing live: the object can be deleted (or deferred) right away.
-      stats_.gc_objects_cleaned++;
+      c_gc_objects_cleaned_->Inc();
       ProcessDelete(victim);
       FinishGcRound();
       return;
@@ -456,10 +512,10 @@ void BackendStore::CleanOneObject(uint64_t victim) {
         gc_batch_->raw_bytes += piece.len;
         gc_batch_->entries.push_back(
             BatchEntry{piece.vlba, std::move(data).value(), piece.src});
-        stats_.gc_bytes_copied += piece.len;
+        c_gc_bytes_moved_->Inc(piece.len);
       }
       if (--*remaining == 0) {
-        stats_.gc_objects_cleaned++;
+        c_gc_objects_cleaned_->Inc();
         gc_batch_cleaned_.push_back(victim);
         if (gc_batch_.has_value() &&
             gc_batch_->raw_bytes >= config_.batch_bytes) {
@@ -486,7 +542,7 @@ void BackendStore::CleanOneObject(uint64_t victim) {
       }
       if (cache_covers) {
         // Assemble from (possibly several) cache extents.
-        stats_.gc_cache_hits++;
+        c_gc_cache_hits_->Inc();
         auto segs = cache_->map().Lookup(piece.vlba, piece.len);
         auto parts = std::make_shared<std::vector<Buffer>>(segs.size());
         auto left = std::make_shared<size_t>(segs.size());
@@ -560,10 +616,10 @@ void BackendStore::ProcessDelete(uint64_t seq) {
   }
   if (deferred) {
     deferred_deletes_.push_back(DeferredDelete{seq, gc_head});
-    stats_.deferred_deletes++;
+    c_deferred_deletes_->Inc();
     return;
   }
-  stats_.objects_deleted++;
+  c_objects_deleted_->Inc();
   auto alive = alive_;
   store_->Delete(NameForSeq(seq), [alive](Status) {});
 }
@@ -581,7 +637,7 @@ void BackendStore::ReexamineDeferred() {
     if (pinned) {
       still_deferred.push_back(d);
     } else {
-      stats_.objects_deleted++;
+      c_objects_deleted_->Inc();
       auto alive = alive_;
       store_->Delete(NameForSeq(d.seq), [alive](Status) {});
     }
@@ -654,7 +710,7 @@ void BackendStore::WriteCheckpoint(std::function<void(Status)> done) {
     }
     last_checkpoint_seq_ = std::max(last_checkpoint_seq_, through);
     objects_since_checkpoint_ = 0;
-    stats_.checkpoints++;
+    c_checkpoints_->Inc();
     // Keep only the two newest checkpoints.
     auto names = store_->List(CheckpointPrefix(config_.volume_name));
     while (names.size() > 2) {

@@ -30,9 +30,13 @@
 #include "src/lsvd/object_format.h"
 #include "src/lsvd/write_cache.h"
 #include "src/objstore/object_store.h"
+#include "src/util/metrics.h"
 
 namespace lsvd {
 
+// View over the backend store's registry counters (see docs/METRICS.md,
+// "backend.*"). Note: gc_bytes_copied is registered as
+// "backend.gc.bytes_moved".
 struct BackendStoreStats {
   uint64_t client_bytes = 0;      // payload bytes handed to AddWrite
   uint64_t coalesced_bytes = 0;   // dropped by within-batch overwrite merging
@@ -50,7 +54,8 @@ struct BackendStoreStats {
 class BackendStore {
  public:
   BackendStore(ClientHost* host, ObjectStore* store, WriteCache* cache,
-               const LsvdConfig& config);
+               const LsvdConfig& config, MetricsRegistry* metrics = nullptr,
+               const std::string& prefix = "backend");
 
   // Fires whenever the highest contiguously-applied object seq advances;
   // the owner uses it to release write-cache records.
@@ -100,7 +105,7 @@ class BackendStore {
   uint64_t last_checkpoint_seq() const { return last_checkpoint_seq_; }
   // True when no batch is open and no PUT is outstanding.
   bool idle() const;
-  const BackendStoreStats& stats() const { return stats_; }
+  BackendStoreStats stats() const;
   size_t object_count() const { return object_info_.size(); }
 
   void Kill() { *alive_ = false; }
@@ -117,7 +122,7 @@ class BackendStore {
   };
   struct OpenBatch {
     uint64_t seq = 0;
-    Nanos opened_at = 0;
+    Nanos opened_at = -1;
     uint64_t raw_bytes = 0;
     std::vector<BatchEntry> entries;
   };
@@ -128,6 +133,7 @@ class BackendStore {
     uint64_t payload_bytes = 0;
     bool from_gc = false;
     std::vector<uint64_t> cleaned_seqs;  // old objects to delete once applied
+    Nanos sealed_at = -1;   // for the seal -> commit lifecycle histogram
   };
 
   uint64_t OpenBatchSeq();
@@ -179,7 +185,24 @@ class BackendStore {
   std::vector<DeferredDelete> deferred_deletes_;
 
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
-  BackendStoreStats stats_;
+
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+  Counter* c_client_bytes_;
+  Counter* c_coalesced_bytes_;
+  Counter* c_objects_put_;
+  Counter* c_object_bytes_;
+  Counter* c_payload_bytes_;
+  Counter* c_gc_objects_cleaned_;
+  Counter* c_gc_bytes_moved_;
+  Counter* c_gc_cache_hits_;
+  Counter* c_objects_deleted_;
+  Counter* c_checkpoints_;
+  Counter* c_deferred_deletes_;
+  // Write-lifecycle stages downstream of the journal ack: batch open ->
+  // seal, and seal -> applied to the object map (commit).
+  Histogram* h_open_to_seal_us_;
+  Histogram* h_seal_to_commit_us_;
 };
 
 }  // namespace lsvd

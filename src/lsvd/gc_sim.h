@@ -17,6 +17,7 @@
 
 #include "src/lsvd/extent_map.h"
 #include "src/lsvd/object_format.h"
+#include "src/util/metrics.h"
 #include "src/util/units.h"
 
 namespace lsvd {
@@ -59,7 +60,37 @@ struct GcSimResult {
 
 class GcSimulator {
  public:
-  explicit GcSimulator(GcSimConfig config) : config_(config) {}
+  // If `metrics` is given, live progress ("gcsim.*" callback gauges over the
+  // running totals) registers there; the trace loop can snapshot mid-run.
+  explicit GcSimulator(GcSimConfig config, MetricsRegistry* metrics = nullptr)
+      : config_(config) {
+    if (metrics != nullptr) {
+      metrics->RegisterCallback("gcsim.client_bytes", [this] {
+        return static_cast<double>(result_.client_bytes);
+      });
+      metrics->RegisterCallback("gcsim.backend_bytes", [this] {
+        return static_cast<double>(result_.backend_bytes);
+      });
+      metrics->RegisterCallback("gcsim.merged_bytes", [this] {
+        return static_cast<double>(result_.merged_bytes);
+      });
+      metrics->RegisterCallback("gcsim.gc_copied_bytes", [this] {
+        return static_cast<double>(result_.gc_copied_bytes);
+      });
+      metrics->RegisterCallback("gcsim.objects_created", [this] {
+        return static_cast<double>(result_.objects_created);
+      });
+      metrics->RegisterCallback("gcsim.objects_deleted", [this] {
+        return static_cast<double>(result_.objects_deleted);
+      });
+      metrics->RegisterCallback("gcsim.waf", [this] { return result_.waf(); });
+      metrics->RegisterCallback("gcsim.utilization",
+                                [this] { return Utilization(); });
+      metrics->RegisterCallback("gcsim.extent_count", [this] {
+        return static_cast<double>(map_.extent_count());
+      });
+    }
+  }
 
   // One client write of `len` bytes at `vlba` (byte units, any alignment).
   void Write(uint64_t vlba, uint64_t len);

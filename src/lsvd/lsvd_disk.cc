@@ -15,8 +15,14 @@ bool Aligned(uint64_t v) { return v % kBlockSize == 0; }
 
 }  // namespace
 
-LsvdDisk::LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config)
+LsvdDisk::LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config,
+                   MetricsRegistry* metrics)
     : host_(host), store_(store), config_(std::move(config)) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
   auto wc_region = host_->AllocRegion(config_.write_cache_size);
   auto rc_region = host_->AllocRegion(config_.read_cache_size);
   assert(wc_region.ok() && rc_region.ok() && "SSD too small for caches");
@@ -26,8 +32,13 @@ LsvdDisk::LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config)
 }
 
 LsvdDisk::LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config,
-                   DiskRegions regions)
+                   DiskRegions regions, MetricsRegistry* metrics)
     : host_(host), store_(store), config_(std::move(config)) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
   wc_base_ = regions.write_cache_base;
   rc_base_ = regions.read_cache_base;
   InitComponents();
@@ -35,14 +46,46 @@ LsvdDisk::LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config,
 
 void LsvdDisk::InitComponents() {
   write_cache_ = std::make_unique<WriteCache>(
-      host_, wc_base_, config_.write_cache_size, config_.costs);
+      host_, wc_base_, config_.write_cache_size, config_.costs, metrics_,
+      "lsvd.write_cache");
   read_cache_ = std::make_unique<ReadCache>(
-      host_, rc_base_, config_.read_cache_size, config_.read_cache_line);
+      host_, rc_base_, config_.read_cache_size, config_.read_cache_line,
+      metrics_, "lsvd.read_cache");
   backend_ = std::make_unique<BackendStore>(host_, store_, write_cache_.get(),
-                                            config_);
+                                            config_, metrics_, "backend");
   backend_->on_synced = [this](uint64_t seq) {
     write_cache_->ReleaseThrough(seq);
   };
+
+  c_writes_ = metrics_->GetCounter("lsvd.writes");
+  c_write_bytes_ = metrics_->GetCounter("lsvd.write_bytes");
+  c_reads_ = metrics_->GetCounter("lsvd.reads");
+  c_read_bytes_ = metrics_->GetCounter("lsvd.read_bytes");
+  c_flushes_ = metrics_->GetCounter("lsvd.flushes");
+  c_write_cache_hits_ = metrics_->GetCounter("lsvd.read.write_cache_hits");
+  c_read_cache_hits_ = metrics_->GetCounter("lsvd.read.read_cache_hits");
+  c_backend_reads_ = metrics_->GetCounter("lsvd.read.backend_reads");
+  c_zero_reads_ = metrics_->GetCounter("lsvd.read.zero_reads");
+  h_write_ack_us_ = metrics_->GetHistogram("lsvd.write.ack_us");
+  h_read_e2e_us_ = metrics_->GetHistogram("lsvd.read.e2e_us");
+  h_read_write_cache_us_ = metrics_->GetHistogram("lsvd.read.write_cache_us");
+  h_read_read_cache_us_ = metrics_->GetHistogram("lsvd.read.read_cache_us");
+  h_read_backend_us_ = metrics_->GetHistogram("lsvd.read.backend_us");
+  h_read_zero_us_ = metrics_->GetHistogram("lsvd.read.zero_us");
+}
+
+LsvdDiskStats LsvdDisk::stats() const {
+  LsvdDiskStats s;
+  s.writes = c_writes_->value();
+  s.write_bytes = c_write_bytes_->value();
+  s.reads = c_reads_->value();
+  s.read_bytes = c_read_bytes_->value();
+  s.flushes = c_flushes_->value();
+  s.write_cache_hits = c_write_cache_hits_->value();
+  s.read_cache_hits = c_read_cache_hits_->value();
+  s.backend_reads = c_backend_reads_->value();
+  s.zero_reads = c_zero_reads_->value();
+  return s;
 }
 
 LsvdDisk::~LsvdDisk() { Kill(); }
@@ -225,8 +268,8 @@ void LsvdDisk::Write(uint64_t offset, Buffer data,
     done(Status::OutOfRange("write beyond volume size"));
     return;
   }
-  stats_.writes++;
-  stats_.write_bytes += data.size();
+  c_writes_->Inc();
+  c_write_bytes_->Inc(data.size());
 
   // Stale read-cache lines for this range must never be served again.
   read_cache_->Invalidate(offset, data.size());
@@ -237,15 +280,25 @@ void LsvdDisk::Write(uint64_t offset, Buffer data,
   ArmBatchTimer();
   MaybeCheckpointCache();
 
+  // Ack latency: submission to journal-record-durable (when `done` fires).
+  const Nanos submitted = host_->sim()->now();
   auto alive = alive_;
+  auto acked = [this, alive, submitted,
+                done = std::move(done)](Status s) mutable {
+    if (*alive) {
+      RecordLatencyUs(h_write_ack_us_, host_->sim()->now() - submitted);
+    }
+    done(s);
+  };
   host_->kernel_cpu()->Submit(
       config_.costs.write_submit + config_.costs.write_map_update,
       [this, alive, offset, data = std::move(data), batch_seq,
-       done = std::move(done)]() mutable {
+       acked = std::move(acked)]() mutable {
     if (!*alive) {
       return;
     }
-    write_cache_->Append(offset, std::move(data), batch_seq, std::move(done));
+    write_cache_->Append(offset, std::move(data), batch_seq,
+                         std::move(acked));
   });
 }
 
@@ -259,8 +312,9 @@ void LsvdDisk::Read(uint64_t offset, uint64_t len,
     done(Status::OutOfRange("read beyond volume size"));
     return;
   }
-  stats_.reads++;
-  stats_.read_bytes += len;
+  c_reads_->Inc();
+  c_read_bytes_->Inc(len);
+  const Nanos started = host_->sim()->now();
 
   // Build the routing plan: write cache > read cache > backend > zeros.
   struct Fragment {
@@ -300,8 +354,30 @@ void LsvdDisk::Read(uint64_t offset, uint64_t len,
   auto remaining = std::make_shared<size_t>(plan->size());
   auto failed = std::make_shared<bool>(false);
   auto alive = alive_;
-  auto finish_part = [parts, remaining, failed, done](size_t i,
-                                                      Result<Buffer> r) {
+  // Per-fragment routing latency (submit -> fragment data available), into
+  // the per-route histogram; end-to-end latency recorded when the last
+  // fragment lands. Callers reach here only through component callbacks that
+  // are gated on their own alive flags, but guard anyway for the synchronous
+  // kZero path during teardown.
+  auto route_hist = [this](FragmentKind kind) -> Histogram* {
+    switch (kind) {
+      case FragmentKind::kWriteCache:
+        return h_read_write_cache_us_;
+      case FragmentKind::kReadCache:
+        return h_read_read_cache_us_;
+      case FragmentKind::kBackend:
+        return h_read_backend_us_;
+      case FragmentKind::kZero:
+        return h_read_zero_us_;
+    }
+    return nullptr;
+  };
+  auto finish_part = [this, alive, started, plan, parts, remaining, failed,
+                      route_hist, done](size_t i, Result<Buffer> r) {
+    if (*alive) {
+      const Nanos elapsed = host_->sim()->now() - started;
+      RecordLatencyUs(route_hist((*plan)[i].kind), elapsed);
+    }
     if (r.ok()) {
       (*parts)[i] = std::move(r).value();
     } else if (!*failed) {
@@ -309,6 +385,9 @@ void LsvdDisk::Read(uint64_t offset, uint64_t len,
       done(r.status());
     }
     if (--*remaining == 0 && !*failed) {
+      if (*alive) {
+        RecordLatencyUs(h_read_e2e_us_, host_->sim()->now() - started);
+      }
       Buffer out;
       for (auto& p : *parts) {
         out.Append(p);
@@ -328,25 +407,25 @@ void LsvdDisk::Read(uint64_t offset, uint64_t len,
       const Fragment& frag = (*plan)[i];
       switch (frag.kind) {
         case FragmentKind::kWriteCache:
-          stats_.write_cache_hits++;
+          c_write_cache_hits_->Inc();
           write_cache_->ReadData(frag.plba, frag.len,
                                  [i, finish_part](Result<Buffer> r) {
             finish_part(i, std::move(r));
           });
           break;
         case FragmentKind::kReadCache:
-          stats_.read_cache_hits++;
+          c_read_cache_hits_->Inc();
           read_cache_->ReadData(frag.plba, frag.len,
                                 [i, finish_part](Result<Buffer> r) {
             finish_part(i, std::move(r));
           });
           break;
         case FragmentKind::kZero:
-          stats_.zero_reads++;
+          c_zero_reads_->Inc();
           finish_part(i, Buffer::Zeros(frag.len));
           break;
         case FragmentKind::kBackend: {
-          stats_.backend_reads++;
+          c_backend_reads_->Inc();
           // Temporal-locality prefetch (§3.2): extend the fetch to the
           // remainder of the extent, up to the prefetch window — data
           // written together is fetched together.
@@ -401,7 +480,7 @@ void LsvdDisk::Read(uint64_t offset, uint64_t len,
 }
 
 void LsvdDisk::Flush(std::function<void(Status)> done) {
-  stats_.flushes++;
+  c_flushes_->Inc();
   write_cache_->Barrier(std::move(done));
 }
 

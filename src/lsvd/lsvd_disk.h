@@ -31,9 +31,11 @@
 #include "src/lsvd/read_cache.h"
 #include "src/lsvd/write_cache.h"
 #include "src/objstore/object_store.h"
+#include "src/util/metrics.h"
 
 namespace lsvd {
 
+// View over the disk's registry counters (see docs/METRICS.md, "lsvd.*").
 struct LsvdDiskStats {
   uint64_t writes = 0;
   uint64_t write_bytes = 0;
@@ -56,11 +58,15 @@ struct DiskRegions {
 
 class LsvdDisk : public VirtualDisk {
  public:
-  // Allocates fresh SSD regions from the host.
-  LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config);
+  // Allocates fresh SSD regions from the host. If `metrics` is non-null all
+  // of the disk's (and its components') metrics register there — e.g. a
+  // bench-wide registry; the registry must outlive the disk's last snapshot.
+  // Otherwise the disk owns a private registry, exposed via metrics().
+  LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config,
+           MetricsRegistry* metrics = nullptr);
   // Attaches to existing regions (re-open after a crash).
   LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config,
-           DiskRegions regions);
+           DiskRegions regions, MetricsRegistry* metrics = nullptr);
   ~LsvdDisk() override;
 
   LsvdDisk(const LsvdDisk&) = delete;
@@ -105,7 +111,10 @@ class LsvdDisk : public VirtualDisk {
   DiskRegions regions() const { return DiskRegions{wc_base_, rc_base_}; }
   uint64_t volume_size() const { return config_.volume_size; }
   const LsvdConfig& config() const { return config_; }
-  const LsvdDiskStats& stats() const { return stats_; }
+  LsvdDiskStats stats() const;
+  // The registry holding every metric of this disk and its components.
+  MetricsRegistry& metrics() { return *metrics_; }
+  const MetricsRegistry& metrics() const { return *metrics_; }
   WriteCache& write_cache() { return *write_cache_; }
   ReadCache& read_cache() { return *read_cache_; }
   BackendStore& backend() { return *backend_; }
@@ -123,6 +132,10 @@ class LsvdDisk : public VirtualDisk {
   ObjectStore* store_;
   LsvdConfig config_;
 
+  // Declared before the components so it outlives them on destruction.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+
   uint64_t wc_base_ = 0;
   uint64_t rc_base_ = 0;
   std::unique_ptr<WriteCache> write_cache_;
@@ -134,7 +147,24 @@ class LsvdDisk : public VirtualDisk {
   bool cache_ckpt_in_flight_ = false;
 
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
-  LsvdDiskStats stats_;
+
+  Counter* c_writes_;
+  Counter* c_write_bytes_;
+  Counter* c_reads_;
+  Counter* c_read_bytes_;
+  Counter* c_flushes_;
+  Counter* c_write_cache_hits_;
+  Counter* c_read_cache_hits_;
+  Counter* c_backend_reads_;
+  Counter* c_zero_reads_;
+  // Write lifecycle head: submit -> journal record on SSD (the client ack).
+  Histogram* h_write_ack_us_;
+  // Read latencies: end-to-end per client read, and per routed fragment.
+  Histogram* h_read_e2e_us_;
+  Histogram* h_read_write_cache_us_;
+  Histogram* h_read_read_cache_us_;
+  Histogram* h_read_backend_us_;
+  Histogram* h_read_zero_us_;
 };
 
 }  // namespace lsvd

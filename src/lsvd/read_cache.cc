@@ -14,7 +14,8 @@ constexpr uint32_t kRcMapMagic = 0x4C535652;  // "LSVR"
 }  // namespace
 
 ReadCache::ReadCache(ClientHost* host, uint64_t base, uint64_t size,
-                     uint64_t line_size)
+                     uint64_t line_size, MetricsRegistry* metrics,
+                     const std::string& prefix)
     : host_(host),
       ssd_(host->ssd()),
       base_(base),
@@ -27,6 +28,32 @@ ReadCache::ReadCache(ClientHost* host, uint64_t base, uint64_t size,
   num_lines_ = (base_ + size_ - lines_base_) / line_size_;
   assert(num_lines_ >= 4 && "read cache region too small");
   slots_.assign(num_lines_, Slot{});
+
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  c_insertions_ = metrics_->GetCounter(prefix + ".insertions");
+  c_inserted_bytes_ = metrics_->GetCounter(prefix + ".inserted_bytes");
+  c_evictions_ = metrics_->GetCounter(prefix + ".evictions");
+  c_invalidations_ = metrics_->GetCounter(prefix + ".invalidations");
+  metrics_->RegisterCallback(prefix + ".mapped_bytes", [this] {
+    double mapped = 0;
+    for (const auto& s : slots_) {
+      mapped += static_cast<double>(s.len);
+    }
+    return mapped;
+  });
+}
+
+ReadCacheStats ReadCache::stats() const {
+  ReadCacheStats s;
+  s.insertions = c_insertions_->value();
+  s.inserted_bytes = c_inserted_bytes_->value();
+  s.evictions = c_evictions_->value();
+  s.invalidations = c_invalidations_->value();
+  return s;
 }
 
 void ReadCache::ReadData(uint64_t plba, uint64_t len,
@@ -57,7 +84,7 @@ void ReadCache::EvictSlot(uint64_t slot) {
     }
   }
   s = Slot{};
-  stats_.evictions++;
+  c_evictions_->Inc();
 }
 
 void ReadCache::Insert(uint64_t vlba, const Buffer& data) {
@@ -73,8 +100,8 @@ void ReadCache::Insert(uint64_t vlba, const Buffer& data) {
     Buffer piece = data.Slice(off, n);
     slots_[slot] = Slot{piece_vlba, n};
     map_.Update(piece_vlba, n, SsdTarget{SlotOffset(slot)});
-    stats_.insertions++;
-    stats_.inserted_bytes += n;
+    c_insertions_->Inc();
+    c_inserted_bytes_->Inc(n);
 
     auto alive = alive_;
     ssd_->Write(SlotOffset(slot), std::move(piece), [alive](Status) {
@@ -86,7 +113,7 @@ void ReadCache::Insert(uint64_t vlba, const Buffer& data) {
 
 void ReadCache::Invalidate(uint64_t vlba, uint64_t len) {
   const auto removed = map_.Remove(vlba, len);
-  stats_.invalidations += removed.size();
+  c_invalidations_->Inc(removed.size());
 }
 
 void ReadCache::PersistMap(std::function<void(Status)> done) {

@@ -14,13 +14,17 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/lsvd/client_host.h"
 #include "src/lsvd/extent_map.h"
+#include "src/util/metrics.h"
 
 namespace lsvd {
 
+// View over the read cache's registry counters (see docs/METRICS.md,
+// "lsvd.read_cache.*").
 struct ReadCacheStats {
   uint64_t insertions = 0;
   uint64_t inserted_bytes = 0;
@@ -31,7 +35,8 @@ struct ReadCacheStats {
 class ReadCache {
  public:
   ReadCache(ClientHost* host, uint64_t base, uint64_t size,
-            uint64_t line_size);
+            uint64_t line_size, MetricsRegistry* metrics = nullptr,
+            const std::string& prefix = "lsvd.read_cache");
 
   const ExtentMap<SsdTarget>& map() const { return map_; }
 
@@ -57,7 +62,7 @@ class ReadCache {
 
   uint64_t line_size() const { return line_size_; }
   uint64_t num_lines() const { return num_lines_; }
-  const ReadCacheStats& stats() const { return stats_; }
+  ReadCacheStats stats() const;
 
  private:
   struct Slot {
@@ -83,7 +88,13 @@ class ReadCache {
   ExtentMap<SsdTarget> map_;
   std::vector<Slot> slots_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
-  ReadCacheStats stats_;
+
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+  Counter* c_insertions_;
+  Counter* c_inserted_bytes_;
+  Counter* c_evictions_;
+  Counter* c_invalidations_;
 };
 
 }  // namespace lsvd

@@ -5,9 +5,32 @@
 namespace lsvd {
 
 Replicator::Replicator(Simulator* sim, ObjectStore* primary,
-                       ObjectStore* replica, ReplicatorConfig config)
+                       ObjectStore* replica, ReplicatorConfig config,
+                       MetricsRegistry* metrics, const std::string& prefix)
     : sim_(sim), primary_(primary), replica_(replica),
-      config_(std::move(config)) {}
+      config_(std::move(config)) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  c_objects_copied_ = metrics_->GetCounter(prefix + ".objects_copied");
+  c_bytes_copied_ = metrics_->GetCounter(prefix + ".bytes_copied");
+  c_objects_skipped_deleted_ =
+      metrics_->GetCounter(prefix + ".objects_skipped_deleted");
+  h_copy_lag_us_ = metrics_->GetHistogram(prefix + ".copy_lag_us");
+  metrics_->RegisterCallback(prefix + ".tracked_objects", [this] {
+    return static_cast<double>(first_seen_.size());
+  });
+}
+
+ReplicatorStats Replicator::stats() const {
+  ReplicatorStats s;
+  s.objects_copied = c_objects_copied_->value();
+  s.bytes_copied = c_bytes_copied_->value();
+  s.objects_skipped_deleted = c_objects_skipped_deleted_->value();
+  return s;
+}
 
 void Replicator::Start() {
   *alive_ = false;  // cancel a previous schedule, if any
@@ -50,7 +73,7 @@ void Replicator::PollOnce(std::function<void()> done) {
   for (auto it = first_seen_.begin(); it != first_seen_.end();) {
     if (!listed.contains(it->first)) {
       if (!copied_.contains(it->first)) {
-        stats_.objects_skipped_deleted++;
+        c_objects_skipped_deleted_->Inc();
       }
       it = first_seen_.erase(it);
     } else {
@@ -77,20 +100,23 @@ void Replicator::PollOnce(std::function<void()> done) {
       }
       if (!r.ok()) {
         // Garbage collection deleted the object before we aged it in.
-        stats_.objects_skipped_deleted++;
+        c_objects_skipped_deleted_->Inc();
         copied_.erase(name);
         one_done();
         return;
       }
       const uint64_t size = r->size();
+      const auto seen = first_seen_.find(name);
+      const Nanos seen_at = seen != first_seen_.end() ? seen->second : 0;
       replica_->Put(name, std::move(r).value(),
-                    [this, alive, size, one_done](Status s) {
+                    [this, alive, size, seen_at, one_done](Status s) {
         if (!*alive) {
           return;
         }
         if (s.ok()) {
-          stats_.objects_copied++;
-          stats_.bytes_copied += size;
+          c_objects_copied_->Inc();
+          c_bytes_copied_->Inc(size);
+          RecordLatencyUs(h_copy_lag_us_, sim_->now() - seen_at);
         }
         one_done();
       });

@@ -19,6 +19,7 @@
 
 #include "src/objstore/object_store.h"
 #include "src/sim/simulator.h"
+#include "src/util/metrics.h"
 #include "src/util/units.h"
 
 namespace lsvd {
@@ -38,7 +39,8 @@ struct ReplicatorStats {
 class Replicator {
  public:
   Replicator(Simulator* sim, ObjectStore* primary, ObjectStore* replica,
-             ReplicatorConfig config);
+             ReplicatorConfig config, MetricsRegistry* metrics = nullptr,
+             const std::string& prefix = "replicator");
   ~Replicator() { Stop(); }
 
   // Starts periodic polling; call Stop() to let the simulator drain.
@@ -49,7 +51,7 @@ class Replicator {
   // finished. Usable directly for deterministic tests.
   void PollOnce(std::function<void()> done);
 
-  const ReplicatorStats& stats() const { return stats_; }
+  ReplicatorStats stats() const;
 
  private:
   void ScheduleNext();
@@ -61,7 +63,15 @@ class Replicator {
   std::map<std::string, Nanos> first_seen_;
   std::set<std::string> copied_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
-  ReplicatorStats stats_;
+
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+  Counter* c_objects_copied_;
+  Counter* c_bytes_copied_;
+  Counter* c_objects_skipped_deleted_;
+  // Object creation (first seen by the poller) -> copy committed to the
+  // replica; bounded below by min_age.
+  Histogram* h_copy_lag_us_;
 };
 
 }  // namespace lsvd

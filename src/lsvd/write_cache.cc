@@ -24,7 +24,8 @@ uint64_t RoundUpBlock(uint64_t v) {
 }  // namespace
 
 WriteCache::WriteCache(ClientHost* host, uint64_t base, uint64_t size,
-                       const StageCosts& costs)
+                       const StageCosts& costs, MetricsRegistry* metrics,
+                       const std::string& prefix)
     : host_(host),
       ssd_(host->ssd()),
       costs_(costs),
@@ -37,6 +38,40 @@ WriteCache::WriteCache(ClientHost* host, uint64_t base, uint64_t size,
   log_size_ = base_ + size_ - log_base_;
   head_ = log_base_;
   readback_head_ = log_base_;
+
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  c_appends_ = metrics_->GetCounter(prefix + ".appends");
+  c_appended_bytes_ = metrics_->GetCounter(prefix + ".appended_bytes");
+  c_records_ = metrics_->GetCounter(prefix + ".records");
+  c_record_bytes_ = metrics_->GetCounter(prefix + ".record_bytes");
+  c_stalled_appends_ = metrics_->GetCounter(prefix + ".stalled_appends");
+  c_checkpoints_ = metrics_->GetCounter(prefix + ".checkpoints");
+  c_evicted_records_ = metrics_->GetCounter(prefix + ".evicted_records");
+  h_append_to_free_us_ = metrics_->GetHistogram(prefix + ".append_to_free_us");
+  metrics_->RegisterCallback(prefix + ".used_bytes",
+                             [this] { return static_cast<double>(used_); });
+  metrics_->RegisterCallback(prefix + ".free_bytes", [this] {
+    return static_cast<double>(free_bytes());
+  });
+  metrics_->RegisterCallback(prefix + ".live_records", [this] {
+    return static_cast<double>(records_.size());
+  });
+}
+
+WriteCacheStats WriteCache::stats() const {
+  WriteCacheStats s;
+  s.appends = c_appends_->value();
+  s.appended_bytes = c_appended_bytes_->value();
+  s.records = c_records_->value();
+  s.record_bytes = c_record_bytes_->value();
+  s.stalled_appends = c_stalled_appends_->value();
+  s.checkpoints = c_checkpoints_->value();
+  s.evicted_records = c_evicted_records_->value();
+  return s;
 }
 
 void WriteCache::Format(std::function<void(Status)> done) {
@@ -78,8 +113,8 @@ void WriteCache::Append(uint64_t vlba, Buffer data, uint64_t batch_seq,
     done(Status::InvalidArgument("write larger than half the cache log"));
     return;
   }
-  stats_.appends++;
-  stats_.appended_bytes += data.size();
+  c_appends_->Inc();
+  c_appended_bytes_->Inc(data.size());
   pending_.push_back(Pending{vlba, std::move(data), batch_seq,
                              std::move(done)});
   MaybeStartRecord();
@@ -125,7 +160,7 @@ bool WriteCache::StartOneRecord() {
     }
     if (used_ + need > log_size_) {
       if (writes.empty()) {
-        stats_.stalled_appends++;
+        c_stalled_appends_->Inc();
         return false;  // no room for even one write; resume on ReleaseThrough
       }
       break;
@@ -154,13 +189,14 @@ bool WriteCache::StartOneRecord() {
   meta.footprint = gap + record_size;
   meta.max_batch_seq = max_batch;
   meta.extents = record.extents;
+  meta.appended_at = host_->sim()->now();
 
   const uint64_t seq = record.seq;
   next_seq_++;
   head_ = target + record_size;
   used_ += meta.footprint;
-  stats_.records++;
-  stats_.record_bytes += record_size;
+  c_records_->Inc();
+  c_record_bytes_->Inc(record_size);
   records_.push_back(meta);  // in sequence order; applied later
   in_flight_[seq] = InFlightRecord{std::move(writes), false, Status::Ok()};
 
@@ -250,6 +286,19 @@ void WriteCache::ReadData(uint64_t plba, uint64_t len,
 void WriteCache::ReleaseThrough(uint64_t synced_batch_seq) {
   if (synced_batch_seq > release_watermark_) {
     release_watermark_ = synced_batch_seq;
+    // Releasability is FIFO in sequence order, so newly releasable records
+    // extend the timed prefix; record their append-to-free latency once.
+    const Nanos now = host_->sim()->now();
+    while (release_timed_count_ < records_.size()) {
+      const RecordMeta& rec = records_[release_timed_count_];
+      if (rec.max_batch_seq > release_watermark_) {
+        break;
+      }
+      if (rec.appended_at >= 0) {
+        RecordLatencyUs(h_append_to_free_us_, now - rec.appended_at);
+      }
+      release_timed_count_++;
+    }
     // Newly releasable space may unblock stalled appends.
     MaybeStartRecord();
   }
@@ -279,8 +328,11 @@ void WriteCache::EvictForSpace(uint64_t needed) {
       extent_plba += e.len;
     }
     used_ -= rec.footprint;
-    stats_.evicted_records++;
+    c_evicted_records_->Inc();
     records_.pop_front();
+    if (release_timed_count_ > 0) {
+      release_timed_count_--;
+    }
   }
 }
 
@@ -396,6 +448,7 @@ Status WriteCache::LoadCheckpointBlob(const Buffer& blob,
   used_ = used;
   recovered_synced_ = synced;
   records_.clear();
+  release_timed_count_ = 0;
   map_.Clear();
   for (uint32_t i = 0; i < rec_count; i++) {
     RecordMeta rec;
@@ -450,7 +503,7 @@ void WriteCache::WriteCheckpoint(uint64_t backend_synced_seq,
       }
       if (s2.ok()) {
         ckpt_gen_++;
-        stats_.checkpoints++;
+        c_checkpoints_->Inc();
       }
       done(s2);
     });

@@ -23,15 +23,19 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/lsvd/client_host.h"
 #include "src/lsvd/config.h"
 #include "src/lsvd/extent_map.h"
 #include "src/lsvd/journal.h"
+#include "src/util/metrics.h"
 
 namespace lsvd {
 
+// View over the write cache's registry counters (see docs/METRICS.md,
+// "lsvd.write_cache.*").
 struct WriteCacheStats {
   uint64_t appends = 0;
   uint64_t appended_bytes = 0;
@@ -53,10 +57,18 @@ class WriteCache {
     uint64_t footprint = 0;  // total_len + any wrap gap preceding it
     uint64_t max_batch_seq = 0;
     std::vector<JournalExtent> extents;
+    // In-memory only (never checkpointed): append time, for the
+    // append-to-releasable lifecycle histogram. -1 for recovered records
+    // (whose true append time is unknown).
+    Nanos appended_at = -1;
   };
 
+  // `metrics`/`prefix` name this cache's counters in a shared registry; a
+  // null registry gives the cache a private one (standalone tests, the
+  // recovery probe).
   WriteCache(ClientHost* host, uint64_t base, uint64_t size,
-             const StageCosts& costs);
+             const StageCosts& costs, MetricsRegistry* metrics = nullptr,
+             const std::string& prefix = "lsvd.write_cache");
 
   // Initializes an empty cache (superblock + blank checkpoint) on SSD.
   void Format(std::function<void(Status)> done);
@@ -123,7 +135,8 @@ class WriteCache {
   uint64_t log_size() const { return log_size_; }
   uint64_t used_bytes() const { return used_; }
   uint64_t backend_synced_hint() const { return recovered_synced_; }
-  const WriteCacheStats& stats() const { return stats_; }
+  WriteCacheStats stats() const;
+  MetricsRegistry* metrics() const { return metrics_; }
 
  private:
   struct Pending {
@@ -190,7 +203,24 @@ class WriteCache {
   uint64_t recovered_synced_ = 0;
   uint64_t readback_head_ = 0;  // cursor for pass-through readback charging
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
-  WriteCacheStats stats_;
+
+  // Metrics. `owned_metrics_` backs standalone instances; all counters live
+  // in *metrics_ under `prefix`.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+  Counter* c_appends_;
+  Counter* c_appended_bytes_;
+  Counter* c_records_;
+  Counter* c_record_bytes_;
+  Counter* c_stalled_appends_;
+  Counter* c_checkpoints_;
+  Counter* c_evicted_records_;
+  // Journal append -> record releasable (backend batches committed): the
+  // tail of the write lifecycle trace.
+  Histogram* h_append_to_free_us_;
+  // Records at the front of records_ whose append_to_free latency has been
+  // recorded (timed records form a prefix, like eviction).
+  size_t release_timed_count_ = 0;
 };
 
 }  // namespace lsvd

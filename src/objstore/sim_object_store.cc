@@ -16,10 +16,35 @@ uint64_t RoundUp(uint64_t v, uint64_t align) {
 }  // namespace
 
 SimObjectStore::SimObjectStore(Simulator* sim, BackendCluster* cluster,
-                               NetLink* link, SimObjectStoreConfig config)
+                               NetLink* link, SimObjectStoreConfig config,
+                               MetricsRegistry* metrics,
+                               const std::string& prefix)
     : sim_(sim), cluster_(cluster), link_(link), config_(config) {
   alloc_head_.assign(static_cast<size_t>(cluster_->num_disks()),
                      kDataRegionBase);
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  c_puts_ = metrics_->GetCounter(prefix + ".puts");
+  c_put_bytes_ = metrics_->GetCounter(prefix + ".put_bytes");
+  c_gets_ = metrics_->GetCounter(prefix + ".gets");
+  c_get_bytes_ = metrics_->GetCounter(prefix + ".get_bytes");
+  c_deletes_ = metrics_->GetCounter(prefix + ".deletes");
+  metrics_->RegisterCallback(prefix + ".object_count", [this] {
+    return static_cast<double>(objects_.size());
+  });
+}
+
+ObjectStoreStats SimObjectStore::stats() const {
+  ObjectStoreStats s;
+  s.puts = c_puts_->value();
+  s.put_bytes = c_put_bytes_->value();
+  s.gets = c_gets_->value();
+  s.get_bytes = c_get_bytes_->value();
+  s.deletes = c_deletes_->value();
+  return s;
 }
 
 uint64_t SimObjectStore::NameHash(const std::string& name, uint64_t salt) {
@@ -104,8 +129,8 @@ void SimObjectStore::Put(const std::string& name, Buffer data,
     });
     return;
   }
-  stats_.puts++;
-  stats_.put_bytes += data.size();
+  c_puts_->Inc();
+  c_put_bytes_->Inc(data.size());
   const uint64_t epoch = epoch_;
   const uint64_t size = data.size();
   // Phase 1: the object body crosses the client link.
@@ -172,8 +197,8 @@ void SimObjectStore::Get(const std::string& name, GetCallback done) {
     });
     return;
   }
-  stats_.gets++;
-  stats_.get_bytes += it->second.size();
+  c_gets_->Inc();
+  c_get_bytes_->Inc(it->second.size());
   Buffer data = it->second;
   ReadTiming(data.size(), [done = std::move(done), data = std::move(data)]() {
     done(data);
@@ -195,8 +220,8 @@ void SimObjectStore::GetRange(const std::string& name, uint64_t offset,
     });
     return;
   }
-  stats_.gets++;
-  stats_.get_bytes += len;
+  c_gets_->Inc();
+  c_get_bytes_->Inc(len);
   Buffer data = it->second.Slice(offset, len);
   ReadTiming(len, [done = std::move(done), data = std::move(data)]() {
     done(data);
@@ -204,7 +229,7 @@ void SimObjectStore::GetRange(const std::string& name, uint64_t offset,
 }
 
 void SimObjectStore::Delete(const std::string& name, PutCallback done) {
-  stats_.deletes++;
+  c_deletes_->Inc();
   objects_.erase(name);
   const uint64_t epoch = epoch_;
   sim_->After(link_->rtt(), [this, epoch, done = std::move(done)]() {

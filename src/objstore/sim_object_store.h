@@ -27,6 +27,7 @@
 #include "src/sim/cluster.h"
 #include "src/sim/net_link.h"
 #include "src/sim/simulator.h"
+#include "src/util/metrics.h"
 
 namespace lsvd {
 
@@ -57,7 +58,9 @@ struct ObjectStoreStats {
 class SimObjectStore : public ObjectStore {
  public:
   SimObjectStore(Simulator* sim, BackendCluster* cluster, NetLink* link,
-                 SimObjectStoreConfig config);
+                 SimObjectStoreConfig config,
+                 MetricsRegistry* metrics = nullptr,
+                 const std::string& prefix = "objstore");
 
   void Put(const std::string& name, Buffer data, PutCallback done) override;
   void Get(const std::string& name, GetCallback done) override;
@@ -72,7 +75,7 @@ class SimObjectStore : public ObjectStore {
   // unaffected).
   void ClientCrash() { epoch_++; }
 
-  const ObjectStoreStats& stats() const { return stats_; }
+  ObjectStoreStats stats() const;
 
  private:
   void BackendWrites(const std::string& name, Buffer data,
@@ -88,7 +91,14 @@ class SimObjectStore : public ObjectStore {
   std::map<std::string, Buffer> objects_;
   std::vector<uint64_t> alloc_head_;  // per-disk data-region bump allocator
   uint64_t epoch_ = 0;
-  ObjectStoreStats stats_;
+
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+  Counter* c_puts_;
+  Counter* c_put_bytes_;
+  Counter* c_gets_;
+  Counter* c_get_bytes_;
+  Counter* c_deletes_;
 };
 
 }  // namespace lsvd

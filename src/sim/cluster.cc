@@ -22,7 +22,9 @@ constexpr uint64_t kWalRegion = 8 * kGiB;
 
 }  // namespace
 
-BackendCluster::BackendCluster(Simulator* sim, ClusterConfig config)
+BackendCluster::BackendCluster(Simulator* sim, ClusterConfig config,
+                               MetricsRegistry* metrics,
+                               const std::string& prefix)
     : sim_(sim), config_(config) {
   assert(config_.num_disks > 0);
   disks_.reserve(static_cast<size_t>(config_.num_disks));
@@ -35,6 +37,43 @@ BackendCluster::BackendCluster(Simulator* sim, ClusterConfig config)
   }
   wal_head_.assign(disks_.size(), 0);
   write_run_.assign(disks_.size(), WriteRun{});
+
+  if (metrics != nullptr) {
+    for (int i = 0; i < config_.num_disks; i++) {
+      DiskModel* d = disks_[static_cast<size_t>(i)].get();
+      const std::string base = prefix + ".disk[" + std::to_string(i) + "]";
+      metrics->RegisterCallback(base + ".busy_us", [d] {
+        return static_cast<double>(d->stats().busy) / 1000.0;
+      });
+      metrics->RegisterCallback(base + ".read_ops", [d] {
+        return static_cast<double>(d->stats().read_ops);
+      });
+      metrics->RegisterCallback(base + ".write_ops", [d] {
+        return static_cast<double>(d->stats().write_ops);
+      });
+      metrics->RegisterCallback(base + ".read_bytes", [d] {
+        return static_cast<double>(d->stats().read_bytes);
+      });
+      metrics->RegisterCallback(base + ".write_bytes", [d] {
+        return static_cast<double>(d->stats().write_bytes);
+      });
+    }
+    metrics->RegisterCallback(prefix + ".total.busy_us", [this] {
+      return static_cast<double>(TotalBusy()) / 1000.0;
+    });
+    metrics->RegisterCallback(prefix + ".total.read_ops", [this] {
+      return static_cast<double>(TotalStats().read_ops);
+    });
+    metrics->RegisterCallback(prefix + ".total.write_ops", [this] {
+      return static_cast<double>(TotalStats().write_ops);
+    });
+    metrics->RegisterCallback(prefix + ".total.read_bytes", [this] {
+      return static_cast<double>(TotalStats().read_bytes);
+    });
+    metrics->RegisterCallback(prefix + ".total.write_bytes", [this] {
+      return static_cast<double>(TotalStats().write_bytes);
+    });
+  }
 }
 
 void BackendCluster::Write(int disk, uint64_t offset, uint32_t len,

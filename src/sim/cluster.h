@@ -19,6 +19,7 @@
 #include "src/sim/disk_model.h"
 #include "src/sim/simulator.h"
 #include "src/util/histogram.h"
+#include "src/util/metrics.h"
 #include "src/util/units.h"
 
 namespace lsvd {
@@ -49,7 +50,12 @@ struct ClusterConfig {
 
 class BackendCluster {
  public:
-  BackendCluster(Simulator* sim, ClusterConfig config);
+  // If `metrics` is given, per-disk and cluster-total callback gauges
+  // ("cluster.disk[i].busy_us" etc.) register there as live views over the
+  // disk models; snapshots read them at snapshot time.
+  BackendCluster(Simulator* sim, ClusterConfig config,
+                 MetricsRegistry* metrics = nullptr,
+                 const std::string& prefix = "cluster");
 
   int num_disks() const { return static_cast<int>(disks_.size()); }
   uint64_t disk_capacity() const { return config_.disk_capacity; }

@@ -35,6 +35,13 @@ uint64_t Histogram::BucketWeight(int bucket) const {
   return buckets_[bucket].weight;
 }
 
+uint64_t Histogram::BucketCount(int bucket) const {
+  if (bucket < 0 || bucket >= static_cast<int>(buckets_.size())) {
+    return 0;
+  }
+  return buckets_[bucket].count;
+}
+
 double Histogram::Percentile(double fraction) const {
   if (total_count_ == 0) {
     return 0.0;

@@ -20,7 +20,10 @@ class Histogram {
 
   // Weight accumulated in the bucket [2^i, 2^(i+1)); bucket 0 is [0, 2).
   uint64_t BucketWeight(int bucket) const;
+  // Sample count in the same bucket.
+  uint64_t BucketCount(int bucket) const;
   int num_buckets() const { return static_cast<int>(buckets_.size()); }
+  double value_sum() const { return value_sum_; }
 
   // Value below which `fraction` (0..1) of the recorded *count* falls,
   // interpolated within the winning bucket.

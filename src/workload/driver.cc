@@ -6,13 +6,19 @@
 namespace lsvd {
 
 Driver::Driver(Simulator* sim, VirtualDisk* disk, WorkloadGen gen,
-               int queue_depth, Nanos deadline)
+               int queue_depth, Nanos deadline, MetricsRegistry* metrics,
+               const std::string& prefix)
     : sim_(sim),
       disk_(disk),
       gen_(std::move(gen)),
       queue_depth_(queue_depth),
       deadline_(deadline) {
   assert(queue_depth_ > 0);
+  if (metrics != nullptr) {
+    h_write_us_ = metrics->GetHistogram(prefix + ".write_us");
+    h_read_us_ = metrics->GetHistogram(prefix + ".read_us");
+    h_flush_us_ = metrics->GetHistogram(prefix + ".flush_us");
+  }
 }
 
 void Driver::EnableTimeline(Nanos bucket) {
@@ -70,10 +76,12 @@ void Driver::Issue() {
     barrier_pending_ = false;
     outstanding_++;
     const WorkloadOp op{WorkloadOp::Kind::kFlush, 0, 0};
-    disk_->Flush([this, op](Status s) {
+    const Nanos submitted = sim_->now();
+    disk_->Flush([this, op, submitted](Status s) {
       assert(s.ok());
       (void)s;
       outstanding_--;
+      RecordLatencyUs(h_flush_us_, sim_->now() - submitted);
       Account(op);
       // The barrier blocked the whole queue; refill it.
       for (int i = 0; i < queue_depth_; i++) {
@@ -108,8 +116,12 @@ void Driver::Issue() {
     return;
   }
   outstanding_++;
-  auto complete = [this, op]() {
+  const Nanos submitted = sim_->now();
+  auto complete = [this, op, submitted]() {
     outstanding_--;
+    RecordLatencyUs(op.kind == WorkloadOp::Kind::kWrite ? h_write_us_
+                                                        : h_read_us_,
+                    sim_->now() - submitted);
     Account(op);
     Issue();
   };

@@ -11,6 +11,7 @@
 
 #include "src/blockdev/virtual_disk.h"
 #include "src/sim/simulator.h"
+#include "src/util/metrics.h"
 #include "src/util/units.h"
 
 namespace lsvd {
@@ -55,9 +56,12 @@ class Driver {
  public:
   // `queue_depth` ops are kept outstanding; the run ends when the generator
   // is exhausted or `deadline` (virtual time) passes, whichever is first.
-  // Pass deadline = 0 for no time limit.
+  // Pass deadline = 0 for no time limit. If `metrics` is given, per-op
+  // client-observed latency histograms ("<prefix>.write_us" etc.) record
+  // there; without a registry the driver skips latency tracking.
   Driver(Simulator* sim, VirtualDisk* disk, WorkloadGen gen, int queue_depth,
-         Nanos deadline = 0);
+         Nanos deadline = 0, MetricsRegistry* metrics = nullptr,
+         const std::string& prefix = "driver");
 
   // Starts issuing; `done` fires when the last outstanding op completes.
   void Run(std::function<void()> done);
@@ -85,6 +89,10 @@ class Driver {
   Nanos bucket_ = 0;
   std::vector<uint64_t> write_buckets_;
   DriverStats stats_;
+  // Null when no registry was supplied (RecordLatencyUs is a no-op on null).
+  Histogram* h_write_us_ = nullptr;
+  Histogram* h_read_us_ = nullptr;
+  Histogram* h_flush_us_ = nullptr;
 };
 
 }  // namespace lsvd

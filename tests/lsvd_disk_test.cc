@@ -94,6 +94,50 @@ TEST_F(LsvdDiskTest, DataFlowsToBackendAndStaysReadable) {
   EXPECT_GE(disk_->stats().backend_reads, 1u);
 }
 
+TEST_F(LsvdDiskTest, WriteLifecycleHistogramsPopulate) {
+  // Push several batches through the full write lifecycle, then check that
+  // every stage histogram (submit -> ack, batch open -> seal, seal ->
+  // commit, journal append -> cache release) actually recorded samples.
+  for (int i = 0; i < 8; i++) {
+    ASSERT_TRUE(WriteSync(&world_.sim, disk_.get(),
+                          static_cast<uint64_t>(i) * kMiB,
+                          TestPattern(256 * kKiB, 20 + i))
+                    .ok());
+  }
+  ASSERT_TRUE(DrainSync(&world_.sim, disk_.get()).ok());
+  // Exercise the read-routing histograms too: a write-cache hit and a
+  // zero-fill read.
+  ASSERT_TRUE(ReadSync(&world_.sim, disk_.get(), 0, 16 * kKiB).ok());
+  ASSERT_TRUE(
+      ReadSync(&world_.sim, disk_.get(), 9 * kMiB, 16 * kKiB).ok());
+
+  const MetricsSnapshot snap = disk_->metrics().Snapshot();
+  const MetricsSnapshot::Entry* ack = snap.Find("lsvd.write.ack_us");
+  ASSERT_NE(ack, nullptr);
+  EXPECT_GE(ack->count, 8u);
+  EXPECT_GT(snap.Percentile("lsvd.write.ack_us", 0.5), 0.0);
+
+  const MetricsSnapshot::Entry* seal =
+      snap.Find("backend.batch.open_to_seal_us");
+  ASSERT_NE(seal, nullptr);
+  EXPECT_GE(seal->count, 1u);
+  const MetricsSnapshot::Entry* commit =
+      snap.Find("backend.batch.seal_to_commit_us");
+  ASSERT_NE(commit, nullptr);
+  EXPECT_GE(commit->count, 1u);
+  // Drain commits the backend objects, which releases the journal records.
+  const MetricsSnapshot::Entry* freed =
+      snap.Find("lsvd.write_cache.append_to_free_us");
+  ASSERT_NE(freed, nullptr);
+  EXPECT_GE(freed->count, 1u);
+
+  const MetricsSnapshot::Entry* e2e = snap.Find("lsvd.read.e2e_us");
+  ASSERT_NE(e2e, nullptr);
+  EXPECT_GE(e2e->count, 2u);
+  EXPECT_GE(snap.Find("lsvd.read.write_cache_us")->count, 1u);
+  EXPECT_GE(snap.Find("lsvd.read.zero_us")->count, 1u);
+}
+
 TEST_F(LsvdDiskTest, PrefetchFillsReadCache) {
   ASSERT_TRUE(WriteSync(&world_.sim, disk_.get(), 0,
                         TestPattern(512 * kKiB, 4))

@@ -145,6 +145,42 @@ TEST(Histogram, EmptyIsSafe) {
   EXPECT_EQ(h.Percentile(0.5), 0.0);
   EXPECT_EQ(h.MeanValue(), 0.0);
   EXPECT_EQ(h.BucketWeight(3), 0u);
+  EXPECT_EQ(h.BucketCount(3), 0u);
+  EXPECT_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_EQ(h.Percentile(1.0), 0.0);
+  EXPECT_EQ(h.value_sum(), 0.0);
+}
+
+TEST(Histogram, SingleBucketPercentilesInterpolate) {
+  Histogram h;
+  for (int i = 0; i < 10; i++) {
+    h.Add(16);  // all samples in [16, 32)
+  }
+  // Every percentile must land inside (or at the top edge of) the bucket.
+  for (const double f : {0.01, 0.25, 0.50, 0.99, 1.0}) {
+    EXPECT_GE(h.Percentile(f), 16.0) << "fraction " << f;
+    EXPECT_LE(h.Percentile(f), 32.0) << "fraction " << f;
+  }
+  // Linear interpolation within the bucket: p50 is the midpoint.
+  EXPECT_NEAR(h.Percentile(0.5), 24.0, 1e-9);
+  EXPECT_EQ(h.BucketCount(4), 10u);
+  EXPECT_EQ(h.total_count(), 10u);
+}
+
+TEST(Histogram, PercentileIsCountBasedNotWeightBased) {
+  Histogram h;
+  // One heavy sample at 4, many light samples at 1024: count percentiles
+  // must follow the sample counts, ignoring the weight skew.
+  h.Add(4, /*weight=*/100000);
+  for (int i = 0; i < 99; i++) {
+    h.Add(1024, /*weight=*/1);
+  }
+  EXPECT_GE(h.Percentile(0.5), 1024.0);
+  EXPECT_LT(h.Percentile(0.5), 2048.0);
+  EXPECT_EQ(h.BucketWeight(2), 100000u);  // [4, 8)
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.total_weight(), 100000u + 99);
+  EXPECT_NEAR(h.value_sum(), 4.0 + 99.0 * 1024.0, 1e-9);
 }
 
 // --- Rng ---
