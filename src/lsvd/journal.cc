@@ -60,7 +60,7 @@ Buffer EncodeJournalRecord(const JournalRecord& record) {
 }
 
 Status DecodeJournalHeader(const Buffer& header_block, JournalRecord* record,
-                           uint64_t* data_len) {
+                           uint64_t* data_len, uint64_t volume_limit) {
   if (header_block.size() != kBlockSize) {
     return Status::InvalidArgument("journal header must be one block");
   }
@@ -96,6 +96,15 @@ Status DecodeJournalHeader(const Buffer& header_block, JournalRecord* record,
     e.len = dec.GetU64();
     if (!dec.ok() || e.len == 0 || e.len % kBlockSize != 0) {
       return Status::Corruption("journal extent malformed");
+    }
+    if (e.vlba % kBlockSize != 0 || e.len > UINT64_MAX - e.vlba) {
+      return Status::Corruption("journal extent range overflows");
+    }
+    if (volume_limit != 0 && e.vlba + e.len > volume_limit) {
+      return Status::Corruption("journal extent past end of volume");
+    }
+    if (e.len > UINT64_MAX - sum) {
+      return Status::Corruption("journal extent length sum overflows");
     }
     sum += e.len;
     record->extents.push_back(e);

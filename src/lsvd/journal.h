@@ -48,8 +48,12 @@ uint64_t JournalRecordSize(const JournalRecord& record);
 // Parses and validates the header block. On success fills `record` (without
 // data) and sets `data_len` to the payload size following the header.
 // Returns Corruption for bad magic/CRC, which recovery treats as log end.
+// When `volume_limit` is non-zero, extents reaching past that many bytes of
+// virtual disk are rejected as corruption, so a damaged header that passes
+// its CRC by chance can never replay an out-of-range write; the extent
+// length sum is always guarded against uint64_t overflow.
 Status DecodeJournalHeader(const Buffer& header_block, JournalRecord* record,
-                           uint64_t* data_len);
+                           uint64_t* data_len, uint64_t volume_limit = 0);
 
 // Validates the payload CRC recorded in the header against `data`.
 Status VerifyJournalData(const JournalRecord& record, const Buffer& data);

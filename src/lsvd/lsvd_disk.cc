@@ -47,7 +47,7 @@ LsvdDisk::LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config,
 void LsvdDisk::InitComponents() {
   write_cache_ = std::make_unique<WriteCache>(
       host_, wc_base_, config_.write_cache_size, config_.costs, metrics_,
-      "lsvd.write_cache");
+      "lsvd.write_cache", config_.volume_size);
   read_cache_ = std::make_unique<ReadCache>(
       host_, rc_base_, config_.read_cache_size, config_.read_cache_line,
       metrics_, "lsvd.read_cache");

@@ -25,13 +25,14 @@ uint64_t RoundUpBlock(uint64_t v) {
 
 WriteCache::WriteCache(ClientHost* host, uint64_t base, uint64_t size,
                        const StageCosts& costs, MetricsRegistry* metrics,
-                       const std::string& prefix)
+                       const std::string& prefix, uint64_t volume_limit)
     : host_(host),
       ssd_(host->ssd()),
       costs_(costs),
       record_cpu_(host->sim(), 2),
       base_(base),
-      size_(size) {
+      size_(size),
+      volume_limit_(volume_limit) {
   assert(size_ >= 16 * kMiB && "write cache region too small");
   slot_size_ = RoundUpBlock(std::max<uint64_t>(kMiB, size_ / 32));
   log_base_ = base_ + kBlockSize + 2 * slot_size_;
@@ -626,7 +627,7 @@ void WriteCache::ReplayStep(std::shared_ptr<ReplayState> st) {
     }
     JournalRecord rec;
     uint64_t data_len = 0;
-    if (!DecodeJournalHeader(*r, &rec, &data_len).ok() ||
+    if (!DecodeJournalHeader(*r, &rec, &data_len, volume_limit_).ok() ||
         rec.seq != st->expected_seq ||
         st->pos + kBlockSize + data_len > base_ + size_ || data_len == 0) {
       ReplayMiss(st);

@@ -65,10 +65,12 @@ class WriteCache {
 
   // `metrics`/`prefix` name this cache's counters in a shared registry; a
   // null registry gives the cache a private one (standalone tests, the
-  // recovery probe).
+  // recovery probe). A non-zero `volume_limit` (virtual-disk size in bytes)
+  // makes log replay reject journal extents past the end of the volume.
   WriteCache(ClientHost* host, uint64_t base, uint64_t size,
              const StageCosts& costs, MetricsRegistry* metrics = nullptr,
-             const std::string& prefix = "lsvd.write_cache");
+             const std::string& prefix = "lsvd.write_cache",
+             uint64_t volume_limit = 0);
 
   // Initializes an empty cache (superblock + blank checkpoint) on SSD.
   void Format(std::function<void(Status)> done);
@@ -181,6 +183,7 @@ class WriteCache {
   uint64_t slot_size_;
   uint64_t log_base_;
   uint64_t log_size_;
+  uint64_t volume_limit_;
 
   ExtentMap<SsdTarget> map_;
   std::deque<RecordMeta> records_;

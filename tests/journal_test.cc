@@ -3,10 +3,41 @@
 
 #include "src/lsvd/journal.h"
 #include "src/lsvd/object_format.h"
+#include "src/util/codec.h"
+#include "src/util/crc32c.h"
 #include "tests/lsvd_test_util.h"
 
 namespace lsvd {
 namespace {
+
+// Hand-builds a journal header with a *valid* CRC around arbitrary field
+// values, so tests can exercise the semantic validation that runs after the
+// integrity checks pass.
+Buffer ForgeJournalHeader(uint64_t seq, uint32_t extent_count,
+                          const std::vector<JournalExtent>& extents,
+                          uint64_t data_len) {
+  Encoder enc;
+  enc.PutU32(0x4C53564A);  // journal magic
+  enc.PutU64(seq);
+  enc.PutU64(0);  // batch_seq
+  enc.PutU32(extent_count);
+  enc.PutU64(data_len);
+  enc.PutU32(0);  // data CRC
+  const size_t crc_pos = enc.size();
+  enc.PutU32(0);  // header CRC backpatched below
+  for (const auto& e : extents) {
+    enc.PutU64(e.vlba);
+    enc.PutU64(e.len);
+  }
+  enc.PadTo(kBlockSize);
+  std::vector<uint8_t> header = enc.Take();
+  const uint32_t crc = Crc32c(header.data(), header.size());
+  for (int i = 0; i < 4; i++) {
+    header[crc_pos + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(crc >> (8 * i));
+  }
+  return Buffer::FromBytes(header);
+}
 
 TEST(JournalCodec, RoundTrip) {
   JournalRecord rec;
@@ -73,6 +104,71 @@ TEST(JournalCodec, GarbageIsRejected) {
       DecodeJournalHeader(Buffer::Zeros(kBlockSize), &out, &data_len).ok());
   EXPECT_FALSE(
       DecodeJournalHeader(TestPattern(kBlockSize, 5), &out, &data_len).ok());
+}
+
+TEST(JournalCodec, RejectsExtentPastVolumeLimit) {
+  JournalRecord rec;
+  rec.seq = 3;
+  rec.extents = {{60 * kMiB, 8192}};
+  rec.data = TestPattern(8192, 9);
+  Buffer header = EncodeJournalRecord(rec).Slice(0, kBlockSize);
+
+  JournalRecord out;
+  uint64_t data_len = 0;
+  // Inside a 64 MiB volume: accepted (also with no limit configured).
+  EXPECT_TRUE(DecodeJournalHeader(header, &out, &data_len, 64 * kMiB).ok());
+  EXPECT_TRUE(DecodeJournalHeader(header, &out, &data_len).ok());
+  // The same CRC-valid record must not replay into a smaller volume.
+  EXPECT_EQ(DecodeJournalHeader(header, &out, &data_len, 32 * kMiB).code(),
+            StatusCode::kCorruption);
+  // Exactly at the end of the volume is still in range.
+  EXPECT_TRUE(
+      DecodeJournalHeader(header, &out, &data_len, 60 * kMiB + 8192).ok());
+  EXPECT_EQ(
+      DecodeJournalHeader(header, &out, &data_len, 60 * kMiB + 4096).code(),
+      StatusCode::kCorruption);
+}
+
+TEST(JournalCodec, RejectsUnalignedVlba) {
+  Buffer header = ForgeJournalHeader(1, 1, {{100, 4096}}, 4096);
+  JournalRecord out;
+  uint64_t data_len = 0;
+  EXPECT_EQ(DecodeJournalHeader(header, &out, &data_len).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(JournalCodec, RejectsExtentRangeOverflow) {
+  // vlba + len wraps uint64_t; without the guard the volume-limit check
+  // would pass on the wrapped value.
+  const uint64_t huge = UINT64_MAX - 4095;  // block-aligned
+  Buffer header = ForgeJournalHeader(1, 1, {{2 * 4096, huge}}, huge);
+  JournalRecord out;
+  uint64_t data_len = 0;
+  EXPECT_EQ(DecodeJournalHeader(header, &out, &data_len, 64 * kMiB).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(JournalCodec, RejectsExtentLengthSumOverflow) {
+  // Each extent is individually fine; the sum wraps uint64_t and would
+  // otherwise masquerade as a small payload.
+  const uint64_t half = 1ULL << 63;  // block-aligned
+  Buffer header =
+      ForgeJournalHeader(1, 2, {{0, half}, {0, half}}, /*data_len=*/0);
+  JournalRecord out;
+  uint64_t data_len = 0;
+  EXPECT_EQ(DecodeJournalHeader(header, &out, &data_len).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(JournalCodec, RejectsTruncatedExtentArray) {
+  // Header claims 5 extents but encodes only 2; the missing entries decode
+  // as zero padding (len 0), which must not pass.
+  Buffer header =
+      ForgeJournalHeader(1, 5, {{0, 4096}, {8192, 4096}}, 5 * 4096);
+  JournalRecord out;
+  uint64_t data_len = 0;
+  EXPECT_EQ(DecodeJournalHeader(header, &out, &data_len).code(),
+            StatusCode::kCorruption);
 }
 
 TEST(ObjectNaming, FormatAndParse) {
