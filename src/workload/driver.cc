@@ -18,6 +18,9 @@ Driver::Driver(Simulator* sim, VirtualDisk* disk, WorkloadGen gen,
     h_write_us_ = metrics->GetHistogram(prefix + ".write_us");
     h_read_us_ = metrics->GetHistogram(prefix + ".read_us");
     h_flush_us_ = metrics->GetHistogram(prefix + ".flush_us");
+    c_write_errors_ = metrics->GetCounter(prefix + ".write_errors");
+    c_read_errors_ = metrics->GetCounter(prefix + ".read_errors");
+    c_flush_errors_ = metrics->GetCounter(prefix + ".flush_errors");
   }
 }
 
@@ -65,6 +68,33 @@ void Driver::Account(const WorkloadOp& op) {
   }
 }
 
+// A failed op counts toward the error totals only: success counts, byte
+// totals, and latency histograms reflect completed work, so throughput
+// figures stay meaningful while a degraded disk sheds load.
+void Driver::AccountError(const WorkloadOp& op) {
+  stats_.finished_at = sim_->now();
+  switch (op.kind) {
+    case WorkloadOp::Kind::kWrite:
+      stats_.write_errors++;
+      if (c_write_errors_ != nullptr) {
+        c_write_errors_->Inc();
+      }
+      break;
+    case WorkloadOp::Kind::kRead:
+      stats_.read_errors++;
+      if (c_read_errors_ != nullptr) {
+        c_read_errors_->Inc();
+      }
+      break;
+    case WorkloadOp::Kind::kFlush:
+      stats_.flush_errors++;
+      if (c_flush_errors_ != nullptr) {
+        c_flush_errors_->Inc();
+      }
+      break;
+  }
+}
+
 void Driver::Issue() {
   // A pending commit barrier gates everything: writes must pause while a
   // barrier is outstanding (§2.2), so the barrier is issued alone once all
@@ -78,11 +108,13 @@ void Driver::Issue() {
     const WorkloadOp op{WorkloadOp::Kind::kFlush, 0, 0};
     const Nanos submitted = sim_->now();
     disk_->Flush([this, op, submitted](Status s) {
-      assert(s.ok());
-      (void)s;
       outstanding_--;
-      RecordLatencyUs(h_flush_us_, sim_->now() - submitted);
-      Account(op);
+      if (s.ok()) {
+        RecordLatencyUs(h_flush_us_, sim_->now() - submitted);
+        Account(op);
+      } else {
+        AccountError(op);
+      }
       // The barrier blocked the whole queue; refill it.
       for (int i = 0; i < queue_depth_; i++) {
         Issue();
@@ -117,29 +149,26 @@ void Driver::Issue() {
   }
   outstanding_++;
   const Nanos submitted = sim_->now();
-  auto complete = [this, op, submitted]() {
+  auto complete = [this, op, submitted](bool ok) {
     outstanding_--;
-    RecordLatencyUs(op.kind == WorkloadOp::Kind::kWrite ? h_write_us_
-                                                        : h_read_us_,
-                    sim_->now() - submitted);
-    Account(op);
+    if (ok) {
+      RecordLatencyUs(op.kind == WorkloadOp::Kind::kWrite ? h_write_us_
+                                                          : h_read_us_,
+                      sim_->now() - submitted);
+      Account(op);
+    } else {
+      AccountError(op);
+    }
     Issue();
   };
   switch (op.kind) {
     case WorkloadOp::Kind::kWrite:
       disk_->Write(op.offset, Buffer::Zeros(op.len),
-                   [complete](Status s) {
-                     assert(s.ok());
-                     (void)s;
-                     complete();
-                   });
+                   [complete](Status s) { complete(s.ok()); });
       break;
     case WorkloadOp::Kind::kRead:
-      disk_->Read(op.offset, op.len, [complete](Result<Buffer> r) {
-        assert(r.ok());
-        (void)r;
-        complete();
-      });
+      disk_->Read(op.offset, op.len,
+                  [complete](Result<Buffer> r) { complete(r.ok()); });
       break;
     case WorkloadOp::Kind::kFlush:
       break;  // handled above

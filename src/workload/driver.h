@@ -35,8 +35,14 @@ struct DriverStats {
   uint64_t flushes = 0;
   uint64_t bytes_written = 0;
   uint64_t bytes_read = 0;
+  // Failed ops are excluded from the success counts and byte totals above.
+  uint64_t write_errors = 0;
+  uint64_t read_errors = 0;
+  uint64_t flush_errors = 0;
   Nanos started_at = 0;
   Nanos finished_at = 0;
+
+  uint64_t errors() const { return write_errors + read_errors + flush_errors; }
 
   double Iops() const {
     const Nanos d = finished_at - started_at;
@@ -76,6 +82,7 @@ class Driver {
  private:
   void Issue();
   void Account(const WorkloadOp& op);
+  void AccountError(const WorkloadOp& op);
 
   Simulator* sim_;
   VirtualDisk* disk_;
@@ -93,6 +100,9 @@ class Driver {
   Histogram* h_write_us_ = nullptr;
   Histogram* h_read_us_ = nullptr;
   Histogram* h_flush_us_ = nullptr;
+  Counter* c_write_errors_ = nullptr;
+  Counter* c_read_errors_ = nullptr;
+  Counter* c_flush_errors_ = nullptr;
 };
 
 }  // namespace lsvd
