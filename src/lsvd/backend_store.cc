@@ -31,6 +31,9 @@ BackendStore::BackendStore(ClientHost* host, ObjectStore* store,
   c_client_bytes_ = metrics_->GetCounter(prefix + ".client_bytes");
   c_coalesced_bytes_ = metrics_->GetCounter(prefix + ".coalesced_bytes");
   c_objects_put_ = metrics_->GetCounter(prefix + ".objects_put");
+  c_put_failures_ = metrics_->GetCounter(prefix + ".put_failures");
+  metrics_->RegisterCallback(prefix + ".degraded",
+                             [this] { return degraded_ ? 1.0 : 0.0; });
   c_object_bytes_ = metrics_->GetCounter(prefix + ".object_bytes");
   c_payload_bytes_ = metrics_->GetCounter(prefix + ".payload_bytes");
   c_gc_objects_cleaned_ = metrics_->GetCounter(prefix + ".gc.objects_cleaned");
@@ -68,6 +71,7 @@ BackendStoreStats BackendStore::stats() const {
   s.objects_deleted = c_objects_deleted_->value();
   s.checkpoints = c_checkpoints_->value();
   s.deferred_deletes = c_deferred_deletes_->value();
+  s.put_failures = c_put_failures_->value();
   return s;
 }
 
@@ -202,7 +206,8 @@ void BackendStore::SealBatch(OpenBatch batch, bool from_gc,
 }
 
 void BackendStore::PumpPuts() {
-  while (outstanding_puts_ < config_.put_window && !put_queue_.empty()) {
+  while (!degraded_ && outstanding_puts_ < config_.put_window &&
+         !put_queue_.empty()) {
     SealedObject sealed = std::move(put_queue_.front());
     put_queue_.pop_front();
     outstanding_puts_++;
@@ -229,9 +234,7 @@ void BackendStore::PumpPuts() {
           if (!*alive) {
             return;
           }
-          assert(s.ok() && "backend PUT failed");
-          (void)s;
-          OnPutComplete(seq);
+          OnPutComplete(seq, std::move(s));
         });
       });
     };
@@ -263,15 +266,58 @@ void BackendStore::PumpPuts() {
   }
 }
 
-void BackendStore::OnPutComplete(uint64_t seq) {
+void BackendStore::OnPutComplete(uint64_t seq, Status s) {
+  outstanding_puts_--;
+  if (!s.ok()) {
+    ParkFailedPut(seq);
+    return;
+  }
   auto it = in_flight_.find(seq);
   assert(it != in_flight_.end());
   c_payload_bytes_->Inc(it->second.payload_bytes);
   completed_.insert({seq, std::move(it->second)});
   in_flight_.erase(it);
-  outstanding_puts_--;
   ApplyReady();
   PumpPuts();
+}
+
+// A failed PUT must not lose its batch: write-cache records are only
+// released after the containing object commits, so parking the sealed object
+// and stopping the pump preserves every write. The store enters the degraded
+// state; the client keeps acknowledging writes until the cache log fills.
+void BackendStore::ParkFailedPut(uint64_t seq) {
+  auto it = in_flight_.find(seq);
+  assert(it != in_flight_.end());
+  c_put_failures_->Inc();
+  SealedObject sealed = std::move(it->second);
+  in_flight_.erase(it);
+  // Re-queue in sequence order so a later recovery pump re-PUTs objects in
+  // the same order they were sealed.
+  auto pos = put_queue_.begin();
+  while (pos != put_queue_.end() && pos->seq < sealed.seq) {
+    ++pos;
+  }
+  put_queue_.insert(pos, std::move(sealed));
+  if (!degraded_) {
+    degraded_ = true;
+    ScheduleDegradedProbe();
+  }
+}
+
+// The degraded state is left by probing, not by waiting for client traffic:
+// every probe interval the pump is unblocked once, which re-PUTs the parked
+// objects in sequence order. If the backend is still down the first PUT
+// exhausts its budget, re-parks, and re-arms the probe.
+void BackendStore::ScheduleDegradedProbe() {
+  auto alive = alive_;
+  host_->sim()->After(config_.retry.degraded_probe_interval,
+                      [this, alive]() {
+    if (!*alive || !degraded_) {
+      return;
+    }
+    degraded_ = false;
+    PumpPuts();
+  });
 }
 
 void BackendStore::ApplyReady() {

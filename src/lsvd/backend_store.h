@@ -49,6 +49,7 @@ struct BackendStoreStats {
   uint64_t objects_deleted = 0;
   uint64_t checkpoints = 0;
   uint64_t deferred_deletes = 0;
+  uint64_t put_failures = 0;      // failed backend PUTs (batch parked, not lost)
 };
 
 class BackendStore {
@@ -101,6 +102,12 @@ class BackendStore {
   void Recover(std::function<void(Status)> done);
 
   uint64_t applied_seq() const { return applied_seq_; }
+
+  // True while the store has given up on the backend (a PUT failed): sealed
+  // batches are parked in the queue — the write cache keeps their data, so
+  // correctness is preserved — and only a periodic probe PUT tests whether
+  // the backend came back.
+  bool degraded() const { return degraded_; }
   uint64_t next_seq() const { return next_seq_; }
   uint64_t last_checkpoint_seq() const { return last_checkpoint_seq_; }
   // True when no batch is open and no PUT is outstanding.
@@ -140,7 +147,9 @@ class BackendStore {
   void SealBatch(OpenBatch batch, bool from_gc,
                  std::vector<uint64_t> cleaned_seqs);
   void PumpPuts();
-  void OnPutComplete(uint64_t seq);
+  void OnPutComplete(uint64_t seq, Status s);
+  void ParkFailedPut(uint64_t seq);
+  void ScheduleDegradedProbe();
   void ApplyReady();
   void ApplyObjectExtents(uint64_t seq, const DataObjectHeader& header,
                           uint64_t payload_bytes);
@@ -178,6 +187,7 @@ class BackendStore {
   bool checkpoint_in_flight_ = false;
 
   bool gc_running_ = false;
+  bool degraded_ = false;
   // Victims whose live data sits in the open (unsealed) GC batch: excluded
   // from re-selection; removed when their deletion is processed.
   std::set<uint64_t> gc_pending_victims_;
@@ -191,6 +201,7 @@ class BackendStore {
   Counter* c_client_bytes_;
   Counter* c_coalesced_bytes_;
   Counter* c_objects_put_;
+  Counter* c_put_failures_;
   Counter* c_object_bytes_;
   Counter* c_payload_bytes_;
   Counter* c_gc_objects_cleaned_;

@@ -32,6 +32,23 @@ struct StageCosts {
   Nanos read_miss_golang = 34 * kMicrosecond;      // u: daemon work
 };
 
+// Retry/backoff policy for backend object operations. All delays are in
+// simulated time. An operation is attempted up to `max_attempts` times; the
+// k-th retry waits min(initial_backoff * 2^k, max_backoff) scaled by a
+// uniform jitter factor in [1-jitter, 1+jitter]. Attempts that produce no
+// response within `op_timeout` are treated as failed (the response, if it
+// ever arrives, is ignored). When a PUT exhausts its budget the store goes
+// degraded and probes the backend every `degraded_probe_interval`.
+struct BackendRetryPolicy {
+  int max_attempts = 5;
+  Nanos initial_backoff = 10 * kMillisecond;
+  Nanos max_backoff = 2 * kSecond;
+  double jitter = 0.25;
+  Nanos op_timeout = 30 * kSecond;
+  Nanos degraded_probe_interval = kSecond;
+  uint64_t seed = 0xBACC0FF;  // jitter RNG seed
+};
+
 struct LsvdConfig {
   std::string volume_name = "vol";
   uint64_t volume_size = 8 * kGiB;
@@ -71,6 +88,8 @@ struct LsvdConfig {
   bool pass_through_ssd = true;
 
   StageCosts costs;
+
+  BackendRetryPolicy retry;
 
   // Clone support (§3.6): objects with seq <= base_last_seq are read from
   // `base_image`'s object stream.
