@@ -1,0 +1,220 @@
+// FaultyObjectStore: each injection mode, pass-through behaviour, offline
+// mode, and determinism for a fixed seed.
+#include "src/objstore/faulty_object_store.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "src/objstore/mem_object_store.h"
+#include "src/sim/simulator.h"
+#include "src/util/buffer.h"
+
+namespace lsvd {
+namespace {
+
+Buffer Payload(uint64_t len) {
+  std::vector<uint8_t> bytes(len);
+  for (uint64_t i = 0; i < len; i++) {
+    bytes[i] = static_cast<uint8_t>(i * 131 + 7);
+  }
+  return Buffer::FromBytes(bytes);
+}
+
+Status PutSync(Simulator* sim, ObjectStore* store, const std::string& name,
+               Buffer data) {
+  std::optional<Status> result;
+  store->Put(name, std::move(data), [&](Status s) { result = s; });
+  while (!result.has_value() && sim->Step()) {
+  }
+  return result.value_or(Status::Unavailable("PUT never completed"));
+}
+
+Result<Buffer> GetSync(Simulator* sim, ObjectStore* store,
+                       const std::string& name) {
+  std::optional<Result<Buffer>> result;
+  store->Get(name, [&](Result<Buffer> r) { result = std::move(r); });
+  while (!result.has_value() && sim->Step()) {
+  }
+  if (!result.has_value()) {
+    return Status::Unavailable("GET never completed");
+  }
+  return std::move(*result);
+}
+
+Status DeleteSync(Simulator* sim, ObjectStore* store,
+                  const std::string& name) {
+  std::optional<Status> result;
+  store->Delete(name, [&](Status s) { result = s; });
+  while (!result.has_value() && sim->Step()) {
+  }
+  return result.value_or(Status::Unavailable("DELETE never completed"));
+}
+
+TEST(FaultyObjectStoreTest, CleanConfigPassesEverythingThrough) {
+  Simulator sim;
+  MemObjectStore inner(&sim);
+  FaultyObjectStore store(&inner, &sim, FaultInjectionConfig{});
+
+  ASSERT_TRUE(PutSync(&sim, &store, "a.1", Payload(4096)).ok());
+  auto r = GetSync(&sim, &store, "a.1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4096u);
+  EXPECT_EQ(store.List("a.").size(), 1u);
+  ASSERT_TRUE(store.Head("a.1").ok());
+  EXPECT_TRUE(DeleteSync(&sim, &store, "a.1").ok());
+  EXPECT_EQ(inner.object_count(), 0u);
+  EXPECT_EQ(store.fault_stats().put_errors, 0u);
+  EXPECT_EQ(store.fault_stats().get_errors, 0u);
+}
+
+TEST(FaultyObjectStoreTest, TransientPutErrors) {
+  Simulator sim;
+  MemObjectStore inner(&sim);
+  FaultInjectionConfig fc;
+  fc.seed = 11;
+  fc.put_error_p = 0.5;
+  FaultyObjectStore store(&inner, &sim, fc);
+
+  int failures = 0;
+  for (int i = 0; i < 100; i++) {
+    const Status s =
+        PutSync(&sim, &store, "obj." + std::to_string(i), Payload(512));
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+      failures++;
+      // A failed PUT must not create the object.
+      EXPECT_FALSE(store.Head("obj." + std::to_string(i)).ok());
+    }
+  }
+  EXPECT_GT(failures, 20);
+  EXPECT_LT(failures, 80);
+  EXPECT_EQ(store.fault_stats().put_errors, static_cast<uint64_t>(failures));
+}
+
+TEST(FaultyObjectStoreTest, TransientGetAndDeleteErrors) {
+  Simulator sim;
+  MemObjectStore inner(&sim);
+  FaultInjectionConfig fc;
+  fc.seed = 12;
+  fc.get_error_p = 0.5;
+  fc.delete_error_p = 0.5;
+  FaultyObjectStore store(&inner, &sim, fc);
+
+  ASSERT_TRUE(PutSync(&sim, &store, "x.1", Payload(4096)).ok());
+  int get_failures = 0;
+  for (int i = 0; i < 50; i++) {
+    auto r = GetSync(&sim, &store, "x.1");
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+      get_failures++;
+    } else {
+      EXPECT_EQ(r->size(), 4096u);
+    }
+  }
+  EXPECT_GT(get_failures, 10);
+  EXPECT_EQ(store.fault_stats().get_errors,
+            static_cast<uint64_t>(get_failures));
+
+  int delete_failures = 0;
+  for (int i = 0; i < 50; i++) {
+    if (!DeleteSync(&sim, &store, "x.1").ok()) {
+      delete_failures++;
+    }
+  }
+  EXPECT_GT(delete_failures, 10);
+  EXPECT_EQ(store.fault_stats().delete_errors,
+            static_cast<uint64_t>(delete_failures));
+}
+
+TEST(FaultyObjectStoreTest, TornPutLeavesTruncatedObject) {
+  Simulator sim;
+  MemObjectStore inner(&sim);
+  FaultInjectionConfig fc;
+  fc.seed = 13;
+  fc.torn_put_p = 1.0;
+  FaultyObjectStore store(&inner, &sim, fc);
+
+  const Status s = PutSync(&sim, &store, "t.1", Payload(8192));
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  // The torn object exists under the real name but is a strict prefix.
+  auto have = inner.Head("t.1");
+  ASSERT_TRUE(have.ok());
+  EXPECT_GT(*have, 0u);
+  EXPECT_LT(*have, 8192u);
+  auto full = Payload(8192).ToBytes();
+  auto torn = GetSync(&sim, &inner, "t.1");
+  ASSERT_TRUE(torn.ok());
+  auto torn_bytes = torn->ToBytes();
+  for (size_t i = 0; i < torn_bytes.size(); i++) {
+    ASSERT_EQ(torn_bytes[i], full[i]);
+  }
+  EXPECT_EQ(store.fault_stats().torn_puts, 1u);
+}
+
+TEST(FaultyObjectStoreTest, AddedLatencyIsWithinConfiguredRange) {
+  Simulator sim;
+  MemObjectStore inner(&sim);
+  FaultInjectionConfig fc;
+  fc.seed = 14;
+  fc.added_latency_min = 3 * kMillisecond;
+  fc.added_latency_max = 9 * kMillisecond;
+  FaultyObjectStore store(&inner, &sim, fc);
+
+  for (int i = 0; i < 20; i++) {
+    const Nanos before = sim.now();
+    ASSERT_TRUE(
+        PutSync(&sim, &store, "lat." + std::to_string(i), Payload(64)).ok());
+    const Nanos took = sim.now() - before;
+    EXPECT_GE(took, 3 * kMillisecond);
+    EXPECT_LE(took, 9 * kMillisecond);
+  }
+}
+
+TEST(FaultyObjectStoreTest, OfflineFailsDataPlaneButNotControlPlane) {
+  Simulator sim;
+  MemObjectStore inner(&sim);
+  FaultyObjectStore store(&inner, &sim, FaultInjectionConfig{});
+
+  ASSERT_TRUE(PutSync(&sim, &store, "o.1", Payload(1024)).ok());
+  store.set_offline(true);
+  EXPECT_EQ(PutSync(&sim, &store, "o.2", Payload(1024)).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(GetSync(&sim, &store, "o.1").status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(DeleteSync(&sim, &store, "o.1").code(),
+            StatusCode::kUnavailable);
+  // Control plane still answers.
+  EXPECT_EQ(store.List("o.").size(), 1u);
+  EXPECT_TRUE(store.Head("o.1").ok());
+
+  store.set_offline(false);
+  EXPECT_TRUE(PutSync(&sim, &store, "o.2", Payload(1024)).ok());
+  auto r = GetSync(&sim, &store, "o.1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1024u);
+}
+
+TEST(FaultyObjectStoreTest, SameSeedSameFaultSequence) {
+  auto run = [](uint64_t seed) {
+    Simulator sim;
+    MemObjectStore inner(&sim);
+    FaultInjectionConfig fc;
+    fc.seed = seed;
+    fc.put_error_p = 0.3;
+    FaultyObjectStore store(&inner, &sim, fc);
+    std::vector<bool> outcome;
+    for (int i = 0; i < 64; i++) {
+      outcome.push_back(
+          PutSync(&sim, &store, "d." + std::to_string(i), Buffer::Zeros(64))
+              .ok());
+    }
+    return outcome;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace lsvd
