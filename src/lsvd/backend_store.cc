@@ -18,7 +18,8 @@ constexpr uint64_t kHeaderReadWindow = 256 * kKiB;
 BackendStore::BackendStore(ClientHost* host, ObjectStore* store,
                            WriteCache* cache, const LsvdConfig& config,
                            MetricsRegistry* metrics, const std::string& prefix)
-    : host_(host), store_(store), cache_(cache), config_(config) {
+    : host_(host), store_(store), cache_(cache), config_(config),
+      retry_rng_(config.retry.seed) {
   next_seq_ = config_.base_last_seq + 1;
   applied_seq_ = config_.base_last_seq;
   last_checkpoint_seq_ = config_.base_last_seq;
@@ -31,9 +32,6 @@ BackendStore::BackendStore(ClientHost* host, ObjectStore* store,
   c_client_bytes_ = metrics_->GetCounter(prefix + ".client_bytes");
   c_coalesced_bytes_ = metrics_->GetCounter(prefix + ".coalesced_bytes");
   c_objects_put_ = metrics_->GetCounter(prefix + ".objects_put");
-  c_put_failures_ = metrics_->GetCounter(prefix + ".put_failures");
-  metrics_->RegisterCallback(prefix + ".degraded",
-                             [this] { return degraded_ ? 1.0 : 0.0; });
   c_object_bytes_ = metrics_->GetCounter(prefix + ".object_bytes");
   c_payload_bytes_ = metrics_->GetCounter(prefix + ".payload_bytes");
   c_gc_objects_cleaned_ = metrics_->GetCounter(prefix + ".gc.objects_cleaned");
@@ -42,6 +40,11 @@ BackendStore::BackendStore(ClientHost* host, ObjectStore* store,
   c_objects_deleted_ = metrics_->GetCounter(prefix + ".objects_deleted");
   c_checkpoints_ = metrics_->GetCounter(prefix + ".checkpoints");
   c_deferred_deletes_ = metrics_->GetCounter(prefix + ".deferred_deletes");
+  c_put_failures_ = metrics_->GetCounter(prefix + ".put_failures");
+  c_retries_ = metrics_->GetCounter(prefix + ".retries");
+  c_timeouts_ = metrics_->GetCounter(prefix + ".timeouts");
+  metrics_->RegisterCallback(prefix + ".degraded",
+                             [this] { return degraded_ ? 1.0 : 0.0; });
   h_open_to_seal_us_ = metrics_->GetHistogram(prefix + ".batch.open_to_seal_us");
   h_seal_to_commit_us_ =
       metrics_->GetHistogram(prefix + ".batch.seal_to_commit_us");
@@ -72,6 +75,8 @@ BackendStoreStats BackendStore::stats() const {
   s.checkpoints = c_checkpoints_->value();
   s.deferred_deletes = c_deferred_deletes_->value();
   s.put_failures = c_put_failures_->value();
+  s.retries = c_retries_->value();
+  s.timeouts = c_timeouts_->value();
   return s;
 }
 
@@ -205,6 +210,173 @@ void BackendStore::SealBatch(OpenBatch batch, bool from_gc,
   PumpPuts();
 }
 
+Nanos BackendStore::RetryBackoff(int attempt) {
+  const BackendRetryPolicy& p = config_.retry;
+  double backoff = static_cast<double>(p.initial_backoff);
+  for (int i = 1; i < attempt &&
+                  backoff < static_cast<double>(p.max_backoff); i++) {
+    backoff *= 2.0;
+  }
+  backoff = std::min(backoff, static_cast<double>(p.max_backoff));
+  const double factor =
+      1.0 + p.jitter * (2.0 * retry_rng_.NextDouble() - 1.0);
+  return static_cast<Nanos>(std::max(0.0, backoff * factor));
+}
+
+void BackendStore::PutWithRetry(std::string name, Buffer object,
+                                std::function<void(Status)> done) {
+  auto op = std::make_shared<PutRetryState>();
+  op->name = std::move(name);
+  op->object = std::move(object);
+  op->done = std::move(done);
+  StartPutAttempt(std::move(op));
+}
+
+void BackendStore::StartPutAttempt(std::shared_ptr<PutRetryState> op) {
+  if (op->attempt > 0) {
+    // A previous attempt may have landed after its timeout: objects are
+    // immutable, so blindly re-PUTting an existing name fails. Head is the
+    // (reliable) control plane: a size match means the object is complete
+    // and the PUT already succeeded; a mismatch is a torn object that must
+    // be deleted and re-uploaded.
+    auto existing = store_->Head(op->name);
+    if (existing.ok()) {
+      if (*existing == op->object.size()) {
+        op->done(Status::Ok());
+        return;
+      }
+      auto alive = alive_;
+      store_->Delete(op->name, [this, alive, op](Status) {
+        if (!*alive) {
+          return;
+        }
+        // If the delete itself failed, the re-PUT fails on the existing
+        // name and comes back through the retry loop.
+        RawPutAttempt(op);
+      });
+      return;
+    }
+  }
+  RawPutAttempt(std::move(op));
+}
+
+void BackendStore::RawPutAttempt(std::shared_ptr<PutRetryState> op) {
+  auto alive = alive_;
+  auto settled = std::make_shared<bool>(false);
+  if (config_.retry.op_timeout > 0) {
+    host_->sim()->After(config_.retry.op_timeout,
+                        [this, alive, settled, op]() {
+      if (!*alive || *settled) {
+        return;
+      }
+      *settled = true;
+      c_timeouts_->Inc();
+      OnPutAttemptFailed(op, Status::Unavailable("backend PUT timed out"));
+    });
+  }
+  store_->Put(op->name, op->object, [this, alive, settled, op](Status s) {
+    if (!*alive || *settled) {
+      return;
+    }
+    *settled = true;
+    if (s.ok()) {
+      op->done(Status::Ok());
+      return;
+    }
+    OnPutAttemptFailed(op, std::move(s));
+  });
+}
+
+void BackendStore::OnPutAttemptFailed(std::shared_ptr<PutRetryState> op,
+                                      Status s) {
+  op->attempt++;
+  if (op->attempt >= config_.retry.max_attempts) {
+    op->done(std::move(s));
+    return;
+  }
+  c_retries_->Inc();
+  auto alive = alive_;
+  host_->sim()->After(RetryBackoff(op->attempt), [this, alive, op]() {
+    if (!*alive) {
+      return;
+    }
+    StartPutAttempt(op);
+  });
+}
+
+void BackendStore::GetRangeWithRetry(
+    std::string name, uint64_t offset, uint64_t len,
+    std::function<void(Result<Buffer>)> done) {
+  auto op = std::make_shared<GetRetryState>();
+  op->name = std::move(name);
+  op->offset = offset;
+  op->len = len;
+  op->done = std::move(done);
+  StartGetAttempt(std::move(op));
+}
+
+void BackendStore::StartGetAttempt(std::shared_ptr<GetRetryState> op) {
+  auto alive = alive_;
+  auto settled = std::make_shared<bool>(false);
+  if (config_.retry.op_timeout > 0) {
+    host_->sim()->After(config_.retry.op_timeout,
+                        [this, alive, settled, op]() {
+      if (!*alive || *settled) {
+        return;
+      }
+      *settled = true;
+      c_timeouts_->Inc();
+      OnGetAttemptFailed(op, Status::Unavailable("backend GET timed out"));
+    });
+  }
+  store_->GetRange(op->name, op->offset, op->len,
+                   [this, alive, settled, op](Result<Buffer> r) {
+    if (!*alive || *settled) {
+      return;
+    }
+    *settled = true;
+    if (r.ok() || r.status().code() != StatusCode::kUnavailable) {
+      op->done(std::move(r));
+      return;
+    }
+    OnGetAttemptFailed(op, r.status());
+  });
+}
+
+void BackendStore::OnGetAttemptFailed(std::shared_ptr<GetRetryState> op,
+                                      Status s) {
+  op->attempt++;
+  if (op->attempt >= config_.retry.max_attempts) {
+    op->done(std::move(s));
+    return;
+  }
+  c_retries_->Inc();
+  auto alive = alive_;
+  host_->sim()->After(RetryBackoff(op->attempt), [this, alive, op]() {
+    if (!*alive) {
+      return;
+    }
+    StartGetAttempt(op);
+  });
+}
+
+void BackendStore::DeleteWithRetry(const std::string& name, int attempt) {
+  auto alive = alive_;
+  store_->Delete(name, [this, alive, name, attempt](Status s) {
+    if (!*alive || s.ok() || attempt + 1 >= config_.retry.max_attempts) {
+      return;
+    }
+    c_retries_->Inc();
+    host_->sim()->After(RetryBackoff(attempt + 1), [this, alive = alive_,
+                                                    name, attempt]() {
+      if (!*alive) {
+        return;
+      }
+      DeleteWithRetry(name, attempt + 1);
+    });
+  });
+}
+
 void BackendStore::PumpPuts() {
   while (!degraded_ && outstanding_puts_ < config_.put_window &&
          !put_queue_.empty()) {
@@ -229,8 +401,8 @@ void BackendStore::PumpPuts() {
         }
         c_objects_put_->Inc();
         c_object_bytes_->Inc(object.size());
-        store_->Put(NameForSeq(seq), std::move(object),
-                    [this, alive, seq](Status s) {
+        PutWithRetry(NameForSeq(seq), std::move(object),
+                     [this, alive, seq](Status s) {
           if (!*alive) {
             return;
           }
@@ -264,21 +436,6 @@ void BackendStore::PumpPuts() {
       after_barrier();
     }
   }
-}
-
-void BackendStore::OnPutComplete(uint64_t seq, Status s) {
-  outstanding_puts_--;
-  if (!s.ok()) {
-    ParkFailedPut(seq);
-    return;
-  }
-  auto it = in_flight_.find(seq);
-  assert(it != in_flight_.end());
-  c_payload_bytes_->Inc(it->second.payload_bytes);
-  completed_.insert({seq, std::move(it->second)});
-  in_flight_.erase(it);
-  ApplyReady();
-  PumpPuts();
 }
 
 // A failed PUT must not lose its batch: write-cache records are only
@@ -318,6 +475,21 @@ void BackendStore::ScheduleDegradedProbe() {
     degraded_ = false;
     PumpPuts();
   });
+}
+
+void BackendStore::OnPutComplete(uint64_t seq, Status s) {
+  outstanding_puts_--;
+  if (!s.ok()) {
+    ParkFailedPut(seq);
+    return;
+  }
+  auto it = in_flight_.find(seq);
+  assert(it != in_flight_.end());
+  c_payload_bytes_->Inc(it->second.payload_bytes);
+  completed_.insert({seq, std::move(it->second)});
+  in_flight_.erase(it);
+  ApplyReady();
+  PumpPuts();
 }
 
 void BackendStore::ApplyReady() {
@@ -462,9 +634,18 @@ void BackendStore::CleanOneObject(uint64_t victim) {
   }
   auto alive = alive_;
   const uint64_t window = std::min(*size, kHeaderReadWindow);
-  store_->GetRange(name, 0, window,
-                   [this, alive, victim, name](Result<Buffer> r) {
+  GetRangeWithRetry(name, 0, window,
+                    [this, alive, victim, name](Result<Buffer> r) {
     if (!*alive) {
+      return;
+    }
+    if (!r.ok() && r.status().code() == StatusCode::kUnavailable) {
+      // Backend unreachable even after retries: abort the round without
+      // touching the victim (its data is still live) and without re-picking
+      // a victim, which would spin while the backend is down. The next
+      // apply re-triggers GC.
+      gc_pending_victims_.erase(victim);
+      gc_running_ = false;
       return;
     }
     DataObjectHeader header;
@@ -544,7 +725,8 @@ void BackendStore::CleanOneObject(uint64_t victim) {
     // covers the range (§3.5 optimization), otherwise a backend range read —
     // and append it to the GC batch.
     auto remaining = std::make_shared<size_t>(pieces->size());
-    auto finish_piece = [this, alive, victim, remaining](
+    auto failed = std::make_shared<bool>(false);
+    auto finish_piece = [this, alive, victim, remaining, failed](
                             const LivePiece& piece, Result<Buffer> data) {
       if (!*alive) {
         return;
@@ -559,8 +741,21 @@ void BackendStore::CleanOneObject(uint64_t victim) {
         gc_batch_->entries.push_back(
             BatchEntry{piece.vlba, std::move(data).value(), piece.src});
         c_gc_bytes_moved_->Inc(piece.len);
+      } else {
+        *failed = true;
       }
       if (--*remaining == 0) {
+        if (*failed) {
+          // Some live data could not be read even after retries. The victim
+          // must survive: it keeps its map entries, so nothing is lost, and
+          // it stays eligible once the backend recovers. Pieces that did
+          // land in the GC batch are conditional copies — duplicating them
+          // later is safe. End the round instead of re-picking, which would
+          // spin against a down backend.
+          gc_pending_victims_.erase(victim);
+          gc_running_ = false;
+          return;
+        }
         c_gc_objects_cleaned_->Inc();
         gc_batch_cleaned_.push_back(victim);
         if (gc_batch_.has_value() &&
@@ -617,9 +812,9 @@ void BackendStore::CleanOneObject(uint64_t victim) {
       } else {
         // Plugged pieces may live in other objects; fetch from wherever the
         // map says the data is.
-        store_->GetRange(NameForSeq(piece.src.seq), piece.src.offset,
-                         piece.len,
-                         [piece, finish_piece](Result<Buffer> r) {
+        GetRangeWithRetry(NameForSeq(piece.src.seq), piece.src.offset,
+                          piece.len,
+                          [piece, finish_piece](Result<Buffer> r) {
           finish_piece(piece, std::move(r));
         });
       }
@@ -666,8 +861,7 @@ void BackendStore::ProcessDelete(uint64_t seq) {
     return;
   }
   c_objects_deleted_->Inc();
-  auto alive = alive_;
-  store_->Delete(NameForSeq(seq), [alive](Status) {});
+  DeleteWithRetry(NameForSeq(seq));
 }
 
 void BackendStore::ReexamineDeferred() {
@@ -684,8 +878,7 @@ void BackendStore::ReexamineDeferred() {
       still_deferred.push_back(d);
     } else {
       c_objects_deleted_->Inc();
-      auto alive = alive_;
-      store_->Delete(NameForSeq(d.seq), [alive](Status) {});
+      DeleteWithRetry(NameForSeq(d.seq));
     }
   }
   deferred_deletes_ = std::move(still_deferred);
@@ -744,8 +937,8 @@ void BackendStore::WriteCheckpoint(std::function<void(Status)> done) {
       CheckpointObjectName(config_.volume_name, ckpt_id);
   const uint64_t through = state.through_seq;
   auto alive = alive_;
-  store_->Put(name, EncodeCheckpoint(state),
-              [this, alive, through, done = std::move(done)](Status s) {
+  PutWithRetry(name, EncodeCheckpoint(state),
+               [this, alive, through, done = std::move(done)](Status s) {
     if (!*alive) {
       return;
     }
@@ -760,7 +953,7 @@ void BackendStore::WriteCheckpoint(std::function<void(Status)> done) {
     // Keep only the two newest checkpoints.
     auto names = store_->List(CheckpointPrefix(config_.volume_name));
     while (names.size() > 2) {
-      store_->Delete(names.front(), [](Status) {});
+      DeleteWithRetry(names.front());
       names.erase(names.begin());
     }
     done(Status::Ok());
@@ -803,9 +996,21 @@ void BackendStore::Recover(std::function<void(Status)> done) {
       return;
     }
     const std::string name = ckpts[ckpts.size() - 1 - back_index];
-    store_->Get(name, [this, alive, name, back_index, try_ckpt,
-                       after_ckpt](Result<Buffer> r) {
+    const auto size = store_->Head(name);
+    if (!size.ok()) {
+      (*try_ckpt)(back_index + 1);
+      return;
+    }
+    GetRangeWithRetry(name, 0, *size,
+                      [this, alive, name, back_index, try_ckpt, after_ckpt,
+                       done](Result<Buffer> r) {
       if (!*alive) {
+        return;
+      }
+      if (!r.ok() && r.status().code() == StatusCode::kUnavailable) {
+        // Transient: falling back to an older checkpoint here could replay
+        // across a GC hole; report the failure and let the caller re-open.
+        done(r.status());
         return;
       }
       CheckpointState state;
@@ -862,7 +1067,21 @@ void BackendStore::Recover(std::function<void(Status)> done) {
 
     // 3. Replay the consecutive run after the checkpoint, in order.
     auto replay = std::make_shared<std::function<void()>>();
-    *replay = [this, alive, seqs, replay, done]() {
+    // 4. End of the consecutive prefix: delete stranded own objects and fix
+    // up counters. Snapshot mounts are read-only views and must not delete
+    // anything belonging to the live volume.
+    auto finish = [this, seqs, done]() {
+      if (config_.open_limit_seq == 0) {
+        for (const uint64_t s : *seqs) {
+          if (s > applied_seq_ && s > config_.base_last_seq) {
+            DeleteWithRetry(NameForSeq(s));
+          }
+        }
+      }
+      next_seq_ = std::max(applied_seq_, config_.base_last_seq) + 1;
+      done(Status::Ok());
+    };
+    *replay = [this, alive, seqs, replay, finish, done]() {
       if (!*alive) {
         return;
       }
@@ -870,18 +1089,7 @@ void BackendStore::Recover(std::function<void(Status)> done) {
       const bool past_limit =
           config_.open_limit_seq != 0 && want > config_.open_limit_seq;
       if (past_limit || !seqs->contains(want)) {
-        // 4. End of the consecutive prefix: delete stranded own objects and
-        // fix up counters. Snapshot mounts are read-only views and must not
-        // delete anything belonging to the live volume.
-        if (config_.open_limit_seq == 0) {
-          for (const uint64_t s : *seqs) {
-            if (s > applied_seq_ && s > config_.base_last_seq) {
-              store_->Delete(NameForSeq(s), [](Status) {});
-            }
-          }
-        }
-        next_seq_ = std::max(applied_seq_, config_.base_last_seq) + 1;
-        done(Status::Ok());
+        finish();
         return;
       }
       const std::string name = NameForSeq(want);
@@ -892,15 +1100,34 @@ void BackendStore::Recover(std::function<void(Status)> done) {
       }
       const uint64_t window = std::min(*size, kHeaderReadWindow);
       const uint64_t object_size = *size;
-      store_->GetRange(name, 0, window,
-                       [this, alive, want, object_size, replay,
-                        done](Result<Buffer> r) {
+      GetRangeWithRetry(name, 0, window,
+                        [this, alive, want, object_size, replay, finish,
+                         done](Result<Buffer> r) {
         if (!*alive) {
           return;
         }
+        if (!r.ok() && r.status().code() == StatusCode::kUnavailable) {
+          // Transient even after retries: stopping the prefix here would
+          // silently truncate the volume, so surface the error instead.
+          done(r.status());
+          return;
+        }
         DataObjectHeader header;
-        if (!r.ok() || !DecodeDataObjectHeader(*r, &header).ok()) {
-          done(Status::Corruption("unreadable data object during replay"));
+        const bool decoded =
+            r.ok() && DecodeDataObjectHeader(*r, &header).ok();
+        uint64_t extent_sum = 0;
+        if (decoded) {
+          for (const auto& ext : header.extents) {
+            extent_sum += ext.len;
+          }
+        }
+        if (!decoded || object_size < header.data_offset ||
+            extent_sum != object_size - header.data_offset) {
+          // A torn or corrupt object ends the log: it was never applied, so
+          // the write cache still holds every write it contained (records
+          // are only released after commit) and rewind-and-replay re-sends
+          // them (§3.3). Treat it like a gap — stop the prefix here.
+          finish();
           return;
         }
         ApplyObjectExtents(want, header, object_size - header.data_offset);
@@ -917,8 +1144,8 @@ void BackendStore::Recover(std::function<void(Status)> done) {
 void BackendStore::Fetch(ObjTarget target, uint64_t len,
                          std::function<void(Result<Buffer>)> done) {
   auto alive = alive_;
-  store_->GetRange(NameForSeq(target.seq), target.offset, len,
-                   [alive, done = std::move(done)](Result<Buffer> r) {
+  GetRangeWithRetry(NameForSeq(target.seq), target.offset, len,
+                    [alive, done = std::move(done)](Result<Buffer> r) {
     if (!*alive) {
       return;
     }

@@ -31,6 +31,7 @@
 #include "src/lsvd/write_cache.h"
 #include "src/objstore/object_store.h"
 #include "src/util/metrics.h"
+#include "src/util/rng.h"
 
 namespace lsvd {
 
@@ -49,7 +50,9 @@ struct BackendStoreStats {
   uint64_t objects_deleted = 0;
   uint64_t checkpoints = 0;
   uint64_t deferred_deletes = 0;
-  uint64_t put_failures = 0;      // failed backend PUTs (batch parked, not lost)
+  uint64_t put_failures = 0;      // PUTs that exhausted their retry budget
+  uint64_t retries = 0;           // backend op attempts after the first
+  uint64_t timeouts = 0;          // attempts abandoned by the op timeout
 };
 
 class BackendStore {
@@ -102,14 +105,13 @@ class BackendStore {
   void Recover(std::function<void(Status)> done);
 
   uint64_t applied_seq() const { return applied_seq_; }
-
-  // True while the store has given up on the backend (a PUT failed): sealed
-  // batches are parked in the queue — the write cache keeps their data, so
-  // correctness is preserved — and only a periodic probe PUT tests whether
-  // the backend came back.
-  bool degraded() const { return degraded_; }
   uint64_t next_seq() const { return next_seq_; }
   uint64_t last_checkpoint_seq() const { return last_checkpoint_seq_; }
+  // True while the store has given up on the backend (a PUT exhausted its
+  // retry budget): sealed batches are parked in the queue — the write cache
+  // keeps their data, so correctness is preserved — and only a periodic
+  // probe PUT tests whether the backend came back.
+  bool degraded() const { return degraded_; }
   // True when no batch is open and no PUT is outstanding.
   bool idle() const;
   BackendStoreStats stats() const;
@@ -143,12 +145,47 @@ class BackendStore {
     Nanos sealed_at = -1;   // for the seal -> commit lifecycle histogram
   };
 
+  // Retry state for one logical backend PUT/GET; lives on the heap across
+  // attempts, backoff sleeps, and timeout races.
+  struct PutRetryState {
+    std::string name;
+    Buffer object;
+    int attempt = 0;
+    std::function<void(Status)> done;
+  };
+  struct GetRetryState {
+    std::string name;
+    uint64_t offset = 0;
+    uint64_t len = 0;
+    int attempt = 0;
+    std::function<void(Result<Buffer>)> done;
+  };
+
   uint64_t OpenBatchSeq();
   void SealBatch(OpenBatch batch, bool from_gc,
                  std::vector<uint64_t> cleaned_seqs);
   void PumpPuts();
   void OnPutComplete(uint64_t seq, Status s);
   void ParkFailedPut(uint64_t seq);
+  // Backoff delay before retry number `attempt` (>= 1), with jitter.
+  Nanos RetryBackoff(int attempt);
+  // PUT with timeout, bounded retries, and torn-object healing: a retry that
+  // finds `name` already existing treats a size match as success (a prior
+  // attempt landed after its timeout) and deletes + re-uploads on mismatch.
+  void PutWithRetry(std::string name, Buffer object,
+                    std::function<void(Status)> done);
+  void StartPutAttempt(std::shared_ptr<PutRetryState> op);
+  void RawPutAttempt(std::shared_ptr<PutRetryState> op);
+  void OnPutAttemptFailed(std::shared_ptr<PutRetryState> op, Status s);
+  // Range GET with timeout and bounded retries on Unavailable; other errors
+  // (NotFound, OutOfRange, Corruption) are permanent and pass through.
+  void GetRangeWithRetry(std::string name, uint64_t offset, uint64_t len,
+                         std::function<void(Result<Buffer>)> done);
+  void StartGetAttempt(std::shared_ptr<GetRetryState> op);
+  void OnGetAttemptFailed(std::shared_ptr<GetRetryState> op, Status s);
+  // Fire-and-forget DELETE with bounded retries; a final failure only
+  // leaves garbage behind.
+  void DeleteWithRetry(const std::string& name, int attempt = 0);
   void ScheduleDegradedProbe();
   void ApplyReady();
   void ApplyObjectExtents(uint64_t seq, const DataObjectHeader& header,
@@ -178,6 +215,8 @@ class BackendStore {
   std::map<uint64_t, SealedObject> in_flight_;  // seq -> awaiting ack
   std::map<uint64_t, SealedObject> completed_;  // acked, awaiting in-order apply
   int outstanding_puts_ = 0;
+  bool degraded_ = false;
+  Rng retry_rng_;
 
   uint64_t next_seq_ = 1;
   uint64_t applied_seq_ = 0;
@@ -187,7 +226,6 @@ class BackendStore {
   bool checkpoint_in_flight_ = false;
 
   bool gc_running_ = false;
-  bool degraded_ = false;
   // Victims whose live data sits in the open (unsealed) GC batch: excluded
   // from re-selection; removed when their deletion is processed.
   std::set<uint64_t> gc_pending_victims_;
@@ -201,7 +239,6 @@ class BackendStore {
   Counter* c_client_bytes_;
   Counter* c_coalesced_bytes_;
   Counter* c_objects_put_;
-  Counter* c_put_failures_;
   Counter* c_object_bytes_;
   Counter* c_payload_bytes_;
   Counter* c_gc_objects_cleaned_;
@@ -210,6 +247,9 @@ class BackendStore {
   Counter* c_objects_deleted_;
   Counter* c_checkpoints_;
   Counter* c_deferred_deletes_;
+  Counter* c_put_failures_;
+  Counter* c_retries_;
+  Counter* c_timeouts_;
   // Write-lifecycle stages downstream of the journal ack: batch open ->
   // seal, and seal -> applied to the object map (commit).
   Histogram* h_open_to_seal_us_;

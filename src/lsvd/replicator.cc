@@ -1,5 +1,6 @@
 #include "src/lsvd/replicator.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace lsvd {
@@ -8,7 +9,7 @@ Replicator::Replicator(Simulator* sim, ObjectStore* primary,
                        ObjectStore* replica, ReplicatorConfig config,
                        MetricsRegistry* metrics, const std::string& prefix)
     : sim_(sim), primary_(primary), replica_(replica),
-      config_(std::move(config)) {
+      config_(std::move(config)), retry_rng_(config_.retry_seed) {
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<MetricsRegistry>();
     metrics = owned_metrics_.get();
@@ -18,6 +19,8 @@ Replicator::Replicator(Simulator* sim, ObjectStore* primary,
   c_bytes_copied_ = metrics_->GetCounter(prefix + ".bytes_copied");
   c_objects_skipped_deleted_ =
       metrics_->GetCounter(prefix + ".objects_skipped_deleted");
+  c_retries_ = metrics_->GetCounter(prefix + ".retries");
+  c_copy_failures_ = metrics_->GetCounter(prefix + ".copy_failures");
   h_copy_lag_us_ = metrics_->GetHistogram(prefix + ".copy_lag_us");
   metrics_->RegisterCallback(prefix + ".tracked_objects", [this] {
     return static_cast<double>(first_seen_.size());
@@ -29,6 +32,8 @@ ReplicatorStats Replicator::stats() const {
   s.objects_copied = c_objects_copied_->value();
   s.bytes_copied = c_bytes_copied_->value();
   s.objects_skipped_deleted = c_objects_skipped_deleted_->value();
+  s.retries = c_retries_->value();
+  s.copy_failures = c_copy_failures_->value();
   return s;
 }
 
@@ -94,34 +99,91 @@ void Replicator::PollOnce(std::function<void()> done) {
   };
   for (const auto& name : to_copy) {
     copied_.insert(name);
-    primary_->Get(name, [this, alive, name, one_done](Result<Buffer> r) {
+    CopyObject(name, 0, one_done);
+  }
+}
+
+Nanos Replicator::RetryBackoff(int attempt) {
+  double backoff = static_cast<double>(config_.initial_backoff);
+  for (int i = 1; i < attempt &&
+                  backoff < static_cast<double>(config_.max_backoff); i++) {
+    backoff *= 2.0;
+  }
+  backoff = std::min(backoff, static_cast<double>(config_.max_backoff));
+  const double factor =
+      1.0 + config_.jitter * (2.0 * retry_rng_.NextDouble() - 1.0);
+  return static_cast<Nanos>(std::max(0.0, backoff * factor));
+}
+
+void Replicator::CopyObject(const std::string& name, int attempt,
+                            std::function<void()> done) {
+  auto alive = alive_;
+  auto retry = [this, alive, name, attempt, done]() {
+    if (attempt + 1 >= config_.max_attempts) {
+      // Out of budget: forget the object so a later poll starts over
+      // (leaving it in copied_ would silently drop it from the replica
+      // forever).
+      c_copy_failures_->Inc();
+      copied_.erase(name);
+      done();
+      return;
+    }
+    c_retries_->Inc();
+    sim_->After(RetryBackoff(attempt + 1), [this, alive, name, attempt,
+                                            done]() {
       if (!*alive) {
         return;
       }
-      if (!r.ok()) {
+      CopyObject(name, attempt + 1, done);
+    });
+  };
+  primary_->Get(name, [this, alive, name, retry,
+                       done](Result<Buffer> r) {
+    if (!*alive) {
+      return;
+    }
+    if (!r.ok()) {
+      if (r.status().code() == StatusCode::kNotFound) {
         // Garbage collection deleted the object before we aged it in.
         c_objects_skipped_deleted_->Inc();
         copied_.erase(name);
-        one_done();
+        first_seen_.erase(name);
+        done();
         return;
       }
-      const uint64_t size = r->size();
-      const auto seen = first_seen_.find(name);
-      const Nanos seen_at = seen != first_seen_.end() ? seen->second : 0;
-      replica_->Put(name, std::move(r).value(),
-                    [this, alive, size, seen_at, one_done](Status s) {
-        if (!*alive) {
-          return;
+      retry();
+      return;
+    }
+    const uint64_t size = r->size();
+    const auto seen = first_seen_.find(name);
+    const Nanos seen_at = seen != first_seen_.end() ? seen->second : 0;
+    replica_->Put(name, std::move(r).value(),
+                  [this, alive, name, size, seen_at, retry, done](Status s) {
+      if (!*alive) {
+        return;
+      }
+      bool complete = s.ok();
+      if (!complete && s.code() == StatusCode::kInvalidArgument) {
+        // The name already exists on the replica: a previous attempt's PUT
+        // landed without us seeing the ack. A full-size copy is a success; a
+        // short one is torn — delete it and go around again.
+        const auto have = replica_->Head(name);
+        if (have.ok() && *have == size) {
+          complete = true;
+        } else {
+          replica_->Delete(name, [](Status) {});
         }
-        if (s.ok()) {
-          c_objects_copied_->Inc();
-          c_bytes_copied_->Inc(size);
-          RecordLatencyUs(h_copy_lag_us_, sim_->now() - seen_at);
-        }
-        one_done();
-      });
+      }
+      if (complete) {
+        c_objects_copied_->Inc();
+        c_bytes_copied_->Inc(size);
+        RecordLatencyUs(h_copy_lag_us_, sim_->now() - seen_at);
+        done();
+        return;
+      }
+      retry();
     });
-  }
+  });
 }
 
 }  // namespace lsvd

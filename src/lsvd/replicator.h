@@ -20,6 +20,7 @@
 #include "src/objstore/object_store.h"
 #include "src/sim/simulator.h"
 #include "src/util/metrics.h"
+#include "src/util/rng.h"
 #include "src/util/units.h"
 
 namespace lsvd {
@@ -28,12 +29,22 @@ struct ReplicatorConfig {
   std::string volume_name = "vol";
   Nanos min_age = 60 * kSecond;        // copy objects older than this
   Nanos poll_interval = 5 * kSecond;
+  // Per-object retry budget for transient primary GETs / replica PUTs,
+  // with exponential backoff and jitter (cf. BackendRetryPolicy). An object
+  // whose budget is exhausted is retried from scratch on a later poll.
+  int max_attempts = 5;
+  Nanos initial_backoff = 10 * kMillisecond;
+  Nanos max_backoff = 2 * kSecond;
+  double jitter = 0.25;
+  uint64_t retry_seed = 0x5EED;
 };
 
 struct ReplicatorStats {
   uint64_t objects_copied = 0;
   uint64_t bytes_copied = 0;
   uint64_t objects_skipped_deleted = 0;  // GC won the race
+  uint64_t retries = 0;
+  uint64_t copy_failures = 0;  // copies that exhausted their retry budget
 };
 
 class Replicator {
@@ -55,6 +66,11 @@ class Replicator {
 
  private:
   void ScheduleNext();
+  Nanos RetryBackoff(int attempt);
+  // One object's GET-then-PUT with per-stage retries; always calls `done`
+  // exactly once.
+  void CopyObject(const std::string& name, int attempt,
+                  std::function<void()> done);
 
   Simulator* sim_;
   ObjectStore* primary_;
@@ -62,6 +78,7 @@ class Replicator {
   ReplicatorConfig config_;
   std::map<std::string, Nanos> first_seen_;
   std::set<std::string> copied_;
+  Rng retry_rng_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   std::unique_ptr<MetricsRegistry> owned_metrics_;
@@ -69,6 +86,8 @@ class Replicator {
   Counter* c_objects_copied_;
   Counter* c_bytes_copied_;
   Counter* c_objects_skipped_deleted_;
+  Counter* c_retries_;
+  Counter* c_copy_failures_;
   // Object creation (first seen by the poller) -> copy committed to the
   // replica; bounded below by min_age.
   Histogram* h_copy_lag_us_;

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "src/lsvd/backend_store.h"
+#include "src/objstore/faulty_object_store.h"
 #include "tests/lsvd_test_util.h"
 
 namespace lsvd {
@@ -427,6 +428,106 @@ TEST_F(BackendGcTest, DeleteUnknownSnapshotFails) {
   store_->DeleteSnapshot(999, [&](Status st) { s = st; });
   Run();
   EXPECT_EQ(s->code(), StatusCode::kNotFound);
+}
+
+// --- retry/backoff and degraded mode against a faulty backend ---
+
+LsvdConfig FaultTestConfig() {
+  LsvdConfig c = TestWorld::SmallVolumeConfig();
+  c.batch_bytes = 64 * kKiB;
+  c.gc_enabled = false;
+  c.retry.initial_backoff = kMillisecond;
+  c.retry.max_backoff = 8 * kMillisecond;
+  c.retry.degraded_probe_interval = 100 * kMillisecond;
+  return c;
+}
+
+TEST(BackendStoreFaultTest, TransientPutFaultsAreAbsorbedByRetries) {
+  TestWorld world;
+  FaultInjectionConfig fc;
+  fc.seed = 21;
+  fc.put_error_p = 0.10;
+  FaultyObjectStore faulty(&world.store, &world.sim, fc);
+  BackendStore store(&world.host, &faulty, nullptr, FaultTestConfig());
+
+  uint64_t last_seq = 0;
+  for (int i = 0; i < 30; i++) {
+    last_seq = store.AddWrite(static_cast<uint64_t>(i) * 64 * kKiB,
+                              TestPattern(64 * kKiB, 500 + i));
+  }
+  store.Seal();
+  world.sim.Run();
+
+  EXPECT_EQ(store.applied_seq(), last_seq);
+  EXPECT_FALSE(store.degraded());
+  EXPECT_GT(faulty.fault_stats().put_errors, 0u);
+  EXPECT_GT(store.stats().retries, 0u);
+  EXPECT_EQ(store.stats().put_failures, 0u);
+  // Every batch made it to the backend intact.
+  for (uint64_t seq = 1; seq <= last_seq; seq++) {
+    EXPECT_TRUE(world.store.Head(store.NameForSeq(seq)).ok()) << seq;
+  }
+}
+
+TEST(BackendStoreFaultTest, OfflineBackendParksBatchesThenProbeRecovers) {
+  TestWorld world;
+  FaultyObjectStore faulty(&world.store, &world.sim, FaultInjectionConfig{});
+  BackendStore store(&world.host, &faulty, nullptr, FaultTestConfig());
+
+  faulty.set_offline(true);
+  const uint64_t seq = store.AddWrite(0, TestPattern(64 * kKiB, 1));
+  world.sim.RunUntil(world.sim.now() + kSecond);
+
+  EXPECT_TRUE(store.degraded());
+  EXPECT_EQ(store.applied_seq(), 0u);
+  EXPECT_GE(store.stats().put_failures, 1u);
+  EXPECT_GT(store.stats().retries, 0u);
+
+  faulty.set_offline(false);
+  world.sim.Run();
+  EXPECT_FALSE(store.degraded());
+  EXPECT_EQ(store.applied_seq(), seq);
+  EXPECT_TRUE(world.store.Head(store.NameForSeq(seq)).ok());
+}
+
+TEST(BackendStoreFaultTest, UnackedPutTimesOutAndRetries) {
+  TestWorld world;
+  LsvdConfig config = FaultTestConfig();
+  config.retry.op_timeout = kSecond;
+  BackendStore store(&world.host, &world.store, nullptr, config);
+
+  // The first PUT is stranded: the object never lands and no ack arrives.
+  world.store.DropNextPuts(1);
+  const uint64_t seq = store.AddWrite(0, TestPattern(64 * kKiB, 2));
+  world.sim.Run();
+
+  EXPECT_EQ(store.applied_seq(), seq);
+  EXPECT_GE(store.stats().timeouts, 1u);
+  EXPECT_GE(store.stats().retries, 1u);
+  EXPECT_TRUE(world.store.Head(store.NameForSeq(seq)).ok());
+}
+
+TEST(BackendStoreFaultTest, RetryHealsTornObjectLeftByPriorAttempt) {
+  TestWorld world;
+  BackendStore store(&world.host, &world.store, nullptr, FaultTestConfig());
+
+  // A torn leftover occupies the name the first batch will use (as if an
+  // earlier attempt died mid-upload): the immutable-name PUT failure must
+  // be healed by delete-and-reupload, not retried blindly.
+  std::optional<Status> planted;
+  world.store.Put(store.NameForSeq(1), Buffer::Zeros(4096),
+                  [&](Status s) { planted = s; });
+  world.sim.Run();
+  ASSERT_TRUE(planted.has_value() && planted->ok());
+
+  const uint64_t seq = store.AddWrite(0, TestPattern(64 * kKiB, 3));
+  world.sim.Run();
+
+  EXPECT_EQ(store.applied_seq(), seq);
+  EXPECT_GE(store.stats().retries, 1u);
+  const auto have = world.store.Head(store.NameForSeq(seq));
+  ASSERT_TRUE(have.ok());
+  EXPECT_GT(*have, 64u * kKiB);  // the real object, not the torn stub
 }
 
 }  // namespace
