@@ -183,6 +183,12 @@ void LsvdDisk::OpenCacheLost(std::function<void(Status)> done) {
 // numbers. Committed-and-cached writes that get resent are harmless
 // duplicates — replay preserves order, so the final image is identical.
 void LsvdDisk::ReplayCacheTail(std::function<void(Status)> done) {
+  // A power failure can drop journal records whose batches the backend had
+  // already committed. A surviving *older* record for the same blocks would
+  // then shadow the newer backend data through the cache map, so evict
+  // everything the backend already owns before serving reads.
+  write_cache_->ReleaseThrough(backend_->applied_seq());
+  write_cache_->EvictReleasable();
   auto records = std::make_shared<std::vector<WriteCache::RecordMeta>>(
       write_cache_->RecordsAfterBatch(backend_->applied_seq()));
   auto index = std::make_shared<size_t>(0);
