@@ -62,7 +62,19 @@ struct World {
   explicit World(ClusterConfig cluster_config,
                  uint64_t ssd_capacity = 800 * kGiB) {
     host_config.ssd_capacity = ssd_capacity;
-    host = std::make_unique<ClientHost>(&sim, host_config);
+    Init(cluster_config);
+  }
+
+  // Multi-tenant worlds (fig17) configure the host explicitly: fair-share
+  // QoS pool, host-wide PUT window, SSD size.
+  World(ClusterConfig cluster_config, ClientHostConfig hc) {
+    host_config = hc;
+    Init(cluster_config);
+  }
+
+ private:
+  void Init(ClusterConfig cluster_config) {
+    host = std::make_unique<ClientHost>(&sim, host_config, &metrics);
     cluster =
         std::make_unique<BackendCluster>(&sim, cluster_config, &metrics);
     backend_link = std::make_unique<NetLink>(&sim, NetParams{});

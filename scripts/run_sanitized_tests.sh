@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Configures a dedicated build tree with -DLSVD_SANITIZE=address,undefined
+# and runs the whole test suite under it. Usage:
+#
+#   scripts/run_sanitized_tests.sh [build-dir] [ctest-args...]
+#
+# Defaults to build-asan/ next to the source tree. Extra arguments are
+# forwarded to ctest (e.g. -R LsvdDisk to narrow the run). The fault model
+# the sanitizers check against is documented in DESIGN.md ("Fault model").
+set -eu
+
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$SRC_DIR/build-asan}"
+shift || true
+
+cmake -S "$SRC_DIR" -B "$BUILD_DIR" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLSVD_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error so ctest reports UBSan findings as failures, not log noise.
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"

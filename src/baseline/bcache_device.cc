@@ -55,7 +55,7 @@ BcacheDevice::BcacheDevice(ClientHost* host, VirtualDisk* backing,
   c_writeback_bytes_ = metrics_->GetCounter(prefix + ".writeback_bytes");
   c_stalled_writes_ = metrics_->GetCounter(prefix + ".stalled_writes");
   h_write_ack_us_ = metrics_->GetHistogram(prefix + ".write.ack_us");
-  metrics_->RegisterCallback(prefix + ".dirty_bytes", [this] {
+  callback_guard_.Register(metrics_, prefix + ".dirty_bytes", [this] {
     return static_cast<double>(dirty_.mapped_bytes());
   });
 }

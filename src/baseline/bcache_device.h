@@ -153,6 +153,9 @@ class BcacheDevice : public VirtualDisk {
   Counter* c_stalled_writes_;
   // Write ack latency, comparable to lsvd.write.ack_us.
   Histogram* h_write_ack_us_;
+  // Last member: destroyed first, so gauge callbacks never outlive the state
+  // they read (the shared host registry outlives detached volumes).
+  CallbackGuard callback_guard_;
 };
 
 }  // namespace lsvd

@@ -130,6 +130,13 @@ void SimSsd::Write(uint64_t offset, Buffer data, WriteCallback done) {
   }
   stats_.write_ops++;
   stats_.write_bytes += data.size();
+  if (fail_next_writes_ > 0) {
+    fail_next_writes_--;
+    SubmitOp(true, offset, data.size(), [done = std::move(done)]() {
+      done(Status::Unavailable("injected SSD write failure"));
+    });
+    return;
+  }
   // Contents land in the volatile cache as soon as the op is accepted;
   // completion is acknowledged after the service time.
   StoreBlocks(&volatile_, offset, data);

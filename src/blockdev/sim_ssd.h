@@ -96,6 +96,9 @@ class SimSsd : public BlockDevice {
   void PowerFail();
   // Catastrophic loss: all contents are gone (reads return zeros).
   void DiscardAll();
+  // The next `n` writes complete with Unavailable after their service time
+  // and store nothing (media error / aborted command).
+  void FailNextWrites(int n) { fail_next_writes_ += n; }
 
   const SsdStats& stats() const { return stats_; }
 
@@ -127,6 +130,7 @@ class SimSsd : public BlockDevice {
   // Bumped by PowerFail/DiscardAll so that in-flight flushes cannot promote
   // pre-crash volatile data to durable after the failure.
   uint64_t epoch_ = 0;
+  int fail_next_writes_ = 0;
   SsdStats stats_;
 };
 

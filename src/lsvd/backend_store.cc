@@ -43,22 +43,37 @@ BackendStore::BackendStore(ClientHost* host, ObjectStore* store,
   c_put_failures_ = metrics_->GetCounter(prefix + ".put_failures");
   c_retries_ = metrics_->GetCounter(prefix + ".retries");
   c_timeouts_ = metrics_->GetCounter(prefix + ".timeouts");
-  metrics_->RegisterCallback(prefix + ".degraded",
-                             [this] { return degraded_ ? 1.0 : 0.0; });
+  c_gc_aborted_corrupt_ = metrics_->GetCounter(prefix + ".gc_aborted_corrupt");
+  callback_guard_.Register(metrics_, prefix + ".degraded",
+                           [this] { return degraded_ ? 1.0 : 0.0; });
   h_open_to_seal_us_ = metrics_->GetHistogram(prefix + ".batch.open_to_seal_us");
   h_seal_to_commit_us_ =
       metrics_->GetHistogram(prefix + ".batch.seal_to_commit_us");
-  metrics_->RegisterCallback(prefix + ".utilization",
-                             [this] { return Utilization(); });
-  metrics_->RegisterCallback(prefix + ".live_bytes", [this] {
+  callback_guard_.Register(metrics_, prefix + ".utilization",
+                           [this] { return Utilization(); });
+  callback_guard_.Register(metrics_, prefix + ".live_bytes", [this] {
     return static_cast<double>(live_bytes());
   });
-  metrics_->RegisterCallback(prefix + ".total_bytes", [this] {
+  callback_guard_.Register(metrics_, prefix + ".total_bytes", [this] {
     return static_cast<double>(total_bytes());
   });
-  metrics_->RegisterCallback(prefix + ".object_count", [this] {
+  callback_guard_.Register(metrics_, prefix + ".object_count", [this] {
     return static_cast<double>(object_count());
   });
+
+  put_slot_id_ =
+      host_->put_scheduler()->Register([this, alive = alive_]() {
+        if (*alive) {
+          PumpPuts();
+        }
+      });
+}
+
+BackendStore::~BackendStore() {
+  *alive_ = false;
+  // A killed store's completions never fire, so its held PUT slots must be
+  // returned here or the host window would leak capacity.
+  host_->put_scheduler()->Unregister(put_slot_id_);
 }
 
 BackendStoreStats BackendStore::stats() const {
@@ -77,6 +92,7 @@ BackendStoreStats BackendStore::stats() const {
   s.put_failures = c_put_failures_->value();
   s.retries = c_retries_->value();
   s.timeouts = c_timeouts_->value();
+  s.gc_aborted_corrupt = c_gc_aborted_corrupt_->value();
   return s;
 }
 
@@ -378,8 +394,11 @@ void BackendStore::DeleteWithRetry(const std::string& name, int attempt) {
 }
 
 void BackendStore::PumpPuts() {
+  // Beyond the per-volume window, each outstanding PUT needs a host-wide
+  // slot; when denied, the scheduler re-pumps us once a slot frees.
   while (!degraded_ && outstanding_puts_ < config_.put_window &&
-         !put_queue_.empty()) {
+         !put_queue_.empty() &&
+         host_->put_scheduler()->TryAcquire(put_slot_id_)) {
     SealedObject sealed = std::move(put_queue_.front());
     put_queue_.pop_front();
     outstanding_puts_++;
@@ -479,6 +498,7 @@ void BackendStore::ScheduleDegradedProbe() {
 
 void BackendStore::OnPutComplete(uint64_t seq, Status s) {
   outstanding_puts_--;
+  host_->put_scheduler()->Release(put_slot_id_);
   if (!s.ok()) {
     ParkFailedPut(seq);
     return;
@@ -650,8 +670,15 @@ void BackendStore::CleanOneObject(uint64_t victim) {
     }
     DataObjectHeader header;
     if (!r.ok() || !DecodeDataObjectHeader(*r, &header).ok()) {
-      object_info_.erase(victim);
-      FinishGcRound();
+      // Undecodable victim header (torn object, bit rot). Live map extents
+      // may still point into the victim, so it is NOT fully dead: erasing it
+      // from object_info_ would drop it from utilization accounting while
+      // reads through those extents keep failing. Abort the round like the
+      // unreachable-backend path — the victim keeps its accounting and will
+      // be re-examined (or healed by a PUT retry) later.
+      c_gc_aborted_corrupt_->Inc();
+      gc_pending_victims_.erase(victim);
+      gc_running_ = false;
       return;
     }
 

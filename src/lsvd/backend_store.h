@@ -53,6 +53,7 @@ struct BackendStoreStats {
   uint64_t put_failures = 0;      // PUTs that exhausted their retry budget
   uint64_t retries = 0;           // backend op attempts after the first
   uint64_t timeouts = 0;          // attempts abandoned by the op timeout
+  uint64_t gc_aborted_corrupt = 0;  // GC rounds aborted on a corrupt victim
 };
 
 class BackendStore {
@@ -60,6 +61,10 @@ class BackendStore {
   BackendStore(ClientHost* host, ObjectStore* store, WriteCache* cache,
                const LsvdConfig& config, MetricsRegistry* metrics = nullptr,
                const std::string& prefix = "backend");
+  ~BackendStore();
+
+  BackendStore(const BackendStore&) = delete;
+  BackendStore& operator=(const BackendStore&) = delete;
 
   // Fires whenever the highest contiguously-applied object seq advances;
   // the owner uses it to release write-cache records.
@@ -215,6 +220,7 @@ class BackendStore {
   std::map<uint64_t, SealedObject> in_flight_;  // seq -> awaiting ack
   std::map<uint64_t, SealedObject> completed_;  // acked, awaiting in-order apply
   int outstanding_puts_ = 0;
+  int put_slot_id_ = -1;  // registration with the host's PutScheduler
   bool degraded_ = false;
   Rng retry_rng_;
 
@@ -250,10 +256,14 @@ class BackendStore {
   Counter* c_put_failures_;
   Counter* c_retries_;
   Counter* c_timeouts_;
+  Counter* c_gc_aborted_corrupt_;
   // Write-lifecycle stages downstream of the journal ack: batch open ->
   // seal, and seal -> applied to the object map (commit).
   Histogram* h_open_to_seal_us_;
   Histogram* h_seal_to_commit_us_;
+  // Last member: destroyed first, so gauge callbacks never outlive the state
+  // they read (the shared host registry outlives detached volumes).
+  CallbackGuard callback_guard_;
 };
 
 }  // namespace lsvd

@@ -6,15 +6,32 @@
 // worker and the userspace daemon. Multiple virtual disks on one host share
 // all of these — which is what makes the single client machine the
 // bottleneck in the paper's Figure 12 load test.
+//
+// A host is explicitly multi-tenant (§4.3's hypervisor hosting N volumes):
+//   - SSD space is carved out by a real region allocator (alloc + free +
+//     owner labels), not a bump pointer;
+//   - a QosScheduler applies per-volume token-bucket admission plus an
+//     optional host-wide fair-share pool;
+//   - a PutScheduler bounds outstanding backend PUTs host-wide and grants
+//     freed slots round-robin so one volume's writeback cannot starve the
+//     rest.
+// Attached volumes report their traffic counters so the host can export
+// aggregate gauges ("host.*", see docs/METRICS.md).
 #ifndef SRC_LSVD_CLIENT_HOST_H_
 #define SRC_LSVD_CLIENT_HOST_H_
 
+#include <map>
 #include <memory>
+#include <string>
 
 #include "src/blockdev/sim_ssd.h"
+#include "src/lsvd/put_scheduler.h"
+#include "src/lsvd/qos.h"
+#include "src/lsvd/ssd_region_allocator.h"
 #include "src/sim/net_link.h"
 #include "src/sim/server_queue.h"
 #include "src/sim/simulator.h"
+#include "src/util/metrics.h"
 #include "src/util/status.h"
 
 namespace lsvd {
@@ -26,46 +43,137 @@ struct ClientHostConfig {
   // Worker parallelism for the kernel- and user-level halves.
   int kernel_workers = 2;
   int user_workers = 2;
+  // Host-wide QoS pool that fair_share volumes draw from (0 = unlimited).
+  uint64_t fair_share_iops = 0;
+  uint64_t fair_share_bytes_per_sec = 0;
+  double fair_share_burst_seconds = 0.1;
+  // Max outstanding backend PUTs across all volumes (0 = per-volume windows
+  // only, the single-tenant behavior).
+  int host_put_window = 0;
 };
 
 class ClientHost {
  public:
-  ClientHost(Simulator* sim, ClientHostConfig config)
+  // Per-volume traffic counters a volume exposes at attach time so the host
+  // can sum them into aggregate gauges without depending on LsvdDisk.
+  struct VolumeCounters {
+    const Counter* writes = nullptr;
+    const Counter* write_bytes = nullptr;
+    const Counter* reads = nullptr;
+    const Counter* read_bytes = nullptr;
+  };
+
+  // With a null registry the host owns a private one (metrics()), same
+  // convention as every other component.
+  ClientHost(Simulator* sim, ClientHostConfig config,
+             MetricsRegistry* metrics = nullptr)
       : sim_(sim),
         config_(config),
         ssd_(sim, config.ssd_capacity, config.ssd),
         link_(sim, config.net),
         kernel_cpu_(sim, config.kernel_workers),
-        user_cpu_(sim, config.user_workers) {}
+        user_cpu_(sim, config.user_workers),
+        regions_(0, config.ssd_capacity),
+        qos_(sim, config.fair_share_iops, config.fair_share_bytes_per_sec,
+             config.fair_share_burst_seconds),
+        put_scheduler_(sim, config.host_put_window) {
+    if (metrics == nullptr) {
+      owned_metrics_ = std::make_unique<MetricsRegistry>();
+      metrics = owned_metrics_.get();
+    }
+    metrics_ = metrics;
+    callback_guard_.Register(metrics_, "host.volumes", [this] {
+      return static_cast<double>(volumes_.size());
+    });
+    callback_guard_.Register(metrics_, "host.ssd.allocated_bytes", [this] {
+      return static_cast<double>(regions_.allocated_bytes());
+    });
+    callback_guard_.Register(metrics_, "host.ssd.free_bytes", [this] {
+      return static_cast<double>(regions_.free_bytes());
+    });
+    callback_guard_.Register(metrics_, "host.qos.queued", [this] {
+      return static_cast<double>(qos_.queued());
+    });
+    callback_guard_.Register(metrics_, "host.put_slots.held", [this] {
+      return static_cast<double>(put_scheduler_.held());
+    });
+    callback_guard_.Register(metrics_, "host.writes", [this] {
+      return SumCounters(&VolumeCounters::writes);
+    });
+    callback_guard_.Register(metrics_, "host.write_bytes", [this] {
+      return SumCounters(&VolumeCounters::write_bytes);
+    });
+    callback_guard_.Register(metrics_, "host.reads", [this] {
+      return SumCounters(&VolumeCounters::reads);
+    });
+    callback_guard_.Register(metrics_, "host.read_bytes", [this] {
+      return SumCounters(&VolumeCounters::read_bytes);
+    });
+  }
+
+  ClientHost(const ClientHost&) = delete;
+  ClientHost& operator=(const ClientHost&) = delete;
 
   Simulator* sim() { return sim_; }
   SimSsd* ssd() { return &ssd_; }
   NetLink* link() { return &link_; }
   ServerQueue* kernel_cpu() { return &kernel_cpu_; }
   ServerQueue* user_cpu() { return &user_cpu_; }
+  SsdRegionAllocator* ssd_regions() { return &regions_; }
+  QosScheduler* qos() { return &qos_; }
+  PutScheduler* put_scheduler() { return &put_scheduler_; }
+  MetricsRegistry& metrics() { return *metrics_; }
 
-  // Carves a block-aligned SSD region out for a cache. Regions are never
-  // returned (hosts live for a whole experiment).
-  Result<uint64_t> AllocRegion(uint64_t size) {
-    if (size % kBlockSize != 0) {
-      return Status::InvalidArgument("region size must be block aligned");
-    }
-    if (next_region_ + size > ssd_.capacity()) {
-      return Status::ResourceExhausted("SSD regions exhausted");
-    }
-    const uint64_t base = next_region_;
-    next_region_ += size;
-    return base;
+  // Carves a block-aligned SSD region out for a cache. Regions survive their
+  // owner object (crash-recovery re-opens attach to the same bases); truly
+  // finished owners return space via ssd_regions()->Free().
+  Result<uint64_t> AllocRegion(uint64_t size,
+                               const std::string& owner = "anonymous") {
+    return regions_.Allocate(size, owner);
   }
 
+  // Volume registry for host aggregates; returns an attach id.
+  int AttachVolume(const std::string& name, VolumeCounters counters) {
+    const int id = next_volume_id_++;
+    volumes_.emplace(id, AttachedVolume{name, counters});
+    return id;
+  }
+  void DetachVolume(int id) { volumes_.erase(id); }
+  size_t volume_count() const { return volumes_.size(); }
+
  private:
+  struct AttachedVolume {
+    std::string name;
+    VolumeCounters counters;
+  };
+
+  double SumCounters(const Counter* VolumeCounters::* member) const {
+    double sum = 0;
+    for (const auto& [id, v] : volumes_) {
+      const Counter* c = v.counters.*member;
+      if (c != nullptr) {
+        sum += static_cast<double>(c->value());
+      }
+    }
+    return sum;
+  }
+
   Simulator* sim_;
   ClientHostConfig config_;
   SimSsd ssd_;
   NetLink link_;
   ServerQueue kernel_cpu_;
   ServerQueue user_cpu_;
-  uint64_t next_region_ = 0;
+  SsdRegionAllocator regions_;
+  QosScheduler qos_;
+  PutScheduler put_scheduler_;
+  std::map<int, AttachedVolume> volumes_;
+  int next_volume_id_ = 0;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  // Last member: destroyed first, so the host.* gauges never outlive the
+  // state they read if the registry outlives the host.
+  CallbackGuard callback_guard_;
 };
 
 }  // namespace lsvd

@@ -49,6 +49,24 @@ struct BackendRetryPolicy {
   uint64_t seed = 0xBACC0FF;  // jitter RNG seed
 };
 
+// Per-volume QoS caps, enforced by the client host's token-bucket admission
+// (see src/lsvd/qos.h). Zero means uncapped on that axis; a volume with no
+// caps and fair_share off bypasses admission entirely.
+struct QosLimits {
+  uint64_t iops = 0;           // client ops per second (reads + writes)
+  uint64_t bytes_per_sec = 0;  // client payload bytes per second
+  // Bucket capacity as seconds of accrual at the configured rate: how much
+  // idle credit a bursty tenant may bank.
+  double burst_seconds = 0.1;
+  // Also draw from the host-wide shared pool (ClientHostConfig::fair_share_*)
+  // so concurrent fair-share tenants split it round-robin.
+  bool fair_share = false;
+
+  bool unlimited() const {
+    return iops == 0 && bytes_per_sec == 0 && !fair_share;
+  }
+};
+
 struct LsvdConfig {
   std::string volume_name = "vol";
   uint64_t volume_size = 8 * kGiB;
@@ -100,6 +118,22 @@ struct LsvdConfig {
   // checkpoint at or before this object seq and replays no further — the
   // volume opens read-only-in-spirit at the snapshot point.
   uint64_t open_limit_seq = 0;
+
+  // Per-volume QoS admission caps (multi-tenant hosts).
+  QosLimits qos;
+
+  // Roots of this volume's metric names: "<metrics_prefix>.writes",
+  // "<metrics_prefix>.write_cache.*", "<backend_metrics_prefix>.gc.*", ...
+  // The defaults keep the historical single-volume names; hosts with several
+  // volumes sharing one registry call SetPerVolumeMetricPrefixes() so names
+  // become "lsvd.<vol>.*" / "lsvd.<vol>.backend.*" (docs/METRICS.md).
+  std::string metrics_prefix = "lsvd";
+  std::string backend_metrics_prefix = "backend";
+
+  void SetPerVolumeMetricPrefixes() {
+    metrics_prefix = "lsvd." + volume_name;
+    backend_metrics_prefix = metrics_prefix + ".backend";
+  }
 };
 
 }  // namespace lsvd

@@ -23,8 +23,10 @@ LsvdDisk::LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config,
     metrics = owned_metrics_.get();
   }
   metrics_ = metrics;
-  auto wc_region = host_->AllocRegion(config_.write_cache_size);
-  auto rc_region = host_->AllocRegion(config_.read_cache_size);
+  auto wc_region = host_->AllocRegion(config_.write_cache_size,
+                                      config_.volume_name + ".write_cache");
+  auto rc_region = host_->AllocRegion(config_.read_cache_size,
+                                      config_.volume_name + ".read_cache");
   assert(wc_region.ok() && rc_region.ok() && "SSD too small for caches");
   wc_base_ = *wc_region;
   rc_base_ = *rc_region;
@@ -45,33 +47,44 @@ LsvdDisk::LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config,
 }
 
 void LsvdDisk::InitComponents() {
+  const std::string& p = config_.metrics_prefix;
   write_cache_ = std::make_unique<WriteCache>(
       host_, wc_base_, config_.write_cache_size, config_.costs, metrics_,
-      "lsvd.write_cache", config_.volume_size);
+      p + ".write_cache", config_.volume_size);
   read_cache_ = std::make_unique<ReadCache>(
       host_, rc_base_, config_.read_cache_size, config_.read_cache_line,
-      metrics_, "lsvd.read_cache");
+      metrics_, p + ".read_cache");
   backend_ = std::make_unique<BackendStore>(host_, store_, write_cache_.get(),
-                                            config_, metrics_, "backend");
+                                            config_, metrics_,
+                                            config_.backend_metrics_prefix);
   backend_->on_synced = [this](uint64_t seq) {
     write_cache_->ReleaseThrough(seq);
   };
 
-  c_writes_ = metrics_->GetCounter("lsvd.writes");
-  c_write_bytes_ = metrics_->GetCounter("lsvd.write_bytes");
-  c_reads_ = metrics_->GetCounter("lsvd.reads");
-  c_read_bytes_ = metrics_->GetCounter("lsvd.read_bytes");
-  c_flushes_ = metrics_->GetCounter("lsvd.flushes");
-  c_write_cache_hits_ = metrics_->GetCounter("lsvd.read.write_cache_hits");
-  c_read_cache_hits_ = metrics_->GetCounter("lsvd.read.read_cache_hits");
-  c_backend_reads_ = metrics_->GetCounter("lsvd.read.backend_reads");
-  c_zero_reads_ = metrics_->GetCounter("lsvd.read.zero_reads");
-  h_write_ack_us_ = metrics_->GetHistogram("lsvd.write.ack_us");
-  h_read_e2e_us_ = metrics_->GetHistogram("lsvd.read.e2e_us");
-  h_read_write_cache_us_ = metrics_->GetHistogram("lsvd.read.write_cache_us");
-  h_read_read_cache_us_ = metrics_->GetHistogram("lsvd.read.read_cache_us");
-  h_read_backend_us_ = metrics_->GetHistogram("lsvd.read.backend_us");
-  h_read_zero_us_ = metrics_->GetHistogram("lsvd.read.zero_us");
+  c_writes_ = metrics_->GetCounter(p + ".writes");
+  c_write_bytes_ = metrics_->GetCounter(p + ".write_bytes");
+  c_reads_ = metrics_->GetCounter(p + ".reads");
+  c_read_bytes_ = metrics_->GetCounter(p + ".read_bytes");
+  c_flushes_ = metrics_->GetCounter(p + ".flushes");
+  c_write_cache_hits_ = metrics_->GetCounter(p + ".read.write_cache_hits");
+  c_read_cache_hits_ = metrics_->GetCounter(p + ".read.read_cache_hits");
+  c_backend_reads_ = metrics_->GetCounter(p + ".read.backend_reads");
+  c_zero_reads_ = metrics_->GetCounter(p + ".read.zero_reads");
+  h_write_ack_us_ = metrics_->GetHistogram(p + ".write.ack_us");
+  h_read_e2e_us_ = metrics_->GetHistogram(p + ".read.e2e_us");
+  h_read_write_cache_us_ = metrics_->GetHistogram(p + ".read.write_cache_us");
+  h_read_read_cache_us_ = metrics_->GetHistogram(p + ".read.read_cache_us");
+  h_read_backend_us_ = metrics_->GetHistogram(p + ".read.backend_us");
+  h_read_zero_us_ = metrics_->GetHistogram(p + ".read.zero_us");
+
+  if (!config_.qos.unlimited()) {
+    qos_id_ = host_->qos()->RegisterVolume(config_.volume_name, config_.qos,
+                                           metrics_, p);
+  }
+  attach_id_ = host_->AttachVolume(
+      config_.volume_name,
+      ClientHost::VolumeCounters{c_writes_, c_write_bytes_, c_reads_,
+                                 c_read_bytes_});
 }
 
 LsvdDiskStats LsvdDisk::stats() const {
@@ -88,7 +101,13 @@ LsvdDiskStats LsvdDisk::stats() const {
   return s;
 }
 
-LsvdDisk::~LsvdDisk() { Kill(); }
+LsvdDisk::~LsvdDisk() {
+  Kill();
+  host_->DetachVolume(attach_id_);
+  if (qos_id_ >= 0) {
+    host_->qos()->UnregisterVolume(qos_id_);
+  }
+}
 
 void LsvdDisk::Kill() {
   *alive_ = false;
@@ -276,7 +295,27 @@ void LsvdDisk::Write(uint64_t offset, Buffer data,
   }
   c_writes_->Inc();
   c_write_bytes_->Inc(data.size());
+  // The ack clock starts before admission: tokens a throttled tenant waits
+  // for are part of its observed write latency.
+  const Nanos submitted = host_->sim()->now();
+  if (qos_id_ < 0) {
+    WriteAdmitted(offset, std::move(data), submitted, std::move(done));
+    return;
+  }
+  const uint64_t bytes = data.size();
+  auto alive = alive_;
+  host_->qos()->Admit(qos_id_, bytes,
+                      [this, alive, offset, data = std::move(data), submitted,
+                       done = std::move(done)]() mutable {
+    if (!*alive) {
+      return;
+    }
+    WriteAdmitted(offset, std::move(data), submitted, std::move(done));
+  });
+}
 
+void LsvdDisk::WriteAdmitted(uint64_t offset, Buffer data, Nanos submitted,
+                             std::function<void(Status)> done) {
   // Stale read-cache lines for this range must never be served again.
   read_cache_->Invalidate(offset, data.size());
 
@@ -287,7 +326,6 @@ void LsvdDisk::Write(uint64_t offset, Buffer data,
   MaybeCheckpointCache();
 
   // Ack latency: submission to journal-record-durable (when `done` fires).
-  const Nanos submitted = host_->sim()->now();
   auto alive = alive_;
   auto acked = [this, alive, submitted,
                 done = std::move(done)](Status s) mutable {
@@ -321,7 +359,23 @@ void LsvdDisk::Read(uint64_t offset, uint64_t len,
   c_reads_->Inc();
   c_read_bytes_->Inc(len);
   const Nanos started = host_->sim()->now();
+  if (qos_id_ < 0) {
+    ReadAdmitted(offset, len, started, std::move(done));
+    return;
+  }
+  auto alive = alive_;
+  host_->qos()->Admit(qos_id_, len,
+                      [this, alive, offset, len, started,
+                       done = std::move(done)]() mutable {
+    if (!*alive) {
+      return;
+    }
+    ReadAdmitted(offset, len, started, std::move(done));
+  });
+}
 
+void LsvdDisk::ReadAdmitted(uint64_t offset, uint64_t len, Nanos started,
+                            std::function<void(Result<Buffer>)> done) {
   // Build the routing plan: write cache > read cache > backend > zeros.
   struct Fragment {
     FragmentKind kind;

@@ -123,6 +123,12 @@ class LsvdDisk : public VirtualDisk {
   enum class FragmentKind { kWriteCache, kReadCache, kBackend, kZero };
 
   void InitComponents();
+  // Write/Read bodies, entered after QoS admission; `submitted` is the
+  // pre-admission timestamp so throttle wait shows up in client latency.
+  void WriteAdmitted(uint64_t offset, Buffer data, Nanos submitted,
+                     std::function<void(Status)> done);
+  void ReadAdmitted(uint64_t offset, uint64_t len, Nanos started,
+                    std::function<void(Result<Buffer>)> done);
   void ArmBatchTimer();
   void MaybeCheckpointCache();
   void ReplayCacheTail(std::function<void(Status)> done);
@@ -145,6 +151,11 @@ class LsvdDisk : public VirtualDisk {
   bool batch_timer_armed_ = false;
   uint64_t records_at_last_ckpt_ = 0;
   bool cache_ckpt_in_flight_ = false;
+
+  // Host registrations: QoS admission (-1 = uncapped volume, admission
+  // bypassed) and the host's attached-volume registry.
+  int qos_id_ = -1;
+  int attach_id_ = -1;
 
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 

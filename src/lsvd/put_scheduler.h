@@ -1,0 +1,143 @@
+// Host-wide round-robin scheduler for backend PUT slots.
+//
+// Every BackendStore on a host previously pumped sealed batches into the
+// object store independently, bounded only by its per-volume put_window — a
+// log-heavy tenant could keep the shared uplink saturated and starve the
+// other volumes' writeback. With a host window configured
+// (ClientHostConfig::host_put_window > 0), each store must acquire a slot
+// per outstanding data-object PUT; when slots run out, stores wait and freed
+// slots are granted round-robin across waiting stores, so writeback
+// bandwidth interleaves fairly regardless of queue depths. Window 0 keeps
+// the legacy independent-pump behavior.
+#ifndef SRC_LSVD_PUT_SCHEDULER_H_
+#define SRC_LSVD_PUT_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "src/sim/simulator.h"
+
+namespace lsvd {
+
+class PutScheduler {
+ public:
+  // window = max outstanding PUTs across the whole host; 0 = unlimited.
+  PutScheduler(Simulator* sim, int window) : sim_(sim), window_(window) {}
+  ~PutScheduler() { *alive_ = false; }
+
+  PutScheduler(const PutScheduler&) = delete;
+  PutScheduler& operator=(const PutScheduler&) = delete;
+
+  // Registers a store; `pump` is invoked (via the simulator, never
+  // reentrantly) when a slot becomes available after a failed TryAcquire.
+  int Register(std::function<void()> pump) {
+    const int id = next_id_++;
+    clients_[id].pump = std::move(pump);
+    return id;
+  }
+
+  // Releases any slots the client still holds (its completions will never
+  // fire) and forgets it.
+  void Unregister(int id) {
+    auto it = clients_.find(id);
+    if (it == clients_.end()) {
+      return;
+    }
+    const int held = it->second.held;
+    clients_.erase(it);
+    for (int i = 0; i < held; i++) {
+      held_--;
+      GrantNext();
+    }
+  }
+
+  // Takes one slot; on false the client is remembered as waiting and its
+  // pump runs once a slot frees up.
+  bool TryAcquire(int id) {
+    auto it = clients_.find(id);
+    if (it == clients_.end()) {
+      return false;
+    }
+    if (window_ <= 0) {
+      return true;
+    }
+    if (held_ >= window_) {
+      it->second.waiting = true;
+      return false;
+    }
+    held_++;
+    it->second.held++;
+    return true;
+  }
+
+  void Release(int id) {
+    auto it = clients_.find(id);
+    if (it == clients_.end() || window_ <= 0) {
+      return;
+    }
+    if (it->second.held > 0) {
+      it->second.held--;
+      held_--;
+    }
+    GrantNext();
+  }
+
+  int window() const { return window_; }
+  int held() const { return held_; }
+  int waiting() const {
+    int n = 0;
+    for (const auto& [id, c] : clients_) {
+      n += c.waiting ? 1 : 0;
+    }
+    return n;
+  }
+
+ private:
+  struct Client {
+    std::function<void()> pump;
+    int held = 0;
+    bool waiting = false;
+  };
+
+  // Wakes the next waiting client after `grant_cursor_` (round-robin), via
+  // the simulator to avoid re-entering a store from its own completion.
+  void GrantNext() {
+    if (window_ <= 0 || held_ >= window_ || clients_.empty()) {
+      return;
+    }
+    auto it = clients_.upper_bound(grant_cursor_);
+    for (size_t i = 0; i < clients_.size(); i++) {
+      if (it == clients_.end()) {
+        it = clients_.begin();
+      }
+      if (it->second.waiting) {
+        it->second.waiting = false;
+        grant_cursor_ = it->first;
+        auto alive = alive_;
+        auto pump = it->second.pump;
+        sim_->After(0, [alive, pump = std::move(pump)]() {
+          if (!*alive) {
+            return;
+          }
+          pump();
+        });
+        return;
+      }
+      ++it;
+    }
+  }
+
+  Simulator* sim_;
+  int window_;
+  int held_ = 0;
+  int next_id_ = 0;
+  int grant_cursor_ = -1;
+  std::map<int, Client> clients_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_LSVD_PUT_SCHEDULER_H_

@@ -38,12 +38,12 @@ ReadCache::ReadCache(ClientHost* host, uint64_t base, uint64_t size,
   c_inserted_bytes_ = metrics_->GetCounter(prefix + ".inserted_bytes");
   c_evictions_ = metrics_->GetCounter(prefix + ".evictions");
   c_invalidations_ = metrics_->GetCounter(prefix + ".invalidations");
-  metrics_->RegisterCallback(prefix + ".mapped_bytes", [this] {
-    double mapped = 0;
-    for (const auto& s : slots_) {
-      mapped += static_cast<double>(s.len);
-    }
-    return mapped;
+  c_fill_failures_ = metrics_->GetCounter(prefix + ".fill_failures");
+  // Slot lengths over-report: invalidations and map overwrites remove map
+  // extents without clearing the slot, so the map itself is the only
+  // accurate byte count.
+  callback_guard_.Register(metrics_, prefix + ".mapped_bytes", [this] {
+    return static_cast<double>(map_.mapped_bytes());
   });
 }
 
@@ -53,6 +53,7 @@ ReadCacheStats ReadCache::stats() const {
   s.inserted_bytes = c_inserted_bytes_->value();
   s.evictions = c_evictions_->value();
   s.invalidations = c_invalidations_->value();
+  s.fill_failures = c_fill_failures_->value();
   return s;
 }
 
@@ -98,14 +99,40 @@ void ReadCache::Insert(uint64_t vlba, const Buffer& data) {
 
     const uint64_t piece_vlba = vlba + off;
     Buffer piece = data.Slice(off, n);
-    slots_[slot] = Slot{piece_vlba, n};
-    map_.Update(piece_vlba, n, SsdTarget{SlotOffset(slot)});
+    const uint64_t gen = ++fill_gen_;
+    slots_[slot] = Slot{piece_vlba, n, gen};
     c_insertions_->Inc();
     c_inserted_bytes_->Inc(n);
 
+    // The map entry is installed only once the fill is durable on the SSD;
+    // until then reads for this range keep missing to the backend. A failed
+    // fill just frees the slot — only a future re-fetch, never a map entry
+    // routing reads to data that never landed.
+    auto pending = std::make_shared<PendingFill>(PendingFill{piece_vlba, n});
+    pending_fills_.push_back(pending);
     auto alive = alive_;
-    ssd_->Write(SlotOffset(slot), std::move(piece), [alive](Status) {
-      // Background fill; a failed write only means a future re-fetch.
+    ssd_->Write(SlotOffset(slot), std::move(piece),
+                [this, alive, slot, gen, pending](Status s) {
+      if (!*alive) {
+        return;
+      }
+      pending_fills_.erase(
+          std::find(pending_fills_.begin(), pending_fills_.end(), pending));
+      if (slots_[slot].gen != gen) {
+        return;  // slot was recycled while the fill was in flight
+      }
+      if (!s.ok()) {
+        c_fill_failures_->Inc();
+        slots_[slot] = Slot{};
+        return;
+      }
+      if (pending->invalidated) {
+        // A client write overlapped the fill range before it landed; the
+        // line would shadow newer data, so drop it.
+        slots_[slot] = Slot{};
+        return;
+      }
+      map_.Update(pending->vlba, pending->len, SsdTarget{SlotOffset(slot)});
     });
     off += n;
   }
@@ -114,6 +141,15 @@ void ReadCache::Insert(uint64_t vlba, const Buffer& data) {
 void ReadCache::Invalidate(uint64_t vlba, uint64_t len) {
   const auto removed = map_.Remove(vlba, len);
   c_invalidations_->Inc(removed.size());
+  // In-flight fills have no map entry yet; mark overlaps so their completion
+  // discards instead of installing stale data.
+  for (auto& pending : pending_fills_) {
+    if (!pending->invalidated && pending->vlba < vlba + len &&
+        vlba < pending->vlba + pending->len) {
+      pending->invalidated = true;
+      c_invalidations_->Inc();
+    }
+  }
 }
 
 void ReadCache::PersistMap(std::function<void(Status)> done) {

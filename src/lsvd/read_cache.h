@@ -30,6 +30,7 @@ struct ReadCacheStats {
   uint64_t inserted_bytes = 0;
   uint64_t evictions = 0;
   uint64_t invalidations = 0;
+  uint64_t fill_failures = 0;  // slot fills whose SSD write failed
 };
 
 class ReadCache {
@@ -45,8 +46,9 @@ class ReadCache {
                 std::function<void(Result<Buffer>)> done);
 
   // Caches backend data covering [vlba, vlba + data.size()). Fire-and-forget:
-  // the map is updated immediately; the SSD writes complete in the
-  // background (a lost line is re-fetchable).
+  // the SSD writes complete in the background, and a line becomes visible in
+  // the map only once its fill write is acknowledged — a slot whose fill
+  // failed (or that was invalidated/recycled mid-flight) is never mapped.
   void Insert(uint64_t vlba, const Buffer& data);
 
   // Drops any cached lines overlapping [vlba, vlba+len); called on every
@@ -68,6 +70,19 @@ class ReadCache {
   struct Slot {
     uint64_t vlba = 0;
     uint64_t len = 0;  // 0 = empty
+    // Fill generation: the completion callback installs the map entry only
+    // if the slot was not recycled (FIFO wrap) while the write was in
+    // flight. Monotonic, never reused.
+    uint64_t gen = 0;
+  };
+  // An in-flight slot fill; Invalidate marks overlapping fills so their
+  // completion does not install a mapping that a newer client write
+  // superseded. Kept in a side list (not per-slot scans): the slot array can
+  // be millions of lines, in-flight fills are at most a handful.
+  struct PendingFill {
+    uint64_t vlba = 0;
+    uint64_t len = 0;
+    bool invalidated = false;
   };
 
   uint64_t SlotOffset(uint64_t slot) const {
@@ -87,6 +102,8 @@ class ReadCache {
 
   ExtentMap<SsdTarget> map_;
   std::vector<Slot> slots_;
+  uint64_t fill_gen_ = 0;
+  std::vector<std::shared_ptr<PendingFill>> pending_fills_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   std::unique_ptr<MetricsRegistry> owned_metrics_;
@@ -95,6 +112,10 @@ class ReadCache {
   Counter* c_inserted_bytes_;
   Counter* c_evictions_;
   Counter* c_invalidations_;
+  Counter* c_fill_failures_;
+  // Last member: destroyed first, so gauge callbacks never outlive the state
+  // they read (the shared host registry outlives detached volumes).
+  CallbackGuard callback_guard_;
 };
 
 }  // namespace lsvd

@@ -22,7 +22,7 @@ Replicator::Replicator(Simulator* sim, ObjectStore* primary,
   c_retries_ = metrics_->GetCounter(prefix + ".retries");
   c_copy_failures_ = metrics_->GetCounter(prefix + ".copy_failures");
   h_copy_lag_us_ = metrics_->GetHistogram(prefix + ".copy_lag_us");
-  metrics_->RegisterCallback(prefix + ".tracked_objects", [this] {
+  callback_guard_.Register(metrics_, prefix + ".tracked_objects", [this] {
     return static_cast<double>(first_seen_.size());
   });
 }

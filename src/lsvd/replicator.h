@@ -91,6 +91,9 @@ class Replicator {
   // Object creation (first seen by the poller) -> copy committed to the
   // replica; bounded below by min_age.
   Histogram* h_copy_lag_us_;
+  // Last member: destroyed first, so gauge callbacks never outlive the state
+  // they read (the shared host registry outlives detached volumes).
+  CallbackGuard callback_guard_;
 };
 
 }  // namespace lsvd

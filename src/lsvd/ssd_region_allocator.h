@@ -1,0 +1,116 @@
+// Explicit allocator for the SSD regions backing per-volume caches.
+//
+// Replaces the client host's old bump-pointer region bookkeeping: a
+// multi-volume host carves one region per cache out of the shared SSD and
+// must be able to return them (volume detach) and name them (debugging,
+// host-level accounting). First-fit over a free map, same idiom as
+// util/RunAllocator, plus an owner label per live region.
+//
+// Note on lifetimes: a region is NOT freed when its LsvdDisk is destroyed —
+// crash-recovery tests re-open a disk on the same DiskRegions, so the SSD
+// contents (and the reservation) must outlive the disk object. Owners that
+// are truly done with a region free it explicitly.
+#ifndef SRC_LSVD_SSD_REGION_ALLOCATOR_H_
+#define SRC_LSVD_SSD_REGION_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace lsvd {
+
+class SsdRegionAllocator {
+ public:
+  struct Region {
+    uint64_t base = 0;
+    uint64_t size = 0;
+    std::string owner;
+  };
+
+  SsdRegionAllocator(uint64_t base, uint64_t size) {
+    if (size > 0) {
+      free_[base] = size;
+    }
+    total_ = size;
+    free_bytes_ = size;
+  }
+
+  // Carves a block-aligned region (first fit). The owner label is purely
+  // informational (introspection / error messages).
+  Result<uint64_t> Allocate(uint64_t size, const std::string& owner) {
+    if (size == 0 || size % kBlockSize != 0) {
+      return Status::InvalidArgument("region size must be block aligned");
+    }
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+      if (it->second < size) {
+        continue;
+      }
+      const uint64_t base = it->first;
+      const uint64_t run = it->second;
+      free_.erase(it);
+      if (run > size) {
+        free_[base + size] = run - size;
+      }
+      free_bytes_ -= size;
+      allocated_[base] = Region{base, size, owner};
+      return base;
+    }
+    return Status::ResourceExhausted("SSD regions exhausted");
+  }
+
+  // Returns a previously allocated region, merging free neighbors.
+  Status Free(uint64_t base) {
+    auto it = allocated_.find(base);
+    if (it == allocated_.end()) {
+      return Status::InvalidArgument("not an allocated region base");
+    }
+    uint64_t offset = it->second.base;
+    uint64_t len = it->second.size;
+    free_bytes_ += len;
+    allocated_.erase(it);
+    auto next = free_.lower_bound(offset);
+    if (next != free_.begin()) {
+      auto prev = std::prev(next);
+      if (prev->first + prev->second == offset) {
+        offset = prev->first;
+        len += prev->second;
+        free_.erase(prev);
+      }
+    }
+    if (next != free_.end() && offset + len == next->first) {
+      len += next->second;
+      free_.erase(next);
+    }
+    free_[offset] = len;
+    return Status::Ok();
+  }
+
+  uint64_t total_bytes() const { return total_; }
+  uint64_t free_bytes() const { return free_bytes_; }
+  uint64_t allocated_bytes() const { return total_ - free_bytes_; }
+  size_t region_count() const { return allocated_.size(); }
+
+  // Live regions in address order.
+  std::vector<Region> Regions() const {
+    std::vector<Region> out;
+    out.reserve(allocated_.size());
+    for (const auto& [base, region] : allocated_) {
+      out.push_back(region);
+    }
+    return out;
+  }
+
+ private:
+  std::map<uint64_t, uint64_t> free_;     // base -> run length
+  std::map<uint64_t, Region> allocated_;  // base -> live region
+  uint64_t total_ = 0;
+  uint64_t free_bytes_ = 0;
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_LSVD_SSD_REGION_ALLOCATOR_H_

@@ -53,12 +53,12 @@ WriteCache::WriteCache(ClientHost* host, uint64_t base, uint64_t size,
   c_checkpoints_ = metrics_->GetCounter(prefix + ".checkpoints");
   c_evicted_records_ = metrics_->GetCounter(prefix + ".evicted_records");
   h_append_to_free_us_ = metrics_->GetHistogram(prefix + ".append_to_free_us");
-  metrics_->RegisterCallback(prefix + ".used_bytes",
-                             [this] { return static_cast<double>(used_); });
-  metrics_->RegisterCallback(prefix + ".free_bytes", [this] {
+  callback_guard_.Register(metrics_, prefix + ".used_bytes",
+                           [this] { return static_cast<double>(used_); });
+  callback_guard_.Register(metrics_, prefix + ".free_bytes", [this] {
     return static_cast<double>(free_bytes());
   });
-  metrics_->RegisterCallback(prefix + ".live_records", [this] {
+  callback_guard_.Register(metrics_, prefix + ".live_records", [this] {
     return static_cast<double>(records_.size());
   });
 }

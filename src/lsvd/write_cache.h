@@ -224,6 +224,9 @@ class WriteCache {
   // Records at the front of records_ whose append_to_free latency has been
   // recorded (timed records form a prefix, like eviction).
   size_t release_timed_count_ = 0;
+  // Last member: destroyed first, so gauge callbacks never outlive the state
+  // they read (the shared host registry outlives detached volumes).
+  CallbackGuard callback_guard_;
 };
 
 }  // namespace lsvd

@@ -256,6 +256,19 @@ void MetricsRegistry::RegisterCallback(const std::string& name,
   slot.callback = std::move(fn);
 }
 
+void MetricsRegistry::UnregisterCallback(const std::string& name) {
+  auto it = slots_.find(name);
+  if (it == slots_.end() || !it->second.callback) {
+    return;
+  }
+  // Freeze the final value so the metric survives the component.
+  if (it->second.gauge == nullptr) {
+    it->second.gauge = std::make_unique<Gauge>();
+  }
+  it->second.gauge->Set(it->second.callback());
+  it->second.callback = nullptr;
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
   for (const auto& [name, slot] : slots_) {

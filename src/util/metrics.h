@@ -115,8 +115,14 @@ class MetricsRegistry {
   // the idiomatic way to expose existing state (utilization, queue depths,
   // sim::DiskStats) without mirroring writes. Re-registering a name replaces
   // the callback; `fn` must stay valid for the registry's lifetime or until
-  // replaced.
+  // replaced/unregistered. Components whose lifetime is shorter than the
+  // registry's (per-volume components on a shared host registry) must
+  // register through a CallbackGuard instead of calling this directly.
   void RegisterCallback(const std::string& name, std::function<double()> fn);
+  // Drops the callback for `name`, freezing its last sampled value into a
+  // plain gauge so the metric stays visible in post-detach dumps. No-op for
+  // unknown names or non-callback slots.
+  void UnregisterCallback(const std::string& name);
 
   MetricsSnapshot Snapshot() const;
   std::string ToJson() const { return Snapshot().ToJson(); }
@@ -134,6 +140,37 @@ class MetricsRegistry {
   };
   // std::map: deterministic export order, stable addresses for owned objects.
   std::map<std::string, Slot> slots_;
+};
+
+// RAII holder for snapshot-time gauge callbacks. A component that can be
+// destroyed while its registry lives on (any per-volume component on a
+// multi-tenant host's shared registry) registers through a guard member so
+// destruction unregisters the callbacks — a dangling `this` capture would
+// crash the next snapshot. Declare the guard AFTER the registry pointer and
+// the state the callbacks read, so it is destroyed first.
+class CallbackGuard {
+ public:
+  CallbackGuard() = default;
+  CallbackGuard(const CallbackGuard&) = delete;
+  CallbackGuard& operator=(const CallbackGuard&) = delete;
+  ~CallbackGuard() { Release(); }
+
+  void Register(MetricsRegistry* registry, const std::string& name,
+                std::function<double()> fn) {
+    registry->RegisterCallback(name, std::move(fn));
+    registered_.emplace_back(registry, name);
+  }
+
+  // Unregisters everything now (callbacks freeze their last value).
+  void Release() {
+    for (const auto& [registry, name] : registered_) {
+      registry->UnregisterCallback(name);
+    }
+    registered_.clear();
+  }
+
+ private:
+  std::vector<std::pair<MetricsRegistry*, std::string>> registered_;
 };
 
 // Records an elapsed simulated duration (nanoseconds) into a latency

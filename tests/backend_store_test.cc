@@ -423,6 +423,38 @@ TEST_F(BackendGcTest, DefragPlugsHolesAndShrinksMap) {
   EXPECT_LT(defragged, plain);
 }
 
+TEST_F(BackendGcTest, CorruptVictimAbortsRoundAndKeepsAccounting) {
+  // Two objects, then a checkpoint (interval = 2) so object 1 becomes GC
+  // eligible (victims must be older than the last checkpoint).
+  WriteAndApply(0, 64 * kKiB, 1);             // object 1
+  WriteAndApply(64 * kKiB, 64 * kKiB, 2);     // object 2 -> checkpoint
+  ASSERT_GE(store_->last_checkpoint_seq(), 2u);
+
+  // Replace object 1's backend bytes with garbage — a torn upload or bit rot
+  // that slipped past the PUT path. Its map extents still point into it.
+  const std::string victim = store_->NameForSeq(1);
+  world_.store.Corrupt(victim);
+  world_.store.Put(victim, TestPattern(4096, 77), [](Status) {});
+  Run();
+
+  // Overwrite most of object 1 so it becomes the least-utilized object and
+  // utilization dips below the low watermark: GC picks it as victim.
+  WriteAndApply(0, 56 * kKiB, 3);             // object 3
+  ASSERT_LT(store_->Utilization(), config_.gc_low_watermark);
+
+  // The round must abort: the victim's header is undecodable, but live map
+  // extents still point into it. Before the fix the victim was treated as
+  // fully dead — erased from accounting while reads through it kept failing.
+  EXPECT_GE(store_->stats().gc_aborted_corrupt, 1u);
+  EXPECT_EQ(store_->stats().gc_objects_cleaned, 0u);
+  EXPECT_EQ(store_->object_count(), 3u);  // victim still accounted
+  // The still-live tail of object 1 keeps its mapping; nothing was deleted.
+  auto t = store_->object_map().LookupOne(60 * kKiB);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->seq, 1u);
+  EXPECT_TRUE(world_.store.Head(victim).ok());
+}
+
 TEST_F(BackendGcTest, DeleteUnknownSnapshotFails) {
   std::optional<Status> s;
   store_->DeleteSnapshot(999, [&](Status st) { s = st; });

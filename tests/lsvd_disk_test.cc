@@ -147,6 +147,7 @@ TEST_F(LsvdDiskTest, PrefetchFillsReadCache) {
   // First 4 KiB read misses to the backend but prefetches a whole window.
   auto r1 = ReadSync(&world_.sim, disk_.get(), 0, 4 * kKiB);
   ASSERT_TRUE(r1.ok());
+  world_.sim.Run();  // lines appear once their background fills land
   const uint64_t backend_reads = disk_->stats().backend_reads;
   EXPECT_GT(disk_->read_cache().stats().inserted_bytes, 4 * kKiB);
   // Nearby read now hits the read cache, no extra backend I/O.
@@ -164,6 +165,7 @@ TEST_F(LsvdDiskTest, WriteInvalidatesReadCache) {
   ASSERT_TRUE(DrainSync(&world_.sim, disk_.get()).ok());
   disk_->write_cache().EvictReleasable();  // miss to the backend, fill rc
   ASSERT_TRUE(ReadSync(&world_.sim, disk_.get(), 0, 128 * kKiB).ok());
+  world_.sim.Run();  // lines appear once their background fills land
   ASSERT_GT(disk_->read_cache().map().mapped_bytes(), 0u);
 
   // Overwrite; even after the new write flows through and is evicted from
@@ -262,6 +264,7 @@ TEST_F(LsvdDiskTest, CleanShutdownAndReopenRestoresReadCache) {
   ASSERT_TRUE(DrainSync(&world_.sim, disk_.get()).ok());
   disk_->write_cache().EvictReleasable();  // miss to the backend, fill rc
   ASSERT_TRUE(ReadSync(&world_.sim, disk_.get(), 0, 256 * kKiB).ok());
+  world_.sim.Run();  // lines appear once their background fills land
   ASSERT_GT(disk_->read_cache().map().mapped_bytes(), 0u);
 
   std::optional<Status> s;

@@ -326,6 +326,35 @@ TEST(MetricsSnapshot, TableListsEveryMetric) {
   EXPECT_NE(table.find("count=1"), std::string::npos);
 }
 
+// --- callback lifetime ---
+
+TEST(MetricsRegistry, UnregisterCallbackFreezesLastValue) {
+  MetricsRegistry reg;
+  double v = 42.0;
+  reg.RegisterCallback("g", [&] { return v; });
+  EXPECT_EQ(reg.Snapshot().Find("g")->value, 42.0);
+  reg.UnregisterCallback("g");
+  v = 99.0;  // no longer sampled
+  EXPECT_EQ(reg.Snapshot().Find("g")->value, 42.0);
+  reg.UnregisterCallback("g");        // idempotent
+  reg.UnregisterCallback("missing");  // unknown name: no-op
+}
+
+TEST(MetricsRegistry, CallbackGuardUnregistersOnDestruction) {
+  MetricsRegistry reg;
+  {
+    struct Component {
+      double state = 7.0;
+      CallbackGuard guard;
+    } comp;
+    comp.guard.Register(&reg, "comp.state", [&comp] { return comp.state; });
+    EXPECT_EQ(reg.Snapshot().Find("comp.state")->value, 7.0);
+  }
+  // The component is gone; snapshotting must not touch it (this is how a
+  // detached volume's gauges behave on the shared host registry).
+  EXPECT_EQ(reg.Snapshot().Find("comp.state")->value, 7.0);
+}
+
 // --- RecordLatencyUs ---
 
 TEST(RecordLatencyUs, ConvertsAndGuards) {

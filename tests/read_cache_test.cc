@@ -146,6 +146,72 @@ TEST_F(ReadCacheTest, PersistAndLoadMap) {
   EXPECT_EQ(fresh->map().mapped_bytes(), 2 * kLine);
 }
 
+// A slot whose fill write fails must never become visible in the map —
+// before the fix the map entry was installed at Insert time and the failed
+// completion was ignored, so reads kept routing to a slot whose data never
+// landed.
+TEST_F(ReadCacheTest, FailedFillInstallsNoMapping) {
+  host_.ssd()->FailNextWrites(1);
+  rc_->Insert(kMiB, TestPattern(kLine, 7));
+  sim_.Run();
+  EXPECT_FALSE(rc_->map().LookupOne(kMiB).has_value());
+  EXPECT_EQ(rc_->map().mapped_bytes(), 0u);
+  EXPECT_EQ(rc_->stats().fill_failures, 1u);
+  // The cache keeps working: a later fill of the same range lands normally.
+  Buffer data = TestPattern(kLine, 8);
+  rc_->Insert(kMiB, data);
+  sim_.Run();
+  auto r = ReadVlba(kMiB, kLine);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, data);
+}
+
+// The map entry appears only once the fill write is acknowledged; a read
+// racing the fill misses (and re-fetches) instead of hitting unwritten SSD.
+TEST_F(ReadCacheTest, MappingVisibleOnlyAfterFillCompletes) {
+  rc_->Insert(0, TestPattern(kLine, 9));
+  EXPECT_FALSE(rc_->map().LookupOne(0).has_value());
+  sim_.Run();
+  EXPECT_TRUE(rc_->map().LookupOne(0).has_value());
+}
+
+// An invalidation that overlaps an in-flight fill must win: the fill's
+// completion may not install a mapping to the now-stale data.
+TEST_F(ReadCacheTest, InvalidateBeatsInflightFill) {
+  rc_->Insert(0, TestPattern(2 * kLine, 10));
+  rc_->Invalidate(kLine, 4096);  // overlaps the second in-flight line
+  sim_.Run();
+  EXPECT_TRUE(rc_->map().LookupOne(0).has_value());
+  EXPECT_FALSE(rc_->map().LookupOne(kLine).has_value());
+}
+
+// The mapped_bytes gauge must report the map's bytes, not the sum of slot
+// lengths — invalidations and overwrites remove map extents without
+// clearing slots, so the old slot-sum over-reported.
+TEST_F(ReadCacheTest, MappedBytesGaugeTracksMapNotSlots) {
+  MetricsRegistry metrics;
+  auto rc = std::make_unique<ReadCache>(
+      &host_, *host_.AllocRegion(kRegionSize), kRegionSize, kLine, &metrics);
+  rc->Insert(0, TestPattern(2 * kLine, 11));
+  sim_.Run();
+  EXPECT_EQ(metrics.Snapshot().Find("lsvd.read_cache.mapped_bytes")->value,
+            static_cast<double>(rc->map().mapped_bytes()));
+
+  // Invalidate one line: the slot keeps its length but the map shrinks; the
+  // gauge must follow the map.
+  rc->Invalidate(kLine, kLine);
+  EXPECT_EQ(rc->map().mapped_bytes(), kLine);
+  EXPECT_EQ(metrics.Snapshot().Find("lsvd.read_cache.mapped_bytes")->value,
+            static_cast<double>(kLine));
+
+  // Re-inserting vlba 0 moves the mapping to a new slot; the old slot still
+  // holds a length, but mapped bytes must not double-count.
+  rc->Insert(0, TestPattern(kLine, 12));
+  sim_.Run();
+  EXPECT_EQ(metrics.Snapshot().Find("lsvd.read_cache.mapped_bytes")->value,
+            static_cast<double>(kLine));
+}
+
 TEST_F(ReadCacheTest, LoadMapOnBlankDeviceFailsGracefully) {
   auto fresh_base = *host_.AllocRegion(kRegionSize);
   auto fresh = std::make_unique<ReadCache>(&host_, fresh_base, kRegionSize,
