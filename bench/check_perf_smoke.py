@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Perf-harness smoke check (ctest label: perf_smoke; see docs/PERF.md).
+
+Runs one short bench under --perf, then:
+  1. validates the BENCH_<name>.json it writes against the documented schema,
+  2. compares the virtual-time (deterministic) fields -- events, sim_ios,
+     sim_seconds -- against the checked-in golden snapshot. Any drift means a
+     change altered simulation behavior, which the perf work must not do.
+
+Wall-clock fields (wall_seconds, *_per_sec) are machine-dependent and only
+schema-checked. Regenerate the golden after an *intentional* simulation
+change with:
+
+    bench/check_perf_smoke.py <build-bench-dir> --update
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+BENCH = "fig06_randwrite"
+ARGS = ["--seconds=0.05", "--volume-gib=0.25", "--perf"]
+GOLDEN = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden",
+                      "perf_smoke.json")
+# Fields that must be byte-for-byte reproducible run to run.
+DETERMINISTIC = ("bench", "events", "sim_ios", "sim_seconds")
+SCHEMA = {
+    "bench": str,
+    "wall_seconds": float,
+    "events": int,
+    "events_per_sec": float,
+    "sim_ios": int,
+    "sim_ios_per_sec": float,
+    "sim_seconds": float,
+    "crc32c_impl": str,
+    "build_type": str,
+}
+
+
+def fail(msg):
+    print("perf_smoke FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_perf_smoke.py <build-bench-dir> [--update]")
+    bench_dir = os.path.abspath(sys.argv[1])
+    update = "--update" in sys.argv[2:]
+    binary = os.path.join(bench_dir, BENCH)
+    if not os.access(binary, os.X_OK):
+        fail("bench binary missing: %s" % binary)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        proc = subprocess.run([binary] + ARGS, cwd=tmp,
+                              capture_output=True, text=True)
+        if proc.returncode != 0:
+            fail("%s exited %d:\n%s" % (BENCH, proc.returncode,
+                                        proc.stderr[-2000:]))
+        path = os.path.join(tmp, "BENCH_%s.json" % BENCH)
+        if not os.path.exists(path):
+            fail("bench did not write %s" % path)
+        with open(path) as f:
+            try:
+                report = json.load(f)
+            except json.JSONDecodeError as e:
+                fail("malformed BENCH json: %s" % e)
+
+    for key, want_type in SCHEMA.items():
+        if key not in report:
+            fail("BENCH json missing field %r" % key)
+        value = report[key]
+        if want_type is float and isinstance(value, int):
+            value = float(value)
+        if not isinstance(value, want_type):
+            fail("field %r has type %s, want %s" %
+                 (key, type(report[key]).__name__, want_type.__name__))
+    if set(report) - set(SCHEMA):
+        fail("BENCH json has undocumented fields: %s" %
+             sorted(set(report) - set(SCHEMA)))
+    if report["bench"] != BENCH:
+        fail("bench name %r != %r" % (report["bench"], BENCH))
+    if report["wall_seconds"] <= 0 or report["events"] <= 0:
+        fail("implausible report: %s" % report)
+
+    snapshot = {k: report[k] for k in DETERMINISTIC}
+    if update:
+        os.makedirs(os.path.dirname(GOLDEN), exist_ok=True)
+        with open(GOLDEN, "w") as f:
+            json.dump(snapshot, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("perf_smoke: golden updated: %s" % GOLDEN)
+        return
+
+    if not os.path.exists(GOLDEN):
+        fail("golden snapshot missing (%s); run with --update" % GOLDEN)
+    with open(GOLDEN) as f:
+        golden = json.load(f)
+    if snapshot != golden:
+        diff = {k: (golden.get(k), snapshot[k]) for k in DETERMINISTIC
+                if golden.get(k) != snapshot[k]}
+        fail("virtual-time drift from golden (golden, got): %s" % diff)
+    print("perf_smoke OK: schema valid, virtual-time fields match golden")
+
+
+if __name__ == "__main__":
+    main()

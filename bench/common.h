@@ -10,6 +10,7 @@
 #ifndef BENCH_COMMON_H_
 #define BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -19,6 +20,7 @@
 #include "src/baseline/rbd_disk.h"
 #include "src/lsvd/lsvd_disk.h"
 #include "src/objstore/sim_object_store.h"
+#include "src/util/crc32c.h"
 #include "src/util/metrics.h"
 #include "src/util/table.h"
 #include "src/workload/driver.h"
@@ -26,6 +28,22 @@
 
 namespace lsvd {
 namespace bench {
+
+// Process-wide tallies behind the --perf harness (docs/PERF.md). Worlds add
+// their event-engine totals on destruction; the workload helpers add driver
+// op counts. All of it is virtual-time state, so the tallies are exactly as
+// deterministic as the simulation itself — only wall_seconds varies run to
+// run.
+struct PerfTotals {
+  uint64_t events = 0;       // simulator events processed, all worlds
+  uint64_t sim_ios = 0;      // driver ops completed (reads+writes+flushes)
+  double sim_seconds = 0.0;  // virtual seconds simulated, summed over worlds
+};
+
+inline PerfTotals& GlobalPerfTotals() {
+  static PerfTotals totals;
+  return totals;
+}
 
 // Paper defaults (§4.1).
 inline constexpr uint64_t kVolumeSize = 80 * kGiB;
@@ -70,6 +88,12 @@ struct World {
   World(ClusterConfig cluster_config, ClientHostConfig hc) {
     host_config = hc;
     Init(cluster_config);
+  }
+
+  ~World() {
+    PerfTotals& totals = GlobalPerfTotals();
+    totals.events += sim.events_processed();
+    totals.sim_seconds += ToSeconds(sim.now());
   }
 
  private:
@@ -140,6 +164,7 @@ inline void Precondition(World* world, VirtualDisk* disk) {
     std::fprintf(stderr, "precondition stalled\n");
     std::abort();
   }
+  GlobalPerfTotals().sim_ios += driver.stats().ops;
 }
 
 // Runs a fio-style workload for `seconds` of virtual time and returns stats.
@@ -151,6 +176,7 @@ inline DriverStats RunFio(World* world, VirtualDisk* disk, FioConfig fio,
   bool done = false;
   driver.Run([&] { done = true; });
   world->sim.Run();
+  GlobalPerfTotals().sim_ios += driver.stats().ops;
   return driver.stats();
 }
 
@@ -177,6 +203,73 @@ inline bool ArgFlag(int argc, char** argv, const std::string& flag) {
   }
   return false;
 }
+
+// Wall-clock perf harness (docs/PERF.md). Declare first in main():
+//
+//   PerfScope perf(argc, argv, "fig06_randwrite");
+//
+// When "--perf" was passed, the destructor writes BENCH_<name>.json into the
+// working directory with wall time, event-engine throughput, and simulated-IO
+// throughput, and prints a one-line summary. Without --perf it is inert, so
+// bench stdout stays byte-identical to the pre-harness output.
+class PerfScope {
+ public:
+  PerfScope(int argc, char** argv, std::string name)
+      : name_(std::move(name)),
+        enabled_(ArgFlag(argc, argv, "perf")),
+        start_(std::chrono::steady_clock::now()) {}
+
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+
+  ~PerfScope() {
+    if (!enabled_) {
+      return;
+    }
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+    const PerfTotals& totals = GlobalPerfTotals();
+    const double events_per_sec =
+        wall > 0 ? static_cast<double>(totals.events) / wall : 0.0;
+    const double ios_per_sec =
+        wall > 0 ? static_cast<double>(totals.sim_ios) / wall : 0.0;
+#ifdef NDEBUG
+    const char* build_type = "opt";
+#else
+    const char* build_type = "debug";
+#endif
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "perf: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f,
+                 "{\"bench\":\"%s\",\"wall_seconds\":%.6f,"
+                 "\"events\":%llu,\"events_per_sec\":%.1f,"
+                 "\"sim_ios\":%llu,\"sim_ios_per_sec\":%.1f,"
+                 "\"sim_seconds\":%.6f,"
+                 "\"crc32c_impl\":\"%s\",\"build_type\":\"%s\"}\n",
+                 name_.c_str(), wall,
+                 static_cast<unsigned long long>(totals.events),
+                 events_per_sec,
+                 static_cast<unsigned long long>(totals.sim_ios), ios_per_sec,
+                 totals.sim_seconds, Crc32cImplName(), build_type);
+    std::fclose(f);
+    std::printf("[perf] %s: %.3fs wall, %.3gM events (%.3gM/s), "
+                "%llu sim IOs (%.3gK/s), %.3g sim-s -> %s\n",
+                name_.c_str(), wall,
+                static_cast<double>(totals.events) / 1e6, events_per_sec / 1e6,
+                static_cast<unsigned long long>(totals.sim_ios),
+                ios_per_sec / 1e3, totals.sim_seconds, path.c_str());
+  }
+
+ private:
+  std::string name_;
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 // Uniform metrics dump: when "--json" was passed, prints the whole world
 // registry as one JSON object on a single line (machine-parseable; see

@@ -11,6 +11,7 @@ using namespace lsvd;
 using namespace lsvd::bench;
 
 int main(int argc, char** argv) {
+  PerfScope perf(argc, argv, "fig09_smallcache_randwrite");
   const double seconds = ArgDouble(argc, argv, "seconds", 12.0);
   const double vol_gib = ArgDouble(argc, argv, "volume-gib", 8.0);
   const bool sequential = ArgDouble(argc, argv, "sequential", 0) != 0;

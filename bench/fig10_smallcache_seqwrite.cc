@@ -5,7 +5,15 @@
 #undef main
 
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
+  PerfScope perf(argc, argv, "fig10_smallcache_seqwrite");
+  // Strip --perf before delegating: fig09's inner PerfScope must stay inert
+  // so only this binary's BENCH_ file is written.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; i++) {
+    if (std::string(argv[i]) != "--perf") {
+      args.push_back(argv[i]);
+    }
+  }
   static char flag[] = "--sequential=1";
   args.push_back(flag);
   return fig09_main(static_cast<int>(args.size()), args.data());

@@ -11,6 +11,7 @@ using namespace lsvd;
 using namespace lsvd::bench;
 
 int main(int argc, char** argv) {
+  PerfScope perf(argc, argv, "fig12_backend_load");
   const double seconds = ArgDouble(argc, argv, "seconds", 2.0);
   const double vol_gib = ArgDouble(argc, argv, "volume-gib", 4.0);
   const int max_disks = static_cast<int>(ArgDouble(argc, argv, "max-disks", 16));

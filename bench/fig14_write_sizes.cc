@@ -11,6 +11,7 @@ using namespace lsvd;
 using namespace lsvd::bench;
 
 int main(int argc, char** argv) {
+  PerfScope perf(argc, argv, "fig14_write_sizes");
   const double seconds = ArgDouble(argc, argv, "seconds", 5.0);
   const double vol_gib = ArgDouble(argc, argv, "volume-gib", 4.0);
   PrintHeader("fig14_write_sizes",

@@ -15,6 +15,7 @@ using namespace lsvd;
 using namespace lsvd::bench;
 
 int main(int argc, char** argv) {
+  PerfScope perf(argc, argv, "fig16_replication");
   const double seconds = ArgDouble(argc, argv, "seconds", 90.0);
   const double vol_gib = ArgDouble(argc, argv, "volume-gib", 2.0);
   PrintHeader("fig16_replication",

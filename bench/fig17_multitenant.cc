@@ -119,6 +119,7 @@ ScenarioResult RunScenario(uint64_t volume, double seconds, bool with_writer,
 }  // namespace
 
 int main(int argc, char** argv) {
+  PerfScope perf(argc, argv, "fig17_multitenant");
   const bool smoke = ArgFlag(argc, argv, "smoke");
   const double seconds = ArgDouble(argc, argv, "seconds", smoke ? 0.05 : 3.0);
   const double vol_gib = ArgDouble(argc, argv, "volume-gib",

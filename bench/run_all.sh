@@ -3,12 +3,23 @@
 # --json metrics dump (where supported) parses. Wired into ctest as
 # `bench_smoke`; also usable standalone:
 #
-#   bench/run_all.sh [path/to/build/bench]
+#   bench/run_all.sh [--perf] [path/to/build/bench]
 #
 # Tiny parameters keep the whole sweep under about a minute — this checks
 # that every figure/table binary still runs end to end and that the metrics
 # JSON stays machine-readable; it does NOT produce paper-quality numbers.
+#
+# With --perf, every bench additionally runs under the wall-clock perf
+# harness (docs/PERF.md): each binary writes BENCH_<name>.json into the
+# current directory, and a summary table (events/sec, simulated-IOs/sec,
+# wall seconds per bench plus totals) is printed at the end.
 set -u
+
+PERF=0
+if [ "${1:-}" = "--perf" ]; then
+  PERF=1
+  shift
+fi
 
 BENCH_DIR="${1:-$(dirname "$0")/../build/bench}"
 if [ ! -d "$BENCH_DIR" ]; then
@@ -63,6 +74,9 @@ run() {
   for arg in "$@"; do
     [ "$arg" = "--json" ] && want_json=1
   done
+  if [ "$PERF" = 1 ]; then
+    set -- "$@" --perf
+  fi
   if ! "$bin" "$@" >"$out" 2>&1; then
     echo "FAIL $name (exit $?)"
     sed 's/^/    /' "$out" | tail -5
@@ -101,3 +115,41 @@ if [ "$failures" -gt 0 ]; then
   exit 1
 fi
 echo "all benches passed"
+
+if [ "$PERF" = 1 ]; then
+  if [ -z "$PYTHON" ]; then
+    echo "perf: python3 unavailable, skipping aggregation (BENCH_*.json written)"
+    exit 0
+  fi
+  "$PYTHON" - <<'EOF'
+import glob, json, sys
+
+files = sorted(glob.glob("BENCH_*.json"))
+if not files:
+    sys.exit("perf: no BENCH_*.json files found")
+rows = []
+for path in files:
+    with open(path) as f:
+        rows.append(json.load(f))
+print()
+print("perf summary (%s, crc32c=%s)" % (rows[0]["build_type"],
+                                        rows[0]["crc32c_impl"]))
+hdr = "%-28s %10s %14s %14s %12s" % ("bench", "wall s", "events/s", "sim IO/s",
+                                     "sim s")
+print(hdr)
+print("-" * len(hdr))
+for r in rows:
+    print("%-28s %10.3f %14s %14s %12.3f" %
+          (r["bench"], r["wall_seconds"],
+           "{:,.0f}".format(r["events_per_sec"]),
+           "{:,.0f}".format(r["sim_ios_per_sec"]), r["sim_seconds"]))
+wall = sum(r["wall_seconds"] for r in rows)
+events = sum(r["events"] for r in rows)
+ios = sum(r["sim_ios"] for r in rows)
+print("-" * len(hdr))
+print("%-28s %10.3f %14s %14s %12.3f" %
+      ("TOTAL", wall, "{:,.0f}".format(events / wall if wall else 0),
+       "{:,.0f}".format(ios / wall if wall else 0),
+       sum(r["sim_seconds"] for r in rows)))
+EOF
+fi

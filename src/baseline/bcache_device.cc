@@ -75,8 +75,7 @@ BcacheStats BcacheDevice::stats() const {
   return s;
 }
 
-void BcacheDevice::FreeDisplaced(
-    const std::vector<ExtentMap<SsdTarget>::Extent>& ext) {
+void BcacheDevice::FreeDisplaced(const ExtentMap<SsdTarget>::ExtentVec& ext) {
   for (const auto& e : ext) {
     alloc_.Free(e.target.plba, e.len);
   }
@@ -98,13 +97,17 @@ std::optional<uint64_t> BcacheDevice::AllocateEvicting(uint64_t len) {
     clean_fifo_.pop_front();
     // Free only the portions still mapped to this entry's slot (overwritten
     // ranges were freed when they were displaced).
-    for (const auto& seg : clean_.Lookup(entry.vlba, entry.len)) {
+    ExtentMap<SsdTarget>::SegmentVec segs;
+    ExtentMap<SsdTarget>::ExtentVec removed;
+    clean_.Lookup(entry.vlba, entry.len, &segs);
+    for (const auto& seg : segs) {
       if (!seg.target.has_value()) {
         continue;
       }
       const uint64_t expected = entry.plba + (seg.start - entry.vlba);
       if (seg.target->plba == expected) {
-        FreeDisplaced(clean_.Remove(seg.start, seg.len));
+        clean_.Remove(seg.start, seg.len, &removed);
+        FreeDisplaced(removed);
       }
     }
   }
@@ -179,8 +182,11 @@ void BcacheDevice::DoWrite(uint64_t offset, Buffer data,
     }
     const uint64_t len = data.size();
     // Older copies of this range die now; their space is reusable.
-    FreeDisplaced(dirty_.Update(offset, len, SsdTarget{target}));
-    FreeDisplaced(clean_.Remove(offset, len));
+    ExtentMap<SsdTarget>::ExtentVec displaced;
+    dirty_.Update(offset, len, SsdTarget{target}, &displaced);
+    FreeDisplaced(displaced);
+    clean_.Remove(offset, len, &displaced);
+    FreeDisplaced(displaced);
     updates_since_barrier_++;
     ArmWriteback();
     ssd_->Write(target, std::move(data),
@@ -299,12 +305,16 @@ void BcacheDevice::Read(uint64_t offset, uint64_t len,
   };
   auto plan = std::make_shared<std::vector<Fragment>>();
   bool all_hits = true;
-  for (const auto& dseg : dirty_.Lookup(offset, len)) {
+  ExtentMap<SsdTarget>::SegmentVec dsegs;
+  ExtentMap<SsdTarget>::SegmentVec csegs;
+  dirty_.Lookup(offset, len, &dsegs);
+  for (const auto& dseg : dsegs) {
     if (dseg.target.has_value()) {
       plan->push_back(Fragment{dseg.start, dseg.len, dseg.target->plba});
       continue;
     }
-    for (const auto& cseg : clean_.Lookup(dseg.start, dseg.len)) {
+    clean_.Lookup(dseg.start, dseg.len, &csegs);
+    for (const auto& cseg : csegs) {
       if (cseg.target.has_value()) {
         plan->push_back(Fragment{cseg.start, cseg.len, cseg.target->plba});
       } else {
@@ -357,8 +367,10 @@ void BcacheDevice::Read(uint64_t offset, uint64_t len,
             // Fill the cache (clean) in the background.
             auto slot = AllocateEvicting(frag.len);
             if (slot.has_value()) {
-              FreeDisplaced(clean_.Remove(frag.vlba, frag.len));
-              clean_.Update(frag.vlba, frag.len, SsdTarget{*slot});
+              ExtentMap<SsdTarget>::ExtentVec removed;
+              clean_.Remove(frag.vlba, frag.len, &removed);
+              FreeDisplaced(removed);
+              clean_.Update(frag.vlba, frag.len, SsdTarget{*slot}, nullptr);
               clean_fifo_.push_back(CleanEntry{frag.vlba, frag.len, *slot});
               ssd_->Write(*slot, *r, [](Status) {});
             }
@@ -502,14 +514,16 @@ void BcacheDevice::WritebackRound(uint64_t max_bytes, bool forced,
         }
         if (s.ok()) {
           // Move still-current ranges from dirty to clean.
-          for (const auto& seg : dirty_.Lookup(p.vlba, p.len)) {
+          ExtentMap<SsdTarget>::SegmentVec segs;
+          dirty_.Lookup(p.vlba, p.len, &segs);
+          for (const auto& seg : segs) {
             if (!seg.target.has_value()) {
               continue;
             }
             const uint64_t expected = p.plba + (seg.start - p.vlba);
             if (seg.target->plba == expected) {
-              dirty_.Remove(seg.start, seg.len);
-              clean_.Update(seg.start, seg.len, SsdTarget{expected});
+              dirty_.Remove(seg.start, seg.len, nullptr);
+              clean_.Update(seg.start, seg.len, SsdTarget{expected}, nullptr);
               clean_fifo_.push_back(
                   CleanEntry{seg.start, seg.len, expected});
             }

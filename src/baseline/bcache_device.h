@@ -88,7 +88,7 @@ class BcacheDevice : public VirtualDisk {
 
   void DoWrite(uint64_t offset, Buffer data, std::function<void(Status)> done);
   // Frees cache space still mapped by `displaced` extents.
-  void FreeDisplaced(const std::vector<ExtentMap<SsdTarget>::Extent>& ext);
+  void FreeDisplaced(const ExtentMap<SsdTarget>::ExtentVec& ext);
   // Allocates `len` contiguous bytes, evicting clean lines as needed.
   std::optional<uint64_t> AllocateEvicting(uint64_t len);
   void JoinJournal(std::function<void()> committed);

@@ -87,6 +87,13 @@ void SimSsd::SubmitOp(bool is_write, uint64_t offset, uint64_t len,
 
 void SimSsd::StoreBlocks(BlockMap* map, uint64_t offset, const Buffer& data) {
   const uint64_t blocks = data.size() / kBlockSize;
+  if (data.IsAllZeros()) {
+    // Bulk payloads are symbolic zero runs; skip per-block slicing.
+    for (uint64_t i = 0; i < blocks; i++) {
+      (*map)[offset / kBlockSize + i] = nullptr;
+    }
+    return;
+  }
   for (uint64_t i = 0; i < blocks; i++) {
     const uint64_t block = offset / kBlockSize + i;
     Buffer slice = data.Slice(i * kBlockSize, kBlockSize);
@@ -113,7 +120,9 @@ Buffer SimSsd::LoadBlocks(uint64_t offset, uint64_t len) const {
     if (data == nullptr || *data == nullptr) {
       out.AppendZeros(kBlockSize);
     } else {
-      out.AppendBytes({(*data)->data(), (*data)->size()});
+      // Share the stored block's storage; stored blocks are immutable and
+      // map-value replacement only swaps the shared_ptr, so sharing is safe.
+      out.AppendShared(*data);
     }
   }
   return out;

@@ -182,10 +182,10 @@ void BackendStore::SealBatch(OpenBatch batch, bool from_gc,
     // make it into the object. Cross-batch coalescing would break the
     // ordering guarantee, so it never happens.
     ExtentMap<ObjTarget> scratch;
+    ExtentMap<ObjTarget>::ExtentVec displaced;
     for (size_t i = 0; i < batch.entries.size(); i++) {
       const auto& e = batch.entries[i];
-      const auto displaced =
-          scratch.Update(e.vlba, e.data.size(), ObjTarget{i, 0});
+      scratch.Update(e.vlba, e.data.size(), ObjTarget{i, 0}, &displaced);
       for (const auto& d : displaced) {
         c_coalesced_bytes_->Inc(d.len);
       }
@@ -547,22 +547,28 @@ void BackendStore::ApplyObjectExtents(uint64_t seq,
                                       uint64_t payload_bytes) {
   uint64_t offset = header.data_offset;
   uint64_t live = 0;
+  ExtentMap<ObjTarget>::ExtentVec displaced;
+  ExtentMap<ObjTarget>::SegmentVec segs;
   for (const auto& ext : header.extents) {
     const ObjTarget target{seq, offset};
     if (!ext.conditional()) {
-      AccountDisplaced(object_map_.Update(ext.vlba, ext.len, target));
+      object_map_.Update(ext.vlba, ext.len, target, &displaced);
+      AccountDisplaced(displaced);
       live += ext.len;
     } else {
       // GC data: apply only where the map still points at the source.
       const ObjTarget expected{ext.expected_seq, ext.expected_offset};
-      for (const auto& seg : object_map_.Lookup(ext.vlba, ext.len)) {
+      object_map_.Lookup(ext.vlba, ext.len, &segs);
+      for (const auto& seg : segs) {
         if (!seg.target.has_value()) {
           continue;
         }
         const ObjTarget want = expected.Advanced(seg.start - ext.vlba);
         if (*seg.target == want) {
-          AccountDisplaced(object_map_.Update(
-              seg.start, seg.len, target.Advanced(seg.start - ext.vlba)));
+          object_map_.Update(seg.start, seg.len,
+                             target.Advanced(seg.start - ext.vlba),
+                             &displaced);
+          AccountDisplaced(displaced);
           live += seg.len;
         }
       }
@@ -573,7 +579,7 @@ void BackendStore::ApplyObjectExtents(uint64_t seq,
 }
 
 void BackendStore::AccountDisplaced(
-    const std::vector<ExtentMap<ObjTarget>::Extent>& displaced) {
+    const ExtentMap<ObjTarget>::ExtentVec& displaced) {
   for (const auto& d : displaced) {
     auto it = object_info_.find(d.target.seq);
     if (it != object_info_.end()) {
@@ -691,9 +697,11 @@ void BackendStore::CleanOneObject(uint64_t victim) {
     };
     auto pieces = std::make_shared<std::vector<LivePiece>>();
     uint64_t offset = header.data_offset;
+    ExtentMap<ObjTarget>::SegmentVec scan;
     for (const auto& ext : header.extents) {
       const ObjTarget created{victim, offset};
-      for (const auto& seg : object_map_.Lookup(ext.vlba, ext.len)) {
+      object_map_.Lookup(ext.vlba, ext.len, &scan);
+      for (const auto& seg : scan) {
         if (!seg.target.has_value() || seg.target->seq != victim) {
           continue;
         }
@@ -730,15 +738,17 @@ void BackendStore::CleanOneObject(uint64_t victim) {
         const LivePiece& next = (*pieces)[i];
         const uint64_t gap = next.vlba > prev_end ? next.vlba - prev_end : 0;
         if (gap > 0 && gap <= config_.gc_defrag_hole_max) {
+          ExtentMap<ObjTarget>::SegmentVec hole;
+          object_map_.Lookup(prev_end, gap, &hole);
           bool fully_mapped = true;
-          for (const auto& seg : object_map_.Lookup(prev_end, gap)) {
+          for (const auto& seg : hole) {
             if (!seg.target.has_value()) {
               fully_mapped = false;
               break;
             }
           }
           if (fully_mapped) {
-            for (const auto& seg : object_map_.Lookup(prev_end, gap)) {
+            for (const auto& seg : hole) {
               plugged.push_back(LivePiece{seg.start, seg.len, *seg.target});
             }
           }
@@ -801,7 +811,9 @@ void BackendStore::CleanOneObject(uint64_t victim) {
     for (const auto& piece : *pieces) {
       bool cache_covers = cache_ != nullptr;
       if (cache_covers) {
-        for (const auto& seg : cache_->map().Lookup(piece.vlba, piece.len)) {
+        ExtentMap<SsdTarget>::SegmentVec csegs;
+        cache_->map().Lookup(piece.vlba, piece.len, &csegs);
+        for (const auto& seg : csegs) {
           if (!seg.target.has_value()) {
             cache_covers = false;
             break;
@@ -1054,7 +1066,7 @@ void BackendStore::Recover(std::function<void(Status)> done) {
       }
       object_map_.Clear();
       for (const auto& e : state.object_map) {
-        object_map_.Update(e.start, e.len, e.target);
+        object_map_.Update(e.start, e.len, e.target, nullptr);
       }
       object_info_ = state.object_info;
       deferred_deletes_ = state.deferred_deletes;

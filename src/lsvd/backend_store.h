@@ -195,8 +195,7 @@ class BackendStore {
   void ApplyReady();
   void ApplyObjectExtents(uint64_t seq, const DataObjectHeader& header,
                           uint64_t payload_bytes);
-  void AccountDisplaced(
-      const std::vector<ExtentMap<ObjTarget>::Extent>& displaced);
+  void AccountDisplaced(const ExtentMap<ObjTarget>::ExtentVec& displaced);
   void MaybeCheckpoint();
   void MaybeGc();
   void CleanOneObject(uint64_t victim);

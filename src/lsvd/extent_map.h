@@ -8,6 +8,18 @@
 //
 // Adjacent extents whose targets are contiguous are merged on insert; the
 // resulting extent count is the memory-usage measure reported in Table 5.
+//
+// This header sits on the per-IO hot path of every component, so it offers
+// allocation-free variants of the classic interfaces:
+//  - Lookup/Update/Remove accept a caller-provided SmallVector (8 inline
+//    entries — a single IO rarely spans more extents) instead of returning
+//    a heap-allocated std::vector. The vector-returning forms remain for
+//    cold paths and tests.
+//  - A cached last-extent hint short-circuits the tree descent for the two
+//    dominant access patterns, repeated hits to the same extent (4K random)
+//    and sequential advance to the next one. The hint is only ever an
+//    accelerator: results are identical with or without it
+//    (tests/extent_map_hint_test.cc fuzzes the equivalence).
 #ifndef SRC_LSVD_EXTENT_MAP_H_
 #define SRC_LSVD_EXTENT_MAP_H_
 
@@ -16,7 +28,10 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <utility>
 #include <vector>
+
+#include "src/util/small_vector.h"
 
 namespace lsvd {
 
@@ -57,111 +72,118 @@ class ExtentMap {
     std::optional<T> target;
   };
 
+  // Allocation-free output containers for the hot-path interfaces.
+  using SegmentVec = SmallVector<Segment, 8>;
+  using ExtentVec = SmallVector<Extent, 8>;
+
+  ExtentMap() = default;
+  // The hint iterator points into this map's nodes, so copies must not
+  // inherit it; moves keep it (std::map iterators survive a move).
+  ExtentMap(const ExtentMap& other)
+      : map_(other.map_), mapped_(other.mapped_) {}
+  ExtentMap& operator=(const ExtentMap& other) {
+    map_ = other.map_;
+    mapped_ = other.mapped_;
+    hint_valid_ = false;
+    return *this;
+  }
+  ExtentMap(ExtentMap&& other) noexcept
+      : map_(std::move(other.map_)),
+        mapped_(other.mapped_),
+        hint_(other.hint_),
+        hint_valid_(other.hint_valid_) {
+    other.mapped_ = 0;
+    other.hint_valid_ = false;
+  }
+  ExtentMap& operator=(ExtentMap&& other) noexcept {
+    if (this != &other) {
+      map_ = std::move(other.map_);
+      mapped_ = other.mapped_;
+      hint_ = other.hint_;
+      hint_valid_ = other.hint_valid_;
+      other.mapped_ = 0;
+      other.hint_valid_ = false;
+    }
+    return *this;
+  }
+
   // Maps [start, start+len) to `target`, replacing any overlapped mappings.
-  // Returns the (portions of) previous extents that were displaced — the
-  // garbage collector uses these to decrement per-object live counts.
+  // The (portions of) previous extents that were displaced are appended to
+  // `displaced` (cleared first; pass nullptr to discard) — the garbage
+  // collector uses these to decrement per-object live counts.
+  void Update(uint64_t start, uint64_t len, T target,
+              ExtentVec* displaced) {
+    if (displaced != nullptr) {
+      displaced->clear();
+      RemoveImpl(start, len,
+                 [displaced](Extent e) { displaced->push_back(e); });
+    } else {
+      RemoveImpl(start, len, [](const Extent&) {});
+    }
+    if (len > 0) {
+      InsertAndMerge(start, len, target);
+    }
+  }
+
+  // Vector-returning form (cold paths, tests).
   std::vector<Extent> Update(uint64_t start, uint64_t len, T target) {
-    std::vector<Extent> displaced = Remove(start, len);
-    InsertAndMerge(start, len, target);
+    std::vector<Extent> displaced;
+    RemoveImpl(start, len,
+               [&displaced](Extent e) { displaced.push_back(std::move(e)); });
+    if (len > 0) {
+      InsertAndMerge(start, len, target);
+    }
     return displaced;
   }
 
-  // Removes mappings in [start, start+len); returns what was removed.
+  // Removes mappings in [start, start+len); what was removed is appended to
+  // `removed` (cleared first; pass nullptr to discard).
+  void Remove(uint64_t start, uint64_t len, ExtentVec* removed) {
+    if (removed != nullptr) {
+      removed->clear();
+      RemoveImpl(start, len, [removed](Extent e) { removed->push_back(e); });
+    } else {
+      RemoveImpl(start, len, [](const Extent&) {});
+    }
+  }
+
   std::vector<Extent> Remove(uint64_t start, uint64_t len) {
     std::vector<Extent> removed;
-    if (len == 0) {
-      return removed;
-    }
-    const uint64_t end = start + len;
-
-    auto it = map_.lower_bound(start);
-    // Step back to an extent that may straddle `start`.
-    if (it != map_.begin()) {
-      auto prev = std::prev(it);
-      if (prev->first + prev->second.len > start) {
-        it = prev;
-      }
-    }
-    while (it != map_.end() && it->first < end) {
-      const uint64_t e_start = it->first;
-      const uint64_t e_len = it->second.len;
-      const uint64_t e_end = e_start + e_len;
-      const T e_target = it->second.target;
-
-      const uint64_t cut_start = std::max(e_start, start);
-      const uint64_t cut_end = std::min(e_end, end);
-      assert(cut_start < cut_end);
-
-      removed.push_back(Extent{cut_start, cut_end - cut_start,
-                               e_target.Advanced(cut_start - e_start)});
-      it = map_.erase(it);
-      mapped_ -= e_len;
-
-      if (e_start < cut_start) {  // left remainder survives
-        InsertRaw(e_start, cut_start - e_start, e_target);
-      }
-      if (cut_end < e_end) {  // right remainder survives
-        InsertRaw(cut_end, e_end - cut_end,
-                  e_target.Advanced(cut_end - e_start));
-        break;  // nothing past e_end can overlap [start, end)
-      }
-    }
+    RemoveImpl(start, len,
+               [&removed](Extent e) { removed.push_back(std::move(e)); });
     return removed;
   }
 
   // Splits [start, start+len) into maximal segments that are each either
-  // fully mapped by one extent or fully unmapped.
+  // fully mapped by one extent or fully unmapped, appended to `out`
+  // (cleared first).
+  void Lookup(uint64_t start, uint64_t len, SegmentVec* out) const {
+    out->clear();
+    LookupImpl(start, len, [out](Segment s) { out->push_back(s); });
+  }
+
   std::vector<Segment> Lookup(uint64_t start, uint64_t len) const {
     std::vector<Segment> out;
-    if (len == 0) {
-      return out;
-    }
-    const uint64_t end = start + len;
-    uint64_t pos = start;
-
-    auto it = map_.lower_bound(start);
-    if (it != map_.begin()) {
-      auto prev = std::prev(it);
-      if (prev->first + prev->second.len > start) {
-        it = prev;
-      }
-    }
-    while (pos < end) {
-      if (it == map_.end() || it->first >= end) {
-        out.push_back(Segment{pos, end - pos, std::nullopt});
-        break;
-      }
-      const uint64_t e_start = it->first;
-      const uint64_t e_end = e_start + it->second.len;
-      if (e_start > pos) {
-        out.push_back(Segment{pos, e_start - pos, std::nullopt});
-        pos = e_start;
-      }
-      const uint64_t seg_end = std::min(e_end, end);
-      out.push_back(Segment{pos, seg_end - pos,
-                            it->second.target.Advanced(pos - e_start)});
-      pos = seg_end;
-      ++it;
-    }
+    LookupImpl(start, len,
+               [&out](Segment s) { out.push_back(std::move(s)); });
     return out;
   }
 
   // Target covering the single byte at `addr`, if mapped.
   std::optional<T> LookupOne(uint64_t addr) const {
-    auto it = map_.upper_bound(addr);
-    if (it == map_.begin()) {
+    auto it = SeekFirstEndingAfter(addr);
+    if (it == map_.end() || it->first > addr) {
       return std::nullopt;
     }
-    --it;
-    if (it->first + it->second.len <= addr) {
-      return std::nullopt;
-    }
+    hint_ = it;
+    hint_valid_ = true;
     return it->second.target.Advanced(addr - it->first);
   }
 
   void Clear() {
     map_.clear();
     mapped_ = 0;
+    hint_valid_ = false;
   }
 
   size_t extent_count() const { return map_.size(); }
@@ -183,16 +205,135 @@ class ExtentMap {
     uint64_t len;
     T target;
   };
+  using Map = std::map<uint64_t, Node>;
+  using Iter = typename Map::const_iterator;
+
+  // First extent whose end is strictly after `addr` — the only extent that
+  // can cover `addr`, and the first that can overlap [addr, ...). Checks
+  // the cached hint (same-extent and next-extent cases) before paying for
+  // a tree descent.
+  Iter SeekFirstEndingAfter(uint64_t addr) const {
+    if (hint_valid_) {
+      const uint64_t h_start = hint_->first;
+      const uint64_t h_end = h_start + hint_->second.len;
+      if (addr >= h_start) {
+        if (addr < h_end) {
+          return hint_;  // repeated hit on the same extent
+        }
+        // Sequential advance: everything at or before the hint ends at or
+        // before h_end <= addr, so the next extent is the first candidate —
+        // provided it actually ends after addr.
+        const Iter next = std::next(hint_);
+        if (next == map_.end() || addr < next->first + next->second.len) {
+          return next;
+        }
+      }
+    }
+    auto it = map_.lower_bound(addr);
+    if (it != map_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second.len > addr) {
+        it = prev;
+      }
+    }
+    return it;
+  }
+
+  template <typename Emit>
+  void RemoveImpl(uint64_t start, uint64_t len, Emit&& emit) {
+    if (len == 0) {
+      return;
+    }
+    const uint64_t end = start + len;
+
+    Iter it = SeekFirstEndingAfter(start);
+    while (it != map_.end() && it->first < end) {
+      const uint64_t e_start = it->first;
+      const uint64_t e_len = it->second.len;
+      const uint64_t e_end = e_start + e_len;
+      const T e_target = it->second.target;
+
+      const uint64_t cut_start = std::max(e_start, start);
+      const uint64_t cut_end = std::min(e_end, end);
+      assert(cut_start < cut_end);
+
+      emit(Extent{cut_start, cut_end - cut_start,
+                  e_target.Advanced(cut_start - e_start)});
+      it = EraseNode(it);
+      mapped_ -= e_len;
+
+      if (e_start < cut_start) {  // left remainder survives
+        InsertRaw(e_start, cut_start - e_start, e_target);
+      }
+      if (cut_end < e_end) {  // right remainder survives
+        InsertRaw(cut_end, e_end - cut_end,
+                  e_target.Advanced(cut_end - e_start));
+        break;  // nothing past e_end can overlap [start, end)
+      }
+    }
+  }
+
+  template <typename Emit>
+  void LookupImpl(uint64_t start, uint64_t len, Emit&& emit) const {
+    if (len == 0) {
+      return;
+    }
+    const uint64_t end = start + len;
+    uint64_t pos = start;
+
+    Iter it = SeekFirstEndingAfter(start);
+    Iter last_hit = map_.end();
+    while (pos < end) {
+      if (it == map_.end() || it->first >= end) {
+        emit(Segment{pos, end - pos, std::nullopt});
+        break;
+      }
+      const uint64_t e_start = it->first;
+      const uint64_t e_end = e_start + it->second.len;
+      if (e_start > pos) {
+        emit(Segment{pos, e_start - pos, std::nullopt});
+        pos = e_start;
+      }
+      const uint64_t seg_end = std::min(e_end, end);
+      emit(Segment{pos, seg_end - pos,
+                   it->second.target.Advanced(pos - e_start)});
+      pos = seg_end;
+      last_hit = it;
+      ++it;
+    }
+    if (last_hit != map_.end()) {
+      // Remember the last extent touched: a sequential follow-up lookup
+      // resumes from here in O(1).
+      hint_ = last_hit;
+      hint_valid_ = true;
+    }
+  }
+
+  // All erases funnel through here so the hint can never dangle.
+  Iter EraseNode(Iter it) {
+    if (hint_valid_ && hint_ == it) {
+      hint_valid_ = false;
+    }
+    return map_.erase(it);
+  }
 
   void InsertRaw(uint64_t start, uint64_t len, T target) {
     assert(len > 0);
-    map_[start] = Node{len, target};
+    const auto [it, inserted] =
+        map_.insert_or_assign(start, Node{len, target});
+    assert(inserted);
+    (void)inserted;
     mapped_ += len;
+    hint_ = it;
+    hint_valid_ = true;
   }
 
   void InsertAndMerge(uint64_t start, uint64_t len, T target) {
+    // RemoveImpl just cleared [start, start+len), so no extent overlaps the
+    // range and the first extent ending after `start` is exactly
+    // lower_bound(start).
+    Iter it = SeekFirstEndingAfter(start);
     // Merge with predecessor if byte- and target-contiguous.
-    auto it = map_.lower_bound(start);
     if (it != map_.begin()) {
       auto prev = std::prev(it);
       if (prev->first + prev->second.len == start &&
@@ -201,22 +342,24 @@ class ExtentMap {
         len += prev->second.len;
         target = prev->second.target;
         mapped_ -= prev->second.len;
-        map_.erase(prev);
+        it = EraseNode(prev);
       }
     }
     // Merge with successor.
-    it = map_.lower_bound(start);
     if (it != map_.end() && it->first == start + len &&
         target.Advanced(len) == it->second.target) {
       len += it->second.len;
       mapped_ -= it->second.len;
-      map_.erase(it);
+      EraseNode(it);
     }
     InsertRaw(start, len, target);
   }
 
-  std::map<uint64_t, Node> map_;
+  Map map_;
   uint64_t mapped_ = 0;
+  // Last-extent cache; `hint_` is only dereferenced when `hint_valid_`.
+  mutable Iter hint_;
+  mutable bool hint_valid_ = false;
 };
 
 }  // namespace lsvd

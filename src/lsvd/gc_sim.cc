@@ -11,7 +11,8 @@ void GcSimulator::Write(uint64_t vlba, uint64_t len) {
   result_.client_bytes += len;
   batch_raw_ += len;
   if (config_.merge) {
-    const auto displaced = batch_.Update(vlba, len, ObjTarget{next_seq_, 0});
+    ExtentMap<ObjTarget>::ExtentVec displaced;
+    batch_.Update(vlba, len, ObjTarget{next_seq_, 0}, &displaced);
     for (const auto& d : displaced) {
       result_.merged_bytes += d.len;
     }
@@ -23,9 +24,8 @@ void GcSimulator::Write(uint64_t vlba, uint64_t len) {
   }
 }
 
-void GcSimulator::Displace(
-    const std::vector<ExtentMap<ObjTarget>::Extent>& displaced,
-    uint64_t self_seq) {
+void GcSimulator::Displace(const ExtentMap<ObjTarget>::ExtentVec& displaced,
+                           uint64_t self_seq) {
   for (const auto& d : displaced) {
     auto it = info_.find(d.target.seq);
     if (it != info_.end()) {
@@ -73,9 +73,11 @@ void GcSimulator::SealBatch() {
   self_dead_ = 0;
 
   uint64_t offset = 0;
+  ExtentMap<ObjTarget>::ExtentVec displaced;
   std::vector<std::pair<uint64_t, uint64_t>>& created = creation_[seq];
   for (const auto& [vlba, len] : extents) {
-    Displace(map_.Update(vlba, len, ObjTarget{seq, offset}), seq);
+    map_.Update(vlba, len, ObjTarget{seq, offset}, &displaced);
+    Displace(displaced, seq);
     created.push_back({vlba, len});
     offset += len;
   }
@@ -124,11 +126,13 @@ void GcSimulator::CleanOne(uint64_t victim) {
     bool plug;  // defrag filler copied from another object
   };
   std::vector<Piece> pieces;
+  ExtentMap<ObjTarget>::SegmentVec segs;
   auto cit = creation_.find(victim);
   if (cit != creation_.end()) {
     uint64_t offset = 0;
     for (const auto& [vlba, len] : cit->second) {
-      for (const auto& seg : map_.Lookup(vlba, len)) {
+      map_.Lookup(vlba, len, &segs);
+      for (const auto& seg : segs) {
         // The offset check distinguishes duplicate creation extents (no-merge
         // mode can write the same vLBA twice into one object): only the copy
         // the map actually references is live.
@@ -155,7 +159,8 @@ void GcSimulator::CleanOne(uint64_t victim) {
       if (gap > 0 && gap <= config_.defrag_hole_max) {
         // Only plug if the whole gap is currently mapped (reads exist).
         bool mapped = true;
-        for (const auto& seg : map_.Lookup(prev_end, gap)) {
+        map_.Lookup(prev_end, gap, &segs);
+        for (const auto& seg : segs) {
           if (!seg.target.has_value()) {
             mapped = false;
             break;
@@ -183,9 +188,11 @@ void GcSimulator::CleanOne(uint64_t victim) {
     total_sum_ += copied;
     live_sum_ += copied;
     uint64_t offset = 0;
+    ExtentMap<ObjTarget>::ExtentVec displaced;
     std::vector<std::pair<uint64_t, uint64_t>>& created = creation_[seq];
     for (const auto& p : pieces) {
-      Displace(map_.Update(p.vlba, p.len, ObjTarget{seq, offset}), seq);
+      map_.Update(p.vlba, p.len, ObjTarget{seq, offset}, &displaced);
+      Displace(displaced, seq);
       created.push_back({p.vlba, p.len});
       offset += p.len;
     }

@@ -104,7 +104,7 @@ class GcSimulator {
   void SealBatch();
   void MaybeGc();
   void CleanOne(uint64_t victim);
-  void Displace(const std::vector<ExtentMap<ObjTarget>::Extent>& displaced,
+  void Displace(const ExtentMap<ObjTarget>::ExtentVec& displaced,
                 uint64_t self_seq);
   double Utilization() const;
 

@@ -385,20 +385,25 @@ void LsvdDisk::ReadAdmitted(uint64_t offset, uint64_t len, Nanos started,
     ObjTarget target{};  // backend
   };
   auto plan = std::make_shared<std::vector<Fragment>>();
-  for (const auto& wseg : write_cache_->map().Lookup(offset, len)) {
+  ExtentMap<SsdTarget>::SegmentVec wsegs;
+  ExtentMap<SsdTarget>::SegmentVec rsegs;
+  ExtentMap<ObjTarget>::SegmentVec osegs;
+  write_cache_->map().Lookup(offset, len, &wsegs);
+  for (const auto& wseg : wsegs) {
     if (wseg.target.has_value()) {
       plan->push_back(Fragment{FragmentKind::kWriteCache, wseg.start,
                                wseg.len, wseg.target->plba, {}});
       continue;
     }
-    for (const auto& rseg : read_cache_->map().Lookup(wseg.start, wseg.len)) {
+    read_cache_->map().Lookup(wseg.start, wseg.len, &rsegs);
+    for (const auto& rseg : rsegs) {
       if (rseg.target.has_value()) {
         plan->push_back(Fragment{FragmentKind::kReadCache, rseg.start,
                                  rseg.len, rseg.target->plba, {}});
         continue;
       }
-      for (const auto& oseg :
-           backend_->object_map().Lookup(rseg.start, rseg.len)) {
+      backend_->object_map().Lookup(rseg.start, rseg.len, &osegs);
+      for (const auto& oseg : osegs) {
         if (oseg.target.has_value()) {
           plan->push_back(Fragment{FragmentKind::kBackend, oseg.start,
                                    oseg.len, 0, *oseg.target});
@@ -491,8 +496,9 @@ void LsvdDisk::ReadAdmitted(uint64_t offset, uint64_t len, Nanos started,
           // written together is fetched together.
           uint64_t fetch_len = frag.len;
           if (fetch_len < config_.prefetch_bytes) {
-            const auto around = backend_->object_map().Lookup(
-                frag.vlba, config_.prefetch_bytes);
+            ExtentMap<ObjTarget>::SegmentVec around;
+            backend_->object_map().Lookup(frag.vlba, config_.prefetch_bytes,
+                                          &around);
             if (!around.empty() && around[0].target.has_value() &&
                 *around[0].target == frag.target) {
               fetch_len = std::min(around[0].len, config_.prefetch_bytes);

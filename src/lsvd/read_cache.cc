@@ -75,13 +75,15 @@ void ReadCache::EvictSlot(uint64_t slot) {
   }
   // Remove only map segments that still point into this slot.
   const uint64_t slot_base = SlotOffset(slot);
-  for (const auto& seg : map_.Lookup(s.vlba, s.len)) {
+  ExtentMap<SsdTarget>::SegmentVec segs;
+  map_.Lookup(s.vlba, s.len, &segs);
+  for (const auto& seg : segs) {
     if (!seg.target.has_value()) {
       continue;
     }
     const uint64_t expected = slot_base + (seg.start - s.vlba);
     if (seg.target->plba == expected) {
-      map_.Remove(seg.start, seg.len);
+      map_.Remove(seg.start, seg.len, nullptr);
     }
   }
   s = Slot{};
@@ -132,14 +134,16 @@ void ReadCache::Insert(uint64_t vlba, const Buffer& data) {
         slots_[slot] = Slot{};
         return;
       }
-      map_.Update(pending->vlba, pending->len, SsdTarget{SlotOffset(slot)});
+      map_.Update(pending->vlba, pending->len, SsdTarget{SlotOffset(slot)},
+                  nullptr);
     });
     off += n;
   }
 }
 
 void ReadCache::Invalidate(uint64_t vlba, uint64_t len) {
-  const auto removed = map_.Remove(vlba, len);
+  ExtentMap<SsdTarget>::ExtentVec removed;
+  map_.Remove(vlba, len, &removed);
   c_invalidations_->Inc(removed.size());
   // In-flight fills have no map entry yet; mark overlaps so their completion
   // discards instead of installing stale data.
@@ -237,7 +241,7 @@ void ReadCache::LoadMap(std::function<void(Status)> done) {
       const uint64_t start = dec.GetU64();
       const uint64_t len = dec.GetU64();
       const uint64_t plba = dec.GetU64();
-      map_.Update(start, len, SsdTarget{plba});
+      map_.Update(start, len, SsdTarget{plba}, nullptr);
     }
     for (uint32_t i = 0; i < slot_count; i++) {
       slots_[i].vlba = dec.GetU64();

@@ -3,8 +3,9 @@
 // Replaces the client host's old bump-pointer region bookkeeping: a
 // multi-volume host carves one region per cache out of the shared SSD and
 // must be able to return them (volume detach) and name them (debugging,
-// host-level accounting). First-fit over a free map, same idiom as
-// util/RunAllocator, plus an owner label per live region.
+// host-level accounting). The free-map mechanics live in util/RunAllocator
+// (the same first-fit core the bcache baseline uses); this class adds the
+// alignment policy and an owner label per live region.
 //
 // Note on lifetimes: a region is NOT freed when its LsvdDisk is destroyed —
 // crash-recovery tests re-open a disk on the same DiskRegions, so the SSD
@@ -18,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/util/run_allocator.h"
 #include "src/util/status.h"
 #include "src/util/units.h"
 
@@ -31,13 +33,7 @@ class SsdRegionAllocator {
     std::string owner;
   };
 
-  SsdRegionAllocator(uint64_t base, uint64_t size) {
-    if (size > 0) {
-      free_[base] = size;
-    }
-    total_ = size;
-    free_bytes_ = size;
-  }
+  SsdRegionAllocator(uint64_t base, uint64_t size) : core_(base, size) {}
 
   // Carves a block-aligned region (first fit). The owner label is purely
   // informational (introspection / error messages).
@@ -45,21 +41,12 @@ class SsdRegionAllocator {
     if (size == 0 || size % kBlockSize != 0) {
       return Status::InvalidArgument("region size must be block aligned");
     }
-    for (auto it = free_.begin(); it != free_.end(); ++it) {
-      if (it->second < size) {
-        continue;
-      }
-      const uint64_t base = it->first;
-      const uint64_t run = it->second;
-      free_.erase(it);
-      if (run > size) {
-        free_[base + size] = run - size;
-      }
-      free_bytes_ -= size;
-      allocated_[base] = Region{base, size, owner};
-      return base;
+    const auto base = core_.Allocate(size);
+    if (!base.has_value()) {
+      return Status::ResourceExhausted("SSD regions exhausted");
     }
-    return Status::ResourceExhausted("SSD regions exhausted");
+    allocated_[*base] = Region{*base, size, owner};
+    return *base;
   }
 
   // Returns a previously allocated region, merging free neighbors.
@@ -68,30 +55,14 @@ class SsdRegionAllocator {
     if (it == allocated_.end()) {
       return Status::InvalidArgument("not an allocated region base");
     }
-    uint64_t offset = it->second.base;
-    uint64_t len = it->second.size;
-    free_bytes_ += len;
+    core_.Free(it->second.base, it->second.size);
     allocated_.erase(it);
-    auto next = free_.lower_bound(offset);
-    if (next != free_.begin()) {
-      auto prev = std::prev(next);
-      if (prev->first + prev->second == offset) {
-        offset = prev->first;
-        len += prev->second;
-        free_.erase(prev);
-      }
-    }
-    if (next != free_.end() && offset + len == next->first) {
-      len += next->second;
-      free_.erase(next);
-    }
-    free_[offset] = len;
     return Status::Ok();
   }
 
-  uint64_t total_bytes() const { return total_; }
-  uint64_t free_bytes() const { return free_bytes_; }
-  uint64_t allocated_bytes() const { return total_ - free_bytes_; }
+  uint64_t total_bytes() const { return core_.total_bytes(); }
+  uint64_t free_bytes() const { return core_.free_bytes(); }
+  uint64_t allocated_bytes() const { return total_bytes() - free_bytes(); }
   size_t region_count() const { return allocated_.size(); }
 
   // Live regions in address order.
@@ -105,10 +76,8 @@ class SsdRegionAllocator {
   }
 
  private:
-  std::map<uint64_t, uint64_t> free_;     // base -> run length
+  RunAllocator core_;
   std::map<uint64_t, Region> allocated_;  // base -> live region
-  uint64_t total_ = 0;
-  uint64_t free_bytes_ = 0;
 };
 
 }  // namespace lsvd

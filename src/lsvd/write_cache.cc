@@ -248,7 +248,7 @@ void WriteCache::ApplyCompletedRecords() {
     if (it->second.status.ok() && meta != nullptr) {
       uint64_t data_plba = meta->offset + kBlockSize;
       for (const auto& e : meta->extents) {
-        map_.Update(e.vlba, e.len, SsdTarget{data_plba});
+        map_.Update(e.vlba, e.len, SsdTarget{data_plba}, nullptr);
         data_plba += e.len;
       }
     }
@@ -316,14 +316,16 @@ void WriteCache::EvictForSpace(uint64_t needed) {
     // ranges overwritten by newer records are left alone.
     const uint64_t data_base = rec.offset + kBlockSize;
     uint64_t extent_plba = data_base;
+    ExtentMap<SsdTarget>::SegmentVec segs;
     for (const auto& e : rec.extents) {
-      for (const auto& seg : map_.Lookup(e.vlba, e.len)) {
+      map_.Lookup(e.vlba, e.len, &segs);
+      for (const auto& seg : segs) {
         if (!seg.target.has_value()) {
           continue;
         }
         const uint64_t expected = extent_plba + (seg.start - e.vlba);
         if (seg.target->plba == expected) {
-          map_.Remove(seg.start, seg.len);
+          map_.Remove(seg.start, seg.len, nullptr);
         }
       }
       extent_plba += e.len;
@@ -471,7 +473,7 @@ Status WriteCache::LoadCheckpointBlob(const Buffer& blob,
     const uint64_t start = dec.GetU64();
     const uint64_t len = dec.GetU64();
     const uint64_t plba = dec.GetU64();
-    map_.Update(start, len, SsdTarget{plba});
+    map_.Update(start, len, SsdTarget{plba}, nullptr);
   }
   if (!dec.ok()) {
     return Status::Corruption("write-cache checkpoint truncated");
@@ -665,7 +667,7 @@ void WriteCache::ReplayAccept(const std::shared_ptr<ReplayState>& st,
 
   uint64_t data_plba = st->pos + kBlockSize;
   for (const auto& e : rec.extents) {
-    map_.Update(e.vlba, e.len, SsdTarget{data_plba});
+    map_.Update(e.vlba, e.len, SsdTarget{data_plba}, nullptr);
     data_plba += e.len;
   }
   used_ += meta.footprint;

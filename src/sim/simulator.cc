@@ -1,5 +1,6 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -7,17 +8,94 @@ namespace lsvd {
 
 void Simulator::At(Nanos t, Fn fn) {
   assert(t >= now_ && "cannot schedule events in the past");
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  if (t < now_) {
+    t = now_;  // release-mode safety: keep the bucket invariant intact
+  }
+  const uint64_t day = DayOf(t);
+  Event ev{t, next_seq_++, std::move(fn)};
+  if (day < cur_day_ + kNumBuckets) {
+    auto& bucket = buckets_[day & kBucketMask];
+    bucket.push_back(std::move(ev));
+    std::push_heap(bucket.begin(), bucket.end(), Later{});
+    MarkOccupied(day & kBucketMask);
+    near_size_++;
+  } else {
+    far_.push_back(std::move(ev));
+    std::push_heap(far_.begin(), far_.end(), Later{});
+  }
+  size_++;
+}
+
+std::vector<Simulator::Event>* Simulator::SettleEarliest() {
+  assert(size_ > 0);
+  if (near_size_ == 0) {
+    // Nothing near: jump the window to the earliest far timer.
+    cur_day_ = DayOf(far_.front().t);
+  }
+  // Pull in far events that the advancing window has caught up with. Any
+  // far event earlier than every near event necessarily falls inside the
+  // window (near events were inserted with day < cur_day_ + kNumBuckets),
+  // so after this loop the global minimum lives in a bucket.
+  while (!far_.empty() && DayOf(far_.front().t) < cur_day_ + kNumBuckets) {
+    std::pop_heap(far_.begin(), far_.end(), Later{});
+    Event ev = std::move(far_.back());
+    far_.pop_back();
+    const uint64_t slot = DayOf(ev.t) & kBucketMask;
+    auto& bucket = buckets_[slot];
+    bucket.push_back(std::move(ev));
+    std::push_heap(bucket.begin(), bucket.end(), Later{});
+    MarkOccupied(slot);
+    near_size_++;
+  }
+  // Advance the cursor to the first non-empty bucket via the occupancy
+  // bitmap (a word at a time, wrapping). The cursor only moves forward, and
+  // at least one near event exists here, so a set bit is always found
+  // within the window.
+  const uint64_t start = cur_day_ & kBucketMask;
+  constexpr uint64_t kWordMask = kNumBuckets / 64 - 1;
+  const uint64_t word_idx = start >> 6;
+  uint64_t word = occupied_[word_idx] & (~uint64_t{0} << (start & 63));
+  uint64_t advance;
+  if (word != 0) {
+    advance = static_cast<uint64_t>(std::countr_zero(word)) - (start & 63);
+  } else {
+    advance = 64 - (start & 63);
+    // <= kWordMask + 1: the last iteration re-reads the first word, whose
+    // low bits map to the far end of the ring (days just under +1024).
+    for (uint64_t i = 1; i <= kWordMask + 1; i++) {
+      word = occupied_[(word_idx + i) & kWordMask];
+      if (word != 0) {
+        advance += static_cast<uint64_t>(std::countr_zero(word));
+        break;
+      }
+      advance += 64;
+      assert(i <= kWordMask && "no occupied bucket despite near events");
+    }
+  }
+  cur_day_ += advance;
+  return &buckets_[cur_day_ & kBucketMask];
+}
+
+Simulator::Event Simulator::PopFrom(std::vector<Event>* bucket) {
+  std::pop_heap(bucket->begin(), bucket->end(), Later{});
+  Event ev = std::move(bucket->back());
+  bucket->pop_back();
+  if (bucket->empty()) {
+    ClearOccupied(static_cast<uint64_t>(bucket - buckets_.data()));
+  }
+  near_size_--;
+  size_--;
+  processed_++;
+  return ev;
 }
 
 bool Simulator::Step() {
-  if (queue_.empty()) {
+  if (size_ == 0) {
     return false;
   }
-  // priority_queue::top returns const&; the event is copied out so the handler
-  // may schedule further events (mutating the queue) safely.
-  Event ev = queue_.top();
-  queue_.pop();
+  // The event is moved out before running so the handler may schedule
+  // further events (mutating the queue) safely.
+  Event ev = PopFrom(SettleEarliest());
   now_ = ev.t;
   ev.fn();
   return true;
@@ -30,8 +108,14 @@ void Simulator::Run() {
 
 uint64_t Simulator::RunUntil(Nanos t) {
   uint64_t processed = 0;
-  while (!queue_.empty() && queue_.top().t <= t) {
-    Step();
+  while (size_ > 0) {
+    std::vector<Event>* bucket = SettleEarliest();
+    if (bucket->front().t > t) {
+      break;
+    }
+    Event ev = PopFrom(bucket);
+    now_ = ev.t;
+    ev.fn();
     processed++;
   }
   if (now_ < t) {

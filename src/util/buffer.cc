@@ -13,12 +13,6 @@ bool AllZero(std::span<const uint8_t> bytes) {
                      [](uint8_t b) { return b == 0; });
 }
 
-// Scratch zero block for CRC computation over zero runs.
-const std::vector<uint8_t>& ZeroBlock() {
-  static const std::vector<uint8_t> block(4096, 0);
-  return block;
-}
-
 }  // namespace
 
 void Buffer::AppendBytes(std::span<const uint8_t> bytes) {
@@ -35,6 +29,19 @@ void Buffer::AppendBytes(std::span<const uint8_t> bytes) {
   size_ += bytes.size();
 }
 
+void Buffer::AppendShared(std::shared_ptr<const std::vector<uint8_t>> bytes) {
+  if (bytes == nullptr || bytes->empty()) {
+    return;
+  }
+  if (AllZero({bytes->data(), bytes->size()})) {
+    AppendZeros(bytes->size());
+    return;
+  }
+  const uint64_t len = bytes->size();
+  chunks_.push_back(Chunk{std::move(bytes), 0, len});
+  size_ += len;
+}
+
 void Buffer::AppendZeros(uint64_t n) {
   if (n == 0) {
     return;
@@ -47,14 +54,30 @@ void Buffer::AppendZeros(uint64_t n) {
   size_ += n;
 }
 
-void Buffer::Append(const Buffer& other) {
-  for (const auto& c : other.chunks_) {
-    if (c.data == nullptr) {
-      AppendZeros(c.len);
-    } else {
-      chunks_.push_back(c);
+void Buffer::AppendChunk(const Chunk& c) {
+  if (c.len == 0) {
+    return;
+  }
+  if (!chunks_.empty()) {
+    Chunk& back = chunks_.back();
+    const bool both_zero = back.data == nullptr && c.data == nullptr;
+    const bool contiguous_data = back.data != nullptr &&
+                                 back.data == c.data &&
+                                 back.offset + back.len == c.offset;
+    if (both_zero || contiguous_data) {
+      back.len += c.len;
       size_ += c.len;
+      return;
     }
+  }
+  chunks_.push_back(c);
+  size_ += c.len;
+}
+
+void Buffer::Append(const Buffer& other) {
+  chunks_.reserve(chunks_.size() + other.chunks_.size());
+  for (const auto& c : other.chunks_) {
+    AppendChunk(c);
   }
 }
 
@@ -98,6 +121,7 @@ void Buffer::CopyTo(uint64_t offset, std::span<uint8_t> out) const {
 Buffer Buffer::Slice(uint64_t offset, uint64_t len) const {
   assert(offset + len <= size_);
   Buffer out;
+  out.chunks_.reserve(std::min<size_t>(chunks_.size(), 8));
   uint64_t pos = 0;
   for (const auto& c : chunks_) {
     if (out.size_ == len) {
@@ -111,12 +135,7 @@ Buffer Buffer::Slice(uint64_t offset, uint64_t len) const {
     }
     const uint64_t within = want_from - pos;
     const uint64_t n = std::min(c.len - within, len - out.size_);
-    if (c.data == nullptr) {
-      out.AppendZeros(n);
-    } else {
-      out.chunks_.push_back(Chunk{c.data, c.offset + within, n});
-      out.size_ += n;
-    }
+    out.AppendChunk(Chunk{c.data, c.data == nullptr ? 0 : c.offset + within, n});
     pos = chunk_end;
   }
   assert(out.size_ == len);
@@ -135,12 +154,9 @@ uint32_t Buffer::Crc() const {
   uint32_t crc = 0;
   for (const auto& c : chunks_) {
     if (c.data == nullptr) {
-      uint64_t left = c.len;
-      while (left > 0) {
-        const uint64_t n = std::min<uint64_t>(left, ZeroBlock().size());
-        crc = Crc32cExtend(crc, ZeroBlock().data(), n);
-        left -= n;
-      }
+      // Zero runs stay symbolic: extend the CRC algebraically instead of
+      // streaming materialized zero bytes through the byte engine.
+      crc = Crc32cExtendZeros(crc, c.len);
     } else {
       crc = Crc32cExtend(crc, c.data->data() + c.offset, c.len);
     }

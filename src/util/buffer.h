@@ -41,6 +41,10 @@ class Buffer {
 
   // Appends a copy of `bytes`. All-zero inputs are stored as a zero run.
   void AppendBytes(std::span<const uint8_t> bytes);
+  // Appends `bytes` by sharing its backing storage instead of copying.
+  // Same zero-run normalization as AppendBytes, so the resulting buffer is
+  // indistinguishable from one built with AppendBytes — only cheaper.
+  void AppendShared(std::shared_ptr<const std::vector<uint8_t>> bytes);
   void AppendZeros(uint64_t n);
   // Appends another buffer (chunks are shared, O(chunks)).
   void Append(const Buffer& other);
@@ -68,6 +72,12 @@ class Buffer {
     uint64_t offset = 0;  // into *data (unused for zero runs)
     uint64_t len = 0;
   };
+
+  // Appends one chunk, merging it into the tail when possible: adjacent zero
+  // runs always merge, and data chunks merge when they reference contiguous
+  // ranges of the same backing vector (common when a sliced buffer is
+  // re-assembled piecewise, e.g. batch encode and journal replay).
+  void AppendChunk(const Chunk& c);
 
   std::vector<Chunk> chunks_;
   uint64_t size_ = 0;

@@ -1,6 +1,21 @@
 #include "src/util/crc32c.h"
 
-#include <array>
+#include <bit>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define LSVD_CRC32C_X86 1
+#include <nmmintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#define LSVD_CRC32C_ARM 1
+#include <arm_acle.h>
+#if defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
+#endif
 
 namespace lsvd {
 namespace {
@@ -31,9 +46,148 @@ const Tables& GetTables() {
   return tables;
 }
 
+// Extend-by-zeros support. Feeding one zero byte advances the (inverted)
+// CRC register by the GF(2)-linear map s -> (s >> 8) ^ T0[s & 0xff], so a
+// run of n zero bytes applies that matrix to the n-th power. Precomputing
+// the 64 repeated squarings M^(2^k) lets any n be applied as O(popcount(n))
+// 32x32 bit-matrix multiplies — independent of which byte-level
+// implementation (hardware or software) produced `crc`.
+struct ZeroMatrices {
+  // mat[k][j] = column j of M^(2^k), i.e. the image of basis state 1<<j.
+  uint32_t mat[64][32];
+
+  ZeroMatrices() {
+    const auto& tb = GetTables();
+    for (uint32_t j = 0; j < 32; j++) {
+      const uint32_t s = uint32_t{1} << j;
+      mat[0][j] = (s >> 8) ^ tb.t[0][s & 0xFF];
+    }
+    for (int k = 1; k < 64; k++) {
+      for (uint32_t j = 0; j < 32; j++) {
+        mat[k][j] = Apply(mat[k - 1], mat[k - 1][j]);
+      }
+    }
+  }
+
+  static uint32_t Apply(const uint32_t (&m)[32], uint32_t s) {
+    uint32_t r = 0;
+    while (s != 0) {
+      r ^= m[std::countr_zero(s)];
+      s &= s - 1;
+    }
+    return r;
+  }
+};
+
+const ZeroMatrices& GetZeroMatrices() {
+  static const ZeroMatrices zm;
+  return zm;
+}
+
+#if defined(LSVD_CRC32C_X86)
+
+__attribute__((target("sse4.2")))
+uint32_t ExtendHardware(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  // Head: bring the pointer to 8-byte alignment.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    n--;
+  }
+  // Body: 8 bytes per instruction, unrolled 4x to keep the three-cycle
+  // crc32 latency chains overlapped with loads.
+  uint64_t crc64 = crc;
+  while (n >= 32) {
+    uint64_t a;
+    uint64_t b;
+    uint64_t c;
+    uint64_t d;
+    std::memcpy(&a, p, 8);
+    std::memcpy(&b, p + 8, 8);
+    std::memcpy(&c, p + 16, 8);
+    std::memcpy(&d, p + 24, 8);
+    crc64 = _mm_crc32_u64(crc64, a);
+    crc64 = _mm_crc32_u64(crc64, b);
+    crc64 = _mm_crc32_u64(crc64, c);
+    crc64 = _mm_crc32_u64(crc64, d);
+    p += 32;
+    n -= 32;
+  }
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = _mm_crc32_u64(crc64, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (n-- > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+  }
+  return ~crc;
+}
+
+bool HardwareSupported() { return __builtin_cpu_supports("sse4.2") != 0; }
+constexpr const char* kHardwareName = "sse4.2";
+
+#elif defined(LSVD_CRC32C_ARM)
+
+uint32_t ExtendHardware(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __crc32cb(crc, *p++);
+    n--;
+  }
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc = __crc32cd(crc, word);
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = __crc32cb(crc, *p++);
+  }
+  return ~crc;
+}
+
+bool HardwareSupported() {
+#if defined(__linux__)
+  return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+#else
+  return true;  // compiled with +crc, assume the target has it
+#endif
+}
+constexpr const char* kHardwareName = "armv8";
+
+#endif
+
+struct Dispatch {
+  internal::Crc32cFn fn;
+  const char* name;
+};
+
+Dispatch PickImpl() {
+#if defined(LSVD_CRC32C_X86) || defined(LSVD_CRC32C_ARM)
+  if (HardwareSupported()) {
+    return {&ExtendHardware, kHardwareName};
+  }
+#endif
+  return {&internal::Crc32cExtendSoftware, "software"};
+}
+
+const Dispatch& GetDispatch() {
+  static const Dispatch dispatch = PickImpl();
+  return dispatch;
+}
+
 }  // namespace
 
-uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+namespace internal {
+
+uint32_t Crc32cExtendSoftware(uint32_t crc, const void* data, size_t n) {
   const auto& tb = GetTables();
   const auto* p = static_cast<const uint8_t*>(data);
   crc = ~crc;
@@ -54,5 +208,33 @@ uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
   }
   return ~crc;
 }
+
+Crc32cFn Crc32cHardwareImpl() {
+#if defined(LSVD_CRC32C_X86) || defined(LSVD_CRC32C_ARM)
+  if (HardwareSupported()) {
+    return &ExtendHardware;
+  }
+#endif
+  return nullptr;
+}
+
+}  // namespace internal
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  return GetDispatch().fn(crc, data, n);
+}
+
+uint32_t Crc32cExtendZeros(uint32_t crc, uint64_t n) {
+  const auto& zm = GetZeroMatrices();
+  uint32_t s = ~crc;
+  for (int k = 0; n != 0; n >>= 1, k++) {
+    if (n & 1) {
+      s = ZeroMatrices::Apply(zm.mat[k], s);
+    }
+  }
+  return ~s;
+}
+
+const char* Crc32cImplName() { return GetDispatch().name; }
 
 }  // namespace lsvd

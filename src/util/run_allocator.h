@@ -1,8 +1,10 @@
 // First-fit extent (run) allocator over a byte range.
 //
-// Used by the bcache baseline to manage its cache-device space: allocations
-// are contiguous when space is unfragmented and scatter as the free map
-// fragments — mirroring how a real allocator degrades.
+// The single free-map implementation in the tree: the bcache baseline uses
+// it directly for cache-device space (allocations are contiguous when space
+// is unfragmented and scatter as the free map fragments — mirroring how a
+// real allocator degrades), and lsvd/SsdRegionAllocator layers owner-labeled
+// region bookkeeping on top of it.
 #ifndef SRC_UTIL_RUN_ALLOCATOR_H_
 #define SRC_UTIL_RUN_ALLOCATOR_H_
 
@@ -16,7 +18,9 @@ namespace lsvd {
 class RunAllocator {
  public:
   RunAllocator(uint64_t base, uint64_t size) : total_(size) {
-    free_[base] = size;
+    if (size > 0) {
+      free_[base] = size;
+    }
     free_bytes_ = size;
   }
 

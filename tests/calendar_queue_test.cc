@@ -1,0 +1,219 @@
+// The calendar-queue event engine must be observably identical to the
+// reference binary heap it replaced: every figure in the reproduction
+// depends on event ordering being exactly (timestamp, FIFO sequence).
+//
+// These tests fuzz randomized schedule/run interleavings through the real
+// Simulator and through a minimal reference implementation (priority_queue
+// of (t, seq), the pre-overhaul engine) and require identical execution
+// traces.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace lsvd {
+namespace {
+
+// The pre-overhaul engine, kept verbatim as the ordering oracle.
+class ReferenceSim {
+ public:
+  using Fn = std::function<void()>;
+
+  Nanos now() const { return now_; }
+  void At(Nanos t, Fn fn) { queue_.push(Event{t, next_seq_++, std::move(fn)}); }
+  void After(Nanos dt, Fn fn) { At(now_ + dt, std::move(fn)); }
+
+  bool Step() {
+    if (queue_.empty()) {
+      return false;
+    }
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ev.fn();
+    return true;
+  }
+
+  void Run() {
+    while (Step()) {
+    }
+  }
+
+  uint64_t RunUntil(Nanos t) {
+    uint64_t processed = 0;
+    while (!queue_.empty() && queue_.top().t <= t) {
+      Step();
+      processed++;
+    }
+    if (now_ < t) {
+      now_ = t;
+    }
+    return processed;
+  }
+
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    Nanos t;
+    uint64_t seq;
+    Fn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) {
+        return a.t > b.t;
+      }
+      return a.seq > b.seq;
+    }
+  };
+  Nanos now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+// One trace entry: which logical event ran, and at what virtual time.
+struct TraceEntry {
+  uint64_t id;
+  Nanos at;
+  bool operator==(const TraceEntry&) const = default;
+};
+
+// Replays a deterministic random schedule script on any engine with the
+// Simulator interface. Handlers reschedule follow-up events with seeded
+// random delays, so ordering bugs compound into divergent traces quickly.
+template <typename Engine>
+std::vector<TraceEntry> RunScript(uint64_t seed, int initial_events,
+                                  int max_events) {
+  Engine sim;
+  Rng rng(seed);
+  std::vector<TraceEntry> trace;
+  uint64_t next_id = 0;
+  int scheduled = 0;
+
+  std::function<void(uint64_t)> fire = [&](uint64_t id) {
+    trace.push_back({id, sim.now()});
+    // Each event spawns 0-2 children at a mix of near/far delays; delay 0
+    // exercises the same-timestamp FIFO tie-break.
+    const int children = static_cast<int>(rng.Uniform(3));
+    for (int c = 0; c < children && scheduled < max_events; c++) {
+      Nanos dt = 0;
+      switch (rng.Uniform(4)) {
+        case 0: dt = 0; break;                                  // same tick
+        case 1: dt = rng.Uniform(100); break;                   // same bucket
+        case 2: dt = rng.Uniform(100'000); break;               // near window
+        default: dt = rng.Uniform(50'000'000); break;           // far heap
+      }
+      const uint64_t child = next_id++;
+      scheduled++;
+      sim.After(dt, [&fire, child] { fire(child); });
+    }
+  };
+
+  for (int i = 0; i < initial_events; i++) {
+    const uint64_t id = next_id++;
+    scheduled++;
+    sim.At(rng.Uniform(1'000'000), [&fire, id] { fire(id); });
+  }
+
+  // Mix RunUntil windows with free running, as the benches do.
+  sim.RunUntil(500'000);
+  trace.push_back({~uint64_t{0}, sim.now()});  // clock checkpoint
+  sim.Run();
+  trace.push_back({~uint64_t{0}, sim.now()});
+  return trace;
+}
+
+TEST(CalendarQueue, MatchesReferenceHeapOnRandomSchedules) {
+  for (uint64_t seed = 1; seed <= 25; seed++) {
+    const auto got = RunScript<Simulator>(seed, 32, 4000);
+    const auto want = RunScript<ReferenceSim>(seed, 32, 4000);
+    ASSERT_EQ(got.size(), want.size()) << "seed " << seed;
+    for (size_t i = 0; i < got.size(); i++) {
+      ASSERT_EQ(got[i], want[i]) << "seed " << seed << " step " << i;
+    }
+  }
+}
+
+TEST(CalendarQueue, MassiveSameTimestampBurstIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  // Far more events on one timestamp than any single bucket expects.
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; i++) {
+    sim.At(12345, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  ASSERT_EQ(order.size(), static_cast<size_t>(kN));
+  for (int i = 0; i < kN; i++) {
+    ASSERT_EQ(order[static_cast<size_t>(i)], i);
+  }
+  EXPECT_EQ(sim.now(), 12345);
+}
+
+TEST(CalendarQueue, FarFutureEventsMigrateInOrder) {
+  Simulator sim;
+  std::vector<uint64_t> order;
+  // Span many horizon windows: timers land well beyond the near buckets.
+  const std::vector<Nanos> times = {5'000'000'000, 1,       3'000'000'000,
+                                    2,             999'999, 4'000'000'001,
+                                    4'000'000'000, 100'000'000};
+  for (size_t i = 0; i < times.size(); i++) {
+    sim.At(times[i], [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<uint64_t>{1, 3, 4, 7, 2, 6, 5, 0}));
+  EXPECT_EQ(sim.now(), 5'000'000'000);
+}
+
+TEST(CalendarQueue, HandlersSchedulingAtNowRunThisStep) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(100, [&] {
+    order.push_back(0);
+    sim.After(0, [&] { order.push_back(2); });
+  });
+  sim.At(100, [&] { order.push_back(1); });
+  sim.At(101, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(CalendarQueue, PendingAndProcessedCounts) {
+  Simulator sim;
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.events_processed(), 0u);
+  for (int i = 0; i < 10; i++) {
+    sim.After(static_cast<Nanos>(i) * 10'000'000, [] {});
+  }
+  EXPECT_EQ(sim.pending_events(), 10u);
+  sim.RunUntil(45'000'000);
+  EXPECT_EQ(sim.pending_events(), 5u);
+  EXPECT_EQ(sim.events_processed(), 5u);
+  sim.Run();
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.events_processed(), 10u);
+}
+
+TEST(CalendarQueue, RunUntilThenScheduleSkipsAhead) {
+  Simulator sim;
+  std::vector<int> order;
+  // Advance the clock far past the initial near window with nothing queued,
+  // then schedule around the new now.
+  sim.RunUntil(10'000'000'000);
+  EXPECT_EQ(sim.now(), 10'000'000'000);
+  sim.After(5, [&] { order.push_back(1); });
+  sim.After(0, [&] { order.push_back(0); });
+  sim.After(20'000'000'000, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(sim.now(), 30'000'000'000);
+}
+
+}  // namespace
+}  // namespace lsvd

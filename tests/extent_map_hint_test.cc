@@ -1,0 +1,199 @@
+// The extent map's cached last-extent hint is a pure accelerator: results
+// must be identical to a hint-free map for any interleaving of Update /
+// Remove / Lookup / LookupOne. These tests fuzz that equivalence against a
+// byte-granularity shadow model, emphasizing the access patterns the hint
+// optimizes (sequential scans, repeated 4K hits) and the ones that
+// invalidate it (erases under the hint, merges that replace the node).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/lsvd/extent_map.h"
+#include "src/util/rng.h"
+#include "src/util/small_vector.h"
+
+namespace lsvd {
+namespace {
+
+constexpr uint64_t kSpace = 1 << 16;  // small space => dense overlaps
+constexpr uint64_t kGran = 16;        // op sizes are multiples of this
+
+// Byte-granularity shadow: addr -> target for every mapped byte.
+using Shadow = std::map<uint64_t, ObjTarget>;
+
+void ShadowUpdate(Shadow* shadow, uint64_t start, uint64_t len,
+                  ObjTarget target) {
+  for (uint64_t i = 0; i < len; i++) {
+    (*shadow)[start + i] = target.Advanced(i);
+  }
+}
+
+void ShadowRemove(Shadow* shadow, uint64_t start, uint64_t len) {
+  for (uint64_t i = 0; i < len; i++) {
+    shadow->erase(start + i);
+  }
+}
+
+// Checks map agrees with the shadow over [start, start+len) via Lookup.
+void CheckRange(const ExtentMap<ObjTarget>& map, const Shadow& shadow,
+                uint64_t start, uint64_t len) {
+  ExtentMap<ObjTarget>::SegmentVec segs;
+  map.Lookup(start, len, &segs);
+  uint64_t pos = start;
+  for (const auto& seg : segs) {
+    ASSERT_EQ(seg.start, pos);
+    ASSERT_GT(seg.len, 0u);
+    for (uint64_t i = 0; i < seg.len; i++) {
+      const auto it = shadow.find(seg.start + i);
+      if (seg.target.has_value()) {
+        ASSERT_NE(it, shadow.end()) << "addr " << seg.start + i;
+        ASSERT_EQ(it->second, seg.target->Advanced(i));
+      } else {
+        ASSERT_EQ(it, shadow.end()) << "addr " << seg.start + i;
+      }
+    }
+    pos += seg.len;
+  }
+  ASSERT_EQ(pos, start + len);
+}
+
+TEST(ExtentMapHint, FuzzAgainstShadowModel) {
+  for (uint64_t seed = 1; seed <= 6; seed++) {
+    ExtentMap<ObjTarget> map;
+    Shadow shadow;
+    Rng rng(seed);
+    uint64_t next_target = 1;
+
+    for (int op = 0; op < 4000; op++) {
+      const uint64_t start = rng.Uniform(kSpace / kGran) * kGran;
+      const uint64_t len =
+          (1 + rng.Uniform(8)) * kGran;  // up to 128 bytes
+      switch (rng.Uniform(10)) {
+        case 0:
+        case 1: {  // Remove
+          ExtentMap<ObjTarget>::ExtentVec removed;
+          map.Remove(start, len, &removed);
+          // Removed extents must match the shadow's prior contents.
+          for (const auto& e : removed) {
+            for (uint64_t i = 0; i < e.len; i++) {
+              const auto it = shadow.find(e.start + i);
+              ASSERT_NE(it, shadow.end());
+              ASSERT_EQ(it->second, e.target.Advanced(i));
+            }
+          }
+          ShadowRemove(&shadow, start, len);
+          break;
+        }
+        case 2:
+        case 3:
+        case 4: {  // Lookup (randomly alternating with sequential scans)
+          CheckRange(map, shadow, start, len);
+          // Sequential continuation — the hint's fast path.
+          CheckRange(map, shadow, start + len,
+                     std::min<uint64_t>(len, kSpace - start - len));
+          break;
+        }
+        case 5: {  // LookupOne
+          const auto got = map.LookupOne(start);
+          const auto it = shadow.find(start);
+          if (it == shadow.end()) {
+            ASSERT_FALSE(got.has_value());
+          } else {
+            ASSERT_TRUE(got.has_value());
+            ASSERT_EQ(*got, it->second);
+          }
+          break;
+        }
+        default: {  // Update
+          const ObjTarget target{next_target++, rng.Uniform(1 << 20)};
+          ExtentMap<ObjTarget>::ExtentVec displaced;
+          map.Update(start, len, target, &displaced);
+          for (const auto& e : displaced) {
+            for (uint64_t i = 0; i < e.len; i++) {
+              const auto it = shadow.find(e.start + i);
+              ASSERT_NE(it, shadow.end());
+              ASSERT_EQ(it->second, e.target.Advanced(i));
+            }
+          }
+          ShadowUpdate(&shadow, start, len, target);
+          break;
+        }
+      }
+      ASSERT_EQ(map.mapped_bytes(), shadow.size());
+    }
+    // Full sweep at the end.
+    CheckRange(map, shadow, 0, kSpace);
+  }
+}
+
+TEST(ExtentMapHint, SequentialLookupAfterEraseUnderHint) {
+  ExtentMap<ObjTarget> map;
+  // Three adjacent extents with non-contiguous targets (no merging).
+  map.Update(0, 100, ObjTarget{1, 0});
+  map.Update(100, 100, ObjTarget{2, 0});
+  map.Update(200, 100, ObjTarget{3, 0});
+  ASSERT_EQ(map.extent_count(), 3u);
+
+  // Prime the hint onto the middle extent, then erase it.
+  EXPECT_TRUE(map.LookupOne(150).has_value());
+  map.Remove(100, 100);
+
+  // The hint must not dangle: lookups on both sides still work.
+  auto left = map.LookupOne(50);
+  ASSERT_TRUE(left.has_value());
+  EXPECT_EQ(left->seq, 1u);
+  auto gone = map.LookupOne(150);
+  EXPECT_FALSE(gone.has_value());
+  auto right = map.LookupOne(250);
+  ASSERT_TRUE(right.has_value());
+  EXPECT_EQ(right->seq, 3u);
+}
+
+TEST(ExtentMapHint, HintSurvivesMergeReplacingNode) {
+  ExtentMap<ObjTarget> map;
+  map.Update(0, 64, ObjTarget{9, 0});
+  EXPECT_TRUE(map.LookupOne(32).has_value());  // hint -> [0,64)
+  // Contiguous update merges into one extent [0,128), erasing the old node.
+  map.Update(64, 64, ObjTarget{9, 64});
+  ASSERT_EQ(map.extent_count(), 1u);
+  auto got = map.LookupOne(100);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->seq, 9u);
+  EXPECT_EQ(got->offset, 100u);
+}
+
+TEST(ExtentMapHint, OutParamMatchesVectorApi) {
+  ExtentMap<ObjTarget> map;
+  Rng rng(42);
+  for (int i = 0; i < 500; i++) {
+    map.Update(rng.Uniform(4096) * 16, (1 + rng.Uniform(16)) * 16,
+               ObjTarget{static_cast<uint64_t>(i), 0});
+  }
+  for (int i = 0; i < 500; i++) {
+    const uint64_t start = rng.Uniform(4096) * 16;
+    const uint64_t len = (1 + rng.Uniform(32)) * 16;
+    const auto via_vec = map.Lookup(start, len);
+    ExtentMap<ObjTarget>::SegmentVec via_out;
+    map.Lookup(start, len, &via_out);
+    ASSERT_EQ(via_vec.size(), via_out.size());
+    for (size_t k = 0; k < via_vec.size(); k++) {
+      ASSERT_EQ(via_vec[k].start, via_out[k].start);
+      ASSERT_EQ(via_vec[k].len, via_out[k].len);
+      ASSERT_EQ(via_vec[k].target, via_out[k].target);
+    }
+  }
+}
+
+TEST(ExtentMapHint, UpdateNullDisplacedIsAllowed) {
+  ExtentMap<ObjTarget> map;
+  map.Update(0, 100, ObjTarget{1, 0}, nullptr);
+  map.Update(50, 100, ObjTarget{2, 0}, nullptr);
+  map.Remove(0, 25, nullptr);
+  EXPECT_EQ(map.mapped_bytes(), 125u);
+}
+
+}  // namespace
+}  // namespace lsvd
