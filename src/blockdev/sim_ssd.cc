@@ -66,13 +66,24 @@ void SimSsd::SubmitOp(bool is_write, uint64_t offset, uint64_t len,
     unit = len;
   }
   const uint64_t subops = std::max<uint64_t>(1, (len + unit - 1) / unit);
+  ServerQueue& queue = is_write ? write_queue_ : read_queue_;
+  if (subops == 1) {
+    // Single-stripe requests (the common case for small IO) skip the shared
+    // completion counter and its allocation.
+    const auto transfer =
+        static_cast<Nanos>(static_cast<double>(len) / bw * 1e9);
+    queue.Submit(std::max(op_cost, transfer),
+                 [this, latency, done = std::move(done)]() {
+                   sim_->After(latency, std::move(done));
+                 });
+    return;
+  }
   auto remaining = std::make_shared<uint64_t>(subops);
   auto finish = [this, remaining, latency, done = std::move(done)]() {
     if (--*remaining == 0) {
       sim_->After(latency, done);
     }
   };
-  ServerQueue& queue = is_write ? write_queue_ : read_queue_;
   uint64_t left = len;
   for (uint64_t s = 0; s < subops; s++) {
     const uint64_t piece = std::min(unit, left);
@@ -96,6 +107,12 @@ void SimSsd::StoreBlocks(BlockMap* map, uint64_t offset, const Buffer& data) {
   }
   for (uint64_t i = 0; i < blocks; i++) {
     const uint64_t block = offset / kBlockSize + i;
+    // A block that is exactly one already-materialized chunk (e.g. an
+    // encoded journal header) is stored by reference, not copied.
+    if (auto whole = data.SharedSpan(i * kBlockSize, kBlockSize)) {
+      (*map)[block] = std::move(whole);
+      continue;
+    }
     Buffer slice = data.Slice(i * kBlockSize, kBlockSize);
     if (slice.IsAllZeros()) {
       (*map)[block] = nullptr;
@@ -177,6 +194,10 @@ void SimSsd::Flush(WriteCallback done) {
   // flush completes; writes submitted after this point are not covered.
   auto flushed = std::make_shared<BlockMap>(std::move(volatile_));
   volatile_.clear();
+  // The moved-from map lost its buckets; pre-size for the next flush window
+  // (steady-state windows carry similar write counts) to avoid re-growing
+  // the table from scratch every cycle.
+  volatile_.reserve(flushed->size());
   const uint64_t epoch = epoch_;
   write_queue_.Submit(params_.flush,
                       [this, epoch, flushed, done = std::move(done)]() {

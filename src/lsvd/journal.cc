@@ -30,6 +30,7 @@ Buffer EncodeJournalRecord(const JournalRecord& record) {
   assert(record.data.size() == data_len);
 
   Encoder enc;
+  enc.Reserve(kBlockSize);
   enc.PutU32(kJournalMagic);
   enc.PutU64(record.seq);
   enc.PutU64(record.batch_seq);
@@ -54,7 +55,10 @@ Buffer EncodeJournalRecord(const JournalRecord& record) {
   }
 
   Buffer out;
-  out.AppendBytes(header);
+  // Donate the header block instead of copying it; downstream consumers
+  // (the SSD block store) can then share the same storage copy-free.
+  out.AppendShared(
+      std::make_shared<const std::vector<uint8_t>>(std::move(header)));
   out.Append(record.data);
   return out;
 }

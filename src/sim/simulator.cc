@@ -26,6 +26,44 @@ void Simulator::At(Nanos t, Fn fn) {
   size_++;
 }
 
+uint64_t Simulator::ScanToOccupied(uint64_t from_day) const {
+  assert(near_size_ > 0);
+  const uint64_t start = from_day & kBucketMask;
+  constexpr uint64_t kWordMask = kNumBuckets / 64 - 1;
+  const uint64_t word_idx = start >> 6;
+  uint64_t word = occupied_[word_idx] & (~uint64_t{0} << (start & 63));
+  if (word != 0) {
+    return static_cast<uint64_t>(std::countr_zero(word)) - (start & 63);
+  }
+  uint64_t advance = 64 - (start & 63);
+  // <= kWordMask + 1: the last iteration re-reads the first word, whose
+  // low bits map to the far end of the ring (days just under +1024).
+  for (uint64_t i = 1; i <= kWordMask + 1; i++) {
+    word = occupied_[(word_idx + i) & kWordMask];
+    if (word != 0) {
+      advance += static_cast<uint64_t>(std::countr_zero(word));
+      break;
+    }
+    advance += 64;
+    assert(i <= kWordMask && "no occupied bucket despite near events");
+  }
+  return advance;
+}
+
+Nanos Simulator::PeekNextTime() const {
+  assert(size_ > 0);
+  if (near_size_ == 0) {
+    return far_.front().t;
+  }
+  // Every bucketed event precedes every far timer: bucketed events have
+  // day < cur_day_ + kNumBuckets (checked at insert, cursor only advances),
+  // while far_.front() has day >= cur_day_ + kNumBuckets (checked at insert
+  // and re-established by SettleEarliest's migration loop). So the first
+  // occupied bucket at/after the cursor holds the global minimum.
+  const uint64_t day = cur_day_ + ScanToOccupied(cur_day_);
+  return buckets_[day & kBucketMask].front().t;
+}
+
 std::vector<Simulator::Event>* Simulator::SettleEarliest() {
   assert(size_ > 0);
   if (near_size_ == 0) {
@@ -47,32 +85,7 @@ std::vector<Simulator::Event>* Simulator::SettleEarliest() {
     MarkOccupied(slot);
     near_size_++;
   }
-  // Advance the cursor to the first non-empty bucket via the occupancy
-  // bitmap (a word at a time, wrapping). The cursor only moves forward, and
-  // at least one near event exists here, so a set bit is always found
-  // within the window.
-  const uint64_t start = cur_day_ & kBucketMask;
-  constexpr uint64_t kWordMask = kNumBuckets / 64 - 1;
-  const uint64_t word_idx = start >> 6;
-  uint64_t word = occupied_[word_idx] & (~uint64_t{0} << (start & 63));
-  uint64_t advance;
-  if (word != 0) {
-    advance = static_cast<uint64_t>(std::countr_zero(word)) - (start & 63);
-  } else {
-    advance = 64 - (start & 63);
-    // <= kWordMask + 1: the last iteration re-reads the first word, whose
-    // low bits map to the far end of the ring (days just under +1024).
-    for (uint64_t i = 1; i <= kWordMask + 1; i++) {
-      word = occupied_[(word_idx + i) & kWordMask];
-      if (word != 0) {
-        advance += static_cast<uint64_t>(std::countr_zero(word));
-        break;
-      }
-      advance += 64;
-      assert(i <= kWordMask && "no occupied bucket despite near events");
-    }
-  }
-  cur_day_ += advance;
+  cur_day_ += ScanToOccupied(cur_day_);
   return &buckets_[cur_day_ & kBucketMask];
 }
 
@@ -108,12 +121,13 @@ void Simulator::Run() {
 
 uint64_t Simulator::RunUntil(Nanos t) {
   uint64_t processed = 0;
-  while (size_ > 0) {
-    std::vector<Event>* bucket = SettleEarliest();
-    if (bucket->front().t > t) {
-      break;
-    }
-    Event ev = PopFrom(bucket);
+  // Peek before settling: SettleEarliest commits cursor movement, which is
+  // only safe when the found event is actually popped. If it ran here and
+  // the front event exceeded t, the cursor would be left ahead of now_ and
+  // a later At() could place an earlier event behind it (see SettleEarliest
+  // contract in simulator.h).
+  while (size_ > 0 && PeekNextTime() <= t) {
+    Event ev = PopFrom(SettleEarliest());
     now_ = ev.t;
     ev.fn();
     processed++;

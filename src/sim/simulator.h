@@ -88,9 +88,24 @@ class Simulator {
     return static_cast<uint64_t>(t) >> kBucketShift;
   }
 
+  // Days from `from_day` to the first non-empty bucket, scanning the
+  // occupancy bitmap a word at a time (wrapping). Precondition:
+  // near_size_ > 0, so a set bit exists within the window.
+  uint64_t ScanToOccupied(uint64_t from_day) const;
+
+  // Timestamp of the earliest pending event, without mutating any queue
+  // state. Precondition: size_ > 0.
+  Nanos PeekNextTime() const;
+
   // Moves far-heap events that now fall inside the near window into their
   // buckets, advances `cur_day_` to the first non-empty bucket, and returns
   // that bucket. Precondition: size_ > 0.
+  //
+  // Committing: callers must pop from the returned bucket. Advancing
+  // cur_day_ without popping would let a later At() with an earlier
+  // timestamp land in a bucket behind the cursor, where the scan finds it
+  // only after a full wrap — events would run out of order and now() could
+  // go backwards. Use PeekNextTime() to decide whether to pop at all.
   std::vector<Event>* SettleEarliest();
 
   // Pops the earliest event out of `bucket` (min of its heap).

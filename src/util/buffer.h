@@ -58,6 +58,13 @@ class Buffer {
   // Sub-range view; shares chunk storage.
   Buffer Slice(uint64_t offset, uint64_t len) const;
 
+  // If [offset, offset+len) is exactly one data chunk covering its entire
+  // backing vector, returns that vector (no copy); otherwise null. Lets a
+  // block store keep a reference to an already-materialized block (e.g. an
+  // encoded journal header) instead of copying it out.
+  std::shared_ptr<const std::vector<uint8_t>> SharedSpan(uint64_t offset,
+                                                         uint64_t len) const;
+
   // Materializes the whole buffer (tests / codec paths on small data only).
   std::vector<uint8_t> ToBytes() const;
 

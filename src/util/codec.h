@@ -14,13 +14,17 @@ class Encoder {
  public:
   void PutU8(uint8_t v) { out_.push_back(v); }
   void PutU32(uint32_t v) {
+    const size_t pos = out_.size();
+    out_.resize(pos + 4);
     for (int i = 0; i < 4; i++) {
-      out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+      out_[pos + static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
     }
   }
   void PutU64(uint64_t v) {
+    const size_t pos = out_.size();
+    out_.resize(pos + 8);
     for (int i = 0; i < 8; i++) {
-      out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+      out_[pos + static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
     }
   }
   void PutBytes(std::span<const uint8_t> bytes) {
@@ -32,10 +36,11 @@ class Encoder {
   }
   // Zero-pads to a multiple of `align`.
   void PadTo(size_t align) {
-    while (out_.size() % align != 0) {
-      out_.push_back(0);
-    }
+    out_.resize((out_.size() + align - 1) / align * align);
   }
+  // Pre-sizes the output for encoders on a hot path (journal records pad to
+  // a full block, so the final size is known up front).
+  void Reserve(size_t n) { out_.reserve(n); }
   // Overwrites 4 bytes at `pos` (for CRC backpatching).
   void PatchU32(size_t pos, uint32_t v) {
     for (int i = 0; i < 4; i++) {

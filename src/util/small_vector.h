@@ -88,7 +88,15 @@ class SmallVector {
   template <typename... Args>
   T& emplace_back(Args&&... args) {
     if (size_ == cap_) {
-      Grow(cap_ * 2);
+      // Construct into the fresh storage before the old elements are moved
+      // out and freed: the arguments may reference an element of this
+      // vector (push_back(v[0])), which std::vector guarantees works.
+      const size_t new_cap = cap_ * 2;
+      T* fresh = Allocate(new_cap);
+      T* slot = ::new (fresh + size_) T(std::forward<Args>(args)...);
+      Rehome(fresh, new_cap);
+      size_++;
+      return *slot;
     }
     T* slot = ::new (data_ + size_) T(std::forward<Args>(args)...);
     size_++;
@@ -132,10 +140,15 @@ class SmallVector {
   T* InlineData() { return reinterpret_cast<T*>(inline_); }
   const T* InlineData() const { return reinterpret_cast<const T*>(inline_); }
 
-  void Grow(size_t want) {
-    const size_t new_cap = want > cap_ * 2 ? want : cap_ * 2;
-    T* fresh = static_cast<T*>(
-        ::operator new(new_cap * sizeof(T), std::align_val_t(alignof(T))));
+  static T* Allocate(size_t cap) {
+    return static_cast<T*>(
+        ::operator new(cap * sizeof(T), std::align_val_t(alignof(T))));
+  }
+
+  // Moves the live elements into `fresh` and retires the old storage.
+  // `fresh` may already hold a just-constructed element past size_ (the
+  // emplace_back growth path), which this leaves untouched.
+  void Rehome(T* fresh, size_t new_cap) {
     for (size_t i = 0; i < size_; i++) {
       ::new (fresh + i) T(std::move(data_[i]));
       data_[i].~T();
@@ -145,6 +158,11 @@ class SmallVector {
     }
     data_ = fresh;
     cap_ = new_cap;
+  }
+
+  void Grow(size_t want) {
+    const size_t new_cap = want > cap_ * 2 ? want : cap_ * 2;
+    Rehome(Allocate(new_cap), new_cap);
   }
 
   // Move-assignment helper: expects *this to be empty and inline.

@@ -124,6 +124,14 @@ std::vector<TraceEntry> RunScript(uint64_t seed, int initial_events,
   // Mix RunUntil windows with free running, as the benches do.
   sim.RunUntil(500'000);
   trace.push_back({~uint64_t{0}, sim.now()});  // clock checkpoint
+  // Schedule externally after the RunUntil, while events it did not reach
+  // are still pending — some of these land earlier than those survivors,
+  // which must not have dragged the engine's cursor past them.
+  for (int i = 0; i < 8; i++) {
+    const uint64_t id = next_id++;
+    const Nanos dt = rng.Uniform(10'000'000);
+    sim.At(sim.now() + dt, [&fire, id] { fire(id); });
+  }
   sim.Run();
   trace.push_back({~uint64_t{0}, sim.now()});
   return trace;
@@ -198,6 +206,80 @@ TEST(CalendarQueue, PendingAndProcessedCounts) {
   sim.Run();
   EXPECT_TRUE(sim.empty());
   EXPECT_EQ(sim.events_processed(), 10u);
+}
+
+// Regression: RunUntil used to commit cursor movement for an event it then
+// declined to pop, so a later At() with an earlier timestamp landed in a
+// bucket behind the cursor and ran *after* the later event, with now()
+// regressing. Trace from the report: At(3ms); RunUntil(1ms); At(1.1ms);
+// Run() fired 3ms before 1.1ms.
+TEST(CalendarQueue, RunUntilLeavingPendingEventDoesNotReorderLaterSchedules) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<Nanos> fired_at;
+  sim.At(3'000'000, [&] {
+    order.push_back(0);
+    fired_at.push_back(sim.now());
+  });
+  EXPECT_EQ(sim.RunUntil(1'000'000), 0u);  // 3ms event stays pending
+  EXPECT_EQ(sim.now(), 1'000'000);
+  sim.At(1'100'000, [&] {
+    order.push_back(1);
+    fired_at.push_back(sim.now());
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+  EXPECT_EQ(fired_at, (std::vector<Nanos>{1'100'000, 3'000'000}));
+}
+
+// Same shape, but the pending survivor is a far timer beyond the near
+// window: the declined settle must not jump the window to it either.
+TEST(CalendarQueue, RunUntilLeavingPendingFarTimerDoesNotReorder) {
+  Simulator sim;
+  std::vector<Nanos> fired_at;
+  sim.At(10'000'000'000, [&] { fired_at.push_back(sim.now()); });
+  EXPECT_EQ(sim.RunUntil(1'000'000), 0u);
+  sim.At(2'000'000, [&] { fired_at.push_back(sim.now()); });
+  sim.At(1'000'000, [&] { fired_at.push_back(sim.now()); });  // t == now
+  sim.Run();
+  EXPECT_EQ(fired_at,
+            (std::vector<Nanos>{1'000'000, 2'000'000, 10'000'000'000}));
+  EXPECT_EQ(sim.now(), 10'000'000'000);
+}
+
+// Interleaved RunUntil windows and external schedules against the reference
+// heap, asserting the clock never goes backwards.
+TEST(CalendarQueue, RepeatedRunUntilWithExternalSchedulesStaysMonotonic) {
+  for (uint64_t seed = 1; seed <= 10; seed++) {
+    Simulator sim;
+    ReferenceSim ref;
+    Rng rng(seed);
+    std::vector<TraceEntry> got, want;
+    Nanos last = 0;
+    uint64_t next_id = 0;
+    for (int round = 0; round < 50; round++) {
+      // A mix of near and far events, some beyond the RunUntil horizon so
+      // survivors are always pending when the next round schedules.
+      const int n = 1 + static_cast<int>(rng.Uniform(4));
+      for (int i = 0; i < n; i++) {
+        const Nanos t = sim.now() + rng.Uniform(20'000'000);
+        const uint64_t id = next_id++;
+        sim.At(t, [&got, &sim, &last, id] {
+          ASSERT_GE(sim.now(), last);
+          last = sim.now();
+          got.push_back({id, sim.now()});
+        });
+        ref.At(t, [&want, &ref, id] { want.push_back({id, ref.now()}); });
+      }
+      const Nanos until = sim.now() + rng.Uniform(5'000'000);
+      sim.RunUntil(until);
+      ref.RunUntil(until);
+      ASSERT_EQ(sim.now(), ref.now()) << "seed " << seed;
+    }
+    sim.Run();
+    ref.Run();
+    ASSERT_EQ(got, want) << "seed " << seed;
+  }
 }
 
 TEST(CalendarQueue, RunUntilThenScheduleSkipsAhead) {

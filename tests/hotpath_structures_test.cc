@@ -155,6 +155,35 @@ TEST(SmallVector, MoveFromInlineAndHeap) {
   EXPECT_EQ(*b[4], 4);
 }
 
+// Regression: push_back(v[i]) must work when the push triggers growth, as
+// it does for std::vector. The old Grow() destroyed (and, when heap-backed,
+// freed) the source element before the new one was constructed.
+TEST(SmallVector, PushBackOfOwnElementDuringGrowth) {
+  // Inline -> heap transition: the argument lives in inline_ storage.
+  SmallVector<std::string, 2> v;
+  v.push_back(std::string(64, 'a'));  // long enough to defeat SSO
+  v.push_back(std::string(64, 'b'));
+  v.push_back(v[0]);  // grows; source is inline element 0
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], std::string(64, 'a'));
+  EXPECT_EQ(v[0], std::string(64, 'a'));
+
+  // Heap -> heap transition: the argument lives in the freed allocation.
+  while (v.size() < v.capacity()) {
+    v.push_back(std::string(64, 'c'));
+  }
+  const std::string want = v.back();
+  v.push_back(v.back());  // grows; source is in the old heap block
+  EXPECT_EQ(v.back(), want);
+
+  // Same via emplace_back with a reference argument.
+  while (v.size() < v.capacity()) {
+    v.push_back(std::string(64, 'd'));
+  }
+  v.emplace_back(v[1]);
+  EXPECT_EQ(v.back(), std::string(64, 'b'));
+}
+
 TEST(SmallVector, ReserveAvoidsLaterGrowth) {
   SmallVector<int, 2> v;
   v.reserve(100);
