@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Doc lint: the docs must keep up with the code.
+
+Two checks, both wired into ctest as `check_docs`:
+
+1. Every metric name registered in src/ (GetCounter / GetGauge /
+   GetHistogram / RegisterCallback / CallbackGuard::Register) must have a
+   matching row in docs/METRICS.md. Names are built as `prefix + ".suffix"`,
+   so the lint extracts the dotted string-literal fragment at each
+   registration site and requires that exact fragment to appear in
+   METRICS.md (rows spell either the suffix, `.objects_put`, or a full
+   name containing it, `backend.shard<i>.objects_put`).
+
+2. Every bench binary named like a paper artifact (bench/fig*.cc,
+   bench/tbl*.cc) must have a row in the EXPERIMENTS.md bench index.
+
+Run from anywhere: `python3 scripts/check_docs.py [repo_root]`.
+Exit 0 = docs in sync; exit 1 = findings (listed on stderr).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REGISTER_CALL = re.compile(
+    r"\b(?:GetCounter|GetGauge|GetHistogram|RegisterCallback|Register)\s*\("
+)
+STRING_LITERAL = re.compile(r'"((?:[^"\\]|\\.)*)"')
+# How far past the call token to look for the name literal; registration
+# sites put the name in the first argument or two, never further.
+WINDOW = 160
+
+
+def metric_fragments(src_root: Path):
+    """Yield (file, fragment) for every dotted literal at a registration site."""
+    for path in sorted(src_root.rglob("*.cc")) + sorted(src_root.rglob("*.h")):
+        text = path.read_text(encoding="utf-8", errors="replace")
+        for call in REGISTER_CALL.finditer(text):
+            window = text[call.end():call.end() + WINDOW]
+            # Stop at a lambda: RegisterCallback bodies may contain
+            # unrelated string literals.
+            lambda_at = window.find("[")
+            if lambda_at != -1:
+                window = window[:lambda_at]
+            for lit in STRING_LITERAL.finditer(window):
+                frag = lit.group(1)
+                # Metric fragments are dotted identifier paths; anything
+                # else (error text, file names) is not a metric name.
+                if re.fullmatch(r"\.?[A-Za-z0-9_]+(\.[A-Za-z0-9_]+)*", frag) \
+                        and "." in frag.lstrip("."):
+                    yield path, frag
+                elif re.fullmatch(r"\.[A-Za-z0-9_]+", frag):
+                    yield path, frag
+
+
+def check_metrics(repo: Path, errors: list):
+    metrics_md = (repo / "docs" / "METRICS.md").read_text(encoding="utf-8")
+    seen = set()
+    for path, frag in metric_fragments(repo / "src"):
+        if frag in seen:
+            continue
+        seen.add(frag)
+        if frag not in metrics_md:
+            errors.append(
+                f"{path.relative_to(repo)}: registered metric fragment "
+                f'"{frag}" has no row in docs/METRICS.md'
+            )
+    if not seen:
+        errors.append("metric scan found no registration sites — "
+                      "check_docs.py is broken, fix its patterns")
+
+
+def check_bench_index(repo: Path, errors: list):
+    experiments_md = (repo / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    benches = sorted((repo / "bench").glob("fig*.cc")) + \
+        sorted((repo / "bench").glob("tbl*.cc"))
+    if not benches:
+        errors.append("no bench/fig*.cc or bench/tbl*.cc found — "
+                      "check_docs.py is broken, fix its globs")
+    for path in benches:
+        name = path.stem
+        if f"`{name}`" not in experiments_md:
+            errors.append(
+                f"bench/{path.name}: no `{name}` row in the EXPERIMENTS.md "
+                "bench index"
+            )
+
+
+def main() -> int:
+    repo = Path(sys.argv[1]) if len(sys.argv) > 1 else \
+        Path(__file__).resolve().parent.parent
+    errors = []
+    check_metrics(repo, errors)
+    check_bench_index(repo, errors)
+    if errors:
+        print("check_docs: %d finding(s)" % len(errors), file=sys.stderr)
+        for e in errors:
+            print("  " + e, file=sys.stderr)
+        return 1
+    print("check_docs: docs in sync")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -265,8 +265,12 @@ void BcacheDevice::Flush(std::function<void(Status)> done) {
     });
   };
 
+  // The loop body captures itself only weakly (each SSD-write callback
+  // re-locks a strong reference), so the function object is freed when the
+  // loop finishes rather than leaking in a shared_ptr cycle.
   auto write_node = std::make_shared<std::function<void(uint64_t)>>();
-  *write_node = [this, alive, nodes, write_node,
+  std::weak_ptr<std::function<void(uint64_t)>> weak_node = write_node;
+  *write_node = [this, alive, nodes, weak_node,
                  commit = std::move(commit)](uint64_t n) mutable {
     if (n >= nodes) {
       commit();
@@ -277,7 +281,7 @@ void BcacheDevice::Flush(std::function<void(Status)> done) {
         meta_base_ + Mix(meta_counter_++) % (meta_size_ / kBlockSize) *
                          kBlockSize;
     ssd_->Write(at, Buffer::Zeros(kBlockSize),
-                [alive, write_node, n](Status) {
+                [alive, write_node = weak_node.lock(), n](Status) {
                   if (*alive) {
                     (*write_node)(n + 1);
                   }

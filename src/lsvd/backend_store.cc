@@ -18,8 +18,22 @@ constexpr uint64_t kHeaderReadWindow = 256 * kKiB;
 BackendStore::BackendStore(ClientHost* host, ObjectStore* store,
                            WriteCache* cache, const LsvdConfig& config,
                            MetricsRegistry* metrics, const std::string& prefix)
-    : host_(host), store_(store), cache_(cache), config_(config),
+    : BackendStore(host, std::vector<ObjectStore*>{store}, cache, config,
+                   metrics, prefix) {}
+
+BackendStore::BackendStore(ClientHost* host, std::vector<ObjectStore*> stores,
+                           WriteCache* cache, const LsvdConfig& config,
+                           MetricsRegistry* metrics, const std::string& prefix)
+    : host_(host), cache_(cache), config_(config),
       retry_rng_(config.retry.seed) {
+  assert(!stores.empty());
+  config_.backend_shards = static_cast<int>(stores.size());
+  shards_.resize(stores.size());
+  for (size_t i = 0; i < stores.size(); i++) {
+    shards_[i].store = stores[i];
+    shards_[i].retry = i < config_.shard_retry.size() ? config_.shard_retry[i]
+                                                      : config_.retry;
+  }
   next_seq_ = config_.base_last_seq + 1;
   applied_seq_ = config_.base_last_seq;
   last_checkpoint_seq_ = config_.base_last_seq;
@@ -45,7 +59,7 @@ BackendStore::BackendStore(ClientHost* host, ObjectStore* store,
   c_timeouts_ = metrics_->GetCounter(prefix + ".timeouts");
   c_gc_aborted_corrupt_ = metrics_->GetCounter(prefix + ".gc_aborted_corrupt");
   callback_guard_.Register(metrics_, prefix + ".degraded",
-                           [this] { return degraded_ ? 1.0 : 0.0; });
+                           [this] { return degraded() ? 1.0 : 0.0; });
   h_open_to_seal_us_ = metrics_->GetHistogram(prefix + ".batch.open_to_seal_us");
   h_seal_to_commit_us_ =
       metrics_->GetHistogram(prefix + ".batch.seal_to_commit_us");
@@ -60,6 +74,27 @@ BackendStore::BackendStore(ClientHost* host, ObjectStore* store,
   callback_guard_.Register(metrics_, prefix + ".object_count", [this] {
     return static_cast<double>(object_count());
   });
+
+  // Per-shard counters and gauges exist only on sharded volumes, so the
+  // long-standing single-shard metric dumps stay unchanged.
+  if (shards_.size() > 1) {
+    for (size_t i = 0; i < shards_.size(); i++) {
+      const std::string sp = prefix + ".shard" + std::to_string(i);
+      shards_[i].c_objects_put = metrics_->GetCounter(sp + ".objects_put");
+      shards_[i].c_object_bytes = metrics_->GetCounter(sp + ".object_bytes");
+      shards_[i].c_put_failures = metrics_->GetCounter(sp + ".put_failures");
+      shards_[i].c_retries = metrics_->GetCounter(sp + ".retries");
+      callback_guard_.Register(metrics_, sp + ".degraded", [this, i] {
+        return shards_[i].degraded ? 1.0 : 0.0;
+      });
+      callback_guard_.Register(metrics_, sp + ".outstanding_puts", [this, i] {
+        return static_cast<double>(shards_[i].outstanding);
+      });
+      callback_guard_.Register(metrics_, sp + ".utilization", [this, i] {
+        return ShardUtilization(i);
+      });
+    }
+  }
 
   put_slot_id_ =
       host_->put_scheduler()->Register([this, alive = alive_]() {
@@ -226,8 +261,16 @@ void BackendStore::SealBatch(OpenBatch batch, bool from_gc,
   PumpPuts();
 }
 
-Nanos BackendStore::RetryBackoff(int attempt) {
-  const BackendRetryPolicy& p = config_.retry;
+bool BackendStore::degraded() const {
+  for (const Shard& shard : shards_) {
+    if (shard.degraded) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Nanos BackendStore::RetryBackoff(const BackendRetryPolicy& p, int attempt) {
   double backoff = static_cast<double>(p.initial_backoff);
   for (int i = 1; i < attempt &&
                   backoff < static_cast<double>(p.max_backoff); i++) {
@@ -239,9 +282,10 @@ Nanos BackendStore::RetryBackoff(int attempt) {
   return static_cast<Nanos>(std::max(0.0, backoff * factor));
 }
 
-void BackendStore::PutWithRetry(std::string name, Buffer object,
+void BackendStore::PutWithRetry(size_t shard, std::string name, Buffer object,
                                 std::function<void(Status)> done) {
   auto op = std::make_shared<PutRetryState>();
+  op->shard = shard;
   op->name = std::move(name);
   op->object = std::move(object);
   op->done = std::move(done);
@@ -249,20 +293,21 @@ void BackendStore::PutWithRetry(std::string name, Buffer object,
 }
 
 void BackendStore::StartPutAttempt(std::shared_ptr<PutRetryState> op) {
+  ObjectStore* store = shards_[op->shard].store;
   if (op->attempt > 0) {
     // A previous attempt may have landed after its timeout: objects are
     // immutable, so blindly re-PUTting an existing name fails. Head is the
     // (reliable) control plane: a size match means the object is complete
     // and the PUT already succeeded; a mismatch is a torn object that must
     // be deleted and re-uploaded.
-    auto existing = store_->Head(op->name);
+    auto existing = store->Head(op->name);
     if (existing.ok()) {
       if (*existing == op->object.size()) {
         op->done(Status::Ok());
         return;
       }
       auto alive = alive_;
-      store_->Delete(op->name, [this, alive, op](Status) {
+      store->Delete(op->name, [this, alive, op](Status) {
         if (!*alive) {
           return;
         }
@@ -279,8 +324,9 @@ void BackendStore::StartPutAttempt(std::shared_ptr<PutRetryState> op) {
 void BackendStore::RawPutAttempt(std::shared_ptr<PutRetryState> op) {
   auto alive = alive_;
   auto settled = std::make_shared<bool>(false);
-  if (config_.retry.op_timeout > 0) {
-    host_->sim()->After(config_.retry.op_timeout,
+  const BackendRetryPolicy& policy = PolicyFor(op->shard);
+  if (policy.op_timeout > 0) {
+    host_->sim()->After(policy.op_timeout,
                         [this, alive, settled, op]() {
       if (!*alive || *settled) {
         return;
@@ -290,7 +336,8 @@ void BackendStore::RawPutAttempt(std::shared_ptr<PutRetryState> op) {
       OnPutAttemptFailed(op, Status::Unavailable("backend PUT timed out"));
     });
   }
-  store_->Put(op->name, op->object, [this, alive, settled, op](Status s) {
+  shards_[op->shard].store->Put(op->name, op->object,
+                                [this, alive, settled, op](Status s) {
     if (!*alive || *settled) {
       return;
     }
@@ -305,14 +352,18 @@ void BackendStore::RawPutAttempt(std::shared_ptr<PutRetryState> op) {
 
 void BackendStore::OnPutAttemptFailed(std::shared_ptr<PutRetryState> op,
                                       Status s) {
+  const BackendRetryPolicy& policy = PolicyFor(op->shard);
   op->attempt++;
-  if (op->attempt >= config_.retry.max_attempts) {
+  if (op->attempt >= policy.max_attempts) {
     op->done(std::move(s));
     return;
   }
   c_retries_->Inc();
+  if (shards_[op->shard].c_retries != nullptr) {
+    shards_[op->shard].c_retries->Inc();
+  }
   auto alive = alive_;
-  host_->sim()->After(RetryBackoff(op->attempt), [this, alive, op]() {
+  host_->sim()->After(RetryBackoff(policy, op->attempt), [this, alive, op]() {
     if (!*alive) {
       return;
     }
@@ -321,9 +372,10 @@ void BackendStore::OnPutAttemptFailed(std::shared_ptr<PutRetryState> op,
 }
 
 void BackendStore::GetRangeWithRetry(
-    std::string name, uint64_t offset, uint64_t len,
+    size_t shard, std::string name, uint64_t offset, uint64_t len,
     std::function<void(Result<Buffer>)> done) {
   auto op = std::make_shared<GetRetryState>();
+  op->shard = shard;
   op->name = std::move(name);
   op->offset = offset;
   op->len = len;
@@ -334,8 +386,9 @@ void BackendStore::GetRangeWithRetry(
 void BackendStore::StartGetAttempt(std::shared_ptr<GetRetryState> op) {
   auto alive = alive_;
   auto settled = std::make_shared<bool>(false);
-  if (config_.retry.op_timeout > 0) {
-    host_->sim()->After(config_.retry.op_timeout,
+  const BackendRetryPolicy& policy = PolicyFor(op->shard);
+  if (policy.op_timeout > 0) {
+    host_->sim()->After(policy.op_timeout,
                         [this, alive, settled, op]() {
       if (!*alive || *settled) {
         return;
@@ -345,8 +398,8 @@ void BackendStore::StartGetAttempt(std::shared_ptr<GetRetryState> op) {
       OnGetAttemptFailed(op, Status::Unavailable("backend GET timed out"));
     });
   }
-  store_->GetRange(op->name, op->offset, op->len,
-                   [this, alive, settled, op](Result<Buffer> r) {
+  shards_[op->shard].store->GetRange(op->name, op->offset, op->len,
+                                     [this, alive, settled, op](Result<Buffer> r) {
     if (!*alive || *settled) {
       return;
     }
@@ -361,14 +414,18 @@ void BackendStore::StartGetAttempt(std::shared_ptr<GetRetryState> op) {
 
 void BackendStore::OnGetAttemptFailed(std::shared_ptr<GetRetryState> op,
                                       Status s) {
+  const BackendRetryPolicy& policy = PolicyFor(op->shard);
   op->attempt++;
-  if (op->attempt >= config_.retry.max_attempts) {
+  if (op->attempt >= policy.max_attempts) {
     op->done(std::move(s));
     return;
   }
   c_retries_->Inc();
+  if (shards_[op->shard].c_retries != nullptr) {
+    shards_[op->shard].c_retries->Inc();
+  }
   auto alive = alive_;
-  host_->sim()->After(RetryBackoff(op->attempt), [this, alive, op]() {
+  host_->sim()->After(RetryBackoff(policy, op->attempt), [this, alive, op]() {
     if (!*alive) {
       return;
     }
@@ -376,51 +433,70 @@ void BackendStore::OnGetAttemptFailed(std::shared_ptr<GetRetryState> op,
   });
 }
 
-void BackendStore::DeleteWithRetry(const std::string& name, int attempt) {
+void BackendStore::DeleteWithRetry(size_t shard, const std::string& name,
+                                   int attempt) {
   auto alive = alive_;
-  store_->Delete(name, [this, alive, name, attempt](Status s) {
-    if (!*alive || s.ok() || attempt + 1 >= config_.retry.max_attempts) {
+  shards_[shard].store->Delete(name,
+                               [this, alive, shard, name, attempt](Status s) {
+    if (!*alive || s.ok() || attempt + 1 >= PolicyFor(shard).max_attempts) {
       return;
     }
     c_retries_->Inc();
-    host_->sim()->After(RetryBackoff(attempt + 1), [this, alive = alive_,
-                                                    name, attempt]() {
+    host_->sim()->After(RetryBackoff(PolicyFor(shard), attempt + 1),
+                        [this, alive = alive_, shard, name, attempt]() {
       if (!*alive) {
         return;
       }
-      DeleteWithRetry(name, attempt + 1);
+      DeleteWithRetry(shard, name, attempt + 1);
     });
   });
 }
 
 void BackendStore::PumpPuts() {
-  // Beyond the per-volume window, each outstanding PUT needs a host-wide
-  // slot; when denied, the scheduler re-pumps us once a slot frees.
-  while (!degraded_ && outstanding_puts_ < config_.put_window &&
-         !put_queue_.empty() &&
-         host_->put_scheduler()->TryAcquire(put_slot_id_)) {
-    SealedObject sealed = std::move(put_queue_.front());
-    put_queue_.pop_front();
+  // Walk the queue in seal order, skipping entries whose shard is degraded
+  // or has a full per-shard PUT window — a blocked shard must not head-of-
+  // line-block the others' stripes. Beyond the per-shard window, each
+  // outstanding PUT needs a host-wide slot; when denied, the scheduler
+  // re-pumps us once a slot frees.
+  size_t i = 0;
+  while (i < put_queue_.size()) {
+    const size_t shard_index = ShardOf(put_queue_[i].seq);
+    Shard& shard = shards_[shard_index];
+    if (shard.degraded || shard.outstanding >= config_.put_window) {
+      ++i;
+      continue;
+    }
+    if (!host_->put_scheduler()->TryAcquire(put_slot_id_)) {
+      return;
+    }
+    SealedObject sealed = std::move(put_queue_[i]);
+    put_queue_.erase(put_queue_.begin() + static_cast<ptrdiff_t>(i));
     outstanding_puts_++;
+    shard.outstanding++;
     const uint64_t seq = sealed.seq;
     const uint64_t payload = sealed.payload_bytes;
     Buffer object = sealed.object;
     in_flight_[seq] = std::move(sealed);
 
     auto alive = alive_;
-    auto do_put = [this, alive, seq, object = std::move(object)]() mutable {
+    auto do_put = [this, alive, seq, shard_index,
+                   object = std::move(object)]() mutable {
       if (!*alive) {
         return;
       }
       host_->user_cpu()->Submit(config_.costs.batch_golang,
-                                [this, alive, seq,
+                                [this, alive, seq, shard_index,
                                  object = std::move(object)]() mutable {
         if (!*alive) {
           return;
         }
         c_objects_put_->Inc();
         c_object_bytes_->Inc(object.size());
-        PutWithRetry(NameForSeq(seq), std::move(object),
+        if (shards_[shard_index].c_objects_put != nullptr) {
+          shards_[shard_index].c_objects_put->Inc();
+          shards_[shard_index].c_object_bytes->Inc(object.size());
+        }
+        PutWithRetry(shard_index, NameForSeq(seq), std::move(object),
                      [this, alive, seq](Status s) {
           if (!*alive) {
             return;
@@ -459,12 +535,18 @@ void BackendStore::PumpPuts() {
 
 // A failed PUT must not lose its batch: write-cache records are only
 // released after the containing object commits, so parking the sealed object
-// and stopping the pump preserves every write. The store enters the degraded
-// state; the client keeps acknowledging writes until the cache log fills.
+// and stopping that shard's pump preserves every write. The shard enters the
+// degraded state; other shards keep streaming, and the client keeps
+// acknowledging writes until the cache log fills.
 void BackendStore::ParkFailedPut(uint64_t seq) {
   auto it = in_flight_.find(seq);
   assert(it != in_flight_.end());
   c_put_failures_->Inc();
+  const size_t shard_index = ShardOf(seq);
+  Shard& shard = shards_[shard_index];
+  if (shard.c_put_failures != nullptr) {
+    shard.c_put_failures->Inc();
+  }
   SealedObject sealed = std::move(it->second);
   in_flight_.erase(it);
   // Re-queue in sequence order so a later recovery pump re-PUTs objects in
@@ -474,30 +556,31 @@ void BackendStore::ParkFailedPut(uint64_t seq) {
     ++pos;
   }
   put_queue_.insert(pos, std::move(sealed));
-  if (!degraded_) {
-    degraded_ = true;
-    ScheduleDegradedProbe();
+  if (!shard.degraded) {
+    shard.degraded = true;
+    ScheduleDegradedProbe(shard_index);
   }
 }
 
 // The degraded state is left by probing, not by waiting for client traffic:
-// every probe interval the pump is unblocked once, which re-PUTs the parked
-// objects in sequence order. If the backend is still down the first PUT
+// every probe interval the shard's pump is unblocked once, which re-PUTs its
+// parked objects in sequence order. If the shard is still down the first PUT
 // exhausts its budget, re-parks, and re-arms the probe.
-void BackendStore::ScheduleDegradedProbe() {
+void BackendStore::ScheduleDegradedProbe(size_t shard) {
   auto alive = alive_;
-  host_->sim()->After(config_.retry.degraded_probe_interval,
-                      [this, alive]() {
-    if (!*alive || !degraded_) {
+  host_->sim()->After(PolicyFor(shard).degraded_probe_interval,
+                      [this, alive, shard]() {
+    if (!*alive || !shards_[shard].degraded) {
       return;
     }
-    degraded_ = false;
+    shards_[shard].degraded = false;
     PumpPuts();
   });
 }
 
 void BackendStore::OnPutComplete(uint64_t seq, Status s) {
   outstanding_puts_--;
+  shards_[ShardOf(seq)].outstanding--;
   host_->put_scheduler()->Release(put_slot_id_);
   if (!s.ok()) {
     ParkFailedPut(seq);
@@ -612,15 +695,35 @@ double BackendStore::Utilization() const {
   return static_cast<double>(live_bytes()) / static_cast<double>(total);
 }
 
-std::optional<uint64_t> BackendStore::PickGcVictim() const {
-  // Greedy cleaning (§3.5): the least-utilized object, restricted to objects
-  // older than the last checkpoint (so recovery never sees holes above it)
-  // and never from the clone base image.
+double BackendStore::ShardUtilization(size_t shard) const {
+  if (shards_.size() <= 1) {
+    return Utilization();
+  }
+  uint64_t live = 0;
+  uint64_t total = 0;
+  for (const auto& [seq, info] : object_info_) {
+    if (ShardOf(seq) != shard) {
+      continue;
+    }
+    live += info.live_bytes;
+    total += info.total_bytes;
+  }
+  if (total == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(live) / static_cast<double>(total);
+}
+
+std::optional<uint64_t> BackendStore::PickGcVictim(size_t shard) const {
+  // Greedy cleaning (§3.5): the least-utilized object on the shard,
+  // restricted to objects older than the last checkpoint (so recovery never
+  // sees holes above it) and never from the clone base image.
   std::optional<uint64_t> best;
   double best_ratio = 1.0;
   for (const auto& [seq, info] : object_info_) {
     if (seq <= config_.base_last_seq || seq >= last_checkpoint_seq_ ||
-        info.total_bytes == 0 || gc_pending_victims_.contains(seq)) {
+        info.total_bytes == 0 || gc_pending_victims_.contains(seq) ||
+        ShardOf(seq) != shard) {
       continue;
     }
     const double ratio = static_cast<double>(info.live_bytes) /
@@ -633,14 +736,34 @@ std::optional<uint64_t> BackendStore::PickGcVictim() const {
   return best;
 }
 
+std::optional<uint64_t> BackendStore::PickShardedVictim(
+    double watermark) const {
+  // Per-shard thresholding (DESIGN.md §9): a shard is cleaned only when its
+  // own slice of the stream drops below the watermark; shards are tried in
+  // ascending-utilization order so the dirtiest is cleaned first.
+  std::vector<std::pair<double, size_t>> order;
+  order.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); s++) {
+    order.push_back({ShardUtilization(s), s});
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [util, shard] : order) {
+    if (util >= watermark) {
+      break;
+    }
+    auto victim = PickGcVictim(shard);
+    if (victim.has_value()) {
+      return victim;
+    }
+  }
+  return std::nullopt;
+}
+
 void BackendStore::MaybeGc() {
   if (!config_.gc_enabled || gc_running_) {
     return;
   }
-  if (Utilization() >= config_.gc_low_watermark) {
-    return;
-  }
-  auto victim = PickGcVictim();
+  auto victim = PickShardedVictim(config_.gc_low_watermark);
   if (!victim.has_value()) {
     return;
   }
@@ -651,7 +774,7 @@ void BackendStore::MaybeGc() {
 void BackendStore::CleanOneObject(uint64_t victim) {
   gc_pending_victims_.insert(victim);
   const std::string name = NameForSeq(victim);
-  auto size = store_->Head(name);
+  auto size = StoreFor(victim)->Head(name);
   if (!size.ok()) {
     // Already gone (shouldn't happen); drop bookkeeping and move on.
     object_info_.erase(victim);
@@ -660,7 +783,7 @@ void BackendStore::CleanOneObject(uint64_t victim) {
   }
   auto alive = alive_;
   const uint64_t window = std::min(*size, kHeaderReadWindow);
-  GetRangeWithRetry(name, 0, window,
+  GetRangeWithRetry(ShardOf(victim), name, 0, window,
                     [this, alive, victim, name](Result<Buffer> r) {
     if (!*alive) {
       return;
@@ -851,8 +974,8 @@ void BackendStore::CleanOneObject(uint64_t victim) {
       } else {
         // Plugged pieces may live in other objects; fetch from wherever the
         // map says the data is.
-        GetRangeWithRetry(NameForSeq(piece.src.seq), piece.src.offset,
-                          piece.len,
+        GetRangeWithRetry(ShardOf(piece.src.seq), NameForSeq(piece.src.seq),
+                          piece.src.offset, piece.len,
                           [piece, finish_piece](Result<Buffer> r) {
           finish_piece(piece, std::move(r));
         });
@@ -862,8 +985,8 @@ void BackendStore::CleanOneObject(uint64_t victim) {
 }
 
 void BackendStore::FinishGcRound() {
-  if (config_.gc_enabled && Utilization() < config_.gc_high_watermark) {
-    auto victim = PickGcVictim();
+  if (config_.gc_enabled) {
+    auto victim = PickShardedVictim(config_.gc_high_watermark);
     if (victim.has_value()) {
       CleanOneObject(*victim);
       return;
@@ -900,7 +1023,7 @@ void BackendStore::ProcessDelete(uint64_t seq) {
     return;
   }
   c_objects_deleted_->Inc();
-  DeleteWithRetry(NameForSeq(seq));
+  DeleteWithRetry(ShardOf(seq), NameForSeq(seq));
 }
 
 void BackendStore::ReexamineDeferred() {
@@ -917,7 +1040,7 @@ void BackendStore::ReexamineDeferred() {
       still_deferred.push_back(d);
     } else {
       c_objects_deleted_->Inc();
-      DeleteWithRetry(NameForSeq(d.seq));
+      DeleteWithRetry(ShardOf(d.seq), NameForSeq(d.seq));
     }
   }
   deferred_deletes_ = std::move(still_deferred);
@@ -970,13 +1093,21 @@ void BackendStore::WriteCheckpoint(std::function<void(Status)> done) {
   state.object_info = object_info_;
   state.deferred_deletes = deferred_deletes_;
   state.snapshots.assign(snapshots_.begin(), snapshots_.end());
+  if (shards_.size() > 1) {
+    // Consistency vector (DESIGN.md §9): the highest contiguous seq each
+    // shard contributes to the applied prefix. Recorded so recovery can
+    // cross-check every shard's stream against the checkpoint.
+    state.shard_count = static_cast<uint32_t>(shards_.size());
+    state.shard_consistent = ConsistencyVector(applied_seq_, shards_.size());
+  }
 
   const uint64_t ckpt_id = ++checkpoint_counter_;
   const std::string name =
       CheckpointObjectName(config_.volume_name, ckpt_id);
   const uint64_t through = state.through_seq;
   auto alive = alive_;
-  PutWithRetry(name, EncodeCheckpoint(state),
+  // Checkpoints always go to shard 0, the volume's metadata home.
+  PutWithRetry(0, name, EncodeCheckpoint(state),
                [this, alive, through, done = std::move(done)](Status s) {
     if (!*alive) {
       return;
@@ -990,9 +1121,9 @@ void BackendStore::WriteCheckpoint(std::function<void(Status)> done) {
     objects_since_checkpoint_ = 0;
     c_checkpoints_->Inc();
     // Keep only the two newest checkpoints.
-    auto names = store_->List(CheckpointPrefix(config_.volume_name));
+    auto names = meta_store()->List(CheckpointPrefix(config_.volume_name));
     while (names.size() > 2) {
-      DeleteWithRetry(names.front());
+      DeleteWithRetry(0, names.front());
       names.erase(names.begin());
     }
     done(Status::Ok());
@@ -1007,6 +1138,11 @@ bool BackendStore::idle() const {
          completed_.empty() && !gc_running_;
 }
 
+// Recovery is a chain of member-function stages threaded through a shared
+// RecoverState. Continuation lambdas capture the state but no lambda ever
+// captures a std::function holding itself, so nothing here can form a
+// shared_ptr retain cycle (the pre-PR-5 implementation leaked exactly that
+// way); once the final callback returns the state's refcount hits zero.
 void BackendStore::Recover(std::function<void(Status)> done) {
   // Start from nothing; a loaded checkpoint overrides these. In particular a
   // fresh clone has no checkpoint yet and must replay the base image's
@@ -1019,171 +1155,213 @@ void BackendStore::Recover(std::function<void(Status)> done) {
   next_seq_ = 1;
   last_checkpoint_seq_ = 0;
 
-  // 1. Find the newest valid checkpoint.
-  auto ckpts = store_->List(CheckpointPrefix(config_.volume_name));
+  auto st = std::make_shared<RecoverState>();
+  st->ckpts = meta_store()->List(CheckpointPrefix(config_.volume_name));
+  st->done = std::move(done);
+  RecoverTryCheckpoint(std::move(st), 0);
+}
+
+// 1. Find the newest usable checkpoint (always on shard 0), walking
+// backwards past undecodable or unusable ones.
+void BackendStore::RecoverTryCheckpoint(std::shared_ptr<RecoverState> st,
+                                        size_t back_index) {
+  if (back_index >= st->ckpts.size()) {
+    RecoverScanAndReplay(std::move(st));
+    return;
+  }
+  const std::string name = st->ckpts[st->ckpts.size() - 1 - back_index];
+  const auto size = meta_store()->Head(name);
+  if (!size.ok()) {
+    RecoverTryCheckpoint(std::move(st), back_index + 1);
+    return;
+  }
   auto alive = alive_;
-  auto try_ckpt = std::make_shared<std::function<void(size_t)>>();
-  auto after_ckpt = std::make_shared<std::function<void()>>();
-
-  *try_ckpt = [this, alive, ckpts, try_ckpt, after_ckpt,
-               done](size_t back_index) {
+  GetRangeWithRetry(0, name, 0, *size,
+                    [this, alive, st, name, back_index](Result<Buffer> r) {
     if (!*alive) {
       return;
     }
-    if (back_index >= ckpts.size()) {
-      (*after_ckpt)();
+    if (!r.ok() && r.status().code() == StatusCode::kUnavailable) {
+      // Transient: falling back to an older checkpoint here could replay
+      // across a GC hole; report the failure and let the caller re-open.
+      st->done(r.status());
       return;
     }
-    const std::string name = ckpts[ckpts.size() - 1 - back_index];
-    const auto size = store_->Head(name);
-    if (!size.ok()) {
-      (*try_ckpt)(back_index + 1);
+    CheckpointState state;
+    if (!r.ok() || !DecodeCheckpoint(*r, &state).ok()) {
+      RecoverTryCheckpoint(st, back_index + 1);
       return;
     }
-    GetRangeWithRetry(name, 0, *size,
-                      [this, alive, name, back_index, try_ckpt, after_ckpt,
-                       done](Result<Buffer> r) {
-      if (!*alive) {
-        return;
-      }
-      if (!r.ok() && r.status().code() == StatusCode::kUnavailable) {
-        // Transient: falling back to an older checkpoint here could replay
-        // across a GC hole; report the failure and let the caller re-open.
-        done(r.status());
-        return;
-      }
-      CheckpointState state;
-      if (!r.ok() || !DecodeCheckpoint(*r, &state).ok()) {
-        (*try_ckpt)(back_index + 1);
-        return;
-      }
-      // Snapshot mounting (§3.6): only checkpoints at or before the snapshot
-      // point are usable; otherwise backtrack to an older one.
-      if (config_.open_limit_seq != 0 &&
-          state.through_seq > config_.open_limit_seq) {
-        (*try_ckpt)(back_index + 1);
-        return;
-      }
-      object_map_.Clear();
-      for (const auto& e : state.object_map) {
-        object_map_.Update(e.start, e.len, e.target, nullptr);
-      }
-      object_info_ = state.object_info;
-      deferred_deletes_ = state.deferred_deletes;
-      snapshots_.clear();
-      snapshots_.insert(state.snapshots.begin(), state.snapshots.end());
-      applied_seq_ = state.through_seq;
-      next_seq_ = state.next_seq;
-      last_checkpoint_seq_ = state.through_seq;
-      if (auto id = ParseCheckpointSeq(config_.volume_name, name)) {
-        checkpoint_counter_ = std::max(checkpoint_counter_, *id);
-      }
-      (*after_ckpt)();
-    });
-  };
+    // Snapshot mounting (§3.6): only checkpoints at or before the snapshot
+    // point are usable; otherwise backtrack to an older one.
+    if (config_.open_limit_seq != 0 &&
+        state.through_seq > config_.open_limit_seq) {
+      RecoverTryCheckpoint(st, back_index + 1);
+      return;
+    }
+    // Sharding sanity (DESIGN.md §9): placement is derived from seq, so a
+    // checkpoint written under a different stripe width — or whose recorded
+    // consistency vector does not match its own prefix — cannot be applied.
+    const size_t ckpt_shards = state.shard_count == 0 ? 1 : state.shard_count;
+    if (ckpt_shards != shards_.size() ||
+        (state.shard_count > 1 &&
+         state.shard_consistent !=
+             ConsistencyVector(state.through_seq, shards_.size()))) {
+      RecoverTryCheckpoint(st, back_index + 1);
+      return;
+    }
+    object_map_.Clear();
+    for (const auto& e : state.object_map) {
+      object_map_.Update(e.start, e.len, e.target, nullptr);
+    }
+    object_info_ = state.object_info;
+    deferred_deletes_ = state.deferred_deletes;
+    snapshots_.clear();
+    snapshots_.insert(state.snapshots.begin(), state.snapshots.end());
+    applied_seq_ = state.through_seq;
+    next_seq_ = state.next_seq;
+    last_checkpoint_seq_ = state.through_seq;
+    if (auto id = ParseCheckpointSeq(config_.volume_name, name)) {
+      checkpoint_counter_ = std::max(checkpoint_counter_, *id);
+    }
+    st->ckpt_back_index = back_index;
+    st->from_checkpoint = true;
+    RecoverScanAndReplay(st);
+  });
+}
 
-  *after_ckpt = [this, alive, done]() {
-    if (!*alive) {
-      return;
-    }
-    // 2. Collect available data-object seqs (own stream + clone base).
-    auto seqs = std::make_shared<std::set<uint64_t>>();
-    for (const auto& name : store_->List(DataObjectPrefix(config_.volume_name))) {
+// 2. Per-shard tail scan: collect available data-object seqs (own stream +
+// clone base) from every shard, keeping only seqs whose name was found on
+// the shard the striping rule assigns them to.
+void BackendStore::RecoverScanAndReplay(std::shared_ptr<RecoverState> st) {
+  for (size_t shard = 0; shard < shards_.size(); shard++) {
+    for (const auto& name :
+         shards_[shard].store->List(DataObjectPrefix(config_.volume_name))) {
       if (auto s = ParseDataObjectSeq(config_.volume_name, name)) {
-        seqs->insert(*s);
+        if (ShardOf(*s) == shard) {
+          st->seqs.insert(*s);
+        }
       }
     }
     if (!config_.base_image.empty()) {
       for (const auto& name :
-           store_->List(DataObjectPrefix(config_.base_image))) {
+           shards_[shard].store->List(DataObjectPrefix(config_.base_image))) {
         if (auto s = ParseDataObjectSeq(config_.base_image, name)) {
-          if (*s <= config_.base_last_seq) {
-            seqs->insert(*s);
+          if (*s <= config_.base_last_seq && ShardOf(*s) == shard) {
+            st->seqs.insert(*s);
           }
         }
       }
     }
+  }
+  RecoverReplayNext(std::move(st));
+}
 
-    // 3. Replay the consecutive run after the checkpoint, in order.
-    auto replay = std::make_shared<std::function<void()>>();
-    // 4. End of the consecutive prefix: delete stranded own objects and fix
-    // up counters. Snapshot mounts are read-only views and must not delete
-    // anything belonging to the live volume.
-    auto finish = [this, seqs, done]() {
-      if (config_.open_limit_seq == 0) {
-        for (const uint64_t s : *seqs) {
-          if (s > applied_seq_ && s > config_.base_last_seq) {
-            DeleteWithRetry(NameForSeq(s));
-          }
-        }
+// 3. Replay the globally consecutive run after the checkpoint, in order,
+// routing each read to its shard. A gap on ANY shard — including a shard
+// that lost its tail — ends the global prefix, exactly as §3.5's single-log
+// rule truncates one log at its first hole.
+void BackendStore::RecoverReplayNext(std::shared_ptr<RecoverState> st) {
+  const uint64_t want = applied_seq_ + 1;
+  const bool past_limit =
+      config_.open_limit_seq != 0 && want > config_.open_limit_seq;
+  if (past_limit || !st->seqs.contains(want)) {
+    RecoverFinish(std::move(st));
+    return;
+  }
+  const std::string name = NameForSeq(want);
+  auto size = StoreFor(want)->Head(name);
+  if (!size.ok()) {
+    st->done(size.status());
+    return;
+  }
+  const uint64_t window = std::min(*size, kHeaderReadWindow);
+  const uint64_t object_size = *size;
+  auto alive = alive_;
+  GetRangeWithRetry(ShardOf(want), name, 0, window,
+                    [this, alive, st, want, object_size](Result<Buffer> r) {
+    if (!*alive) {
+      return;
+    }
+    if (!r.ok() && r.status().code() == StatusCode::kUnavailable) {
+      // Transient even after retries: stopping the prefix here would
+      // silently truncate the volume, so surface the error instead.
+      st->done(r.status());
+      return;
+    }
+    DataObjectHeader header;
+    const bool decoded = r.ok() && DecodeDataObjectHeader(*r, &header).ok();
+    uint64_t extent_sum = 0;
+    if (decoded) {
+      for (const auto& ext : header.extents) {
+        extent_sum += ext.len;
       }
-      next_seq_ = std::max(applied_seq_, config_.base_last_seq) + 1;
-      done(Status::Ok());
-    };
-    *replay = [this, alive, seqs, replay, finish, done]() {
-      if (!*alive) {
-        return;
-      }
-      const uint64_t want = applied_seq_ + 1;
-      const bool past_limit =
-          config_.open_limit_seq != 0 && want > config_.open_limit_seq;
-      if (past_limit || !seqs->contains(want)) {
-        finish();
-        return;
-      }
-      const std::string name = NameForSeq(want);
-      auto size = store_->Head(name);
-      if (!size.ok()) {
-        done(size.status());
-        return;
-      }
-      const uint64_t window = std::min(*size, kHeaderReadWindow);
-      const uint64_t object_size = *size;
-      GetRangeWithRetry(name, 0, window,
-                        [this, alive, want, object_size, replay, finish,
-                         done](Result<Buffer> r) {
-        if (!*alive) {
-          return;
-        }
-        if (!r.ok() && r.status().code() == StatusCode::kUnavailable) {
-          // Transient even after retries: stopping the prefix here would
-          // silently truncate the volume, so surface the error instead.
-          done(r.status());
-          return;
-        }
-        DataObjectHeader header;
-        const bool decoded =
-            r.ok() && DecodeDataObjectHeader(*r, &header).ok();
-        uint64_t extent_sum = 0;
-        if (decoded) {
-          for (const auto& ext : header.extents) {
-            extent_sum += ext.len;
-          }
-        }
-        if (!decoded || object_size < header.data_offset ||
-            extent_sum != object_size - header.data_offset) {
-          // A torn or corrupt object ends the log: it was never applied, so
-          // the write cache still holds every write it contained (records
-          // are only released after commit) and rewind-and-replay re-sends
-          // them (§3.3). Treat it like a gap — stop the prefix here.
-          finish();
-          return;
-        }
-        ApplyObjectExtents(want, header, object_size - header.data_offset);
-        applied_seq_ = want;
-        (*replay)();
-      });
-    };
-    (*replay)();
-  };
+    }
+    if (!decoded || object_size < header.data_offset ||
+        extent_sum != object_size - header.data_offset) {
+      // A torn or corrupt object ends the log: it was never applied, so
+      // the write cache still holds every write it contained (records
+      // are only released after commit) and rewind-and-replay re-sends
+      // them (§3.3). Treat it like a gap — stop the prefix here.
+      RecoverFinish(st);
+      return;
+    }
+    ApplyObjectExtents(want, header, object_size - header.data_offset);
+    applied_seq_ = want;
+    RecoverReplayNext(st);
+  });
+}
 
-  (*try_ckpt)(0);
+// 4. End of the consecutive prefix: delete stranded own objects past it (on
+// whichever shard they landed) and fix up counters. Snapshot mounts are
+// read-only views and must not delete anything belonging to the live volume.
+void BackendStore::RecoverFinish(std::shared_ptr<RecoverState> st) {
+  if (shards_.size() > 1 && st->from_checkpoint) {
+    // Post-replay shard-loss check (DESIGN.md §9): after a full replay the
+    // object map may only reference objects the shards still hold — a GC
+    // victim referenced by the checkpoint is always fully displaced by
+    // replaying its GC copy, so a reference that is missing from its shard
+    // means the shard lost part of its stream since the checkpoint. The
+    // checkpoint lineage is then unusable: fall back to the next older
+    // checkpoint, ultimately to a bare scan, which truncates the global
+    // prefix at the gap (§3.5's single-log rule).
+    std::set<uint64_t> referenced;
+    for (const auto& e : object_map_.Extents()) {
+      referenced.insert(e.target.seq);
+    }
+    for (const uint64_t seq : referenced) {
+      if (!StoreFor(seq)->Head(NameForSeq(seq)).ok()) {
+        const size_t next_back = st->ckpt_back_index + 1;
+        object_map_.Clear();
+        object_info_.clear();
+        deferred_deletes_.clear();
+        snapshots_.clear();
+        applied_seq_ = 0;
+        next_seq_ = 1;
+        last_checkpoint_seq_ = 0;
+        st->seqs.clear();
+        st->from_checkpoint = false;
+        RecoverTryCheckpoint(std::move(st), next_back);
+        return;
+      }
+    }
+  }
+  if (config_.open_limit_seq == 0) {
+    for (const uint64_t s : st->seqs) {
+      if (s > applied_seq_ && s > config_.base_last_seq) {
+        DeleteWithRetry(ShardOf(s), NameForSeq(s));
+      }
+    }
+  }
+  next_seq_ = std::max(applied_seq_, config_.base_last_seq) + 1;
+  st->done(Status::Ok());
 }
 
 void BackendStore::Fetch(ObjTarget target, uint64_t len,
                          std::function<void(Result<Buffer>)> done) {
   auto alive = alive_;
-  GetRangeWithRetry(NameForSeq(target.seq), target.offset, len,
+  GetRangeWithRetry(ShardOf(target.seq), NameForSeq(target.seq),
+                    target.offset, len,
                     [alive, done = std::move(done)](Result<Buffer> r) {
     if (!*alive) {
       return;

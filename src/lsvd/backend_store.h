@@ -61,6 +61,13 @@ class BackendStore {
   BackendStore(ClientHost* host, ObjectStore* store, WriteCache* cache,
                const LsvdConfig& config, MetricsRegistry* metrics = nullptr,
                const std::string& prefix = "backend");
+  // Sharded backend (DESIGN.md §9): data object `seq` lives on
+  // stores[ShardForSeq(seq, stores.size())]; checkpoints live on stores[0].
+  // The stripe width is fixed for the volume's lifetime.
+  BackendStore(ClientHost* host, std::vector<ObjectStore*> stores,
+               WriteCache* cache, const LsvdConfig& config,
+               MetricsRegistry* metrics = nullptr,
+               const std::string& prefix = "backend");
   ~BackendStore();
 
   BackendStore(const BackendStore&) = delete;
@@ -89,9 +96,23 @@ class BackendStore {
 
   // --- garbage collection (§3.5) ---
   double Utilization() const;
+  // Utilization of one shard's slice of the object stream; victims are
+  // selected per shard against the watermarks (DESIGN.md §9).
+  double ShardUtilization(size_t shard) const;
   bool gc_running() const { return gc_running_; }
   uint64_t live_bytes() const;
   uint64_t total_bytes() const;
+
+  // --- sharding ---
+  size_t shard_count() const { return shards_.size(); }
+  size_t ShardOf(uint64_t seq) const {
+    return ShardForSeq(seq, shards_.size());
+  }
+  // Highest contiguous seq per shard implied by the applied prefix.
+  std::vector<uint64_t> consistency_vector() const {
+    return ConsistencyVector(applied_seq_, shards_.size());
+  }
+  bool shard_degraded(size_t shard) const { return shards_[shard].degraded; }
 
   // --- snapshots (§3.6) ---
   // Pins the current applied log position; durability comes from the
@@ -112,11 +133,12 @@ class BackendStore {
   uint64_t applied_seq() const { return applied_seq_; }
   uint64_t next_seq() const { return next_seq_; }
   uint64_t last_checkpoint_seq() const { return last_checkpoint_seq_; }
-  // True while the store has given up on the backend (a PUT exhausted its
-  // retry budget): sealed batches are parked in the queue — the write cache
-  // keeps their data, so correctness is preserved — and only a periodic
-  // probe PUT tests whether the backend came back.
-  bool degraded() const { return degraded_; }
+  // True while the store has given up on any backend shard (a PUT exhausted
+  // its retry budget): that shard's sealed batches are parked in the queue —
+  // the write cache keeps their data, so correctness is preserved — and only
+  // a periodic probe PUT tests whether the shard came back. Healthy shards
+  // keep absorbing their own stripe of the stream.
+  bool degraded() const;
   // True when no batch is open and no PUT is outstanding.
   bool idle() const;
   BackendStoreStats stats() const;
@@ -150,21 +172,57 @@ class BackendStore {
     Nanos sealed_at = -1;   // for the seal -> commit lifecycle histogram
   };
 
+  // One backend shard: an independent object store with its own PUT window,
+  // degraded flag, retry policy and (when sharded) metric counters.
+  struct Shard {
+    ObjectStore* store = nullptr;
+    BackendRetryPolicy retry;
+    int outstanding = 0;
+    bool degraded = false;
+    Counter* c_objects_put = nullptr;
+    Counter* c_object_bytes = nullptr;
+    Counter* c_put_failures = nullptr;
+    Counter* c_retries = nullptr;
+  };
+
   // Retry state for one logical backend PUT/GET; lives on the heap across
   // attempts, backoff sleeps, and timeout races.
   struct PutRetryState {
+    size_t shard = 0;
     std::string name;
     Buffer object;
     int attempt = 0;
     std::function<void(Status)> done;
   };
   struct GetRetryState {
+    size_t shard = 0;
     std::string name;
     uint64_t offset = 0;
     uint64_t len = 0;
     int attempt = 0;
     std::function<void(Result<Buffer>)> done;
   };
+  // Recovery pipeline state; owned only by the in-flight continuation
+  // lambdas (never by a lambda reachable from itself, so no retain cycle).
+  struct RecoverState {
+    std::vector<std::string> ckpts;
+    std::set<uint64_t> seqs;
+    // Which checkpoint (ckpts back-index) the current attempt loaded, if
+    // any; the sharded post-replay loss check falls back to the next older
+    // one when a map reference turns out to be missing from its shard.
+    size_t ckpt_back_index = 0;
+    bool from_checkpoint = false;
+    std::function<void(Status)> done;
+  };
+
+  ObjectStore* StoreFor(uint64_t seq) const {
+    return shards_[ShardOf(seq)].store;
+  }
+  // Checkpoints and other volume metadata always live on shard 0.
+  ObjectStore* meta_store() const { return shards_[0].store; }
+  const BackendRetryPolicy& PolicyFor(size_t shard) const {
+    return shards_[shard].retry;
+  }
 
   uint64_t OpenBatchSeq();
   void SealBatch(OpenBatch batch, bool from_gc,
@@ -173,25 +231,26 @@ class BackendStore {
   void OnPutComplete(uint64_t seq, Status s);
   void ParkFailedPut(uint64_t seq);
   // Backoff delay before retry number `attempt` (>= 1), with jitter.
-  Nanos RetryBackoff(int attempt);
+  Nanos RetryBackoff(const BackendRetryPolicy& policy, int attempt);
   // PUT with timeout, bounded retries, and torn-object healing: a retry that
   // finds `name` already existing treats a size match as success (a prior
   // attempt landed after its timeout) and deletes + re-uploads on mismatch.
-  void PutWithRetry(std::string name, Buffer object,
+  void PutWithRetry(size_t shard, std::string name, Buffer object,
                     std::function<void(Status)> done);
   void StartPutAttempt(std::shared_ptr<PutRetryState> op);
   void RawPutAttempt(std::shared_ptr<PutRetryState> op);
   void OnPutAttemptFailed(std::shared_ptr<PutRetryState> op, Status s);
   // Range GET with timeout and bounded retries on Unavailable; other errors
   // (NotFound, OutOfRange, Corruption) are permanent and pass through.
-  void GetRangeWithRetry(std::string name, uint64_t offset, uint64_t len,
+  void GetRangeWithRetry(size_t shard, std::string name, uint64_t offset,
+                         uint64_t len,
                          std::function<void(Result<Buffer>)> done);
   void StartGetAttempt(std::shared_ptr<GetRetryState> op);
   void OnGetAttemptFailed(std::shared_ptr<GetRetryState> op, Status s);
   // Fire-and-forget DELETE with bounded retries; a final failure only
   // leaves garbage behind.
-  void DeleteWithRetry(const std::string& name, int attempt = 0);
-  void ScheduleDegradedProbe();
+  void DeleteWithRetry(size_t shard, const std::string& name, int attempt = 0);
+  void ScheduleDegradedProbe(size_t shard);
   void ApplyReady();
   void ApplyObjectExtents(uint64_t seq, const DataObjectHeader& header,
                           uint64_t payload_bytes);
@@ -202,10 +261,19 @@ class BackendStore {
   void FinishGcRound();
   void ProcessDelete(uint64_t seq);
   void ReexamineDeferred();
-  std::optional<uint64_t> PickGcVictim() const;
+  std::optional<uint64_t> PickGcVictim(size_t shard) const;
+  // Least-utilized victim across shards whose utilization is below
+  // `watermark`; shards are tried in ascending-utilization order.
+  std::optional<uint64_t> PickShardedVictim(double watermark) const;
+  // Recovery pipeline (§3.3, sharded per DESIGN.md §9).
+  void RecoverTryCheckpoint(std::shared_ptr<RecoverState> st,
+                            size_t back_index);
+  void RecoverScanAndReplay(std::shared_ptr<RecoverState> st);
+  void RecoverReplayNext(std::shared_ptr<RecoverState> st);
+  void RecoverFinish(std::shared_ptr<RecoverState> st);
 
   ClientHost* host_;
-  ObjectStore* store_;
+  std::vector<Shard> shards_;
   WriteCache* cache_;
   LsvdConfig config_;
 
@@ -218,9 +286,8 @@ class BackendStore {
   std::deque<SealedObject> put_queue_;
   std::map<uint64_t, SealedObject> in_flight_;  // seq -> awaiting ack
   std::map<uint64_t, SealedObject> completed_;  // acked, awaiting in-order apply
-  int outstanding_puts_ = 0;
+  int outstanding_puts_ = 0;  // across all shards
   int put_slot_id_ = -1;  // registration with the host's PutScheduler
-  bool degraded_ = false;
   Rng retry_rng_;
 
   uint64_t next_seq_ = 1;

@@ -47,8 +47,9 @@ struct ClientHostConfig {
   uint64_t fair_share_iops = 0;
   uint64_t fair_share_bytes_per_sec = 0;
   double fair_share_burst_seconds = 0.1;
-  // Max outstanding backend PUTs across all volumes (0 = per-volume windows
-  // only, the single-tenant behavior).
+  // Max outstanding backend PUTs across all volumes (0 = per-shard windows
+  // only, the single-tenant behavior). A sharded volume (DESIGN.md §9)
+  // counts every shard's in-flight PUTs against this one budget.
   int host_put_window = 0;
 };
 

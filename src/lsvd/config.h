@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/util/units.h"
 
@@ -79,7 +80,14 @@ struct LsvdConfig {
   // Backend batching (paper: 8 or 32 MiB).
   uint64_t batch_bytes = 8 * kMiB;
   Nanos batch_max_age = 100 * kMillisecond;
-  int put_window = 8;  // concurrent outstanding PUTs
+  int put_window = 8;  // concurrent outstanding PUTs (per backend shard)
+
+  // Backend sharding (DESIGN.md §9): the volume's object stream is striped
+  // round-robin by batch sequence across this many independent object-store
+  // shards, each with its own disk pool, retry state and PUT window. Must
+  // match the number of stores the volume was created with, and must never
+  // change over a volume's lifetime (placement is derived from seq).
+  int backend_shards = 1;
 
   // Garbage collection thresholds on live/total utilization (§3.5, §4.6).
   double gc_low_watermark = 0.70;   // start cleaning below this
@@ -108,6 +116,9 @@ struct LsvdConfig {
   StageCosts costs;
 
   BackendRetryPolicy retry;
+  // Optional per-shard retry-policy overrides, indexed by shard. Shards
+  // beyond the vector's length (and all shards when it is empty) use `retry`.
+  std::vector<BackendRetryPolicy> shard_retry;
 
   // Clone support (§3.6): objects with seq <= base_last_seq are read from
   // `base_image`'s object stream.

@@ -32,10 +32,14 @@ void GcSimulator::Displace(const ExtentMap<ObjTarget>::ExtentVec& displaced,
       const uint64_t dec = std::min(it->second.live_bytes, d.len);
       it->second.live_bytes -= dec;
       live_sum_ -= dec;
+      uint64_t& sl = shard_live_[ShardOf(d.target.seq)];
+      sl -= std::min(sl, dec);
     } else if (d.target.seq == self_seq) {
       // Overwrite within the object being applied (no-merge mode): the
       // earlier extent's bytes die immediately.
       live_sum_ -= std::min(live_sum_, d.len);
+      uint64_t& sl = shard_live_[ShardOf(self_seq)];
+      sl -= std::min(sl, d.len);
       self_dead_ += d.len;
     }
   }
@@ -70,6 +74,8 @@ void GcSimulator::SealBatch() {
   result_.objects_created++;
   total_sum_ += object_total;
   live_sum_ += object_total;
+  shard_total_[ShardOf(seq)] += object_total;
+  shard_live_[ShardOf(seq)] += object_total;
   self_dead_ = 0;
 
   uint64_t offset = 0;
@@ -92,28 +98,61 @@ double GcSimulator::Utilization() const {
   return static_cast<double>(live_sum_) / static_cast<double>(total_sum_);
 }
 
+double GcSimulator::ShardUtilization(size_t shard) const {
+  if (shard_total_[shard] == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(shard_live_[shard]) /
+         static_cast<double>(shard_total_[shard]);
+}
+
+uint64_t GcSimulator::PickVictim(size_t shard, double ceiling) const {
+  // Greedy: least-utilized object (within `shard`, unless SIZE_MAX).
+  uint64_t victim = 0;
+  double best = ceiling;
+  for (const auto& [seq, inf] : info_) {
+    if (inf.total_bytes == 0) {
+      continue;
+    }
+    if (shard != SIZE_MAX && ShardOf(seq) != shard) {
+      continue;
+    }
+    const double r = static_cast<double>(inf.live_bytes) /
+                     static_cast<double>(inf.total_bytes);
+    if (r < best) {
+      best = r;
+      victim = seq;
+    }
+  }
+  return victim;
+}
+
 void GcSimulator::MaybeGc() {
-  while (Utilization() < config_.gc_low_watermark) {
-    // Greedy: least-utilized object.
-    uint64_t victim = 0;
-    double best = 1.0;
-    for (const auto& [seq, inf] : info_) {
-      if (inf.total_bytes == 0) {
-        continue;
+  if (config_.shards <= 1) {
+    while (Utilization() < config_.gc_low_watermark) {
+      const uint64_t victim = PickVictim(SIZE_MAX, config_.gc_high_watermark);
+      if (victim == 0) {
+        break;
       }
-      const double r = static_cast<double>(inf.live_bytes) /
-                       static_cast<double>(inf.total_bytes);
-      if (r < best) {
-        best = r;
-        victim = seq;
+      CleanOne(victim);
+      if (Utilization() >= config_.gc_high_watermark) {
+        break;
       }
     }
-    if (victim == 0 || best >= config_.gc_high_watermark) {
-      break;
-    }
-    CleanOne(victim);
-    if (Utilization() >= config_.gc_high_watermark) {
-      break;
+    return;
+  }
+  // Sharded: each shard's occupancy is a separate pool (its own disks in the
+  // real deployment), so each collects independently against the watermarks.
+  for (size_t s = 0; s < static_cast<size_t>(config_.shards); s++) {
+    while (ShardUtilization(s) < config_.gc_low_watermark) {
+      const uint64_t victim = PickVictim(s, config_.gc_high_watermark);
+      if (victim == 0) {
+        break;
+      }
+      CleanOne(victim);
+      if (ShardUtilization(s) >= config_.gc_high_watermark) {
+        break;
+      }
     }
   }
 }
@@ -187,6 +226,8 @@ void GcSimulator::CleanOne(uint64_t victim) {
     result_.objects_created++;
     total_sum_ += copied;
     live_sum_ += copied;
+    shard_total_[ShardOf(seq)] += copied;
+    shard_live_[ShardOf(seq)] += copied;
     uint64_t offset = 0;
     ExtentMap<ObjTarget>::ExtentVec displaced;
     std::vector<std::pair<uint64_t, uint64_t>>& created = creation_[seq];
@@ -204,6 +245,10 @@ void GcSimulator::CleanOne(uint64_t victim) {
   if (it != info_.end()) {
     total_sum_ -= it->second.total_bytes;
     live_sum_ -= std::min(live_sum_, it->second.live_bytes);
+    uint64_t& st = shard_total_[ShardOf(victim)];
+    uint64_t& sl = shard_live_[ShardOf(victim)];
+    st -= std::min(st, it->second.total_bytes);
+    sl -= std::min(sl, it->second.live_bytes);
     info_.erase(it);
   }
   creation_.erase(victim);

@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "src/lsvd/extent_map.h"
 #include "src/lsvd/object_format.h"
@@ -29,6 +31,10 @@ struct GcSimConfig {
   bool merge = true;    // within-batch write coalescing
   bool defrag = false;  // plug small holes during GC copies
   uint64_t defrag_hole_max = 8 * kKiB;
+  // Backend shards (DESIGN.md §9): objects stripe round-robin by seq and
+  // each shard is collected independently against the watermarks. 1 = the
+  // classic single-stream collector (bit-identical behavior).
+  int shards = 1;
 };
 
 struct GcSimResult {
@@ -63,7 +69,9 @@ class GcSimulator {
   // If `metrics` is given, live progress ("gcsim.*" callback gauges over the
   // running totals) registers there; the trace loop can snapshot mid-run.
   explicit GcSimulator(GcSimConfig config, MetricsRegistry* metrics = nullptr)
-      : config_(config) {
+      : config_(config),
+        shard_live_(config.shards > 1 ? config.shards : 1, 0),
+        shard_total_(config.shards > 1 ? config.shards : 1, 0) {
     if (metrics != nullptr) {
       metrics->RegisterCallback("gcsim.client_bytes", [this] {
         return static_cast<double>(result_.client_bytes);
@@ -107,6 +115,17 @@ class GcSimulator {
   void Displace(const ExtentMap<ObjTarget>::ExtentVec& displaced,
                 uint64_t self_seq);
   double Utilization() const;
+  // Shard routing and per-shard occupancy (no-ops folded into the global
+  // sums when config_.shards <= 1).
+  size_t ShardOf(uint64_t seq) const {
+    return ShardForSeq(seq, static_cast<size_t>(
+                                config_.shards > 1 ? config_.shards : 1));
+  }
+  double ShardUtilization(size_t shard) const;
+  // Least-utilized object, optionally restricted to one shard
+  // (shard == SIZE_MAX means any). Returns 0 if none qualifies below
+  // `ceiling`.
+  uint64_t PickVictim(size_t shard, double ceiling) const;
 
   GcSimConfig config_;
   ExtentMap<ObjTarget> map_;
@@ -120,6 +139,8 @@ class GcSimulator {
   uint64_t next_seq_ = 1;
   uint64_t live_sum_ = 0;
   uint64_t total_sum_ = 0;
+  std::vector<uint64_t> shard_live_;
+  std::vector<uint64_t> shard_total_;
   uint64_t self_dead_ = 0;  // bytes overwritten within the object being applied
   GcSimResult result_;
 };

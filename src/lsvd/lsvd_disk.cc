@@ -17,7 +17,17 @@ bool Aligned(uint64_t v) { return v % kBlockSize == 0; }
 
 LsvdDisk::LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config,
                    MetricsRegistry* metrics)
-    : host_(host), store_(store), config_(std::move(config)) {
+    : LsvdDisk(host, std::vector<ObjectStore*>{store}, std::move(config),
+               metrics) {}
+
+LsvdDisk::LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config,
+                   DiskRegions regions, MetricsRegistry* metrics)
+    : LsvdDisk(host, std::vector<ObjectStore*>{store}, std::move(config),
+               regions, metrics) {}
+
+LsvdDisk::LsvdDisk(ClientHost* host, std::vector<ObjectStore*> stores,
+                   LsvdConfig config, MetricsRegistry* metrics)
+    : host_(host), stores_(std::move(stores)), config_(std::move(config)) {
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<MetricsRegistry>();
     metrics = owned_metrics_.get();
@@ -33,9 +43,10 @@ LsvdDisk::LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config,
   InitComponents();
 }
 
-LsvdDisk::LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config,
-                   DiskRegions regions, MetricsRegistry* metrics)
-    : host_(host), store_(store), config_(std::move(config)) {
+LsvdDisk::LsvdDisk(ClientHost* host, std::vector<ObjectStore*> stores,
+                   LsvdConfig config, DiskRegions regions,
+                   MetricsRegistry* metrics)
+    : host_(host), stores_(std::move(stores)), config_(std::move(config)) {
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<MetricsRegistry>();
     metrics = owned_metrics_.get();
@@ -54,7 +65,7 @@ void LsvdDisk::InitComponents() {
   read_cache_ = std::make_unique<ReadCache>(
       host_, rc_base_, config_.read_cache_size, config_.read_cache_line,
       metrics_, p + ".read_cache");
-  backend_ = std::make_unique<BackendStore>(host_, store_, write_cache_.get(),
+  backend_ = std::make_unique<BackendStore>(host_, stores_, write_cache_.get(),
                                             config_, metrics_,
                                             config_.backend_metrics_prefix);
   backend_->on_synced = [this](uint64_t seq) {
@@ -212,8 +223,13 @@ void LsvdDisk::ReplayCacheTail(std::function<void(Status)> done) {
       write_cache_->RecordsAfterBatch(backend_->applied_seq()));
   auto index = std::make_shared<size_t>(0);
   auto alive = alive_;
+  // The loop body holds only a weak reference to itself; each async hop's
+  // callback re-locks it, so the last strong reference (the callback of the
+  // final payload read, or the local below) dies when the loop ends instead
+  // of leaking in a shared_ptr cycle.
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, alive, records, index, step, done]() {
+  std::weak_ptr<std::function<void()>> weak_step = step;
+  *step = [this, alive, records, index, weak_step, done]() {
     if (!*alive) {
       return;
     }
@@ -224,7 +240,8 @@ void LsvdDisk::ReplayCacheTail(std::function<void(Status)> done) {
     }
     const WriteCache::RecordMeta& rec = (*records)[*index];
     write_cache_->ReadRecordPayload(rec,
-                                    [this, alive, records, index, step,
+                                    [this, alive, records, index,
+                                     step = weak_step.lock(),
                                      done](Result<Buffer> r) {
       if (!*alive) {
         return;

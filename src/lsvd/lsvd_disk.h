@@ -23,6 +23,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/blockdev/virtual_disk.h"
 #include "src/lsvd/backend_store.h"
@@ -67,6 +68,13 @@ class LsvdDisk : public VirtualDisk {
   // Attaches to existing regions (re-open after a crash).
   LsvdDisk(ClientHost* host, ObjectStore* store, LsvdConfig config,
            DiskRegions regions, MetricsRegistry* metrics = nullptr);
+  // Sharded backend (DESIGN.md §9): the object stream is striped round-robin
+  // across `stores`; the stripe width is fixed for the volume's lifetime.
+  LsvdDisk(ClientHost* host, std::vector<ObjectStore*> stores,
+           LsvdConfig config, MetricsRegistry* metrics = nullptr);
+  LsvdDisk(ClientHost* host, std::vector<ObjectStore*> stores,
+           LsvdConfig config, DiskRegions regions,
+           MetricsRegistry* metrics = nullptr);
   ~LsvdDisk() override;
 
   LsvdDisk(const LsvdDisk&) = delete;
@@ -135,7 +143,7 @@ class LsvdDisk : public VirtualDisk {
   void PollDrain(std::function<void(Status)> done);
 
   ClientHost* host_;
-  ObjectStore* store_;
+  std::vector<ObjectStore*> stores_;  // one per backend shard
   LsvdConfig config_;
 
   // Declared before the components so it outlives them on destruction.

@@ -13,6 +13,10 @@ namespace {
 constexpr uint32_t kDataMagic = 0x4C53564F;   // "LSVO"
 constexpr uint32_t kCkptMagic = 0x4C53564B;   // "LSVK"
 constexpr uint32_t kFormatVersion = 1;
+// Checkpoint format v2 appends the backend shard count and the per-shard
+// consistency vector. Unsharded checkpoints keep writing v1 so their encoding
+// stays byte-identical to older builds.
+constexpr uint32_t kCkptVersionSharded = 2;
 constexpr uint64_t kHeaderAlign = 4 * kKiB;
 
 std::string FormatSeq(uint64_t seq) {
@@ -163,16 +167,48 @@ Status DecodeDataObjectHeader(const Buffer& object_prefix,
   return Status::Ok();
 }
 
+size_t ShardForSeq(uint64_t seq, size_t shard_count) {
+  if (shard_count <= 1 || seq == 0) {
+    return 0;
+  }
+  return static_cast<size_t>((seq - 1) % shard_count);
+}
+
+std::vector<uint64_t> ConsistencyVector(uint64_t through, size_t shard_count) {
+  if (shard_count <= 1) {
+    return {through};
+  }
+  std::vector<uint64_t> vec(shard_count, 0);
+  for (size_t i = 0; i < shard_count; i++) {
+    if (through == 0) {
+      continue;
+    }
+    // Largest s in [1, through] with (s - 1) % shard_count == i.
+    const uint64_t last_slot = (through - 1) % shard_count;
+    const uint64_t back =
+        last_slot >= i ? last_slot - i : last_slot + shard_count - i;
+    if (back < through) {
+      vec[i] = through - back;
+    }
+  }
+  return vec;
+}
+
 Buffer EncodeCheckpoint(const CheckpointState& state) {
+  const bool sharded = state.shard_count > 1;
   Encoder enc;
   enc.PutU32(kCkptMagic);
-  enc.PutU32(kFormatVersion);
+  enc.PutU32(sharded ? kCkptVersionSharded : kFormatVersion);
   enc.PutU64(state.through_seq);
   enc.PutU64(state.next_seq);
   enc.PutU32(static_cast<uint32_t>(state.object_map.size()));
   enc.PutU32(static_cast<uint32_t>(state.object_info.size()));
   enc.PutU32(static_cast<uint32_t>(state.deferred_deletes.size()));
   enc.PutU32(static_cast<uint32_t>(state.snapshots.size()));
+  if (sharded) {
+    enc.PutU32(state.shard_count);
+    enc.PutU32(static_cast<uint32_t>(state.shard_consistent.size()));
+  }
   const size_t crc_pos = enc.size();
   enc.PutU32(0);
   for (const auto& e : state.object_map) {
@@ -193,6 +229,11 @@ Buffer EncodeCheckpoint(const CheckpointState& state) {
   for (const uint64_t s : state.snapshots) {
     enc.PutU64(s);
   }
+  if (sharded) {
+    for (const uint64_t s : state.shard_consistent) {
+      enc.PutU64(s);
+    }
+  }
 
   std::vector<uint8_t> bytes = enc.Take();
   const uint32_t crc = Crc32c(bytes.data(), bytes.size());
@@ -209,7 +250,8 @@ Status DecodeCheckpoint(const Buffer& object, CheckpointState* state) {
   if (dec.GetU32() != kCkptMagic) {
     return Status::Corruption("bad checkpoint magic");
   }
-  if (dec.GetU32() != kFormatVersion) {
+  const uint32_t version = dec.GetU32();
+  if (version != kFormatVersion && version != kCkptVersionSharded) {
     return Status::Corruption("unsupported checkpoint version");
   }
   state->through_seq = dec.GetU64();
@@ -218,6 +260,12 @@ Status DecodeCheckpoint(const Buffer& object, CheckpointState* state) {
   const uint32_t info_count = dec.GetU32();
   const uint32_t defer_count = dec.GetU32();
   const uint32_t snap_count = dec.GetU32();
+  uint32_t shard_count = 0;
+  uint32_t vec_count = 0;
+  if (version == kCkptVersionSharded) {
+    shard_count = dec.GetU32();
+    vec_count = dec.GetU32();
+  }
   const size_t crc_pos = dec.position();
   const uint32_t crc = dec.GetU32();
 
@@ -233,6 +281,8 @@ Status DecodeCheckpoint(const Buffer& object, CheckpointState* state) {
   state->object_info.clear();
   state->deferred_deletes.clear();
   state->snapshots.clear();
+  state->shard_count = shard_count;
+  state->shard_consistent.clear();
   for (uint32_t i = 0; i < map_count; i++) {
     ExtentMap<ObjTarget>::Extent e;
     e.start = dec.GetU64();
@@ -257,8 +307,14 @@ Status DecodeCheckpoint(const Buffer& object, CheckpointState* state) {
   for (uint32_t i = 0; i < snap_count; i++) {
     state->snapshots.push_back(dec.GetU64());
   }
+  for (uint32_t i = 0; i < vec_count; i++) {
+    state->shard_consistent.push_back(dec.GetU64());
+  }
   if (!dec.ok()) {
     return Status::Corruption("checkpoint truncated");
+  }
+  if (shard_count > 1 && state->shard_consistent.size() != shard_count) {
+    return Status::Corruption("consistency vector size != shard count");
   }
   return Status::Ok();
 }

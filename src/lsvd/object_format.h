@@ -85,10 +85,28 @@ struct CheckpointState {
   std::map<uint64_t, ObjectInfo> object_info;
   std::vector<DeferredDelete> deferred_deletes;
   std::vector<uint64_t> snapshots;  // object seqs pinned by snapshots
+  // --- sharded backends only (checkpoint format v2) ---
+  // Number of backend shards the volume's object stream is striped across
+  // (0 or 1 means unsharded; encoded as format v1 with no vector).
+  uint32_t shard_count = 0;
+  // Consistency vector: per shard, the highest sequence number on that shard
+  // that is part of the globally contiguous prefix 1..through_seq. Entry i
+  // covers shard i. Recovery uses it to validate that every shard's stream
+  // reaches the checkpoint before trusting the map (DESIGN.md §9).
+  std::vector<uint64_t> shard_consistent;
 };
 
 Buffer EncodeCheckpoint(const CheckpointState& state);
 Status DecodeCheckpoint(const Buffer& object, CheckpointState* state);
+
+// --- sharding helpers ---
+// Round-robin stripe placement: data object `seq` (1-based) lives on shard
+// (seq - 1) % shard_count. Checkpoints always live on shard 0.
+size_t ShardForSeq(uint64_t seq, size_t shard_count);
+// The consistency vector implied by a contiguous global prefix 1..through:
+// entry i is the highest seq s <= through with ShardForSeq(s) == i (0 when
+// the prefix has no object on that shard yet).
+std::vector<uint64_t> ConsistencyVector(uint64_t through, size_t shard_count);
 
 }  // namespace lsvd
 

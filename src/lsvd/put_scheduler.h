@@ -1,7 +1,7 @@
 // Host-wide round-robin scheduler for backend PUT slots.
 //
 // Every BackendStore on a host previously pumped sealed batches into the
-// object store independently, bounded only by its per-volume put_window — a
+// object store independently, bounded only by its per-shard put_window — a
 // log-heavy tenant could keep the shared uplink saturated and starve the
 // other volumes' writeback. With a host window configured
 // (ClientHostConfig::host_put_window > 0), each store must acquire a slot
@@ -9,6 +9,12 @@
 // slots are granted round-robin across waiting stores, so writeback
 // bandwidth interleaves fairly regardless of queue depths. Window 0 keeps
 // the legacy independent-pump behavior.
+//
+// Sharded volumes (DESIGN.md §9) still register ONE client here: the host
+// window bounds the volume's aggregate PUT concurrency across all of its
+// backend shards, while LsvdConfig::put_window bounds each individual
+// shard's window. With N shards a volume can thus have up to
+// min(host grant, N * put_window) data PUTs in flight.
 #ifndef SRC_LSVD_PUT_SCHEDULER_H_
 #define SRC_LSVD_PUT_SCHEDULER_H_
 

@@ -1,15 +1,31 @@
 #include "src/lsvd/replicator.h"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
+
+#include "src/lsvd/object_format.h"
 
 namespace lsvd {
 
 Replicator::Replicator(Simulator* sim, ObjectStore* primary,
                        ObjectStore* replica, ReplicatorConfig config,
                        MetricsRegistry* metrics, const std::string& prefix)
-    : sim_(sim), primary_(primary), replica_(replica),
-      config_(std::move(config)), retry_rng_(config_.retry_seed) {
+    : Replicator(sim, std::vector<ObjectStore*>{primary},
+                 std::vector<ObjectStore*>{replica}, std::move(config),
+                 metrics, prefix) {}
+
+Replicator::Replicator(Simulator* sim, std::vector<ObjectStore*> primaries,
+                       std::vector<ObjectStore*> replicas,
+                       ReplicatorConfig config, MetricsRegistry* metrics,
+                       const std::string& prefix)
+    : sim_(sim), config_(std::move(config)), retry_rng_(config_.retry_seed) {
+  assert(!primaries.empty() && primaries.size() == replicas.size());
+  shards_.resize(primaries.size());
+  for (size_t i = 0; i < primaries.size(); i++) {
+    shards_[i].primary = primaries[i];
+    shards_[i].replica = replicas[i];
+  }
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<MetricsRegistry>();
     metrics = owned_metrics_.get();
@@ -23,7 +39,11 @@ Replicator::Replicator(Simulator* sim, ObjectStore* primary,
   c_copy_failures_ = metrics_->GetCounter(prefix + ".copy_failures");
   h_copy_lag_us_ = metrics_->GetHistogram(prefix + ".copy_lag_us");
   callback_guard_.Register(metrics_, prefix + ".tracked_objects", [this] {
-    return static_cast<double>(first_seen_.size());
+    size_t tracked = 0;
+    for (const auto& shard : shards_) {
+      tracked += shard.first_seen.size();
+    }
+    return static_cast<double>(tracked);
   });
 }
 
@@ -35,6 +55,28 @@ ReplicatorStats Replicator::stats() const {
   s.retries = c_retries_->value();
   s.copy_failures = c_copy_failures_->value();
   return s;
+}
+
+uint64_t Replicator::ConsistencyPoint() const {
+  // Collect the data-object seqs present on each replica shard, counting a
+  // seq only on its assigned shard (a misplaced copy would never be read by
+  // sharded recovery, so it must not extend the prefix).
+  std::set<uint64_t> have;
+  for (size_t i = 0; i < shards_.size(); i++) {
+    for (const auto& name :
+         shards_[i].replica->List(DataObjectPrefix(config_.volume_name))) {
+      if (auto seq = ParseDataObjectSeq(config_.volume_name, name)) {
+        if (ShardForSeq(*seq, shards_.size()) == i) {
+          have.insert(*seq);
+        }
+      }
+    }
+  }
+  uint64_t point = 0;
+  while (have.contains(point + 1)) {
+    point++;
+  }
+  return point;
 }
 
 void Replicator::Start() {
@@ -60,29 +102,33 @@ void Replicator::ScheduleNext() {
 
 void Replicator::PollOnce(std::function<void()> done) {
   const Nanos now = sim_->now();
-  // Track first-seen times; select objects that aged past the threshold.
-  std::vector<std::string> to_copy;
-  std::set<std::string> listed;
-  for (const auto& name : primary_->List(config_.volume_name + ".")) {
-    listed.insert(name);
-    auto [it, inserted] = first_seen_.insert({name, now});
-    if (copied_.contains(name)) {
-      continue;
-    }
-    if (now - it->second >= config_.min_age) {
-      to_copy.push_back(name);
-    }
-  }
-  // Objects that disappeared before aging in were garbage collected (or were
-  // checkpoints replaced by newer ones) and are never copied.
-  for (auto it = first_seen_.begin(); it != first_seen_.end();) {
-    if (!listed.contains(it->first)) {
-      if (!copied_.contains(it->first)) {
-        c_objects_skipped_deleted_->Inc();
+  // Track first-seen times per shard stream; select objects that aged past
+  // the threshold. (shard, name) pairs, since shards share one namespace.
+  std::vector<std::pair<size_t, std::string>> to_copy;
+  for (size_t i = 0; i < shards_.size(); i++) {
+    ShardStream& shard = shards_[i];
+    std::set<std::string> listed;
+    for (const auto& name : shard.primary->List(config_.volume_name + ".")) {
+      listed.insert(name);
+      auto [it, inserted] = shard.first_seen.insert({name, now});
+      if (shard.copied.contains(name)) {
+        continue;
       }
-      it = first_seen_.erase(it);
-    } else {
-      ++it;
+      if (now - it->second >= config_.min_age) {
+        to_copy.push_back({i, name});
+      }
+    }
+    // Objects that disappeared before aging in were garbage collected (or
+    // were checkpoints replaced by newer ones) and are never copied.
+    for (auto it = shard.first_seen.begin(); it != shard.first_seen.end();) {
+      if (!listed.contains(it->first)) {
+        if (!shard.copied.contains(it->first)) {
+          c_objects_skipped_deleted_->Inc();
+        }
+        it = shard.first_seen.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   if (to_copy.empty()) {
@@ -97,9 +143,9 @@ void Replicator::PollOnce(std::function<void()> done) {
       done();
     }
   };
-  for (const auto& name : to_copy) {
-    copied_.insert(name);
-    CopyObject(name, 0, one_done);
+  for (const auto& [shard, name] : to_copy) {
+    shards_[shard].copied.insert(name);
+    CopyObject(shard, name, 0, one_done);
   }
 }
 
@@ -115,39 +161,41 @@ Nanos Replicator::RetryBackoff(int attempt) {
   return static_cast<Nanos>(std::max(0.0, backoff * factor));
 }
 
-void Replicator::CopyObject(const std::string& name, int attempt,
-                            std::function<void()> done) {
+void Replicator::CopyObject(size_t shard_index, const std::string& name,
+                            int attempt, std::function<void()> done) {
+  ShardStream& shard = shards_[shard_index];
   auto alive = alive_;
-  auto retry = [this, alive, name, attempt, done]() {
+  auto retry = [this, alive, shard_index, name, attempt, done]() {
     if (attempt + 1 >= config_.max_attempts) {
       // Out of budget: forget the object so a later poll starts over
-      // (leaving it in copied_ would silently drop it from the replica
+      // (leaving it in copied would silently drop it from the replica
       // forever).
       c_copy_failures_->Inc();
-      copied_.erase(name);
+      shards_[shard_index].copied.erase(name);
       done();
       return;
     }
     c_retries_->Inc();
-    sim_->After(RetryBackoff(attempt + 1), [this, alive, name, attempt,
-                                            done]() {
+    sim_->After(RetryBackoff(attempt + 1), [this, alive, shard_index, name,
+                                            attempt, done]() {
       if (!*alive) {
         return;
       }
-      CopyObject(name, attempt + 1, done);
+      CopyObject(shard_index, name, attempt + 1, done);
     });
   };
-  primary_->Get(name, [this, alive, name, retry,
-                       done](Result<Buffer> r) {
+  shard.primary->Get(name, [this, alive, shard_index, name, retry,
+                            done](Result<Buffer> r) {
     if (!*alive) {
       return;
     }
+    ShardStream& shard = shards_[shard_index];
     if (!r.ok()) {
       if (r.status().code() == StatusCode::kNotFound) {
         // Garbage collection deleted the object before we aged it in.
         c_objects_skipped_deleted_->Inc();
-        copied_.erase(name);
-        first_seen_.erase(name);
+        shard.copied.erase(name);
+        shard.first_seen.erase(name);
         done();
         return;
       }
@@ -155,23 +203,25 @@ void Replicator::CopyObject(const std::string& name, int attempt,
       return;
     }
     const uint64_t size = r->size();
-    const auto seen = first_seen_.find(name);
-    const Nanos seen_at = seen != first_seen_.end() ? seen->second : 0;
-    replica_->Put(name, std::move(r).value(),
-                  [this, alive, name, size, seen_at, retry, done](Status s) {
+    const auto seen = shard.first_seen.find(name);
+    const Nanos seen_at = seen != shard.first_seen.end() ? seen->second : 0;
+    shard.replica->Put(name, std::move(r).value(),
+                       [this, alive, shard_index, name, size, seen_at, retry,
+                        done](Status s) {
       if (!*alive) {
         return;
       }
+      ShardStream& shard = shards_[shard_index];
       bool complete = s.ok();
       if (!complete && s.code() == StatusCode::kInvalidArgument) {
         // The name already exists on the replica: a previous attempt's PUT
         // landed without us seeing the ack. A full-size copy is a success; a
         // short one is torn — delete it and go around again.
-        const auto have = replica_->Head(name);
+        const auto have = shard.replica->Head(name);
         if (have.ok() && *have == size) {
           complete = true;
         } else {
-          replica_->Delete(name, [](Status) {});
+          shard.replica->Delete(name, [](Status) {});
         }
       }
       if (complete) {

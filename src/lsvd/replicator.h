@@ -16,6 +16,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "src/objstore/object_store.h"
 #include "src/sim/simulator.h"
@@ -52,6 +53,13 @@ class Replicator {
   Replicator(Simulator* sim, ObjectStore* primary, ObjectStore* replica,
              ReplicatorConfig config, MetricsRegistry* metrics = nullptr,
              const std::string& prefix = "replicator");
+  // Sharded volume (DESIGN.md §9): each shard's object stream is copied
+  // independently from primaries[i] to replicas[i]. The vectors must have
+  // equal, non-zero length matching the volume's stripe width.
+  Replicator(Simulator* sim, std::vector<ObjectStore*> primaries,
+             std::vector<ObjectStore*> replicas, ReplicatorConfig config,
+             MetricsRegistry* metrics = nullptr,
+             const std::string& prefix = "replicator");
   ~Replicator() { Stop(); }
 
   // Starts periodic polling; call Stop() to let the simulator drain.
@@ -62,22 +70,35 @@ class Replicator {
   // finished. Usable directly for deterministic tests.
   void PollOnce(std::function<void()> done);
 
+  // The replica cluster's consistency point: the highest data-object seq S
+  // such that every object 1..S is present on its assigned replica shard.
+  // Mounting the replica with the prefix rule yields the image through S, so
+  // this is the min consistency point across the shard streams.
+  uint64_t ConsistencyPoint() const;
+
+  size_t shard_count() const { return shards_.size(); }
   ReplicatorStats stats() const;
 
  private:
+  // Per-shard copy stream: its store pair plus the first-seen/copied
+  // tracking, which must be shard-local because shards share one namespace.
+  struct ShardStream {
+    ObjectStore* primary = nullptr;
+    ObjectStore* replica = nullptr;
+    std::map<std::string, Nanos> first_seen;
+    std::set<std::string> copied;
+  };
+
   void ScheduleNext();
   Nanos RetryBackoff(int attempt);
   // One object's GET-then-PUT with per-stage retries; always calls `done`
   // exactly once.
-  void CopyObject(const std::string& name, int attempt,
+  void CopyObject(size_t shard, const std::string& name, int attempt,
                   std::function<void()> done);
 
   Simulator* sim_;
-  ObjectStore* primary_;
-  ObjectStore* replica_;
+  std::vector<ShardStream> shards_;
   ReplicatorConfig config_;
-  std::map<std::string, Nanos> first_seen_;
-  std::set<std::string> copied_;
   Rng retry_rng_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 

@@ -4,6 +4,12 @@
 // (paper §3): whole-object PUT (atomic), GET and range GET, LIST by prefix,
 // DELETE. Objects are immutable once created; LSVD encodes log order in the
 // object *name* (volume prefix + sequence number).
+//
+// A deployment may expose several independent ObjectStore instances (e.g.
+// separate clusters or placement groups); a sharded LSVD volume (DESIGN.md
+// §9) stripes its sequence-numbered stream round-robin across them. Stores
+// need no knowledge of each other — each shard simply sees a subsequence of
+// names in the shared volume namespace.
 #ifndef SRC_OBJSTORE_OBJECT_STORE_H_
 #define SRC_OBJSTORE_OBJECT_STORE_H_
 

@@ -562,5 +562,251 @@ TEST(BackendStoreFaultTest, RetryHealsTornObjectLeftByPriorAttempt) {
   EXPECT_GT(*have, 64u * kKiB);  // the real object, not the torn stub
 }
 
+// --- backend sharding (DESIGN.md §9) ---
+
+TEST(ShardingFormatTest, ShardForSeqRoundRobin) {
+  // Unsharded: everything on shard 0.
+  EXPECT_EQ(ShardForSeq(1, 1), 0u);
+  EXPECT_EQ(ShardForSeq(17, 1), 0u);
+  EXPECT_EQ(ShardForSeq(5, 0), 0u);
+  // Round-robin by (seq - 1): seq 1 -> shard 0, seq 2 -> shard 1, ...
+  for (uint64_t seq = 1; seq <= 12; seq++) {
+    EXPECT_EQ(ShardForSeq(seq, 4), (seq - 1) % 4) << seq;
+  }
+}
+
+TEST(ShardingFormatTest, ConsistencyVectorMatchesBruteForce) {
+  for (size_t shards : {1u, 2u, 3u, 4u, 8u}) {
+    for (uint64_t through = 0; through <= 20; through++) {
+      const auto vec = ConsistencyVector(through, shards);
+      ASSERT_EQ(vec.size(), shards == 0 ? 1u : shards);
+      std::vector<uint64_t> expect(vec.size(), 0);
+      for (uint64_t s = 1; s <= through; s++) {
+        expect[ShardForSeq(s, shards)] = s;
+      }
+      EXPECT_EQ(vec, expect) << "shards=" << shards << " through=" << through;
+    }
+  }
+}
+
+TEST(ShardingFormatTest, CheckpointRoundTripsConsistencyVector) {
+  CheckpointState state;
+  state.through_seq = 7;
+  state.next_seq = 9;
+  state.object_map = {{0, 4096, ObjTarget{3, 0}},
+                      {8192, 4096, ObjTarget{7, 4096}}};
+  state.object_info[3] = ObjectInfo{8192, 4096};
+  state.object_info[7] = ObjectInfo{8192, 8192};
+  state.deferred_deletes = {{2, 6}};
+  state.snapshots = {5};
+  state.shard_count = 4;
+  state.shard_consistent = ConsistencyVector(7, 4);
+
+  CheckpointState decoded;
+  ASSERT_TRUE(DecodeCheckpoint(EncodeCheckpoint(state), &decoded).ok());
+  EXPECT_EQ(decoded.through_seq, state.through_seq);
+  EXPECT_EQ(decoded.next_seq, state.next_seq);
+  EXPECT_EQ(decoded.object_map, state.object_map);
+  EXPECT_EQ(decoded.object_info.size(), 2u);
+  EXPECT_EQ(decoded.object_info[7].live_bytes, 8192u);
+  EXPECT_EQ(decoded.shard_count, 4u);
+  EXPECT_EQ(decoded.shard_consistent, (std::vector<uint64_t>{5, 6, 7, 4}));
+}
+
+TEST(ShardingFormatTest, UnshardedCheckpointStaysFormatV1) {
+  // shard_count <= 1 must encode as the legacy v1 layout — a decode yields
+  // no shard fields, and the bytes are identical to a state that never
+  // mentioned sharding (so old checkpoints and new unsharded checkpoints
+  // are interchangeable).
+  CheckpointState state;
+  state.through_seq = 3;
+  state.next_seq = 4;
+  state.object_map = {{0, 4096, ObjTarget{3, 0}}};
+  state.object_info[3] = ObjectInfo{4096, 4096};
+  const Buffer legacy = EncodeCheckpoint(state);
+
+  CheckpointState one_shard = state;
+  one_shard.shard_count = 1;
+  one_shard.shard_consistent = {3};
+  EXPECT_EQ(EncodeCheckpoint(one_shard), legacy);
+
+  CheckpointState decoded;
+  ASSERT_TRUE(DecodeCheckpoint(legacy, &decoded).ok());
+  EXPECT_EQ(decoded.shard_count, 0u);
+  EXPECT_TRUE(decoded.shard_consistent.empty());
+}
+
+TEST(ShardingFormatTest, CheckpointRejectsVectorShardCountMismatch) {
+  CheckpointState state;
+  state.through_seq = 4;
+  state.next_seq = 5;
+  state.shard_count = 4;
+  state.shard_consistent = {4, 2};  // wrong length for 4 shards
+  CheckpointState decoded;
+  EXPECT_EQ(DecodeCheckpoint(EncodeCheckpoint(state), &decoded).code(),
+            StatusCode::kCorruption);
+}
+
+class ShardedBackendTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kShards = 4;
+
+  ShardedBackendTest() : config_(MakeConfig()) {
+    for (size_t i = 0; i < kShards; i++) {
+      stores_.push_back(std::make_unique<MemObjectStore>(&world_.sim));
+      ptrs_.push_back(stores_.back().get());
+    }
+    store_ = std::make_unique<BackendStore>(&world_.host, ptrs_, nullptr,
+                                            config_, &metrics_);
+  }
+
+  static LsvdConfig MakeConfig() {
+    LsvdConfig c = TestWorld::SmallVolumeConfig();
+    c.batch_bytes = 64 * kKiB;
+    c.checkpoint_interval_objects = 100;  // checkpoints per-test
+    c.gc_enabled = false;
+    return c;
+  }
+
+  // One full batch -> one data object on ShardForSeq(seq, kShards).
+  uint64_t WriteOneObject(uint64_t vlba, uint64_t seed) {
+    const uint64_t seq = store_->AddWrite(vlba, TestPattern(64 * kKiB, seed));
+    world_.sim.Run();
+    return seq;
+  }
+
+  void Run() { world_.sim.Run(); }
+
+  TestWorld world_;
+  LsvdConfig config_;
+  MetricsRegistry metrics_;
+  std::vector<std::unique_ptr<MemObjectStore>> stores_;
+  std::vector<ObjectStore*> ptrs_;
+  std::unique_ptr<BackendStore> store_;
+};
+
+TEST_F(ShardedBackendTest, RoundRobinStripePlacement) {
+  for (int i = 0; i < 8; i++) {
+    WriteOneObject(static_cast<uint64_t>(i) * kMiB, 700 + i);
+  }
+  EXPECT_EQ(store_->applied_seq(), 8u);
+  // Each shard holds exactly its own stripe of the stream and nothing else.
+  for (size_t shard = 0; shard < kShards; shard++) {
+    const auto names = stores_[shard]->List(DataObjectPrefix("vol"));
+    ASSERT_EQ(names.size(), 2u) << shard;
+    for (uint64_t seq = 1; seq <= 8; seq++) {
+      const bool here = stores_[shard]->Head(DataObjectName("vol", seq)).ok();
+      EXPECT_EQ(here, ShardForSeq(seq, kShards) == shard)
+          << "seq " << seq << " shard " << shard;
+    }
+  }
+  // Per-shard PUT counters registered and credited.
+  for (size_t shard = 0; shard < kShards; shard++) {
+    EXPECT_EQ(metrics_
+                  .GetCounter("backend.shard" + std::to_string(shard) +
+                              ".objects_put")
+                  ->value(),
+              2u);
+  }
+  EXPECT_EQ(store_->consistency_vector(),
+            (std::vector<uint64_t>{5, 6, 7, 8}));
+}
+
+TEST_F(ShardedBackendTest, CheckpointsLiveOnShardZero) {
+  for (int i = 0; i < 5; i++) {
+    WriteOneObject(static_cast<uint64_t>(i) * kMiB, 710 + i);
+  }
+  std::optional<Status> cs;
+  store_->WriteCheckpoint([&](Status s) { cs = s; });
+  Run();
+  ASSERT_TRUE(cs->ok());
+  EXPECT_EQ(stores_[0]->List(CheckpointPrefix("vol")).size(), 1u);
+  for (size_t shard = 1; shard < kShards; shard++) {
+    EXPECT_TRUE(stores_[shard]->List(CheckpointPrefix("vol")).empty());
+  }
+}
+
+TEST_F(ShardedBackendTest, RecoverFromShardedCheckpointAndReplay) {
+  for (int i = 0; i < 6; i++) {
+    WriteOneObject(static_cast<uint64_t>(i) * kMiB, 720 + i);
+  }
+  std::optional<Status> cs;
+  store_->WriteCheckpoint([&](Status s) { cs = s; });
+  Run();
+  ASSERT_TRUE(cs->ok());
+  // Post-checkpoint tail to replay from the shard streams.
+  for (int i = 6; i < 10; i++) {
+    WriteOneObject(static_cast<uint64_t>(i) * kMiB, 720 + i);
+  }
+  const auto extents = store_->object_map().Extents();
+
+  auto fresh = std::make_unique<BackendStore>(&world_.host, ptrs_, nullptr,
+                                              config_);
+  std::optional<Status> s;
+  fresh->Recover([&](Status st) { s = st; });
+  Run();
+  ASSERT_TRUE(s->ok());
+  EXPECT_EQ(fresh->applied_seq(), 10u);
+  EXPECT_EQ(fresh->next_seq(), 11u);
+  EXPECT_EQ(fresh->object_map().Extents(), extents);
+}
+
+TEST_F(ShardedBackendTest, ShardTailLossTruncatesGlobalPrefix) {
+  for (int i = 0; i < 8; i++) {
+    WriteOneObject(static_cast<uint64_t>(i) * kMiB, 730 + i);
+  }
+  // Shard 2 lost its newest object (seq 7): the single-log prefix rule
+  // (§3.5) truncates the *global* stream at the gap, and the survivors past
+  // it (seq 8 on shard 3) are stranded and deleted.
+  stores_[2]->Delete(DataObjectName("vol", 7), [](Status) {});
+  Run();
+
+  auto fresh = std::make_unique<BackendStore>(&world_.host, ptrs_, nullptr,
+                                              config_);
+  std::optional<Status> s;
+  fresh->Recover([&](Status st) { s = st; });
+  Run();
+  ASSERT_TRUE(s->ok());
+  EXPECT_EQ(fresh->applied_seq(), 6u);
+  EXPECT_EQ(fresh->next_seq(), 7u);
+  EXPECT_EQ(stores_[3]->Head(DataObjectName("vol", 8)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ShardedBackendFaultTest, OneShardOfflineParksOnlyItsStripe) {
+  TestWorld world;
+  Simulator& sim = world.sim;
+  MemObjectStore mem0(&sim), mem1(&sim);
+  FaultyObjectStore faulty1(&mem1, &sim, FaultInjectionConfig{});
+  LsvdConfig config = FaultTestConfig();
+  BackendStore store(&world.host, {&mem0, &faulty1}, nullptr, config);
+
+  faulty1.set_offline(true);
+  uint64_t last_seq = 0;
+  for (int i = 0; i < 4; i++) {
+    last_seq = store.AddWrite(static_cast<uint64_t>(i) * kMiB,
+                              TestPattern(64 * kKiB, 740 + i));
+  }
+  sim.RunUntil(sim.now() + kSecond);
+
+  // Shard 1 (even seqs) is parked; shard 0 keeps absorbing its stripe, but
+  // the applied prefix stops before the first parked object.
+  EXPECT_TRUE(store.degraded());
+  EXPECT_FALSE(store.shard_degraded(0));
+  EXPECT_TRUE(store.shard_degraded(1));
+  EXPECT_EQ(store.applied_seq(), 1u);
+  EXPECT_TRUE(mem0.Head(DataObjectName("vol", 3)).ok());
+  EXPECT_EQ(mem1.Head(DataObjectName("vol", 2)).status().code(),
+            StatusCode::kNotFound);
+
+  // The shard comes back: its probe clears the flag and the stream drains.
+  faulty1.set_offline(false);
+  sim.Run();
+  EXPECT_FALSE(store.degraded());
+  EXPECT_EQ(store.applied_seq(), last_seq);
+  EXPECT_EQ(store.consistency_vector(),
+            (std::vector<uint64_t>{3, 4}));
+}
+
 }  // namespace
 }  // namespace lsvd

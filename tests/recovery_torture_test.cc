@@ -364,6 +364,173 @@ TEST(RecoveryTortureTest, CacheLostUnderBackendFaults) {
   }
 }
 
+// --- sharded backends (DESIGN.md §9) ---
+//
+// The same harness over a volume striped across N independent object stores,
+// each with its own fault injector. The shadow model is unchanged: sharding
+// must be invisible to the prefix-consistency contract.
+
+struct ShardedTortureWorld {
+  TestWorld world;  // sim + host (its built-in store is unused here)
+  std::vector<std::unique_ptr<MemObjectStore>> mems;
+  std::vector<std::unique_ptr<FaultyObjectStore>> faulties;
+  std::vector<ObjectStore*> workload_stores;  // faulty wrappers (or raw)
+  std::vector<ObjectStore*> raw_stores;       // durable contents
+  std::unique_ptr<LsvdDisk> disk;
+  std::shared_ptr<Runner> runner;
+
+  ShardedTortureWorld(uint64_t seed, const LsvdConfig& config, size_t shards,
+                      bool with_faults) {
+    for (size_t i = 0; i < shards; i++) {
+      mems.push_back(std::make_unique<MemObjectStore>(&world.sim));
+      raw_stores.push_back(mems.back().get());
+      if (with_faults) {
+        // Distinct fault stream per shard.
+        faulties.push_back(std::make_unique<FaultyObjectStore>(
+            mems.back().get(), &world.sim, TortureFaults(seed + 7919 * i)));
+        workload_stores.push_back(faulties.back().get());
+      } else {
+        workload_stores.push_back(mems.back().get());
+      }
+    }
+    disk = std::make_unique<LsvdDisk>(&world.host, workload_stores, config);
+    EXPECT_TRUE(OpenSync(&world.sim, disk.get(), &LsvdDisk::Create).ok());
+    runner = std::make_shared<Runner>();
+    runner->disk = disk.get();
+    runner->plan = MakePlan(seed);
+    Pump(runner);
+  }
+
+  uint64_t StepUpTo(uint64_t limit) {
+    uint64_t steps = 0;
+    while (steps < limit && world.sim.Step()) {
+      steps++;
+    }
+    EXPECT_LT(steps, kStepCap) << "workload failed to quiesce";
+    return steps;
+  }
+
+  // Deletes the highest-sequence data object on one shard, simulating a
+  // backend that lost the tail of that shard's stream.
+  void LoseShardTail(size_t shard) {
+    uint64_t max_seq = 0;
+    for (const auto& name : mems[shard]->List(DataObjectPrefix("vol"))) {
+      if (auto s = ParseDataObjectSeq("vol", name)) {
+        max_seq = std::max(max_seq, *s);
+      }
+    }
+    if (max_seq != 0) {
+      mems[shard]->Delete(DataObjectName("vol", max_seq), [](Status) {});
+      world.sim.Run();
+    }
+  }
+};
+
+uint64_t ShardedDryRunTotalSteps(uint64_t seed, const LsvdConfig& config,
+                                 size_t shards, bool with_faults) {
+  ShardedTortureWorld dry(seed, config, shards, with_faults);
+  return dry.StepUpTo(kStepCap);
+}
+
+// Client crash with the cache surviving: OpenAfterCrash on the shard set
+// must recover at least every acknowledged write.
+void ShardedTortureAfterCrash(uint64_t seed, size_t shards, bool with_faults) {
+  SCOPED_TRACE("seed " + std::to_string(seed) + " shards " +
+               std::to_string(shards));
+  const LsvdConfig config = TortureConfig();
+  const uint64_t total =
+      ShardedDryRunTotalSteps(seed, config, shards, with_faults);
+  ASSERT_GT(total, 0u);
+  Rng crash_rng(seed ^ 0xC4A5481DEAD5EEDull);
+  const uint64_t crash_step = crash_rng.UniformRange(1, total + 1);
+
+  ShardedTortureWorld t(seed, config, shards, with_faults);
+  t.StepUpTo(crash_step);
+  t.runner->dead = true;
+  const DiskRegions regions = t.disk->regions();
+  t.disk->Kill();
+  t.world.sim.Run();
+
+  LsvdDisk recovered(&t.world.host, t.raw_stores, config, regions);
+  const Status open =
+      OpenSync(&t.world.sim, &recovered, &LsvdDisk::OpenAfterCrash);
+  ASSERT_TRUE(open.ok()) << open.message();
+
+  const std::vector<uint8_t> image = ReadImage(&t.world.sim, &recovered);
+  const size_t recovered_prefix = CheckPrefixConsistent(t.runner->plan, image);
+  EXPECT_GE(recovered_prefix, t.runner->acked)
+      << "lost acknowledged writes (acked=" << t.runner->acked << ")";
+}
+
+// Cache lost: recovery sees only the shard streams; optionally one shard
+// also lost its newest object, which must truncate the recovered prefix at
+// the gap, never corrupt it.
+void ShardedTortureCacheLost(uint64_t seed, size_t shards, bool with_faults,
+                             bool lose_one_tail) {
+  SCOPED_TRACE("seed " + std::to_string(seed) + " shards " +
+               std::to_string(shards));
+  const LsvdConfig config = TortureConfig();
+  const uint64_t total =
+      ShardedDryRunTotalSteps(seed, config, shards, with_faults);
+  ASSERT_GT(total, 0u);
+  Rng crash_rng(seed ^ 0x10CACE1057ull);
+  const uint64_t crash_step = crash_rng.UniformRange(1, total + 1);
+
+  ShardedTortureWorld t(seed, config, shards, with_faults);
+  t.StepUpTo(crash_step);
+  t.runner->dead = true;
+  t.disk->Kill();
+  t.world.sim.Run();
+  if (lose_one_tail) {
+    t.LoseShardTail(seed % shards);
+  }
+
+  ClientHost host2(&t.world.sim, TestWorld::InstantHostConfig());
+  LsvdDisk recovered(&host2, t.raw_stores, config);
+  const Status open =
+      OpenSync(&t.world.sim, &recovered, &LsvdDisk::OpenCacheLost);
+  ASSERT_TRUE(open.ok()) << open.message();
+
+  const std::vector<uint8_t> image = ReadImage(&t.world.sim, &recovered);
+  CheckPrefixConsistent(t.runner->plan, image);
+}
+
+TEST(ShardedRecoveryTortureTest, AfterCrashRecoversAckedWrites) {
+  for (uint64_t seed = 601; seed <= 615; seed++) {
+    ShardedTortureAfterCrash(seed, /*shards=*/2, /*with_faults=*/false);
+    ShardedTortureAfterCrash(seed, /*shards=*/4, /*with_faults=*/false);
+  }
+}
+
+TEST(ShardedRecoveryTortureTest, AfterCrashUnderPerShardFaults) {
+  for (uint64_t seed = 701; seed <= 710; seed++) {
+    ShardedTortureAfterCrash(seed, /*shards=*/4, /*with_faults=*/true);
+  }
+}
+
+TEST(ShardedRecoveryTortureTest, CacheLostRecoversConsistentPrefix) {
+  for (uint64_t seed = 801; seed <= 815; seed++) {
+    ShardedTortureCacheLost(seed, /*shards=*/4, /*with_faults=*/false,
+                            /*lose_one_tail=*/false);
+  }
+}
+
+TEST(ShardedRecoveryTortureTest, CacheLostUnderPerShardFaults) {
+  for (uint64_t seed = 901; seed <= 910; seed++) {
+    ShardedTortureCacheLost(seed, /*shards=*/4, /*with_faults=*/true,
+                            /*lose_one_tail=*/false);
+  }
+}
+
+TEST(ShardedRecoveryTortureTest, CacheLostWithOneShardTailLoss) {
+  for (uint64_t seed = 1001; seed <= 1010; seed++) {
+    ShardedTortureCacheLost(seed, /*shards=*/2, /*with_faults=*/false,
+                            /*lose_one_tail=*/true);
+    ShardedTortureCacheLost(seed, /*shards=*/4, /*with_faults=*/true,
+                            /*lose_one_tail=*/true);
+  }
+}
+
 // Acceptance: a seeded workload against a backend with 10% transient PUT
 // failures runs to completion with zero data-integrity errors, and after a
 // drain the backend alone reconstructs the full image.
