@@ -104,6 +104,7 @@ run fig15_gc_timeline --seconds=1 --volume-gib=0.25
 run fig16_replication --seconds=2 --volume-gib=0.25
 run fig17_multitenant --smoke --json
 run fig18_scaleout --smoke --json
+run fig21_waf_frontier --scale=256
 run tbl03_filebench_stats --ops=2000
 run tbl04_crash --trials=1
 run tbl05_gc_traces --scale=256

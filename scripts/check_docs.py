@@ -14,6 +14,10 @@ Two checks, both wired into ctest as `check_docs`:
 2. Every bench binary named like a paper artifact (bench/fig*.cc,
    bench/tbl*.cc) must have a row in the EXPERIMENTS.md bench index.
 
+3. Every data-member field of `LsvdConfig` (src/lsvd/config.h) and
+   `GcSimConfig` (src/lsvd/gc_sim.h) must appear backticked in
+   docs/GC.md's config reference, so new knobs ship documented.
+
 Run from anywhere: `python3 scripts/check_docs.py [repo_root]`.
 Exit 0 = docs in sync; exit 1 = findings (listed on stderr).
 """
@@ -86,12 +90,66 @@ def check_bench_index(repo: Path, errors: list):
             )
 
 
+# Struct member declaration: `type name = default;` or `type name;` on one
+# line. Lines containing `(` are functions/ctors, not fields.
+FIELD_DECL = re.compile(r"^\s+[A-Za-z_][\w:<>,\* ]*?[\s&\*]([a-z_][a-z0-9_]*)\s*(?:=[^;]*)?;")
+
+CONFIG_STRUCTS = [
+    ("src/lsvd/config.h", "LsvdConfig"),
+    ("src/lsvd/gc_sim.h", "GcSimConfig"),
+]
+
+
+def struct_fields(text: str, struct: str):
+    """Yield the data-member names of `struct <name> { ... };` in `text`."""
+    start = text.find("struct %s {" % struct)
+    if start == -1:
+        return
+    depth = 0
+    body_lines = []
+    for i, ch in enumerate(text[start:], start):
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth == 0:
+                body_lines = text[start:i].splitlines()
+                break
+    nested = 0  # skip bodies of nested structs/lambdas/member functions
+    for line in body_lines[1:]:
+        line = line.split("//", 1)[0]  # trailing comments may contain ( or {
+        nested += line.count("{") - line.count("}")
+        if nested != 0 or "(" in line:
+            continue
+        m = FIELD_DECL.match(line)
+        if m:
+            yield m.group(1)
+
+
+def check_config_reference(repo: Path, errors: list):
+    gc_md = (repo / "docs" / "GC.md").read_text(encoding="utf-8")
+    found_any = False
+    for rel, struct in CONFIG_STRUCTS:
+        text = (repo / rel).read_text(encoding="utf-8")
+        for field in struct_fields(text, struct):
+            found_any = True
+            if f"`{field}`" not in gc_md:
+                errors.append(
+                    f"{rel}: {struct}::{field} is not documented in "
+                    "docs/GC.md's config reference"
+                )
+    if not found_any:
+        errors.append("config scan found no struct fields — "
+                      "check_docs.py is broken, fix its patterns")
+
+
 def main() -> int:
     repo = Path(sys.argv[1]) if len(sys.argv) > 1 else \
         Path(__file__).resolve().parent.parent
     errors = []
     check_metrics(repo, errors)
     check_bench_index(repo, errors)
+    check_config_reference(repo, errors)
     if errors:
         print("check_docs: %d finding(s)" % len(errors), file=sys.stderr)
         for e in errors:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <utility>
 
 namespace lsvd {
@@ -37,6 +38,10 @@ BackendStore::BackendStore(ClientHost* host, std::vector<ObjectStore*> stores,
   next_seq_ = config_.base_last_seq + 1;
   applied_seq_ = config_.base_last_seq;
   last_checkpoint_seq_ = config_.base_last_seq;
+  for (size_t i = 0; i < shards_.size(); i++) {
+    gc_policies_.push_back(GcPolicy::Create(
+        GcPolicyForShard(config_.gc_policy, config_.gc_shard_policy, i)));
+  }
 
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<MetricsRegistry>();
@@ -74,6 +79,23 @@ BackendStore::BackendStore(ClientHost* host, std::vector<ObjectStore*> stores,
   callback_guard_.Register(metrics_, prefix + ".object_count", [this] {
     return static_cast<double>(object_count());
   });
+
+  // Extended-GC metrics exist only when a non-default GC configuration is
+  // active, so the long-standing default metric dumps stay unchanged.
+  if (config_.gc_extended()) {
+    callback_guard_.Register(metrics_, prefix + ".gc_policy", [this] {
+      return static_cast<double>(config_.gc_policy);
+    });
+    c_gc_cold_objects_ = metrics_->GetCounter(prefix + ".gc.cold_objects");
+    g_cost_benefit_score_ =
+        metrics_->GetGauge(prefix + ".gc.cost_benefit_score");
+    callback_guard_.Register(metrics_, prefix + ".gc.waf", [this] {
+      const double client = static_cast<double>(c_client_bytes_->value());
+      return client == 0.0
+                 ? 0.0
+                 : static_cast<double>(c_object_bytes_->value()) / client;
+    });
+  }
 
   // Per-shard counters and gauges exist only on sharded volumes, so the
   // long-standing single-shard metric dumps stay unchanged.
@@ -138,23 +160,37 @@ std::string BackendStore::NameForSeq(uint64_t seq) const {
   return DataObjectName(config_.volume_name, seq);
 }
 
-uint64_t BackendStore::OpenBatchSeq() {
-  if (!batch_.has_value()) {
-    batch_ = OpenBatch{};
-    batch_->seq = next_seq_++;
-    batch_->opened_at = host_->sim()->now();
+uint64_t BackendStore::OpenBatchSeq(std::optional<OpenBatch>& slot) {
+  if (!slot.has_value()) {
+    slot = OpenBatch{};
+    slot->seq = next_seq_++;
+    slot->opened_at = host_->sim()->now();
   }
-  return batch_->seq;
+  return slot->seq;
 }
 
 uint64_t BackendStore::AddWrite(uint64_t vlba, Buffer data) {
-  const uint64_t seq = OpenBatchSeq();
+  // Hot/cold segregation (docs/GC.md): writes to regions the cache has not
+  // seen overwritten recently go to a separate cold batch, so each object's
+  // data shares a lifetime — hot objects die nearly whole, cold objects stay
+  // nearly full, and both are cheap for the cleaner.
+  const bool cold = config_.gc_hot_cold_split && cache_ != nullptr &&
+                    cache_->WriteHeat(vlba) < config_.gc_heat_threshold;
+  std::optional<OpenBatch>& slot = cold ? cold_batch_ : batch_;
+  const uint64_t seq = OpenBatchSeq(slot);
+  slot->cold = cold;
   c_client_bytes_->Inc(data.size());
-  batch_->raw_bytes += data.size();
-  batch_->entries.push_back(BatchEntry{vlba, std::move(data), std::nullopt});
-  if (batch_->raw_bytes >= config_.batch_bytes ||
-      batch_->entries.size() >= kMaxObjectExtents) {
-    Seal();
+  slot->raw_bytes += data.size();
+  slot->entries.push_back(BatchEntry{vlba, std::move(data), std::nullopt});
+  if (slot->raw_bytes >= config_.batch_bytes ||
+      slot->entries.size() >= kMaxObjectExtents) {
+    // Seal only the batch that filled; its sibling stream keeps batching
+    // (each holds its own sequence number, so the in-order apply just waits
+    // for the younger one — bounded by batch_max_age).
+    OpenBatch b = std::move(*slot);
+    slot.reset();
+    SealBatch(std::move(b), /*from_gc=*/false, {});
+    SealGcBatch();
   }
   return seq;
 }
@@ -165,6 +201,11 @@ void BackendStore::Seal() {
     batch_.reset();
     SealBatch(std::move(b), /*from_gc=*/false, {});
   }
+  if (cold_batch_.has_value() && !cold_batch_->entries.empty()) {
+    OpenBatch b = std::move(*cold_batch_);
+    cold_batch_.reset();
+    SealBatch(std::move(b), /*from_gc=*/false, {});
+  }
   SealGcBatch();
 }
 
@@ -173,12 +214,22 @@ void BackendStore::Seal() {
 // object would wait for it in the in-order map apply. Late sequencing is
 // safe because GC extents apply conditionally.
 void BackendStore::SealGcBatch() {
-  if (!gc_batch_.has_value() || gc_batch_->entries.empty() || gc_running_) {
+  if (gc_running_) {
+    return;
+  }
+  SealGcBatchNow();
+}
+
+void BackendStore::SealGcBatchNow() {
+  if (!gc_batch_.has_value() || gc_batch_->entries.empty()) {
     return;
   }
   OpenBatch b = std::move(*gc_batch_);
   gc_batch_.reset();
   b.seq = next_seq_++;
+  b.generation = gc_batch_generation_;  // non-zero only when gc_extended()
+  b.cold = true;
+  gc_batch_generation_ = 0;
   std::vector<uint64_t> cleaned = std::move(gc_batch_cleaned_);
   gc_batch_cleaned_.clear();
   SealBatch(std::move(b), /*from_gc=*/true, std::move(cleaned));
@@ -190,6 +241,12 @@ void BackendStore::SealIfAged(Nanos max_age) {
       now - batch_->opened_at >= max_age) {
     OpenBatch b = std::move(*batch_);
     batch_.reset();
+    SealBatch(std::move(b), /*from_gc=*/false, {});
+  }
+  if (cold_batch_.has_value() && !cold_batch_->entries.empty() &&
+      now - cold_batch_->opened_at >= max_age) {
+    OpenBatch b = std::move(*cold_batch_);
+    cold_batch_.reset();
     SealBatch(std::move(b), /*from_gc=*/false, {});
   }
   if (gc_batch_.has_value() && !gc_batch_->entries.empty() &&
@@ -205,7 +262,11 @@ void BackendStore::SealBatch(OpenBatch batch, bool from_gc,
   sealed.from_gc = from_gc;
   sealed.cleaned_seqs = std::move(cleaned_seqs);
   sealed.header.seq = batch.seq;
+  sealed.header.generation = batch.generation;
   sealed.sealed_at = host_->sim()->now();
+  if (batch.cold && c_gc_cold_objects_ != nullptr) {
+    c_gc_cold_objects_->Inc();
+  }
   if (batch.opened_at >= 0) {
     RecordLatencyUs(h_open_to_seal_us_, sealed.sealed_at - batch.opened_at);
   }
@@ -255,7 +316,8 @@ void BackendStore::SealBatch(OpenBatch batch, bool from_gc,
   }
 
   sealed.payload_bytes = payload.size();
-  sealed.header.data_offset = DataObjectHeaderSize(sealed.header.extents.size());
+  sealed.header.data_offset = DataObjectHeaderSize(
+      sealed.header.extents.size(), sealed.header.generation != 0);
   sealed.object = EncodeDataObject(sealed.header, payload);
   put_queue_.push_back(std::move(sealed));
   PumpPuts();
@@ -606,6 +668,7 @@ void BackendStore::ApplyReady() {
     completed_.erase(it);
     ApplyObjectExtents(sealed.seq, sealed.header, sealed.payload_bytes);
     if (sealed.sealed_at >= 0) {
+      object_sealed_at_[sealed.seq] = sealed.sealed_at;
       RecordLatencyUs(h_seal_to_commit_us_,
                       host_->sim()->now() - sealed.sealed_at);
     }
@@ -659,6 +722,9 @@ void BackendStore::ApplyObjectExtents(uint64_t seq,
     offset += ext.len;
   }
   object_info_[seq] = ObjectInfo{payload_bytes, live};
+  if (header.generation != 0) {
+    object_generation_[seq] = header.generation;
+  }
 }
 
 void BackendStore::AccountDisplaced(
@@ -715,23 +781,47 @@ double BackendStore::ShardUtilization(size_t shard) const {
 }
 
 std::optional<uint64_t> BackendStore::PickGcVictim(size_t shard) const {
-  // Greedy cleaning (§3.5): the least-utilized object on the shard,
-  // restricted to objects older than the last checkpoint (so recovery never
-  // sees holes above it) and never from the clone base image.
+  // Policy-scored victim selection (docs/GC.md): the shard's policy ranks
+  // eligible objects and the best score wins (ties to the lowest seq, since
+  // the ascending scan only replaces on a strictly greater score — with the
+  // greedy policy this is exactly §3.5's least-utilized scan). Eligibility
+  // is unchanged: older than the last checkpoint (so recovery never sees
+  // holes above it), never from the clone base image, not already pending,
+  // and not fully live.
+  const GcPolicy& policy = *gc_policies_[shard];
+  const Nanos now = host_->sim()->now();
   std::optional<uint64_t> best;
-  double best_ratio = 1.0;
+  double best_score = -std::numeric_limits<double>::infinity();
   for (const auto& [seq, info] : object_info_) {
     if (seq <= config_.base_last_seq || seq >= last_checkpoint_seq_ ||
         info.total_bytes == 0 || gc_pending_victims_.contains(seq) ||
         ShardOf(seq) != shard) {
       continue;
     }
-    const double ratio = static_cast<double>(info.live_bytes) /
-                         static_cast<double>(info.total_bytes);
-    if (ratio < best_ratio) {
-      best_ratio = ratio;
+    GcCandidate c;
+    c.seq = seq;
+    c.total_bytes = info.total_bytes;
+    c.live_bytes = info.live_bytes;
+    if (c.utilization() >= 1.0) {
+      continue;  // fully live: nothing to reclaim
+    }
+    auto sealed = object_sealed_at_.find(seq);
+    if (sealed != object_sealed_at_.end() && now > sealed->second) {
+      c.age = static_cast<double>(now - sealed->second) /
+              static_cast<double>(kSecond);
+    }
+    auto gen = object_generation_.find(seq);
+    if (gen != object_generation_.end()) {
+      c.generation = gen->second;
+    }
+    const double score = policy.Score(c);
+    if (score > best_score) {
+      best_score = score;
       best = seq;
     }
+  }
+  if (best.has_value() && g_cost_benefit_score_ != nullptr) {
+    g_cost_benefit_score_->Set(best_score);
   }
   return best;
 }
@@ -778,6 +868,8 @@ void BackendStore::CleanOneObject(uint64_t victim) {
   if (!size.ok()) {
     // Already gone (shouldn't happen); drop bookkeeping and move on.
     object_info_.erase(victim);
+    object_sealed_at_.erase(victim);
+    object_generation_.erase(victim);
     FinishGcRound();
     return;
   }
@@ -918,14 +1010,19 @@ void BackendStore::CleanOneObject(uint64_t victim) {
         }
         c_gc_objects_cleaned_->Inc();
         gc_batch_cleaned_.push_back(victim);
+        if (config_.gc_extended()) {
+          // GC output generation: one past the oldest generation it copies
+          // (docs/GC.md). Recorded per batch so the v2 header persists it.
+          auto g = object_generation_.find(victim);
+          const uint32_t victim_gen = g == object_generation_.end()
+                                          ? 0
+                                          : g->second;
+          gc_batch_generation_ =
+              std::max(gc_batch_generation_, victim_gen + 1);
+        }
         if (gc_batch_.has_value() &&
             gc_batch_->raw_bytes >= config_.batch_bytes) {
-          OpenBatch b = std::move(*gc_batch_);
-          gc_batch_.reset();
-          b.seq = next_seq_++;
-          std::vector<uint64_t> cleaned = std::move(gc_batch_cleaned_);
-          gc_batch_cleaned_.clear();
-          SealBatch(std::move(b), /*from_gc=*/true, std::move(cleaned));
+          SealGcBatchNow();
         }
         FinishGcRound();
       }
@@ -1017,6 +1114,8 @@ void BackendStore::ProcessDelete(uint64_t seq) {
   if (it != object_info_.end()) {
     object_info_.erase(it);
   }
+  object_sealed_at_.erase(seq);
+  object_generation_.erase(seq);
   if (deferred) {
     deferred_deletes_.push_back(DeferredDelete{seq, gc_head});
     c_deferred_deletes_->Inc();
@@ -1133,6 +1232,7 @@ void BackendStore::WriteCheckpoint(std::function<void(Status)> done) {
 bool BackendStore::idle() const {
   const bool batch_open =
       (batch_.has_value() && !batch_->entries.empty()) ||
+      (cold_batch_.has_value() && !cold_batch_->entries.empty()) ||
       (gc_batch_.has_value() && !gc_batch_->entries.empty());
   return !batch_open && put_queue_.empty() && in_flight_.empty() &&
          completed_.empty() && !gc_running_;
@@ -1149,6 +1249,8 @@ void BackendStore::Recover(std::function<void(Status)> done) {
   // object stream from sequence 1.
   object_map_.Clear();
   object_info_.clear();
+  object_sealed_at_.clear();
+  object_generation_.clear();
   deferred_deletes_.clear();
   snapshots_.clear();
   applied_seq_ = 0;
@@ -1334,6 +1436,8 @@ void BackendStore::RecoverFinish(std::shared_ptr<RecoverState> st) {
         const size_t next_back = st->ckpt_back_index + 1;
         object_map_.Clear();
         object_info_.clear();
+        object_sealed_at_.clear();
+        object_generation_.clear();
         deferred_deletes_.clear();
         snapshots_.clear();
         applied_seq_ = 0;

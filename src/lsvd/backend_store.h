@@ -27,6 +27,7 @@
 #include "src/lsvd/client_host.h"
 #include "src/lsvd/config.h"
 #include "src/lsvd/extent_map.h"
+#include "src/lsvd/gc_policy.h"
 #include "src/lsvd/object_format.h"
 #include "src/lsvd/write_cache.h"
 #include "src/objstore/object_store.h"
@@ -160,6 +161,13 @@ class BackendStore {
     uint64_t seq = 0;
     Nanos opened_at = -1;
     uint64_t raw_bytes = 0;
+    // GC generation of the batch's data (docs/GC.md): 0 for client writes,
+    // 1 + max victim generation for GC copies. Only set when the extended
+    // GC features are configured, so default volumes keep v1 headers.
+    uint32_t generation = 0;
+    // Cold stream member (GC output, or a cold client batch under
+    // gc_hot_cold_split); counted by backend.gc.cold_objects.
+    bool cold = false;
     std::vector<BatchEntry> entries;
   };
   struct SealedObject {
@@ -224,9 +232,13 @@ class BackendStore {
     return shards_[shard].retry;
   }
 
-  uint64_t OpenBatchSeq();
+  // Lazily opens `slot` (assigning the next sequence number) and returns its
+  // seq. `slot` is batch_ for hot client writes, cold_batch_ for cold ones.
+  uint64_t OpenBatchSeq(std::optional<OpenBatch>& slot);
   void SealBatch(OpenBatch batch, bool from_gc,
                  std::vector<uint64_t> cleaned_seqs);
+  // Seals the open GC batch inline (size threshold reached mid-round).
+  void SealGcBatchNow();
   void PumpPuts();
   void OnPutComplete(uint64_t seq, Status s);
   void ParkFailedPut(uint64_t seq);
@@ -279,9 +291,21 @@ class BackendStore {
 
   ExtentMap<ObjTarget> object_map_;
   std::map<uint64_t, ObjectInfo> object_info_;  // applied data objects
-  std::optional<OpenBatch> batch_;              // client-write batch
+  // Per-object seal time (sim clock) and GC generation, feeding the policy's
+  // age term. Advisory: not checkpointed, so recovered objects restart at
+  // age 0 (and generation 0 unless their v2 header carried one).
+  std::map<uint64_t, Nanos> object_sealed_at_;
+  std::map<uint64_t, uint32_t> object_generation_;
+  std::optional<OpenBatch> batch_;              // client-write batch (hot)
+  // Cold client-write batch, open only under gc_hot_cold_split: writes to
+  // regions below the heat threshold batch separately so objects die either
+  // mostly together (hot) or not at all (cold).
+  std::optional<OpenBatch> cold_batch_;
   std::optional<OpenBatch> gc_batch_;           // GC-copy batch
   std::vector<uint64_t> gc_batch_cleaned_;      // victims of the open GC batch
+  // Running generation of the open GC batch: 1 + max generation among the
+  // victims whose copies it holds (tracked only when gc_extended()).
+  uint32_t gc_batch_generation_ = 0;
 
   std::deque<SealedObject> put_queue_;
   std::map<uint64_t, SealedObject> in_flight_;  // seq -> awaiting ack
@@ -296,6 +320,10 @@ class BackendStore {
   uint64_t objects_since_checkpoint_ = 0;
   uint64_t checkpoint_counter_ = 0;  // monotonic checkpoint-object id
   bool checkpoint_in_flight_ = false;
+
+  // Per-shard victim-selection policies (docs/GC.md), resolved from
+  // config.gc_policy / gc_shard_policy at construction.
+  std::vector<std::unique_ptr<GcPolicy>> gc_policies_;
 
   bool gc_running_ = false;
   // Victims whose live data sits in the open (unsealed) GC batch: excluded
@@ -323,6 +351,10 @@ class BackendStore {
   Counter* c_retries_;
   Counter* c_timeouts_;
   Counter* c_gc_aborted_corrupt_;
+  // Extended-GC metrics, registered only when config.gc_extended() so the
+  // long-standing default metric dumps stay unchanged (docs/METRICS.md).
+  Counter* c_gc_cold_objects_ = nullptr;
+  Gauge* g_cost_benefit_score_ = nullptr;
   // Write-lifecycle stages downstream of the journal ack: batch open ->
   // seal, and seal -> applied to the object map (commit).
   Histogram* h_open_to_seal_us_;

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/lsvd/gc_policy.h"
 #include "src/util/units.h"
 
 namespace lsvd {
@@ -97,6 +98,33 @@ struct LsvdConfig {
   // mapped holes up to this size between adjacent live pieces, merging map
   // extents at a small write-amplification cost. 0 disables.
   uint64_t gc_defrag_hole_max = 0;
+
+  // Victim-selection policy (docs/GC.md; DESIGN.md §11). `greedy` is the
+  // paper's least-utilized collector and is bit-identical to the historical
+  // behavior; `cost-benefit` and `age-bucketed` also weigh object age.
+  GcPolicyKind gc_policy = GcPolicyKind::kGreedy;
+  // Optional per-shard policy overrides, indexed by shard. Shards beyond the
+  // vector's length (and all shards when it is empty) use `gc_policy`.
+  std::vector<GcPolicyKind> gc_shard_policy;
+
+  // Hot/cold segregation of *client* writes (docs/GC.md): writes whose 1 MiB
+  // region shows a decayed overwrite heat >= gc_heat_threshold are batched
+  // separately from cold first-touch writes, so objects die either mostly
+  // together (hot) or not at all (cold). GC output is always packed into its
+  // own objects regardless of this flag. Off by default — splitting opens a
+  // second batch stream, which changes object boundaries.
+  bool gc_hot_cold_split = false;
+  double gc_heat_threshold = 2.0;
+  // Half-life of the write-heat decay clock.
+  Nanos gc_heat_halflife = 10 * kSecond;
+
+  // True when any of the extended-GC knobs above are active; gates the new
+  // GC metrics and the v2 data-object header so default-config runs stay
+  // byte-identical to older builds (same gating discipline as checkpoint v2).
+  bool gc_extended() const {
+    return gc_policy != GcPolicyKind::kGreedy || !gc_shard_policy.empty() ||
+           gc_hot_cold_split;
+  }
 
   // Read cache geometry.
   uint64_t read_cache_line = 64 * kKiB;

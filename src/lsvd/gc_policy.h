@@ -1,0 +1,90 @@
+// Pluggable garbage-collection victim-selection policies (docs/GC.md).
+//
+// The backend store and the trace-driven GC simulator both pick cleaning
+// victims by scoring candidate objects and taking the highest score. The
+// scoring function is the policy:
+//
+//   greedy        score = -u                  (least-utilized object; the
+//                                              paper's §3.5 collector)
+//   cost-benefit  score = (1-u)(1+age)/(1+u)  (Sprite-LFS benefit/cost:
+//                                              free space gained x stability,
+//                                              over the cost of reading and
+//                                              rewriting the live fraction)
+//   age-bucketed  score = 2b + (1-u), b = min(6, floor(log2(1+age)))
+//                                             (coarse generations: always
+//                                              prefer an older bucket, break
+//                                              ties greedily)
+//
+// where u = live_bytes/total_bytes and `age` is in caller-defined units
+// (seconds of simulated time in the backend store, client batches written in
+// the GC simulator). Callers scan candidates in ascending sequence order and
+// replace the best only on a strictly greater score, so ties go to the
+// lowest sequence number — with the greedy score this reproduces the
+// historical least-ratio scan bit for bit.
+#ifndef SRC_LSVD_GC_POLICY_H_
+#define SRC_LSVD_GC_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lsvd {
+
+enum class GcPolicyKind : uint8_t {
+  kGreedy = 0,
+  kCostBenefit = 1,
+  kAgeBucketed = 2,
+};
+
+// Canonical names ("greedy", "cost-benefit", "age-bucketed") for configs,
+// bench flags and metric dumps.
+const char* GcPolicyKindName(GcPolicyKind kind);
+std::optional<GcPolicyKind> ParseGcPolicyKind(std::string_view name);
+
+// One candidate object (or zone, in the simulator's zoned mode) as the
+// policy sees it. Eligibility filtering (sealed, not already pending, below
+// the utilization ceiling, right shard) stays in the caller; the policy only
+// ranks.
+struct GcCandidate {
+  uint64_t seq = 0;
+  uint64_t total_bytes = 0;
+  uint64_t live_bytes = 0;
+  // Time since the object was sealed, in the caller's clock units. Objects
+  // whose seal time is unknown (recovered from a pre-policy checkpoint) get
+  // age 0 and compete on utilization alone.
+  double age = 0.0;
+  // GC generation: 0 for fresh client data, 1 + max victim generation for
+  // GC output. Exposed for policies and diagnostics; the built-in policies
+  // fold it in only through `age` (cold data naturally grows old).
+  uint32_t generation = 0;
+
+  double utilization() const {
+    return total_bytes == 0 ? 1.0
+                            : static_cast<double>(live_bytes) /
+                                  static_cast<double>(total_bytes);
+  }
+};
+
+class GcPolicy {
+ public:
+  virtual ~GcPolicy() = default;
+  virtual GcPolicyKind kind() const = 0;
+  // Higher is a better victim. Scores are only compared within one policy.
+  virtual double Score(const GcCandidate& candidate) const = 0;
+  const char* name() const { return GcPolicyKindName(kind()); }
+
+  static std::unique_ptr<GcPolicy> Create(GcPolicyKind kind);
+};
+
+// Resolves a per-shard policy table: `overrides[shard]` when the vector is
+// long enough, else `base` (mirrors LsvdConfig::shard_retry's convention).
+GcPolicyKind GcPolicyForShard(GcPolicyKind base,
+                              const std::vector<GcPolicyKind>& overrides,
+                              size_t shard);
+
+}  // namespace lsvd
+
+#endif  // SRC_LSVD_GC_POLICY_H_

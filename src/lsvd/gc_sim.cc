@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <vector>
 
 namespace lsvd {
@@ -34,6 +35,15 @@ void GcSimulator::Displace(const ExtentMap<ObjTarget>::ExtentVec& displaced,
       live_sum_ -= dec;
       uint64_t& sl = shard_live_[ShardOf(d.target.seq)];
       sl -= std::min(sl, dec);
+      if (config_.zone_bytes > 0) {
+        auto m = meta_.find(d.target.seq);
+        if (m != meta_.end() && m->second.zone != 0) {
+          auto z = zones_.find(m->second.zone);
+          if (z != zones_.end()) {
+            z->second.live -= std::min(z->second.live, dec);
+          }
+        }
+      }
     } else if (d.target.seq == self_seq) {
       // Overwrite within the object being applied (no-merge mode): the
       // earlier extent's bytes die immediately.
@@ -88,6 +98,10 @@ void GcSimulator::SealBatch() {
     offset += len;
   }
   info_[seq] = ObjectInfo{object_total, object_total - self_dead_};
+  meta_[seq] = ObjMeta{result_.client_bytes, 0, 0};
+  if (config_.zone_bytes > 0) {
+    AssignZone(seq, object_total, object_total - self_dead_, /*cold=*/false);
+  }
   MaybeGc();
 }
 
@@ -106,21 +120,39 @@ double GcSimulator::ShardUtilization(size_t shard) const {
          static_cast<double>(shard_total_[shard]);
 }
 
+double GcSimulator::AgeOf(const ObjMeta& meta) const {
+  // Logical clock: client batches written since the object sealed.
+  const uint64_t elapsed = result_.client_bytes - meta.seal_clock;
+  return static_cast<double>(elapsed) /
+         static_cast<double>(config_.batch_bytes);
+}
+
 uint64_t GcSimulator::PickVictim(size_t shard, double ceiling) const {
-  // Greedy: least-utilized object (within `shard`, unless SIZE_MAX).
+  const GcPolicy& policy = *policies_[shard == SIZE_MAX ? 0 : shard];
   uint64_t victim = 0;
-  double best = ceiling;
+  double best = -std::numeric_limits<double>::infinity();
   for (const auto& [seq, inf] : info_) {
-    if (inf.total_bytes == 0) {
+    if (inf.total_bytes == 0 || seq == cold_seq_) {
       continue;
     }
     if (shard != SIZE_MAX && ShardOf(seq) != shard) {
       continue;
     }
-    const double r = static_cast<double>(inf.live_bytes) /
-                     static_cast<double>(inf.total_bytes);
-    if (r < best) {
-      best = r;
+    GcCandidate c;
+    c.seq = seq;
+    c.total_bytes = inf.total_bytes;
+    c.live_bytes = inf.live_bytes;
+    if (c.utilization() >= ceiling) {
+      continue;
+    }
+    auto m = meta_.find(seq);
+    if (m != meta_.end()) {
+      c.age = AgeOf(m->second);
+      c.generation = m->second.generation;
+    }
+    const double s = policy.Score(c);
+    if (s > best) {
+      best = s;
       victim = seq;
     }
   }
@@ -128,6 +160,22 @@ uint64_t GcSimulator::PickVictim(size_t shard, double ceiling) const {
 }
 
 void GcSimulator::MaybeGc() {
+  if (config_.zone_bytes > 0) {
+    // Zoned backend: free space only comes back a whole zone at a time, so
+    // utilization is live bytes over zone capacity and the cleaner
+    // relocates and resets entire zones.
+    while (ZonedUtilization() < config_.gc_low_watermark) {
+      const uint64_t zid = PickZoneVictim(config_.gc_high_watermark);
+      if (zid == 0) {
+        break;
+      }
+      CleanZone(zid);
+      if (ZonedUtilization() >= config_.gc_high_watermark) {
+        break;
+      }
+    }
+    return;
+  }
   if (config_.shards <= 1) {
     while (Utilization() < config_.gc_low_watermark) {
       const uint64_t victim = PickVictim(SIZE_MAX, config_.gc_high_watermark);
@@ -157,13 +205,9 @@ void GcSimulator::MaybeGc() {
   }
 }
 
-void GcSimulator::CleanOne(uint64_t victim) {
+std::vector<GcSimulator::Piece> GcSimulator::CollectLivePieces(
+    uint64_t victim) const {
   // Live pieces: creation extents whose map entry still points at victim.
-  struct Piece {
-    uint64_t vlba;
-    uint64_t len;
-    bool plug;  // defrag filler copied from another object
-  };
   std::vector<Piece> pieces;
   ExtentMap<ObjTarget>::SegmentVec segs;
   auto cit = creation_.find(victim);
@@ -213,34 +257,62 @@ void GcSimulator::CleanOne(uint64_t victim) {
     }
     pieces = std::move(plugged);
   }
+  return pieces;
+}
 
-  uint64_t copied = 0;
+void GcSimulator::AppendCold(const std::vector<Piece>& pieces,
+                             uint32_t generation) {
+  ExtentMap<ObjTarget>::ExtentVec displaced;
   for (const auto& p : pieces) {
-    copied += p.len;
-  }
-
-  if (copied > 0) {
-    const uint64_t seq = next_seq_++;
-    result_.backend_bytes += copied;
-    result_.gc_copied_bytes += copied;
-    result_.objects_created++;
-    total_sum_ += copied;
-    live_sum_ += copied;
-    shard_total_[ShardOf(seq)] += copied;
-    shard_live_[ShardOf(seq)] += copied;
-    uint64_t offset = 0;
-    ExtentMap<ObjTarget>::ExtentVec displaced;
-    std::vector<std::pair<uint64_t, uint64_t>>& created = creation_[seq];
-    for (const auto& p : pieces) {
-      map_.Update(p.vlba, p.len, ObjTarget{seq, offset}, &displaced);
-      Displace(displaced, seq);
-      created.push_back({p.vlba, p.len});
-      offset += p.len;
+    if (cold_seq_ == 0) {
+      cold_seq_ = next_seq_++;
+      cold_bytes_ = 0;
+      cold_offset_ = 0;
+      result_.objects_created++;
+      info_[cold_seq_] = ObjectInfo{0, 0};
+      meta_[cold_seq_] = ObjMeta{result_.client_bytes, generation, 0};
+      if (config_.zone_bytes > 0) {
+        AssignZone(cold_seq_, 0, 0, /*cold=*/true);
+      }
     }
-    info_[seq] = ObjectInfo{copied, copied};
+    ObjMeta& meta = meta_[cold_seq_];
+    meta.generation = std::max(meta.generation, generation);
+    meta.seal_clock = result_.client_bytes;
+    map_.Update(p.vlba, p.len, ObjTarget{cold_seq_, cold_offset_}, &displaced);
+    Displace(displaced, cold_seq_);
+    creation_[cold_seq_].push_back({p.vlba, p.len});
+    ObjectInfo& inf = info_[cold_seq_];
+    inf.total_bytes += p.len;
+    inf.live_bytes += p.len;
+    result_.backend_bytes += p.len;
+    result_.gc_copied_bytes += p.len;
+    total_sum_ += p.len;
+    live_sum_ += p.len;
+    shard_total_[ShardOf(cold_seq_)] += p.len;
+    shard_live_[ShardOf(cold_seq_)] += p.len;
+    if (config_.zone_bytes > 0) {
+      Zone& z = zones_[meta.zone];
+      z.total += p.len;
+      z.live += p.len;
+      z.youngest_seal = result_.client_bytes;
+    }
+    cold_offset_ += p.len;
+    cold_bytes_ += p.len;
+    if (cold_bytes_ >= config_.batch_bytes) {
+      // Seal the cold object; close its zone too if the zone is full.
+      if (config_.zone_bytes > 0) {
+        const uint64_t zid = meta.zone;
+        if (zones_[zid].total >= config_.zone_bytes &&
+            open_cold_zone_ == zid) {
+          open_cold_zone_ = 0;
+        }
+      }
+      cold_seq_ = 0;
+    }
   }
+}
 
-  // Victim is gone.
+void GcSimulator::EraseObject(uint64_t victim) {
   auto it = info_.find(victim);
   if (it != info_.end()) {
     total_sum_ -= it->second.total_bytes;
@@ -249,10 +321,139 @@ void GcSimulator::CleanOne(uint64_t victim) {
     uint64_t& sl = shard_live_[ShardOf(victim)];
     st -= std::min(st, it->second.total_bytes);
     sl -= std::min(sl, it->second.live_bytes);
+    auto m = meta_.find(victim);
+    if (m != meta_.end() && m->second.zone != 0) {
+      auto z = zones_.find(m->second.zone);
+      if (z != zones_.end()) {
+        z->second.total -= std::min(z->second.total, it->second.total_bytes);
+        z->second.live -= std::min(z->second.live, it->second.live_bytes);
+      }
+    }
     info_.erase(it);
   }
   creation_.erase(victim);
+  meta_.erase(victim);
   result_.objects_deleted++;
+}
+
+void GcSimulator::CleanOne(uint64_t victim) {
+  const std::vector<Piece> pieces = CollectLivePieces(victim);
+  uint64_t copied = 0;
+  for (const auto& p : pieces) {
+    copied += p.len;
+  }
+
+  uint32_t generation = 1;
+  auto m = meta_.find(victim);
+  if (m != meta_.end()) {
+    generation = m->second.generation + 1;
+  }
+
+  if (copied > 0) {
+    if (config_.segregate_cold || config_.zone_bytes > 0) {
+      AppendCold(pieces, generation);
+    } else {
+      const uint64_t seq = next_seq_++;
+      result_.backend_bytes += copied;
+      result_.gc_copied_bytes += copied;
+      result_.objects_created++;
+      total_sum_ += copied;
+      live_sum_ += copied;
+      shard_total_[ShardOf(seq)] += copied;
+      shard_live_[ShardOf(seq)] += copied;
+      uint64_t offset = 0;
+      ExtentMap<ObjTarget>::ExtentVec displaced;
+      std::vector<std::pair<uint64_t, uint64_t>>& created = creation_[seq];
+      for (const auto& p : pieces) {
+        map_.Update(p.vlba, p.len, ObjTarget{seq, offset}, &displaced);
+        Displace(displaced, seq);
+        created.push_back({p.vlba, p.len});
+        offset += p.len;
+      }
+      info_[seq] = ObjectInfo{copied, copied};
+      meta_[seq] = ObjMeta{result_.client_bytes, generation, 0};
+    }
+  }
+
+  // Victim is gone.
+  EraseObject(victim);
+}
+
+void GcSimulator::AssignZone(uint64_t seq, uint64_t total, uint64_t live,
+                             bool cold) {
+  uint64_t& open = cold ? open_cold_zone_ : open_hot_zone_;
+  if (open == 0) {
+    open = next_zone_++;
+    zones_[open].cold = cold;
+  }
+  Zone& z = zones_[open];
+  z.total += total;
+  z.live += live;
+  z.youngest_seal = result_.client_bytes;
+  z.objects.push_back(seq);
+  meta_[seq].zone = open;
+  if (z.total >= config_.zone_bytes) {
+    open = 0;  // zone full: closed, eligible for cleaning
+  }
+}
+
+double GcSimulator::ZonedUtilization() const {
+  if (zones_.empty()) {
+    return 1.0;
+  }
+  const double capacity = static_cast<double>(zones_.size()) *
+                          static_cast<double>(config_.zone_bytes);
+  return static_cast<double>(live_sum_) / capacity;
+}
+
+uint64_t GcSimulator::PickZoneVictim(double ceiling) const {
+  const GcPolicy& policy = *policies_[0];
+  uint64_t victim = 0;
+  double best = -std::numeric_limits<double>::infinity();
+  for (const auto& [zid, zone] : zones_) {
+    // Only closed zones can be reset.
+    if (zid == open_hot_zone_ || zid == open_cold_zone_ || zone.total == 0) {
+      continue;
+    }
+    GcCandidate c;
+    c.seq = zid;
+    c.total_bytes = zone.total;
+    c.live_bytes = zone.live;
+    if (c.utilization() >= ceiling) {
+      continue;
+    }
+    c.age = AgeOf(ObjMeta{zone.youngest_seal, 0, 0});
+    c.generation = zone.cold ? 1 : 0;
+    const double s = policy.Score(c);
+    if (s > best) {
+      best = s;
+      victim = zid;
+    }
+  }
+  return victim;
+}
+
+void GcSimulator::CleanZone(uint64_t zid) {
+  // Relocating into the cold stream can open a new cold zone, but never this
+  // one (it is closed); iterate over a copy of the member list.
+  const std::vector<uint64_t> members = zones_[zid].objects;
+  for (const uint64_t seq : members) {
+    if (info_.find(seq) == info_.end()) {
+      continue;
+    }
+    const std::vector<Piece> pieces = CollectLivePieces(seq);
+    uint32_t generation = 1;
+    auto m = meta_.find(seq);
+    if (m != meta_.end()) {
+      generation = m->second.generation + 1;
+    }
+    if (!pieces.empty()) {
+      AppendCold(pieces, generation);
+    }
+    EraseObject(seq);
+  }
+  zones_.erase(zid);
+  result_.zones_reset++;
 }
 
 GcSimResult GcSimulator::Finish() {

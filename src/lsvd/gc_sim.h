@@ -12,12 +12,15 @@
 #ifndef SRC_LSVD_GC_SIM_H_
 #define SRC_LSVD_GC_SIM_H_
 
+#include <cassert>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "src/lsvd/extent_map.h"
+#include "src/lsvd/gc_policy.h"
 #include "src/lsvd/object_format.h"
 #include "src/util/metrics.h"
 #include "src/util/units.h"
@@ -35,6 +38,24 @@ struct GcSimConfig {
   // each shard is collected independently against the watermarks. 1 = the
   // classic single-stream collector (bit-identical behavior).
   int shards = 1;
+  // Victim-selection policy (docs/GC.md; DESIGN.md §11). `greedy` is
+  // bit-identical to the historical least-utilized scan. Age is measured in
+  // client batches written since the candidate was sealed.
+  GcPolicyKind policy = GcPolicyKind::kGreedy;
+  // Optional per-shard policy overrides, indexed by shard; shards beyond the
+  // vector's length (and all shards when empty) use `policy`.
+  std::vector<GcPolicyKind> shard_policy;
+  // Pack GC copies into shared cold output objects that fill across cleaning
+  // rounds (instead of one copy object per victim), segregating twice-
+  // written cold data from fresh client batches (DESIGN.md §11).
+  bool segregate_cold = false;
+  // Zoned/SMR-style backend: non-zero groups objects into sequential-only
+  // zones of this size (use a multiple of batch_bytes). The cleaner picks a
+  // whole closed zone, relocates its live data into the cold stream, then
+  // resets the zone. Utilization is live bytes over zone capacity, so dead
+  // space stranded in a zone counts against it. Requires shards == 1;
+  // implies cold segregation for relocated data.
+  uint64_t zone_bytes = 0;
 };
 
 struct GcSimResult {
@@ -44,6 +65,7 @@ struct GcSimResult {
   uint64_t gc_copied_bytes = 0;
   uint64_t objects_created = 0;
   uint64_t objects_deleted = 0;
+  uint64_t zones_reset = 0;    // zoned mode: zones cleaned and reclaimed
   size_t extent_count = 0;     // final object-map size
 
   // Write amplification: backend bytes over the client bytes that actually
@@ -72,6 +94,12 @@ class GcSimulator {
       : config_(config),
         shard_live_(config.shards > 1 ? config.shards : 1, 0),
         shard_total_(config.shards > 1 ? config.shards : 1, 0) {
+    assert(config.zone_bytes == 0 || config.shards <= 1);
+    const size_t shards = config.shards > 1 ? config.shards : 1;
+    for (size_t s = 0; s < shards; s++) {
+      policies_.push_back(GcPolicy::Create(
+          GcPolicyForShard(config.policy, config.shard_policy, s)));
+    }
     if (metrics != nullptr) {
       metrics->RegisterCallback("gcsim.client_bytes", [this] {
         return static_cast<double>(result_.client_bytes);
@@ -109,9 +137,39 @@ class GcSimulator {
   const ExtentMap<ObjTarget>& object_map() const { return map_; }
 
  private:
+  // GC pieces to relocate: live creation extents of a victim, plus optional
+  // defrag filler copied from other objects.
+  struct Piece {
+    uint64_t vlba;
+    uint64_t len;
+    bool plug;  // defrag filler copied from another object
+  };
+  // Per-object bookkeeping beyond ObjectInfo's byte counts.
+  struct ObjMeta {
+    uint64_t seal_clock = 0;  // result_.client_bytes when the object sealed
+    uint32_t generation = 0;  // 0 = client data, else 1 + max victim gen
+    uint64_t zone = 0;        // zoned mode: owning zone id (0 = none)
+  };
+  // Zoned mode: a sequential-only zone holding whole objects. Cleaned as a
+  // unit (relocate live data, then reset).
+  struct Zone {
+    uint64_t total = 0;  // payload bytes appended
+    uint64_t live = 0;
+    uint64_t youngest_seal = 0;  // newest member object's seal clock
+    bool cold = false;
+    std::vector<uint64_t> objects;
+  };
+
   void SealBatch();
   void MaybeGc();
   void CleanOne(uint64_t victim);
+  std::vector<Piece> CollectLivePieces(uint64_t victim) const;
+  // Appends relocated pieces to the shared cold output object, opening and
+  // sealing cold objects at batch_bytes granularity.
+  void AppendCold(const std::vector<Piece>& pieces, uint32_t generation);
+  // Removes a cleaned object from all accounting (info, creation, meta,
+  // sums, zone).
+  void EraseObject(uint64_t victim);
   void Displace(const ExtentMap<ObjTarget>::ExtentVec& displaced,
                 uint64_t self_seq);
   double Utilization() const;
@@ -122,14 +180,27 @@ class GcSimulator {
                                 config_.shards > 1 ? config_.shards : 1));
   }
   double ShardUtilization(size_t shard) const;
-  // Least-utilized object, optionally restricted to one shard
-  // (shard == SIZE_MAX means any). Returns 0 if none qualifies below
-  // `ceiling`.
+  // Policy-scored best victim, optionally restricted to one shard
+  // (shard == SIZE_MAX means any). Only objects with utilization strictly
+  // below `ceiling` are eligible; returns 0 if none qualifies.
   uint64_t PickVictim(size_t shard, double ceiling) const;
+  double AgeOf(const ObjMeta& meta) const;
+
+  // --- zoned mode ---
+  // Places a newly sealed object into the open hot/cold zone (opening a new
+  // zone as needed) and closes the zone once it reaches zone_bytes.
+  void AssignZone(uint64_t seq, uint64_t total, uint64_t live, bool cold);
+  double ZonedUtilization() const;
+  uint64_t PickZoneVictim(double ceiling) const;
+  // Relocates every live object in the zone into the cold stream, then
+  // resets (erases) the zone.
+  void CleanZone(uint64_t zid);
 
   GcSimConfig config_;
+  std::vector<std::unique_ptr<GcPolicy>> policies_;  // one per shard
   ExtentMap<ObjTarget> map_;
   std::map<uint64_t, ObjectInfo> info_;
+  std::map<uint64_t, ObjMeta> meta_;
   // Per-object at-creation extents, the GC's candidate examination input.
   std::map<uint64_t, std::vector<std::pair<uint64_t, uint64_t>>> creation_;
   // Open batch: coalescing map (merge mode) or raw arrival list.
@@ -142,6 +213,15 @@ class GcSimulator {
   std::vector<uint64_t> shard_live_;
   std::vector<uint64_t> shard_total_;
   uint64_t self_dead_ = 0;  // bytes overwritten within the object being applied
+  // Cold output object under construction (segregate_cold / zoned mode).
+  uint64_t cold_seq_ = 0;    // 0 = no cold object open
+  uint64_t cold_bytes_ = 0;  // payload accumulated in the open cold object
+  uint64_t cold_offset_ = 0;
+  // Zoned mode state.
+  std::map<uint64_t, Zone> zones_;
+  uint64_t next_zone_ = 1;
+  uint64_t open_hot_zone_ = 0;   // 0 = none open
+  uint64_t open_cold_zone_ = 0;
   GcSimResult result_;
 };
 

@@ -13,6 +13,10 @@ namespace {
 constexpr uint32_t kDataMagic = 0x4C53564F;   // "LSVO"
 constexpr uint32_t kCkptMagic = 0x4C53564B;   // "LSVK"
 constexpr uint32_t kFormatVersion = 1;
+// Data-object format v2 adds the GC generation after the extent count; v1 is
+// still written whenever the generation is 0, so stores without the extended
+// GC features stay byte-identical to older builds.
+constexpr uint32_t kDataVersionGen = 2;
 // Checkpoint format v2 appends the backend shard count and the per-shard
 // consistency vector. Unsharded checkpoints keep writing v1 so their encoding
 // stays byte-identical to older builds.
@@ -71,20 +75,26 @@ std::optional<uint64_t> ParseCheckpointSeq(const std::string& volume,
   return ParseSeqSuffix(CheckpointPrefix(volume), name);
 }
 
-uint64_t DataObjectHeaderSize(size_t extent_count) {
-  // Fixed fields: magic, version, seq, data_offset, extent count, crc.
-  const uint64_t raw = 4 + 4 + 8 + 8 + 4 + 4 + 32 * extent_count;
+uint64_t DataObjectHeaderSize(size_t extent_count, bool with_generation) {
+  // Fixed fields: magic, version, seq, data_offset, extent count,
+  // [generation in v2], crc.
+  const uint64_t raw = 4 + 4 + 8 + 8 + 4 + (with_generation ? 4 : 0) + 4 +
+                       32 * extent_count;
   return (raw + kHeaderAlign - 1) / kHeaderAlign * kHeaderAlign;
 }
 
 Buffer EncodeDataObject(const DataObjectHeader& header, const Buffer& data) {
+  const bool v2 = header.generation != 0;
   Encoder enc;
   enc.PutU32(kDataMagic);
-  enc.PutU32(kFormatVersion);
+  enc.PutU32(v2 ? kDataVersionGen : kFormatVersion);
   enc.PutU64(header.seq);
-  const uint64_t data_offset = DataObjectHeaderSize(header.extents.size());
+  const uint64_t data_offset = DataObjectHeaderSize(header.extents.size(), v2);
   enc.PutU64(data_offset);
   enc.PutU32(static_cast<uint32_t>(header.extents.size()));
+  if (v2) {
+    enc.PutU32(header.generation);
+  }
   const size_t crc_pos = enc.size();
   enc.PutU32(0);
   uint64_t sum = 0;
@@ -126,15 +136,18 @@ Status DecodeDataObjectHeader(const Buffer& object_prefix,
   if (dec.GetU32() != kDataMagic) {
     return Status::Corruption("bad data object magic");
   }
-  if (dec.GetU32() != kFormatVersion) {
+  const uint32_t version = dec.GetU32();
+  if (version != kFormatVersion && version != kDataVersionGen) {
     return Status::Corruption("unsupported object version");
   }
   header->seq = dec.GetU64();
   header->data_offset = dec.GetU64();
   const uint32_t extent_count = dec.GetU32();
+  header->generation = version == kDataVersionGen ? dec.GetU32() : 0;
   const size_t crc_pos = dec.position();
   const uint32_t header_crc = dec.GetU32();
-  if (header->data_offset != DataObjectHeaderSize(extent_count)) {
+  if (header->data_offset !=
+      DataObjectHeaderSize(extent_count, version == kDataVersionGen)) {
     return Status::Corruption("data offset inconsistent with extent count");
   }
   if (bytes.size() < header->data_offset) {

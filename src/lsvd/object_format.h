@@ -43,6 +43,11 @@ struct DataObjectHeader {
   uint64_t seq = 0;
   // Byte offset where data begins (header size, 4 KiB aligned).
   uint64_t data_offset = 0;
+  // GC generation (docs/GC.md): 0 for fresh client data, 1 + max victim
+  // generation for GC-copied data. Non-zero generations are encoded as
+  // format v2; generation 0 keeps the v1 encoding so stores that never set
+  // it stay byte-identical to older builds (same gating as checkpoint v2).
+  uint32_t generation = 0;
   std::vector<ObjectExtent> extents;
 };
 
@@ -65,7 +70,9 @@ Buffer EncodeDataObject(const DataObjectHeader& header, const Buffer& data);
 Status DecodeDataObjectHeader(const Buffer& object_prefix,
                               DataObjectHeader* header);
 // Size in bytes the encoded header will occupy for this many extents.
-uint64_t DataObjectHeaderSize(size_t extent_count);
+// `with_generation` selects the v2 layout (4 extra bytes before padding).
+uint64_t DataObjectHeaderSize(size_t extent_count,
+                              bool with_generation = false);
 
 // --- checkpoint objects ---
 struct ObjectInfo {

@@ -81,6 +81,16 @@ class WriteCache {
   void Append(uint64_t vlba, Buffer data, uint64_t batch_seq,
               std::function<void(Status)> done);
 
+  // --- write-heat tracking (docs/GC.md hot/cold segregation) ---
+  // Enables per-region overwrite-heat tracking: every append adds 1 to the
+  // heat of each 1 MiB region it touches, and heat halves every `halflife`.
+  // Off (zero cost on the append path) until enabled.
+  void EnableHeatTracking(Nanos halflife) { heat_halflife_ = halflife; }
+  // Decayed heat of the region containing `vlba`; 0.0 when tracking is off
+  // or the region was never written. The backend store compares this against
+  // LsvdConfig::gc_heat_threshold to route writes to hot vs cold batches.
+  double WriteHeat(uint64_t vlba) const;
+
   // Commit barrier: flush the SSD (§3.2).
   void Barrier(std::function<void(Status)> done);
 
@@ -201,6 +211,15 @@ class WriteCache {
   uint64_t release_watermark_ = 0;  // highest backend-synced batch seen
   uint64_t head_;           // absolute append offset
   uint64_t used_ = 0;       // log bytes occupied (incl. wrap gaps)
+
+  // Write-heat tracking (EnableHeatTracking): decayed append count per 1 MiB
+  // region, keyed by vlba >> 20. Empty while disabled.
+  struct HeatCell {
+    double value = 0.0;
+    Nanos updated = 0;
+  };
+  Nanos heat_halflife_ = 0;  // 0 = tracking off
+  std::map<uint64_t, HeatCell> heat_;
   uint64_t next_seq_ = 1;
   uint64_t ckpt_gen_ = 0;   // checkpoint generation (picks newest slot)
   uint64_t recovered_synced_ = 0;

@@ -434,10 +434,13 @@ uint64_t ShardedDryRunTotalSteps(uint64_t seed, const LsvdConfig& config,
 
 // Client crash with the cache surviving: OpenAfterCrash on the shard set
 // must recover at least every acknowledged write.
-void ShardedTortureAfterCrash(uint64_t seed, size_t shards, bool with_faults) {
+void ShardedTortureAfterCrash(
+    uint64_t seed, size_t shards, bool with_faults,
+    const std::vector<GcPolicyKind>& shard_policy = {}) {
   SCOPED_TRACE("seed " + std::to_string(seed) + " shards " +
                std::to_string(shards));
-  const LsvdConfig config = TortureConfig();
+  LsvdConfig config = TortureConfig();
+  config.gc_shard_policy = shard_policy;
   const uint64_t total =
       ShardedDryRunTotalSteps(seed, config, shards, with_faults);
   ASSERT_GT(total, 0u);
@@ -466,10 +469,12 @@ void ShardedTortureAfterCrash(uint64_t seed, size_t shards, bool with_faults) {
 // also lost its newest object, which must truncate the recovered prefix at
 // the gap, never corrupt it.
 void ShardedTortureCacheLost(uint64_t seed, size_t shards, bool with_faults,
-                             bool lose_one_tail) {
+                             bool lose_one_tail,
+                             const std::vector<GcPolicyKind>& shard_policy = {}) {
   SCOPED_TRACE("seed " + std::to_string(seed) + " shards " +
                std::to_string(shards));
-  const LsvdConfig config = TortureConfig();
+  LsvdConfig config = TortureConfig();
+  config.gc_shard_policy = shard_policy;
   const uint64_t total =
       ShardedDryRunTotalSteps(seed, config, shards, with_faults);
   ASSERT_GT(total, 0u);
@@ -528,6 +533,32 @@ TEST(ShardedRecoveryTortureTest, CacheLostWithOneShardTailLoss) {
                             /*lose_one_tail=*/true);
     ShardedTortureCacheLost(seed, /*shards=*/4, /*with_faults=*/true,
                             /*lose_one_tail=*/true);
+  }
+}
+
+// Mixed per-shard victim-selection policies (docs/GC.md): a non-empty
+// gc_shard_policy also turns on the extended GC format (generation-tagged
+// v2 data-object headers), so these runs cover crash/recovery with every
+// policy collecting — and with v2 headers in the replayed tail.
+const std::vector<GcPolicyKind> kMixedShardPolicies = {
+    GcPolicyKind::kGreedy, GcPolicyKind::kCostBenefit,
+    GcPolicyKind::kAgeBucketed, GcPolicyKind::kCostBenefit};
+
+TEST(ShardedRecoveryTortureTest, AfterCrashWithMixedPerShardPolicies) {
+  for (uint64_t seed = 1101; seed <= 1108; seed++) {
+    ShardedTortureAfterCrash(seed, /*shards=*/4, /*with_faults=*/false,
+                             kMixedShardPolicies);
+    ShardedTortureAfterCrash(seed, /*shards=*/4, /*with_faults=*/true,
+                             kMixedShardPolicies);
+  }
+}
+
+TEST(ShardedRecoveryTortureTest, CacheLostWithMixedPerShardPolicies) {
+  for (uint64_t seed = 1201; seed <= 1208; seed++) {
+    ShardedTortureCacheLost(seed, /*shards=*/4, /*with_faults=*/false,
+                            /*lose_one_tail=*/false, kMixedShardPolicies);
+    ShardedTortureCacheLost(seed, /*shards=*/4, /*with_faults=*/true,
+                            /*lose_one_tail=*/true, kMixedShardPolicies);
   }
 }
 
