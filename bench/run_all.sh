@@ -10,9 +10,11 @@
 # JSON stays machine-readable; it does NOT produce paper-quality numbers.
 #
 # With --perf, every bench additionally runs under the wall-clock perf
-# harness (docs/PERF.md): each binary writes BENCH_<name>.json into the
-# current directory, and a summary table (events/sec, simulated-IOs/sec,
-# wall seconds per bench plus totals) is printed at the end.
+# harness (docs/PERF.md): each binary writes BENCH_<name>.json into
+# bench/results/ (override with BENCH_RESULTS_DIR) — a tracked directory, so
+# perf snapshots can be committed rather than stranded in the build tree —
+# and a summary table (events/sec, simulated-IOs/sec, wall seconds per bench
+# plus totals) is printed at the end.
 set -u
 
 PERF=0
@@ -25,6 +27,14 @@ BENCH_DIR="${1:-$(dirname "$0")/../build/bench}"
 if [ ! -d "$BENCH_DIR" ]; then
   echo "bench dir not found: $BENCH_DIR" >&2
   exit 1
+fi
+# PerfScope writes BENCH_<name>.json into the bench's working directory, so
+# pin that to the results dir (and make BENCH_DIR absolute first, since the
+# benches no longer run from this script's CWD).
+BENCH_DIR="$(cd "$BENCH_DIR" && pwd)"
+RESULTS_DIR="${BENCH_RESULTS_DIR:-$(cd "$(dirname "$0")" && pwd)/results}"
+if [ "$PERF" = 1 ]; then
+  mkdir -p "$RESULTS_DIR"
 fi
 
 PYTHON="$(command -v python3 || true)"
@@ -74,10 +84,12 @@ run() {
   for arg in "$@"; do
     [ "$arg" = "--json" ] && want_json=1
   done
+  local workdir="."
   if [ "$PERF" = 1 ]; then
     set -- "$@" --perf
+    workdir="$RESULTS_DIR"
   fi
-  if ! "$bin" "$@" >"$out" 2>&1; then
+  if ! (cd "$workdir" && "$bin" "$@") >"$out" 2>&1; then
     echo "FAIL $name (exit $?)"
     sed 's/^/    /' "$out" | tail -5
     failures=$((failures + 1))
@@ -104,6 +116,7 @@ run fig15_gc_timeline --seconds=1 --volume-gib=0.25
 run fig16_replication --seconds=2 --volume-gib=0.25
 run fig17_multitenant --smoke --json
 run fig18_scaleout --smoke --json
+run fig20_tail --smoke --json
 run fig21_waf_frontier --scale=256
 run tbl03_filebench_stats --ops=2000
 run tbl04_crash --trials=1
@@ -123,6 +136,7 @@ if [ "$PERF" = 1 ]; then
     echo "perf: python3 unavailable, skipping aggregation (BENCH_*.json written)"
     exit 0
   fi
+  cd "$RESULTS_DIR"
   "$PYTHON" - <<'EOF'
 import glob, json, sys
 

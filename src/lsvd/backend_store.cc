@@ -97,6 +97,12 @@ BackendStore::BackendStore(ClientHost* host, std::vector<ObjectStore*> stores,
     });
   }
 
+  // Seal-on-deadline metric exists only on adaptive-batching configs
+  // (DESIGN.md §12), same gating discipline as the extended-GC block above.
+  if (config_.batch_seal_deadline > 0) {
+    c_deadline_seals_ = metrics_->GetCounter(prefix + ".deadline_seals");
+  }
+
   // Per-shard counters and gauges exist only on sharded volumes, so the
   // long-standing single-shard metric dumps stay unchanged.
   if (shards_.size() > 1) {
@@ -165,8 +171,34 @@ uint64_t BackendStore::OpenBatchSeq(std::optional<OpenBatch>& slot) {
     slot = OpenBatch{};
     slot->seq = next_seq_++;
     slot->opened_at = host_->sim()->now();
+    if (config_.batch_seal_deadline > 0) {
+      ArmSealDeadline(&slot);
+    }
   }
   return slot->seq;
+}
+
+void BackendStore::ArmSealDeadline(std::optional<OpenBatch>* slot) {
+  const uint64_t seq = (*slot)->seq;
+  auto alive = alive_;
+  host_->sim()->After(config_.batch_seal_deadline, [this, alive, slot, seq] {
+    if (!*alive) {
+      return;
+    }
+    // The batch may have filled and sealed (and the slot reopened for a
+    // younger batch) since the timer was armed; the sequence number
+    // identifies the exact batch. Never seal a batch with no entries: an
+    // empty object would advance the sync watermark past journal records
+    // whose data the backend does not hold yet.
+    if (!slot->has_value() || (*slot)->seq != seq ||
+        (*slot)->entries.empty()) {
+      return;
+    }
+    OpenBatch b = std::move(**slot);
+    slot->reset();
+    c_deadline_seals_->Inc();
+    SealBatch(std::move(b), /*from_gc=*/false, {});
+  });
 }
 
 uint64_t BackendStore::AddWrite(uint64_t vlba, Buffer data) {

@@ -235,6 +235,10 @@ class BackendStore {
   // Lazily opens `slot` (assigning the next sequence number) and returns its
   // seq. `slot` is batch_ for hot client writes, cold_batch_ for cold ones.
   uint64_t OpenBatchSeq(std::optional<OpenBatch>& slot);
+  // Seal-on-deadline (LsvdConfig::batch_seal_deadline): per-batch timer armed
+  // at open that seals the batch if it is still the slot's occupant when the
+  // deadline passes. `slot` must outlive the store (it is a member).
+  void ArmSealDeadline(std::optional<OpenBatch>* slot);
   void SealBatch(OpenBatch batch, bool from_gc,
                  std::vector<uint64_t> cleaned_seqs);
   // Seals the open GC batch inline (size threshold reached mid-round).
@@ -354,6 +358,9 @@ class BackendStore {
   // Extended-GC metrics, registered only when config.gc_extended() so the
   // long-standing default metric dumps stay unchanged (docs/METRICS.md).
   Counter* c_gc_cold_objects_ = nullptr;
+  // Registered only when batch_seal_deadline > 0 (adaptive batching), so
+  // default metric dumps stay unchanged.
+  Counter* c_deadline_seals_ = nullptr;
   Gauge* g_cost_benefit_score_ = nullptr;
   // Write-lifecycle stages downstream of the journal ack: batch open ->
   // seal, and seal -> applied to the object map (commit).

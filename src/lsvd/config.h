@@ -83,6 +83,30 @@ struct LsvdConfig {
   Nanos batch_max_age = 100 * kMillisecond;
   int put_window = 8;  // concurrent outstanding PUTs (per backend shard)
 
+  // --- Adaptive batching / group commit (DESIGN.md §12) ---
+  // Seal-on-deadline: an open backend batch is sealed this long after its
+  // first write even if far from batch_bytes, on a per-batch timer (unlike
+  // batch_max_age, which is only polled at batch_max_age granularity). The
+  // same deadline bounds how long the write cache "plugs" a lone small write
+  // waiting for company before force-starting its journal record. 0 = off:
+  // only size sealing plus the coarse age poll, the historical behavior.
+  Nanos batch_seal_deadline = 0;
+  // Group commit for the journal: concurrent Flush barriers share one SSD
+  // flush instead of each issuing their own (BtrLog-style flush coalescing).
+  bool journal_flush_coalescing = false;
+  // Under light load (journal pipeline nearly idle) a lone small write
+  // skips the plug wait entirely and starts its record immediately, trading
+  // batching efficiency for latency only when there is no queue to amortize.
+  bool small_write_fast_path = false;
+
+  // True when any adaptive-batching knob is active; gates the new seal/flush
+  // behaviors and their metrics so default-config runs stay byte-identical
+  // (same discipline as gc_extended()).
+  bool adaptive_batching() const {
+    return batch_seal_deadline > 0 || journal_flush_coalescing ||
+           small_write_fast_path;
+  }
+
   // Backend sharding (DESIGN.md §9): the volume's object stream is striped
   // round-robin by batch sequence across this many independent object-store
   // shards, each with its own disk pool, retry state and PUT window. Must

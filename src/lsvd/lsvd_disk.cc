@@ -65,6 +65,11 @@ void LsvdDisk::InitComponents() {
   if (config_.gc_hot_cold_split) {
     write_cache_->EnableHeatTracking(config_.gc_heat_halflife);
   }
+  if (config_.adaptive_batching()) {
+    write_cache_->EnableAdaptiveBatching(config_.batch_seal_deadline,
+                                         config_.journal_flush_coalescing,
+                                         config_.small_write_fast_path);
+  }
   read_cache_ = std::make_unique<ReadCache>(
       host_, rc_base_, config_.read_cache_size, config_.read_cache_line,
       metrics_, p + ".read_cache");

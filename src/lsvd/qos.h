@@ -11,6 +11,7 @@
 #ifndef SRC_LSVD_QOS_H_
 #define SRC_LSVD_QOS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -77,7 +78,10 @@ class TokenBucket {
     if (tokens_ >= needed) {
       return 0;
     }
-    return FromSeconds((needed - tokens_) / rate_);
+    // A deficit smaller than one tick's accrual truncates to 0 ns, which
+    // would re-arm the admission timer at the current timestamp and spin the
+    // event loop; any real deficit waits at least one tick.
+    return std::max<Nanos>(FromSeconds((needed - tokens_) / rate_), 1);
   }
 
  private:

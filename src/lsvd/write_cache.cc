@@ -18,6 +18,15 @@ constexpr uint32_t kVersion = 1;
 // bounded and recovery reads reasonable.
 constexpr uint64_t kMaxRecordData = 4 * kMiB;
 
+// Record pipelining and plugging (MaybeStartRecord): up to kRecordWindow
+// concurrent record writes; a lone small write (< kPlugBytes) waits for
+// company while others are in flight. With the small-write fast path on, a
+// pipeline no deeper than kFastPathDepth skips the wait — there is no queue
+// to amortize against, so plugging would only add idle latency.
+constexpr size_t kRecordWindow = 12;
+constexpr uint64_t kPlugBytes = 16 * kKiB;
+constexpr size_t kFastPathDepth = 1;
+
 uint64_t RoundUpBlock(uint64_t v) {
   return (v + kBlockSize - 1) / kBlockSize * kBlockSize;
 }
@@ -46,6 +55,7 @@ WriteCache::WriteCache(ClientHost* host, uint64_t base, uint64_t size,
     metrics = owned_metrics_.get();
   }
   metrics_ = metrics;
+  prefix_ = prefix;
   c_appends_ = metrics_->GetCounter(prefix + ".appends");
   c_appended_bytes_ = metrics_->GetCounter(prefix + ".appended_bytes");
   c_records_ = metrics_->GetCounter(prefix + ".records");
@@ -159,15 +169,46 @@ void WriteCache::MaybeStartRecord() {
   // records are already in flight, a lone small write waits briefly for
   // company ("plugging"): the per-record wakeup cost then amortizes over
   // more writes without adding idle latency.
-  constexpr size_t kRecordWindow = 12;
-  constexpr uint64_t kPlugBytes = 16 * kKiB;
   while (in_flight_.size() < kRecordWindow && !pending_.empty()) {
     if (!in_flight_.empty() && pending_.size() < 2 &&
-        pending_.front().data.size() < kPlugBytes) {
+        pending_.front().data.size() < kPlugBytes &&
+        !(fast_path_ && in_flight_.size() <= kFastPathDepth)) {
+      if (plug_deadline_ > 0 && !plug_timer_armed_) {
+        ArmPlugTimer();
+      }
       return;  // wait for the next append or for the pipeline to drain
     }
     if (!StartOneRecord()) {
       return;
+    }
+  }
+}
+
+void WriteCache::ArmPlugTimer() {
+  plug_timer_armed_ = true;
+  auto alive = alive_;
+  host_->sim()->After(plug_deadline_, [this, alive] {
+    if (!*alive) {
+      return;
+    }
+    PlugTimerFire();
+  });
+}
+
+void WriteCache::PlugTimerFire() {
+  plug_timer_armed_ = false;
+  if (pending_.empty() || in_flight_.size() >= kRecordWindow) {
+    return;  // already started, or the full window will pump it on drain
+  }
+  // Force-start only if the plug heuristic is still what holds the write
+  // back; a space stall resumes through ReleaseThrough instead. A write that
+  // replaced the one the timer was armed for just seals a little early —
+  // the deadline is an upper bound on plug wait, not an exact hold time.
+  if (!in_flight_.empty() && pending_.size() < 2 &&
+      pending_.front().data.size() < kPlugBytes) {
+    if (StartOneRecord()) {
+      c_deadline_seals_->Inc();
+      MaybeStartRecord();
     }
   }
 }
@@ -297,13 +338,61 @@ void WriteCache::ApplyCompletedRecords() {
 }
 
 void WriteCache::Barrier(std::function<void(Status)> done) {
+  if (!flush_coalescing_) {
+    auto alive = alive_;
+    ssd_->Flush([alive, done = std::move(done)](Status s) {
+      if (!*alive) {
+        return;
+      }
+      done(s);
+    });
+    return;
+  }
+  // Group commit: barriers arriving while a flush is in flight all ride the
+  // next flush together (it starts after the current one completes, so it
+  // covers everything written before they were queued). N concurrent
+  // barriers cost at most two flushes instead of N.
+  pending_barriers_.push_back(std::move(done));
+  if (flush_in_flight_) {
+    c_coalesced_flushes_->Inc();
+    return;
+  }
+  StartBarrierFlush();
+}
+
+void WriteCache::StartBarrierFlush() {
+  flush_in_flight_ = true;
+  auto waiters = std::make_shared<std::vector<std::function<void(Status)>>>(
+      std::move(pending_barriers_));
+  pending_barriers_.clear();
   auto alive = alive_;
-  ssd_->Flush([alive, done = std::move(done)](Status s) {
+  ssd_->Flush([this, alive, waiters](Status s) {
     if (!*alive) {
       return;
     }
-    done(s);
+    flush_in_flight_ = false;
+    for (auto& d : *waiters) {
+      d(s);
+    }
+    // A waiter's callback may itself call Barrier() and restart the pump;
+    // only start the next group if nothing else already has.
+    if (!flush_in_flight_ && !pending_barriers_.empty()) {
+      StartBarrierFlush();
+    }
   });
+}
+
+void WriteCache::EnableAdaptiveBatching(Nanos plug_deadline,
+                                        bool flush_coalescing,
+                                        bool fast_path) {
+  plug_deadline_ = plug_deadline;
+  flush_coalescing_ = flush_coalescing;
+  fast_path_ = fast_path;
+  if (c_deadline_seals_ == nullptr) {
+    c_deadline_seals_ = metrics_->GetCounter(prefix_ + ".deadline_seals");
+    c_coalesced_flushes_ =
+        metrics_->GetCounter(prefix_ + ".journal.coalesced_flushes");
+  }
 }
 
 void WriteCache::ReadData(uint64_t plba, uint64_t len,

@@ -81,6 +81,18 @@ class WriteCache {
   void Append(uint64_t vlba, Buffer data, uint64_t batch_seq,
               std::function<void(Status)> done);
 
+  // --- adaptive batching / group commit (DESIGN.md §12) ---
+  // Enables the gated tail-latency behaviors. `plug_deadline` bounds how
+  // long a lone small write may sit "plugged" waiting for company before its
+  // journal record is force-started (0 = wait indefinitely, the historical
+  // behavior); `flush_coalescing` makes concurrent Barrier() calls share SSD
+  // flushes (group commit); `fast_path` skips the plug wait entirely while
+  // the record pipeline is nearly idle. Registers the ".deadline_seals" and
+  // ".journal.coalesced_flushes" counters, so call only on adaptive configs
+  // to keep default metric dumps unchanged.
+  void EnableAdaptiveBatching(Nanos plug_deadline, bool flush_coalescing,
+                              bool fast_path);
+
   // --- write-heat tracking (docs/GC.md hot/cold segregation) ---
   // Enables per-region overwrite-heat tracking: every append adds 1 to the
   // heat of each 1 MiB region it touches, and heat halves every `halflife`.
@@ -161,6 +173,11 @@ class WriteCache {
   void MaybeStartRecord();
   bool StartOneRecord();
   void ApplyCompletedRecords();
+  // Adaptive batching (EnableAdaptiveBatching): plug-deadline timer and the
+  // coalesced barrier-flush pump.
+  void ArmPlugTimer();
+  void PlugTimerFire();
+  void StartBarrierFlush();
   // Evicts releasable records (FIFO) until at least `needed` bytes are free
   // or nothing more can be evicted.
   void EvictForSpace(uint64_t needed);
@@ -212,6 +229,14 @@ class WriteCache {
   uint64_t head_;           // absolute append offset
   uint64_t used_ = 0;       // log bytes occupied (incl. wrap gaps)
 
+  // Adaptive batching (all inert until EnableAdaptiveBatching).
+  Nanos plug_deadline_ = 0;         // 0 = plugged writes wait indefinitely
+  bool flush_coalescing_ = false;
+  bool fast_path_ = false;
+  bool plug_timer_armed_ = false;
+  bool flush_in_flight_ = false;    // coalescing path only
+  std::vector<std::function<void(Status)>> pending_barriers_;
+
   // Write-heat tracking (EnableHeatTracking): decayed append count per 1 MiB
   // region, keyed by vlba >> 20. Empty while disabled.
   struct HeatCell {
@@ -230,6 +255,7 @@ class WriteCache {
   // in *metrics_ under `prefix`.
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_;
+  std::string prefix_;  // metric-name root, kept for lazy registration
   Counter* c_appends_;
   Counter* c_appended_bytes_;
   Counter* c_records_;
@@ -237,6 +263,10 @@ class WriteCache {
   Counter* c_stalled_appends_;
   Counter* c_checkpoints_;
   Counter* c_evicted_records_;
+  // Registered lazily by EnableAdaptiveBatching (null on default configs so
+  // metric dumps stay unchanged).
+  Counter* c_deadline_seals_ = nullptr;
+  Counter* c_coalesced_flushes_ = nullptr;
   // Journal append -> record releasable (backend batches committed): the
   // tail of the write lifecycle trace.
   Histogram* h_append_to_free_us_;

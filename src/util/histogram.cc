@@ -1,23 +1,54 @@
 #include "src/util/histogram.h"
 
 #include <bit>
+#include <cassert>
 #include <cmath>
 #include <sstream>
 
 namespace lsvd {
 namespace {
 
-int BucketFor(uint64_t value) {
-  if (value < 2) {
-    return 0;
+int BucketFor(uint64_t value, int sub_bits) {
+  if (sub_bits == 0) {
+    if (value < 2) {
+      return 0;
+    }
+    return 64 - std::countl_zero(value) - 1;
   }
-  return 64 - std::countl_zero(value) - 1;
+  // Log-linear: values below 2^k get unit-width buckets; a value in octave
+  // [2^m, 2^(m+1)) lands in sub-bucket (value - 2^m) >> (m - k) of that
+  // octave's 2^k-wide group. The two ranges meet seamlessly at 2^k.
+  const int k = sub_bits;
+  if (value < (uint64_t{1} << k)) {
+    return static_cast<int>(value);
+  }
+  const int m = 64 - std::countl_zero(value) - 1;
+  const int sub = static_cast<int>((value - (uint64_t{1} << m)) >> (m - k));
+  return ((m - k + 1) << k) + sub;
 }
 
 }  // namespace
 
+double HistogramBucketLower(int bucket, int sub_bits) {
+  if (sub_bits == 0) {
+    return bucket == 0 ? 0.0 : std::ldexp(1.0, bucket);
+  }
+  const int k = sub_bits;
+  if (bucket < (1 << k)) {
+    return static_cast<double>(bucket);
+  }
+  const int group = bucket >> k;       // octave group index, >= 1
+  const int m = group + k - 1;         // octave exponent
+  const int sub = bucket & ((1 << k) - 1);
+  return std::ldexp(1.0, m) + static_cast<double>(sub) * std::ldexp(1.0, m - k);
+}
+
+Histogram::Histogram(int sub_bits) : sub_bits_(sub_bits) {
+  assert(sub_bits >= 0 && sub_bits <= 8 && "sub_bits out of range");
+}
+
 void Histogram::Add(uint64_t value, uint64_t weight) {
-  const int b = BucketFor(value);
+  const int b = BucketFor(value, sub_bits_);
   if (b >= static_cast<int>(buckets_.size())) {
     buckets_.resize(b + 1);
   }
@@ -51,14 +82,15 @@ double Histogram::Percentile(double fraction) const {
   for (size_t b = 0; b < buckets_.size(); b++) {
     const double c = static_cast<double>(buckets_[b].count);
     if (seen + c >= target) {
-      const double lower = (b == 0) ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
-      const double upper = std::ldexp(1.0, static_cast<int>(b) + 1);
+      const double lower = HistogramBucketLower(static_cast<int>(b), sub_bits_);
+      const double upper =
+          HistogramBucketLower(static_cast<int>(b) + 1, sub_bits_);
       const double within = c > 0 ? (target - seen) / c : 0.0;
       return lower + within * (upper - lower);
     }
     seen += c;
   }
-  return std::ldexp(1.0, static_cast<int>(buckets_.size()));
+  return HistogramBucketLower(static_cast<int>(buckets_.size()), sub_bits_);
 }
 
 double Histogram::MeanValue() const {
@@ -74,7 +106,8 @@ std::string Histogram::ToString() const {
     if (buckets_[b].weight == 0) {
       continue;
     }
-    const uint64_t lower = (b == 0) ? 0 : (uint64_t{1} << b);
+    const auto lower = static_cast<uint64_t>(
+        HistogramBucketLower(static_cast<int>(b), sub_bits_));
     out << lower << " " << buckets_[b].weight << "\n";
   }
   return out.str();

@@ -1,5 +1,13 @@
-// Power-of-two bucketed histogram, used for backend write-size distributions
-// (paper Figure 14) and latency percentiles.
+// Bucketed histogram, used for backend write-size distributions (paper
+// Figure 14) and latency percentiles.
+//
+// The default geometry is power-of-two buckets: bucket i covers
+// [2^i, 2^(i+1)), bucket 0 is [0, 2). That quantizes the top percentiles to
+// a full octave — too coarse for p99.9 reporting — so a histogram may
+// instead be constructed with `sub_bits` > 0 for HdrHistogram-style
+// log-linear growth: each octave splits into 2^sub_bits equal-width
+// sub-buckets (values below 2^sub_bits get exact unit-width buckets), giving
+// a bounded relative error of 2^-sub_bits at every scale.
 #ifndef SRC_UTIL_HISTOGRAM_H_
 #define SRC_UTIL_HISTOGRAM_H_
 
@@ -9,8 +17,18 @@
 
 namespace lsvd {
 
+// Lower bound of `bucket` for a histogram with the given sub-bucket bits
+// (0 = legacy power-of-two geometry). Shared by Histogram and the snapshot
+// layer in metrics.h, which re-derives bounds from raw bucket vectors.
+double HistogramBucketLower(int bucket, int sub_bits);
+
 class Histogram {
  public:
+  Histogram() = default;
+  // Log-linear geometry with 2^sub_bits sub-buckets per octave; sub_bits 0
+  // is exactly the legacy power-of-two histogram.
+  explicit Histogram(int sub_bits);
+
   // Records one sample of the given value, weighted by `weight`
   // (e.g. weight = bytes for a bytes-by-I/O-size histogram).
   void Add(uint64_t value, uint64_t weight = 1);
@@ -18,11 +36,13 @@ class Histogram {
   uint64_t total_count() const { return total_count_; }
   uint64_t total_weight() const { return total_weight_; }
 
-  // Weight accumulated in the bucket [2^i, 2^(i+1)); bucket 0 is [0, 2).
+  // Weight accumulated in bucket `bucket` (see HistogramBucketLower for the
+  // bucket -> value-range mapping).
   uint64_t BucketWeight(int bucket) const;
   // Sample count in the same bucket.
   uint64_t BucketCount(int bucket) const;
   int num_buckets() const { return static_cast<int>(buckets_.size()); }
+  int sub_bits() const { return sub_bits_; }
   double value_sum() const { return value_sum_; }
 
   // Value below which `fraction` (0..1) of the recorded *count* falls,
@@ -42,6 +62,7 @@ class Histogram {
   std::vector<Bucket> buckets_;
   uint64_t total_count_ = 0;
   uint64_t total_weight_ = 0;
+  int sub_bits_ = 0;
   // Sum of raw values for MeanValue().
   double value_sum_ = 0;
 };

@@ -68,15 +68,15 @@ double MetricsSnapshot::Entry::Percentile(double fraction) const {
   for (size_t b = 0; b < buckets.size(); b++) {
     const double c = static_cast<double>(buckets[b].first);
     if (seen + c >= target) {
-      const double lower =
-          (b == 0) ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
-      const double upper = std::ldexp(1.0, static_cast<int>(b) + 1);
+      const double lower = HistogramBucketLower(static_cast<int>(b), sub_bits);
+      const double upper =
+          HistogramBucketLower(static_cast<int>(b) + 1, sub_bits);
       const double within = c > 0 ? (target - seen) / c : 0.0;
       return lower + within * (upper - lower);
     }
     seen += c;
   }
-  return std::ldexp(1.0, static_cast<int>(buckets.size()));
+  return HistogramBucketLower(static_cast<int>(buckets.size()), sub_bits);
 }
 
 double MetricsSnapshot::Entry::Mean() const {
@@ -168,7 +168,8 @@ std::string MetricsSnapshot::ToJson() const {
             out << ", ";
           }
           bfirst = false;
-          const uint64_t lower = (b == 0) ? 0 : (uint64_t{1} << b);
+          const auto lower = static_cast<uint64_t>(
+              HistogramBucketLower(static_cast<int>(b), e.sub_bits));
           out << "[" << lower << ", " << e.buckets[b].first << ", "
               << e.buckets[b].second << "]";
         }
@@ -236,13 +237,14 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   return slot.gauge.get();
 }
 
-Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         int sub_bits) {
   Slot& slot = slots_[name];
   if (slot.histogram == nullptr) {
     assert(slot.counter == nullptr && slot.gauge == nullptr &&
            !slot.callback && "metric re-registered with a different kind");
     slot.kind = MetricsSnapshot::Kind::kHistogram;
-    slot.histogram = std::make_unique<Histogram>();
+    slot.histogram = std::make_unique<Histogram>(sub_bits);
   }
   return slot.histogram.get();
 }
@@ -285,6 +287,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
         const Histogram& h = *slot.histogram;
         e.count = h.total_count();
         e.weight = h.total_weight();
+        e.sub_bits = h.sub_bits();
         e.value_sum = h.value_sum();
         e.buckets.reserve(static_cast<size_t>(h.num_buckets()));
         for (int b = 0; b < h.num_buckets(); b++) {

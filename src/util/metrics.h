@@ -59,9 +59,12 @@ struct MetricsSnapshot {
     Kind kind = Kind::kCounter;
     // Counter value (as integer) or gauge value.
     double value = 0.0;
-    // Histogram state; buckets[i] covers [2^i, 2^(i+1)), bucket 0 is [0, 2).
+    // Histogram state. With sub_bits 0 (the default), buckets[i] covers
+    // [2^i, 2^(i+1)) and bucket 0 is [0, 2); with sub_bits k > 0 the
+    // histogram uses log-linear geometry (see HistogramBucketLower).
     uint64_t count = 0;
     uint64_t weight = 0;
+    int sub_bits = 0;
     double value_sum = 0.0;
     std::vector<std::pair<uint64_t, uint64_t>> buckets;  // (count, weight)
 
@@ -109,7 +112,11 @@ class MetricsRegistry {
   // dummy object in release builds so the caller never crashes).
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
+  // `sub_bits` selects the histogram's bucket geometry on first creation
+  // (see histogram.h); later lookups return the existing histogram no matter
+  // what they pass, so a bench wanting fine p99.9 resolution pre-creates the
+  // name with sub_bits > 0 before the component resolves it.
+  Histogram* GetHistogram(const std::string& name, int sub_bits = 0);
 
   // Registers a gauge whose value is computed by `fn` at snapshot time —
   // the idiomatic way to expose existing state (utilization, queue depths,

@@ -1,0 +1,62 @@
+#include "src/workload/arrival.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lsvd {
+
+ArrivalProcess::ArrivalProcess(ArrivalConfig config)
+    : config_(config), rng_(config.seed) {
+  assert(config_.rate > 0.0);
+  switch (config_.profile) {
+    case ArrivalConfig::Profile::kConstant:
+      peak_rate_ = config_.rate;
+      break;
+    case ArrivalConfig::Profile::kDiurnal:
+      assert(config_.depth >= 0.0 && config_.depth < 1.0);
+      peak_rate_ = config_.rate * (1.0 + config_.depth);
+      break;
+    case ArrivalConfig::Profile::kBurst:
+      assert(config_.multiplier >= 1.0);
+      assert(config_.burst_duration <= config_.period);
+      peak_rate_ = config_.rate * config_.multiplier;
+      break;
+  }
+}
+
+double ArrivalProcess::RateAt(Nanos t) const {
+  switch (config_.profile) {
+    case ArrivalConfig::Profile::kConstant:
+      return config_.rate;
+    case ArrivalConfig::Profile::kDiurnal: {
+      const double phase = 2.0 * M_PI * ToSeconds(t % config_.period) /
+                           ToSeconds(config_.period);
+      return config_.rate * (1.0 + config_.depth * std::sin(phase));
+    }
+    case ArrivalConfig::Profile::kBurst:
+      return (t % config_.period) < config_.burst_duration
+                 ? config_.rate * config_.multiplier
+                 : config_.rate;
+  }
+  return config_.rate;
+}
+
+Nanos ArrivalProcess::Next() {
+  // Thinning (Lewis & Shedler): candidate gaps at the peak rate, accepted
+  // with probability rate(t)/peak. Candidate draws and acceptance draws both
+  // come from the one seeded stream, so the sequence is fully deterministic.
+  for (;;) {
+    const double gap_s = rng_.Exponential(1.0 / peak_rate_);
+    Nanos gap = FromSeconds(gap_s);
+    if (gap < 1) {
+      gap = 1;  // arrivals are strictly ordered in integer virtual time
+    }
+    t_ += gap;
+    if (peak_rate_ <= config_.rate ||
+        rng_.NextDouble() * peak_rate_ <= RateAt(t_)) {
+      return t_;
+    }
+  }
+}
+
+}  // namespace lsvd

@@ -1,0 +1,68 @@
+// Open-loop arrival processes for the workload driver (DESIGN.md §12).
+//
+// Closed-loop drivers (fixed queue depth) measure service time: offered load
+// collapses to whatever the system can complete. Production virtual-disk
+// traffic is open-loop — clients issue when *they* decide, and under load
+// the queue, not the device, sets p99/p99.9. ArrivalProcess generates the
+// arrival timestamps: a Poisson process at a configurable mean rate, with
+// optional deterministic rate modulation (a diurnal sine or a periodic
+// on/off burst) applied by thinning, so the sequence is exactly reproducible
+// from the seed.
+#ifndef SRC_WORKLOAD_ARRIVAL_H_
+#define SRC_WORKLOAD_ARRIVAL_H_
+
+#include <cstdint>
+
+#include "src/util/rng.h"
+#include "src/util/units.h"
+
+namespace lsvd {
+
+struct ArrivalConfig {
+  enum class Profile {
+    kConstant,  // homogeneous Poisson at `rate`
+    kDiurnal,   // rate * (1 + depth * sin(2*pi * t / period))
+    kBurst,     // rate, except `multiplier` * rate during periodic bursts
+  };
+  Profile profile = Profile::kConstant;
+  double rate = 1000.0;  // mean arrivals per second (long-run average shape)
+
+  // kDiurnal: one "day" compressed into `period`; depth in [0, 1).
+  Nanos period = 10 * kSecond;
+  double depth = 0.5;
+
+  // kBurst: every `period`, the first `burst_duration` runs at
+  // rate * multiplier; the remainder of the period runs at `rate`.
+  Nanos burst_duration = kSecond;
+  double multiplier = 8.0;
+
+  uint64_t seed = 1;
+};
+
+// Deterministic generator of monotone arrival timestamps. Time-varying
+// profiles use thinning: candidates are drawn from a Poisson process at the
+// profile's peak rate and accepted with probability rate(t)/peak, which
+// preserves the exact Poisson property at every instant.
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(ArrivalConfig config);
+
+  // Timestamp of the next arrival at or after the previous one (the first
+  // call yields the first arrival after `start`, default 0).
+  Nanos Next();
+
+  // Instantaneous rate at virtual time `t` (exposed for tests).
+  double RateAt(Nanos t) const;
+
+  void set_start(Nanos start) { t_ = start; }
+
+ private:
+  ArrivalConfig config_;
+  double peak_rate_;
+  Rng rng_;
+  Nanos t_ = 0;
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_WORKLOAD_ARRIVAL_H_

@@ -12,7 +12,9 @@ Driver::Driver(Simulator* sim, VirtualDisk* disk, WorkloadGen gen,
       disk_(disk),
       gen_(std::move(gen)),
       queue_depth_(queue_depth),
-      deadline_(deadline) {
+      deadline_(deadline),
+      metrics_(metrics),
+      prefix_(prefix) {
   assert(queue_depth_ > 0);
   if (metrics != nullptr) {
     h_write_us_ = metrics->GetHistogram(prefix + ".write_us");
@@ -21,6 +23,16 @@ Driver::Driver(Simulator* sim, VirtualDisk* disk, WorkloadGen gen,
     c_write_errors_ = metrics->GetCounter(prefix + ".write_errors");
     c_read_errors_ = metrics->GetCounter(prefix + ".read_errors");
     c_flush_errors_ = metrics->GetCounter(prefix + ".flush_errors");
+  }
+}
+
+void Driver::EnableOpenLoop(const ArrivalConfig& arrivals,
+                            int max_outstanding) {
+  arrivals_ = std::make_unique<ArrivalProcess>(arrivals);
+  max_outstanding_ = max_outstanding;
+  if (metrics_ != nullptr) {
+    h_queue_us_ = metrics_->GetHistogram(prefix_ + ".queue_us");
+    h_service_us_ = metrics_->GetHistogram(prefix_ + ".service_us");
   }
 }
 
@@ -33,12 +45,98 @@ void Driver::Run(std::function<void()> done) {
   done_ = std::move(done);
   stats_.started_at = sim_->now();
   stats_.finished_at = sim_->now();
+  if (arrivals_ != nullptr) {
+    arrivals_->set_start(sim_->now());
+    // Defer so `done` always fires from event context, even if the very
+    // first arrival already lands past the deadline.
+    sim_->After(0, [this]() { ScheduleNextArrival(); });
+    return;
+  }
   for (int i = 0; i < queue_depth_; i++) {
     Issue();
   }
   if (outstanding_ == 0) {
     // Empty workload.
     sim_->After(0, done_);
+  }
+}
+
+// One arrival is in flight at a time: the timer fires at the arrival
+// timestamp, the op is pulled from the generator then, and the next arrival
+// is scheduled — so the event queue never holds more than one future
+// arrival regardless of the offered rate.
+void Driver::ScheduleNextArrival() {
+  const Nanos at = arrivals_->Next();
+  if (deadline_ > 0 && at >= deadline_) {
+    exhausted_ = true;
+    MaybeFinishOpenLoop();
+    return;
+  }
+  sim_->At(at, [this]() {
+    WorkloadOp op;
+    if (!gen_(&op)) {
+      exhausted_ = true;
+      MaybeFinishOpenLoop();
+      return;
+    }
+    const Nanos arrived = sim_->now();
+    if (max_outstanding_ > 0 && outstanding_ >= max_outstanding_) {
+      open_queue_.emplace_back(op, arrived);
+    } else {
+      DispatchOpen(op, arrived);
+    }
+    ScheduleNextArrival();
+  });
+}
+
+void Driver::DispatchOpen(const WorkloadOp& op, Nanos arrived) {
+  outstanding_++;
+  const Nanos issued = sim_->now();
+  RecordLatencyUs(h_queue_us_, issued - arrived);
+  auto complete = [this, op, arrived, issued](bool ok) {
+    outstanding_--;
+    if (ok) {
+      RecordLatencyUs(h_service_us_, sim_->now() - issued);
+      Histogram* h = h_write_us_;
+      if (op.kind == WorkloadOp::Kind::kRead) {
+        h = h_read_us_;
+      } else if (op.kind == WorkloadOp::Kind::kFlush) {
+        h = h_flush_us_;
+      }
+      // Client-observed latency spans the wait in the host-side queue too.
+      RecordLatencyUs(h, sim_->now() - arrived);
+      Account(op);
+    } else {
+      AccountError(op);
+    }
+    while (!open_queue_.empty() &&
+           (max_outstanding_ == 0 || outstanding_ < max_outstanding_)) {
+      auto next = open_queue_.front();
+      open_queue_.pop_front();
+      DispatchOpen(next.first, next.second);
+    }
+    MaybeFinishOpenLoop();
+  };
+  switch (op.kind) {
+    case WorkloadOp::Kind::kWrite:
+      disk_->Write(op.offset, Buffer::Zeros(op.len),
+                   [complete](Status s) { complete(s.ok()); });
+      break;
+    case WorkloadOp::Kind::kRead:
+      disk_->Read(op.offset, op.len,
+                  [complete](Result<Buffer> r) { complete(r.ok()); });
+      break;
+    case WorkloadOp::Kind::kFlush:
+      disk_->Flush([complete](Status s) { complete(s.ok()); });
+      break;
+  }
+}
+
+void Driver::MaybeFinishOpenLoop() {
+  if (exhausted_ && outstanding_ == 0 && open_queue_.empty() && done_) {
+    auto done = std::move(done_);
+    done_ = nullptr;
+    done();
   }
 }
 

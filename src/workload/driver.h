@@ -1,10 +1,17 @@
-// Closed-loop workload driver: keeps a fixed number of operations
-// outstanding against a VirtualDisk (fio-style queue depth) and accounts
-// completed work, including a time-bucketed throughput series for the
-// paper's timeline figures (11, 15, 16).
+// Workload driver against a VirtualDisk. Two issue disciplines:
+//
+//  - Closed loop (default): a fixed number of operations outstanding
+//    (fio-style queue depth); the next op issues when one completes.
+//  - Open loop (EnableOpenLoop): ops issue at timestamps drawn from an
+//    ArrivalProcess regardless of completions, the way production clients
+//    behave — under load the queue, not the device, sets tail latency.
+//
+// Both account completed work, including a time-bucketed throughput series
+// for the paper's timeline figures (11, 15, 16).
 #ifndef SRC_WORKLOAD_DRIVER_H_
 #define SRC_WORKLOAD_DRIVER_H_
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -13,6 +20,7 @@
 #include "src/sim/simulator.h"
 #include "src/util/metrics.h"
 #include "src/util/units.h"
+#include "src/workload/arrival.h"
 
 namespace lsvd {
 
@@ -69,6 +77,17 @@ class Driver {
          Nanos deadline = 0, MetricsRegistry* metrics = nullptr,
          const std::string& prefix = "driver");
 
+  // Switches the driver to open-loop issue: ops dispatch at timestamps drawn
+  // from `arrivals` instead of on completion. `max_outstanding` bounds
+  // host-side concurrency (0 = unbounded); arrivals beyond the bound wait in
+  // a FIFO queue. With a registry, two extra histograms record where time
+  // goes: "<prefix>.queue_us" (arrival -> issue) and "<prefix>.service_us"
+  // (issue -> completion); the per-kind histograms keep their
+  // client-observed meaning, arrival -> completion. Flush ops lose their
+  // closed-loop barrier semantics — an open-loop client does not stall its
+  // own arrivals. Call before Run().
+  void EnableOpenLoop(const ArrivalConfig& arrivals, int max_outstanding = 0);
+
   // Starts issuing; `done` fires when the last outstanding op completes.
   void Run(std::function<void()> done);
 
@@ -84,6 +103,13 @@ class Driver {
   void Account(const WorkloadOp& op);
   void AccountError(const WorkloadOp& op);
 
+  // Open-loop machinery. One arrival is scheduled at a time; when it fires
+  // the op is pulled from the generator and dispatched (or queued if the
+  // concurrency bound is hit), then the next arrival is scheduled.
+  void ScheduleNextArrival();
+  void DispatchOpen(const WorkloadOp& op, Nanos arrived);
+  void MaybeFinishOpenLoop();
+
   Simulator* sim_;
   VirtualDisk* disk_;
   WorkloadGen gen_;
@@ -93,6 +119,12 @@ class Driver {
   bool exhausted_ = false;
   bool barrier_pending_ = false;
   std::function<void()> done_;
+  // Open-loop state: null arrivals_ means closed loop.
+  std::unique_ptr<ArrivalProcess> arrivals_;
+  int max_outstanding_ = 0;
+  std::deque<std::pair<WorkloadOp, Nanos>> open_queue_;
+  MetricsRegistry* metrics_;
+  std::string prefix_;
   Nanos bucket_ = 0;
   std::vector<uint64_t> write_buckets_;
   DriverStats stats_;
@@ -100,6 +132,9 @@ class Driver {
   Histogram* h_write_us_ = nullptr;
   Histogram* h_read_us_ = nullptr;
   Histogram* h_flush_us_ = nullptr;
+  // Registered only in open-loop mode (EnableOpenLoop with a registry).
+  Histogram* h_queue_us_ = nullptr;
+  Histogram* h_service_us_ = nullptr;
   Counter* c_write_errors_ = nullptr;
   Counter* c_read_errors_ = nullptr;
   Counter* c_flush_errors_ = nullptr;

@@ -146,6 +146,47 @@ TEST_F(BackendStoreTest, SealIfAgedSealsStaleBatch) {
   EXPECT_EQ(store_->stats().objects_put, 1u);
 }
 
+TEST_F(BackendStoreTest, BatchSealDeadlineSealsPartialBatch) {
+  config_.batch_seal_deadline = 10 * kMillisecond;
+  store_ = std::make_unique<BackendStore>(&world_.host, &world_.store, nullptr,
+                                          config_);
+  // No writes: the deadline must never emit an empty object (it would
+  // advance the sync watermark past journal data the backend doesn't hold).
+  world_.sim.RunUntil(world_.sim.now() + 50 * kMillisecond);
+  EXPECT_EQ(store_->stats().objects_put, 0u);
+
+  // One 4 KiB write — far below the 64 KiB size trigger — seals on its own
+  // once the deadline passes, with no explicit Seal() call.
+  const uint64_t seq = store_->AddWrite(0, TestPattern(4096, 1));
+  world_.sim.RunUntil(world_.sim.now() + 50 * kMillisecond);
+  EXPECT_EQ(store_->stats().objects_put, 1u);
+  EXPECT_EQ(store_->applied_seq(), seq);
+
+  // The slot reopened cleanly: the next write gets a younger batch and that
+  // batch's own deadline seals it too.
+  const uint64_t seq2 = store_->AddWrite(4096, TestPattern(4096, 2));
+  EXPECT_GT(seq2, seq);
+  world_.sim.RunUntil(world_.sim.now() + 50 * kMillisecond);
+  EXPECT_EQ(store_->stats().objects_put, 2u);
+  EXPECT_EQ(store_->applied_seq(), seq2);
+}
+
+TEST_F(BackendStoreTest, SizeSealedBatchDisarmsItsDeadline) {
+  config_.batch_seal_deadline = 10 * kMillisecond;
+  store_ = std::make_unique<BackendStore>(&world_.host, &world_.store, nullptr,
+                                          config_);
+  // Fill the 64 KiB batch instantly: it seals by size; the stale deadline
+  // timer must not double-seal or touch the next batch.
+  for (int i = 0; i < 16; i++) {
+    store_->AddWrite(static_cast<uint64_t>(i) * 4096,
+                     TestPattern(4096, 100 + i));
+  }
+  const uint64_t seq2 = store_->AddWrite(kMiB, TestPattern(4096, 200));
+  world_.sim.RunUntil(world_.sim.now() + 50 * kMillisecond);
+  EXPECT_EQ(store_->stats().objects_put, 2u);
+  EXPECT_EQ(store_->applied_seq(), seq2);
+}
+
 TEST_F(BackendStoreTest, CheckpointsWrittenPeriodically) {
   for (int i = 0; i < 10; i++) {
     WriteAndApply(static_cast<uint64_t>(i) * kMiB, 4096, 10 + i);

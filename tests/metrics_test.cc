@@ -191,6 +191,23 @@ TEST(MetricsRegistry, CounterGaugeHistogramFlowIntoSnapshot) {
   EXPECT_EQ(snap.Percentile("depth", 0.5), 0.0);
 }
 
+TEST(MetricsRegistry, FineGrainedHistogramResolutionSurvivesSnapshot) {
+  MetricsRegistry reg;
+  // Pre-creation wins: a bench creates the fine-grained histogram first and
+  // a later default-geometry GetHistogram resolves the same instance.
+  Histogram* h = reg.GetHistogram("lat_us", /*sub_bits=*/6);
+  EXPECT_EQ(reg.GetHistogram("lat_us"), h);
+  EXPECT_EQ(h->sub_bits(), 6);
+  for (int i = 0; i < 1000; i++) {
+    h->Add(100000);
+  }
+  // The snapshot re-derives bucket bounds from sub_bits, so percentiles keep
+  // the 2^-6 relative resolution instead of collapsing to octave bounds.
+  const double p999 = reg.Snapshot().Percentile("lat_us", 0.999);
+  EXPECT_NEAR(p999, 100000.0, 100000.0 / 64 + 1e-9);
+  EXPECT_DOUBLE_EQ(p999, h->Percentile(0.999));
+}
+
 TEST(MetricsRegistry, CallbackGaugesSampleAtSnapshotTime) {
   MetricsRegistry reg;
   double live = 1.0;

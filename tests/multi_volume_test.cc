@@ -11,6 +11,9 @@
 #include "src/lsvd/lsvd_disk.h"
 #include "src/lsvd/qos.h"
 #include "src/lsvd/ssd_region_allocator.h"
+#include "src/workload/arrival.h"
+#include "src/workload/driver.h"
+#include "src/workload/fio_gen.h"
 #include "tests/lsvd_test_util.h"
 
 namespace lsvd {
@@ -79,6 +82,21 @@ TEST(TokenBucketTest, RefillsOnSimTime) {
   // Eta for one more token from empty is 1 ms.
   bucket.Take(5.0);
   EXPECT_EQ(bucket.Eta(1.0, 5 * kMillisecond), kMillisecond);
+}
+
+TEST(TokenBucketTest, EtaNeverReturnsZeroForARealDeficit) {
+  // Regression: a deficit smaller than what one nanosecond of refill covers
+  // used to truncate Eta to 0 ns, so the admission timer re-armed at the
+  // current timestamp and the pump spun without ever accruing a token.
+  TokenBucket bucket(1000.0, 10.0);  // 1 token per ms
+  bucket.Take(10.0);                 // empty, no refill yet at t=0
+  // 1e-7 tokens at 1000/s refill in 0.1 ns — truncates to 0 unclamped.
+  const Nanos eta = bucket.Eta(1e-7, 0);
+  EXPECT_GE(eta, 1);
+  // A full-token deficit still reports its true refill time.
+  TokenBucket slow(1000.0, 10.0);
+  slow.Take(10.0);
+  EXPECT_EQ(slow.Eta(1.0, 0), kMillisecond);
 }
 
 TEST(TokenBucketTest, ZeroRateIsUnlimited) {
@@ -297,6 +315,124 @@ TEST_F(MultiVolumeTest, HostPutWindowSerializesBackendPutsAcrossVolumes) {
   auto r = ReadSync(&sim_, b.get(), 0, kMiB);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(*r, TestPattern(kMiB, 50));
+}
+
+// --- QoS × open-loop bursts (fig17's claim under DESIGN.md §12 arrivals) ---
+
+struct BurstScenario {
+  double victim_p999_us = 0;
+  double noisy_mbps = 0;
+};
+
+// fig17's noisy-neighbor setup at test scale, but driven open-loop: a
+// latency-sensitive tenant issues 4 KiB writes at a constant Poisson rate
+// while a bursty tenant slams 256 KiB writes in 8x square-wave bursts.
+// Token-bucket admission (PR 3) must compose with open-loop arrivals: the
+// throttle's retry waits are what keep the victim's tail flat through the
+// bursts, so a zero-duration Eta or a queueing bug here blows up p99.9.
+BurstScenario RunBurstScenario(bool with_noisy, bool qos_on) {
+  Simulator sim;
+  ClientHostConfig hc;
+  hc.ssd_capacity = 8 * kGiB;
+  hc.ssd = SsdParams::P3700();  // realistic latency so contention is real
+  if (qos_on) {
+    hc.host_put_window = 8;
+  }
+  MetricsRegistry metrics;
+  ClientHost host(&sim, hc, &metrics);
+  MemObjectStore store(&sim);
+
+  LsvdConfig vconfig = TestWorld::SmallVolumeConfig();
+  vconfig.volume_name = "victim";
+  vconfig.SetPerVolumeMetricPrefixes();
+  LsvdDisk victim(&host, &store, vconfig, &metrics);
+  EXPECT_TRUE(OpenSync(&sim, &victim, &LsvdDisk::Create).ok());
+
+  std::unique_ptr<LsvdDisk> noisy;
+  if (with_noisy) {
+    LsvdConfig nconfig = TestWorld::SmallVolumeConfig();
+    nconfig.volume_name = "noisy";
+    nconfig.SetPerVolumeMetricPrefixes();
+    if (qos_on) {
+      nconfig.qos.bytes_per_sec = 50 * 1000 * 1000;  // 50 MB/s cap
+      nconfig.qos.burst_seconds = 0.005;
+    }
+    noisy = std::make_unique<LsvdDisk>(&host, &store, nconfig, &metrics);
+    EXPECT_TRUE(OpenSync(&sim, noisy.get(), &LsvdDisk::Create).ok());
+  }
+
+  const Nanos deadline = sim.now() + 50 * kMillisecond;
+
+  FioConfig vfio;
+  vfio.pattern = FioConfig::Pattern::kRandWrite;
+  vfio.block_size = 4 * kKiB;
+  vfio.volume_size = victim.size();
+  Driver vdrv(&sim, &victim, MakeFioGen(vfio), /*queue_depth=*/4, deadline,
+              &metrics, "victim_drv");
+  ArrivalConfig varr;
+  varr.profile = ArrivalConfig::Profile::kConstant;
+  varr.rate = 4000.0;
+  varr.seed = 3;
+  vdrv.EnableOpenLoop(varr, /*max_outstanding=*/16);
+
+  std::unique_ptr<Driver> ndrv;
+  if (with_noisy) {
+    FioConfig nfio;
+    nfio.pattern = FioConfig::Pattern::kSeqWrite;
+    nfio.block_size = 256 * kKiB;
+    nfio.volume_size = noisy->size();
+    nfio.seed = 2;
+    ndrv = std::make_unique<Driver>(&sim, noisy.get(), MakeFioGen(nfio),
+                                    /*queue_depth=*/16, deadline, &metrics,
+                                    "noisy_drv");
+    ArrivalConfig narr;
+    narr.profile = ArrivalConfig::Profile::kBurst;
+    narr.rate = 1000.0;  // 256 MB/s mean offered, 2 GB/s during bursts
+    narr.period = 10 * kMillisecond;
+    narr.burst_duration = 2 * kMillisecond;
+    narr.multiplier = 8.0;
+    narr.seed = 5;
+    ndrv->EnableOpenLoop(narr, /*max_outstanding=*/64);
+  }
+
+  bool vdone = false;
+  bool ndone = !with_noisy;
+  vdrv.Run([&] { vdone = true; });
+  if (ndrv != nullptr) {
+    ndrv->Run([&] { ndone = true; });
+  }
+  sim.Run();
+  EXPECT_TRUE(vdone && ndone);
+
+  BurstScenario out;
+  out.victim_p999_us =
+      metrics.Snapshot().Percentile("victim_drv.write_us", 0.999);
+  if (ndrv != nullptr) {
+    out.noisy_mbps = ndrv->stats().WriteThroughputBps() / 1e6;
+  }
+  return out;
+}
+
+TEST_F(MultiVolumeTest, QosCapHoldsVictimTailUnderOpenLoopBursts) {
+  const BurstScenario solo = RunBurstScenario(/*with_noisy=*/false,
+                                              /*qos_on=*/false);
+  const BurstScenario unthrottled = RunBurstScenario(/*with_noisy=*/true,
+                                                     /*qos_on=*/false);
+  const BurstScenario capped = RunBurstScenario(/*with_noisy=*/true,
+                                                /*qos_on=*/true);
+  ASSERT_GT(solo.victim_p999_us, 0.0);
+
+  // The bursts are the problem: uncapped, the noisy tenant's 8x write
+  // bursts drag the victim's p99.9 far above solo.
+  EXPECT_GT(unthrottled.victim_p999_us, 3.0 * solo.victim_p999_us);
+  // The token bucket composes with open-loop admission: capped, the
+  // victim's tail comes back to within shouting distance of solo...
+  EXPECT_LT(capped.victim_p999_us, 3.0 * solo.victim_p999_us);
+  EXPECT_LT(capped.victim_p999_us, unthrottled.victim_p999_us / 2.0);
+  // ...while the noisy tenant is actually held to its cap (50 MB/s plus
+  // the 5 ms burst allowance), not starved outright.
+  EXPECT_LT(capped.noisy_mbps, 60.0);
+  EXPECT_GT(capped.noisy_mbps, 10.0);
 }
 
 TEST_F(MultiVolumeTest, DetachedVolumeReturnsItsRegions) {

@@ -268,13 +268,24 @@ size_t CheckPrefixConsistent(const std::vector<PlannedWrite>& plan,
   return max_stamp;
 }
 
+// Adaptive group commit (DESIGN.md §12) with deliberately aggressive
+// deadlines, so crash windows are full of deadline-sealed partial batches,
+// force-started journal records, and coalesced barrier flushes.
+LsvdConfig AdaptiveTortureConfig() {
+  LsvdConfig config = TortureConfig();
+  config.batch_seal_deadline = 500 * kMicrosecond;
+  config.journal_flush_coalescing = true;
+  config.small_write_fast_path = true;
+  return config;
+}
+
 enum class CrashMode { kClientOnly, kClientAndPower };
 
 // Runs the workload, crashes at a seed-chosen random step, reopens via
 // OpenAfterCrash on the surviving host, and verifies the recovered image.
-void TortureAfterCrash(uint64_t seed, bool with_faults, CrashMode mode) {
+void TortureAfterCrash(uint64_t seed, bool with_faults, CrashMode mode,
+                       const LsvdConfig& config = TortureConfig()) {
   SCOPED_TRACE("seed " + std::to_string(seed));
-  const LsvdConfig config = TortureConfig();
   const uint64_t total = DryRunTotalSteps(seed, config, with_faults);
   ASSERT_GT(total, 0u);
   Rng crash_rng(seed ^ 0xC4A5481DEAD5EEDull);
@@ -310,9 +321,9 @@ void TortureAfterCrash(uint64_t seed, bool with_faults, CrashMode mode) {
 
 // Same crash, but the write cache is gone: recovery sees only the backend.
 // The recovered image must still be a replay of some prefix of the plan.
-void TortureCacheLost(uint64_t seed, bool with_faults) {
+void TortureCacheLost(uint64_t seed, bool with_faults,
+                      const LsvdConfig& config = TortureConfig()) {
   SCOPED_TRACE("seed " + std::to_string(seed));
-  const LsvdConfig config = TortureConfig();
   const uint64_t total = DryRunTotalSteps(seed, config, with_faults);
   ASSERT_GT(total, 0u);
   Rng crash_rng(seed ^ 0x10CACE1057ull);
@@ -361,6 +372,41 @@ TEST(RecoveryTortureTest, CacheLostRecoversConsistentPrefix) {
 TEST(RecoveryTortureTest, CacheLostUnderBackendFaults) {
   for (uint64_t seed = 401; seed <= 420; seed++) {
     TortureCacheLost(seed, /*with_faults=*/true);
+  }
+}
+
+// --- adaptive group commit under crashes (DESIGN.md §12) ---
+//
+// Same invariants as above, but with deadline sealing, flush coalescing, and
+// the small-write fast path all on: acked writes survive a client crash,
+// flush-covered writes survive power loss, and a deadline-sealed partial
+// batch must never advance the backend sync watermark past journal records
+// whose data the backend does not hold (the ReleaseThrough safety edge).
+
+TEST(RecoveryTortureTest, AdaptiveSealAfterCrashRecoversAckedWrites) {
+  for (uint64_t seed = 1301; seed <= 1330; seed++) {
+    TortureAfterCrash(seed, /*with_faults=*/false, CrashMode::kClientOnly,
+                      AdaptiveTortureConfig());
+  }
+}
+
+TEST(RecoveryTortureTest, AdaptiveSealAfterCrashWithPowerFailure) {
+  for (uint64_t seed = 1401; seed <= 1420; seed++) {
+    TortureAfterCrash(seed, /*with_faults=*/false, CrashMode::kClientAndPower,
+                      AdaptiveTortureConfig());
+  }
+}
+
+TEST(RecoveryTortureTest, AdaptiveSealAfterCrashUnderBackendFaults) {
+  for (uint64_t seed = 1501; seed <= 1515; seed++) {
+    TortureAfterCrash(seed, /*with_faults=*/true, CrashMode::kClientOnly,
+                      AdaptiveTortureConfig());
+  }
+}
+
+TEST(RecoveryTortureTest, AdaptiveSealCacheLostRecoversConsistentPrefix) {
+  for (uint64_t seed = 1601; seed <= 1625; seed++) {
+    TortureCacheLost(seed, /*with_faults=*/false, AdaptiveTortureConfig());
   }
 }
 

@@ -192,6 +192,69 @@ TEST(Histogram, SingleBucketPercentilesInterpolate) {
   EXPECT_EQ(h.total_count(), 10u);
 }
 
+TEST(Histogram, LogLinearBucketGeometry) {
+  // sub_bits=2: unit buckets below 4; octave [2^m, 2^(m+1)) splits into 4
+  // sub-buckets of width 2^(m-2).
+  EXPECT_EQ(HistogramBucketLower(0, 2), 0.0);
+  EXPECT_EQ(HistogramBucketLower(3, 2), 3.0);
+  EXPECT_EQ(HistogramBucketLower(4, 2), 4.0);   // unit/octave seam at 2^k
+  EXPECT_EQ(HistogramBucketLower(7, 2), 7.0);   // [4,8): width 1
+  EXPECT_EQ(HistogramBucketLower(8, 2), 8.0);   // [8,16): width 2
+  EXPECT_EQ(HistogramBucketLower(9, 2), 10.0);
+  EXPECT_EQ(HistogramBucketLower(12, 2), 16.0);  // [16,32): width 4
+  EXPECT_EQ(HistogramBucketLower(13, 2), 20.0);
+
+  Histogram h(/*sub_bits=*/2);
+  EXPECT_EQ(h.sub_bits(), 2);
+  h.Add(9);   // [8,10) -> bucket 8
+  h.Add(10);  // [10,12) -> bucket 9
+  h.Add(21);  // [20,24) -> bucket 13
+  EXPECT_EQ(h.BucketCount(8), 1u);
+  EXPECT_EQ(h.BucketCount(9), 1u);
+  EXPECT_EQ(h.BucketCount(13), 1u);
+
+  // Default geometry is unchanged: same samples, octave-wide buckets.
+  Histogram legacy;
+  EXPECT_EQ(legacy.sub_bits(), 0);
+  legacy.Add(9);
+  legacy.Add(10);
+  legacy.Add(21);
+  EXPECT_EQ(legacy.BucketCount(3), 2u);  // [8,16)
+  EXPECT_EQ(legacy.BucketCount(4), 1u);  // [16,32)
+}
+
+TEST(Histogram, LogLinearBoundaryInterpolation) {
+  // Regression: percentile interpolation must use the log-linear bucket's
+  // own bounds, not the enclosing octave. All mass in [1024, 1040) with
+  // sub_bits=6 (octave width 1024, sub-bucket width 16): every percentile
+  // stays inside the 16-wide sub-bucket and p50 is its midpoint.
+  Histogram h(/*sub_bits=*/6);
+  for (int i = 0; i < 100; i++) {
+    h.Add(1030);
+  }
+  for (const double f : {0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.Percentile(f), 1024.0) << "fraction " << f;
+    EXPECT_LE(h.Percentile(f), 1040.0) << "fraction " << f;
+  }
+  EXPECT_NEAR(h.Percentile(0.5), 1032.0, 1e-9);
+
+  // Equal mass in two adjacent sub-buckets: the median lands exactly on
+  // their shared boundary.
+  Histogram h2(/*sub_bits=*/2);
+  h2.Add(8);
+  h2.Add(9);
+  h2.Add(10);
+  h2.Add(11);
+  EXPECT_DOUBLE_EQ(h2.Percentile(0.5), 10.0);
+
+  // Bounded relative error: 1000 identical samples, p99.9 within 2^-6.
+  Histogram fine(/*sub_bits=*/6);
+  for (int i = 0; i < 1000; i++) {
+    fine.Add(100000);
+  }
+  EXPECT_NEAR(fine.Percentile(0.999), 100000.0, 100000.0 / 64 + 1e-9);
+}
+
 TEST(Histogram, PercentileIsCountBasedNotWeightBased) {
   Histogram h;
   // One heavy sample at 4, many light samples at 1024: count percentiles

@@ -1,6 +1,7 @@
-// Unit tests for workload generators and the closed-loop driver.
+// Unit tests for workload generators and the closed- and open-loop driver.
 #include <gtest/gtest.h>
 
+#include "src/workload/arrival.h"
 #include "src/workload/driver.h"
 #include "src/workload/filebench.h"
 #include "src/workload/fio_gen.h"
@@ -166,6 +167,105 @@ TEST(TraceGen, OverwriteProfileIsCoalescable) {
   EXPECT_GT(static_cast<double>(repeats) / static_cast<double>(ops), 0.4);
 }
 
+TEST(Arrival, PoissonGapsHaveExponentialMeanAndVariance) {
+  // Constant profile: inter-arrival gaps are iid Exponential(1/rate), so the
+  // sample mean is 1/rate and the sample variance is (1/rate)^2.
+  ArrivalConfig config;
+  config.profile = ArrivalConfig::Profile::kConstant;
+  config.rate = 10000.0;  // mean gap 100 us
+  config.seed = 42;
+  ArrivalProcess arrivals(config);
+  const int n = 20000;
+  std::vector<double> gaps;
+  Nanos prev = 0;
+  for (int i = 0; i < n; i++) {
+    const Nanos t = arrivals.Next();
+    ASSERT_GT(t, prev);  // strictly increasing
+    gaps.push_back(ToSeconds(t - prev));
+    prev = t;
+  }
+  double sum = 0;
+  for (const double g : gaps) {
+    sum += g;
+  }
+  const double mean = sum / n;
+  double var = 0;
+  for (const double g : gaps) {
+    var += (g - mean) * (g - mean);
+  }
+  var /= n - 1;
+  const double expect_mean = 1.0 / config.rate;
+  EXPECT_NEAR(mean, expect_mean, expect_mean * 0.03);
+  EXPECT_NEAR(var, expect_mean * expect_mean,
+              expect_mean * expect_mean * 0.10);
+}
+
+TEST(Arrival, ThinningPreservesLongRunMeanRate) {
+  // Burst profile long-run rate = rate * (1 + (multiplier-1) * duty_cycle).
+  ArrivalConfig config;
+  config.profile = ArrivalConfig::Profile::kBurst;
+  config.rate = 5000.0;
+  config.period = 10 * kMillisecond;
+  config.burst_duration = 2 * kMillisecond;  // 20% duty
+  config.multiplier = 4.0;
+  config.seed = 7;
+  ArrivalProcess arrivals(config);
+  const Nanos horizon = 4 * kSecond;
+  uint64_t count = 0;
+  while (arrivals.Next() < horizon) {
+    count++;
+  }
+  const double expected =
+      config.rate * (1.0 + (config.multiplier - 1.0) * 0.2) *
+      ToSeconds(horizon);
+  EXPECT_NEAR(static_cast<double>(count), expected, expected * 0.05);
+}
+
+TEST(Arrival, RateAtFollowsProfile) {
+  ArrivalConfig burst;
+  burst.profile = ArrivalConfig::Profile::kBurst;
+  burst.rate = 1000.0;
+  burst.period = 10 * kMillisecond;
+  burst.burst_duration = kMillisecond;
+  burst.multiplier = 8.0;
+  ArrivalProcess bp(burst);
+  EXPECT_DOUBLE_EQ(bp.RateAt(0), 8000.0);
+  EXPECT_DOUBLE_EQ(bp.RateAt(5 * kMillisecond), 1000.0);
+  EXPECT_DOUBLE_EQ(bp.RateAt(10 * kMillisecond), 8000.0);  // periodic
+
+  ArrivalConfig diurnal;
+  diurnal.profile = ArrivalConfig::Profile::kDiurnal;
+  diurnal.rate = 1000.0;
+  diurnal.period = 4 * kSecond;
+  diurnal.depth = 0.5;
+  ArrivalProcess dp(diurnal);
+  EXPECT_NEAR(dp.RateAt(kSecond), 1500.0, 1e-6);      // sin peak at T/4
+  EXPECT_NEAR(dp.RateAt(3 * kSecond), 500.0, 1e-6);   // trough at 3T/4
+}
+
+TEST(Arrival, SameSeedSameSequence) {
+  ArrivalConfig config;
+  config.profile = ArrivalConfig::Profile::kDiurnal;
+  config.rate = 2000.0;
+  config.period = kSecond;
+  config.depth = 0.8;
+  config.seed = 99;
+  ArrivalProcess a(config);
+  ArrivalProcess b(config);
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_EQ(a.Next(), b.Next()) << "diverged at arrival " << i;
+  }
+  ArrivalConfig other = config;
+  other.seed = 100;
+  ArrivalProcess a2(config);
+  ArrivalProcess c(other);
+  bool differs = false;
+  for (int i = 0; i < 100 && !differs; i++) {
+    differs = a2.Next() != c.Next();
+  }
+  EXPECT_TRUE(differs);
+}
+
 TEST(Driver, RunsWorkloadToCompletion) {
   TestWorld world;
   LsvdConfig config = TestWorld::SmallVolumeConfig();
@@ -210,6 +310,76 @@ TEST(Driver, DeadlineStopsLongWorkload) {
   ASSERT_TRUE(done);
   EXPECT_GT(driver.stats().ops, 0u);
   EXPECT_LE(driver.stats().finished_at, sim.now());
+}
+
+namespace openloop {
+
+// One complete open-loop run against a realistic-latency LSVD volume with
+// adaptive batching on; returns the full metrics dump so determinism checks
+// cover arrivals, queueing split, and every component counter at once.
+std::string RunOnce(uint64_t seed, uint64_t* ops_out = nullptr) {
+  Simulator sim;
+  ClientHostConfig hc;
+  hc.ssd_capacity = 8 * kGiB;
+  hc.ssd = SsdParams::P3700();  // realistic latency so queues actually form
+  ClientHost host(&sim, hc);
+  MemObjectStore store(&sim);
+  MetricsRegistry metrics;
+  LsvdConfig config = TestWorld::SmallVolumeConfig();
+  config.batch_seal_deadline = 200 * kMicrosecond;
+  config.journal_flush_coalescing = true;
+  config.small_write_fast_path = true;
+  LsvdDisk disk(&host, &store, config, &metrics);
+  EXPECT_TRUE(OpenSync(&sim, &disk, &LsvdDisk::Create).ok());
+
+  FioConfig fio;
+  fio.pattern = FioConfig::Pattern::kRandWrite;
+  fio.block_size = 4 * kKiB;
+  fio.volume_size = disk.size();
+  Driver driver(&sim, &disk, MakeFioGen(fio), /*queue_depth=*/8,
+                /*deadline=*/sim.now() + 50 * kMillisecond, &metrics, "drv");
+  ArrivalConfig arrivals;
+  arrivals.profile = ArrivalConfig::Profile::kBurst;
+  arrivals.rate = 20000.0;
+  arrivals.period = 10 * kMillisecond;
+  arrivals.burst_duration = 2 * kMillisecond;
+  arrivals.multiplier = 4.0;
+  arrivals.seed = seed;
+  driver.EnableOpenLoop(arrivals, /*max_outstanding=*/32);
+  bool done = false;
+  driver.Run([&] { done = true; });
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_GT(driver.stats().ops, 0u);
+  if (ops_out != nullptr) {
+    *ops_out = driver.stats().ops;
+  }
+  return metrics.ToJson();
+}
+
+}  // namespace openloop
+
+TEST(Driver, OpenLoopCompletesAndSplitsQueueing) {
+  uint64_t ops = 0;
+  const std::string json = openloop::RunOnce(7, &ops);
+  // ~20k/s * 50ms * burst uplift => on the order of a thousand arrivals.
+  EXPECT_GT(ops, 500u);
+  // Open-loop mode registers the queue/service split alongside the
+  // client-observed totals.
+  EXPECT_NE(json.find("drv.queue_us"), std::string::npos);
+  EXPECT_NE(json.find("drv.service_us"), std::string::npos);
+  EXPECT_NE(json.find("drv.write_us"), std::string::npos);
+}
+
+TEST(Driver, OpenLoopSameSeedIsFullyDeterministic) {
+  // The whole world dump — arrival-driven op counts, latency histograms,
+  // component counters — must be byte-identical across runs with one seed,
+  // and must differ for another seed (different arrival sequence).
+  const std::string a = openloop::RunOnce(7);
+  const std::string b = openloop::RunOnce(7);
+  EXPECT_EQ(a, b);
+  const std::string c = openloop::RunOnce(8);
+  EXPECT_NE(a, c);
 }
 
 TEST(Driver, TimelineBucketsAccumulateBytes) {

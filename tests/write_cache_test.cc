@@ -110,6 +110,107 @@ TEST_F(WriteCacheTest, ConcurrentAppendsBatchIntoFewerRecords) {
   EXPECT_EQ(wc.map().mapped_bytes(), static_cast<uint64_t>(kWrites) * 4096);
 }
 
+// --- adaptive batching (DESIGN.md §12) ---
+
+TEST_F(WriteCacheTest, PlugDeadlineForceStartsLoneSmallWrite) {
+  // Under realistic device timing: a large record in flight plus one small
+  // pending write is exactly the plug scenario. With a 5 us deadline (far
+  // below the ~40 us record write) the timer, not the pipeline drain, starts
+  // the lone write's record.
+  ClientHostConfig hc;
+  hc.ssd_capacity = 2 * kGiB;
+  hc.ssd = SsdParams::P3700();
+  ClientHost host(&sim_, hc);
+  const uint64_t base = *host.AllocRegion(kRegionSize);
+  WriteCache wc(&host, base, kRegionSize, ZeroCosts());
+  wc.EnableAdaptiveBatching(/*plug_deadline=*/5 * kMicrosecond,
+                            /*flush_coalescing=*/false, /*fast_path=*/false);
+  std::optional<Status> fmt;
+  wc.Format([&](Status s) { fmt = s; });
+  sim_.Run();
+  ASSERT_TRUE(fmt->ok());
+
+  std::optional<Status> s1, s2;
+  wc.Append(0, TestPattern(64 * kKiB, 1), 1, [&](Status s) { s1 = s; });
+  wc.Append(kMiB, TestPattern(4096, 2), 1, [&](Status s) { s2 = s; });
+  sim_.Run();
+  ASSERT_TRUE(s1.has_value() && s1->ok());
+  ASSERT_TRUE(s2.has_value() && s2->ok());
+  EXPECT_EQ(wc.stats().records, 2u);
+  EXPECT_EQ(wc.metrics()->Snapshot().CounterValue(
+                "lsvd.write_cache.deadline_seals"),
+            1u);
+}
+
+TEST_F(WriteCacheTest, FastPathSkipsPlugWaitAtShallowDepth) {
+  // Same two-write sequence with and without the small-write fast path; the
+  // second (small) write must acknowledge strictly earlier with it, because
+  // it no longer waits for the first record to drain.
+  auto ack_time = [this](bool fast_path) {
+    Simulator sim;
+    ClientHostConfig hc;
+    hc.ssd_capacity = 2 * kGiB;
+    hc.ssd = SsdParams::P3700();
+    ClientHost host(&sim, hc);
+    const uint64_t base = *host.AllocRegion(kRegionSize);
+    WriteCache wc(&host, base, kRegionSize, ZeroCosts());
+    if (fast_path) {
+      wc.EnableAdaptiveBatching(0, false, /*fast_path=*/true);
+    }
+    std::optional<Status> fmt;
+    wc.Format([&](Status s) { fmt = s; });
+    sim.Run();
+    EXPECT_TRUE(fmt->ok());
+    std::optional<Status> s1;
+    std::optional<Nanos> acked_at;
+    wc.Append(0, TestPattern(64 * kKiB, 1), 1, [&](Status s) { s1 = s; });
+    wc.Append(kMiB, TestPattern(4096, 2), 1, [&](Status s) {
+      EXPECT_TRUE(s.ok());
+      acked_at = sim.now();
+    });
+    sim.Run();
+    EXPECT_TRUE(s1.has_value() && s1->ok());
+    EXPECT_TRUE(acked_at.has_value());
+    return *acked_at;
+  };
+  EXPECT_LT(ack_time(true), ack_time(false));
+}
+
+TEST_F(WriteCacheTest, CoalescedBarriersShareFlushes) {
+  wc_->EnableAdaptiveBatching(0, /*flush_coalescing=*/true, false);
+  ASSERT_TRUE(Append(0, TestPattern(4096, 1)).ok());
+  int done = 0;
+  for (int i = 0; i < 4; i++) {
+    wc_->Barrier([&](Status s) {
+      ASSERT_TRUE(s.ok());
+      done++;
+    });
+  }
+  sim_.Run();
+  EXPECT_EQ(done, 4);
+  // Barrier #1 started a flush; #2-4 arrived while it was in flight and
+  // shared the follow-up flush: 3 of the 4 barriers were coalesced.
+  EXPECT_EQ(wc_->metrics()->Snapshot().CounterValue(
+                "lsvd.write_cache.journal.coalesced_flushes"),
+            3u);
+  // Sequential barriers (no overlap) never coalesce.
+  std::optional<Status> s;
+  wc_->Barrier([&](Status st) { s = st; });
+  sim_.Run();
+  ASSERT_TRUE(s->ok());
+  EXPECT_EQ(wc_->metrics()->Snapshot().CounterValue(
+                "lsvd.write_cache.journal.coalesced_flushes"),
+            3u);
+}
+
+TEST_F(WriteCacheTest, DefaultConfigRegistersNoAdaptiveCounters) {
+  // The adaptive counters appear only after EnableAdaptiveBatching, so a
+  // default cache's metric dump stays byte-identical to the pre-§12 output.
+  const MetricsSnapshot snap = wc_->metrics()->Snapshot();
+  EXPECT_EQ(snap.Find("lsvd.write_cache.deadline_seals"), nullptr);
+  EXPECT_EQ(snap.Find("lsvd.write_cache.journal.coalesced_flushes"), nullptr);
+}
+
 TEST_F(WriteCacheTest, OverwriteShadowsOldData) {
   ASSERT_TRUE(Append(0, TestPattern(4096, 1)).ok());
   Buffer newer = TestPattern(4096, 2);
