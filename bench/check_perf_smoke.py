@@ -33,6 +33,8 @@ SCHEMA = {
     "sim_ios": int,
     "sim_ios_per_sec": float,
     "sim_seconds": float,
+    "peak_rss_bytes": int,
+    "map_resident_bytes": int,
     "crc32c_impl": str,
     "build_type": str,
 }

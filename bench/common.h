@@ -10,6 +10,8 @@
 #ifndef BENCH_COMMON_H_
 #define BENCH_COMMON_H_
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -43,6 +45,16 @@ struct PerfTotals {
 inline PerfTotals& GlobalPerfTotals() {
   static PerfTotals totals;
   return totals;
+}
+
+// Resident bytes held by paged extent maps at the end of the run, reported
+// in the --perf JSON as `map_resident_bytes`. Benches that exercise
+// `LsvdConfig::map_resident_bytes` set this from the map's ResidentBytes();
+// everything else leaves it 0 (fully resident flat maps are accounted in
+// peak RSS, not here).
+inline uint64_t& GlobalMapResidentBytes() {
+  static uint64_t bytes = 0;
+  return bytes;
 }
 
 // Paper defaults (§4.1).
@@ -239,6 +251,13 @@ class PerfScope {
 #else
     const char* build_type = "debug";
 #endif
+    // ru_maxrss is KiB on Linux; peak RSS covers the whole process (maps,
+    // caches, simulator state), so regressions in any of them show up here.
+    struct rusage usage {};
+    const uint64_t peak_rss_bytes =
+        getrusage(RUSAGE_SELF, &usage) == 0
+            ? static_cast<uint64_t>(usage.ru_maxrss) * 1024
+            : 0;
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
@@ -250,12 +269,16 @@ class PerfScope {
                  "\"events\":%llu,\"events_per_sec\":%.1f,"
                  "\"sim_ios\":%llu,\"sim_ios_per_sec\":%.1f,"
                  "\"sim_seconds\":%.6f,"
+                 "\"peak_rss_bytes\":%llu,\"map_resident_bytes\":%llu,"
                  "\"crc32c_impl\":\"%s\",\"build_type\":\"%s\"}\n",
                  name_.c_str(), wall,
                  static_cast<unsigned long long>(totals.events),
                  events_per_sec,
                  static_cast<unsigned long long>(totals.sim_ios), ios_per_sec,
-                 totals.sim_seconds, Crc32cImplName(), build_type);
+                 totals.sim_seconds,
+                 static_cast<unsigned long long>(peak_rss_bytes),
+                 static_cast<unsigned long long>(GlobalMapResidentBytes()),
+                 Crc32cImplName(), build_type);
     std::fclose(f);
     std::printf("[perf] %s: %.3fs wall, %.3gM events (%.3gM/s), "
                 "%llu sim IOs (%.3gK/s), %.3g sim-s -> %s\n",

@@ -8,9 +8,10 @@
 // stand-in with cold segregation enabled, so the only variable per column
 // is how victims are scored:
 //   - greedy:       least-utilized object (the paper's collector),
-//   - cost-benefit: Sprite-LFS (1-u)(1+age)/(1+u) — waits for hot
-//                   objects to empty, pays higher-u cleanings for cold ones,
-//   - age-bucketed: coarse log2 age buckets, utilization as tie-break.
+//   - cost-benefit: Sprite-LFS (1-u)(1+a)/(1+u) over the stable age a —
+//                   waits for hot objects to empty, pays higher-u
+//                   cleanings for cold ones,
+//   - age-bucketed: coarse log2 stable-age buckets, utilization tie-break.
 // The expected shape is the classic LFS result: the policies agree at low
 // utilization, and cost-benefit pulls ahead of greedy as the target rises
 // past ~85%, where picking the wrong victim means recopying hot data.

@@ -118,6 +118,7 @@ run fig17_multitenant --smoke --json
 run fig18_scaleout --smoke --json
 run fig20_tail --smoke --json
 run fig21_waf_frontier --scale=256
+run fig22_thin_maps --smoke
 run tbl03_filebench_stats --ops=2000
 run tbl04_crash --trials=1
 run tbl05_gc_traces --scale=256
@@ -150,22 +151,26 @@ for path in files:
 print()
 print("perf summary (%s, crc32c=%s)" % (rows[0]["build_type"],
                                         rows[0]["crc32c_impl"]))
-hdr = "%-28s %10s %14s %14s %12s" % ("bench", "wall s", "events/s", "sim IO/s",
-                                     "sim s")
+hdr = "%-28s %10s %14s %14s %12s %10s %10s" % (
+    "bench", "wall s", "events/s", "sim IO/s", "sim s", "peak MiB", "map KiB")
 print(hdr)
 print("-" * len(hdr))
+MIB = 1024.0 * 1024.0
 for r in rows:
-    print("%-28s %10.3f %14s %14s %12.3f" %
+    print("%-28s %10.3f %14s %14s %12.3f %10.1f %10.1f" %
           (r["bench"], r["wall_seconds"],
            "{:,.0f}".format(r["events_per_sec"]),
-           "{:,.0f}".format(r["sim_ios_per_sec"]), r["sim_seconds"]))
+           "{:,.0f}".format(r["sim_ios_per_sec"]), r["sim_seconds"],
+           r.get("peak_rss_bytes", 0) / MIB,
+           r.get("map_resident_bytes", 0) / 1024.0))
 wall = sum(r["wall_seconds"] for r in rows)
 events = sum(r["events"] for r in rows)
 ios = sum(r["sim_ios"] for r in rows)
 print("-" * len(hdr))
-print("%-28s %10.3f %14s %14s %12.3f" %
+print("%-28s %10.3f %14s %14s %12.3f %10.1f %10s" %
       ("TOTAL", wall, "{:,.0f}".format(events / wall if wall else 0),
        "{:,.0f}".format(ios / wall if wall else 0),
-       sum(r["sim_seconds"] for r in rows)))
+       sum(r["sim_seconds"] for r in rows),
+       max(r.get("peak_rss_bytes", 0) for r in rows) / MIB, "max rss"))
 EOF
 fi

@@ -25,6 +25,15 @@ class VirtualDisk {
   // Commit barrier: all previously acknowledged writes are durable when
   // `done` fires.
   virtual void Flush(std::function<void(Status)> done) = 0;
+  // TRIM/discard: after the callback fires, reads of the range return zeros
+  // until it is rewritten, and the device may reclaim the backing space.
+  // Advisory — disks without discard support acknowledge without acting.
+  virtual void Trim(uint64_t offset, uint64_t len,
+                    std::function<void(Status)> done) {
+    (void)offset;
+    (void)len;
+    done(Status::Ok());
+  }
 };
 
 }  // namespace lsvd

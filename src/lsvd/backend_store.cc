@@ -43,11 +43,23 @@ BackendStore::BackendStore(ClientHost* host, std::vector<ObjectStore*> stores,
         GcPolicyForShard(config_.gc_policy, config_.gc_shard_policy, i)));
   }
 
+  // Select the object-map implementation (DESIGN.md §13): the classic flat
+  // map by default, or the compressed two-level paged map when a resident
+  // budget is configured.
+  if (config_.paged_map()) {
+    paged_map_ = std::make_unique<PagedExtentMap<ObjTarget>>(
+        config_.map_resident_bytes, config_.map_page_span);
+    object_map_ = paged_map_.get();
+  } else {
+    object_map_ = &flat_map_;
+  }
+
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<MetricsRegistry>();
     metrics = owned_metrics_.get();
   }
   metrics_ = metrics;
+  metrics_prefix_ = prefix;
   c_client_bytes_ = metrics_->GetCounter(prefix + ".client_bytes");
   c_coalesced_bytes_ = metrics_->GetCounter(prefix + ".coalesced_bytes");
   c_objects_put_ = metrics_->GetCounter(prefix + ".objects_put");
@@ -101,6 +113,23 @@ BackendStore::BackendStore(ClientHost* host, std::vector<ObjectStore*> stores,
   // (DESIGN.md §12), same gating discipline as the extended-GC block above.
   if (config_.batch_seal_deadline > 0) {
     c_deadline_seals_ = metrics_->GetCounter(prefix + ".deadline_seals");
+  }
+
+  // Paged-map metrics exist only when the compressed two-level map is active
+  // (DESIGN.md §13), same gating discipline as the extended-GC block above.
+  if (config_.paged_map()) {
+    callback_guard_.Register(metrics_, prefix + ".map.resident_bytes", [this] {
+      return static_cast<double>(paged_map_->ResidentBytes());
+    });
+    callback_guard_.Register(metrics_, prefix + ".map.packed_bytes", [this] {
+      return static_cast<double>(paged_map_->PackedBytes());
+    });
+    callback_guard_.Register(metrics_, prefix + ".map.page_loads", [this] {
+      return static_cast<double>(paged_map_->page_loads());
+    });
+    callback_guard_.Register(metrics_, prefix + ".map.page_evictions", [this] {
+      return static_cast<double>(paged_map_->page_evictions());
+    });
   }
 
   // Per-shard counters and gauges exist only on sharded volumes, so the
@@ -227,6 +256,46 @@ uint64_t BackendStore::AddWrite(uint64_t vlba, Buffer data) {
   return seq;
 }
 
+uint64_t BackendStore::AddTrim(uint64_t vlba, uint64_t len) {
+  assert(len > 0);
+  // Seal-first protocol (see header comment): every write accepted before
+  // this trim must land in an object with a smaller sequence number, so any
+  // open client batch holding write entries seals now. Writes always follow
+  // trims within a batch, so a non-trim tail means the batch holds writes.
+  if (batch_.has_value() && !batch_->entries.empty() &&
+      !batch_->entries.back().is_trim) {
+    OpenBatch b = std::move(*batch_);
+    batch_.reset();
+    SealBatch(std::move(b), /*from_gc=*/false, {});
+  }
+  if (cold_batch_.has_value() && !cold_batch_->entries.empty()) {
+    OpenBatch b = std::move(*cold_batch_);
+    cold_batch_.reset();
+    SealBatch(std::move(b), /*from_gc=*/false, {});
+  }
+  // The open GC batch needs no seal: its extents apply conditionally, so a
+  // copy of data this trim punches finds no matching map entry and is
+  // skipped no matter when its object commits.
+  if (c_trim_extents_ == nullptr) {
+    c_trim_extents_ = metrics_->GetCounter(metrics_prefix_ + ".trim_extents");
+    c_trim_punched_bytes_ =
+        metrics_->GetCounter(metrics_prefix_ + ".trim_punched_bytes");
+  }
+  c_trim_extents_->Inc();
+  const uint64_t seq = OpenBatchSeq(batch_);
+  BatchEntry e;
+  e.vlba = vlba;
+  e.is_trim = true;
+  e.trim_len = len;
+  batch_->entries.push_back(std::move(e));
+  if (batch_->entries.size() >= kMaxObjectExtents) {
+    OpenBatch b = std::move(*batch_);
+    batch_.reset();
+    SealBatch(std::move(b), /*from_gc=*/false, {});
+  }
+  return seq;
+}
+
 void BackendStore::Seal() {
   if (batch_.has_value() && !batch_->entries.empty()) {
     OpenBatch b = std::move(*batch_);
@@ -313,9 +382,14 @@ void BackendStore::SealBatch(OpenBatch batch, bool from_gc,
     ExtentMap<ObjTarget>::ExtentVec displaced;
     for (size_t i = 0; i < batch.entries.size(); i++) {
       const auto& e = batch.entries[i];
-      scratch.Update(e.vlba, e.data.size(), ObjTarget{i, 0}, &displaced);
+      const uint64_t elen = e.is_trim ? e.trim_len : e.data.size();
+      scratch.Update(e.vlba, elen, ObjTarget{i, 0}, &displaced);
       for (const auto& d : displaced) {
-        c_coalesced_bytes_->Inc(d.len);
+        // A write landing over an earlier same-batch trim shrinks the trim
+        // extent; only displaced write bytes count as coalesced payload.
+        if (!batch.entries[d.target.seq].is_trim) {
+          c_coalesced_bytes_->Inc(d.len);
+        }
       }
     }
     for (const auto& ext : scratch.Extents()) {
@@ -323,33 +397,46 @@ void BackendStore::SealBatch(OpenBatch batch, bool from_gc,
       ObjectExtent oe;
       oe.vlba = ext.start;
       oe.len = ext.len;
-      if (src.expected.has_value()) {
+      if (src.is_trim) {
+        oe.is_trim = true;
+      } else if (src.expected.has_value()) {
         const ObjTarget adj = src.expected->Advanced(ext.start - src.vlba);
         oe.expected_seq = adj.seq;
         oe.expected_offset = adj.offset;
       }
       sealed.header.extents.push_back(oe);
       // ext.target.offset is the offset within the source entry where this
-      // surviving range begins.
-      payload.Append(src.data.Slice(ext.target.offset, ext.len));
+      // surviving range begins. Trim extents carry no payload.
+      if (!src.is_trim) {
+        payload.Append(src.data.Slice(ext.target.offset, ext.len));
+      }
     }
   } else {
     for (const auto& e : batch.entries) {
       ObjectExtent oe;
       oe.vlba = e.vlba;
-      oe.len = e.data.size();
-      if (e.expected.has_value()) {
+      oe.len = e.is_trim ? e.trim_len : e.data.size();
+      if (e.is_trim) {
+        oe.is_trim = true;
+      } else if (e.expected.has_value()) {
         oe.expected_seq = e.expected->seq;
         oe.expected_offset = e.expected->offset;
       }
       sealed.header.extents.push_back(oe);
-      payload.Append(e.data);
+      if (!e.is_trim) {
+        payload.Append(e.data);
+      }
     }
   }
 
+  bool has_trim = false;
+  for (const auto& ext : sealed.header.extents) {
+    has_trim |= ext.is_trim;
+  }
   sealed.payload_bytes = payload.size();
-  sealed.header.data_offset = DataObjectHeaderSize(
-      sealed.header.extents.size(), sealed.header.generation != 0);
+  sealed.header.data_offset =
+      DataObjectHeaderSize(sealed.header.extents.size(),
+                           sealed.header.generation != 0, has_trim);
   sealed.object = EncodeDataObject(sealed.header, payload);
   put_queue_.push_back(std::move(sealed));
   PumpPuts();
@@ -700,7 +787,6 @@ void BackendStore::ApplyReady() {
     completed_.erase(it);
     ApplyObjectExtents(sealed.seq, sealed.header, sealed.payload_bytes);
     if (sealed.sealed_at >= 0) {
-      object_sealed_at_[sealed.seq] = sealed.sealed_at;
       RecordLatencyUs(h_seal_to_commit_us_,
                       host_->sim()->now() - sealed.sealed_at);
     }
@@ -728,22 +814,34 @@ void BackendStore::ApplyObjectExtents(uint64_t seq,
   ExtentMap<ObjTarget>::ExtentVec displaced;
   ExtentMap<ObjTarget>::SegmentVec segs;
   for (const auto& ext : header.extents) {
+    if (ext.is_trim) {
+      // TRIM tombstone: punch the map and feed whatever it displaced to GC
+      // accounting. Contributes no payload (offset stays) and no live bytes.
+      object_map_->Remove(ext.vlba, ext.len, &displaced);
+      AccountDisplaced(displaced);
+      if (c_trim_punched_bytes_ != nullptr) {
+        for (const auto& d : displaced) {
+          c_trim_punched_bytes_->Inc(d.len);
+        }
+      }
+      continue;
+    }
     const ObjTarget target{seq, offset};
     if (!ext.conditional()) {
-      object_map_.Update(ext.vlba, ext.len, target, &displaced);
+      object_map_->Update(ext.vlba, ext.len, target, &displaced);
       AccountDisplaced(displaced);
       live += ext.len;
     } else {
       // GC data: apply only where the map still points at the source.
       const ObjTarget expected{ext.expected_seq, ext.expected_offset};
-      object_map_.Lookup(ext.vlba, ext.len, &segs);
+      object_map_->Lookup(ext.vlba, ext.len, &segs);
       for (const auto& seg : segs) {
         if (!seg.target.has_value()) {
           continue;
         }
         const ObjTarget want = expected.Advanced(seg.start - ext.vlba);
         if (*seg.target == want) {
-          object_map_.Update(seg.start, seg.len,
+          object_map_->Update(seg.start, seg.len,
                              target.Advanced(seg.start - ext.vlba),
                              &displaced);
           AccountDisplaced(displaced);
@@ -812,6 +910,29 @@ double BackendStore::ShardUtilization(size_t shard) const {
   return static_cast<double>(live) / static_cast<double>(total);
 }
 
+std::optional<GcCandidate> BackendStore::gc_candidate_for(
+    uint64_t seq) const {
+  auto it = object_info_.find(seq);
+  if (it == object_info_.end()) {
+    return std::nullopt;
+  }
+  GcCandidate c;
+  c.seq = seq;
+  c.total_bytes = it->second.total_bytes;
+  c.live_bytes = it->second.live_bytes;
+  auto gen = object_generation_.find(seq);
+  if (gen != object_generation_.end()) {
+    c.generation = gen->second;
+  }
+  // Every candidate ages on the object-sequence clock (objects created
+  // since this one was sealed): the clock is recovered exactly from the
+  // checkpoint and the object listing, so victim ranking — not just the
+  // generation-tagged part of it — is crash-stable, unlike the old
+  // seal-time clock which restarted at age 0 after recovery.
+  c.age = seq < next_seq_ ? static_cast<double>(next_seq_ - seq) : 0.0;
+  return c;
+}
+
 std::optional<uint64_t> BackendStore::PickGcVictim(size_t shard) const {
   // Policy-scored victim selection (docs/GC.md): the shard's policy ranks
   // eligible objects and the best score wins (ties to the lowest seq, since
@@ -821,7 +942,6 @@ std::optional<uint64_t> BackendStore::PickGcVictim(size_t shard) const {
   // holes above it), never from the clone base image, not already pending,
   // and not fully live.
   const GcPolicy& policy = *gc_policies_[shard];
-  const Nanos now = host_->sim()->now();
   std::optional<uint64_t> best;
   double best_score = -std::numeric_limits<double>::infinity();
   for (const auto& [seq, info] : object_info_) {
@@ -830,21 +950,9 @@ std::optional<uint64_t> BackendStore::PickGcVictim(size_t shard) const {
         ShardOf(seq) != shard) {
       continue;
     }
-    GcCandidate c;
-    c.seq = seq;
-    c.total_bytes = info.total_bytes;
-    c.live_bytes = info.live_bytes;
+    const GcCandidate c = *gc_candidate_for(seq);
     if (c.utilization() >= 1.0) {
       continue;  // fully live: nothing to reclaim
-    }
-    auto sealed = object_sealed_at_.find(seq);
-    if (sealed != object_sealed_at_.end() && now > sealed->second) {
-      c.age = static_cast<double>(now - sealed->second) /
-              static_cast<double>(kSecond);
-    }
-    auto gen = object_generation_.find(seq);
-    if (gen != object_generation_.end()) {
-      c.generation = gen->second;
     }
     const double score = policy.Score(c);
     if (score > best_score) {
@@ -900,7 +1008,6 @@ void BackendStore::CleanOneObject(uint64_t victim) {
   if (!size.ok()) {
     // Already gone (shouldn't happen); drop bookkeeping and move on.
     object_info_.erase(victim);
-    object_sealed_at_.erase(victim);
     object_generation_.erase(victim);
     FinishGcRound();
     return;
@@ -946,8 +1053,12 @@ void BackendStore::CleanOneObject(uint64_t victim) {
     uint64_t offset = header.data_offset;
     ExtentMap<ObjTarget>::SegmentVec scan;
     for (const auto& ext : header.extents) {
+      if (ext.is_trim) {
+        // Tombstones hold no payload and never own map entries.
+        continue;
+      }
       const ObjTarget created{victim, offset};
-      object_map_.Lookup(ext.vlba, ext.len, &scan);
+      object_map_->Lookup(ext.vlba, ext.len, &scan);
       for (const auto& seg : scan) {
         if (!seg.target.has_value() || seg.target->seq != victim) {
           continue;
@@ -986,7 +1097,7 @@ void BackendStore::CleanOneObject(uint64_t victim) {
         const uint64_t gap = next.vlba > prev_end ? next.vlba - prev_end : 0;
         if (gap > 0 && gap <= config_.gc_defrag_hole_max) {
           ExtentMap<ObjTarget>::SegmentVec hole;
-          object_map_.Lookup(prev_end, gap, &hole);
+          object_map_->Lookup(prev_end, gap, &hole);
           bool fully_mapped = true;
           for (const auto& seg : hole) {
             if (!seg.target.has_value()) {
@@ -1146,7 +1257,6 @@ void BackendStore::ProcessDelete(uint64_t seq) {
   if (it != object_info_.end()) {
     object_info_.erase(it);
   }
-  object_sealed_at_.erase(seq);
   object_generation_.erase(seq);
   if (deferred) {
     deferred_deletes_.push_back(DeferredDelete{seq, gc_head});
@@ -1220,7 +1330,7 @@ void BackendStore::WriteCheckpoint(std::function<void(Status)> done) {
   CheckpointState state;
   state.through_seq = applied_seq_;
   state.next_seq = next_seq_;
-  state.object_map = object_map_.Extents();
+  state.object_map = object_map_->Extents();
   state.object_info = object_info_;
   state.deferred_deletes = deferred_deletes_;
   state.snapshots.assign(snapshots_.begin(), snapshots_.end());
@@ -1230,6 +1340,15 @@ void BackendStore::WriteCheckpoint(std::function<void(Status)> done) {
     // cross-check every shard's stream against the checkpoint.
     state.shard_count = static_cast<uint32_t>(shards_.size());
     state.shard_consistent = ConsistencyVector(applied_seq_, shards_.size());
+  }
+  // GC generations of surviving objects (non-zero only under gc_extended):
+  // objects at or below the checkpoint are recovered from this state alone,
+  // so without the table a recovered store would score old GC output as
+  // ordinary client data. Empty table keeps the checkpoint at v1/v2.
+  for (const auto& [seq, gen] : object_generation_) {
+    if (gen > 0 && object_info_.contains(seq)) {
+      state.generations[seq] = gen;
+    }
   }
 
   const uint64_t ckpt_id = ++checkpoint_counter_;
@@ -1251,6 +1370,20 @@ void BackendStore::WriteCheckpoint(std::function<void(Status)> done) {
     last_checkpoint_seq_ = std::max(last_checkpoint_seq_, through);
     objects_since_checkpoint_ = 0;
     c_checkpoints_->Inc();
+    // Trim-only objects (zero payload, zero live bytes) at or below the
+    // checkpoint are no longer needed for replay: recovery starts past them,
+    // so they can be deleted like cleaned GC victims. Only trims produce
+    // such objects, so default volumes never take this path.
+    std::vector<uint64_t> spent;
+    for (const auto& [seq, info] : object_info_) {
+      if (seq > config_.base_last_seq && seq <= through &&
+          info.total_bytes == 0 && info.live_bytes == 0) {
+        spent.push_back(seq);
+      }
+    }
+    for (const uint64_t seq : spent) {
+      ProcessDelete(seq);
+    }
     // Keep only the two newest checkpoints.
     auto names = meta_store()->List(CheckpointPrefix(config_.volume_name));
     while (names.size() > 2) {
@@ -1279,9 +1412,8 @@ void BackendStore::Recover(std::function<void(Status)> done) {
   // Start from nothing; a loaded checkpoint overrides these. In particular a
   // fresh clone has no checkpoint yet and must replay the base image's
   // object stream from sequence 1.
-  object_map_.Clear();
+  object_map_->Clear();
   object_info_.clear();
-  object_sealed_at_.clear();
   object_generation_.clear();
   deferred_deletes_.clear();
   snapshots_.clear();
@@ -1344,11 +1476,12 @@ void BackendStore::RecoverTryCheckpoint(std::shared_ptr<RecoverState> st,
       RecoverTryCheckpoint(st, back_index + 1);
       return;
     }
-    object_map_.Clear();
+    object_map_->Clear();
     for (const auto& e : state.object_map) {
-      object_map_.Update(e.start, e.len, e.target, nullptr);
+      object_map_->Update(e.start, e.len, e.target, nullptr);
     }
     object_info_ = state.object_info;
+    object_generation_ = state.generations;
     deferred_deletes_ = state.deferred_deletes;
     snapshots_.clear();
     snapshots_.insert(state.snapshots.begin(), state.snapshots.end());
@@ -1425,12 +1558,9 @@ void BackendStore::RecoverReplayNext(std::shared_ptr<RecoverState> st) {
     }
     DataObjectHeader header;
     const bool decoded = r.ok() && DecodeDataObjectHeader(*r, &header).ok();
-    uint64_t extent_sum = 0;
-    if (decoded) {
-      for (const auto& ext : header.extents) {
-        extent_sum += ext.len;
-      }
-    }
+    // Trim extents carry no payload, so the size cross-check counts only the
+    // non-trim extent lengths.
+    const uint64_t extent_sum = decoded ? DataObjectPayloadBytes(header) : 0;
     if (!decoded || object_size < header.data_offset ||
         extent_sum != object_size - header.data_offset) {
       // A torn or corrupt object ends the log: it was never applied, so
@@ -1460,15 +1590,14 @@ void BackendStore::RecoverFinish(std::shared_ptr<RecoverState> st) {
     // checkpoint, ultimately to a bare scan, which truncates the global
     // prefix at the gap (§3.5's single-log rule).
     std::set<uint64_t> referenced;
-    for (const auto& e : object_map_.Extents()) {
+    for (const auto& e : object_map_->Extents()) {
       referenced.insert(e.target.seq);
     }
     for (const uint64_t seq : referenced) {
       if (!StoreFor(seq)->Head(NameForSeq(seq)).ok()) {
         const size_t next_back = st->ckpt_back_index + 1;
-        object_map_.Clear();
+        object_map_->Clear();
         object_info_.clear();
-        object_sealed_at_.clear();
         object_generation_.clear();
         deferred_deletes_.clear();
         snapshots_.clear();

@@ -29,6 +29,7 @@
 #include "src/lsvd/extent_map.h"
 #include "src/lsvd/gc_policy.h"
 #include "src/lsvd/object_format.h"
+#include "src/lsvd/paged_extent_map.h"
 #include "src/lsvd/write_cache.h"
 #include "src/objstore/object_store.h"
 #include "src/util/metrics.h"
@@ -83,13 +84,28 @@ class BackendStore {
   // batch if it reached the configured size.
   uint64_t AddWrite(uint64_t vlba, Buffer data);
 
+  // Adds one client TRIM to the object stream; returns the batch's object
+  // sequence number (recorded in the journal like a write's). Any open client
+  // batch holding writes is sealed first, so every write accepted before the
+  // trim carries a smaller sequence number and the in-order apply can never
+  // resurrect pre-trim data. Within a batch, trim entries always precede
+  // write entries (a write arriving later may join the trim's batch; a later
+  // trim re-seals). The trim becomes a zero-payload v3 header extent whose
+  // apply punches the object map, feeding displaced bytes to GC accounting.
+  uint64_t AddTrim(uint64_t vlba, uint64_t len);
+
   // Seals the open batch if it has exceeded the configured age (called from
   // the owner's periodic tick) or unconditionally (drain paths).
   void SealIfAged(Nanos max_age);
   void Seal();
   void SealGcBatch();
 
-  const ExtentMap<ObjTarget>& object_map() const { return object_map_; }
+  const ExtentMapIface<ObjTarget>& object_map() const { return *object_map_; }
+  // Non-null only when config.paged_map(): the compressed two-level map
+  // behind object_map(), exposed for paging statistics (DESIGN.md §13).
+  const PagedExtentMap<ObjTarget>* paged_object_map() const {
+    return paged_map_.get();
+  }
 
   // Fetches `len` bytes at `target` (an object-map lookup result).
   void Fetch(ObjTarget target, uint64_t len,
@@ -144,6 +160,25 @@ class BackendStore {
   bool idle() const;
   BackendStoreStats stats() const;
   size_t object_count() const { return object_info_.size(); }
+  // Persisted GC generations (from v2+ data-object headers), keyed by seq.
+  // Exposed so tests can check a recovered store scores victims identically
+  // to the pre-crash store (generations survive recovery; seal times do not).
+  const std::map<uint64_t, uint32_t>& object_generations() const {
+    return object_generation_;
+  }
+  std::optional<ObjectInfo> object_info_for(uint64_t seq) const {
+    auto it = object_info_.find(seq);
+    if (it == object_info_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+  // The exact candidate the GC victim scan would score for this object.
+  // For generation-tagged GC output every field is derived from persisted
+  // state (sequence-clock age, never the seal clock), which is what makes
+  // victim ranking crash-stable — the property the recovery regression
+  // tests pin down through this accessor.
+  std::optional<GcCandidate> gc_candidate_for(uint64_t seq) const;
 
   void Kill() { *alive_ = false; }
 
@@ -156,6 +191,10 @@ class BackendStore {
     Buffer data;
     // Set for GC-copied data; see ObjectExtent::conditional().
     std::optional<ObjTarget> expected;
+    // TRIM tombstone entry: carries no payload (data stays empty); the
+    // trimmed length lives in trim_len. See AddTrim for the ordering rules.
+    bool is_trim = false;
+    uint64_t trim_len = 0;
   };
   struct OpenBatch {
     uint64_t seq = 0;
@@ -293,12 +332,18 @@ class BackendStore {
   WriteCache* cache_;
   LsvdConfig config_;
 
-  ExtentMap<ObjTarget> object_map_;
+  // The object map lives behind the narrow ExtentMapIface: the classic flat
+  // map by default (bit-identical to older builds), or the compressed
+  // two-level PagedExtentMap when config.map_resident_bytes > 0
+  // (DESIGN.md §13). object_map_ points at whichever is active.
+  ExtentMap<ObjTarget> flat_map_;
+  std::unique_ptr<PagedExtentMap<ObjTarget>> paged_map_;
+  ExtentMapIface<ObjTarget>* object_map_ = nullptr;
   std::map<uint64_t, ObjectInfo> object_info_;  // applied data objects
-  // Per-object seal time (sim clock) and GC generation, feeding the policy's
-  // age term. Advisory: not checkpointed, so recovered objects restart at
-  // age 0 (and generation 0 unless their v2 header carried one).
-  std::map<uint64_t, Nanos> object_sealed_at_;
+  // Per-object GC generation, feeding the policy's pedigree floor.
+  // Persisted (v2+ data-object headers, checkpoint v3 table), so victim
+  // scoring — which also ages candidates on the recoverable object-sequence
+  // clock, never a wall clock — is identical before and after recovery.
   std::map<uint64_t, uint32_t> object_generation_;
   std::optional<OpenBatch> batch_;              // client-write batch (hot)
   // Cold client-write batch, open only under gc_hot_cold_split: writes to
@@ -340,6 +385,7 @@ class BackendStore {
 
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_;
+  std::string metrics_prefix_;  // for lazily-registered counters
   Counter* c_client_bytes_;
   Counter* c_coalesced_bytes_;
   Counter* c_objects_put_;
@@ -355,6 +401,10 @@ class BackendStore {
   Counter* c_retries_;
   Counter* c_timeouts_;
   Counter* c_gc_aborted_corrupt_;
+  // Trim counters, registered lazily on the first AddTrim so volumes that
+  // never trim keep their metric dumps unchanged (docs/METRICS.md).
+  Counter* c_trim_extents_ = nullptr;
+  Counter* c_trim_punched_bytes_ = nullptr;
   // Extended-GC metrics, registered only when config.gc_extended() so the
   // long-standing default metric dumps stay unchanged (docs/METRICS.md).
   Counter* c_gc_cold_objects_ = nullptr;

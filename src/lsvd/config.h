@@ -150,6 +150,20 @@ struct LsvdConfig {
            gc_hot_cold_split;
   }
 
+  // --- Paged extent maps (DESIGN.md §13) ---
+  // Resident-memory budget for the backend object map's unpacked leaf pages.
+  // 0 (the default) keeps the classic fully resident flat map, bit-identical
+  // to older builds (same gating discipline as gc_extended()); non-zero swaps
+  // in the compressed two-level PagedExtentMap and bounds its live pages to
+  // this many bytes, packing cold pages down to their run-length form.
+  uint64_t map_resident_bytes = 0;
+  // Virtual-address span covered by one leaf page of the paged map.
+  uint64_t map_page_span = 256 * kMiB;
+
+  // True when the paged object map is active; gates the map.* metrics so
+  // default-config runs stay byte-identical.
+  bool paged_map() const { return map_resident_bytes > 0; }
+
   // Read cache geometry.
   uint64_t read_cache_line = 64 * kKiB;
   uint64_t prefetch_bytes = 256 * kKiB;

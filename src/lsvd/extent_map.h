@@ -54,25 +54,81 @@ struct ObjTarget {
   friend bool operator==(const ObjTarget&, const ObjTarget&) = default;
 };
 
+// A mapped extent: [start, start+len) -> target.
 template <typename T>
-class ExtentMap {
+struct MapExtent {
+  uint64_t start = 0;
+  uint64_t len = 0;
+  T target{};
+
+  friend bool operator==(const MapExtent&, const MapExtent&) = default;
+};
+
+// A lookup segment: when `target` is empty the range is unmapped.
+template <typename T>
+struct MapSegment {
+  uint64_t start = 0;
+  uint64_t len = 0;
+  std::optional<T> target;
+};
+
+// Narrow interface every extent-map implementation satisfies. The flat
+// `ExtentMap` below is the default, fully resident implementation; the
+// compressed two-level `PagedExtentMap` (paged_extent_map.h) trades lookup
+// cost for bounded memory on huge sparse volumes. Holders that can name the
+// concrete type should (the write cache's map stays `ExtentMap` so its
+// per-IO calls inline); the backend object map goes through this interface
+// so `LsvdConfig::map_resident_bytes` can swap the implementation.
+template <typename T>
+class ExtentMapIface {
  public:
-  struct Extent {
-    uint64_t start = 0;
-    uint64_t len = 0;
-    T target{};
-
-    friend bool operator==(const Extent&, const Extent&) = default;
-  };
-
-  // A lookup segment: when `target` is empty the range is unmapped.
-  struct Segment {
-    uint64_t start = 0;
-    uint64_t len = 0;
-    std::optional<T> target;
-  };
-
+  using Extent = MapExtent<T>;
+  using Segment = MapSegment<T>;
   // Allocation-free output containers for the hot-path interfaces.
+  using SegmentVec = SmallVector<Segment, 8>;
+  using ExtentVec = SmallVector<Extent, 8>;
+
+  virtual ~ExtentMapIface() = default;
+
+  // Maps [start, start+len) to `target`, replacing any overlapped mappings;
+  // displaced portions are appended to `displaced` (cleared first; nullptr
+  // discards them).
+  virtual void Update(uint64_t start, uint64_t len, T target,
+                      ExtentVec* displaced) = 0;
+  // Removes mappings in [start, start+len); removed portions go to `removed`
+  // (cleared first; nullptr discards them).
+  virtual void Remove(uint64_t start, uint64_t len, ExtentVec* removed) = 0;
+  // Splits [start, start+len) into maximal mapped/unmapped segments.
+  virtual void Lookup(uint64_t start, uint64_t len, SegmentVec* out) const = 0;
+  // Target covering the single byte at `addr`, if mapped.
+  virtual std::optional<T> LookupOne(uint64_t addr) const = 0;
+  virtual void Clear() = 0;
+  virtual size_t extent_count() const = 0;
+  virtual uint64_t mapped_bytes() const = 0;
+  // In-order snapshot of all extents (checkpointing, tests).
+  virtual std::vector<Extent> Extents() const = 0;
+  // Estimated bytes of memory held by the map's structures.
+  virtual uint64_t MemoryBytes() const = 0;
+
+  // Convenience forms built on the virtuals (cold paths, tests).
+  bool empty() const { return extent_count() == 0; }
+  std::vector<Segment> Lookup(uint64_t start, uint64_t len) const {
+    SegmentVec segs;
+    Lookup(start, len, &segs);
+    std::vector<Segment> out;
+    out.reserve(segs.size());
+    for (const auto& s : segs) {
+      out.push_back(s);
+    }
+    return out;
+  }
+};
+
+template <typename T>
+class ExtentMap final : public ExtentMapIface<T> {
+ public:
+  using Extent = MapExtent<T>;
+  using Segment = MapSegment<T>;
   using SegmentVec = SmallVector<Segment, 8>;
   using ExtentVec = SmallVector<Extent, 8>;
 
@@ -112,7 +168,7 @@ class ExtentMap {
   // `displaced` (cleared first; pass nullptr to discard) — the garbage
   // collector uses these to decrement per-object live counts.
   void Update(uint64_t start, uint64_t len, T target,
-              ExtentVec* displaced) {
+              ExtentVec* displaced) override {
     if (displaced != nullptr) {
       displaced->clear();
       RemoveImpl(start, len,
@@ -138,7 +194,7 @@ class ExtentMap {
 
   // Removes mappings in [start, start+len); what was removed is appended to
   // `removed` (cleared first; pass nullptr to discard).
-  void Remove(uint64_t start, uint64_t len, ExtentVec* removed) {
+  void Remove(uint64_t start, uint64_t len, ExtentVec* removed) override {
     if (removed != nullptr) {
       removed->clear();
       RemoveImpl(start, len, [removed](Extent e) { removed->push_back(e); });
@@ -157,7 +213,7 @@ class ExtentMap {
   // Splits [start, start+len) into maximal segments that are each either
   // fully mapped by one extent or fully unmapped, appended to `out`
   // (cleared first).
-  void Lookup(uint64_t start, uint64_t len, SegmentVec* out) const {
+  void Lookup(uint64_t start, uint64_t len, SegmentVec* out) const override {
     out->clear();
     LookupImpl(start, len, [out](Segment s) { out->push_back(s); });
   }
@@ -170,7 +226,7 @@ class ExtentMap {
   }
 
   // Target covering the single byte at `addr`, if mapped.
-  std::optional<T> LookupOne(uint64_t addr) const {
+  std::optional<T> LookupOne(uint64_t addr) const override {
     auto it = SeekFirstEndingAfter(addr);
     if (it == map_.end() || it->first > addr) {
       return std::nullopt;
@@ -180,24 +236,31 @@ class ExtentMap {
     return it->second.target.Advanced(addr - it->first);
   }
 
-  void Clear() {
+  void Clear() override {
     map_.clear();
     mapped_ = 0;
     hint_valid_ = false;
   }
 
-  size_t extent_count() const { return map_.size(); }
-  uint64_t mapped_bytes() const { return mapped_; }
+  size_t extent_count() const override { return map_.size(); }
+  uint64_t mapped_bytes() const override { return mapped_; }
   bool empty() const { return map_.empty(); }
 
   // In-order snapshot of all extents (checkpointing, tests).
-  std::vector<Extent> Extents() const {
+  std::vector<Extent> Extents() const override {
     std::vector<Extent> out;
     out.reserve(map_.size());
     for (const auto& [start, node] : map_) {
       out.push_back(Extent{start, node.len, node.target});
     }
     return out;
+  }
+
+  // Estimated resident bytes: per-node payload plus the red-black tree's
+  // three pointers + color word per node.
+  uint64_t MemoryBytes() const override {
+    return sizeof(*this) +
+           map_.size() * (sizeof(std::pair<const uint64_t, Node>) + 32);
   }
 
  private:

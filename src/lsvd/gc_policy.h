@@ -6,18 +6,25 @@
 //
 //   greedy        score = -u                  (least-utilized object; the
 //                                              paper's §3.5 collector)
-//   cost-benefit  score = (1-u)(1+age)/(1+u)  (Sprite-LFS benefit/cost:
+//   cost-benefit  score = (1-u)(1+a)/(1+u)    (Sprite-LFS benefit/cost:
 //                                              free space gained x stability,
 //                                              over the cost of reading and
 //                                              rewriting the live fraction)
-//   age-bucketed  score = 2b + (1-u), b = min(6, floor(log2(1+age)))
-//                                             (coarse generations: always
-//                                              prefer an older bucket, break
-//                                              ties greedily)
+//   age-bucketed  score = 2b + (1-u), b = min(6, floor(log2(1+a)))
+//                                             (coarse stability buckets:
+//                                              always prefer an older bucket,
+//                                              break ties greedily)
 //
-// where u = live_bytes/total_bytes and `age` is in caller-defined units
-// (seconds of simulated time in the backend store, client batches written in
-// the GC simulator). Callers scan candidates in ascending sequence order and
+// where u = live_bytes/total_bytes and a is the *stable* age: both
+// collectors fill `age` from the object-sequence clock (objects created
+// since this candidate was sealed, next_seq - seq — the simulator's zoned
+// mode, which scores whole zones rather than objects, uses its batch clock
+// instead), and for GC output (generation > 0) the policies floor it at
+// 2^generation - 1. Every scoring input is persisted state — sequence
+// numbers and the generation in the v2+ data-object header survive
+// recovery; wall/seal clocks would not — so a recovered store ranks
+// victims identically to the pre-crash store. Callers scan candidates in
+// ascending sequence order and
 // replace the best only on a strictly greater score, so ties go to the
 // lowest sequence number — with the greedy score this reproduces the
 // historical least-ratio scan bit for bit.
@@ -52,13 +59,17 @@ struct GcCandidate {
   uint64_t seq = 0;
   uint64_t total_bytes = 0;
   uint64_t live_bytes = 0;
-  // Time since the object was sealed, in the caller's clock units. Objects
-  // whose seal time is unknown (recovered from a pre-policy checkpoint) get
-  // age 0 and compete on utilization alone.
+  // Stability clock: objects created since this candidate was sealed
+  // (next_seq - seq). Callers MUST fill it from persisted, recoverable
+  // state — the object-sequence clock, never a seal/wall clock — so that
+  // scores survive crash recovery. The simulator's zoned mode, whose zone
+  // candidates have no sequence, uses its batch clock (zones are never
+  // recovered, so stability is moot there).
   double age = 0.0;
   // GC generation: 0 for fresh client data, 1 + max victim generation for
-  // GC output. Exposed for policies and diagnostics; the built-in policies
-  // fold it in only through `age` (cold data naturally grows old).
+  // GC output. Persisted in the v2+ data-object header; the age-sensitive
+  // policies floor a generation-tagged object's effective age at 2^g - 1,
+  // its pedigree even in the instant after the collection that produced it.
   uint32_t generation = 0;
 
   double utilization() const {

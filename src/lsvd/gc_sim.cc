@@ -25,6 +25,18 @@ void GcSimulator::Write(uint64_t vlba, uint64_t len) {
   }
 }
 
+void GcSimulator::Trim(uint64_t vlba, uint64_t len) {
+  assert(len > 0);
+  // Seal-first, like BackendStore::AddTrim: writes accepted before the trim
+  // land in an earlier object, then the punch applies strictly after them.
+  SealBatch();
+  result_.trimmed_bytes += len;
+  ExtentMap<ObjTarget>::ExtentVec displaced;
+  map_.Remove(vlba, len, &displaced);
+  Displace(displaced, /*self_seq=*/0);
+  MaybeGc();
+}
+
 void GcSimulator::Displace(const ExtentMap<ObjTarget>::ExtentVec& displaced,
                            uint64_t self_seq) {
   for (const auto& d : displaced) {
@@ -147,9 +159,13 @@ uint64_t GcSimulator::PickVictim(size_t shard, double ceiling) const {
     }
     auto m = meta_.find(seq);
     if (m != meta_.end()) {
-      c.age = AgeOf(m->second);
       c.generation = m->second.generation;
     }
+    // Every candidate ages on the object-sequence clock (objects created
+    // since this one was sealed): coherent units across client data and GC
+    // output, and for generation-tagged output the same crash-stable clock
+    // the backend store uses (see GcCandidate::age).
+    c.age = static_cast<double>(next_seq_ - seq);
     const double s = policy.Score(c);
     if (s > best) {
       best = s;

@@ -62,6 +62,7 @@ struct GcSimResult {
   uint64_t client_bytes = 0;   // total bytes written by the trace
   uint64_t backend_bytes = 0;  // bytes written to backend (incl. GC copies)
   uint64_t merged_bytes = 0;   // bytes eliminated by coalescing
+  uint64_t trimmed_bytes = 0;  // bytes discarded via Trim
   uint64_t gc_copied_bytes = 0;
   uint64_t objects_created = 0;
   uint64_t objects_deleted = 0;
@@ -130,6 +131,12 @@ class GcSimulator {
 
   // One client write of `len` bytes at `vlba` (byte units, any alignment).
   void Write(uint64_t vlba, uint64_t len);
+
+  // One client TRIM/discard of `len` bytes at `vlba`. Mirrors
+  // BackendStore::AddTrim's seal-first protocol: the open batch seals, then
+  // the trimmed range is punched out of the map, its displaced bytes dying
+  // in their objects (which lowers utilization and can trigger cleaning).
+  void Trim(uint64_t vlba, uint64_t len);
 
   // Seals the open batch and runs a final GC pass if needed.
   GcSimResult Finish();

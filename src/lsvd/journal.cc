@@ -9,10 +9,14 @@ namespace lsvd {
 namespace {
 
 constexpr uint32_t kJournalMagic = 0x4C53564A;  // "LSVJ"
+constexpr uint32_t kTrimMagic = 0x4C535654;     // "LSVT": trim record, no data
 
 }  // namespace
 
 uint64_t JournalRecordSize(const JournalRecord& record) {
+  if (record.is_trim) {
+    return kBlockSize;
+  }
   uint64_t data = 0;
   for (const auto& e : record.extents) {
     data += e.len;
@@ -27,11 +31,18 @@ Buffer EncodeJournalRecord(const JournalRecord& record) {
     assert(e.len % kBlockSize == 0);
     data_len += e.len;
   }
-  assert(record.data.size() == data_len);
+  if (record.is_trim) {
+    // Trim records describe discarded ranges only; no payload follows the
+    // header and the data-length field stays zero.
+    assert(record.data.size() == 0);
+    data_len = 0;
+  } else {
+    assert(record.data.size() == data_len);
+  }
 
   Encoder enc;
   enc.Reserve(kBlockSize);
-  enc.PutU32(kJournalMagic);
+  enc.PutU32(record.is_trim ? kTrimMagic : kJournalMagic);
   enc.PutU64(record.seq);
   enc.PutU64(record.batch_seq);
   enc.PutU32(static_cast<uint32_t>(record.extents.size()));
@@ -70,9 +81,11 @@ Status DecodeJournalHeader(const Buffer& header_block, JournalRecord* record,
   }
   std::vector<uint8_t> header = header_block.ToBytes();
   Decoder dec(header);
-  if (dec.GetU32() != kJournalMagic) {
+  const uint32_t magic = dec.GetU32();
+  if (magic != kJournalMagic && magic != kTrimMagic) {
     return Status::Corruption("bad journal magic");
   }
+  record->is_trim = (magic == kTrimMagic);
   record->seq = dec.GetU64();
   record->batch_seq = dec.GetU64();
   const uint32_t extent_count = dec.GetU32();
@@ -113,7 +126,13 @@ Status DecodeJournalHeader(const Buffer& header_block, JournalRecord* record,
     sum += e.len;
     record->extents.push_back(e);
   }
-  if (sum != *data_len) {
+  if (record->is_trim) {
+    // Trim records carry no payload; the extent lengths describe only the
+    // discarded virtual ranges.
+    if (*data_len != 0) {
+      return Status::Corruption("trim record carries payload");
+    }
+  } else if (sum != *data_len) {
     return Status::Corruption("journal extent lengths disagree with payload");
   }
   // Stash the payload CRC for VerifyJournalData via the data field: encode it

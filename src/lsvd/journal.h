@@ -30,8 +30,9 @@ struct JournalExtent {
 struct JournalRecord {
   uint64_t seq = 0;        // journal-local sequence number
   uint64_t batch_seq = 0;  // backend object this data was batched into
+  bool is_trim = false;    // TRIM tombstone record: extents only, no payload
   std::vector<JournalExtent> extents;
-  Buffer data;             // concatenated extent payloads
+  Buffer data;             // concatenated extent payloads (empty for trims)
   uint32_t data_crc = 0;   // payload CRC (filled by DecodeJournalHeader)
 };
 
@@ -39,7 +40,9 @@ struct JournalRecord {
 inline constexpr size_t kMaxJournalExtents = 250;
 
 // Serializes header (padded to kBlockSize) + data. data.size() must equal the
-// extent length sum and be block-aligned.
+// extent length sum and be block-aligned. Trim records carry a distinct magic
+// ("LSVT"), describe the discarded ranges in their extents, and have no
+// payload — the record is exactly one header block.
 Buffer EncodeJournalRecord(const JournalRecord& record);
 
 // Bytes of header + payload a record with these extents occupies in the log.

@@ -117,6 +117,10 @@ LsvdDiskStats LsvdDisk::stats() const {
   s.read_cache_hits = c_read_cache_hits_->value();
   s.backend_reads = c_backend_reads_->value();
   s.zero_reads = c_zero_reads_->value();
+  if (c_trims_ != nullptr) {
+    s.trims = c_trims_->value();
+    s.trim_bytes = c_trim_bytes_->value();
+  }
   return s;
 }
 
@@ -247,6 +251,16 @@ void LsvdDisk::ReplayCacheTail(std::function<void(Status)> done) {
       return;
     }
     const WriteCache::RecordMeta& rec = (*records)[*index];
+    if (rec.is_trim) {
+      // Tombstone records carry no payload: re-punch the backend directly,
+      // preserving log order relative to the surrounding write records.
+      for (const auto& e : rec.extents) {
+        backend_->AddTrim(e.vlba, e.len);
+      }
+      (*index)++;
+      host_->sim()->After(0, [step = weak_step.lock()]() { (*step)(); });
+      return;
+    }
     write_cache_->ReadRecordPayload(rec,
                                     [this, alive, records, index,
                                      step = weak_step.lock(),
@@ -371,6 +385,72 @@ void LsvdDisk::WriteAdmitted(uint64_t offset, Buffer data, Nanos submitted,
   });
 }
 
+void LsvdDisk::Trim(uint64_t offset, uint64_t len,
+                    std::function<void(Status)> done) {
+  if (!Aligned(offset) || !Aligned(len) || len == 0) {
+    done(Status::InvalidArgument("unaligned or empty trim"));
+    return;
+  }
+  if (offset + len > config_.volume_size) {
+    done(Status::OutOfRange("trim beyond volume size"));
+    return;
+  }
+  if (c_trims_ == nullptr) {
+    const std::string& p = config_.metrics_prefix;
+    c_trims_ = metrics_->GetCounter(p + ".trims");
+    c_trim_bytes_ = metrics_->GetCounter(p + ".trim_bytes");
+  }
+  c_trims_->Inc();
+  c_trim_bytes_->Inc(len);
+  // Trims ride the write path's QoS lane, charged by trimmed length, so a
+  // discard storm cannot starve a throttled tenant's writes out of order.
+  const Nanos submitted = host_->sim()->now();
+  if (qos_id_ < 0) {
+    TrimAdmitted(offset, len, submitted, std::move(done));
+    return;
+  }
+  auto alive = alive_;
+  host_->qos()->Admit(qos_id_, len,
+                      [this, alive, offset, len, submitted,
+                       done = std::move(done)]() mutable {
+    if (!*alive) {
+      return;
+    }
+    TrimAdmitted(offset, len, submitted, std::move(done));
+  });
+}
+
+void LsvdDisk::TrimAdmitted(uint64_t offset, uint64_t len, Nanos submitted,
+                            std::function<void(Status)> done) {
+  // Stale read-cache lines must never serve pre-trim data again.
+  read_cache_->Invalidate(offset, len);
+
+  // The trim enters the object stream like a write (§3.2 step c): AddTrim
+  // seals any open write batch first, so the punch applies strictly after
+  // every earlier write. The batch seq is journaled for crash replay.
+  const uint64_t batch_seq = backend_->AddTrim(offset, len);
+  ArmBatchTimer();
+  MaybeCheckpointCache();
+
+  auto alive = alive_;
+  auto acked = [this, alive, submitted,
+                done = std::move(done)](Status s) mutable {
+    if (*alive) {
+      RecordLatencyUs(h_write_ack_us_, host_->sim()->now() - submitted);
+    }
+    done(s);
+  };
+  host_->kernel_cpu()->Submit(
+      config_.costs.write_submit + config_.costs.write_map_update,
+      [this, alive, offset, len, batch_seq,
+       acked = std::move(acked)]() mutable {
+    if (!*alive) {
+      return;
+    }
+    write_cache_->AppendTrim(offset, len, batch_seq, std::move(acked));
+  });
+}
+
 void LsvdDisk::Read(uint64_t offset, uint64_t len,
                     std::function<void(Result<Buffer>)> done) {
   if (!Aligned(offset) || !Aligned(len) || len == 0) {
@@ -413,14 +493,8 @@ void LsvdDisk::ReadAdmitted(uint64_t offset, uint64_t len, Nanos started,
   ExtentMap<SsdTarget>::SegmentVec wsegs;
   ExtentMap<SsdTarget>::SegmentVec rsegs;
   ExtentMap<ObjTarget>::SegmentVec osegs;
-  write_cache_->map().Lookup(offset, len, &wsegs);
-  for (const auto& wseg : wsegs) {
-    if (wseg.target.has_value()) {
-      plan->push_back(Fragment{FragmentKind::kWriteCache, wseg.start,
-                               wseg.len, wseg.target->plba, {}});
-      continue;
-    }
-    read_cache_->map().Lookup(wseg.start, wseg.len, &rsegs);
+  auto plan_below_write_cache = [&](uint64_t start, uint64_t sublen) {
+    read_cache_->map().Lookup(start, sublen, &rsegs);
     for (const auto& rseg : rsegs) {
       if (rseg.target.has_value()) {
         plan->push_back(Fragment{FragmentKind::kReadCache, rseg.start,
@@ -436,6 +510,32 @@ void LsvdDisk::ReadAdmitted(uint64_t offset, uint64_t len, Nanos started,
           plan->push_back(Fragment{FragmentKind::kZero, oseg.start, oseg.len,
                                    0, {}});
         }
+      }
+    }
+  };
+  // Pending trim tombstones (journaled but not yet released) shadow the
+  // layers below the write cache: a trimmed range reads as zeros even while
+  // older backend objects still hold its pre-trim data.
+  const ExtentMap<ObjTarget>& trim_map = write_cache_->trim_map();
+  write_cache_->map().Lookup(offset, len, &wsegs);
+  for (const auto& wseg : wsegs) {
+    if (wseg.target.has_value()) {
+      plan->push_back(Fragment{FragmentKind::kWriteCache, wseg.start,
+                               wseg.len, wseg.target->plba, {}});
+      continue;
+    }
+    if (trim_map.empty()) {
+      plan_below_write_cache(wseg.start, wseg.len);
+      continue;
+    }
+    ExtentMap<ObjTarget>::SegmentVec tsegs;
+    trim_map.Lookup(wseg.start, wseg.len, &tsegs);
+    for (const auto& tseg : tsegs) {
+      if (tseg.target.has_value()) {
+        plan->push_back(Fragment{FragmentKind::kZero, tseg.start, tseg.len,
+                                 0, {}});
+      } else {
+        plan_below_write_cache(tseg.start, tseg.len);
       }
     }
   }

@@ -43,6 +43,9 @@ struct LsvdDiskStats {
   uint64_t reads = 0;
   uint64_t read_bytes = 0;
   uint64_t flushes = 0;
+  // TRIM/discard, zero until the volume's first Trim (lazy counters).
+  uint64_t trims = 0;
+  uint64_t trim_bytes = 0;
   // Read routing, counted per contiguous fragment.
   uint64_t write_cache_hits = 0;
   uint64_t read_cache_hits = 0;
@@ -96,6 +99,12 @@ class LsvdDisk : public VirtualDisk {
   void Read(uint64_t offset, uint64_t len,
             std::function<void(Result<Buffer>)> done) override;
   void Flush(std::function<void(Status)> done) override;
+  // TRIM/discard (DESIGN.md §13): journals a tombstone record, punches the
+  // object map via a zero-payload extent in the object stream, and makes
+  // reads of the range return zeros. Acknowledged like a write, once the
+  // journal record is on the SSD.
+  void Trim(uint64_t offset, uint64_t len,
+            std::function<void(Status)> done) override;
 
   // --- management ---
   // Seals open batches and waits until the backend image matches the cache
@@ -135,6 +144,8 @@ class LsvdDisk : public VirtualDisk {
   // pre-admission timestamp so throttle wait shows up in client latency.
   void WriteAdmitted(uint64_t offset, Buffer data, Nanos submitted,
                      std::function<void(Status)> done);
+  void TrimAdmitted(uint64_t offset, uint64_t len, Nanos submitted,
+                    std::function<void(Status)> done);
   void ReadAdmitted(uint64_t offset, uint64_t len, Nanos started,
                     std::function<void(Result<Buffer>)> done);
   void ArmBatchTimer();
@@ -176,6 +187,10 @@ class LsvdDisk : public VirtualDisk {
   Counter* c_read_cache_hits_;
   Counter* c_backend_reads_;
   Counter* c_zero_reads_;
+  // Registered lazily on the volume's first Trim so trim-free volumes keep
+  // their metric dumps unchanged (docs/METRICS.md).
+  Counter* c_trims_ = nullptr;
+  Counter* c_trim_bytes_ = nullptr;
   // Write lifecycle head: submit -> journal record on SSD (the client ack).
   Histogram* h_write_ack_us_;
   // Read latencies: end-to-end per client read, and per routed fragment.

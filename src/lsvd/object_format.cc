@@ -17,10 +17,20 @@ constexpr uint32_t kFormatVersion = 1;
 // still written whenever the generation is 0, so stores without the extended
 // GC features stay byte-identical to older builds.
 constexpr uint32_t kDataVersionGen = 2;
+// Data-object format v3 adds a per-extent flag word (bit 0 = trim tombstone)
+// and always carries the generation field. Only written when the object
+// actually contains a trim extent, so trim-free stores keep the v1/v2 bytes.
+constexpr uint32_t kDataVersionTrim = 3;
+constexpr uint32_t kExtentFlagTrim = 1u << 0;
 // Checkpoint format v2 appends the backend shard count and the per-shard
 // consistency vector. Unsharded checkpoints keep writing v1 so their encoding
 // stays byte-identical to older builds.
 constexpr uint32_t kCkptVersionSharded = 2;
+// v3 = the v2 layout (shard fields always present, 0 when unsharded) plus a
+// GC-generation table. Written only when at least one object carries a
+// non-zero generation — possible only under gc_extended() — so default
+// volumes keep emitting v1/v2 checkpoints byte for byte.
+constexpr uint32_t kCkptVersionGenerations = 3;
 constexpr uint64_t kHeaderAlign = 4 * kKiB;
 
 std::string FormatSeq(uint64_t seq) {
@@ -75,21 +85,39 @@ std::optional<uint64_t> ParseCheckpointSeq(const std::string& volume,
   return ParseSeqSuffix(CheckpointPrefix(volume), name);
 }
 
-uint64_t DataObjectHeaderSize(size_t extent_count, bool with_generation) {
+uint64_t DataObjectHeaderSize(size_t extent_count, bool with_generation,
+                              bool with_trim) {
   // Fixed fields: magic, version, seq, data_offset, extent count,
-  // [generation in v2], crc.
-  const uint64_t raw = 4 + 4 + 8 + 8 + 4 + (with_generation ? 4 : 0) + 4 +
-                       32 * extent_count;
+  // [generation in v2/v3], crc. v3 extents carry an extra flag word.
+  const uint64_t raw = 4 + 4 + 8 + 8 + 4 +
+                       ((with_generation || with_trim) ? 4 : 0) + 4 +
+                       (with_trim ? 36 : 32) * extent_count;
   return (raw + kHeaderAlign - 1) / kHeaderAlign * kHeaderAlign;
 }
 
+uint64_t DataObjectPayloadBytes(const DataObjectHeader& header) {
+  uint64_t sum = 0;
+  for (const auto& e : header.extents) {
+    if (!e.is_trim) {
+      sum += e.len;
+    }
+  }
+  return sum;
+}
+
 Buffer EncodeDataObject(const DataObjectHeader& header, const Buffer& data) {
-  const bool v2 = header.generation != 0;
+  bool has_trim = false;
+  for (const auto& e : header.extents) {
+    has_trim |= e.is_trim;
+  }
+  const bool v2 = header.generation != 0 || has_trim;
   Encoder enc;
   enc.PutU32(kDataMagic);
-  enc.PutU32(v2 ? kDataVersionGen : kFormatVersion);
+  enc.PutU32(has_trim ? kDataVersionTrim
+                      : (v2 ? kDataVersionGen : kFormatVersion));
   enc.PutU64(header.seq);
-  const uint64_t data_offset = DataObjectHeaderSize(header.extents.size(), v2);
+  const uint64_t data_offset =
+      DataObjectHeaderSize(header.extents.size(), v2, has_trim);
   enc.PutU64(data_offset);
   enc.PutU32(static_cast<uint32_t>(header.extents.size()));
   if (v2) {
@@ -103,7 +131,12 @@ Buffer EncodeDataObject(const DataObjectHeader& header, const Buffer& data) {
     enc.PutU64(e.len);
     enc.PutU64(e.expected_seq);
     enc.PutU64(e.expected_offset);
-    sum += e.len;
+    if (has_trim) {
+      enc.PutU32(e.is_trim ? kExtentFlagTrim : 0);
+    }
+    if (!e.is_trim) {
+      sum += e.len;
+    }
   }
   assert(sum == data.size());
   enc.PadTo(kHeaderAlign);
@@ -137,17 +170,20 @@ Status DecodeDataObjectHeader(const Buffer& object_prefix,
     return Status::Corruption("bad data object magic");
   }
   const uint32_t version = dec.GetU32();
-  if (version != kFormatVersion && version != kDataVersionGen) {
+  if (version != kFormatVersion && version != kDataVersionGen &&
+      version != kDataVersionTrim) {
     return Status::Corruption("unsupported object version");
   }
+  const bool with_trim = version == kDataVersionTrim;
   header->seq = dec.GetU64();
   header->data_offset = dec.GetU64();
   const uint32_t extent_count = dec.GetU32();
-  header->generation = version == kDataVersionGen ? dec.GetU32() : 0;
+  header->generation = version >= kDataVersionGen ? dec.GetU32() : 0;
   const size_t crc_pos = dec.position();
   const uint32_t header_crc = dec.GetU32();
   if (header->data_offset !=
-      DataObjectHeaderSize(extent_count, version == kDataVersionGen)) {
+      DataObjectHeaderSize(extent_count, version >= kDataVersionGen,
+                           with_trim)) {
     return Status::Corruption("data offset inconsistent with extent count");
   }
   if (bytes.size() < header->data_offset) {
@@ -161,8 +197,14 @@ Status DecodeDataObjectHeader(const Buffer& object_prefix,
     e.len = dec.GetU64();
     e.expected_seq = dec.GetU64();
     e.expected_offset = dec.GetU64();
+    if (with_trim) {
+      e.is_trim = (dec.GetU32() & kExtentFlagTrim) != 0;
+    }
     if (!dec.ok() || e.len == 0) {
       return Status::Corruption("object extent malformed");
+    }
+    if (e.is_trim && e.conditional()) {
+      return Status::Corruption("trim extent cannot be conditional");
     }
     header->extents.push_back(e);
   }
@@ -209,18 +251,24 @@ std::vector<uint64_t> ConsistencyVector(uint64_t through, size_t shard_count) {
 
 Buffer EncodeCheckpoint(const CheckpointState& state) {
   const bool sharded = state.shard_count > 1;
+  const bool with_generations = !state.generations.empty();
   Encoder enc;
   enc.PutU32(kCkptMagic);
-  enc.PutU32(sharded ? kCkptVersionSharded : kFormatVersion);
+  enc.PutU32(with_generations
+                 ? kCkptVersionGenerations
+                 : (sharded ? kCkptVersionSharded : kFormatVersion));
   enc.PutU64(state.through_seq);
   enc.PutU64(state.next_seq);
   enc.PutU32(static_cast<uint32_t>(state.object_map.size()));
   enc.PutU32(static_cast<uint32_t>(state.object_info.size()));
   enc.PutU32(static_cast<uint32_t>(state.deferred_deletes.size()));
   enc.PutU32(static_cast<uint32_t>(state.snapshots.size()));
-  if (sharded) {
+  if (sharded || with_generations) {
     enc.PutU32(state.shard_count);
     enc.PutU32(static_cast<uint32_t>(state.shard_consistent.size()));
+  }
+  if (with_generations) {
+    enc.PutU32(static_cast<uint32_t>(state.generations.size()));
   }
   const size_t crc_pos = enc.size();
   enc.PutU32(0);
@@ -242,9 +290,15 @@ Buffer EncodeCheckpoint(const CheckpointState& state) {
   for (const uint64_t s : state.snapshots) {
     enc.PutU64(s);
   }
-  if (sharded) {
+  if (sharded || with_generations) {
     for (const uint64_t s : state.shard_consistent) {
       enc.PutU64(s);
+    }
+  }
+  if (with_generations) {
+    for (const auto& [seq, gen] : state.generations) {
+      enc.PutU64(seq);
+      enc.PutU32(gen);
     }
   }
 
@@ -264,7 +318,8 @@ Status DecodeCheckpoint(const Buffer& object, CheckpointState* state) {
     return Status::Corruption("bad checkpoint magic");
   }
   const uint32_t version = dec.GetU32();
-  if (version != kFormatVersion && version != kCkptVersionSharded) {
+  if (version != kFormatVersion && version != kCkptVersionSharded &&
+      version != kCkptVersionGenerations) {
     return Status::Corruption("unsupported checkpoint version");
   }
   state->through_seq = dec.GetU64();
@@ -275,9 +330,13 @@ Status DecodeCheckpoint(const Buffer& object, CheckpointState* state) {
   const uint32_t snap_count = dec.GetU32();
   uint32_t shard_count = 0;
   uint32_t vec_count = 0;
-  if (version == kCkptVersionSharded) {
+  if (version >= kCkptVersionSharded) {
     shard_count = dec.GetU32();
     vec_count = dec.GetU32();
+  }
+  uint32_t gen_count = 0;
+  if (version >= kCkptVersionGenerations) {
+    gen_count = dec.GetU32();
   }
   const size_t crc_pos = dec.position();
   const uint32_t crc = dec.GetU32();
@@ -294,6 +353,7 @@ Status DecodeCheckpoint(const Buffer& object, CheckpointState* state) {
   state->object_info.clear();
   state->deferred_deletes.clear();
   state->snapshots.clear();
+  state->generations.clear();
   state->shard_count = shard_count;
   state->shard_consistent.clear();
   for (uint32_t i = 0; i < map_count; i++) {
@@ -322,6 +382,10 @@ Status DecodeCheckpoint(const Buffer& object, CheckpointState* state) {
   }
   for (uint32_t i = 0; i < vec_count; i++) {
     state->shard_consistent.push_back(dec.GetU64());
+  }
+  for (uint32_t i = 0; i < gen_count; i++) {
+    const uint64_t seq = dec.GetU64();
+    state->generations[seq] = dec.GetU32();
   }
   if (!dec.ok()) {
     return Status::Corruption("checkpoint truncated");

@@ -35,6 +35,10 @@ struct ObjectExtent {
   // expectation (expected_seq == 0) and apply unconditionally.
   uint64_t expected_seq = 0;
   uint64_t expected_offset = 0;
+  // TRIM tombstone: the extent punches [vlba, vlba+len) out of the object map
+  // instead of mapping it, and contributes no payload bytes. Encoded as
+  // format v3 (per-extent flag word); objects without trims keep v1/v2.
+  bool is_trim = false;
 
   bool conditional() const { return expected_seq != 0; }
 };
@@ -70,9 +74,14 @@ Buffer EncodeDataObject(const DataObjectHeader& header, const Buffer& data);
 Status DecodeDataObjectHeader(const Buffer& object_prefix,
                               DataObjectHeader* header);
 // Size in bytes the encoded header will occupy for this many extents.
-// `with_generation` selects the v2 layout (4 extra bytes before padding).
+// `with_generation` selects the v2 layout (4 extra bytes before padding);
+// `with_trim` selects the v3 layout (generation plus a per-extent flag word).
 uint64_t DataObjectHeaderSize(size_t extent_count,
-                              bool with_generation = false);
+                              bool with_generation = false,
+                              bool with_trim = false);
+// Sum of the data-bearing (non-trim) extent lengths: the payload size an
+// encoded object with this header must carry after data_offset.
+uint64_t DataObjectPayloadBytes(const DataObjectHeader& header);
 
 // --- checkpoint objects ---
 struct ObjectInfo {
@@ -101,6 +110,13 @@ struct CheckpointState {
   // covers shard i. Recovery uses it to validate that every shard's stream
   // reaches the checkpoint before trusting the map (DESIGN.md §9).
   std::vector<uint64_t> shard_consistent;
+  // --- extended GC only (checkpoint format v3) ---
+  // Non-zero GC generations by object seq. Objects at or below through_seq
+  // are recovered from the checkpoint alone (their headers are never
+  // re-read), so generation-aware victim scoring needs the tags here;
+  // omitted (and the checkpoint stays v1/v2) when no object is tagged,
+  // which keeps default volumes byte-identical.
+  std::map<uint64_t, uint32_t> generations;
 };
 
 Buffer EncodeCheckpoint(const CheckpointState& state);

@@ -14,6 +14,11 @@ namespace {
 constexpr uint32_t kSuperMagic = 0x4C535653;    // "LSVS"
 constexpr uint32_t kWcCkptMagic = 0x4C535643;   // "LSVC"
 constexpr uint32_t kVersion = 1;
+// Checkpoint-blob v2 adds a per-record flag word (bit 0 = trim record). Only
+// written while a live trim record exists, so trim-free volumes keep the v1
+// bytes (same gating discipline as the object-format versions).
+constexpr uint32_t kCkptVersionTrim = 2;
+constexpr uint32_t kRecordFlagTrim = 1u << 0;
 // Bound on the data carried by one journal record, to keep record latency
 // bounded and recovery reads reasonable.
 constexpr uint64_t kMaxRecordData = 4 * kMiB;
@@ -147,6 +152,22 @@ void WriteCache::Append(uint64_t vlba, Buffer data, uint64_t batch_seq,
   MaybeStartRecord();
 }
 
+void WriteCache::AppendTrim(uint64_t vlba, uint64_t len, uint64_t batch_seq,
+                            std::function<void(Status)> done) {
+  assert(vlba % kBlockSize == 0 && len % kBlockSize == 0 && len > 0);
+  if (c_trim_records_ == nullptr) {
+    c_trim_records_ = metrics_->GetCounter(prefix_ + ".trim_records");
+  }
+  Pending p;
+  p.vlba = vlba;
+  p.batch_seq = batch_seq;
+  p.done = std::move(done);
+  p.is_trim = true;
+  p.trim_len = len;
+  pending_.push_back(std::move(p));
+  MaybeStartRecord();
+}
+
 double WriteCache::WriteHeat(uint64_t vlba) const {
   if (heat_halflife_ <= 0) {
     return 0.0;
@@ -171,6 +192,7 @@ void WriteCache::MaybeStartRecord() {
   // more writes without adding idle latency.
   while (in_flight_.size() < kRecordWindow && !pending_.empty()) {
     if (!in_flight_.empty() && pending_.size() < 2 &&
+        !pending_.front().is_trim &&
         pending_.front().data.size() < kPlugBytes &&
         !(fast_path_ && in_flight_.size() <= kFastPathDepth)) {
       if (plug_deadline_ > 0 && !plug_timer_armed_) {
@@ -205,6 +227,7 @@ void WriteCache::PlugTimerFire() {
   // replaced the one the timer was armed for just seals a little early —
   // the deadline is an upper bound on plug wait, not an exact hold time.
   if (!in_flight_.empty() && pending_.size() < 2 &&
+      !pending_.front().is_trim &&
       pending_.front().data.size() < kPlugBytes) {
     if (StartOneRecord()) {
       c_deadline_seals_->Inc();
@@ -218,12 +241,18 @@ bool WriteCache::StartOneRecord() {
   // record data cap, and available log space.
   JournalRecord record;
   record.seq = next_seq_;
+  // Records are type-homogeneous: trims pack only with trims (the record
+  // carries no payload), writes only with writes.
+  record.is_trim = pending_.front().is_trim;
   std::vector<Pending> writes;
   uint64_t data_len = 0;
   uint64_t max_batch = 0;
   while (!pending_.empty() && record.extents.size() < kMaxJournalExtents &&
          data_len < kMaxRecordData) {
     Pending& p = pending_.front();
+    if (p.is_trim != record.is_trim) {
+      break;
+    }
     const uint64_t record_size = kBlockSize + data_len + p.data.size();
     // Space feasibility including a potential wrap gap; evict releasable
     // records (FIFO) on demand.
@@ -240,7 +269,8 @@ bool WriteCache::StartOneRecord() {
       }
       break;
     }
-    record.extents.push_back(JournalExtent{p.vlba, p.data.size()});
+    record.extents.push_back(JournalExtent{
+        p.vlba, record.is_trim ? p.trim_len : p.data.size()});
     record.data.Append(p.data);
     data_len += p.data.size();
     max_batch = std::max(max_batch, p.batch_seq);
@@ -263,6 +293,7 @@ bool WriteCache::StartOneRecord() {
   meta.total_len = record_size;
   meta.footprint = gap + record_size;
   meta.max_batch_seq = max_batch;
+  meta.is_trim = record.is_trim;
   meta.extents = record.extents;
   meta.appended_at = host_->sim()->now();
 
@@ -272,6 +303,9 @@ bool WriteCache::StartOneRecord() {
   used_ += meta.footprint;
   c_records_->Inc();
   c_record_bytes_->Inc(record_size);
+  if (record.is_trim) {
+    c_trim_records_->Inc();
+  }
   records_.push_back(meta);  // in sequence order; applied later
   in_flight_[seq] = InFlightRecord{std::move(writes), false, Status::Ok()};
 
@@ -320,10 +354,24 @@ void WriteCache::ApplyCompletedRecords() {
       }
     }
     if (it->second.status.ok() && meta != nullptr) {
-      uint64_t data_plba = meta->offset + kBlockSize;
-      for (const auto& e : meta->extents) {
-        map_.Update(e.vlba, e.len, SsdTarget{data_plba}, nullptr);
-        data_plba += e.len;
+      if (meta->is_trim) {
+        // Punch the cache map and remember the tombstone until the backend
+        // batch that carries the object-map punch commits (ReleaseThrough).
+        for (const auto& e : meta->extents) {
+          map_.Remove(e.vlba, e.len, nullptr);
+          trim_map_.Update(e.vlba, e.len,
+                           ObjTarget{meta->max_batch_seq, e.vlba}, nullptr);
+        }
+      } else {
+        uint64_t data_plba = meta->offset + kBlockSize;
+        for (const auto& e : meta->extents) {
+          map_.Update(e.vlba, e.len, SsdTarget{data_plba}, nullptr);
+          if (!trim_map_.empty()) {
+            // A later write over a trimmed range supersedes the tombstone.
+            trim_map_.Remove(e.vlba, e.len, nullptr);
+          }
+          data_plba += e.len;
+        }
       }
     }
     for (auto& w : it->second.writes) {
@@ -422,6 +470,15 @@ void WriteCache::ReleaseThrough(uint64_t synced_batch_seq) {
       }
       release_timed_count_++;
     }
+    if (!trim_map_.empty()) {
+      // Tombstones whose punching batch has committed are covered by the
+      // backend map (the range is unmapped there) and can be dropped.
+      for (const auto& e : trim_map_.Extents()) {
+        if (e.target.seq <= release_watermark_) {
+          trim_map_.Remove(e.start, e.len, nullptr);
+        }
+      }
+    }
     // Newly releasable space may unblock stalled appends.
     MaybeStartRecord();
   }
@@ -435,22 +492,25 @@ void WriteCache::EvictForSpace(uint64_t needed) {
          !in_flight_.contains(records_.front().seq)) {
     const RecordMeta& rec = records_.front();
     // Remove map entries that still point into this record's data area;
-    // ranges overwritten by newer records are left alone.
-    const uint64_t data_base = rec.offset + kBlockSize;
-    uint64_t extent_plba = data_base;
-    ExtentMap<SsdTarget>::SegmentVec segs;
-    for (const auto& e : rec.extents) {
-      map_.Lookup(e.vlba, e.len, &segs);
-      for (const auto& seg : segs) {
-        if (!seg.target.has_value()) {
-          continue;
+    // ranges overwritten by newer records are left alone. Trim records carry
+    // no data, so no map entry can point into them.
+    if (!rec.is_trim) {
+      const uint64_t data_base = rec.offset + kBlockSize;
+      uint64_t extent_plba = data_base;
+      ExtentMap<SsdTarget>::SegmentVec segs;
+      for (const auto& e : rec.extents) {
+        map_.Lookup(e.vlba, e.len, &segs);
+        for (const auto& seg : segs) {
+          if (!seg.target.has_value()) {
+            continue;
+          }
+          const uint64_t expected = extent_plba + (seg.start - e.vlba);
+          if (seg.target->plba == expected) {
+            map_.Remove(seg.start, seg.len, nullptr);
+          }
         }
-        const uint64_t expected = extent_plba + (seg.start - e.vlba);
-        if (seg.target->plba == expected) {
-          map_.Remove(seg.start, seg.len, nullptr);
-        }
+        extent_plba += e.len;
       }
-      extent_plba += e.len;
     }
     used_ -= rec.footprint;
     c_evicted_records_->Inc();
@@ -491,9 +551,13 @@ void WriteCache::ChargeReadback(uint64_t bytes, std::function<void()> done) {
 }
 
 Buffer WriteCache::EncodeCheckpointBlob(uint64_t backend_synced_seq) const {
+  bool has_trim = false;
+  for (const auto& rec : records_) {
+    has_trim |= rec.is_trim;
+  }
   Encoder enc;
   enc.PutU32(kWcCkptMagic);
-  enc.PutU32(kVersion);
+  enc.PutU32(has_trim ? kCkptVersionTrim : kVersion);
   const size_t len_pos = enc.size();
   enc.PutU64(0);  // blob length, backpatched after padding
   enc.PutU64(ckpt_gen_ + 1);
@@ -512,6 +576,9 @@ Buffer WriteCache::EncodeCheckpointBlob(uint64_t backend_synced_seq) const {
     enc.PutU64(rec.total_len);
     enc.PutU64(rec.footprint);
     enc.PutU64(rec.max_batch_seq);
+    if (has_trim) {
+      enc.PutU32(rec.is_trim ? kRecordFlagTrim : 0);
+    }
     enc.PutU32(static_cast<uint32_t>(rec.extents.size()));
     for (const auto& e : rec.extents) {
       enc.PutU64(e.vlba);
@@ -542,7 +609,8 @@ Status WriteCache::LoadCheckpointBlob(const Buffer& blob,
   if (dec.GetU32() != kWcCkptMagic) {
     return Status::Corruption("bad write-cache checkpoint magic");
   }
-  if (dec.GetU32() != kVersion) {
+  const uint32_t version = dec.GetU32();
+  if (version != kVersion && version != kCkptVersionTrim) {
     return Status::Corruption("bad write-cache checkpoint version");
   }
   const uint64_t blob_len = dec.GetU64();
@@ -575,6 +643,7 @@ Status WriteCache::LoadCheckpointBlob(const Buffer& blob,
   records_.clear();
   release_timed_count_ = 0;
   map_.Clear();
+  trim_map_.Clear();
   for (uint32_t i = 0; i < rec_count; i++) {
     RecordMeta rec;
     rec.seq = dec.GetU64();
@@ -582,6 +651,9 @@ Status WriteCache::LoadCheckpointBlob(const Buffer& blob,
     rec.total_len = dec.GetU64();
     rec.footprint = dec.GetU64();
     rec.max_batch_seq = dec.GetU64();
+    if (version >= kCkptVersionTrim) {
+      rec.is_trim = (dec.GetU32() & kRecordFlagTrim) != 0;
+    }
     const uint32_t n = dec.GetU32();
     for (uint32_t j = 0; j < n; j++) {
       JournalExtent e;
@@ -599,6 +671,18 @@ Status WriteCache::LoadCheckpointBlob(const Buffer& blob,
   }
   if (!dec.ok()) {
     return Status::Corruption("write-cache checkpoint truncated");
+  }
+  // Rebuild the tombstone map from the live records in sequence order: a
+  // trim raises a tombstone, a later write over the range clears it.
+  for (const auto& rec : records_) {
+    for (const auto& e : rec.extents) {
+      if (rec.is_trim) {
+        trim_map_.Update(e.vlba, e.len, ObjTarget{rec.max_batch_seq, e.vlba},
+                         nullptr);
+      } else if (!trim_map_.empty()) {
+        trim_map_.Remove(e.vlba, e.len, nullptr);
+      }
+    }
   }
   return Status::Ok();
 }
@@ -753,8 +837,14 @@ void WriteCache::ReplayStep(std::shared_ptr<ReplayState> st) {
     uint64_t data_len = 0;
     if (!DecodeJournalHeader(*r, &rec, &data_len, volume_limit_).ok() ||
         rec.seq != st->expected_seq ||
-        st->pos + kBlockSize + data_len > base_ + size_ || data_len == 0) {
+        st->pos + kBlockSize + data_len > base_ + size_ ||
+        (data_len == 0 && !rec.is_trim)) {
       ReplayMiss(st);
+      return;
+    }
+    if (rec.is_trim) {
+      // Trim records are a bare header; nothing to verify beyond its CRC.
+      ReplayAccept(st, std::move(rec), 0);
       return;
     }
     // Header valid; verify the payload before accepting the record.
@@ -785,12 +875,24 @@ void WriteCache::ReplayAccept(const std::shared_ptr<ReplayState>& st,
       st->wrapped ? (base_ + size_) - st->fail_pos : st->pending_gap;
   meta.footprint = gap + meta.total_len;
   meta.max_batch_seq = rec.batch_seq;
+  meta.is_trim = rec.is_trim;
   meta.extents = rec.extents;
 
-  uint64_t data_plba = st->pos + kBlockSize;
-  for (const auto& e : rec.extents) {
-    map_.Update(e.vlba, e.len, SsdTarget{data_plba}, nullptr);
-    data_plba += e.len;
+  if (rec.is_trim) {
+    for (const auto& e : rec.extents) {
+      map_.Remove(e.vlba, e.len, nullptr);
+      trim_map_.Update(e.vlba, e.len, ObjTarget{rec.batch_seq, e.vlba},
+                       nullptr);
+    }
+  } else {
+    uint64_t data_plba = st->pos + kBlockSize;
+    for (const auto& e : rec.extents) {
+      map_.Update(e.vlba, e.len, SsdTarget{data_plba}, nullptr);
+      if (!trim_map_.empty()) {
+        trim_map_.Remove(e.vlba, e.len, nullptr);
+      }
+      data_plba += e.len;
+    }
   }
   used_ += meta.footprint;
   const uint64_t next_pos = st->pos + meta.total_len;

@@ -56,6 +56,7 @@ class WriteCache {
     uint64_t total_len = 0;  // header + data bytes
     uint64_t footprint = 0;  // total_len + any wrap gap preceding it
     uint64_t max_batch_seq = 0;
+    bool is_trim = false;    // trim tombstone record (extents, no data)
     std::vector<JournalExtent> extents;
     // In-memory only (never checkpointed): append time, for the
     // append-to-releasable lifecycle histogram. -1 for recovered records
@@ -80,6 +81,15 @@ class WriteCache {
   // this is the client's write acknowledgement point.
   void Append(uint64_t vlba, Buffer data, uint64_t batch_seq,
               std::function<void(Status)> done);
+
+  // Journals a TRIM of [vlba, vlba+len) as a tombstone record (no payload).
+  // When the record lands, the cache map entries for the range are punched
+  // out and the range is tracked in trim_map() until backend batch
+  // `batch_seq` commits, so reads in the window return zeros instead of
+  // stale read-cache/backend data. `done` fires at record durability — the
+  // client's discard acknowledgement point.
+  void AppendTrim(uint64_t vlba, uint64_t len, uint64_t batch_seq,
+                  std::function<void(Status)> done);
 
   // --- adaptive batching / group commit (DESIGN.md §12) ---
   // Enables the gated tail-latency behaviors. `plug_deadline` bounds how
@@ -108,6 +118,10 @@ class WriteCache {
 
   // Cache-map lookup structures for the read path.
   const ExtentMap<SsdTarget>& map() const { return map_; }
+  // Trimmed ranges whose object-map punch has not yet committed to the
+  // backend (target.seq is the punching batch). The read path must return
+  // zeros for these instead of consulting the read cache or backend.
+  const ExtentMap<ObjTarget>& trim_map() const { return trim_map_; }
   // Reads cached data by device offset (target of a map lookup).
   void ReadData(uint64_t plba, uint64_t len,
                 std::function<void(Result<Buffer>)> done);
@@ -168,6 +182,8 @@ class WriteCache {
     Buffer data;
     uint64_t batch_seq;
     std::function<void(Status)> done;
+    bool is_trim = false;
+    uint64_t trim_len = 0;  // trims carry no data, so length lives here
   };
 
   void MaybeStartRecord();
@@ -213,6 +229,9 @@ class WriteCache {
   uint64_t volume_limit_;
 
   ExtentMap<SsdTarget> map_;
+  // Trim tombstones not yet committed to the backend; empty on volumes that
+  // never trim. Rebuilt from the live records during recovery.
+  ExtentMap<ObjTarget> trim_map_;
   std::deque<RecordMeta> records_;
   std::deque<Pending> pending_;
   // Multiple journal records may be in flight on the SSD concurrently
@@ -267,6 +286,9 @@ class WriteCache {
   // metric dumps stay unchanged).
   Counter* c_deadline_seals_ = nullptr;
   Counter* c_coalesced_flushes_ = nullptr;
+  // Registered lazily on the first AppendTrim (trim-free volumes keep their
+  // metric dumps unchanged).
+  Counter* c_trim_records_ = nullptr;
   // Journal append -> record releasable (backend batches committed): the
   // tail of the write lifecycle trace.
   Histogram* h_append_to_free_us_;

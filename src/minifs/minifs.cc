@@ -660,6 +660,24 @@ void MiniFs::Commit(std::function<void(Status)> done) {
       for (const uint64_t i : *unblock) {
         reuse_blocked_.erase(i);
       }
+      if (discard_enabled_ && !unblock->empty()) {
+        // Pass the frees down as discards, coalesced into contiguous
+        // ranges. Fire-and-forget: a lost discard only costs space, and it
+        // is safe now — a crash replays this (committed) transaction, so
+        // the blocks can never roll back into a live file.
+        std::sort(unblock->begin(), unblock->end());
+        size_t i = 0;
+        while (i < unblock->size()) {
+          size_t j = i + 1;
+          while (j < unblock->size() &&
+                 (*unblock)[j] == (*unblock)[j - 1] + 1) {
+            j++;
+          }
+          disk_->Trim((geo_.data_start + (*unblock)[i]) * kBlockSize,
+                      (j - i) * kBlockSize, [](Status) {});
+          i = j;
+        }
+      }
       WriteBlocksBatched(disk_, *checkpoint,
                          [this, alive, done = std::move(done)](Status s3) {
         if (!*alive) {

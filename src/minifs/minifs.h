@@ -86,6 +86,12 @@ class MiniFs {
   std::vector<std::string> ListFiles() const;
   uint64_t file_count() const { return dir_.size(); }
 
+  // Enables TRIM/discard on file delete: once a freeing transaction is
+  // durable, the freed data blocks are discarded on the underlying disk
+  // (coalesced into contiguous ranges, fire-and-forget — like ext4's
+  // `discard` mount option). Off by default.
+  void EnableDiscard() { discard_enabled_ = true; }
+
   ~MiniFs();
   void Kill() { *alive_ = false; }
 
@@ -155,6 +161,7 @@ class MiniFs {
   uint64_t next_txid_ = 1;
   uint64_t journal_head_ = 0;  // block offset within the journal region
   bool commit_in_flight_ = false;
+  bool discard_enabled_ = false;  // see EnableDiscard()
 
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

@@ -678,6 +678,39 @@ TEST(ShardingFormatTest, UnshardedCheckpointStaysFormatV1) {
   EXPECT_TRUE(decoded.shard_consistent.empty());
 }
 
+TEST(ShardingFormatTest, CheckpointRoundTripsGenerations) {
+  // A non-empty generation table upgrades the checkpoint to v3 (the v2
+  // layout plus the table, shard fields present even when unsharded); an
+  // empty table keeps the legacy encoding byte for byte.
+  CheckpointState state;
+  state.through_seq = 9;
+  state.next_seq = 11;
+  state.object_map = {{0, 4096, ObjTarget{9, 0}}};
+  state.object_info[9] = ObjectInfo{4096, 4096};
+  const Buffer legacy = EncodeCheckpoint(state);
+
+  state.generations[7] = 2;
+  state.generations[9] = 1;
+  CheckpointState decoded;
+  ASSERT_TRUE(DecodeCheckpoint(EncodeCheckpoint(state), &decoded).ok());
+  EXPECT_EQ(decoded.generations, state.generations);
+  EXPECT_EQ(decoded.object_map, state.object_map);
+  EXPECT_EQ(decoded.shard_count, 0u);
+
+  state.generations.clear();
+  EXPECT_EQ(EncodeCheckpoint(state), legacy);
+
+  // Sharded + generations compose: both sections survive the round trip.
+  state.generations[7] = 3;
+  state.shard_count = 4;
+  state.shard_consistent = ConsistencyVector(9, 4);
+  CheckpointState both;
+  ASSERT_TRUE(DecodeCheckpoint(EncodeCheckpoint(state), &both).ok());
+  EXPECT_EQ(both.generations, state.generations);
+  EXPECT_EQ(both.shard_count, 4u);
+  EXPECT_EQ(both.shard_consistent, state.shard_consistent);
+}
+
 TEST(ShardingFormatTest, CheckpointRejectsVectorShardCountMismatch) {
   CheckpointState state;
   state.through_seq = 4;
@@ -838,18 +871,23 @@ class BackendGcPolicyTest : public BackendStoreTest {
                                             nullptr, config_, metrics_.get());
   }
 
-  // Mixed-lifetime churn: every 64 KiB batch pairs a hot 32 KiB slot (dead
-  // within 4 rounds) with one of 24 long-lived 32 KiB regions (rewritten
-  // round-robin ~24 rounds later). Half-dead objects pile up faster than
-  // whole-object deletion can restore the watermark, so GC must copy the
-  // surviving halves forward — and those copies are themselves partially
-  // overwritten later, pushing generations past 1.
+  // Mixed-lifetime churn: every 64 KiB batch packs four 16 KiB chunks with
+  // staggered lifetimes — a hot slot (rewritten within 4 rounds), a medium
+  // slot (~12 rounds), a long slot (~30 rounds) and a chunk never touched
+  // again within the churn. Objects therefore die piecewise: GC copies the
+  // surviving chunks forward, and because every output object still mixes
+  // durable and dying data, the copies themselves go partially dead and
+  // are re-collected — compounding the generation tag past 1.
   void Churn(uint64_t seed) {
     for (int round = 0; round < 60; round++) {
-      store_->AddWrite(static_cast<uint64_t>(round % 4) * 32 * kKiB,
-                       TestPattern(32 * kKiB, seed + round));
-      store_->AddWrite((8 + static_cast<uint64_t>(round % 24)) * 32 * kKiB,
-                       TestPattern(32 * kKiB, seed + 100 + round));
+      store_->AddWrite(static_cast<uint64_t>(round % 4) * 16 * kKiB,
+                       TestPattern(16 * kKiB, seed + round));
+      store_->AddWrite((8 + static_cast<uint64_t>(round % 12)) * 16 * kKiB,
+                       TestPattern(16 * kKiB, seed + 100 + round));
+      store_->AddWrite((24 + static_cast<uint64_t>(round % 30)) * 16 * kKiB,
+                       TestPattern(16 * kKiB, seed + 200 + round));
+      store_->AddWrite((64 + static_cast<uint64_t>(round)) * 16 * kKiB,
+                       TestPattern(16 * kKiB, seed + 300 + round));
       Run();
     }
     store_->Seal();

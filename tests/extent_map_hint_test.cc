@@ -152,6 +152,57 @@ TEST(ExtentMapHint, SequentialLookupAfterEraseUnderHint) {
   EXPECT_EQ(right->seq, 3u);
 }
 
+// Regression for the TRIM path: punching the extent the hint points at must
+// not leave a dangling node reference. Prime the hint, Remove (trim) the
+// hinted extent, then read *through* the punched range with ranged Lookups —
+// under ASan this walks the freed node if the hint dangles.
+TEST(ExtentMapHint, TrimHintedExtentThenReadThrough) {
+  ExtentMap<ObjTarget> map;
+  map.Update(0, 4096, ObjTarget{1, 0});
+  map.Update(4096, 4096, ObjTarget{2, 0});
+  map.Update(8192, 4096, ObjTarget{3, 0});
+
+  // Hint onto the middle extent, then trim it away entirely.
+  EXPECT_TRUE(map.LookupOne(6000).has_value());
+  ExtentMap<ObjTarget>::ExtentVec removed;
+  map.Remove(4096, 4096, &removed);
+  ASSERT_EQ(removed.size(), 1u);
+
+  // Ranged lookup spanning the punched hole — must report a gap, with both
+  // neighbors intact.
+  ExtentMap<ObjTarget>::SegmentVec segs;
+  map.Lookup(0, 12288, &segs);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_TRUE(segs[0].target.has_value());
+  EXPECT_FALSE(segs[1].target.has_value());
+  EXPECT_EQ(segs[1].start, 4096u);
+  EXPECT_EQ(segs[1].len, 4096u);
+  EXPECT_TRUE(segs[2].target.has_value());
+  EXPECT_EQ(segs[2].target->seq, 3u);
+
+  // Partial punch that splits the hinted extent: hint pointed at the node
+  // that gets erased and replaced by two halves.
+  ExtentMap<ObjTarget> map2;
+  map2.Update(0, 12288, ObjTarget{7, 0});
+  EXPECT_TRUE(map2.LookupOne(6000).has_value());  // hint -> [0,12288)
+  map2.Remove(4096, 4096, nullptr);
+  EXPECT_EQ(map2.extent_count(), 2u);
+  auto left = map2.LookupOne(100);
+  ASSERT_TRUE(left.has_value());
+  EXPECT_EQ(left->offset, 100u);
+  EXPECT_FALSE(map2.LookupOne(6000).has_value());
+  auto right = map2.LookupOne(9000);
+  ASSERT_TRUE(right.has_value());
+  EXPECT_EQ(right->offset, 9000u);
+
+  // Trim everything while the hint points at the last extent, then read.
+  map2.Remove(0, 12288, nullptr);
+  EXPECT_TRUE(map2.empty());
+  map2.Lookup(0, 12288, &segs);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_FALSE(segs[0].target.has_value());
+}
+
 TEST(ExtentMapHint, HintSurvivesMergeReplacingNode) {
   ExtentMap<ObjTarget> map;
   map.Update(0, 64, ObjTarget{9, 0});

@@ -150,6 +150,47 @@ TEST(ExtentMap, ClearResets) {
   EXPECT_EQ(m.mapped_bytes(), 0u);
 }
 
+// Directed accounting checks for the partial-overlap Update/Remove paths:
+// every trim/shrink combination must leave mapped_bytes() equal to the sum of
+// the surviving extent lengths.
+TEST(ExtentMap, PartialOverlapAccounting) {
+  // Remove clipping head, tail, middle, and spanning several extents.
+  Map m;
+  m.Update(0, 100, SsdTarget{1000});
+  m.Remove(0, 10);  // head clip
+  EXPECT_EQ(m.mapped_bytes(), 90u);
+  m.Remove(90, 20);  // tail clip (extends past the end)
+  EXPECT_EQ(m.mapped_bytes(), 80u);
+  m.Remove(40, 10);  // middle punch splits
+  EXPECT_EQ(m.mapped_bytes(), 70u);
+  EXPECT_EQ(m.extent_count(), 2u);
+  m.Update(200, 50, SsdTarget{5000});
+  m.Remove(30, 250);  // spans the split pair and the far extent
+  EXPECT_EQ(m.mapped_bytes(), 20u);
+  uint64_t sum = 0;
+  for (const auto& e : m.Extents()) {
+    sum += e.len;
+  }
+  EXPECT_EQ(m.mapped_bytes(), sum);
+
+  // Update overlapping both neighbors partially: net mapped size is the
+  // union, not old + new.
+  Map m2;
+  m2.Update(0, 50, SsdTarget{100});
+  m2.Update(60, 50, SsdTarget{900});
+  m2.Update(40, 40, SsdTarget{5000});  // clips 10 off each neighbor
+  EXPECT_EQ(m2.mapped_bytes(), 110u);
+  sum = 0;
+  for (const auto& e : m2.Extents()) {
+    sum += e.len;
+  }
+  EXPECT_EQ(m2.mapped_bytes(), sum);
+
+  // Zero-net-change overwrite of an exact extent.
+  m2.Update(40, 40, SsdTarget{7000});
+  EXPECT_EQ(m2.mapped_bytes(), 110u);
+}
+
 // Property test: random updates/removes against a per-byte reference model.
 class ExtentMapProperty : public ::testing::TestWithParam<uint64_t> {};
 
@@ -177,6 +218,15 @@ TEST_P(ExtentMapProperty, MatchesByteLevelReferenceModel) {
 
     // Invariant: mapped_bytes matches the reference.
     ASSERT_EQ(m.mapped_bytes(), ref.size());
+
+    // Invariant: the mapped_bytes accumulator never drifts from the ground
+    // truth, the sum of extent lengths (guards the partial-overlap
+    // Update/Remove accounting paths).
+    uint64_t extent_len_sum = 0;
+    for (const auto& e : m.Extents()) {
+      extent_len_sum += e.len;
+    }
+    ASSERT_EQ(m.mapped_bytes(), extent_len_sum) << "step " << step;
 
     // Spot-check random addresses.
     for (int probe = 0; probe < 20; probe++) {

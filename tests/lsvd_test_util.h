@@ -48,6 +48,15 @@ inline Result<Buffer> ReadSync(Simulator* sim, LsvdDisk* disk, uint64_t off,
   return std::move(*result);
 }
 
+inline Status TrimSync(Simulator* sim, LsvdDisk* disk, uint64_t off,
+                       uint64_t len) {
+  std::optional<Status> result;
+  disk->Trim(off, len, [&](Status s) { result = s; });
+  while (!result.has_value() && sim->Step()) {
+  }
+  return result.value_or(Status::Unavailable("trim never completed"));
+}
+
 inline Status FlushSync(Simulator* sim, LsvdDisk* disk) {
   std::optional<Status> result;
   disk->Flush([&](Status s) { result = s; });

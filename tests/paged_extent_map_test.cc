@@ -1,0 +1,242 @@
+// PagedExtentMap must be observationally identical to the flat ExtentMap for
+// any operation sequence — paging, packing, and eviction are pure memory
+// layout concerns. These tests fuzz that equivalence with page spans small
+// enough that extents routinely straddle page boundaries, and with resident
+// budgets tight enough that pages continuously evict and reload.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/lsvd/extent_map.h"
+#include "src/lsvd/paged_extent_map.h"
+#include "src/util/rng.h"
+
+namespace lsvd {
+namespace {
+
+using Flat = ExtentMap<ObjTarget>;
+using Paged = PagedExtentMap<ObjTarget>;
+
+void ExpectSameSegments(const Flat& flat, const Paged& paged, uint64_t start,
+                        uint64_t len) {
+  Flat::SegmentVec want;
+  flat.Lookup(start, len, &want);
+  Paged::SegmentVec got;
+  paged.Lookup(start, len, &got);
+  ASSERT_EQ(want.size(), got.size()) << "range [" << start << ", +" << len
+                                     << ")";
+  for (size_t i = 0; i < want.size(); i++) {
+    ASSERT_EQ(want[i].start, got[i].start);
+    ASSERT_EQ(want[i].len, got[i].len);
+    ASSERT_EQ(want[i].target.has_value(), got[i].target.has_value());
+    if (want[i].target.has_value()) {
+      ASSERT_EQ(*want[i].target, *got[i].target);
+    }
+  }
+}
+
+void ExpectSameExtents(const Flat& flat, const Paged& paged) {
+  const auto want = flat.Extents();
+  const auto got = paged.Extents();
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); i++) {
+    ASSERT_EQ(want[i].start, got[i].start);
+    ASSERT_EQ(want[i].len, got[i].len);
+    ASSERT_EQ(want[i].target, got[i].target);
+  }
+}
+
+TEST(PagedExtentMap, ExtentSpanningPageBoundary) {
+  Paged m(/*resident_budget_bytes=*/0, /*page_span=*/4096);
+  // One extent covering three pages.
+  m.Update(1000, 10000, ObjTarget{5, 100}, nullptr);
+  EXPECT_EQ(m.mapped_bytes(), 10000u);
+  EXPECT_EQ(m.page_count(), 3u);
+
+  // Lookup re-merges the per-page splits back into one segment.
+  Paged::SegmentVec segs;
+  m.Lookup(0, 16384, &segs);
+  ASSERT_EQ(segs.size(), 3u);  // gap, extent, gap
+  EXPECT_FALSE(segs[0].target.has_value());
+  ASSERT_TRUE(segs[1].target.has_value());
+  EXPECT_EQ(segs[1].start, 1000u);
+  EXPECT_EQ(segs[1].len, 10000u);
+  EXPECT_EQ(segs[1].target->seq, 5u);
+  EXPECT_EQ(segs[1].target->offset, 100u);
+  EXPECT_FALSE(segs[2].target.has_value());
+
+  // Extents() re-merges too.
+  const auto extents = m.Extents();
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0].start, 1000u);
+  EXPECT_EQ(extents[0].len, 10000u);
+
+  // LookupOne advances across the boundary correctly.
+  auto t = m.LookupOne(9000);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->offset, 100u + 8000u);
+
+  // Remove spanning pages punches everywhere.
+  Paged::ExtentVec removed;
+  m.Remove(0, 16384, &removed);
+  uint64_t removed_len = 0;
+  for (const auto& e : removed) {
+    removed_len += e.len;
+  }
+  EXPECT_EQ(removed_len, 10000u);
+  EXPECT_EQ(m.mapped_bytes(), 0u);
+}
+
+TEST(PagedExtentMap, PackedRoundTripPreservesContents) {
+  Paged m(0, 4096);
+  m.Update(100, 200, ObjTarget{1, 0}, nullptr);
+  m.Update(5000, 300, ObjTarget{2, 64}, nullptr);
+  m.Update(4000, 200, ObjTarget{3, 0}, nullptr);  // straddles 4096
+  const auto before = m.Extents();
+  m.PackAll();
+  EXPECT_EQ(m.ResidentBytes(), 0u);
+  EXPECT_GT(m.PackedBytes(), 0u);
+  // Reading through packed pages reloads them transparently.
+  auto t = m.LookupOne(4100);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->seq, 3u);
+  const auto after = m.Extents();
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); i++) {
+    EXPECT_EQ(before[i].start, after[i].start);
+    EXPECT_EQ(before[i].len, after[i].len);
+    EXPECT_EQ(before[i].target, after[i].target);
+  }
+  EXPECT_GT(m.page_loads(), 0u);
+}
+
+TEST(PagedExtentMap, BudgetBoundsResidentBytesViaEviction) {
+  constexpr uint64_t kBudget = 4096;
+  Paged m(kBudget, /*page_span=*/64 * 1024);
+  Rng rng(7);
+  // Touch many pages: far more live state than the budget allows.
+  for (int i = 0; i < 200; i++) {
+    const uint64_t page = rng.Uniform(64);
+    const uint64_t start = page * 64 * 1024 + rng.Uniform(1024) * 16;
+    m.Update(start, (1 + rng.Uniform(16)) * 512, ObjTarget{page + 1, 0},
+             nullptr);
+    ASSERT_LE(m.ResidentBytes(), kBudget) << "after op " << i;
+  }
+  EXPECT_GT(m.page_evictions(), 0u);
+  EXPECT_GT(m.page_loads(), 0u);
+  // Contents survive all that packing and reloading.
+  EXPECT_GT(m.mapped_bytes(), 0u);
+  uint64_t sum = 0;
+  for (const auto& e : m.Extents()) {
+    sum += e.len;
+  }
+  EXPECT_EQ(sum, m.mapped_bytes());
+}
+
+TEST(PagedExtentMap, SetResidentBudgetEvictsImmediately) {
+  Paged m(0, 4096);
+  for (uint64_t p = 0; p < 16; p++) {
+    m.Update(p * 4096, 1024, ObjTarget{p + 1, 0}, nullptr);
+  }
+  const uint64_t before = m.ResidentBytes();
+  ASSERT_GT(before, 1024u);
+  m.SetResidentBudget(1024);
+  EXPECT_LE(m.ResidentBytes(), 1024u);
+  EXPECT_GT(m.page_evictions(), 0u);
+}
+
+// The core property: a paged map under aggressive eviction answers every
+// query exactly like a flat map fed the same operations.
+class PagedEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PagedEquivalence, FuzzMatchesFlatMap) {
+  const uint64_t budget = GetParam();
+  constexpr uint64_t kSpan = 4096;  // tiny pages => constant boundary traffic
+  constexpr uint64_t kSpace = 64 * kSpan;
+  Flat flat;
+  Paged paged(budget, kSpan);
+  Rng rng(42 + budget);
+  uint64_t next_seq = 1;
+
+  for (int op = 0; op < 3000; op++) {
+    const uint64_t start = rng.Uniform(kSpace / 16) * 16;
+    const uint64_t len = (1 + rng.Uniform(512)) * 16;  // up to 2 pages
+    switch (rng.Uniform(8)) {
+      case 0:
+      case 1: {  // Remove, comparing removed sets
+        Flat::ExtentVec want;
+        flat.Remove(start, len, &want);
+        Paged::ExtentVec got;
+        paged.Remove(start, len, &got);
+        uint64_t want_len = 0;
+        uint64_t got_len = 0;
+        for (const auto& e : want) {
+          want_len += e.len;
+        }
+        for (const auto& e : got) {
+          got_len += e.len;
+        }
+        // Page splits may report more pieces, but the same coverage.
+        ASSERT_EQ(want_len, got_len);
+        break;
+      }
+      case 2: {  // LookupOne
+        const auto want = flat.LookupOne(start);
+        const auto got = paged.LookupOne(start);
+        ASSERT_EQ(want.has_value(), got.has_value());
+        if (want.has_value()) {
+          ASSERT_EQ(*want, *got);
+        }
+        break;
+      }
+      case 3: {  // ranged Lookup
+        ExpectSameSegments(flat, paged, start, len);
+        break;
+      }
+      default: {  // Update, comparing displaced coverage
+        const ObjTarget target{next_seq++, rng.Uniform(1 << 24)};
+        Flat::ExtentVec want;
+        flat.Update(start, len, target, &want);
+        Paged::ExtentVec got;
+        paged.Update(start, len, target, &got);
+        uint64_t want_len = 0;
+        uint64_t got_len = 0;
+        for (const auto& e : want) {
+          want_len += e.len;
+        }
+        for (const auto& e : got) {
+          got_len += e.len;
+        }
+        ASSERT_EQ(want_len, got_len);
+        break;
+      }
+    }
+    ASSERT_EQ(flat.mapped_bytes(), paged.mapped_bytes()) << "op " << op;
+    // Page-boundary splits may inflate the stored extent count, never
+    // deflate it (Extents() re-merges, checked below).
+    ASSERT_GE(paged.extent_count(), flat.extent_count()) << "op " << op;
+    if (budget != 0) {
+      ASSERT_LE(paged.ResidentBytes(), budget);
+    }
+  }
+
+  ExpectSameSegments(flat, paged, 0, kSpace);
+  ExpectSameExtents(flat, paged);
+
+  // Packed form is dramatically smaller than the flat map's node heap.
+  paged.PackAll();
+  if (flat.extent_count() > 100) {
+    EXPECT_LT(paged.MemoryBytes(), flat.MemoryBytes());
+  }
+  ExpectSameExtents(flat, paged);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, PagedEquivalence,
+                         ::testing::Values(0,        // never evict
+                                           2048,     // thrash hard
+                                           16384));  // moderate
+
+}  // namespace
+}  // namespace lsvd

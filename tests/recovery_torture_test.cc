@@ -40,16 +40,20 @@ constexpr uint64_t kStepCap = 20'000'000;
 struct PlannedWrite {
   uint64_t vlba;
   uint64_t len;
+  bool is_trim = false;  // TRIM op: zeros the range instead of stamping it
 };
 
-std::vector<PlannedWrite> MakePlan(uint64_t seed) {
+std::vector<PlannedWrite> MakePlan(uint64_t seed, bool with_trims = false) {
   Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
   std::vector<PlannedWrite> plan;
   plan.reserve(kNumWrites);
   for (size_t i = 0; i < kNumWrites; i++) {
     const uint64_t len = (1 + rng.Uniform(8)) * kStampBlock;  // 4..32 KiB
     const uint64_t max_block = (kStampRegion - len) / kStampBlock;
-    plan.push_back({rng.Uniform(max_block + 1) * kStampBlock, len});
+    const uint64_t vlba = rng.Uniform(max_block + 1) * kStampBlock;
+    // ~1 in 4 ops is a trim (never the first: give it something to punch).
+    const bool is_trim = with_trims && i > 0 && rng.Bernoulli(0.25);
+    plan.push_back({vlba, len, is_trim});
   }
   return plan;
 }
@@ -79,7 +83,9 @@ std::vector<uint64_t> ReplayStamps(const std::vector<PlannedWrite>& plan,
   std::vector<uint64_t> stamps(kStampRegion / kStampBlock, 0);
   for (size_t i = 0; i < prefix && i < plan.size(); i++) {
     for (uint64_t off = 0; off < plan[i].len; off += kStampBlock) {
-      stamps[(plan[i].vlba + off) / kStampBlock] = i + 1;
+      // A trim returns the block to the never-written (all-zero) state.
+      stamps[(plan[i].vlba + off) / kStampBlock] =
+          plan[i].is_trim ? 0 : i + 1;
     }
   }
   return stamps;
@@ -142,19 +148,23 @@ void Pump(std::shared_ptr<Runner> st) {
     const size_t i = st->next++;
     const PlannedWrite w = st->plan[i];
     st->inflight++;
-    st->disk->Write(w.vlba, StampPayload(i + 1, w.vlba, w.len),
-                    [st](Status s) {
-                      if (st->dead) {
-                        return;
-                      }
-                      st->inflight--;
-                      if (s.ok()) {
-                        st->acked++;
-                      } else {
-                        st->write_failures++;
-                      }
-                      Pump(st);
-                    });
+    auto on_done = [st](Status s) {
+      if (st->dead) {
+        return;
+      }
+      st->inflight--;
+      if (s.ok()) {
+        st->acked++;
+      } else {
+        st->write_failures++;
+      }
+      Pump(st);
+    };
+    if (w.is_trim) {
+      st->disk->Trim(w.vlba, w.len, on_done);
+    } else {
+      st->disk->Write(w.vlba, StampPayload(i + 1, w.vlba, w.len), on_done);
+    }
     if ((i + 1) % kFlushEvery == 0) {
       // Writes acked before the barrier was issued are durable once it
       // completes, even if the SSD later loses power.
@@ -202,7 +212,8 @@ struct TortureWorld {
   std::unique_ptr<LsvdDisk> disk;
   std::shared_ptr<Runner> runner;
 
-  TortureWorld(uint64_t seed, const LsvdConfig& config, bool with_faults) {
+  TortureWorld(uint64_t seed, const LsvdConfig& config, bool with_faults,
+               bool with_trims = false) {
     ObjectStore* store = &world.store;
     if (with_faults) {
       faulty = std::make_unique<FaultyObjectStore>(&world.store, &world.sim,
@@ -213,7 +224,7 @@ struct TortureWorld {
     EXPECT_TRUE(OpenSync(&world.sim, disk.get(), &LsvdDisk::Create).ok());
     runner = std::make_shared<Runner>();
     runner->disk = disk.get();
-    runner->plan = MakePlan(seed);
+    runner->plan = MakePlan(seed, with_trims);
     Pump(runner);
   }
 
@@ -229,8 +240,8 @@ struct TortureWorld {
 };
 
 uint64_t DryRunTotalSteps(uint64_t seed, const LsvdConfig& config,
-                          bool with_faults) {
-  TortureWorld dry(seed, config, with_faults);
+                          bool with_faults, bool with_trims = false) {
+  TortureWorld dry(seed, config, with_faults, with_trims);
   return dry.StepUpTo(kStepCap);
 }
 
@@ -253,16 +264,24 @@ size_t CheckPrefixConsistent(const std::vector<PlannedWrite>& plan,
     max_stamp = std::max(max_stamp, s);
   }
   EXPECT_LE(max_stamp, plan.size());
+  // The recovered prefix length is not directly observable when the plan
+  // contains trims (a trailing trim leaves no stamp), so accept the longest
+  // prefix P >= max_stamp whose replay matches the image. For trim-free
+  // plans only P == max_stamp can match (write P always leaves its stamp),
+  // so this is exactly the historical check.
+  for (size_t p = plan.size() + 1; p-- > max_stamp;) {
+    if (ReplayStamps(plan, p) == observed) {
+      return p;
+    }
+  }
   const std::vector<uint64_t> expected = ReplayStamps(plan, max_stamp);
-  EXPECT_EQ(observed, expected)
-      << "image is not a replay of the first " << max_stamp << " writes";
-  if (observed != expected) {
-    for (size_t b = 0; b < observed.size(); b++) {
-      if (observed[b] != expected[b]) {
-        fprintf(stderr, "block %zu: observed %llu expected %llu\n", b,
-                (unsigned long long)observed[b],
-                (unsigned long long)expected[b]);
-      }
+  ADD_FAILURE() << "image is not a replay of any plan prefix >= "
+                << max_stamp;
+  for (size_t b = 0; b < observed.size(); b++) {
+    if (observed[b] != expected[b]) {
+      fprintf(stderr, "block %zu: observed %llu expected %llu\n", b,
+              (unsigned long long)observed[b],
+              (unsigned long long)expected[b]);
     }
   }
   return max_stamp;
@@ -284,14 +303,16 @@ enum class CrashMode { kClientOnly, kClientAndPower };
 // Runs the workload, crashes at a seed-chosen random step, reopens via
 // OpenAfterCrash on the surviving host, and verifies the recovered image.
 void TortureAfterCrash(uint64_t seed, bool with_faults, CrashMode mode,
-                       const LsvdConfig& config = TortureConfig()) {
+                       const LsvdConfig& config = TortureConfig(),
+                       bool with_trims = false) {
   SCOPED_TRACE("seed " + std::to_string(seed));
-  const uint64_t total = DryRunTotalSteps(seed, config, with_faults);
+  const uint64_t total =
+      DryRunTotalSteps(seed, config, with_faults, with_trims);
   ASSERT_GT(total, 0u);
   Rng crash_rng(seed ^ 0xC4A5481DEAD5EEDull);
   const uint64_t crash_step = crash_rng.UniformRange(1, total + 1);
 
-  TortureWorld t(seed, config, with_faults);
+  TortureWorld t(seed, config, with_faults, with_trims);
   t.StepUpTo(crash_step);
   t.runner->dead = true;
   const DiskRegions regions = t.disk->regions();
@@ -322,14 +343,16 @@ void TortureAfterCrash(uint64_t seed, bool with_faults, CrashMode mode,
 // Same crash, but the write cache is gone: recovery sees only the backend.
 // The recovered image must still be a replay of some prefix of the plan.
 void TortureCacheLost(uint64_t seed, bool with_faults,
-                      const LsvdConfig& config = TortureConfig()) {
+                      const LsvdConfig& config = TortureConfig(),
+                      bool with_trims = false) {
   SCOPED_TRACE("seed " + std::to_string(seed));
-  const uint64_t total = DryRunTotalSteps(seed, config, with_faults);
+  const uint64_t total =
+      DryRunTotalSteps(seed, config, with_faults, with_trims);
   ASSERT_GT(total, 0u);
   Rng crash_rng(seed ^ 0x10CACE1057ull);
   const uint64_t crash_step = crash_rng.UniformRange(1, total + 1);
 
-  TortureWorld t(seed, config, with_faults);
+  TortureWorld t(seed, config, with_faults, with_trims);
   t.StepUpTo(crash_step);
   t.runner->dead = true;
   t.disk->Kill();
@@ -426,7 +449,7 @@ struct ShardedTortureWorld {
   std::shared_ptr<Runner> runner;
 
   ShardedTortureWorld(uint64_t seed, const LsvdConfig& config, size_t shards,
-                      bool with_faults) {
+                      bool with_faults, bool with_trims = false) {
     for (size_t i = 0; i < shards; i++) {
       mems.push_back(std::make_unique<MemObjectStore>(&world.sim));
       raw_stores.push_back(mems.back().get());
@@ -443,7 +466,7 @@ struct ShardedTortureWorld {
     EXPECT_TRUE(OpenSync(&world.sim, disk.get(), &LsvdDisk::Create).ok());
     runner = std::make_shared<Runner>();
     runner->disk = disk.get();
-    runner->plan = MakePlan(seed);
+    runner->plan = MakePlan(seed, with_trims);
     Pump(runner);
   }
 
@@ -473,8 +496,9 @@ struct ShardedTortureWorld {
 };
 
 uint64_t ShardedDryRunTotalSteps(uint64_t seed, const LsvdConfig& config,
-                                 size_t shards, bool with_faults) {
-  ShardedTortureWorld dry(seed, config, shards, with_faults);
+                                 size_t shards, bool with_faults,
+                                 bool with_trims = false) {
+  ShardedTortureWorld dry(seed, config, shards, with_faults, with_trims);
   return dry.StepUpTo(kStepCap);
 }
 
@@ -482,18 +506,19 @@ uint64_t ShardedDryRunTotalSteps(uint64_t seed, const LsvdConfig& config,
 // must recover at least every acknowledged write.
 void ShardedTortureAfterCrash(
     uint64_t seed, size_t shards, bool with_faults,
-    const std::vector<GcPolicyKind>& shard_policy = {}) {
+    const std::vector<GcPolicyKind>& shard_policy = {},
+    bool with_trims = false) {
   SCOPED_TRACE("seed " + std::to_string(seed) + " shards " +
                std::to_string(shards));
   LsvdConfig config = TortureConfig();
   config.gc_shard_policy = shard_policy;
   const uint64_t total =
-      ShardedDryRunTotalSteps(seed, config, shards, with_faults);
+      ShardedDryRunTotalSteps(seed, config, shards, with_faults, with_trims);
   ASSERT_GT(total, 0u);
   Rng crash_rng(seed ^ 0xC4A5481DEAD5EEDull);
   const uint64_t crash_step = crash_rng.UniformRange(1, total + 1);
 
-  ShardedTortureWorld t(seed, config, shards, with_faults);
+  ShardedTortureWorld t(seed, config, shards, with_faults, with_trims);
   t.StepUpTo(crash_step);
   t.runner->dead = true;
   const DiskRegions regions = t.disk->regions();
@@ -516,18 +541,19 @@ void ShardedTortureAfterCrash(
 // the gap, never corrupt it.
 void ShardedTortureCacheLost(uint64_t seed, size_t shards, bool with_faults,
                              bool lose_one_tail,
-                             const std::vector<GcPolicyKind>& shard_policy = {}) {
+                             const std::vector<GcPolicyKind>& shard_policy = {},
+                             bool with_trims = false) {
   SCOPED_TRACE("seed " + std::to_string(seed) + " shards " +
                std::to_string(shards));
   LsvdConfig config = TortureConfig();
   config.gc_shard_policy = shard_policy;
   const uint64_t total =
-      ShardedDryRunTotalSteps(seed, config, shards, with_faults);
+      ShardedDryRunTotalSteps(seed, config, shards, with_faults, with_trims);
   ASSERT_GT(total, 0u);
   Rng crash_rng(seed ^ 0x10CACE1057ull);
   const uint64_t crash_step = crash_rng.UniformRange(1, total + 1);
 
-  ShardedTortureWorld t(seed, config, shards, with_faults);
+  ShardedTortureWorld t(seed, config, shards, with_faults, with_trims);
   t.StepUpTo(crash_step);
   t.runner->dead = true;
   t.disk->Kill();
@@ -605,6 +631,59 @@ TEST(ShardedRecoveryTortureTest, CacheLostWithMixedPerShardPolicies) {
                             /*lose_one_tail=*/false, kMixedShardPolicies);
     ShardedTortureCacheLost(seed, /*shards=*/4, /*with_faults=*/true,
                             /*lose_one_tail=*/true, kMixedShardPolicies);
+  }
+}
+
+// --- TRIM under crashes (DESIGN.md §13) ---
+//
+// The plans mix ~25% trims into the write stream, so crash windows land
+// between a trim journal record and the checkpoint that would absorb it, on
+// half-applied trim batches, and on replayed trim records. The shadow model
+// treats a trim as returning its blocks to the all-zero state; ObservedStamps
+// already fails any block that is only partially zero, so a trim can never
+// expose stale or torn data.
+
+TEST(TrimRecoveryTortureTest, AfterCrashRecoversAckedOps) {
+  for (uint64_t seed = 2001; seed <= 2020; seed++) {
+    TortureAfterCrash(seed, /*with_faults=*/false, CrashMode::kClientOnly,
+                      TortureConfig(), /*with_trims=*/true);
+  }
+}
+
+TEST(TrimRecoveryTortureTest, AfterCrashWithPowerFailure) {
+  for (uint64_t seed = 2101; seed <= 2115; seed++) {
+    TortureAfterCrash(seed, /*with_faults=*/false, CrashMode::kClientAndPower,
+                      TortureConfig(), /*with_trims=*/true);
+  }
+}
+
+TEST(TrimRecoveryTortureTest, AfterCrashUnderBackendFaults) {
+  for (uint64_t seed = 2201; seed <= 2210; seed++) {
+    TortureAfterCrash(seed, /*with_faults=*/true, CrashMode::kClientOnly,
+                      TortureConfig(), /*with_trims=*/true);
+  }
+}
+
+TEST(TrimRecoveryTortureTest, CacheLostRecoversConsistentPrefix) {
+  for (uint64_t seed = 2301; seed <= 2320; seed++) {
+    TortureCacheLost(seed, /*with_faults=*/false, TortureConfig(),
+                     /*with_trims=*/true);
+  }
+}
+
+TEST(TrimRecoveryTortureTest, ShardedAfterCrashRecoversAckedOps) {
+  for (uint64_t seed = 2401; seed <= 2410; seed++) {
+    ShardedTortureAfterCrash(seed, /*shards=*/4, /*with_faults=*/false, {},
+                             /*with_trims=*/true);
+  }
+}
+
+TEST(TrimRecoveryTortureTest, ShardedCacheLostRecoversConsistentPrefix) {
+  for (uint64_t seed = 2501; seed <= 2510; seed++) {
+    ShardedTortureCacheLost(seed, /*shards=*/4, /*with_faults=*/false,
+                            /*lose_one_tail=*/false, {}, /*with_trims=*/true);
+    ShardedTortureCacheLost(seed, /*shards=*/2, /*with_faults=*/true,
+                            /*lose_one_tail=*/false, {}, /*with_trims=*/true);
   }
 }
 
