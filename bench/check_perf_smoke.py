@@ -35,6 +35,13 @@ SCHEMA = {
     "sim_seconds": float,
     "peak_rss_bytes": int,
     "map_resident_bytes": int,
+    # Parallel-engine fields (DESIGN.md section 14): worker threads, domain
+    # count, and idle domain-windows. All 1/1/0 for the sequential engine;
+    # tolerated and recorded here so the perf trajectory stays comparable
+    # across thread counts.
+    "threads": int,
+    "domains": int,
+    "sync_stalls": int,
     "crc32c_impl": str,
     "build_type": str,
 }
@@ -103,7 +110,9 @@ def main():
         diff = {k: (golden.get(k), snapshot[k]) for k in DETERMINISTIC
                 if golden.get(k) != snapshot[k]}
         fail("virtual-time drift from golden (golden, got): %s" % diff)
-    print("perf_smoke OK: schema valid, virtual-time fields match golden")
+    print("perf_smoke OK: schema valid, virtual-time fields match golden "
+          "(threads=%d domains=%d sync_stalls=%d)" %
+          (report["threads"], report["domains"], report["sync_stalls"]))
 
 
 if __name__ == "__main__":

@@ -8,13 +8,59 @@
 //
 // Acceptance target: >= 3x aggregate write throughput at 4 shards vs 1
 // shard with the same per-shard disk count.
+//
+// --threads=N runs the sweep on the parallel per-domain engine (DESIGN.md
+// §14): each client host is one SimDomain, each shard's cluster another, and
+// N worker threads execute the conservative windows. Results are
+// deterministic for any N; the flag absent means the sequential engine and
+// byte-identical legacy output. --shards=K narrows the sweep to a single
+// point (wall-clock speedup measurements).
+//
+// --clients=C scales the *fleet*: C client hosts, each with its own NIC and
+// its own volume striped over the same shards. One client host saturates its
+// 10 GbE NIC at ~16 events per 100us sync window — too sparse for the
+// parallel engine to win — so speedup measurements use a fleet plus
+// --ssd-shards (SSD-backed shards) to keep the backend from becoming the
+// bottleneck at fleet-aggregate bandwidth.
 #include "bench/common.h"
 
 using namespace lsvd;
 using namespace lsvd::bench;
 
+namespace {
+
+// One client host of the fleet: host + NIC + per-shard stores + its volume.
+// Client 0 borrows the World's host/link and registers into the world
+// metrics registry, so --clients=1 stays byte-identical with the pre-fleet
+// bench; extra clients own private components with private registries
+// (the null-registry convention) to keep gauge names collision-free.
+struct ClientRig {
+  SimDomain* domain = nullptr;  // null => runs on the world sim
+  Simulator* sim = nullptr;
+  ClientHost* host = nullptr;
+  NetLink* link = nullptr;
+  std::unique_ptr<ClientHost> owned_host;
+  std::unique_ptr<NetLink> owned_link;
+  std::vector<std::unique_ptr<SimObjectStore>> stores;
+  std::unique_ptr<LsvdDisk> disk;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  PerfScope perf(argc, argv, "fig18_scaleout");
+  const int threads = ArgThreads(argc, argv);
+  const int clients = ArgInt(argc, argv, "clients", 1);
+  const bool ssd_shards = ArgFlag(argc, argv, "ssd-shards");
+  // Per-config perf snapshots (BENCH_fig18_scaleout[_cC][_tN].json) so the
+  // speedup curve can live in bench/results/ next to the sequential one.
+  std::string perf_name = "fig18_scaleout";
+  if (clients > 1) {
+    perf_name += "_c" + std::to_string(clients);
+  }
+  if (threads > 0) {
+    perf_name += "_t" + std::to_string(threads);
+  }
+  PerfScope perf(argc, argv, perf_name);
   const bool smoke = ArgFlag(argc, argv, "smoke");
   const double seconds = ArgDouble(argc, argv, "seconds", smoke ? 0.2 : 6.0);
   const double warmup = ArgDouble(argc, argv, "warmup", smoke ? 0.05 : 1.5);
@@ -26,13 +72,21 @@ int main(int argc, char** argv) {
       static_cast<int>(ArgDouble(argc, argv, "disks-per-shard", 2));
   const int max_shards =
       static_cast<int>(ArgDouble(argc, argv, "max-shards", smoke ? 2 : 8));
+  // --shards=K: measure exactly one sweep point instead of 1,2,...
+  const int only_shards = ArgInt(argc, argv, "shards", 0);
 
   PrintHeader("fig18_scaleout",
               "extension — write throughput vs backend shard count, one "
               "volume striped over N object stores");
   std::printf("256 KiB randwrite QD32, writeback-bound (%g GiB cache), "
-              "%gs measured after %gs warmup, %d HDDs per shard\n\n",
-              cache_gib, seconds, warmup, disks_per_shard);
+              "%gs measured after %gs warmup, %d %s per shard\n",
+              cache_gib, seconds, warmup, disks_per_shard,
+              ssd_shards ? "SSDs" : "HDDs");
+  if (clients > 1) {
+    std::printf("fleet mode: %d client hosts, each its own NIC and volume, "
+                "striped over the same shards\n", clients);
+  }
+  std::printf("\n");
 
   const auto volume =
       static_cast<uint64_t>(vol_gib * static_cast<double>(kGiB));
@@ -48,43 +102,115 @@ int main(int argc, char** argv) {
   // deregister their gauge callbacks before the registry dies).
   std::unique_ptr<World> last_world;
   std::vector<std::unique_ptr<BackendCluster>> last_clusters;
-  std::vector<std::unique_ptr<SimObjectStore>> last_stores;
-  std::unique_ptr<LsvdDisk> last_disk;
+  std::vector<ClientRig> last_rigs;
+  // (shards, wall seconds) per sweep point, reported when --threads is set.
+  std::vector<std::pair<int, double>> wall_times;
 
-  for (int shards = 1; shards <= max_shards; shards *= 2) {
+  const int first_shards = only_shards > 0 ? only_shards : 1;
+  const int last_shards = only_shards > 0 ? only_shards : max_shards;
+  for (int shards = first_shards; shards <= last_shards; shards *= 2) {
     // The World's built-in cluster is unused here (every shard brings its
     // own pool); keep it minimal.
     ClusterConfig unused_pool;
     unused_pool.kind = DiskKind::kHdd;
     unused_pool.num_disks = 1;
     auto world = std::make_unique<World>(unused_pool);
+    if (threads > 0) {
+      world->EnableParallel(threads);
+    }
+
+    std::vector<ClientRig> rigs(static_cast<size_t>(clients));
+    rigs[0].domain = world->client_domain;
+    rigs[0].sim = &world->sim;
+    rigs[0].host = world->host.get();
+    rigs[0].link = world->backend_link.get();
+    // Extra client hosts get their own domains before the shard domains so
+    // domain ids key to the (clients, shards) config, never to thread count.
+    for (int c = 1; c < clients; c++) {
+      ClientRig& rig = rigs[static_cast<size_t>(c)];
+      if (threads > 0) {
+        rig.domain = world->AddSimDomain("client" + std::to_string(c));
+        rig.sim = rig.domain->sim();
+      } else {
+        rig.sim = &world->sim;
+      }
+      rig.owned_host =
+          std::make_unique<ClientHost>(rig.sim, world->host_config, nullptr);
+      rig.host = rig.owned_host.get();
+      rig.owned_link = std::make_unique<NetLink>(rig.sim, NetParams{});
+      rig.link = rig.owned_link.get();
+    }
 
     ClusterConfig shard_pool;
-    shard_pool.kind = DiskKind::kHdd;
+    shard_pool.kind = ssd_shards ? DiskKind::kSsd : DiskKind::kHdd;
     shard_pool.num_disks = disks_per_shard;
 
     std::vector<std::unique_ptr<BackendCluster>> clusters;
-    std::vector<std::unique_ptr<SimObjectStore>> stores;
-    std::vector<ObjectStore*> store_ptrs;
+    std::vector<SimDomain*> shard_doms(static_cast<size_t>(shards), nullptr);
     for (int i = 0; i < shards; i++) {
       const std::string prefix = "shard" + std::to_string(i);
+      // Under the parallel engine each shard's cluster lives in its own
+      // domain; channels are created in (client, shard) order so channel
+      // ids — the determinism tie-break — key to the topology, not to how
+      // domains are packed onto threads.
+      SimDomain* dom = nullptr;
+      Simulator* shard_sim = &world->sim;
+      if (threads > 0) {
+        dom = world->AddSimDomain(prefix);
+        shard_sim = dom->sim();
+      }
+      shard_doms[static_cast<size_t>(i)] = dom;
       clusters.push_back(std::make_unique<BackendCluster>(
-          &world->sim, shard_pool, &world->metrics, prefix + ".cluster"));
-      stores.push_back(std::make_unique<SimObjectStore>(
+          shard_sim, shard_pool, &world->metrics, prefix + ".cluster"));
+      rigs[0].stores.push_back(std::make_unique<SimObjectStore>(
           &world->sim, clusters.back().get(), world->backend_link.get(),
           SimObjectStoreConfig{}, &world->metrics, prefix + ".objstore"));
-      store_ptrs.push_back(stores.back().get());
+      if (threads > 0) {
+        const Nanos hop = world->backend_link->half_rtt();
+        CrossDomainChannel* c2b =
+            world->group->Connect(world->client_domain, dom, hop);
+        CrossDomainChannel* b2c =
+            world->group->Connect(dom, world->client_domain, hop);
+        rigs[0].stores.back()->BindBackendDomain(dom, c2b, b2c);
+      }
+    }
+    // Extra clients' stores share each shard's cluster (their own allocator
+    // heads; the cluster just queues disk ops from both).
+    for (int c = 1; c < clients; c++) {
+      ClientRig& rig = rigs[static_cast<size_t>(c)];
+      for (int i = 0; i < shards; i++) {
+        rig.stores.push_back(std::make_unique<SimObjectStore>(
+            rig.sim, clusters[static_cast<size_t>(i)].get(), rig.link,
+            SimObjectStoreConfig{}, nullptr));
+        if (threads > 0) {
+          SimDomain* dom = shard_doms[static_cast<size_t>(i)];
+          const Nanos hop = rig.link->half_rtt();
+          CrossDomainChannel* c2b = world->group->Connect(rig.domain, dom, hop);
+          CrossDomainChannel* b2c = world->group->Connect(dom, rig.domain, hop);
+          rig.stores.back()->BindBackendDomain(dom, c2b, b2c);
+        }
+      }
     }
 
     LsvdConfig config = DefaultLsvdConfig(volume, cache);
-    auto disk = std::make_unique<LsvdDisk>(world->host.get(), store_ptrs,
-                                           config, &world->metrics);
-    std::optional<Status> created;
-    disk->Create([&](Status s) { created = s; });
-    world->sim.Run();
-    if (!created.has_value() || !created->ok()) {
-      std::fprintf(stderr, "create failed\n");
-      return 1;
+    std::vector<std::optional<Status>> created(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; c++) {
+      ClientRig& rig = rigs[static_cast<size_t>(c)];
+      std::vector<ObjectStore*> ptrs;
+      for (auto& s : rig.stores) {
+        ptrs.push_back(s.get());
+      }
+      rig.disk = std::make_unique<LsvdDisk>(
+          rig.host, ptrs, config, c == 0 ? &world->metrics : nullptr);
+      rig.disk->Create(
+          [&created, c](Status s) { created[static_cast<size_t>(c)] = s; });
+    }
+    world->Run();
+    for (const auto& st : created) {
+      if (!st.has_value() || !st->ok()) {
+        std::fprintf(stderr, "create failed\n");
+        return 1;
+      }
     }
 
     FioConfig fio;
@@ -92,11 +218,36 @@ int main(int argc, char** argv) {
     fio.block_size = 256 * kKiB;
     fio.volume_size = volume;
 
-    // Warmup populates the maps and object stream; RunFio then drains to
+    // One driver per client, all run to quiescence together; returns the
+    // aggregate write throughput (Bps). For --clients=1 this is exactly
+    // RunFio's sequence, so single-client output stays byte-identical.
+    auto run_fleet = [&](uint64_t seed, double secs) {
+      std::vector<std::unique_ptr<Driver>> drivers;
+      for (int c = 0; c < clients; c++) {
+        ClientRig& rig = rigs[static_cast<size_t>(c)];
+        FioConfig f = fio;
+        // Decorrelated seeds: each client writes its own volume, so streams
+        // must differ; client 0 keeps the legacy seed.
+        f.seed = c == 0 ? seed : seed * 1000 + static_cast<uint64_t>(c);
+        drivers.push_back(std::make_unique<Driver>(
+            rig.sim, rig.disk.get(), MakeFioGen(f), 32,
+            rig.sim->now() + FromSeconds(secs),
+            c == 0 ? &world->metrics : nullptr));
+        drivers.back()->Run([] {});
+      }
+      world->Run();
+      double write_bps = 0;
+      for (auto& d : drivers) {
+        GlobalPerfTotals().sim_ios += d->stats().ops;
+        write_bps += d->stats().WriteThroughputBps();
+      }
+      return write_bps;
+    };
+
+    // Warmup populates the maps and object stream; the run then drains to
     // quiescence, so the measured window starts from an empty write cache
     // (its one-time fill slightly favours the 1-shard baseline).
-    fio.seed = 1;
-    RunFio(world.get(), disk.get(), fio, 32, warmup);
+    run_fleet(1, warmup);
 
     const Nanos t0 = world->sim.now();
     std::vector<Nanos> busy0(static_cast<size_t>(shards));
@@ -104,29 +255,43 @@ int main(int argc, char** argv) {
     for (int i = 0; i < shards; i++) {
       busy0[static_cast<size_t>(i)] = clusters[static_cast<size_t>(i)]
                                           ->TotalBusy();
-      put_bytes0 += stores[static_cast<size_t>(i)]->stats().put_bytes;
+    }
+    for (auto& rig : rigs) {
+      for (auto& s : rig.stores) {
+        put_bytes0 += s->stats().put_bytes;
+      }
     }
 
-    // RunFio runs the simulator to quiescence, which appends a long
-    // cache-drain tail after the driver's deadline; sample the backend
-    // counters *at* the deadline so backend MB/s and utilization describe
-    // the loaded window, like the client-side stats do.
+    // The run goes to quiescence, which appends a long cache-drain tail
+    // after the drivers' deadline; sample the backend counters *at* the
+    // deadline so backend MB/s and utilization describe the loaded window,
+    // like the client-side stats do.
     double util_sum = 0;
     uint64_t put_bytes1 = 0;
-    world->sim.After(FromSeconds(seconds), [&] {
+    // Under the parallel engine this runs as a coordinator barrier task with
+    // every domain quiesced and advanced to the deadline, so reading shard
+    // cluster state from here is race-free.
+    world->At(world->sim.now() + FromSeconds(seconds), [&] {
       const Nanos tm = world->sim.now();
       for (int i = 0; i < shards; i++) {
-        put_bytes1 += stores[static_cast<size_t>(i)]->stats().put_bytes;
         util_sum += clusters[static_cast<size_t>(i)]->MeanUtilization(
             busy0[static_cast<size_t>(i)], t0, tm);
       }
+      for (auto& rig : rigs) {
+        for (auto& s : rig.stores) {
+          put_bytes1 += s->stats().put_bytes;
+        }
+      }
     });
 
-    fio.seed = 2;
-    const DriverStats stats = RunFio(world.get(), disk.get(), fio, 32,
-                                     seconds);
+    const auto wall_start = std::chrono::steady_clock::now();
+    const double write_bps = run_fleet(2, seconds);
+    wall_times.emplace_back(
+        shards, std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count());
 
-    const double mbps = stats.WriteThroughputBps() / 1e6;
+    const double mbps = write_bps / 1e6;
     const double backend_mbps =
         static_cast<double>(put_bytes1 - put_bytes0) / seconds / 1e6;
     if (shards == 1) {
@@ -140,13 +305,34 @@ int main(int argc, char** argv) {
                   Table::Fmt(speedup, 2) + "x", Table::Fmt(backend_mbps, 1),
                   Table::Fmt(util_sum / shards * 100, 1)});
     // Retire the previous point before its world (registry) goes away.
-    last_disk = std::move(disk);
-    last_stores = std::move(stores);
+    last_rigs = std::move(rigs);
     last_clusters = std::move(clusters);
     last_world = std::move(world);
   }
   table.Print();
-  if (max_shards >= 4) {
+  if (threads > 0) {
+    // Wall-clock report for the parallel engine: virtual-time results above
+    // are thread-count-invariant; this is the part that is allowed to vary.
+    // threads may exceed the host's cores; World clamps (worker count never
+    // changes results), so report what actually ran.
+    std::printf("\nparallel engine: threads=%d (effective workers: %d)\n",
+                threads,
+                last_world != nullptr ? last_world->threads : threads);
+    for (const auto& [n, wall] : wall_times) {
+      std::printf("  shards=%d measured-run wall-clock: %.3fs\n", n, wall);
+    }
+    if (last_world != nullptr && last_world->group != nullptr) {
+      const SimDomainGroup& g = *last_world->group;
+      std::printf("  last point: domains=%zu windows=%llu sync_stalls=%llu "
+                  "messages=%llu events=%llu\n",
+                  g.domain_count(),
+                  static_cast<unsigned long long>(g.windows()),
+                  static_cast<unsigned long long>(g.sync_stalls()),
+                  static_cast<unsigned long long>(g.messages_delivered()),
+                  static_cast<unsigned long long>(g.events_processed()));
+    }
+  }
+  if (only_shards == 0 && max_shards >= 4) {
     std::printf("\nspeedup at 4 shards: %.2fx (target >= 3x; client NIC is "
                 "the eventual ceiling)\n",
                 speedup4);

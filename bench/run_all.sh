@@ -3,7 +3,7 @@
 # --json metrics dump (where supported) parses. Wired into ctest as
 # `bench_smoke`; also usable standalone:
 #
-#   bench/run_all.sh [--perf] [path/to/build/bench]
+#   bench/run_all.sh [--perf] [--jobs=N] [path/to/build/bench]
 #
 # Tiny parameters keep the whole sweep under about a minute — this checks
 # that every figure/table binary still runs end to end and that the metrics
@@ -15,13 +15,37 @@
 # perf snapshots can be committed rather than stranded in the build tree —
 # and a summary table (events/sec, simulated-IOs/sec, wall seconds per bench
 # plus totals) is printed at the end.
+#
+# With --jobs=N, up to N benches run concurrently (multi-process perf sweep;
+# DESIGN.md section 14). Results print in submission order once all jobs
+# finish, any child failure makes the script exit non-zero, and perf-mode
+# JSON lands in a private per-job directory first and is published into the
+# results dir with an atomic same-filesystem rename — concurrent jobs can
+# never leave a torn BENCH_*.json behind. Note that perf numbers taken with
+# N > 1 share the machine; treat them as smoke coverage, not measurements.
 set -u
 
 PERF=0
-if [ "${1:-}" = "--perf" ]; then
-  PERF=1
-  shift
-fi
+JOBS=1
+while :; do
+  case "${1:-}" in
+    --perf)
+      PERF=1
+      shift
+      ;;
+    --jobs=*)
+      JOBS="${1#--jobs=}"
+      case "$JOBS" in
+        ''|*[!0-9]*) echo "bad --jobs value: $JOBS" >&2; exit 1 ;;
+      esac
+      [ "$JOBS" -ge 1 ] || JOBS=1
+      shift
+      ;;
+    *)
+      break
+      ;;
+  esac
+done
 
 BENCH_DIR="${1:-$(dirname "$0")/../build/bench}"
 if [ ! -d "$BENCH_DIR" ]; then
@@ -68,38 +92,92 @@ for k in ack:
   return 0
 }
 
-# run NAME [ARGS...]: run one bench, report pass/fail, validate JSON when
-# --json was among the arguments.
-run() {
+# run_one NAME [ARGS...]: execute one bench; record its exit in
+# $TMP/NAME.status and its output in $TMP/NAME.out. Safe to run from a
+# background job: everything it touches is private to NAME.
+run_one() {
   local name="$1"
   shift
   local bin="$BENCH_DIR/$name"
+  local out="$TMP/$name.out"
   if [ ! -x "$bin" ]; then
-    echo "FAIL $name (binary missing)"
-    failures=$((failures + 1))
+    echo "missing" > "$TMP/$name.status"
     return
   fi
-  local out="$TMP/$name.out"
-  local want_json=0
-  for arg in "$@"; do
-    [ "$arg" = "--json" ] && want_json=1
-  done
   local workdir="."
   if [ "$PERF" = 1 ]; then
     set -- "$@" --perf
     workdir="$RESULTS_DIR"
+    if [ "$JOBS" -gt 1 ]; then
+      # Private staging dir per job: PerfScope writes BENCH_<name>.json into
+      # its CWD, and publishing via same-filesystem rename below keeps
+      # concurrent writers from ever exposing a torn file.
+      workdir="$RESULTS_DIR/.job-$name"
+      mkdir -p "$workdir"
+    fi
   fi
-  if ! (cd "$workdir" && "$bin" "$@") >"$out" 2>&1; then
-    echo "FAIL $name (exit $?)"
+  local rc=0
+  (cd "$workdir" && "$bin" "$@") >"$out" 2>&1 || rc=$?
+  if [ "$PERF" = 1 ] && [ "$JOBS" -gt 1 ]; then
+    local f
+    for f in "$workdir"/BENCH_*.json; do
+      [ -e "$f" ] && mv -f "$f" "$RESULTS_DIR/$(basename "$f")"
+    done
+    rmdir "$workdir" 2>/dev/null || true
+  fi
+  echo "$rc" > "$TMP/$name.status"
+}
+
+# report NAME: print the pass/fail line for a finished bench (validating the
+# JSON dump when --json was among its arguments) and count failures. Runs in
+# the main shell, in submission order.
+report() {
+  local name="$1"
+  local out="$TMP/$name.out"
+  local args=""
+  [ -f "$TMP/$name.args" ] && args="$(cat "$TMP/$name.args")"
+  local status
+  status="$(cat "$TMP/$name.status" 2>/dev/null || echo 999)"
+  if [ "$status" = "missing" ]; then
+    echo "FAIL $name (binary missing)"
+    failures=$((failures + 1))
+    return
+  fi
+  if [ "$status" != 0 ]; then
+    echo "FAIL $name (exit $status)"
     sed 's/^/    /' "$out" | tail -5
     failures=$((failures + 1))
     return
   fi
-  if [ "$want_json" = 1 ] && ! validate_json "$out" "$name"; then
-    failures=$((failures + 1))
-    return
+  case " $args " in
+    *" --json "*)
+      if ! validate_json "$out" "$name"; then
+        failures=$((failures + 1))
+        return
+      fi
+      ;;
+  esac
+  echo "ok   $name $args"
+}
+
+JOB_NAMES=""
+
+# run NAME [ARGS...]: run one bench — immediately (jobs=1, incremental
+# output) or as a throttled background job reported in order at the end.
+run() {
+  local name="$1"
+  shift
+  JOB_NAMES="$JOB_NAMES $name"
+  echo "$*" > "$TMP/$name.args"
+  if [ "$JOBS" -gt 1 ]; then
+    while [ "$(jobs -rp | wc -l)" -ge "$JOBS" ]; do
+      wait -n || true
+    done
+    run_one "$name" "$@" &
+  else
+    run_one "$name" "$@"
+    report "$name"
   fi
-  echo "ok   $name $*"
 }
 
 run fig06_randwrite --seconds=0.05 --volume-gib=0.25 --json
@@ -125,6 +203,13 @@ run tbl05_gc_traces --scale=256
 run tbl06_latency_breakdown --json
 run sec49_aws_cost --seconds=0.5
 run ablation_design_choices --seconds=0.1 --volume-gib=0.5
+
+if [ "$JOBS" -gt 1 ]; then
+  wait
+  for name in $JOB_NAMES; do
+    report "$name"
+  done
+fi
 
 if [ "$failures" -gt 0 ]; then
   echo "$failures bench(es) failed" >&2

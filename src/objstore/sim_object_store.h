@@ -55,12 +55,26 @@ struct ObjectStoreStats {
   uint64_t deletes = 0;
 };
 
+class CrossDomainChannel;
+class SimDomain;
+
 class SimObjectStore : public ObjectStore {
  public:
   SimObjectStore(Simulator* sim, BackendCluster* cluster, NetLink* link,
                  SimObjectStoreConfig config,
                  MetricsRegistry* metrics = nullptr,
                  const std::string& prefix = "objstore");
+
+  // Parallel engine (DESIGN.md §14): runs this store's backend half — the
+  // BackendCluster disk/WAL work and the gateway overheads — on `backend`'s
+  // simulator, with the two channels carrying the request and response hops.
+  // The cluster passed at construction must have been built on `backend`'s
+  // simulator. Client-side state (the object map, epoch, counters, NetLink
+  // queues, pending completions) stays on the constructing simulator.
+  // Without this call the store runs entirely on `sim` — byte-identical to
+  // the pre-parallel engine.
+  void BindBackendDomain(SimDomain* backend, CrossDomainChannel* to_backend,
+                         CrossDomainChannel* to_client);
 
   void Put(const std::string& name, Buffer data, PutCallback done) override;
   void Get(const std::string& name, GetCallback done) override;
@@ -78,9 +92,15 @@ class SimObjectStore : public ObjectStore {
   ObjectStoreStats stats() const;
 
  private:
-  void BackendWrites(const std::string& name, Buffer data,
+  // Issues the stripe/metadata disk writes for an object of `size` bytes.
+  // Runs on the backend simulator (== sim_ unless a domain is bound); only
+  // the object name and size cross the domain boundary, never the Buffer.
+  void BackendWrites(const std::string& name, uint64_t size,
                      std::function<void()> all_done);
   void ReadTiming(uint64_t bytes, std::function<void()> done);
+  // Domain-split twins of the Put / ReadTiming bodies (see .cc).
+  void PutViaDomain(const std::string& name, Buffer data, PutCallback done);
+  void ReadViaDomain(uint64_t bytes, std::function<void()> done);
   uint64_t Allocate(int disk, uint32_t len);
   static uint64_t NameHash(const std::string& name, uint64_t salt);
 
@@ -91,6 +111,26 @@ class SimObjectStore : public ObjectStore {
   std::map<std::string, Buffer> objects_;
   std::vector<uint64_t> alloc_head_;  // per-disk data-region bump allocator
   uint64_t epoch_ = 0;
+
+  // Parallel-engine state. backend_sim_ aliases sim_ until BindBackendDomain
+  // splits the store; the pending maps keep Buffers and completion closures
+  // on the client side, keyed by a cookie that crosses the boundary instead.
+  Simulator* backend_sim_;
+  CrossDomainChannel* to_backend_ = nullptr;
+  CrossDomainChannel* to_client_ = nullptr;
+  uint64_t next_cookie_ = 0;
+  struct PendingPut {
+    std::string name;
+    Buffer data;
+    PutCallback done;
+    uint64_t epoch;
+  };
+  struct PendingRead {
+    std::function<void()> done;
+    uint64_t epoch;
+  };
+  std::map<uint64_t, PendingPut> pending_puts_;
+  std::map<uint64_t, PendingRead> pending_reads_;
 
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_;

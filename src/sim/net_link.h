@@ -9,9 +9,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <utility>
 
 #include "src/sim/server_queue.h"
 #include "src/sim/simulator.h"
+#include "src/util/metrics.h"
 #include "src/util/units.h"
 
 namespace lsvd {
@@ -32,15 +35,30 @@ class NetLink {
   // Client -> backend transfer of `bytes`; `done` fires when the last byte
   // leaves the link (propagation added by callers via half_rtt()).
   void SendToBackend(uint64_t bytes, std::function<void()> done) {
+    sent_ += bytes;
     tx_.Submit(TransferTime(bytes), std::move(done));
   }
 
   // Backend -> client transfer.
   void ReceiveFromBackend(uint64_t bytes, std::function<void()> done) {
+    received_ += bytes;
     rx_.Submit(TransferTime(bytes), std::move(done));
   }
 
   uint64_t bytes_sent() const { return sent_; }
+  uint64_t bytes_received() const { return received_; }
+
+  // Opt-in byte-counter gauges (callers that want them in --json dumps call
+  // this once after construction; the counters exist either way).
+  void RegisterMetrics(MetricsRegistry* metrics,
+                       const std::string& prefix = "net") {
+    metrics->RegisterCallback(prefix + ".bytes_sent", [this] {
+      return static_cast<double>(sent_);
+    });
+    metrics->RegisterCallback(prefix + ".bytes_received", [this] {
+      return static_cast<double>(received_);
+    });
+  }
 
   Nanos TransferTime(uint64_t bytes) const {
     return static_cast<Nanos>(static_cast<double>(bytes) /
@@ -53,6 +71,7 @@ class NetLink {
   ServerQueue tx_;
   ServerQueue rx_;
   uint64_t sent_ = 0;
+  uint64_t received_ = 0;
 };
 
 }  // namespace lsvd

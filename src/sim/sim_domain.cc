@@ -1,0 +1,266 @@
+#include "src/sim/sim_domain.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lsvd {
+namespace {
+
+// Below this many events per window, barrier dispatch costs more than the
+// work itself (the GC/drain tail of a bench runs minutes of virtual time at
+// a handful of events per window), so the coordinator executes the window
+// inline. The threshold compares against the *previous* window's population
+// — a deterministic value — so the inline/parallel choice, like everything
+// else here, is identical for every thread count.
+constexpr uint64_t kSparseInlineThreshold = 64;
+
+// Spin iterations before a worker (or the coordinator) falls back to a futex
+// wait. Dense-phase windows are a few µs of wall time apart; spinning that
+// long keeps the hot path syscall-free. Spinning is only profitable when
+// every thread owns a core — on an oversubscribed host a spinner burns the
+// timeslice the thread it waits for needs, so Run() disables it there.
+constexpr int kSpinIters = 16 * 1024;
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+}  // namespace
+
+SimDomainGroup::~SimDomainGroup() {
+  if (!workers_.empty()) {
+    StopWorkers();
+  }
+}
+
+SimDomain* SimDomainGroup::AddDomain(const std::string& name) {
+  assert(workers_.empty() && "topology is fixed while Run is active");
+  domains_.emplace_back(
+      new SimDomain(static_cast<int>(domains_.size()), name, nullptr));
+  return domains_.back().get();
+}
+
+SimDomain* SimDomainGroup::AdoptDomain(const std::string& name,
+                                       Simulator* sim) {
+  assert(workers_.empty() && "topology is fixed while Run is active");
+  domains_.emplace_back(
+      new SimDomain(static_cast<int>(domains_.size()), name, sim));
+  return domains_.back().get();
+}
+
+CrossDomainChannel* SimDomainGroup::Connect(SimDomain* src, SimDomain* dst,
+                                            Nanos min_delay) {
+  assert(src != dst && "a channel must cross a domain boundary");
+  channels_.emplace_back(new CrossDomainChannel(
+      static_cast<int>(channels_.size()), src, dst, min_delay));
+  return channels_.back().get();
+}
+
+void SimDomainGroup::At(Nanos t, std::function<void()> fn) {
+  tasks_.push(Task{t, next_task_seq_++, std::move(fn)});
+}
+
+Nanos SimDomainGroup::MinEventTime() const {
+  Nanos m = Simulator::kNoEventTime;
+  for (const auto& d : domains_) {
+    m = std::min(m, d->sim()->next_event_time());
+  }
+  return m;
+}
+
+uint64_t SimDomainGroup::events_processed() const {
+  uint64_t total = 0;
+  for (const auto& d : domains_) {
+    total += d->sim()->events_processed();
+  }
+  return total;
+}
+
+void SimDomainGroup::DeliverMessages([[maybe_unused]] Nanos window_end) {
+  pending_.clear();
+  for (auto& ch : channels_) {
+    for (auto& msg : ch->outbox_) {
+      pending_.push_back(PendingMessage{msg.deliver, ch->id_, msg.seq,
+                                        ch->dst_->sim(), std::move(msg.fn)});
+    }
+    ch->outbox_.clear();
+  }
+  if (pending_.empty()) {
+    return;
+  }
+  // The (deliver, channel, seq) sort is the determinism linchpin: it fixes
+  // the order messages enter destination calendars (and thus their FIFO
+  // sequence numbers there) independent of which thread produced them first.
+  std::sort(pending_.begin(), pending_.end(),
+            [](const PendingMessage& a, const PendingMessage& b) {
+              if (a.deliver != b.deliver) {
+                return a.deliver < b.deliver;
+              }
+              if (a.channel != b.channel) {
+                return a.channel < b.channel;
+              }
+              return a.seq < b.seq;
+            });
+  for (auto& msg : pending_) {
+    // Lookahead guarantee: nothing sent during the window just executed may
+    // land inside it.
+    assert(msg.deliver >= window_end);
+    msg.dst->At(msg.deliver, std::move(msg.fn));
+    messages_++;
+  }
+  pending_.clear();
+}
+
+uint64_t SimDomainGroup::RunWindow(Nanos limit, bool parallel) {
+  windows_++;
+  size_t active = 0;
+  for (const auto& d : domains_) {
+    if (d->sim()->next_event_time() < limit) {
+      active++;
+    }
+  }
+  sync_stalls_ += domains_.size() - active;
+
+  const uint64_t before = events_processed();
+  if (!parallel || active <= 1) {
+    for (const auto& d : domains_) {
+      d->sim()->RunBefore(limit);
+    }
+  } else {
+    window_end_ = limit;
+    done_count_.store(0, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+    generation_.notify_all();
+    for (SimDomain* d : assignment_[0]) {
+      d->sim()->RunBefore(limit);
+    }
+    const int target = static_cast<int>(workers_.size());
+    int spins = spin_ ? 0 : kSpinIters;
+    for (;;) {
+      const int done = done_count_.load(std::memory_order_acquire);
+      if (done == target) {
+        break;
+      }
+      if (++spins < kSpinIters) {
+        CpuRelax();
+      } else {
+        done_count_.wait(done, std::memory_order_acquire);
+      }
+    }
+  }
+  DeliverMessages(limit);
+  return events_processed() - before;
+}
+
+void SimDomainGroup::WorkerMain(int index) {
+  uint64_t seen = 0;
+  for (;;) {
+    uint64_t gen;
+    int spins = spin_ ? 0 : kSpinIters;
+    while ((gen = generation_.load(std::memory_order_acquire)) == seen) {
+      if (++spins < kSpinIters) {
+        CpuRelax();
+      } else {
+        generation_.wait(seen, std::memory_order_acquire);
+      }
+    }
+    seen = gen;
+    if (stop_) {
+      return;
+    }
+    const Nanos limit = window_end_;
+    for (SimDomain* d : assignment_[index]) {
+      d->sim()->RunBefore(limit);
+    }
+    done_count_.fetch_add(1, std::memory_order_release);
+    done_count_.notify_one();
+  }
+}
+
+void SimDomainGroup::StartWorkers(int workers) {
+  // The coordinator doubles as worker 0 and keeps the client domain (id 0,
+  // usually the largest) to itself; shards round-robin over the real worker
+  // threads so a lopsided `threads` never packs the client with a shard.
+  assignment_.assign(workers, {});
+  assignment_[0].push_back(domains_[0].get());
+  for (size_t d = 1; d < domains_.size(); d++) {
+    const int w = 1 + static_cast<int>((d - 1) % (workers - 1));
+    assignment_[w].push_back(domains_[d].get());
+  }
+  stop_ = false;
+  done_count_.store(0, std::memory_order_relaxed);
+  workers_.reserve(workers - 1);
+  for (int i = 1; i < workers; i++) {
+    workers_.emplace_back(&SimDomainGroup::WorkerMain, this, i);
+  }
+}
+
+void SimDomainGroup::StopWorkers() {
+  stop_ = true;
+  generation_.fetch_add(1, std::memory_order_release);
+  generation_.notify_all();
+  for (auto& t : workers_) {
+    t.join();
+  }
+  workers_.clear();
+  assignment_.clear();
+  generation_.store(0, std::memory_order_relaxed);
+  stop_ = false;
+}
+
+void SimDomainGroup::Run(int threads) {
+  if (domains_.empty()) {
+    return;
+  }
+  lookahead_ = Simulator::kNoEventTime;
+  for (const auto& ch : channels_) {
+    lookahead_ = std::min(lookahead_, ch->min_delay());
+  }
+  const int workers =
+      std::min<int>(std::max(threads, 1), static_cast<int>(domains_.size()));
+  const bool use_workers = workers >= 2;
+  spin_ = static_cast<unsigned>(workers) <=
+          std::max(1u, std::thread::hardware_concurrency());
+  if (use_workers) {
+    StartWorkers(workers);
+  }
+  // Seed at the threshold so the first window dispatches in parallel; from
+  // then on the previous window's (deterministic) population decides.
+  uint64_t last_window_events = kSparseInlineThreshold;
+  for (;;) {
+    Nanos m = MinEventTime();
+    while (!tasks_.empty() && tasks_.top().t <= m) {
+      Task task = tasks_.top();
+      tasks_.pop();
+      for (const auto& d : domains_) {
+        d->sim()->AdvanceTo(task.t);
+      }
+      task.fn();
+      // A barrier task may send on a channel; deliver immediately so the
+      // message participates in the next window's horizon computation.
+      DeliverMessages(task.t);
+      m = MinEventTime();
+    }
+    if (m == Simulator::kNoEventTime) {
+      break;
+    }
+    Nanos limit = lookahead_ == Simulator::kNoEventTime
+                      ? Simulator::kNoEventTime
+                      : m + lookahead_;
+    if (!tasks_.empty() && tasks_.top().t < limit) {
+      limit = tasks_.top().t;
+    }
+    // limit > m always: pending tasks here have t > m, and lookahead_ > 0.
+    last_window_events = RunWindow(
+        limit, use_workers && last_window_events >= kSparseInlineThreshold);
+  }
+  if (use_workers) {
+    StopWorkers();
+  }
+}
+
+}  // namespace lsvd

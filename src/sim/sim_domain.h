@@ -1,0 +1,187 @@
+// Parallel per-domain simulation with conservative synchronization
+// (DESIGN.md §14).
+//
+// A SimDomain wraps one calendar-queue Simulator holding a disjoint slice of
+// the simulated system: the client host (SSD, caches, journal, QoS) is one
+// domain, and each backend shard's BackendCluster is another. Domains never
+// share mutable state; the only cross-domain influence is a message through
+// a CrossDomainChannel, whose fixed minimum delay (the NetLink rtt/2) is the
+// scheduler's lookahead.
+//
+// SimDomainGroup::Run executes barrier-synchronized bounded-lag windows
+// (YAWNS-style conservative PDES):
+//
+//   loop:
+//     m := min over domains of next_event_time()
+//     H := min(m + L, next barrier task)     // L = min channel lookahead
+//     run every domain's events in [m, H) — in parallel, one thread each
+//     barrier; drain all channel outboxes sorted by (deliver, channel, seq)
+//
+// Safety: a message sent at s >= m delivers at >= s + L >= m + L >= H, so no
+// delivery can land inside the window that produced it — domains in a window
+// are causally independent and may run concurrently without rollback.
+// Progress: each window advances global virtual time by at least L.
+//
+// Determinism: the sorted barrier drain makes the merged cross-domain
+// delivery order a pure function of the simulation, independent of thread
+// count and of how shards are packed onto domains (see
+// cross_domain_channel.h). Windows whose event population is sparse are
+// executed inline on the coordinator thread — same order, no barrier cost —
+// which keeps the long GC/drain tail of a bench from being eaten by
+// synchronization overhead.
+#ifndef SRC_SIM_SIM_DOMAIN_H_
+#define SRC_SIM_SIM_DOMAIN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/sim/cross_domain_channel.h"
+#include "src/sim/simulator.h"
+#include "src/util/units.h"
+
+namespace lsvd {
+
+class SimDomain {
+ public:
+  SimDomain(const SimDomain&) = delete;
+  SimDomain& operator=(const SimDomain&) = delete;
+
+  Simulator* sim() const { return sim_; }
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class SimDomainGroup;
+
+  // `external` non-null adopts a caller-owned simulator (the client world's
+  // existing engine); null creates an owned one.
+  SimDomain(int id, std::string name, Simulator* external)
+      : id_(id), name_(std::move(name)) {
+    if (external == nullptr) {
+      owned_ = std::make_unique<Simulator>();
+      sim_ = owned_.get();
+    } else {
+      sim_ = external;
+    }
+  }
+
+  const int id_;
+  const std::string name_;
+  std::unique_ptr<Simulator> owned_;
+  Simulator* sim_;
+};
+
+inline Nanos CrossDomainChannel::src_now_() const { return src_->sim()->now(); }
+
+class SimDomainGroup {
+ public:
+  SimDomainGroup() = default;
+  ~SimDomainGroup();
+  SimDomainGroup(const SimDomainGroup&) = delete;
+  SimDomainGroup& operator=(const SimDomainGroup&) = delete;
+
+  // Topology setup — call before Run, never during it.
+  SimDomain* AddDomain(const std::string& name);
+  SimDomain* AdoptDomain(const std::string& name, Simulator* sim);
+  CrossDomainChannel* Connect(SimDomain* src, SimDomain* dst, Nanos min_delay);
+
+  // Schedules `fn` on the coordinator at virtual time `t`: it runs at a
+  // window barrier with every domain quiesced and advanced to `t`, so it may
+  // read any domain's state (mid-run samplers) race-free. Between Run calls
+  // the queue persists; tasks earlier than all pending events run first.
+  void At(Nanos t, std::function<void()> fn);
+
+  // Runs all domains to quiescence (no pending events, no pending tasks,
+  // no in-flight messages) using up to `threads` worker threads. threads<=1
+  // executes every window inline on the calling thread — identical results,
+  // no thread machinery. Re-entrant across calls (benches alternate setup
+  // phases with Run).
+  void Run(int threads);
+
+  size_t domain_count() const { return domains_.size(); }
+
+  // Scheduler statistics (monotonic across Run calls; deterministic).
+  uint64_t windows() const { return windows_; }
+  // Domain-windows in which a domain had no event to run — idle cycles a
+  // domain spent waiting at the barrier for its neighbors.
+  uint64_t sync_stalls() const { return sync_stalls_; }
+  uint64_t messages_delivered() const { return messages_; }
+  // Events executed across all domains' simulators (lifetime totals).
+  uint64_t events_processed() const;
+
+ private:
+  struct Task {
+    Nanos t;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct TaskLater {
+    bool operator()(const Task& a, const Task& b) const {
+      if (a.t != b.t) {
+        return a.t > b.t;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  Nanos MinEventTime() const;
+  // Executes one window [*, limit): runs every domain with an event before
+  // `limit`, then drains all channel outboxes in (deliver, channel, seq)
+  // order. `parallel` selects worker dispatch vs inline execution. Returns
+  // the number of events executed (feeds the sparse-window heuristic).
+  uint64_t RunWindow(Nanos limit, bool parallel);
+  void DeliverMessages(Nanos window_end);
+
+  void StartWorkers(int workers);
+  void StopWorkers();
+  void WorkerMain(int index);
+
+  std::vector<std::unique_ptr<SimDomain>> domains_;
+  std::vector<std::unique_ptr<CrossDomainChannel>> channels_;
+  Nanos lookahead_ = Simulator::kNoEventTime;  // min over channels
+
+  std::priority_queue<Task, std::vector<Task>, TaskLater> tasks_;
+  uint64_t next_task_seq_ = 0;
+
+  // Scratch for the barrier drain (reused to avoid per-window allocation).
+  struct PendingMessage {
+    Nanos deliver;
+    int channel;
+    uint64_t seq;
+    Simulator* dst;
+    Simulator::Fn fn;
+  };
+  std::vector<PendingMessage> pending_;
+
+  uint64_t windows_ = 0;
+  uint64_t sync_stalls_ = 0;
+  uint64_t messages_ = 0;
+
+  // --- worker pool (alive only inside one Run call) ---------------------
+  // Coordinator publishes a window by storing window_end_ then bumping
+  // generation_ (release); workers acquire generation_, run their domains'
+  // events below window_end_, and count themselves done. Workers spin
+  // briefly before sleeping on the atomic so the dense phase of a bench
+  // (windows every few µs of wall time) never pays a futex round trip.
+  std::vector<std::thread> workers_;
+  std::vector<std::vector<SimDomain*>> assignment_;  // [worker] -> domains
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<int> done_count_{0};
+  Nanos window_end_ = 0;  // published via generation_ (release/acquire)
+  bool stop_ = false;     // likewise
+  // Spin before futex-waiting? Set by Run() (before workers start) to false
+  // when the host has fewer cores than workers, where spinning steals the
+  // timeslice from the very thread being waited on.
+  bool spin_ = true;
+};
+
+}  // namespace lsvd
+
+#endif  // SRC_SIM_SIM_DOMAIN_H_

@@ -1,0 +1,157 @@
+// Determinism fuzz for the parallel engine (DESIGN.md §14): a seeded
+// client workload against sharded SimObjectStores must produce byte-identical
+// results — completion traces, store stats, and the full metric dump — for
+// every worker-thread count AND for every way of packing the shard backends
+// onto 1/2/4 domains. Channel ids key to the shard index, so the
+// (deliver, channel, seq) barrier drain gives one canonical merged order no
+// matter how the work is scheduled.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/objstore/sim_object_store.h"
+#include "src/sim/cross_domain_channel.h"
+#include "src/sim/net_link.h"
+#include "src/sim/sim_domain.h"
+#include "src/sim/simulator.h"
+#include "src/util/metrics.h"
+#include "tests/lsvd_test_util.h"
+
+namespace lsvd {
+namespace {
+
+constexpr int kShards = 4;
+constexpr int kOps = 96;
+
+// xorshift64* — deterministic workload shapes independent of libc rand.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+// Runs the seeded workload on `backend_domains` domains (shards round-robin
+// onto them) with `threads` workers and returns a fingerprint covering every
+// observable result.
+std::string RunWorkload(int backend_domains, int threads, uint64_t seed) {
+  MetricsRegistry metrics;
+  Simulator client_sim;
+  SimDomainGroup group;
+  SimDomain* client = group.AdoptDomain("client", &client_sim);
+  std::vector<SimDomain*> doms;
+  for (int d = 0; d < backend_domains; d++) {
+    doms.push_back(group.AddDomain("backend" + std::to_string(d)));
+  }
+
+  NetLink link(&client_sim, NetParams{});
+  std::vector<std::unique_ptr<BackendCluster>> clusters;
+  std::vector<std::unique_ptr<SimObjectStore>> stores;
+  for (int s = 0; s < kShards; s++) {
+    SimDomain* dom = doms[static_cast<size_t>(s % backend_domains)];
+    const std::string prefix = "shard" + std::to_string(s);
+    clusters.push_back(std::make_unique<BackendCluster>(
+        dom->sim(), ClusterConfig::SsdPool(), &metrics, prefix + ".cluster"));
+    stores.push_back(std::make_unique<SimObjectStore>(
+        &client_sim, clusters.back().get(), &link, SimObjectStoreConfig{},
+        &metrics, prefix + ".objstore"));
+    // Channel ids key to the shard index (creation order), not to the
+    // domain packing — the determinism contract in cross_domain_channel.h.
+    CrossDomainChannel* c2b = group.Connect(client, dom, link.half_rtt());
+    CrossDomainChannel* b2c = group.Connect(dom, client, link.half_rtt());
+    stores.back()->BindBackendDomain(dom, c2b, b2c);
+  }
+
+  // Completion trace: appended only from client-domain events, race-free
+  // under any worker count.
+  std::string trace;
+  uint64_t rng = seed;
+  int puts_issued = 0;
+  for (int op = 0; op < kOps; op++) {
+    const Nanos when = static_cast<Nanos>(NextRand(&rng) % 5000000);
+    const int shard = static_cast<int>(NextRand(&rng) % kShards);
+    const uint64_t size = 4096 + (NextRand(&rng) % (256 * kKiB));
+    const bool is_put = op < kShards || (NextRand(&rng) % 3) != 0;
+    SimObjectStore* store = stores[static_cast<size_t>(shard)].get();
+    if (is_put) {
+      const std::string name =
+          "s" + std::to_string(shard) + "." + std::to_string(puts_issued);
+      puts_issued++;
+      client_sim.At(when, [&trace, &client_sim, store, name, size, op] {
+        store->Put(name, TestPattern(size, static_cast<uint64_t>(op)),
+                   [&trace, &client_sim, op](Status st) {
+                     char buf[64];
+                     std::snprintf(buf, sizeof(buf), "put %d %s @%lld\n", op,
+                                   st.ok() ? "ok" : "err",
+                                   static_cast<long long>(client_sim.now()));
+                     trace += buf;
+                   });
+      });
+    } else {
+      // Read back a name that may or may not exist yet — NotFound results
+      // are part of the fingerprint too.
+      const std::string name =
+          "s" + std::to_string(shard) + "." +
+          std::to_string(NextRand(&rng) % (static_cast<uint64_t>(op) + 1));
+      client_sim.At(when, [&trace, &client_sim, store, name, op] {
+        store->Get(name, [&trace, &client_sim, op](Result<Buffer> r) {
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "get %d %s %llu @%lld\n", op,
+                        r.ok() ? "ok" : "miss",
+                        r.ok() ? static_cast<unsigned long long>(r->size())
+                               : 0ull,
+                        static_cast<long long>(client_sim.now()));
+          trace += buf;
+        });
+      });
+    }
+  }
+
+  group.Run(threads);
+
+  std::string fp = trace;
+  for (int s = 0; s < kShards; s++) {
+    const ObjectStoreStats st = stores[static_cast<size_t>(s)]->stats();
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "shard%d puts=%llu put_bytes=%llu "
+                  "get_bytes=%llu\n", s,
+                  static_cast<unsigned long long>(st.puts),
+                  static_cast<unsigned long long>(st.put_bytes),
+                  static_cast<unsigned long long>(st.get_bytes));
+    fp += buf;
+  }
+  fp += metrics.ToJson();
+  return fp;
+}
+
+TEST(ParallelDeterminismTest, FingerprintInvariantAcrossThreadsAndDomains) {
+  const std::string base = RunWorkload(1, 1, 0x9E3779B97F4A7C15ull);
+  ASSERT_FALSE(base.empty());
+  EXPECT_NE(base.find("put"), std::string::npos);
+  for (int domains : {1, 2, 4}) {
+    for (int threads : {1, 2, 4}) {
+      const std::string got =
+          RunWorkload(domains, threads, 0x9E3779B97F4A7C15ull);
+      EXPECT_EQ(base, got) << "domains=" << domains
+                           << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, RepeatRunsAreByteIdentical) {
+  const std::string a = RunWorkload(4, 4, 42);
+  const std::string b = RunWorkload(4, 4, 42);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ParallelDeterminismTest, DifferentSeedsDiffer) {
+  EXPECT_NE(RunWorkload(2, 2, 1), RunWorkload(2, 2, 2));
+}
+
+}  // namespace
+}  // namespace lsvd
