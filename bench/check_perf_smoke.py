@@ -52,6 +52,53 @@ def fail(msg):
     sys.exit(1)
 
 
+def check_schema(report, name):
+    """Validates one BENCH json dict against the documented schema."""
+    for key, want_type in SCHEMA.items():
+        if key not in report:
+            fail("%s missing field %r" % (name, key))
+        value = report[key]
+        if want_type is float and isinstance(value, int):
+            value = float(value)
+        if not isinstance(value, want_type):
+            fail("%s field %r has type %s, want %s" %
+                 (name, key, type(report[key]).__name__, want_type.__name__))
+    if set(report) - set(SCHEMA):
+        fail("%s has undocumented fields: %s" %
+             (name, sorted(set(report) - set(SCHEMA))))
+
+
+def check_committed_results():
+    """Schema-checks every committed bench/results/BENCH_*.json snapshot.
+
+    Committed snapshots (e.g. BENCH_fig19_fleet.json) are wall-clock runs
+    from whatever machine produced them, so only the schema is enforced —
+    but a snapshot that drifts from the schema (new field, renamed bench)
+    fails here instead of rotting silently.
+    """
+    results_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "results")
+    if not os.path.isdir(results_dir):
+        return 0
+    checked = 0
+    for entry in sorted(os.listdir(results_dir)):
+        if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+            continue
+        path = os.path.join(results_dir, entry)
+        with open(path) as f:
+            try:
+                report = json.load(f)
+            except json.JSONDecodeError as e:
+                fail("committed snapshot %s is malformed: %s" % (entry, e))
+        check_schema(report, entry)
+        want = entry[len("BENCH_"):-len(".json")]
+        if report["bench"] != want:
+            fail("committed snapshot %s names bench %r" %
+                 (entry, report["bench"]))
+        checked += 1
+    return checked
+
+
 def main():
     if len(sys.argv) < 2:
         fail("usage: check_perf_smoke.py <build-bench-dir> [--update]")
@@ -76,18 +123,7 @@ def main():
             except json.JSONDecodeError as e:
                 fail("malformed BENCH json: %s" % e)
 
-    for key, want_type in SCHEMA.items():
-        if key not in report:
-            fail("BENCH json missing field %r" % key)
-        value = report[key]
-        if want_type is float and isinstance(value, int):
-            value = float(value)
-        if not isinstance(value, want_type):
-            fail("field %r has type %s, want %s" %
-                 (key, type(report[key]).__name__, want_type.__name__))
-    if set(report) - set(SCHEMA):
-        fail("BENCH json has undocumented fields: %s" %
-             sorted(set(report) - set(SCHEMA)))
+    check_schema(report, "BENCH json")
     if report["bench"] != BENCH:
         fail("bench name %r != %r" % (report["bench"], BENCH))
     if report["wall_seconds"] <= 0 or report["events"] <= 0:
@@ -110,9 +146,12 @@ def main():
         diff = {k: (golden.get(k), snapshot[k]) for k in DETERMINISTIC
                 if golden.get(k) != snapshot[k]}
         fail("virtual-time drift from golden (golden, got): %s" % diff)
+    committed = check_committed_results()
     print("perf_smoke OK: schema valid, virtual-time fields match golden "
-          "(threads=%d domains=%d sync_stalls=%d)" %
-          (report["threads"], report["domains"], report["sync_stalls"]))
+          "(threads=%d domains=%d sync_stalls=%d), %d committed snapshot(s) "
+          "schema-checked" %
+          (report["threads"], report["domains"], report["sync_stalls"],
+           committed))
 
 
 if __name__ == "__main__":

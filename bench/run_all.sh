@@ -194,6 +194,7 @@ run fig15_gc_timeline --seconds=1 --volume-gib=0.25
 run fig16_replication --seconds=2 --volume-gib=0.25
 run fig17_multitenant --smoke --json
 run fig18_scaleout --smoke --json
+run fig19_fleet --smoke --json
 run fig20_tail --smoke --json
 run fig21_waf_frontier --scale=256
 run fig22_thin_maps --smoke

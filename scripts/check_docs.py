@@ -14,9 +14,10 @@ Two checks, both wired into ctest as `check_docs`:
 2. Every bench binary named like a paper artifact (bench/fig*.cc,
    bench/tbl*.cc) must have a row in the EXPERIMENTS.md bench index.
 
-3. Every data-member field of `LsvdConfig` (src/lsvd/config.h) and
-   `GcSimConfig` (src/lsvd/gc_sim.h) must appear backticked in
-   docs/GC.md's config reference, so new knobs ship documented.
+3. Every data-member field of the config structs listed in CONFIG_STRUCTS
+   must appear backticked in that struct's target doc (LsvdConfig and
+   GcSimConfig in docs/GC.md, FleetConfig in docs/FLEET.md), so new knobs
+   ship documented.
 
 Run from anywhere: `python3 scripts/check_docs.py [repo_root]`.
 Exit 0 = docs in sync; exit 1 = findings (listed on stderr).
@@ -94,9 +95,11 @@ def check_bench_index(repo: Path, errors: list):
 # line. Lines containing `(` are functions/ctors, not fields.
 FIELD_DECL = re.compile(r"^\s+[A-Za-z_][\w:<>,\* ]*?[\s&\*]([a-z_][a-z0-9_]*)\s*(?:=[^;]*)?;")
 
+# (header, struct, doc that must backtick every field of the struct)
 CONFIG_STRUCTS = [
-    ("src/lsvd/config.h", "LsvdConfig"),
-    ("src/lsvd/gc_sim.h", "GcSimConfig"),
+    ("src/lsvd/config.h", "LsvdConfig", "docs/GC.md"),
+    ("src/lsvd/gc_sim.h", "GcSimConfig", "docs/GC.md"),
+    ("src/fleet/fleet.h", "FleetConfig", "docs/FLEET.md"),
 ]
 
 
@@ -127,16 +130,18 @@ def struct_fields(text: str, struct: str):
 
 
 def check_config_reference(repo: Path, errors: list):
-    gc_md = (repo / "docs" / "GC.md").read_text(encoding="utf-8")
+    docs = {}  # doc path -> text, read once
     found_any = False
-    for rel, struct in CONFIG_STRUCTS:
+    for rel, struct, doc in CONFIG_STRUCTS:
+        if doc not in docs:
+            docs[doc] = (repo / doc).read_text(encoding="utf-8")
         text = (repo / rel).read_text(encoding="utf-8")
         for field in struct_fields(text, struct):
             found_any = True
-            if f"`{field}`" not in gc_md:
+            if f"`{field}`" not in docs[doc]:
                 errors.append(
                     f"{rel}: {struct}::{field} is not documented in "
-                    "docs/GC.md's config reference"
+                    f"{doc}'s config reference"
                 )
     if not found_any:
         errors.append("config scan found no struct fields — "

@@ -1,0 +1,43 @@
+#include "src/fleet/placement.h"
+
+namespace lsvd {
+
+namespace {
+
+bool Fits(const HostLoad& h, const PlacementRequest& req) {
+  if (!h.alive || h.host == req.exclude_host) {
+    return false;
+  }
+  if (h.ssd_free_bytes < req.ssd_bytes) {
+    return false;
+  }
+  if (req.iops_budget != 0 && h.reserved_iops + req.iops > req.iops_budget) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int ChoosePlacement(PlacementPolicyKind kind, const std::vector<HostLoad>& hosts,
+                    const PlacementRequest& req) {
+  const HostLoad* best = nullptr;
+  for (const HostLoad& h : hosts) {
+    if (!Fits(h, req)) {
+      continue;
+    }
+    if (kind == PlacementPolicyKind::kFirstFit) {
+      // Hosts arrive in id order; the first fit is the lowest id.
+      return h.host;
+    }
+    if (best == nullptr || h.volumes < best->volumes ||
+        (h.volumes == best->volumes &&
+         h.ssd_free_bytes > best->ssd_free_bytes)) {
+      best = &h;
+    }
+    // Equal on both keys keeps the earlier (lower-id) host.
+  }
+  return best == nullptr ? -1 : best->host;
+}
+
+}  // namespace lsvd

@@ -1,0 +1,55 @@
+// Volume placement policies for the fleet control plane (docs/FLEET.md).
+//
+// Placement is a pure function over a snapshot of per-host load: given what
+// the controller knows about every host's free SSD, reserved IOPS and volume
+// count, pick the host a new (or failing-over) volume should attach to.
+// Both policies are deterministic — ties break toward the lowest host id —
+// so fleet runs replay identically for a given seed and event order.
+#ifndef SRC_FLEET_PLACEMENT_H_
+#define SRC_FLEET_PLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lsvd {
+
+enum class PlacementPolicyKind {
+  // Lowest-id alive host that fits the request. Packs volumes densely onto
+  // early hosts (good for power-down economics, bad for blast radius).
+  kFirstFit,
+  // Among alive hosts that fit, prefer the fewest attached volumes, then the
+  // most free SSD bytes, then the lowest id. Spreads load and keeps the
+  // failover fan-in per surviving host small.
+  kLoadSpread,
+};
+
+// The controller's view of one host, fed to ChoosePlacement.
+struct HostLoad {
+  int host = -1;
+  // Eligible at all: the process is up and its lease has not expired.
+  bool alive = true;
+  uint64_t ssd_free_bytes = 0;
+  // Sum of the QoS iops reservations of volumes already placed here.
+  uint64_t reserved_iops = 0;
+  int volumes = 0;
+};
+
+struct PlacementRequest {
+  // SSD footprint the volume needs (write cache + read cache regions).
+  uint64_t ssd_bytes = 0;
+  // The volume's QoS iops reservation (0 = best effort, no budget charge).
+  uint64_t iops = 0;
+  // Host to never pick (e.g. the migration source / the dead host). -1 ok.
+  int exclude_host = -1;
+  // Per-host iops capacity; a host is full once reserved_iops + iops would
+  // exceed it. 0 disables the iops dimension.
+  uint64_t iops_budget = 0;
+};
+
+// Returns the chosen host id, or -1 if no alive host fits.
+int ChoosePlacement(PlacementPolicyKind kind, const std::vector<HostLoad>& hosts,
+                    const PlacementRequest& req);
+
+}  // namespace lsvd
+
+#endif  // SRC_FLEET_PLACEMENT_H_

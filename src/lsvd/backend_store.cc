@@ -533,6 +533,14 @@ void BackendStore::RawPutAttempt(std::shared_ptr<PutRetryState> op) {
 
 void BackendStore::OnPutAttemptFailed(std::shared_ptr<PutRetryState> op,
                                       Status s) {
+  if (s.code() == StatusCode::kFenced) {
+    // A fenced PUT can never succeed: this attachment's epoch is stale —
+    // another host owns the volume now. Fail the operation without retries;
+    // ParkFailedPut keeps the sealed object but skips degraded probing.
+    MarkFenced();
+    op->done(std::move(s));
+    return;
+  }
   const BackendRetryPolicy& policy = PolicyFor(op->shard);
   op->attempt++;
   if (op->attempt >= policy.max_attempts) {
@@ -739,8 +747,23 @@ void BackendStore::ParkFailedPut(uint64_t seq) {
   put_queue_.insert(pos, std::move(sealed));
   if (!shard.degraded) {
     shard.degraded = true;
-    ScheduleDegradedProbe(shard_index);
+    // A fenced store never probes: no retry can outrun an epoch flip, and a
+    // terminal park is what lets a stale host's simulation quiesce.
+    if (!fenced_) {
+      ScheduleDegradedProbe(shard_index);
+    }
   }
+}
+
+void BackendStore::MarkFenced() {
+  if (fenced_) {
+    return;
+  }
+  fenced_ = true;
+  // Registered lazily so volumes that are never fenced keep their metric
+  // dumps unchanged (same discipline as the trim counters).
+  callback_guard_.Register(metrics_, metrics_prefix_ + ".fenced",
+                           [this] { return fenced_ ? 1.0 : 0.0; });
 }
 
 // The degraded state is left by probing, not by waiting for client traffic:

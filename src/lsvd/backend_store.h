@@ -156,6 +156,13 @@ class BackendStore {
   // a periodic probe PUT tests whether the shard came back. Healthy shards
   // keep absorbing their own stripe of the stream.
   bool degraded() const;
+  // True once any PUT was rejected with kFenced: this attachment's epoch is
+  // stale (another host took over the volume, see
+  // src/objstore/volume_directory.h). Fencing is terminal — parked batches
+  // stay parked and no degraded-mode probing runs, so a stale host winds
+  // down instead of retrying forever. The write cache still holds the
+  // unshipped tail; the new attachment recovers the consistent prefix.
+  bool fenced() const { return fenced_; }
   // True when no batch is open and no PUT is outstanding.
   bool idle() const;
   BackendStoreStats stats() const;
@@ -306,6 +313,7 @@ class BackendStore {
   // leaves garbage behind.
   void DeleteWithRetry(size_t shard, const std::string& name, int attempt = 0);
   void ScheduleDegradedProbe(size_t shard);
+  void MarkFenced();
   void ApplyReady();
   void ApplyObjectExtents(uint64_t seq, const DataObjectHeader& header,
                           uint64_t payload_bytes);
@@ -380,6 +388,7 @@ class BackendStore {
   std::set<uint64_t> gc_pending_victims_;
   std::set<uint64_t> snapshots_;
   std::vector<DeferredDelete> deferred_deletes_;
+  bool fenced_ = false;
 
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 

@@ -51,6 +51,10 @@ struct ClientHostConfig {
   // only, the single-tenant behavior). A sharded volume (DESIGN.md §9)
   // counts every shard's in-flight PUTs against this one budget.
   int host_put_window = 0;
+  // Root of the host's aggregate gauge names. The default keeps the
+  // historical single-host names; a fleet (src/fleet) sets "host.<i>" so M
+  // hosts can share one registry without colliding (docs/METRICS.md).
+  std::string metric_prefix = "host";
 };
 
 class ClientHost {
@@ -83,31 +87,32 @@ class ClientHost {
       metrics = owned_metrics_.get();
     }
     metrics_ = metrics;
-    callback_guard_.Register(metrics_, "host.volumes", [this] {
+    const std::string& p = config_.metric_prefix;
+    callback_guard_.Register(metrics_, p + ".volumes", [this] {
       return static_cast<double>(volumes_.size());
     });
-    callback_guard_.Register(metrics_, "host.ssd.allocated_bytes", [this] {
+    callback_guard_.Register(metrics_, p + ".ssd.allocated_bytes", [this] {
       return static_cast<double>(regions_.allocated_bytes());
     });
-    callback_guard_.Register(metrics_, "host.ssd.free_bytes", [this] {
+    callback_guard_.Register(metrics_, p + ".ssd.free_bytes", [this] {
       return static_cast<double>(regions_.free_bytes());
     });
-    callback_guard_.Register(metrics_, "host.qos.queued", [this] {
+    callback_guard_.Register(metrics_, p + ".qos.queued", [this] {
       return static_cast<double>(qos_.queued());
     });
-    callback_guard_.Register(metrics_, "host.put_slots.held", [this] {
+    callback_guard_.Register(metrics_, p + ".put_slots.held", [this] {
       return static_cast<double>(put_scheduler_.held());
     });
-    callback_guard_.Register(metrics_, "host.writes", [this] {
+    callback_guard_.Register(metrics_, p + ".writes", [this] {
       return SumCounters(&VolumeCounters::writes);
     });
-    callback_guard_.Register(metrics_, "host.write_bytes", [this] {
+    callback_guard_.Register(metrics_, p + ".write_bytes", [this] {
       return SumCounters(&VolumeCounters::write_bytes);
     });
-    callback_guard_.Register(metrics_, "host.reads", [this] {
+    callback_guard_.Register(metrics_, p + ".reads", [this] {
       return SumCounters(&VolumeCounters::reads);
     });
-    callback_guard_.Register(metrics_, "host.read_bytes", [this] {
+    callback_guard_.Register(metrics_, p + ".read_bytes", [this] {
       return SumCounters(&VolumeCounters::read_bytes);
     });
   }

@@ -726,6 +726,34 @@ void LsvdDisk::CleanShutdown(std::function<void(Status)> done) {
   });
 }
 
+void LsvdDisk::DetachForMigration(
+    std::function<void(Result<MigrationHandoff>)> done) {
+  auto alive = alive_;
+  Drain([this, alive, done = std::move(done)](Status s) mutable {
+    if (!*alive) {
+      return;
+    }
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    backend_->WriteCheckpoint([this, alive,
+                               done = std::move(done)](Status s2) mutable {
+      if (!*alive) {
+        return;
+      }
+      if (!s2.ok()) {
+        done(s2);
+        return;
+      }
+      MigrationHandoff handoff;
+      handoff.applied_seq = backend_->applied_seq();
+      handoff.checkpoint_seq = backend_->last_checkpoint_seq();
+      done(handoff);
+    });
+  });
+}
+
 void LsvdDisk::Snapshot(std::function<void(Result<uint64_t>)> done) {
   auto alive = alive_;
   // Snapshots pin an object-stream position; drain first so the snapshot

@@ -60,6 +60,17 @@ struct DiskRegions {
   uint64_t read_cache_base = 0;
 };
 
+// Warm-handoff descriptor produced by DetachForMigration (DESIGN.md §15):
+// after the write-cache tail has been drained into the backend and a fresh
+// checkpoint written, these two pointers are all a target host needs to
+// recover-attach the volume with zero replay beyond the checkpoint. The
+// fleet layer ships a serialized form of this (plus the volume config) over
+// a NetLink and charges its size against both hosts' links.
+struct MigrationHandoff {
+  uint64_t applied_seq = 0;     // backend image is complete through here
+  uint64_t checkpoint_seq = 0;  // newest checkpoint at detach time
+};
+
 class LsvdDisk : public VirtualDisk {
  public:
   // Allocates fresh SSD regions from the host. If `metrics` is non-null all
@@ -112,6 +123,13 @@ class LsvdDisk : public VirtualDisk {
   void Drain(std::function<void(Status)> done);
   // Drain + persist write-cache and read-cache maps + backend checkpoint.
   void CleanShutdown(std::function<void(Status)> done);
+  // Live-migration source half (DESIGN.md §15): drain-and-seal the
+  // write-cache tail into the backend, write a checkpoint so the target's
+  // recover-attach replays nothing, and hand back the pointers the target
+  // needs. The disk keeps serving reads until the caller destroys it; the
+  // caller is responsible for fencing the stale attachment (epoch flip) and
+  // freeing this host's SSD regions once the target is live.
+  void DetachForMigration(std::function<void(Result<MigrationHandoff>)> done);
 
   void Snapshot(std::function<void(Result<uint64_t>)> done);
   void DeleteSnapshot(uint64_t seq, std::function<void(Status)> done);

@@ -21,9 +21,15 @@ uint64_t RoundUp(uint64_t v, uint64_t align) {
 SimObjectStore::SimObjectStore(Simulator* sim, BackendCluster* cluster,
                                NetLink* link, SimObjectStoreConfig config,
                                MetricsRegistry* metrics,
-                               const std::string& prefix)
+                               const std::string& prefix,
+                               ObjectBucket* bucket)
     : sim_(sim), cluster_(cluster), link_(link), config_(config),
       backend_sim_(sim) {
+  if (bucket == nullptr) {
+    owned_bucket_ = std::make_unique<ObjectBucket>();
+    bucket = owned_bucket_.get();
+  }
+  bucket_ = bucket;
   alloc_head_.assign(static_cast<size_t>(cluster_->num_disks()),
                      kDataRegionBase);
   if (metrics == nullptr) {
@@ -37,7 +43,7 @@ SimObjectStore::SimObjectStore(Simulator* sim, BackendCluster* cluster,
   c_get_bytes_ = metrics_->GetCounter(prefix + ".get_bytes");
   c_deletes_ = metrics_->GetCounter(prefix + ".deletes");
   metrics_->RegisterCallback(prefix + ".object_count", [this] {
-    return static_cast<double>(objects_.size());
+    return static_cast<double>(bucket_->objects.size());
   });
 }
 
@@ -135,7 +141,7 @@ void SimObjectStore::BackendWrites(const std::string& name, uint64_t size,
 
 void SimObjectStore::Put(const std::string& name, Buffer data,
                          PutCallback done) {
-  if (objects_.contains(name)) {
+  if (bucket_->objects.contains(name)) {
     sim_->After(0, [done = std::move(done)]() {
       done(Status::InvalidArgument("object exists (objects are immutable)"));
     });
@@ -166,7 +172,7 @@ void SimObjectStore::Put(const std::string& name, Buffer data,
       BackendWrites(name, size, [this, put_epoch, name,
                                  data = std::move(data),
                                  done = std::move(done)]() mutable {
-        objects_[name] = std::move(data);
+        bucket_->objects[name] = std::move(data);
         // Phase 3: acknowledgement back to the client.
         sim_->After(link_->half_rtt(),
                     [this, put_epoch, done = std::move(done)]() {
@@ -208,7 +214,7 @@ void SimObjectStore::PutViaDomain(const std::string& name, Buffer data,
             to_client_->SendAfter(link_->half_rtt(), [this, cookie]() {
               auto node = pending_puts_.extract(cookie);
               PendingPut& put = node.mapped();
-              objects_[put.name] = std::move(put.data);
+              bucket_->objects[put.name] = std::move(put.data);
               if (put.epoch == epoch_) {
                 put.done(Status::Ok());
               }
@@ -282,8 +288,8 @@ void SimObjectStore::ReadViaDomain(uint64_t bytes,
 }
 
 void SimObjectStore::Get(const std::string& name, GetCallback done) {
-  auto it = objects_.find(name);
-  if (it == objects_.end()) {
+  auto it = bucket_->objects.find(name);
+  if (it == bucket_->objects.end()) {
     sim_->After(0, [done = std::move(done), name]() {
       done(Status::NotFound(name));
     });
@@ -299,8 +305,8 @@ void SimObjectStore::Get(const std::string& name, GetCallback done) {
 
 void SimObjectStore::GetRange(const std::string& name, uint64_t offset,
                               uint64_t len, GetCallback done) {
-  auto it = objects_.find(name);
-  if (it == objects_.end()) {
+  auto it = bucket_->objects.find(name);
+  if (it == bucket_->objects.end()) {
     sim_->After(0, [done = std::move(done), name]() {
       done(Status::NotFound(name));
     });
@@ -322,7 +328,7 @@ void SimObjectStore::GetRange(const std::string& name, uint64_t offset,
 
 void SimObjectStore::Delete(const std::string& name, PutCallback done) {
   c_deletes_->Inc();
-  objects_.erase(name);
+  bucket_->objects.erase(name);
   const uint64_t epoch = epoch_;
   sim_->After(link_->rtt(), [this, epoch, done = std::move(done)]() {
     if (epoch != epoch_) {
@@ -335,7 +341,7 @@ void SimObjectStore::Delete(const std::string& name, PutCallback done) {
 std::vector<std::string> SimObjectStore::List(
     const std::string& prefix) const {
   std::vector<std::string> names;
-  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+  for (auto it = bucket_->objects.lower_bound(prefix); it != bucket_->objects.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) {
       break;
     }
@@ -345,8 +351,8 @@ std::vector<std::string> SimObjectStore::List(
 }
 
 Result<uint64_t> SimObjectStore::Head(const std::string& name) const {
-  auto it = objects_.find(name);
-  if (it == objects_.end()) {
+  auto it = bucket_->objects.find(name);
+  if (it == bucket_->objects.end()) {
     return Status::NotFound(name);
   }
   return it->second.size();

@@ -58,12 +58,28 @@ struct ObjectStoreStats {
 class CrossDomainChannel;
 class SimDomain;
 
+// The durable object namespace of one backend shard. By default every
+// SimObjectStore owns a private bucket (the historical single-host
+// behavior); a fleet (src/fleet) builds one bucket per shard and hands the
+// same bucket to every host's store view, so objects PUT through host A's
+// view are visible to host B's — the property live migration, failover
+// recover-attach and cross-host clone fan-out all rest on. A bucket must
+// only be shared between stores whose client sides run on one simulator
+// (one SimDomain): the map is mutated from client event context, so
+// cross-domain sharing would be a data race (DESIGN.md §15).
+struct ObjectBucket {
+  std::map<std::string, Buffer> objects;
+};
+
 class SimObjectStore : public ObjectStore {
  public:
+  // `bucket` null keeps a privately owned namespace; non-null shares the
+  // caller's (which must outlive the store).
   SimObjectStore(Simulator* sim, BackendCluster* cluster, NetLink* link,
                  SimObjectStoreConfig config,
                  MetricsRegistry* metrics = nullptr,
-                 const std::string& prefix = "objstore");
+                 const std::string& prefix = "objstore",
+                 ObjectBucket* bucket = nullptr);
 
   // Parallel engine (DESIGN.md §14): runs this store's backend half — the
   // BackendCluster disk/WAL work and the gateway overheads — on `backend`'s
@@ -90,6 +106,7 @@ class SimObjectStore : public ObjectStore {
   void ClientCrash() { epoch_++; }
 
   ObjectStoreStats stats() const;
+  ObjectBucket* bucket() { return bucket_; }
 
  private:
   // Issues the stripe/metadata disk writes for an object of `size` bytes.
@@ -108,7 +125,8 @@ class SimObjectStore : public ObjectStore {
   BackendCluster* cluster_;
   NetLink* link_;
   SimObjectStoreConfig config_;
-  std::map<std::string, Buffer> objects_;
+  std::unique_ptr<ObjectBucket> owned_bucket_;
+  ObjectBucket* bucket_;
   std::vector<uint64_t> alloc_head_;  // per-disk data-region bump allocator
   uint64_t epoch_ = 0;
 

@@ -22,6 +22,7 @@ enum class StatusCode {
   kOutOfRange,      // address beyond device / volume size
   kUnavailable,     // device offline (e.g. after injected crash)
   kResourceExhausted,
+  kFenced,          // write rejected: caller's attachment epoch is stale
 };
 
 // Human-readable name for a status code.
@@ -41,6 +42,8 @@ constexpr const char* StatusCodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFenced:
+      return "FENCED";
   }
   return "UNKNOWN";
 }
@@ -70,6 +73,9 @@ class [[nodiscard]] Status {
   }
   static Status ResourceExhausted(std::string m = "") {
     return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Fenced(std::string m = "") {
+    return Status(StatusCode::kFenced, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

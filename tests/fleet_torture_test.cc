@@ -1,0 +1,381 @@
+// Migration/failover torture (docs/FLEET.md failure-mode table): crash the
+// source host mid-drain, crash the target mid-recover-attach, and race a
+// lease-expiry failover against a live migration on a partitioned host —
+// each swept over crash points and verified against a shadow model with the
+// prefix-consistency rule of §3.3 (recovery may lose a tail of the write
+// history, never the middle). Plus clone fan-out determinism: the same seed
+// must produce an identical fleet metric dump.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/fleet/fleet.h"
+#include "tests/lsvd_test_util.h"
+
+namespace lsvd {
+namespace {
+
+constexpr uint64_t kStampBlock = 4096;
+constexpr uint64_t kStampRegion = 2 * kMiB;  // all writes land here
+constexpr size_t kDrainedWrites = 12;        // durable floor (drained)
+constexpr size_t kTailWrites = 12;           // in-cache tail at crash time
+constexpr uint64_t kStepCap = 30'000'000;
+
+struct PlannedWrite {
+  uint64_t vlba;
+  uint64_t len;
+};
+
+std::vector<PlannedWrite> MakePlan(uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 17);
+  std::vector<PlannedWrite> plan;
+  for (size_t i = 0; i < kDrainedWrites + kTailWrites; i++) {
+    const uint64_t len = (1 + rng.Uniform(4)) * kStampBlock;  // 4..16 KiB
+    const uint64_t max_block = (kStampRegion - len) / kStampBlock;
+    plan.push_back({rng.Uniform(max_block + 1) * kStampBlock, len});
+  }
+  return plan;
+}
+
+// Every 4 KiB block carries (stamp, absolute address) repeated to the end of
+// the block, so torn or misdirected recovery is detectable per block.
+Buffer StampPayload(uint64_t stamp, uint64_t vlba, uint64_t len) {
+  std::vector<uint8_t> bytes(len);
+  for (uint64_t off = 0; off < len; off += kStampBlock) {
+    const uint64_t addr = vlba + off;
+    for (uint64_t rec = 0; rec < kStampBlock; rec += 16) {
+      for (int b = 0; b < 8; b++) {
+        bytes[off + rec + static_cast<uint64_t>(b)] =
+            static_cast<uint8_t>(stamp >> (8 * b));
+        bytes[off + rec + 8 + static_cast<uint64_t>(b)] =
+            static_cast<uint8_t>(addr >> (8 * b));
+      }
+    }
+  }
+  return Buffer::FromBytes(bytes);
+}
+
+// Shadow model: per-block stamps after replaying the first `prefix` writes.
+std::vector<uint64_t> ReplayStamps(const std::vector<PlannedWrite>& plan,
+                                   size_t prefix) {
+  std::vector<uint64_t> stamps(kStampRegion / kStampBlock, 0);
+  for (size_t i = 0; i < prefix && i < plan.size(); i++) {
+    for (uint64_t off = 0; off < plan[i].len; off += kStampBlock) {
+      stamps[(plan[i].vlba + off) / kStampBlock] = i + 1;
+    }
+  }
+  return stamps;
+}
+
+// Parses a recovered image into per-block stamps, failing on any internally
+// inconsistent block.
+std::vector<uint64_t> ObservedStamps(const std::vector<uint8_t>& image) {
+  const size_t blocks = image.size() / kStampBlock;
+  std::vector<uint64_t> observed(blocks, 0);
+  for (size_t b = 0; b < blocks; b++) {
+    const uint8_t* blk = image.data() + b * kStampBlock;
+    uint64_t stamp = 0;
+    uint64_t addr = 0;
+    for (int i = 0; i < 8; i++) {
+      stamp |= static_cast<uint64_t>(blk[i]) << (8 * i);
+      addr |= static_cast<uint64_t>(blk[8 + i]) << (8 * i);
+    }
+    if (stamp == 0) {
+      for (size_t i = 0; i < kStampBlock; i++) {
+        if (blk[i] != 0) {
+          ADD_FAILURE() << "block " << b << " partially zero at byte " << i;
+          break;
+        }
+      }
+      continue;
+    }
+    EXPECT_EQ(addr, b * kStampBlock) << "block " << b << " misdirected";
+    for (size_t off = 16; off < kStampBlock; off += 16) {
+      if (std::memcmp(blk, blk + off, 16) != 0) {
+        ADD_FAILURE() << "block " << b << " torn at offset " << off;
+        break;
+      }
+    }
+    observed[b] = stamp;
+  }
+  return observed;
+}
+
+std::vector<uint8_t> ReadImage(Simulator* sim, LsvdDisk* disk) {
+  std::vector<uint8_t> image;
+  image.reserve(kStampRegion);
+  for (uint64_t off = 0; off < kStampRegion; off += 512 * kKiB) {
+    auto r = ReadSync(sim, disk, off, 512 * kKiB);
+    if (!r.ok()) {
+      ADD_FAILURE() << "image read at " << off << ": " << r.status().message();
+      return image;
+    }
+    const auto bytes = r->ToBytes();
+    image.insert(image.end(), bytes.begin(), bytes.end());
+  }
+  return image;
+}
+
+// The prefix-consistency verdict: the image must equal a replay of the
+// first M plan writes for M = the highest stamp observed, and M must be at
+// least `floor` (the writes known durable before the crash).
+void CheckPrefix(const std::vector<PlannedWrite>& plan,
+                 const std::vector<uint8_t>& image, size_t floor,
+                 const std::string& label) {
+  const std::vector<uint64_t> observed = ObservedStamps(image);
+  size_t max_stamp = 0;
+  for (uint64_t s : observed) {
+    max_stamp = std::max(max_stamp, static_cast<size_t>(s));
+  }
+  EXPECT_GE(max_stamp, floor) << label << ": durable floor lost";
+  EXPECT_EQ(observed, ReplayStamps(plan, max_stamp))
+      << label << ": image is not a replay of the first " << max_stamp
+      << " writes";
+}
+
+FleetConfig TortureFleetConfig(int hosts, PlacementPolicyKind placement =
+                                              PlacementPolicyKind::kLoadSpread) {
+  FleetConfig fc;
+  fc.hosts = hosts;
+  fc.shards = 1;
+  fc.cluster = ClusterConfig::SsdPool();
+  fc.cluster.num_disks = 4;
+  fc.host.ssd_capacity = 512 * kMiB;
+  fc.host.ssd = SsdParams::Instant();
+  fc.placement = placement;
+  fc.auto_failover = false;  // crash points drive failover explicitly
+  return fc;
+}
+
+LsvdConfig TortureVolumeConfig(const std::string& name) {
+  LsvdConfig config = TestWorld::SmallVolumeConfig();
+  config.volume_name = name;
+  return config;
+}
+
+// Creates the volume, applies the plan (drain after the first
+// kDrainedWrites), and returns its id. All writes are acked when this
+// returns; the tail beyond the drain may still be cache-only.
+int SetUpVolume(Simulator* sim, FleetController* fleet,
+                const std::string& name,
+                const std::vector<PlannedWrite>& plan) {
+  std::optional<Status> created;
+  const int id = fleet->CreateVolume(TortureVolumeConfig(name),
+                                     [&](Status s) { created = s; });
+  while (!created.has_value() && sim->Step()) {
+  }
+  EXPECT_TRUE(created.has_value() && created->ok());
+  EXPECT_GE(id, 0);
+  for (size_t i = 0; i < plan.size(); i++) {
+    EXPECT_TRUE(WriteSync(sim, fleet->disk(id), plan[i].vlba,
+                          StampPayload(i + 1, plan[i].vlba, plan[i].len))
+                    .ok());
+    if (i + 1 == kDrainedWrites) {
+      EXPECT_TRUE(DrainSync(sim, fleet->disk(id)).ok());
+    }
+  }
+  return id;
+}
+
+// Steps until the volume settles in kActive or kFailed (with a step cap).
+void SettleVolume(Simulator* sim, FleetController* fleet, int id) {
+  uint64_t steps = 0;
+  while (fleet->health(id) != FleetController::VolumeHealth::kActive &&
+         fleet->health(id) != FleetController::VolumeHealth::kFailed &&
+         steps++ < kStepCap && sim->Step()) {
+  }
+}
+
+// Family A: crash the source host mid-drain. Swept over step counts between
+// the MigrateVolume call and the kill, so the crash lands before, inside,
+// and after the drain-and-seal. Whatever the landing spot, failover must
+// produce a volume whose image is a valid prefix with the drained floor.
+TEST(FleetTortureTest, CrashSourceMidDrainThenFailover) {
+  for (const uint64_t kill_after : {0u, 10u, 100u, 1000u, 10000u}) {
+    for (uint64_t seed = 1; seed <= 3; seed++) {
+      Simulator sim;
+      FleetController fleet(&sim, TortureFleetConfig(3));
+      const auto plan = MakePlan(seed);
+      const int id = SetUpVolume(&sim, &fleet, "vol", plan);
+      const int src = fleet.host_of(id);
+
+      std::optional<Status> mig;
+      Status start = fleet.MigrateVolume(
+          id, -1, [&](Status s, const MigrationStats&) { mig = s; });
+      ASSERT_TRUE(start.ok());
+      for (uint64_t i = 0; i < kill_after && sim.Step(); i++) {
+      }
+      fleet.KillHost(src);
+      fleet.FailoverHost(src);
+      SettleVolume(&sim, &fleet, id);
+
+      const std::string label = "seed=" + std::to_string(seed) +
+                                " kill_after=" + std::to_string(kill_after);
+      ASSERT_EQ(fleet.health(id), FleetController::VolumeHealth::kActive)
+          << label;
+      EXPECT_NE(fleet.host_of(id), src) << label;
+      // The source was fenced by the epoch flip (migration's or failover's).
+      EXPECT_GE(fleet.volume_epoch(id), 2u) << label;
+      CheckPrefix(plan, ReadImage(&sim, fleet.disk(id)), kDrainedWrites,
+                  label);
+    }
+  }
+}
+
+// Family B: crash the destination mid-recover-attach. The migration drained
+// everything to the backend before the handoff, so after the second
+// failover the image must equal the FULL plan replay — K == total, nothing
+// may be lost.
+TEST(FleetTortureTest, CrashTargetMidRecoverAttachThenFailoverAgain) {
+  for (const uint64_t kill_after : {0u, 5u, 50u, 500u, 5000u}) {
+    for (uint64_t seed = 1; seed <= 3; seed++) {
+      Simulator sim;
+      FleetController fleet(&sim, TortureFleetConfig(3));
+      const auto plan = MakePlan(seed);
+      const int id = SetUpVolume(&sim, &fleet, "vol", plan);
+      const int src = fleet.host_of(id);
+
+      ASSERT_TRUE(fleet.MigrateVolume(id).ok());
+      // Run the drain + handoff; stop as soon as the target's
+      // recover-attach begins (or the migration wins the race outright).
+      uint64_t steps = 0;
+      while (fleet.health(id) == FleetController::VolumeHealth::kMigrating &&
+             steps++ < kStepCap && sim.Step()) {
+      }
+      for (uint64_t i = 0; i < kill_after && sim.Step(); i++) {
+      }
+      const int dst = fleet.host_of(id);
+      const std::string label = "seed=" + std::to_string(seed) +
+                                " kill_after=" + std::to_string(kill_after);
+      if (dst != src) {
+        fleet.KillHost(dst);
+        fleet.FailoverHost(dst);
+      }
+      SettleVolume(&sim, &fleet, id);
+
+      ASSERT_EQ(fleet.health(id), FleetController::VolumeHealth::kActive)
+          << label;
+      // Everything was drained before the handoff: nothing may be lost.
+      CheckPrefix(plan, ReadImage(&sim, fleet.disk(id)), plan.size(), label);
+      const auto observed = ObservedStamps(ReadImage(&sim, fleet.disk(id)));
+      EXPECT_EQ(observed, ReplayStamps(plan, plan.size())) << label;
+    }
+  }
+}
+
+// Family C: a lease-expiry failover racing a live migration on a
+// partitioned host. The host keeps running (its stale attachments serve
+// on), the failover steals both its volumes, and the double-attach rule
+// holds: stale writes bounce off the fence and never reach the new
+// attachment's image.
+TEST(FleetTortureTest, LeaseExpiryRacesMigrationOnPartitionedHost) {
+  for (const uint64_t steal_after : {0u, 20u, 200u, 2000u, 20000u}) {
+    const uint64_t seed = steal_after + 7;
+    Simulator sim;
+    // First-fit placement co-locates both volumes on host 0.
+    FleetController fleet(&sim, TortureFleetConfig(
+                                    3, PlacementPolicyKind::kFirstFit));
+    const auto plan = MakePlan(seed);
+    const int mover = SetUpVolume(&sim, &fleet, "mover", plan);
+    const int bystander = SetUpVolume(&sim, &fleet, "bystander", plan);
+    ASSERT_EQ(fleet.host_of(mover), fleet.host_of(bystander));
+    const int p = fleet.host_of(mover);
+
+    std::optional<Status> mig;
+    ASSERT_TRUE(fleet
+                    .MigrateVolume(mover, -1,
+                                   [&](Status s, const MigrationStats&) {
+                                     mig = s;
+                                   })
+                    .ok());
+    fleet.PartitionHost(p);  // heartbeats stop; the host keeps running
+    for (uint64_t i = 0; i < steal_after && sim.Step(); i++) {
+    }
+    const bool migrating =
+        fleet.health(mover) == FleetController::VolumeHealth::kMigrating;
+    fleet.FailoverHost(p);  // what DeclareDead would do at lease expiry
+    SettleVolume(&sim, &fleet, mover);
+    SettleVolume(&sim, &fleet, bystander);
+
+    const std::string label = "steal_after=" + std::to_string(steal_after);
+    ASSERT_EQ(fleet.health(mover), FleetController::VolumeHealth::kActive)
+        << label;
+    ASSERT_EQ(fleet.health(bystander),
+              FleetController::VolumeHealth::kActive)
+        << label;
+    EXPECT_NE(fleet.host_of(bystander), p) << label;
+    if (migrating) {
+      // The failover stole the volume mid-flight and aborted the migration.
+      EXPECT_EQ(
+          fleet.metrics().GetCounter("fleet.migrations_aborted")->value(), 1u)
+          << label;
+    }
+
+    // Double-attach: the partitioned host still runs the bystander's stale
+    // attachment. Its writes may ack locally (they land in the stale write
+    // cache) but the epoch fence keeps them out of the object stream.
+    LsvdDisk* stale = fleet.stale_disk(bystander);
+    ASSERT_NE(stale, nullptr) << label;
+    const uint64_t poison_vlba = 0;
+    stale->Write(poison_vlba, StampPayload(999, poison_vlba, kStampBlock),
+                 [](Status) {});
+    stale->Flush([](Status) {});
+    uint64_t steps = 0;
+    while (steps++ < kStepCap && sim.Step()) {
+    }
+    const auto observed =
+        ObservedStamps(ReadImage(&sim, fleet.disk(bystander)));
+    for (uint64_t s : observed) {
+      EXPECT_NE(s, 999u) << label << ": stale write leaked through the fence";
+    }
+    CheckPrefix(plan, ReadImage(&sim, fleet.disk(bystander)), kDrainedWrites,
+                label + " bystander");
+    CheckPrefix(plan, ReadImage(&sim, fleet.disk(mover)), kDrainedWrites,
+                label + " mover");
+  }
+}
+
+// Family D: clone fan-out determinism — the same seed must produce an
+// identical fleet metric dump, clone placements included.
+TEST(FleetTortureTest, CloneFanOutIsDeterministicPerSeed) {
+  auto run_once = [](uint64_t seed) {
+    Simulator sim;
+    FleetController fleet(&sim, TortureFleetConfig(3));
+    std::optional<Status> created;
+    const int golden = fleet.CreateVolume(TortureVolumeConfig("golden"),
+                                          [&](Status s) { created = s; });
+    while (!created.has_value() && sim.Step()) {
+    }
+    EXPECT_TRUE(created.has_value() && created->ok());
+    // The seed shapes the workload (image size), not just payload bytes, so
+    // distinct seeds produce distinguishable dumps.
+    const uint64_t image_bytes = (seed % 5 + 1) * 64 * kKiB;
+    EXPECT_TRUE(
+        WriteSync(&sim, fleet.disk(golden), 0,
+                  TestPattern(image_bytes, seed))
+            .ok());
+    std::optional<Result<uint64_t>> snap;
+    fleet.disk(golden)->Snapshot([&](Result<uint64_t> r) {
+      snap = std::move(r);
+    });
+    while (!snap.has_value() && sim.Step()) {
+    }
+    EXPECT_TRUE(snap.has_value() && snap->ok());
+    for (int i = 0; i < 12; i++) {
+      fleet.CloneVolume(golden, "clone" + std::to_string(i), **snap);
+    }
+    sim.Run();
+    EXPECT_EQ(fleet.metrics().GetCounter("fleet.clones")->value(), 12u);
+    return fleet.metrics().ToJson();
+  };
+  const std::string a = run_once(42);
+  EXPECT_EQ(a, run_once(42));
+  EXPECT_NE(a, run_once(43));  // the seed actually reaches the workload
+}
+
+}  // namespace
+}  // namespace lsvd

@@ -204,6 +204,49 @@ TEST(SimDomainTest, BarrierTaskSeesQuiescedDomainsAndMaySend) {
   EXPECT_GE(group.windows(), 1u);
 }
 
+// Regression for the fleet control plane's heartbeat-vs-lease-expiry race
+// (docs/FLEET.md): a channel message delivering at exactly time T and a
+// local timer event at T on the receiving domain must interleave the same
+// way at every thread count. The engine runs local events before same-time
+// deliveries (a delivery at T quiesces the window first), so the lease
+// check at T never observes a heartbeat carrying timestamp T — which is why
+// FleetController's expiry test is a strict '>' on the lease age.
+TEST(SimDomainTest, LocalEventBeforeSameTimeDeliveryAtAnyThreadCount) {
+  std::vector<std::string> reference;
+  for (int threads : {1, 2, 4}) {
+    SimDomainGroup group;
+    SimDomain* host = group.AddDomain("host");
+    SimDomain* control = group.AddDomain("control");
+    CrossDomainChannel* hb = group.Connect(host, control, kHop);
+    std::vector<std::string> order;
+    // Heartbeat sent at T-hop arrives at exactly T; the lease check fires
+    // at T locally on the control domain.
+    host->sim()->At(Nanos{10}, [&] {
+      hb->SendAfter(kHop, [&] { order.push_back("heartbeat@T"); });
+    });
+    control->sim()->At(Nanos{10} + kHop, [&] {
+      order.push_back("lease-check@T");
+    });
+    // And the mirror pair one interval later, to catch order flapping
+    // between windows.
+    host->sim()->At(Nanos{10} + kHop, [&] {
+      hb->SendAfter(kHop, [&] { order.push_back("heartbeat@T2"); });
+    });
+    control->sim()->At(Nanos{10} + 2 * kHop, [&] {
+      order.push_back("lease-check@T2");
+    });
+    group.Run(threads);
+    ASSERT_EQ(order.size(), 4u) << "threads=" << threads;
+    if (reference.empty()) {
+      reference = order;
+      EXPECT_EQ(order[0], "lease-check@T");
+      EXPECT_EQ(order[1], "heartbeat@T");
+    } else {
+      EXPECT_EQ(order, reference) << "threads=" << threads;
+    }
+  }
+}
+
 // The group is re-entrant: benches alternate setup phases (sequential-ish
 // single events) with Run calls; stats accumulate monotonically.
 TEST(SimDomainTest, RunIsReentrantAcrossPhases) {
